@@ -1,0 +1,65 @@
+// Ablation A6 — smart attackers (Section VII). The paper closes by noting
+// that "as same as all RSSI-based methods, Voiceprint cannot identify the
+// malicious node if it adopts power control". This bench quantifies that
+// limitation and a second evasion the model predicts:
+//   * per-packet power control  — re-drawing each Sybil beacon's TX power
+//     destroys the constant offset Eq. 7 removes;
+//   * staggered Sybil timing    — spreading the identities' beacons across
+//     the beacon period makes their samples ride different instants of the
+//     shadowing process, diluting the shared-voiceprint signature.
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/detector.h"
+#include "sim/runner.h"
+#include "sim/world.h"
+
+int main(int argc, char** argv) {
+  using namespace vp;
+  const CliArgs args(argc, argv);
+  const double density = args.get_double("density", 30.0);
+  const std::uint64_t seed = args.get_seed("seed", 2206);
+
+  std::cout << "Ablation A6 — smart attackers vs Voiceprint (density "
+            << density << " vhls/km, seed " << seed << ")\n\n";
+  Table table({"attack", "DR", "FPR"});
+
+  using PowerMode = sim::ScenarioConfig::AttackerPowerMode;
+  using TimingMode = sim::ScenarioConfig::SybilTimingMode;
+  struct Case {
+    std::string name;
+    PowerMode power;
+    TimingMode timing;
+  };
+  for (const Case& c :
+       {Case{"baseline (Assumption 3: constant spoofed powers)",
+             PowerMode::kConstant, TimingMode::kBurst},
+        Case{"per-packet power control", PowerMode::kPerPacket,
+             TimingMode::kBurst},
+        Case{"staggered Sybil timing", PowerMode::kConstant,
+             TimingMode::kStaggered},
+        Case{"power control + staggered timing", PowerMode::kPerPacket,
+             TimingMode::kStaggered}}) {
+    sim::ScenarioConfig config;
+    config.density_per_km = density;
+    config.attacker_power_mode = c.power;
+    config.sybil_timing_mode = c.timing;
+    config.seed = seed;
+    sim::World world(config);
+    world.run();
+
+    core::VoiceprintDetector detector(core::tuned_simulation_options());
+    const sim::EvaluationResult result =
+        sim::evaluate(world, detector, {.max_observers = 8});
+    table.add_row({c.name, Table::num(result.average_dr, 4),
+                   Table::num(result.average_fpr, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: the paper's open problem, reproduced — power "
+               "control collapses the detection rate (the per-packet "
+               "offsets bury the shared fading shape), and timing "
+               "staggering erodes it further; false positives stay low "
+               "because normal pairs are unaffected.\n";
+  return 0;
+}

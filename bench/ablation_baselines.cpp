@@ -1,0 +1,64 @@
+// Ablation A7 — three-way baseline comparison: Voiceprint vs the
+// cooperative CPVSAD [19] vs the independent RSSI-variation check in the
+// spirit of Bouassida [17] (Table I's three design points: model-free/
+// independent, model-dependent/cooperative, model-dependent/independent),
+// on identical worlds, with and without propagation drift.
+#include <iostream>
+
+#include "baseline/cpvsad.h"
+#include "baseline/rssi_variation.h"
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/detector.h"
+#include "sim/runner.h"
+#include "sim/world.h"
+
+int main(int argc, char** argv) {
+  using namespace vp;
+  const CliArgs args(argc, argv);
+  const std::uint64_t seed = args.get_seed("seed", 2207);
+
+  std::cout << "Ablation A7 — detector family comparison (Table I design "
+               "points)\n\n";
+  Table table({"density", "channel", "detector", "DR", "FPR"});
+
+  for (double density : {20.0, 60.0}) {
+    for (bool drift : {false, true}) {
+      sim::ScenarioConfig config;
+      config.density_per_km = density;
+      config.model_change = drift;
+      // The attack begins mid-run: entry-plausibility checks (the
+      // RSSI-variation baseline) can only ever fire on identities whose
+      // first beacon is observed, and detection periods after t=40 s give
+      // every detector the same view of an ongoing attack.
+      config.attack_start_time_s = 25.0;
+      config.seed = mix64(seed, static_cast<std::uint64_t>(
+                                    density + (drift ? 1000 : 0)));
+      sim::World world(config);
+      world.run();
+
+      core::VoiceprintDetector voiceprint(core::tuned_simulation_options());
+      baseline::CpvsadDetector cpvsad;
+      baseline::RssiVariationDetector variation;
+      const sim::EvaluationOptions options{.max_observers = 8};
+      for (sim::Detector* detector :
+           std::initializer_list<sim::Detector*>{&voiceprint, &cpvsad,
+                                                 &variation}) {
+        const sim::EvaluationResult result =
+            sim::evaluate(world, *detector, options);
+        table.add_row({Table::num(density, 0), drift ? "drifting" : "stable",
+                       std::string(detector->name()),
+                       Table::num(result.average_dr, 4),
+                       Table::num(result.average_fpr, 4)});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected (Table I's design space): Voiceprint "
+               "(model-free, independent) is the only detector whose "
+               "numbers survive the drifting channel; CPVSAD needs its "
+               "predefined model; the RSSI-variation heuristic is cheap "
+               "but weak in both settings (single-series evidence only).\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation A1 — similarity measure: FastDTW (the paper's choice) vs exact
+// DTW vs point-to-point Euclidean, on identical simulated observation
+// windows. Section IV-B argues DTW-family measures tolerate the unequal
+// series lengths packet loss produces; this bench quantifies it.
+#include <chrono>
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/detector.h"
+#include "sim/runner.h"
+#include "sim/world.h"
+
+int main(int argc, char** argv) {
+  using namespace vp;
+  const CliArgs args(argc, argv);
+  const double density = args.get_double("density", 40.0);
+  const std::uint64_t seed = args.get_seed("seed", 2201);
+
+  sim::ScenarioConfig config;
+  config.density_per_km = density;
+  config.seed = seed;
+  std::cout << "Ablation A1 — distance measures (density " << density
+            << " vhls/km, seed " << seed << ")\n\n";
+  sim::World world(config);
+  world.run();
+
+  Table table({"measure", "DR", "FPR", "eval time (ms)"});
+  struct Case {
+    std::string name;
+    core::DistanceKind kind;
+    std::size_t radius;
+  };
+  for (const Case& c : {Case{"FastDTW r=1", core::DistanceKind::kFastDtw, 1},
+                        Case{"FastDTW r=4", core::DistanceKind::kFastDtw, 4},
+                        Case{"exact DTW", core::DistanceKind::kExactDtw, 0},
+                        Case{"Euclidean (resampled)",
+                             core::DistanceKind::kEuclidean, 0}}) {
+    core::VoiceprintOptions options = core::tuned_simulation_options();
+    options.comparison.distance = c.kind;
+    options.comparison.fastdtw_radius = c.radius;
+    core::VoiceprintDetector detector(options);
+    const auto start = std::chrono::steady_clock::now();
+    const sim::EvaluationResult result =
+        sim::evaluate(world, detector, {.max_observers = 8});
+    const auto elapsed = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    table.add_row({c.name, Table::num(result.average_dr, 4),
+                   Table::num(result.average_fpr, 4),
+                   Table::num(elapsed, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: DTW-family measures dominate point-to-point "
+               "Euclidean on accuracy under packet loss. Note that with the "
+               "Sakoe-Chiba band the \"exact\" DTW is already O(N*band), so "
+               "FastDTW's multiresolution pass adds accuracy-neutral "
+               "overhead at these series lengths.\n";
+  return 0;
+}

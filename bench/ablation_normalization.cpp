@@ -1,0 +1,63 @@
+// Ablation A2 — the enhanced Z-score pre-processing (Eq. 7) under
+// TX-power spoofing (Assumption 3). The attacker sets each Sybil identity
+// a different constant power; without Eq. 7 those offsets corrupt the
+// distance scale DTW sees.
+//
+// A fixed threshold would compare apples to oranges across scales, so for
+// every (power spread × Eq. 7 on/off) cell the boundary is re-tuned on
+// that cell's own training windows under the same identity-level FPR
+// budget; the table reports the best detection rate each configuration
+// can achieve at comparable false-positive cost.
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/detector.h"
+#include "core/threshold.h"
+#include "sim/runner.h"
+#include "sim/world.h"
+
+int main(int argc, char** argv) {
+  using namespace vp;
+  const CliArgs args(argc, argv);
+  const double density = args.get_double("density", 30.0);
+  const std::uint64_t seed = args.get_seed("seed", 2202);
+
+  std::cout << "Ablation A2 — Z-score normalisation vs TX-power spoofing\n"
+            << "(each cell re-tuned to a 5% identity-level FPR budget)\n\n";
+  Table table({"TX power spread", "Eq. 7", "tuned DR", "tuned FPR",
+               "boundary b", "votes"});
+
+  for (const auto& [label, p_min, p_max] :
+       {std::tuple<std::string, double, double>{"none (all 20 dBm)", 20.0,
+                                                20.0},
+        {"17-23 dBm (paper)", 17.0, 23.0},
+        {"14-26 dBm (aggressive)", 14.0, 26.0}}) {
+    sim::ScenarioConfig config;
+    config.density_per_km = density;
+    config.tx_power_min_dbm = p_min;
+    config.tx_power_max_dbm = p_max;
+    config.seed = seed;
+    sim::World world(config);
+    world.run();
+
+    for (bool z_score : {true, false}) {
+      core::TrainingOptions options;
+      options.max_observers = 8;
+      options.comparison.z_score_normalize = z_score;
+      std::vector<core::LabeledWindow> windows;
+      core::collect_labeled_windows(world, options, windows);
+      const core::TunedBoundary tuned = core::tune_boundary(windows);
+      table.add_row({label, z_score ? "on" : "off",
+                     Table::num(tuned.train_dr, 4),
+                     Table::num(tuned.train_fpr, 4),
+                     Table::num(tuned.boundary.b, 4),
+                     std::to_string(tuned.votes)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: with Eq. 7 the achievable DR is insensitive to "
+               "the power spread; without it the achievable DR at the same "
+               "FPR budget degrades as the spread grows.\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation A3 — observation time and beacon rate. The paper uses 20 s of
+// 10 Hz beacons (200 samples) and notes in Section VII that Voiceprint,
+// being independent, needs longer observation than cooperative schemes;
+// its first future-work item is to collect samples faster over the
+// Service Channel (SCH). This sweep covers:
+//   * the window-length trade-off at the standard 10 Hz CCH rate,
+//   * the naive fix (raising the CCH rate) — which saturates the shared
+//     3 Mbps channel, and
+//   * the paper's SCH idea (extra samples on a second channel).
+#include <algorithm>
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/detector.h"
+#include "sim/runner.h"
+#include "sim/world.h"
+
+int main(int argc, char** argv) {
+  using namespace vp;
+  const CliArgs args(argc, argv);
+  const double density = args.get_double("density", 30.0);
+  const std::uint64_t seed = args.get_seed("seed", 2203);
+
+  std::cout << "Ablation A3 — observation time / beacon rate sweep (density "
+            << density << " vhls/km)\n\n";
+  Table table({"observation (s)", "CCH rate (Hz)", "SCH rate (Hz)",
+               "samples/ID (max)", "DR", "FPR", "collisions"});
+
+  struct Row {
+    double obs;
+    double cch_rate;
+    double sch_rate;
+  };
+  for (const Row& row : {Row{5.0, 10.0, 0.0}, Row{10.0, 10.0, 0.0},
+                         Row{20.0, 10.0, 0.0}, Row{40.0, 10.0, 0.0},
+                         // Naive fix: raise the shared-channel rate.
+                         Row{4.0, 50.0, 0.0},
+                         // Section VII: keep the CCH at 10 Hz and sample
+                         // faster on the service channel.
+                         Row{5.0, 10.0, 40.0}, Row{10.0, 10.0, 40.0}}) {
+    sim::ScenarioConfig config;
+    config.density_per_km = density;
+    config.observation_time_s = row.obs;
+    config.detection_period_s = row.obs;
+    config.density_estimation_period_s = std::min(10.0, row.obs);
+    config.beacon_rate_hz = row.cch_rate;
+    config.sch_beacon_rate_hz = row.sch_rate;
+    config.sim_time_s = std::max(100.0, 3.0 * row.obs);
+    config.seed = seed;
+    sim::World world(config);
+    world.run();
+
+    const double total_rate = row.cch_rate + row.sch_rate;
+    core::VoiceprintOptions vp_options = core::tuned_simulation_options();
+    // Short windows need a proportionally shorter overlap requirement (the
+    // default 5 s assumes the paper's 20 s window).
+    vp_options.comparison.min_overlap_s = std::min(5.0, 0.4 * row.obs);
+    vp_options.comparison.min_overlap_samples = std::max<std::size_t>(
+        4, static_cast<std::size_t>(0.1 * row.obs * total_rate));
+    core::VoiceprintDetector detector(vp_options);
+    sim::EvaluationOptions eval{.max_observers = 8};
+    eval.min_samples = std::max<std::size_t>(
+        8, static_cast<std::size_t>(0.05 * row.obs * total_rate));
+    const sim::EvaluationResult result = sim::evaluate(world, detector, eval);
+
+    table.add_row({Table::num(row.obs, 0), Table::num(row.cch_rate, 0),
+                   Table::num(row.sch_rate, 0),
+                   Table::num(row.obs * total_rate, 0),
+                   Table::num(result.average_dr, 4),
+                   Table::num(result.average_fpr, 4),
+                   std::to_string(world.stats().frames_collided)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: longer windows help (more independent shadowing "
+               "to compare); raising the CCH rate on the shared channel "
+               "saturates the MAC and loses the extra samples to "
+               "collisions; the SCH path adds samples without touching the "
+               "CCH, improving short-window detection — though the gain is "
+               "bounded by the shadowing coherence time (samples closer "
+               "than the channel decorrelates carry little new "
+               "information).\n";
+  return 0;
+}

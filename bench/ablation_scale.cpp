@@ -1,0 +1,69 @@
+// Ablation A8 — attack-scale sensitivity. The paper fixes the attack at
+// 5% malicious vehicles with 3–6 Sybil identities each (Section V-A);
+// this sweep varies both knobs to show where the voiceprint signature
+// gets stronger (more Sybils per attacker = bigger cliques, more votes)
+// and where the channel itself throttles the attack (an attacker's one
+// radio must carry 10·(1+n) beacons per second).
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/detector.h"
+#include "sim/runner.h"
+#include "sim/world.h"
+
+int main(int argc, char** argv) {
+  using namespace vp;
+  const CliArgs args(argc, argv);
+  const double density = args.get_double("density", 30.0);
+  const std::uint64_t seed = args.get_seed("seed", 2208);
+
+  std::cout << "Ablation A8 — attack scale (density " << density
+            << " vhls/km)\n\n";
+
+  std::cout << "Sybil identities per attacker (malicious fraction 5%):\n";
+  Table by_count({"sybils/attacker", "DR", "FPR", "attacker queue drops"});
+  for (int sybils : {1, 2, 4, 8, 12}) {
+    sim::ScenarioConfig config;
+    config.density_per_km = density;
+    config.sybil_per_malicious_min = sybils;
+    config.sybil_per_malicious_max = sybils;
+    config.seed = mix64(seed, static_cast<std::uint64_t>(sybils));
+    sim::World world(config);
+    world.run();
+    core::VoiceprintDetector detector(core::tuned_simulation_options());
+    const sim::EvaluationResult result =
+        sim::evaluate(world, detector, {.max_observers = 8});
+    by_count.add_row({std::to_string(sybils),
+                      Table::num(result.average_dr, 4),
+                      Table::num(result.average_fpr, 4),
+                      std::to_string(world.stats().beacon_queue_drops)});
+  }
+  by_count.print(std::cout);
+
+  std::cout << "\nMalicious fraction (3-6 sybils each):\n";
+  Table by_fraction({"malicious fraction", "DR", "FPR"});
+  for (double fraction : {0.02, 0.05, 0.10, 0.20}) {
+    sim::ScenarioConfig config;
+    config.density_per_km = density;
+    config.malicious_fraction = fraction;
+    config.seed = mix64(seed, static_cast<std::uint64_t>(fraction * 1000));
+    sim::World world(config);
+    world.run();
+    core::VoiceprintDetector detector(core::tuned_simulation_options());
+    const sim::EvaluationResult result =
+        sim::evaluate(world, detector, {.max_observers = 8});
+    by_fraction.add_row({Table::num(fraction, 2),
+                         Table::num(result.average_dr, 4),
+                         Table::num(result.average_fpr, 4)});
+  }
+  by_fraction.print(std::cout);
+
+  std::cout << "\nExpected: a lone Sybil identity is the hardest case "
+               "(pair evidence only, no clique); detection strengthens "
+               "with clique size until the attacker's own MAC queue "
+               "saturates; accuracy is insensitive to how many attackers "
+               "there are (each is detected from its own clique).\n";
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Fig. 5 — RSSI distributions from Scenario 1 (two vehicles in the campus)
+// plus the Observation-1 point: inverting a predefined model on mean RSSI
+// badly misestimates the true 140 m separation.
+//
+// (a)/(b): two stationary 10-minute captures at 140 m — distributions and
+//          the distances FSPL / two-ray-ground would infer from the means.
+// (c):     four randomly selected 1-minute moving segments — visibly
+//          non-normal, shifting distributions.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "fieldtest/area.h"
+#include "radio/fading.h"
+#include "radio/propagation.h"
+#include "radio/receiver.h"
+
+namespace {
+
+using namespace vp;
+
+// Emits an ASCII histogram of the samples.
+void print_histogram(const std::vector<double>& samples, const std::string& title) {
+  Histogram hist(-95.0, -55.0, 20);
+  hist.add_all(samples);
+  RunningStats stats;
+  for (double s : samples) stats.add(s);
+  std::cout << title << "\n  n=" << samples.size()
+            << "  mean=" << Table::num(stats.mean(), 4) << " dBm"
+            << "  std=" << Table::num(stats.stddev(), 4) << " dB\n";
+  for (std::size_t b = 0; b < hist.bins(); ++b) {
+    if (hist.count(b) == 0) continue;
+    const int bars = static_cast<int>(hist.fraction(b) * 200.0);
+    std::cout << "  " << Table::num(hist.bin_center(b), 0) << " dBm | "
+              << std::string(static_cast<std::size_t>(bars), '#') << " "
+              << Table::num(hist.fraction(b) * 100.0, 1) << "%\n";
+  }
+  std::cout << "\n";
+}
+
+// Samples a stationary capture: fixed 140 m link through the campus
+// channel with correlated shadowing (the channel itself drifts over time,
+// which is why the two periods differ — Observation 1). `site_shadow_db`
+// is the fixed large-scale shadowing of the parking spot: the paper's
+// stationary captures sit 9–13 dB below the fitted mean path loss (that
+// is precisely why FSPL inversion misjudged 140 m as 281.5 m).
+std::vector<double> stationary_capture(double minutes, std::uint64_t seed,
+                                       double sigma_scale,
+                                       double site_shadow_db) {
+  const radio::DualSlopeModel model(units::kDsrcFrequencyHz,
+                                    ft::area_params(ft::Area::kCampus));
+  radio::CorrelatedShadowingField field(8.0, 0.5, Rng(seed));
+  const radio::Receiver receiver{};
+  std::vector<double> out;
+  const double d = 140.0;
+  for (double t = 0.0; t < minutes * 60.0; t += 0.1) {
+    const double mean = model.mean_rx_power_dbm(20.0, d, t) + site_shadow_db;
+    const double sigma = model.shadowing_sigma_db(d, t) * sigma_scale;
+    const auto rssi = receiver.measure(mean + field.sample(0, 1, sigma, t));
+    if (rssi.has_value()) out.push_back(*rssi);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::uint64_t seed = args.get_seed("seed", 509);
+
+  std::cout << "Fig. 5 reproduction — RSSI distributions (Scenario 1)\n"
+            << "Testbed stand-in: campus dual-slope channel (Table IV fit), "
+               "140 m link,\n10 Hz beacons, -95 dBm sensitivity, integer "
+               "RSSI. Seed "
+            << seed << ".\n\n";
+
+  // (a) and (b): two stationary periods. The channel's slow drift and the
+  // spot's site shadowing give them different means and spreads, as
+  // measured in the paper ((-76.86, 2.33) vs (-72.54, 0.77) dBm).
+  const auto period_a = stationary_capture(10.0, seed, 1.0, -13.5);
+  const auto period_b = stationary_capture(10.0, seed + 1, 0.3, -9.2);
+  print_histogram(period_a, "(a) stationary period 1 (10 min)");
+  print_histogram(period_b, "(b) stationary period 2 (10 min)");
+
+  // Observation 1: model inversion on the means misestimates 140 m badly.
+  {
+    const radio::FreeSpaceModel fspl(units::kDsrcFrequencyHz);
+    const radio::TwoRayGroundModel trgp(units::kDsrcFrequencyHz, 1.5, 1.5);
+    Table table({"period", "mean RSSI (dBm)", "FSPL estimate (m)",
+                 "TRGP estimate (m)", "true distance (m)"});
+    int idx = 1;
+    for (const auto* samples : {&period_a, &period_b}) {
+      RunningStats stats;
+      for (double s : *samples) stats.add(s);
+      table.add_row({std::to_string(idx++), Table::num(stats.mean(), 2),
+                     Table::num(fspl.distance_for_mean_power(
+                                    20.0, stats.mean(), 0.0), 1),
+                     Table::num(trgp.distance_for_mean_power(
+                                    20.0, stats.mean(), 0.0), 1),
+                     "140.0"});
+    }
+    std::cout << "Observation 1 — positions inferred from predefined models "
+                 "(paper: 281.5/171.2 m FSPL, 263.9/205.8 m TRGP):\n";
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // (c) four random 1-minute moving segments: the vehicle wanders between
+  // 60 and 260 m, so each segment's distribution is shifted and skewed.
+  std::cout << "(c) four random 1-minute segments while moving:\n\n";
+  Rng rng = Rng(seed).fork("moving");
+  const radio::DualSlopeModel model(units::kDsrcFrequencyHz,
+                                    ft::area_params(ft::Area::kCampus));
+  radio::CorrelatedShadowingField field(1.0, 1.0, Rng(seed + 2));
+  const radio::Receiver receiver{};
+  for (int segment = 0; segment < 4; ++segment) {
+    std::vector<double> samples;
+    double d = rng.uniform(60.0, 260.0);
+    double drift = rng.uniform(-3.0, 3.0);
+    for (double t = 0.0; t < 60.0; t += 0.1) {
+      d = std::max(20.0, d + drift * 0.1);
+      if (rng.chance(0.01)) drift = rng.uniform(-3.0, 3.0);
+      const double tt = segment * 60.0 + t;
+      const double mean = model.mean_rx_power_dbm(20.0, d, tt);
+      const double sigma = model.shadowing_sigma_db(d, tt);
+      const auto rssi =
+          receiver.measure(mean + field.sample(0, 1, sigma, tt));
+      if (rssi.has_value()) samples.push_back(*rssi);
+    }
+    print_histogram(samples,
+                    "segment " + std::to_string(segment + 1) + " (1 min)");
+  }
+  std::cout << "Observation 1: RSSI is neither stationary in time nor "
+               "normal while moving; predefined models mislocate nodes.\n";
+  return 0;
+}

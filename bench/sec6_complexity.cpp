@@ -1,0 +1,100 @@
+// Section VI timing claims, measured with google-benchmark:
+//   * comparing two 200-sample RSSI series took the paper 0.1995 ms on its
+//     OBU hardware (FastDTW);
+//   * a full confirmation round over 80 neighbours (3160 comparisons) took
+//     ~630 ms.
+// We benchmark FastDTW vs exact DTW vs Euclidean across series lengths,
+// plus the full Algorithm-1 pipeline for various neighbour counts.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/comparison.h"
+#include "core/detector.h"
+#include "timeseries/dtw.h"
+#include "timeseries/fast_dtw.h"
+#include "timeseries/lp_distance.h"
+#include "timeseries/normalize.h"
+
+namespace {
+
+using namespace vp;
+
+std::vector<double> rssi_like_series(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  double shadow = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    shadow = 0.9 * shadow + rng.normal(0.0, 1.5);
+    out[i] = -75.0 + shadow + rng.normal(0.0, 1.0);
+  }
+  return out;
+}
+
+void BM_FastDtw(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = ts::z_score_enhanced(rssi_like_series(n, 1));
+  const auto y = ts::z_score_enhanced(rssi_like_series(n, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::fast_dtw(x, y, {.radius = 1}).distance);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FastDtw)->RangeMultiplier(2)->Range(25, 1600)->Complexity();
+
+void BM_ExactDtw(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = ts::z_score_enhanced(rssi_like_series(n, 3));
+  const auto y = ts::z_score_enhanced(rssi_like_series(n, 4));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::dtw_distance(x, y));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ExactDtw)->RangeMultiplier(2)->Range(25, 1600)->Complexity();
+
+void BM_Euclidean(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = ts::z_score_enhanced(rssi_like_series(n, 5));
+  const auto y = ts::z_score_enhanced(rssi_like_series(n, 6));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ts::euclidean_distance(x, y));
+  }
+}
+BENCHMARK(BM_Euclidean)->RangeMultiplier(2)->Range(25, 1600);
+
+// The paper's headline number: one 200-sample pair comparison (their OBU:
+// 0.1995 ms; a modern x86 core should be well under that).
+void BM_PaperSingleComparison200(benchmark::State& state) {
+  const auto x = rssi_like_series(200, 7);
+  const auto y = rssi_like_series(190, 8);  // packet loss shortens one
+  for (auto _ : state) {
+    const auto zx = ts::z_score_enhanced(x);
+    const auto zy = ts::z_score_enhanced(y);
+    benchmark::DoNotOptimize(ts::fast_dtw(zx, zy, {.radius = 1}).distance);
+  }
+}
+BENCHMARK(BM_PaperSingleComparison200);
+
+// Full Algorithm-1 detection for N neighbours (the paper extrapolates 80
+// neighbours → ~630 ms on the OBU).
+void BM_FullDetection(benchmark::State& state) {
+  const auto neighbors = static_cast<std::size_t>(state.range(0));
+  std::vector<core::NamedSeries> series;
+  for (std::size_t i = 0; i < neighbors; ++i) {
+    series.emplace_back(
+        static_cast<IdentityId>(i),
+        ts::Series::uniform(0.0, 0.1, rssi_like_series(200, 100 + i)));
+  }
+  core::VoiceprintDetector detector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.detect_series(series, 50.0));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(neighbors));
+}
+BENCHMARK(BM_FullDetection)->Arg(10)->Arg(20)->Arg(40)->Arg(80)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Substrate validation — the channel/MAC behaviour behind Section V-C's
+// explanation of Fig. 11a ("with the increasing traffic density, the
+// severe packet losses lead to less information obtained by each
+// vehicle"). Not a paper figure; this bench characterises the NS-2
+// replacement itself:
+//   * packet delivery ratio vs link distance (per density),
+//   * collision share of all losses vs density,
+//   * queue drops at the attacker (its radio carries 10·n packets/s).
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "sim/world.h"
+
+namespace {
+
+using namespace vp;
+
+struct PdrBin {
+  std::size_t received = 0;
+  double expected = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::uint64_t seed = args.get_seed("seed", 3001);
+  const double sim_time = args.get_double("sim-time", 60.0);
+
+  std::cout << "Substrate characterisation — CSMA/CA channel under load\n\n";
+
+  Table summary({"density", "frames sent", "delivered", "collided",
+                 "below sens.", "half-duplex", "queue drops",
+                 "collision share"});
+
+  for (double density : {10.0, 40.0, 70.0, 100.0}) {
+    sim::ScenarioConfig config;
+    config.density_per_km = density;
+    config.sim_time_s = sim_time;
+    config.seed = seed;
+    sim::World world(config);
+    world.run();
+    const sim::WorldStats& s = world.stats();
+    const double losses = static_cast<double>(
+        s.frames_collided + s.frames_below_sensitivity +
+        s.frames_half_duplex_missed);
+    summary.add_row(
+        {Table::num(density, 0), std::to_string(s.frames_sent),
+         std::to_string(s.frames_received), std::to_string(s.frames_collided),
+         std::to_string(s.frames_below_sensitivity),
+         std::to_string(s.frames_half_duplex_missed),
+         std::to_string(s.beacon_queue_drops),
+         Table::num(losses == 0.0
+                        ? 0.0
+                        : static_cast<double>(s.frames_collided) / losses,
+                    3)});
+
+    // PDR vs distance for genuine identities: per (tx, rx, second), bin by
+    // the true distance and compare receptions against the 10 Hz schedule.
+    std::map<int, PdrBin> bins;  // key: distance bin index (50 m wide)
+    const double rate = config.beacon_rate_hz;
+    for (const auto& tx : world.nodes()) {
+      const IdentityId genuine = tx->identities().front().id;
+      for (const auto& rx : world.nodes()) {
+        if (rx->id() == tx->id()) continue;
+        for (double t = 1.0; t + 1.0 < sim_time; t += 1.0) {
+          const double d =
+              mob::distance(tx->trace().position_at(t + 0.5),
+                            rx->trace().position_at(t + 0.5));
+          if (d > 800.0) continue;
+          PdrBin& bin = bins[static_cast<int>(d / 50.0)];
+          bin.expected += rate;
+          bin.received += rx->log().sample_count(genuine, t, t + 1.0);
+        }
+      }
+    }
+    std::cout << "\ndensity " << density
+              << " vhls/km — packet delivery ratio vs distance:\n";
+    Table pdr({"distance (m)", "PDR", "expected beacons"});
+    for (const auto& [bin, counts] : bins) {
+      if (counts.expected < 100.0) continue;
+      pdr.add_row({std::to_string(bin * 50) + "-" +
+                       std::to_string(bin * 50 + 50),
+                   Table::num(static_cast<double>(counts.received) /
+                                  counts.expected,
+                              3),
+                   Table::num(counts.expected, 0)});
+    }
+    pdr.print(std::cout);
+  }
+
+  std::cout << "\n";
+  summary.print(std::cout);
+  std::cout << "\nExpected: near-unity PDR at close range collapsing "
+               "toward the radio horizon (~500-700 m); the collision share "
+               "of losses grows with density — the packet-loss mechanism "
+               "behind Voiceprint's DR decline in Fig. 11a. Note the queue "
+               "drops: a malicious radio must push 10·(1+n) beacons/s "
+               "through one MAC, so its own attack throttles it at high "
+               "load.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Table IV — fit parameters of the empirical dual-slope model.
+//
+// The paper drives two vehicles through campus / rural / urban areas
+// (Scenario 2) and regression-fits Eq. 1 to the collected RSSI-vs-distance
+// samples. We do not have their drives, so for each area we synthesise
+// measurements from that area's published channel and verify the fitter
+// recovers the Table IV parameters — closing the loop on the regression
+// machinery itself.
+#include <iostream>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "fieldtest/area.h"
+#include "radio/fitter.h"
+
+int main(int argc, char** argv) {
+  using namespace vp;
+  const CliArgs args(argc, argv);
+  const std::uint64_t seed = args.get_seed("seed", 2024);
+  const auto samples_per_area =
+      static_cast<std::size_t>(args.get_int("samples", 4000));
+  const double tx_power = args.get_double("tx-power", 20.0);
+
+  std::cout << "Table IV reproduction — dual-slope fits per area\n"
+            << "(synthetic Scenario-2 drives; " << samples_per_area
+            << " samples/area, TX " << tx_power << " dBm, seed " << seed
+            << ")\n\n";
+
+  Table table({"parameter", "campus true", "campus fit", "rural true",
+               "rural fit", "urban true", "urban fit"});
+
+  struct AreaFit {
+    radio::DualSlopeParams truth;
+    radio::DualSlopeParams fit;
+  };
+  std::vector<AreaFit> fits;
+
+  for (ft::Area area :
+       {ft::Area::kCampus, ft::Area::kRural, ft::Area::kUrban}) {
+    const radio::DualSlopeParams truth = ft::area_params(area);
+    const radio::DualSlopeModel model(units::kDsrcFrequencyHz, truth);
+    Rng rng = Rng(seed).fork(ft::area_name(area));
+    std::vector<radio::RssiSample> samples;
+    samples.reserve(samples_per_area);
+    for (std::size_t i = 0; i < samples_per_area; ++i) {
+      const double d = rng.uniform(2.0, 500.0);
+      samples.push_back(
+          {d, model.sample_rx_power_dbm(tx_power, d, 0.0, rng)});
+    }
+    const radio::DualSlopeFitter fitter(units::kDsrcFrequencyHz, tx_power);
+    const radio::DualSlopeFit fit = fitter.fit(samples, 60.0, 350.0, 2.0);
+    fits.push_back({truth, fit.params});
+  }
+
+  auto row = [&](const std::string& name, auto getter) {
+    std::vector<std::string> cells = {name};
+    for (const auto& f : fits) {
+      cells.push_back(Table::num(getter(f.truth), 2));
+      cells.push_back(Table::num(getter(f.fit), 2));
+    }
+    table.add_row(cells);
+  };
+  row("d_c (m)", [](const radio::DualSlopeParams& p) {
+    return p.critical_distance_m;
+  });
+  row("gamma1", [](const radio::DualSlopeParams& p) { return p.gamma1; });
+  row("gamma2", [](const radio::DualSlopeParams& p) { return p.gamma2; });
+  row("sigma1 (dB)",
+      [](const radio::DualSlopeParams& p) { return p.sigma1_db; });
+  row("sigma2 (dB)",
+      [](const radio::DualSlopeParams& p) { return p.sigma2_db; });
+
+  table.print(std::cout);
+  std::cout << "\nPaper values (Table IV): campus dc=218 g1=1.66 g2=5.53 "
+               "s1=2.8 s2=3.2 | rural dc=182 g1=1.89 g2=5.86 s1=3.1 s2=3.6 "
+               "| urban dc=102 g1=2.56 g2=6.34 s1=3.9 s2=5.2\n";
+  return 0;
+}

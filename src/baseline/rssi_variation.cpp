@@ -1,0 +1,71 @@
+#include "baseline/rssi_variation.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vp::baseline {
+
+RssiVariationDetector::RssiVariationDetector(RssiVariationOptions options)
+    : options_(options),
+      assumed_model_(options.frequency_hz, options.assumed_params,
+                     options.link_budget) {
+  VP_REQUIRE(options.violation_fraction > 0.0 &&
+             options.violation_fraction <= 1.0);
+}
+
+std::vector<IdentityId> RssiVariationDetector::detect(
+    const sim::ObservationWindow& window, const sim::World& world) {
+  // The entry check consults the observer's own reception history (a real
+  // OBU keeps it): an identity with no record before the window is a true
+  // newcomer.
+  const sim::RssiLog& history = world.node(window.observer).log();
+
+  std::vector<IdentityId> suspects;
+  for (const sim::NeighborObservation& neighbor : window.neighbors) {
+    if (neighbor.beacons.size() < 2) continue;
+
+    const sim::BeaconRecord& first = neighbor.beacons.front();
+    const bool never_heard_before =
+        history.sample_count(neighbor.id, 0.0, window.t0) == 0;
+    const bool appeared_inside =
+        never_heard_before && first.time_s > window.t0 + 1.0;
+    if (appeared_inside &&
+        first.rssi_dbm > options_.entry_rssi_threshold_dbm) {
+      suspects.push_back(neighbor.id);
+      continue;
+    }
+
+    // Variation check: per consecutive-beacon step, bound |ΔRSSI| by the
+    // steepest mean-power change the closing speed allows, plus margin.
+    std::size_t violations = 0;
+    std::size_t steps = 0;
+    for (std::size_t i = 1; i < neighbor.beacons.size(); ++i) {
+      const sim::BeaconRecord& a = neighbor.beacons[i - 1];
+      const sim::BeaconRecord& b = neighbor.beacons[i];
+      const double dt = b.time_s - a.time_s;
+      if (dt <= 0.0 || dt > 2.0) continue;  // long gaps carry no bound
+      const double d_claimed = std::max(
+          mob::distance(a.claimed_position, window.observer_position), 5.0);
+      const double d_moved = options_.max_relative_speed_mps * dt;
+      const double d_near = std::max(d_claimed - d_moved, 1.0);
+      const double d_far = d_claimed + d_moved;
+      const double p_near = assumed_model_.mean_rx_power_dbm(
+          options_.assumed_tx_power_dbm, d_near, b.time_s);
+      const double p_far = assumed_model_.mean_rx_power_dbm(
+          options_.assumed_tx_power_dbm, d_far, b.time_s);
+      const double bound =
+          (p_near - p_far) + options_.variation_margin_db;
+      if (std::fabs(b.rssi_dbm - a.rssi_dbm) > bound) ++violations;
+      ++steps;
+    }
+    if (steps > 0 && static_cast<double>(violations) >
+                         options_.violation_fraction *
+                             static_cast<double>(steps)) {
+      suspects.push_back(neighbor.id);
+    }
+  }
+  return suspects;
+}
+
+}  // namespace vp::baseline

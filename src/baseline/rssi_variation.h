@@ -1,0 +1,56 @@
+// Independent RSSI-variation check in the spirit of Bouassida et al. [17]
+// (Table I row "Bouassida"): a model-dependent but cooperative-free
+// plausibility test, included as a second baseline for the ablation
+// benches.
+//
+// Two heuristics flag an identity:
+//   1. *Entry check* — a genuine vehicle enters radio range at the edge,
+//      so its first beacons should be weak; an identity whose first
+//      observed RSSI is already strong popped into existence mid-range
+//      (how fabricated identities appear when the attack starts).
+//   2. *Variation check* — between consecutive beacons the distance can
+//      change by at most the closing speed, which bounds |ΔRSSI| under the
+//      assumed propagation model; larger jumps are physically implausible.
+#pragma once
+
+#include <string_view>
+
+#include "radio/dual_slope.h"
+#include "sim/detector.h"
+
+namespace vp::baseline {
+
+struct RssiVariationOptions {
+  radio::DualSlopeParams assumed_params = radio::DualSlopeParams::highway();
+  double frequency_hz = 5.89e9;
+  radio::LinkBudget link_budget{};
+  double assumed_tx_power_dbm = 20.0;
+
+  // Entry check: an identity heard for the very first time (no history
+  // before the window) whose first RSSI is already above this threshold
+  // appeared mid-range instead of entering at the radio horizon.
+  double entry_rssi_threshold_dbm = -85.0;
+  // Variation check: maximum closing speed between two vehicles.
+  double max_relative_speed_mps = 60.0;
+  // Shadowing headroom added to the variation bound before flagging.
+  double variation_margin_db = 12.0;
+  // Fraction of implausible steps needed to flag.
+  double violation_fraction = 0.10;
+};
+
+class RssiVariationDetector final : public sim::Detector {
+ public:
+  explicit RssiVariationDetector(RssiVariationOptions options = {});
+
+  std::vector<IdentityId> detect(const sim::ObservationWindow& window,
+                                 const sim::World& world) override;
+
+  std::string_view name() const override { return "RSSI-variation"; }
+  const RssiVariationOptions& options() const { return options_; }
+
+ private:
+  RssiVariationOptions options_;
+  radio::DualSlopeModel assumed_model_;
+};
+
+}  // namespace vp::baseline

@@ -1,0 +1,37 @@
+// Tiny command-line flag parser shared by the bench and example binaries.
+// Supports --name=value and --name value forms plus boolean switches
+// (--flag, --flag=on/off).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vp {
+
+class CliArgs {
+ public:
+  // Parses argv; throws InvalidArgument on malformed input (an option
+  // without a leading --, or an unknown-looking bare token).
+  CliArgs(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  // Typed getters with defaults. Throw InvalidArgument if the stored text
+  // cannot be converted.
+  std::string get(const std::string& name, const std::string& fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  std::uint64_t get_seed(const std::string& name, std::uint64_t fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  // Name of the binary (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace vp

@@ -1,0 +1,52 @@
+#include "common/csv.h"
+
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vp {
+
+namespace {
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> columns)
+    : path_(path), columns_(columns.size()), out_(path) {
+  VP_REQUIRE(!columns.empty());
+  if (!out_) throw Error("cannot open CSV file for writing: " + path);
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(columns[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(std::span<const std::string> cells) {
+  VP_REQUIRE(cells.size() == columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(std::span<const double> values) {
+  VP_REQUIRE(values.size() == columns_);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) os << ',';
+    os << values[i];
+  }
+  out_ << os.str() << '\n';
+}
+
+}  // namespace vp

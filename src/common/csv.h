@@ -1,0 +1,30 @@
+// Minimal CSV writer so bench binaries can dump raw series for external
+// plotting alongside their printed tables.
+#pragma once
+
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vp {
+
+class CsvWriter {
+ public:
+  // Opens (truncates) the file and writes the header row. Throws vp::Error
+  // if the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> columns);
+
+  // Writes one row; the cell count must match the header.
+  void write_row(std::span<const std::string> cells);
+  void write_row(std::span<const double> values);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::size_t columns_ = 0;
+  std::ofstream out_;
+};
+
+}  // namespace vp

@@ -1,0 +1,42 @@
+#include "common/event_queue.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace vp {
+
+void EventQueue::schedule(double time_s, Callback fn) {
+  VP_REQUIRE(time_s >= now_);
+  events_.push({time_s, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(double delay_s, Callback fn) {
+  VP_REQUIRE(delay_s >= 0.0);
+  schedule(now_ + delay_s, std::move(fn));
+}
+
+void EventQueue::run_until(double end_time_s) {
+  VP_REQUIRE(end_time_s >= now_);
+  while (!events_.empty() && events_.top().time <= end_time_s) {
+    // Move the callback out before popping so it may schedule new events.
+    Event event = events_.top();
+    events_.pop();
+    now_ = event.time;
+    ++executed_;
+    event.fn();
+  }
+  now_ = end_time_s;
+}
+
+void EventQueue::run_all() {
+  while (!events_.empty()) {
+    Event event = events_.top();
+    events_.pop();
+    now_ = event.time;
+    ++executed_;
+    event.fn();
+  }
+}
+
+}  // namespace vp

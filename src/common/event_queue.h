@@ -1,0 +1,55 @@
+// Discrete-event simulation core: a time-ordered queue of callbacks.
+// Events at equal times fire in scheduling order (a stable tiebreak), which
+// keeps runs bit-reproducible for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace vp {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `fn` at absolute simulation time `time_s`; must not be in the
+  // past relative to now().
+  void schedule(double time_s, Callback fn);
+
+  // Schedules `fn` `delay_s` seconds from now (delay >= 0).
+  void schedule_in(double delay_s, Callback fn);
+
+  // Runs events in time order until the queue is empty or the next event is
+  // after `end_time_s`; leaves now() at end_time_s.
+  void run_until(double end_time_s);
+
+  // Runs everything (use only when the event set is finite).
+  void run_all();
+
+  double now() const { return now_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t pending() const { return events_.size(); }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace vp

@@ -1,0 +1,19 @@
+// Identifiers shared across the stack.
+//
+// A *node* is a physical radio (one per vehicle, Assumption 2). An
+// *identity* is what beacons claim: normal nodes broadcast their single
+// valid identity; a malicious node broadcasts its own plus several
+// fabricated Sybil identities (all through the same radio).
+#pragma once
+
+#include <cstdint>
+
+namespace vp {
+
+using NodeId = std::uint32_t;
+using IdentityId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+inline constexpr IdentityId kInvalidIdentity = 0xFFFFFFFFu;
+
+}  // namespace vp

@@ -1,0 +1,109 @@
+#include "common/least_squares.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace vp {
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  VP_REQUIRE(xs.size() == ys.size());
+  VP_REQUIRE(xs.size() >= 2);
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  VP_REQUIRE(denom != 0.0);  // needs at least two distinct x values
+
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+
+  double ss_res = 0.0;
+  const double y_mean = sy / n;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - (fit.slope * xs[i] + fit.intercept);
+    ss_res += r * r;
+    ss_tot += (ys[i] - y_mean) * (ys[i] - y_mean);
+  }
+  fit.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  fit.residual_stddev =
+      xs.size() > 2 ? std::sqrt(ss_res / (n - 2.0)) : std::sqrt(ss_res / n);
+  return fit;
+}
+
+double slope_through(std::span<const double> xs, std::span<const double> ys,
+                     double fixed_intercept) {
+  VP_REQUIRE(xs.size() == ys.size());
+  VP_REQUIRE(!xs.empty());
+  double sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * (ys[i] - fixed_intercept);
+  }
+  VP_REQUIRE(sxx != 0.0);
+  return sxy / sxx;
+}
+
+std::vector<double> solve_normal_equations(std::span<const double> a,
+                                           std::size_t cols,
+                                           std::span<const double> b) {
+  VP_REQUIRE(cols > 0);
+  VP_REQUIRE(a.size() % cols == 0);
+  const std::size_t rows = a.size() / cols;
+  VP_REQUIRE(rows == b.size());
+  VP_REQUIRE(rows >= cols);
+
+  // Build AtA (cols x cols) and Atb (cols).
+  std::vector<double> ata(cols * cols, 0.0);
+  std::vector<double> atb(cols, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      const double ari = a[r * cols + i];
+      atb[i] += ari * b[r];
+      for (std::size_t j = 0; j < cols; ++j) {
+        ata[i * cols + j] += ari * a[r * cols + j];
+      }
+    }
+  }
+
+  // Gaussian elimination with partial pivoting on [AtA | Atb].
+  for (std::size_t col = 0; col < cols; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < cols; ++r) {
+      if (std::fabs(ata[r * cols + col]) > std::fabs(ata[pivot * cols + col]))
+        pivot = r;
+    }
+    if (std::fabs(ata[pivot * cols + col]) < 1e-12) {
+      throw InvalidArgument("least squares: singular normal equations");
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < cols; ++j)
+        std::swap(ata[col * cols + j], ata[pivot * cols + j]);
+      std::swap(atb[col], atb[pivot]);
+    }
+    for (std::size_t r = col + 1; r < cols; ++r) {
+      const double f = ata[r * cols + col] / ata[col * cols + col];
+      for (std::size_t j = col; j < cols; ++j)
+        ata[r * cols + j] -= f * ata[col * cols + j];
+      atb[r] -= f * atb[col];
+    }
+  }
+  std::vector<double> x(cols, 0.0);
+  for (std::size_t ri = cols; ri-- > 0;) {
+    double acc = atb[ri];
+    for (std::size_t j = ri + 1; j < cols; ++j) acc -= ata[ri * cols + j] * x[j];
+    x[ri] = acc / ata[ri * cols + ri];
+  }
+  return x;
+}
+
+}  // namespace vp

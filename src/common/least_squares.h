@@ -1,0 +1,35 @@
+// Small dense least-squares solvers. Used by the radio module to fit the
+// dual-slope empirical path-loss model (Table IV) and by the ML module.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace vp {
+
+// Result of a simple linear regression y = slope*x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  // coefficient of determination
+  double residual_stddev = 0.0;  // std-dev of (y - fit), the sigma of Eq. 1
+};
+
+// Ordinary least squares for y = slope*x + intercept. Requires at least two
+// distinct x values.
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+// Ordinary least squares for y = slope*x + c with a *fixed* intercept c
+// (fits only the slope). Requires a non-empty sample with nonzero sum of x².
+double slope_through(std::span<const double> xs, std::span<const double> ys,
+                     double fixed_intercept);
+
+// Solves the normal equations (AᵀA)x = Aᵀb for a small column count using
+// Gaussian elimination with partial pivoting. `a` is row-major with
+// rows.size() == b.size() rows of `cols` entries each. Throws
+// InvalidArgument if the system is singular.
+std::vector<double> solve_normal_equations(std::span<const double> a,
+                                           std::size_t cols,
+                                           std::span<const double> b);
+
+}  // namespace vp

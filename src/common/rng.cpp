@@ -1,0 +1,59 @@
+#include "common/rng.h"
+
+#include "common/error.h"
+
+namespace vp {
+
+std::uint64_t hash64(std::string_view text) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  // Asymmetric in (a, b) so that swapped arguments yield distinct streams.
+  std::uint64_t z = a * 0x9E3779B97F4A7C15ULL + b + 0x2545F4914F6CDD1DULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng Rng::fork(std::string_view name) const {
+  return Rng(mix64(seed_, hash64(name)));
+}
+
+double Rng::uniform(double lo, double hi) {
+  VP_REQUIRE(lo <= hi);
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  VP_REQUIRE(lo <= hi);
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::normal(double mean, double sigma) {
+  VP_REQUIRE(sigma >= 0.0);
+  if (sigma == 0.0) return mean;
+  return std::normal_distribution<double>(mean, sigma)(engine_);
+}
+
+double Rng::exponential(double rate) {
+  VP_REQUIRE(rate > 0.0);
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+bool Rng::chance(double p) {
+  VP_REQUIRE(p >= 0.0 && p <= 1.0);
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double Rng::gamma(double shape, double scale) {
+  VP_REQUIRE(shape > 0.0 && scale > 0.0);
+  return std::gamma_distribution<double>(shape, scale)(engine_);
+}
+
+}  // namespace vp

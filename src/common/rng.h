@@ -1,0 +1,60 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the simulator draws from an Rng that is
+// seeded from a single experiment-level seed plus a component name, so runs
+// are reproducible and components are statistically independent: changing
+// how one module consumes randomness does not perturb another module's
+// stream.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace vp {
+
+// A seeded pseudo-random stream (mt19937_64 under the hood).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(seed) {}
+
+  // Derives an independent stream for a named sub-component. The same
+  // (seed, name) pair always yields the same stream.
+  Rng fork(std::string_view name) const;
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Normal with the given mean and standard deviation (sigma >= 0).
+  double normal(double mean, double sigma);
+
+  // Exponential with the given rate (lambda > 0).
+  double exponential(double rate);
+
+  // Bernoulli trial with success probability p in [0, 1].
+  bool chance(double p);
+
+  // Gamma with the given shape and scale (both > 0); used by the Nakagami
+  // fading model.
+  double gamma(double shape, double scale);
+
+  // Underlying engine, for use with standard-library distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::mt19937_64 engine_;
+};
+
+// Stable 64-bit hash of a string (FNV-1a); used to derive fork seeds.
+std::uint64_t hash64(std::string_view text);
+
+// Mixes two 64-bit values into one well-distributed value (splitmix64 final).
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b);
+
+}  // namespace vp

@@ -1,0 +1,59 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vp {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  VP_REQUIRE(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  VP_REQUIRE(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << " | ";
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    os << '\n';
+  };
+
+  print_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c != 0) os << "-+-";
+    os << std::string(widths[c], '-');
+  }
+  os << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace vp

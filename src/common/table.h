@@ -1,0 +1,35 @@
+// Plain-text table rendering for the benchmark harnesses. Every bench binary
+// prints the rows/series the paper's tables and figures report; this class
+// keeps the output aligned and stable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; the number of cells must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 4);
+
+  // Renders the table with a header rule, e.g.
+  //   density | DR     | FPR
+  //   --------+--------+------
+  //   10      | 0.9463 | 0.021
+  void print(std::ostream& os) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vp

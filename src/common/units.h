@@ -1,0 +1,40 @@
+// Physical units and conversions used throughout the simulator.
+//
+// Powers travel through the code as dBm (logarithmic) because that is what
+// both the paper and DSRC hardware report; linear milliwatts are used only
+// where signals must be summed (interference at a receiver).
+#pragma once
+
+#include <cmath>
+
+namespace vp::units {
+
+inline constexpr double kSpeedOfLightMps = 299'792'458.0;
+inline constexpr double kPi = 3.14159265358979323846;
+
+// DSRC control-channel centre frequency (CH 178), per Table III.
+inline constexpr double kDsrcFrequencyHz = 5.89e9;
+
+// Wavelength of the DSRC carrier in metres.
+inline constexpr double kDsrcWavelengthM = kSpeedOfLightMps / kDsrcFrequencyHz;
+
+// IWCU OBU4.2 receive sensitivity, per Table II.
+inline constexpr double kRxSensitivityDbm = -95.0;
+
+// dBm <-> milliwatt conversions.
+inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+inline double mw_to_dbm(double mw) { return 10.0 * std::log10(mw); }
+
+// dB ratio <-> linear ratio.
+inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+inline double linear_to_db(double ratio) { return 10.0 * std::log10(ratio); }
+
+// km/h <-> m/s.
+inline constexpr double kmh_to_mps(double kmh) { return kmh / 3.6; }
+inline constexpr double mps_to_kmh(double mps) { return mps * 3.6; }
+
+// Vehicles-per-km <-> vehicles-per-metre.
+inline constexpr double per_km_to_per_m(double per_km) { return per_km / 1000.0; }
+inline constexpr double per_m_to_per_km(double per_m) { return per_m * 1000.0; }
+
+}  // namespace vp::units

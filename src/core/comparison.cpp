@@ -1,0 +1,209 @@
+#include "core/comparison.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "timeseries/dtw.h"
+#include "timeseries/lp_distance.h"
+#include "timeseries/normalize.h"
+
+namespace vp::core {
+
+namespace {
+
+double pair_distance(const std::vector<double>& x, const std::vector<double>& y,
+                     const ComparisonOptions& options) {
+  switch (options.distance) {
+    case DistanceKind::kFastDtw: {
+      const ts::DtwResult result =
+          ts::fast_dtw(x, y, {.radius = options.fastdtw_radius,
+                              .cost = options.cost,
+                              .band = options.dtw_band});
+      return options.length_normalize
+                 ? result.distance / static_cast<double>(result.path.size())
+                 : result.distance;
+    }
+    case DistanceKind::kExactDtw: {
+      const ts::DtwResult result =
+          options.dtw_band > 0
+              ? ts::dtw_banded(x, y, options.dtw_band, options.cost)
+              : ts::dtw(x, y, options.cost);
+      return options.length_normalize
+                 ? result.distance / static_cast<double>(result.path.size())
+                 : result.distance;
+    }
+    case DistanceKind::kEuclidean: {
+      // Euclidean needs equal lengths; packet loss makes them unequal, so
+      // resample the longer one down to the shorter (Section IV-B explains
+      // why the paper rejects this).
+      const auto n = std::min(x.size(), y.size());
+      double d;
+      if (x.size() == y.size()) {
+        d = ts::euclidean_distance(x, y);
+      } else {
+        const ts::Series xs = ts::Series::uniform(0.0, 1.0, x).resample(n);
+        const ts::Series ys = ts::Series::uniform(0.0, 1.0, y).resample(n);
+        d = ts::euclidean_distance(xs.values(), ys.values());
+      }
+      return options.length_normalize ? d / std::sqrt(static_cast<double>(n))
+                                      : d;
+    }
+  }
+  throw InternalError("unknown distance kind");
+}
+
+// True if the series carries enough shape to be compared (see
+// ComparisonOptions::min_series_stddev_db).
+bool has_usable_shape(std::span<const double> values,
+                      const ComparisonOptions& options) {
+  if (options.min_series_stddev_db <= 0.0) return true;
+  RunningStats stats;
+  std::size_t at_floor = 0;
+  for (double v : values) {
+    stats.add(v);
+    if (v <= options.sensitivity_floor_dbm + 0.25) ++at_floor;
+  }
+  if (std::sqrt(stats.population_variance()) < options.min_series_stddev_db) {
+    return false;
+  }
+  return static_cast<double>(at_floor) <=
+         options.max_floor_fraction * static_cast<double>(values.size());
+}
+
+}  // namespace
+
+void match_samples(const ts::Series& a, const ts::Series& b, double max_gap_s,
+                   std::vector<double>& out_a, std::vector<double>& out_b) {
+  out_a.clear();
+  out_b.clear();
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double t = a.time(i);
+    while (j + 1 < b.size() &&
+           std::fabs(b.time(j + 1) - t) <= std::fabs(b.time(j) - t)) {
+      ++j;
+    }
+    if (j >= b.size()) break;
+    if (std::fabs(b.time(j) - t) > max_gap_s) continue;
+    out_a.push_back(a.value(i));
+    out_b.push_back(b.value(j));
+    ++j;  // consume the matched sample
+    if (j >= b.size()) break;
+  }
+}
+
+std::vector<PairDistance> compare_series(std::span<const NamedSeries> series,
+                                         const ComparisonOptions& options) {
+  // Series that carry no shape at all are dropped up front (Eq. 7 would map
+  // them to near-identical flat lines).
+  std::vector<const NamedSeries*> usable;
+  for (const NamedSeries& entry : series) {
+    if (entry.second.size() < 2) continue;
+    if (!has_usable_shape(entry.second.values(), options)) continue;
+    usable.push_back(&entry);
+  }
+
+  std::vector<PairDistance> pairs;
+  if (usable.size() < 2) return pairs;
+  pairs.reserve(usable.size() * (usable.size() - 1) / 2);
+
+  for (std::size_t i = 0; i + 1 < usable.size(); ++i) {
+    for (std::size_t j = i + 1; j < usable.size(); ++j) {
+      const ts::Series& sa = usable[i]->second;
+      const ts::Series& sb = usable[j]->second;
+      PairDistance p;
+      p.a = usable[i]->first;
+      p.b = usable[j]->first;
+
+      // Restrict to the common time support.
+      const double lo = std::max(sa.time(0), sb.time(0));
+      const double hi =
+          std::min(sa.time(sa.size() - 1), sb.time(sb.size() - 1));
+      if (hi - lo < options.min_overlap_s) {
+        p.comparable = false;
+        pairs.push_back(p);
+        continue;
+      }
+      // Half-open slice: nudge the upper bound to include the endpoint.
+      const ts::Series cut_a = sa.slice_time(lo, hi + 1e-9);
+      const ts::Series cut_b = sb.slice_time(lo, hi + 1e-9);
+      if (cut_a.size() < options.min_overlap_samples ||
+          cut_b.size() < options.min_overlap_samples ||
+          !has_usable_shape(cut_a.values(), options) ||
+          !has_usable_shape(cut_b.values(), options)) {
+        p.comparable = false;
+        pairs.push_back(p);
+        continue;
+      }
+
+      // Eq. 7 on the overlapped segments, then the (banded) DTW distance.
+      std::vector<double> va, vb;
+      switch (options.alignment) {
+        case ComparisonOptions::Alignment::kMatchedSamples:
+          match_samples(cut_a, cut_b, options.match_gap_s, va, vb);
+          if (va.size() < options.min_overlap_samples) {
+            p.comparable = false;
+            pairs.push_back(p);
+            continue;
+          }
+          break;
+        case ComparisonOptions::Alignment::kResampleGrid: {
+          const auto grid_points = std::max<std::size_t>(
+              static_cast<std::size_t>((hi - lo) / options.grid_period_s) + 1,
+              2);
+          const ts::Series ra = cut_a.resample(grid_points);
+          const ts::Series rb = cut_b.resample(grid_points);
+          va.assign(ra.values().begin(), ra.values().end());
+          vb.assign(rb.values().begin(), rb.values().end());
+          break;
+        }
+        case ComparisonOptions::Alignment::kNone:
+          va.assign(cut_a.values().begin(), cut_a.values().end());
+          vb.assign(cut_b.values().begin(), cut_b.values().end());
+          break;
+      }
+      if (options.z_score_normalize) {
+        va = ts::z_score_enhanced(va);
+        vb = ts::z_score_enhanced(vb);
+      }
+      p.raw = pair_distance(va, vb, options);
+      p.normalized = p.raw;
+      pairs.push_back(p);
+    }
+  }
+
+  std::vector<double> values;
+  values.reserve(pairs.size());
+  for (const PairDistance& p : pairs) {
+    if (p.comparable) values.push_back(p.raw);
+  }
+  if (options.min_max_normalize &&
+      values.size() >= options.min_pairs_for_min_max) {
+    // Eq. 8 over the comparable distances of this window.
+    ts::min_max_normalize(values);
+    std::size_t cursor = 0;
+    for (PairDistance& p : pairs) {
+      p.normalized = p.comparable ? values[cursor++] : 1.0;
+    }
+  } else {
+    // Too few pairs for Eq. 8 (or ablation): keep the raw per-step scale.
+    for (PairDistance& p : pairs) {
+      if (!p.comparable) p.normalized = 1.0;
+    }
+  }
+  return pairs;
+}
+
+std::vector<PairDistance> compare_window(const sim::ObservationWindow& window,
+                                         const ComparisonOptions& options) {
+  std::vector<NamedSeries> series;
+  series.reserve(window.neighbors.size());
+  for (const sim::NeighborObservation& n : window.neighbors) {
+    series.emplace_back(n.id, n.rssi);
+  }
+  return compare_series(series, options);
+}
+
+}  // namespace vp::core

@@ -1,0 +1,47 @@
+#include "core/confirmation.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+
+namespace vp::core {
+
+ConfirmationFilter::ConfirmationFilter(std::size_t required,
+                                       std::size_t window)
+    : required_(required), window_(window) {
+  VP_REQUIRE(required >= 1);
+  VP_REQUIRE(required <= window);
+}
+
+std::vector<IdentityId> ConfirmationFilter::update(
+    NodeId observer, const std::vector<IdentityId>& heard,
+    const std::vector<IdentityId>& flagged) {
+  const std::set<IdentityId> flagged_set(flagged.begin(), flagged.end());
+  auto& histories = state_[observer];
+  for (IdentityId id : heard) {
+    History& h = histories[id];
+    const bool positive = flagged_set.count(id) != 0;
+    h.verdicts.push_back(positive);
+    if (positive) ++h.positives;
+    if (h.verdicts.size() > window_) {
+      if (h.verdicts.front()) --h.positives;
+      h.verdicts.pop_front();
+    }
+  }
+  return confirmed(observer);
+}
+
+std::vector<IdentityId> ConfirmationFilter::confirmed(NodeId observer) const {
+  std::vector<IdentityId> out;
+  const auto it = state_.find(observer);
+  if (it == state_.end()) return out;
+  for (const auto& [id, history] : it->second) {
+    if (history.positives >= required_) out.push_back(id);
+  }
+  return out;
+}
+
+void ConfirmationFilter::reset() { state_.clear(); }
+
+}  // namespace vp::core

@@ -1,0 +1,51 @@
+// Multi-period confirmation — the mitigation Section VI recommends after
+// analysing its single field-test false positive ("We suggest making a
+// final determination of the Sybil node after several detection periods so
+// as to reduce the false positive rate").
+//
+// A sliding window of the last `window` per-period verdicts is kept per
+// (observer, identity); an identity is confirmed Sybil once it was flagged
+// in at least `required` of them.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace vp::core {
+
+class ConfirmationFilter {
+ public:
+  // Requires 1 <= required <= window.
+  ConfirmationFilter(std::size_t required, std::size_t window);
+
+  // Feeds one detection period's raw suspects for one observer; returns the
+  // identities confirmed so far. `heard` is every identity the observer
+  // could have flagged this period (unheard identities carry no verdict).
+  std::vector<IdentityId> update(NodeId observer,
+                                 const std::vector<IdentityId>& heard,
+                                 const std::vector<IdentityId>& flagged);
+
+  // Confirmed identities for one observer under the current history.
+  std::vector<IdentityId> confirmed(NodeId observer) const;
+
+  void reset();
+
+  std::size_t required() const { return required_; }
+  std::size_t window() const { return window_; }
+
+ private:
+  struct History {
+    std::deque<bool> verdicts;  // newest at the back, length <= window
+    std::size_t positives = 0;
+  };
+
+  std::size_t required_;
+  std::size_t window_;
+  std::map<NodeId, std::map<IdentityId, History>> state_;
+};
+
+}  // namespace vp::core

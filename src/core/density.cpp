@@ -1,0 +1,24 @@
+#include "core/density.h"
+
+#include "common/error.h"
+
+namespace vp::core {
+
+double estimate_density_per_km(std::size_t heard_count,
+                               double max_transmission_range_m) {
+  VP_REQUIRE(max_transmission_range_m > 0.0);
+  const double dist_max_km = max_transmission_range_m / 1000.0;
+  return static_cast<double>(heard_count) / (2.0 * dist_max_km);
+}
+
+double estimate_density_per_km(const std::vector<IdentityId>& heard,
+                               const std::set<IdentityId>& known_sybils,
+                               double max_transmission_range_m) {
+  std::size_t count = 0;
+  for (IdentityId id : heard) {
+    if (known_sybils.count(id) == 0) ++count;
+  }
+  return estimate_density_per_km(count, max_transmission_range_m);
+}
+
+}  // namespace vp::core

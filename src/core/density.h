@@ -1,0 +1,27 @@
+// Local traffic-density estimation (Eq. 9): den = N / (2 · Dist_max), with
+// N the nodes heard during the density-estimation period and Dist_max the
+// maximum transmission range. In the first detection period all heard
+// identities count (a fresh observer cannot yet tell the legitimate ones
+// apart); afterwards, previously detected Sybil identities can be excluded.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace vp::core {
+
+// Density in vehicles/km given a heard-identity count and Dist_max in
+// metres (Eq. 9). Requires max_transmission_range_m > 0.
+double estimate_density_per_km(std::size_t heard_count,
+                               double max_transmission_range_m);
+
+// Refined estimate: heard identities minus those already confirmed as
+// Sybil in earlier periods (the paper's "first estimation" caveat).
+double estimate_density_per_km(const std::vector<IdentityId>& heard,
+                               const std::set<IdentityId>& known_sybils,
+                               double max_transmission_range_m);
+
+}  // namespace vp::core

@@ -1,0 +1,66 @@
+#include "core/detector.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/error.h"
+
+namespace vp::core {
+
+VoiceprintOptions tuned_simulation_options() {
+  VoiceprintOptions options;
+  options.boundary = {.k = 0.0, .b = 0.0125};
+  options.min_pair_votes = 2;
+  return options;
+}
+
+VoiceprintDetector::VoiceprintDetector(VoiceprintOptions options)
+    : options_(options) {}
+
+std::vector<IdentityId> VoiceprintDetector::detect_series(
+    std::span<const NamedSeries> series, double density_per_km) {
+  last_all_ = compare_series(series, options_.comparison);
+  last_flagged_.clear();
+
+  const double density =
+      options_.fixed_density_per_km.value_or(density_per_km);
+  last_threshold_ = options_.boundary.threshold_at(density);
+
+  std::map<IdentityId, std::size_t> votes;
+  for (const PairDistance& pair : last_all_) {
+    if (!pair.comparable) continue;
+    if (options_.boundary.is_sybil(density, pair.normalized)) {
+      last_flagged_.push_back(pair);
+      ++votes[pair.a];
+      ++votes[pair.b];
+    }
+  }
+  // With only two identities in earshot no clique evidence can exist; fall
+  // back to Algorithm 1's single-pair rule.
+  const std::size_t required =
+      series.size() >= 3 ? std::max<std::size_t>(options_.min_pair_votes, 1)
+                         : 1;
+  std::set<IdentityId> suspects;
+  for (const auto& [id, count] : votes) {
+    if (count >= required) suspects.insert(id);
+  }
+  return {suspects.begin(), suspects.end()};
+}
+
+std::vector<IdentityId> VoiceprintDetector::detect_window(
+    const sim::ObservationWindow& window) {
+  std::vector<NamedSeries> series;
+  series.reserve(window.neighbors.size());
+  for (const sim::NeighborObservation& n : window.neighbors) {
+    series.emplace_back(n.id, n.rssi);
+  }
+  return detect_series(series, window.estimated_density_per_km);
+}
+
+std::vector<IdentityId> VoiceprintDetector::detect(
+    const sim::ObservationWindow& window, const sim::World& /*world*/) {
+  return detect_window(window);
+}
+
+}  // namespace vp::core

@@ -1,0 +1,174 @@
+#include "core/threshold.h"
+
+#include "common/error.h"
+#include "sim/runner.h"
+#include <set>
+
+namespace vp::core {
+
+ml::LinearBoundary paper_boundary() { return {.k = 0.00054, .b = 0.0483}; }
+
+ml::LinearBoundary constant_boundary(double threshold) {
+  VP_REQUIRE(threshold >= 0.0);
+  return {.k = 0.0, .b = threshold};
+}
+
+void collect_training_points(const sim::World& world,
+                             const TrainingOptions& options,
+                             ml::Dataset& out) {
+  sim::EvaluationOptions eval;
+  eval.max_observers = options.max_observers;
+  eval.min_samples = options.min_samples;
+  eval.sampling_seed = options.sampling_seed;
+  const std::vector<NodeId> observers = sim::sample_observers(world, eval);
+
+  for (double t : world.detection_times()) {
+    for (NodeId observer : observers) {
+      const sim::ObservationWindow window =
+          world.observe(observer, t, options.min_samples);
+      if (window.neighbors.size() < 2) continue;
+      for (const PairDistance& pair :
+           compare_window(window, options.comparison)) {
+        // Incomparable pairs carry no distance evidence — training on
+        // their pinned sentinel value would only distort the classes.
+        if (!pair.comparable) continue;
+        if (!world.truth().known(pair.a) || !world.truth().known(pair.b)) {
+          continue;
+        }
+        out.push_back({.density = window.estimated_density_per_km,
+                       .distance = pair.normalized,
+                       .sybil_pair = world.truth().same_radio(pair.a, pair.b)});
+      }
+    }
+  }
+}
+
+ml::LinearBoundary train_boundary(const ml::Dataset& data, double p_sybil) {
+  return ml::Lda::fit(data, p_sybil).boundary;
+}
+
+void collect_labeled_windows(const sim::World& world,
+                             const TrainingOptions& options,
+                             std::vector<LabeledWindow>& out) {
+  sim::EvaluationOptions eval;
+  eval.max_observers = options.max_observers;
+  eval.min_samples = options.min_samples;
+  eval.sampling_seed = options.sampling_seed;
+  const std::vector<NodeId> observers = sim::sample_observers(world, eval);
+
+  for (double t : world.detection_times()) {
+    for (NodeId observer : observers) {
+      const sim::ObservationWindow window =
+          world.observe(observer, t, options.min_samples);
+      if (window.neighbors.size() < 2) continue;
+      LabeledWindow labeled;
+      labeled.density = window.estimated_density_per_km;
+      for (const sim::NeighborObservation& n : window.neighbors) {
+        if (!world.truth().known(n.id)) continue;
+        labeled.identities.emplace_back(n.id,
+                                        world.truth().is_illegitimate(n.id));
+      }
+      for (const PairDistance& pair :
+           compare_window(window, options.comparison)) {
+        if (!world.truth().known(pair.a) || !world.truth().known(pair.b)) {
+          continue;
+        }
+        labeled.pairs.push_back(
+            {.a = pair.a,
+             .b = pair.b,
+             .distance = pair.normalized,
+             .comparable = pair.comparable,
+             .sybil_pair = world.truth().same_radio(pair.a, pair.b)});
+      }
+      out.push_back(std::move(labeled));
+    }
+  }
+}
+
+TunedBoundary evaluate_boundary(const ml::LinearBoundary& boundary,
+                                std::span<const LabeledWindow> windows,
+                                std::size_t votes) {
+  VP_REQUIRE(!windows.empty());
+  VP_REQUIRE(votes >= 1);
+  double dr_sum = 0.0, fpr_sum = 0.0;
+  std::size_t dr_n = 0, fpr_n = 0;
+  std::map<IdentityId, std::size_t> tally;
+  for (const LabeledWindow& window : windows) {
+    tally.clear();
+    const double threshold = boundary.threshold_at(window.density);
+    for (const LabeledWindow::Pair& pair : window.pairs) {
+      if (!pair.comparable || pair.distance > threshold) continue;
+      ++tally[pair.a];
+      ++tally[pair.b];
+    }
+    const std::size_t required = window.identities.size() >= 3 ? votes : 1;
+    std::size_t tp = 0, fp = 0, pos = 0, neg = 0;
+    for (const auto& [id, illegitimate] : window.identities) {
+      const auto it = tally.find(id);
+      const bool hit = it != tally.end() && it->second >= required;
+      if (illegitimate) {
+        ++pos;
+        tp += hit ? 1 : 0;
+      } else {
+        ++neg;
+        fp += hit ? 1 : 0;
+      }
+    }
+    if (pos > 0) {
+      dr_sum += static_cast<double>(tp) / static_cast<double>(pos);
+      ++dr_n;
+    }
+    if (neg > 0) {
+      fpr_sum += static_cast<double>(fp) / static_cast<double>(neg);
+      ++fpr_n;
+    }
+  }
+  TunedBoundary result;
+  result.boundary = boundary;
+  result.votes = votes;
+  result.train_dr = dr_n == 0 ? 0.0 : dr_sum / static_cast<double>(dr_n);
+  result.train_fpr = fpr_n == 0 ? 0.0 : fpr_sum / static_cast<double>(fpr_n);
+  return result;
+}
+
+TunedBoundary tune_boundary(std::span<const LabeledWindow> windows,
+                            const BoundaryTuning& tuning) {
+  VP_REQUIRE(!windows.empty());
+  VP_REQUIRE(tuning.b_steps >= 2);
+  VP_REQUIRE(tuning.b_max > tuning.b_min);
+  VP_REQUIRE(!tuning.k_grid.empty());
+
+  bool have_feasible = false;
+  TunedBoundary best;       // best DR within the FPR budget
+  TunedBoundary fallback;   // lowest FPR overall
+  double fallback_fpr = 2.0;
+
+  VP_REQUIRE(!tuning.vote_grid.empty());
+  for (std::size_t votes : tuning.vote_grid) {
+    for (double k : tuning.k_grid) {
+      for (std::size_t step = 0; step < tuning.b_steps; ++step) {
+        const double b =
+            tuning.b_min + (tuning.b_max - tuning.b_min) *
+                               static_cast<double>(step) /
+                               static_cast<double>(tuning.b_steps - 1);
+        const TunedBoundary candidate =
+            evaluate_boundary({.k = k, .b = b}, windows, votes);
+        if (candidate.train_fpr <= tuning.fpr_budget) {
+          if (!have_feasible || candidate.train_dr > best.train_dr ||
+              (candidate.train_dr == best.train_dr &&
+               candidate.train_fpr < best.train_fpr)) {
+            best = candidate;
+            have_feasible = true;
+          }
+        }
+        if (candidate.train_fpr < fallback_fpr) {
+          fallback_fpr = candidate.train_fpr;
+          fallback = candidate;
+        }
+      }
+    }
+  }
+  return have_feasible ? best : fallback;
+}
+
+}  // namespace vp::core

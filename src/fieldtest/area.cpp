@@ -1,0 +1,71 @@
+#include "fieldtest/area.h"
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace vp::ft {
+
+std::string_view area_name(Area area) {
+  switch (area) {
+    case Area::kCampus:
+      return "campus";
+    case Area::kRural:
+      return "rural";
+    case Area::kUrban:
+      return "urban";
+    case Area::kHighway:
+      return "highway";
+  }
+  throw InternalError("unknown area");
+}
+
+std::vector<Area> all_areas() {
+  return {Area::kCampus, Area::kRural, Area::kUrban, Area::kHighway};
+}
+
+radio::DualSlopeParams area_params(Area area) {
+  switch (area) {
+    case Area::kCampus:
+      return radio::DualSlopeParams::campus();
+    case Area::kRural:
+      return radio::DualSlopeParams::rural();
+    case Area::kUrban:
+      return radio::DualSlopeParams::urban();
+    case Area::kHighway:
+      return radio::DualSlopeParams::highway();
+  }
+  throw InternalError("unknown area");
+}
+
+double area_duration_s(Area area) {
+  switch (area) {
+    case Area::kCampus:
+      return 13.0 * 60.0 + 21.0;
+    case Area::kRural:
+      return 22.0 * 60.0 + 40.0;
+    case Area::kUrban:
+      return 34.0 * 60.0 + 46.0;
+    case Area::kHighway:
+      return 11.0 * 60.0 + 12.0;
+  }
+  throw InternalError("unknown area");
+}
+
+SpeedRange area_speed_range(Area area) {
+  using units::kmh_to_mps;
+  switch (area) {
+    case Area::kCampus:
+      return {kmh_to_mps(10.0), kmh_to_mps(15.0)};  // Section III-B
+    case Area::kRural:
+      return {kmh_to_mps(40.0), kmh_to_mps(60.0)};
+    case Area::kUrban:
+      return {kmh_to_mps(20.0), kmh_to_mps(40.0)};
+    case Area::kHighway:
+      return {kmh_to_mps(80.0), kmh_to_mps(100.0)};
+  }
+  throw InternalError("unknown area");
+}
+
+bool area_has_stops(Area area) { return area == Area::kUrban; }
+
+}  // namespace vp::ft

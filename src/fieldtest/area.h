@@ -1,0 +1,38 @@
+// The four field-test environments of Section VI (campus, rural, urban,
+// highway), each with its dual-slope channel parameters (Table IV for the
+// three measured areas) and plausible convoy speed ranges.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "radio/dual_slope.h"
+
+namespace vp::ft {
+
+enum class Area { kCampus, kRural, kUrban, kHighway };
+
+std::string_view area_name(Area area);
+std::vector<Area> all_areas();
+
+// Channel parameters of the area (Table IV; highway uses the library's
+// LOS-dominated extrapolation, see DualSlopeParams::highway()).
+radio::DualSlopeParams area_params(Area area);
+
+// Paper test durations (Section VI-B): 13 min 21 s, 22 min 40 s,
+// 34 min 46 s, 11 min 12 s.
+double area_duration_s(Area area);
+
+// Convoy speed range driven in that area (m/s). Campus follows the paper's
+// 10–15 km/h; urban driving includes red-light stops handled separately.
+struct SpeedRange {
+  double min_mps = 0.0;
+  double max_mps = 0.0;
+};
+SpeedRange area_speed_range(Area area);
+
+// Whether the area's traffic pattern includes full stops (the urban
+// red-light behaviour behind the paper's single false positive, Fig. 14).
+bool area_has_stops(Area area);
+
+}  // namespace vp::ft

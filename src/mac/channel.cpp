@@ -1,0 +1,79 @@
+#include "mac/channel.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace vp::mac {
+
+Channel::Channel(const radio::PropagationModel& model, PhyParams phy)
+    : model_(model), phy_(phy) {}
+
+TransmissionSeq Channel::begin(Frame frame, mob::Vec2 tx_position,
+                               double start_s, double airtime_s) {
+  VP_REQUIRE(airtime_s > 0.0);
+  Transmission t;
+  t.seq = next_seq_++;
+  t.frame = frame;
+  t.tx_position = tx_position;
+  t.start_s = start_s;
+  t.end_s = start_s + airtime_s;
+  transmissions_.push_back(t);
+  return t.seq;
+}
+
+double Channel::busy_until(mob::Vec2 pos, double now_s, NodeId exclude) const {
+  double until = now_s;
+  for (const Transmission& t : transmissions_) {
+    if (t.end_s <= now_s || t.frame.sender == exclude) continue;
+    if (t.start_s > now_s) continue;  // not yet on the air
+    const double d = std::max(mob::distance(pos, t.tx_position), 1.0);
+    const double power =
+        model_.mean_rx_power_dbm(t.frame.tx_power_dbm, d, now_s);
+    if (power >= phy_.cs_threshold_dbm) until = std::max(until, t.end_s);
+  }
+  return until;
+}
+
+double Channel::interference_mw(mob::Vec2 pos, double start_s, double end_s,
+                                TransmissionSeq seq) const {
+  double total_mw = 0.0;
+  for (const Transmission& t : transmissions_) {
+    if (t.seq == seq) continue;
+    if (t.end_s <= start_s || t.start_s >= end_s) continue;  // no overlap
+    const double d = std::max(mob::distance(pos, t.tx_position), 1.0);
+    const double power_dbm =
+        model_.mean_rx_power_dbm(t.frame.tx_power_dbm, d, t.start_s);
+    total_mw += units::dbm_to_mw(power_dbm);
+  }
+  return total_mw;
+}
+
+bool Channel::node_transmitting_during(NodeId node, double t0,
+                                       double t1) const {
+  for (const Transmission& t : transmissions_) {
+    if (t.frame.sender != node) continue;
+    if (t.end_s > t0 && t.start_s < t1) return true;
+  }
+  return false;
+}
+
+void Channel::prune(double horizon_s) {
+  transmissions_.erase(
+      std::remove_if(transmissions_.begin(), transmissions_.end(),
+                     [horizon_s](const Transmission& t) {
+                       return t.end_s < horizon_s;
+                     }),
+      transmissions_.end());
+}
+
+std::size_t Channel::active_count(double now_s) const {
+  std::size_t n = 0;
+  for (const Transmission& t : transmissions_) {
+    if (t.start_s <= now_s && t.end_s > now_s) ++n;
+  }
+  return n;
+}
+
+}  // namespace vp::mac

@@ -1,0 +1,68 @@
+// The shared broadcast medium. Tracks every in-flight (and recently ended)
+// transmission so that (a) CSMA nodes can carrier-sense, and (b) receivers
+// can accumulate co-channel interference for frames that overlapped in
+// time — the collision mechanism behind the paper's observation that
+// packet loss grows with traffic density and degrades Voiceprint's
+// detection rate (Section V-C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mac/frame.h"
+#include "mac/phy.h"
+#include "radio/propagation.h"
+
+namespace vp::mac {
+
+using TransmissionSeq = std::uint64_t;
+
+struct Transmission {
+  TransmissionSeq seq = 0;
+  Frame frame;
+  mob::Vec2 tx_position;  // where the radio physically was at TX start
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+class Channel {
+ public:
+  // The channel reads (does not own) the propagation model; `phy` supplies
+  // the carrier-sense threshold.
+  Channel(const radio::PropagationModel& model, PhyParams phy);
+
+  // Registers a transmission; returns its sequence number.
+  TransmissionSeq begin(Frame frame, mob::Vec2 tx_position, double start_s,
+                        double airtime_s);
+
+  // Latest end time among transmissions audible (mean power >= carrier
+  // sense threshold) at `pos`, ignoring transmissions from `exclude`.
+  // Returns `now_s` when the channel is idle there.
+  double busy_until(mob::Vec2 pos, double now_s, NodeId exclude) const;
+
+  // Total interference power (linear mW, mean path loss) at `pos` from
+  // transmissions other than `seq` whose air interval overlaps
+  // [start_s, end_s).
+  double interference_mw(mob::Vec2 pos, double start_s, double end_s,
+                         TransmissionSeq seq) const;
+
+  // True if `node` had a transmission of its own overlapping [t0, t1) —
+  // a half-duplex radio cannot receive while transmitting.
+  bool node_transmitting_during(NodeId node, double t0, double t1) const;
+
+  // Drops transmissions that ended before `horizon_s`; call periodically
+  // (anything ending before the oldest frame still in flight can no longer
+  // interfere).
+  void prune(double horizon_s);
+
+  std::size_t active_count(double now_s) const;
+  std::uint64_t total_transmissions() const { return next_seq_; }
+
+ private:
+  const radio::PropagationModel& model_;
+  PhyParams phy_;
+  std::vector<Transmission> transmissions_;
+  TransmissionSeq next_seq_ = 0;
+};
+
+}  // namespace vp::mac

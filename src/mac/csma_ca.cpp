@@ -1,0 +1,76 @@
+#include "mac/csma_ca.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace vp::mac {
+
+CsmaCa::CsmaCa(PhyParams phy, const Channel& channel, EventQueue& queue,
+               Rng rng, NodeId self, PositionFn position_fn,
+               TransmitFn transmit_fn, std::size_t queue_capacity)
+    : phy_(phy),
+      channel_(channel),
+      queue_ref_(queue),
+      rng_(std::move(rng)),
+      self_(self),
+      position_fn_(std::move(position_fn)),
+      transmit_fn_(std::move(transmit_fn)),
+      capacity_(queue_capacity) {
+  VP_REQUIRE(queue_capacity > 0);
+  VP_REQUIRE(position_fn_ && transmit_fn_);
+}
+
+bool CsmaCa::enqueue(const Frame& frame) {
+  if (queue_.size() >= capacity_) {
+    ++drops_;
+    return false;
+  }
+  queue_.push_back(frame);
+  try_send();
+  return true;
+}
+
+void CsmaCa::on_transmission_complete() {
+  VP_REQUIRE(transmitting_);
+  transmitting_ = false;
+  try_send();
+}
+
+double CsmaCa::draw_deferral_s() {
+  const auto slots = static_cast<double>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(phy_.contention_window)));
+  return (phy_.aifs_us() + slots * phy_.slot_us) * 1e-6;
+}
+
+void CsmaCa::try_send() {
+  if (transmitting_ || attempt_pending_ || queue_.empty()) return;
+  attempt_pending_ = true;
+  const double now = queue_ref_.now();
+  const double busy_until = channel_.busy_until(position_fn_(), now, self_);
+  // If the channel is busy, defer from its projected release; otherwise
+  // defer from now. Either way re-sense when the deferral expires.
+  const double start = busy_until > now ? busy_until : now;
+  queue_ref_.schedule(start + draw_deferral_s(),
+                      [this] { on_backoff_expired(); });
+}
+
+void CsmaCa::on_backoff_expired() {
+  VP_ASSERT(attempt_pending_);
+  attempt_pending_ = false;
+  if (transmitting_ || queue_.empty()) return;
+  const double now = queue_ref_.now();
+  const double busy_until = channel_.busy_until(position_fn_(), now, self_);
+  if (busy_until > now) {
+    // Someone grabbed the channel during our backoff: start a fresh attempt.
+    try_send();
+    return;
+  }
+  Frame frame = queue_.front();
+  queue_.pop_front();
+  transmitting_ = true;
+  ++sent_;
+  transmit_fn_(frame);
+}
+
+}  // namespace vp::mac

@@ -1,0 +1,77 @@
+// Simplified IEEE 802.11p broadcast CSMA/CA for the control channel.
+//
+// Broadcast beacons get no ACKs, so there are no retransmissions and the
+// contention window stays fixed. A node with a queued frame waits for the
+// channel to be idle, defers AIFS plus a uniform backoff, re-senses, and
+// transmits. Two nodes whose backoffs expire inside each other's vulnerable
+// window (or that cannot hear each other — hidden terminals) transmit
+// concurrently and collide at receivers caught in between; that is the
+// density-dependent loss mechanism Section V-C discusses.
+//
+// A malicious node's single radio carries the beacons of ALL its identities
+// through this one queue (Assumption 2: one OBU, 10n packets/s for n fake
+// identities).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/event_queue.h"
+#include "common/rng.h"
+#include "mac/channel.h"
+#include "mac/frame.h"
+#include "mac/phy.h"
+
+namespace vp::mac {
+
+class CsmaCa {
+ public:
+  // `position_fn` reports the radio's current position (carrier sensing is
+  // location-dependent); `transmit_fn` is invoked exactly when a frame
+  // starts occupying the air — the owner registers it with the channel and
+  // must call on_transmission_complete() at its end.
+  using PositionFn = std::function<mob::Vec2()>;
+  using TransmitFn = std::function<void(const Frame&)>;
+
+  CsmaCa(PhyParams phy, const Channel& channel, EventQueue& queue, Rng rng,
+         NodeId self, PositionFn position_fn, TransmitFn transmit_fn,
+         std::size_t queue_capacity = 64);
+
+  // Enqueues a frame for transmission; oldest-first service. Returns false
+  // (and counts a drop) if the queue is full.
+  bool enqueue(const Frame& frame);
+
+  // Must be called by the owner when the frame handed to `transmit_fn`
+  // leaves the air.
+  void on_transmission_complete();
+
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t sent() const { return sent_; }
+
+ private:
+  // Starts an access attempt if one is not already pending.
+  void try_send();
+  // Fires when the deferral (AIFS + backoff) elapses: re-sense and either
+  // transmit or start over.
+  void on_backoff_expired();
+  double draw_deferral_s();
+
+  PhyParams phy_;
+  const Channel& channel_;
+  EventQueue& queue_ref_;
+  Rng rng_;
+  NodeId self_;
+  PositionFn position_fn_;
+  TransmitFn transmit_fn_;
+  std::size_t capacity_;
+
+  std::deque<Frame> queue_;
+  bool transmitting_ = false;
+  bool attempt_pending_ = false;
+  std::uint64_t drops_ = 0;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace vp::mac

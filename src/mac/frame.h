@@ -1,0 +1,24 @@
+// The safety beacon (WSMP single-hop broadcast) every identity transmits at
+// 10 Hz on the control channel: identity, claimed GPS position, speed and
+// direction (Section III-B). For Sybil identities the claimed position is
+// forged; the physical TX power may also differ per identity
+// (Assumption 3).
+#pragma once
+
+#include <cstddef>
+
+#include "common/ids.h"
+#include "mobility/state.h"
+
+namespace vp::mac {
+
+struct Frame {
+  IdentityId identity = kInvalidIdentity;
+  NodeId sender = kInvalidNode;  // physical radio (not visible on air)
+  double tx_power_dbm = 20.0;
+  mob::Vec2 claimed_position;    // what the payload says; forged for Sybils
+  double claimed_speed_mps = 0.0;
+  std::size_t payload_bytes = 500;  // Table III
+};
+
+}  // namespace vp::mac

@@ -1,0 +1,31 @@
+// IEEE 802.11p PHY/MAC timing parameters for the 10 MHz control channel
+// (Table V: slot 13 µs, SIFS 32 µs, 3 Mbps, 500-byte beacons).
+#pragma once
+
+#include <cstddef>
+
+namespace vp::mac {
+
+struct PhyParams {
+  double data_rate_bps = 3e6;
+  double preamble_us = 40.0;  // PLCP preamble + signal field at 10 MHz
+  double slot_us = 13.0;
+  double sifs_us = 32.0;
+  // Broadcast frames use a fixed contention window (no retries, no ACK).
+  unsigned contention_window = 15;
+  // Carrier-sense threshold: mean power above this marks the channel busy.
+  double cs_threshold_dbm = -94.0;
+
+  // Arbitration inter-frame space (AIFSN = 2, as for the CCH best-effort
+  // access category).
+  double aifs_us() const { return sifs_us + 2.0 * slot_us; }
+
+  // Time a frame of `payload_bytes` occupies the air, in seconds.
+  double airtime_s(std::size_t payload_bytes) const {
+    const double payload_us =
+        static_cast<double>(payload_bytes) * 8.0 / data_rate_bps * 1e6;
+    return (preamble_us + payload_us) * 1e-6;
+  }
+};
+
+}  // namespace vp::mac

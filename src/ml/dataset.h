@@ -1,0 +1,21 @@
+// Training data for the threshold classifiers (Section IV-C / Fig. 10).
+//
+// Each point lives in the density–distance plane: the locally estimated
+// traffic density and one min–max-normalised pairwise DTW distance. The
+// label says whether the pair was truly emitted by the same physical radio
+// (a Sybil pair).
+#pragma once
+
+#include <vector>
+
+namespace vp::ml {
+
+struct LabeledPoint {
+  double density = 0.0;   // vehicles per km (Eq. 9 estimate)
+  double distance = 0.0;  // normalised DTW distance in [0, 1]
+  bool sybil_pair = false;
+};
+
+using Dataset = std::vector<LabeledPoint>;
+
+}  // namespace vp::ml

@@ -1,0 +1,110 @@
+#include "ml/lda.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vp::ml {
+
+namespace {
+
+struct Vec2 {
+  double a = 0.0;
+  double b = 0.0;
+};
+
+struct Mat2 {
+  // [ xx xy ]
+  // [ xy yy ]  (symmetric scatter matrix)
+  double xx = 0.0;
+  double xy = 0.0;
+  double yy = 0.0;
+
+  Vec2 solve(const Vec2& rhs) const {
+    const double det = xx * yy - xy * xy;
+    if (std::fabs(det) < 1e-15) {
+      throw InvalidArgument("LDA: singular within-class scatter matrix");
+    }
+    return {(yy * rhs.a - xy * rhs.b) / det, (xx * rhs.b - xy * rhs.a) / det};
+  }
+};
+
+}  // namespace
+
+LdaModel Lda::fit(const Dataset& data) {
+  std::size_t n_sybil = 0;
+  for (const auto& p : data) n_sybil += p.sybil_pair ? 1 : 0;
+  VP_REQUIRE(n_sybil > 0 && n_sybil < data.size());
+  return fit(data, static_cast<double>(n_sybil) /
+                       static_cast<double>(data.size()));
+}
+
+LdaModel Lda::fit(const Dataset& data, double p_sybil) {
+  VP_REQUIRE(p_sybil > 0.0 && p_sybil < 1.0);
+  std::size_t n1 = 0, n0 = 0;
+  Vec2 m1, m0;
+  for (const auto& p : data) {
+    if (p.sybil_pair) {
+      ++n1;
+      m1.a += p.density;
+      m1.b += p.distance;
+    } else {
+      ++n0;
+      m0.a += p.density;
+      m0.b += p.distance;
+    }
+  }
+  VP_REQUIRE(n1 >= 2 && n0 >= 2);
+  m1.a /= static_cast<double>(n1);
+  m1.b /= static_cast<double>(n1);
+  m0.a /= static_cast<double>(n0);
+  m0.b /= static_cast<double>(n0);
+
+  Mat2 s0, s1;
+  for (const auto& p : data) {
+    const Vec2& m = p.sybil_pair ? m1 : m0;
+    Mat2& s = p.sybil_pair ? s1 : s0;
+    const double dx = p.density - m.a;
+    const double dy = p.distance - m.b;
+    s.xx += dx * dx;
+    s.xy += dx * dy;
+    s.yy += dy * dy;
+  }
+  // Class-BALANCED covariance pooling: Sybil pairs are a tiny minority
+  // (one attacker per ~20 vehicles), so count-weighted pooling would let
+  // the majority class's much wider scatter drown the Sybil cluster and
+  // tilt the discriminant into nonsense. Averaging the per-class
+  // covariances weights both shapes equally.
+  const auto d0 = static_cast<double>(n0 - 1);
+  const auto d1 = static_cast<double>(n1 - 1);
+  Mat2 sigma{0.5 * (s0.xx / d0 + s1.xx / d1),
+             0.5 * (s0.xy / d0 + s1.xy / d1),
+             0.5 * (s0.yy / d0 + s1.yy / d1)};
+
+  // Discriminant direction w = Σ⁻¹ (m1 − m0); Sybil side is w·x ≥ c with
+  // c = ½ w·(m1 + m0) − ln(p1/p0).
+  Vec2 w = sigma.solve({m1.a - m0.a, m1.b - m0.b});
+  double c = 0.5 * (w.a * (m1.a + m0.a) + w.b * (m1.b + m0.b)) -
+             std::log(p_sybil / (1.0 - p_sybil));
+
+  // The Sybil rule only makes sense as "small distance ⇒ Sybil", i.e. the
+  // distance coefficient of w (which points from the normal mean to the
+  // Sybil mean through Σ⁻¹) must be negative. Degenerate fits are rejected
+  // rather than silently producing an inverted detector.
+  if (w.b >= 0.0) {
+    throw InvalidArgument(
+        "LDA: fitted discriminant does not place Sybil pairs on the "
+        "small-distance side; training data is degenerate");
+  }
+
+  LdaModel model;
+  model.w_density = w.a;
+  model.w_distance = w.b;
+  model.c = c;
+  // w.a*den + w.b*dist >= c with w.b < 0  ⇔  dist <= (c − w.a·den)/w.b.
+  model.boundary.k = -w.a / w.b;
+  model.boundary.b = c / w.b;
+  return model;
+}
+
+}  // namespace vp::ml

@@ -1,0 +1,31 @@
+// Two-class Linear Discriminant Analysis on the density–distance plane —
+// the method the paper uses to learn the slope k and intercept b of the
+// detection boundary (Fig. 10: k = 0.00054, b = 0.0483 on their data).
+#pragma once
+
+#include "ml/dataset.h"
+#include "ml/linear_boundary.h"
+
+namespace vp::ml {
+
+struct LdaModel {
+  // Discriminant direction w and offset c: classify Sybil when
+  // w·x <= c, with x = (density, distance).
+  double w_density = 0.0;
+  double w_distance = 0.0;
+  double c = 0.0;
+  LinearBoundary boundary;
+};
+
+class Lda {
+ public:
+  // Fits LDA with empirical class priors. Requires at least one point of
+  // each class and a non-singular pooled within-class scatter matrix.
+  static LdaModel fit(const Dataset& data);
+
+  // Fits with explicit priors (p_sybil in (0,1)). A smaller Sybil prior
+  // moves the boundary toward the Sybil cluster (fewer false positives).
+  static LdaModel fit(const Dataset& data, double p_sybil);
+};
+
+}  // namespace vp::ml

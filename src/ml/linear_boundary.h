@@ -1,0 +1,20 @@
+// The decision rule Voiceprint's confirmation phase applies:
+// a pair (i,j) is flagged as Sybil when D'(i,j) ≤ k·den + b.
+#pragma once
+
+namespace vp::ml {
+
+struct LinearBoundary {
+  double k = 0.0;  // slope in the density–distance plane
+  double b = 0.0;  // intercept
+
+  // Distance threshold at the given density.
+  double threshold_at(double density) const { return k * density + b; }
+
+  // True if the point is classified as a Sybil pair.
+  bool is_sybil(double density, double distance) const {
+    return distance <= threshold_at(density);
+  }
+};
+
+}  // namespace vp::ml

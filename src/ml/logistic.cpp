@@ -1,0 +1,83 @@
+#include "ml/logistic.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace vp::ml {
+
+namespace {
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+double LogisticModel::probability(double density, double distance) const {
+  return sigmoid(w_density * density + w_distance * distance + bias);
+}
+
+LogisticModel Logistic::fit(const Dataset& data,
+                            const LogisticOptions& options) {
+  VP_REQUIRE(data.size() >= 4);
+  VP_REQUIRE(options.epochs > 0);
+  VP_REQUIRE(options.learning_rate > 0.0);
+
+  // Standardise features so one learning rate fits both axes (density spans
+  // ~1e2, distance ~1e0).
+  RunningStats den_stats, dist_stats;
+  std::size_t n_pos = 0, n_neg = 0;
+  for (const auto& p : data) {
+    den_stats.add(p.density);
+    dist_stats.add(p.distance);
+    (p.sybil_pair ? n_pos : n_neg) += 1;
+  }
+  VP_REQUIRE(n_pos > 0 && n_neg > 0);
+  const double w_pos =
+      options.balance_classes
+          ? static_cast<double>(data.size()) / (2.0 * static_cast<double>(n_pos))
+          : 1.0;
+  const double w_neg =
+      options.balance_classes
+          ? static_cast<double>(data.size()) / (2.0 * static_cast<double>(n_neg))
+          : 1.0;
+  const double den_mu = den_stats.mean();
+  const double den_sd = std::max(den_stats.stddev(), 1e-9);
+  const double dist_mu = dist_stats.mean();
+  const double dist_sd = std::max(dist_stats.stddev(), 1e-9);
+
+  double w1 = 0.0, w2 = 0.0, b = 0.0;
+  const auto n = static_cast<double>(data.size());
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    double g1 = 0.0, g2 = 0.0, gb = 0.0;
+    for (const auto& p : data) {
+      const double x1 = (p.density - den_mu) / den_sd;
+      const double x2 = (p.distance - dist_mu) / dist_sd;
+      const double y = p.sybil_pair ? 1.0 : 0.0;
+      const double weight = p.sybil_pair ? w_pos : w_neg;
+      const double err = weight * (sigmoid(w1 * x1 + w2 * x2 + b) - y);
+      g1 += err * x1;
+      g2 += err * x2;
+      gb += err;
+    }
+    w1 -= options.learning_rate * (g1 / n + options.l2 * w1);
+    w2 -= options.learning_rate * (g2 / n + options.l2 * w2);
+    b -= options.learning_rate * gb / n;
+  }
+
+  // Undo the standardisation: w·(x−µ)/σ + b = (w/σ)·x + (b − w·µ/σ).
+  LogisticModel model;
+  model.w_density = w1 / den_sd;
+  model.w_distance = w2 / dist_sd;
+  model.bias = b - w1 * den_mu / den_sd - w2 * dist_mu / dist_sd;
+
+  if (model.w_distance >= 0.0) {
+    throw InvalidArgument(
+        "logistic: fitted model does not place Sybil pairs on the "
+        "small-distance side; training data is degenerate");
+  }
+  // P = 0.5 ⇔ w1·den + w2·dist + bias = 0 ⇔ dist = −(w1·den + bias)/w2.
+  model.boundary.k = -model.w_density / model.w_distance;
+  model.boundary.b = -model.bias / model.w_distance;
+  return model;
+}
+
+}  // namespace vp::ml

@@ -1,0 +1,43 @@
+// Logistic regression on the density–distance plane — one of the
+// alternative classifiers Section IV-C mentions ("perceptrons algorithm,
+// linear classifier, logistic regression and support vector machines").
+// Used by the classifier ablation bench.
+#pragma once
+
+#include <cstddef>
+
+#include "ml/dataset.h"
+#include "ml/linear_boundary.h"
+
+namespace vp::ml {
+
+struct LogisticOptions {
+  double learning_rate = 0.1;
+  std::size_t epochs = 2000;
+  double l2 = 0.0;  // ridge penalty on the weights (not the bias)
+  // Weight the two classes equally in the loss. Sybil pairs are a tiny
+  // minority of the training pairs; without this the optimum is to
+  // predict "normal" everywhere.
+  bool balance_classes = true;
+};
+
+struct LogisticModel {
+  // P(sybil | x) = σ(w_density·den + w_distance·dist + bias).
+  double w_density = 0.0;
+  double w_distance = 0.0;
+  double bias = 0.0;
+  LinearBoundary boundary;  // the P = 0.5 contour, as dist ≤ k·den + b
+
+  double probability(double density, double distance) const;
+};
+
+class Logistic {
+ public:
+  // Full-batch gradient descent on standardised features. Requires both
+  // classes present and the fitted distance weight negative (Sybil on the
+  // small-distance side), mirroring Lda::fit.
+  static LogisticModel fit(const Dataset& data,
+                           const LogisticOptions& options = {});
+};
+
+}  // namespace vp::ml

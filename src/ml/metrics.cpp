@@ -1,0 +1,87 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+
+namespace vp::ml {
+
+void Confusion::add(bool truth, bool predicted) {
+  if (truth) {
+    predicted ? ++tp : ++fn;
+  } else {
+    predicted ? ++fp : ++tn;
+  }
+}
+
+void Confusion::merge(const Confusion& other) {
+  tp += other.tp;
+  fp += other.fp;
+  tn += other.tn;
+  fn += other.fn;
+}
+
+double Confusion::detection_rate() const {
+  const std::size_t positives = tp + fn;
+  if (positives == 0) return 1.0;
+  return static_cast<double>(tp) / static_cast<double>(positives);
+}
+
+double Confusion::false_positive_rate() const {
+  const std::size_t negatives = fp + tn;
+  if (negatives == 0) return 0.0;
+  return static_cast<double>(fp) / static_cast<double>(negatives);
+}
+
+double Confusion::accuracy() const {
+  VP_REQUIRE(total() > 0);
+  return static_cast<double>(tp + tn) / static_cast<double>(total());
+}
+
+double Confusion::precision() const {
+  const std::size_t predicted = tp + fp;
+  if (predicted == 0) return 1.0;
+  return static_cast<double>(tp) / static_cast<double>(predicted);
+}
+
+double Confusion::f1() const {
+  const double p = precision();
+  const double r = detection_rate();
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+Confusion evaluate(const LinearBoundary& boundary, const Dataset& data) {
+  Confusion c;
+  for (const auto& point : data) {
+    c.add(point.sybil_pair, boundary.is_sybil(point.density, point.distance));
+  }
+  return c;
+}
+
+double auc_lower_is_positive(const Dataset& data) {
+  std::vector<double> pos, neg;
+  for (const auto& p : data) {
+    (p.sybil_pair ? pos : neg).push_back(p.distance);
+  }
+  VP_REQUIRE(!pos.empty() && !neg.empty());
+  // AUC = P(score_pos < score_neg) + ½ P(equal), via sorting + two-pointer
+  // accumulation over the negative scores.
+  std::sort(neg.begin(), neg.end());
+  double wins = 0.0;
+  for (double s : pos) {
+    const auto lower =
+        static_cast<double>(std::lower_bound(neg.begin(), neg.end(), s) -
+                            neg.begin());
+    const auto upper =
+        static_cast<double>(std::upper_bound(neg.begin(), neg.end(), s) -
+                            neg.begin());
+    // `lower` negatives are strictly below s (losses), ties in between.
+    wins += (static_cast<double>(neg.size()) - upper) + 0.5 * (upper - lower);
+  }
+  return wins / (static_cast<double>(pos.size()) *
+                 static_cast<double>(neg.size()));
+}
+
+}  // namespace vp::ml

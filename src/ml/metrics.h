@@ -1,0 +1,41 @@
+// Binary-classification metrics, including the paper's two evaluation
+// metrics: detection rate (Eq. 10/12) and false positive rate (Eq. 11/13).
+#pragma once
+
+#include <cstddef>
+
+#include "ml/dataset.h"
+#include "ml/linear_boundary.h"
+
+namespace vp::ml {
+
+// Counts of a two-class confusion matrix. "Positive" is "Sybil pair".
+struct Confusion {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t tn = 0;
+  std::size_t fn = 0;
+
+  void add(bool truth, bool predicted);
+  void merge(const Confusion& other);
+
+  std::size_t total() const { return tp + fp + tn + fn; }
+
+  // TP / (TP + FN); the paper's detection rate. 1.0 when no positives exist.
+  double detection_rate() const;
+  // FP / (FP + TN); the paper's false positive rate. 0.0 when no negatives.
+  double false_positive_rate() const;
+  double accuracy() const;   // requires total() > 0
+  double precision() const;  // 1.0 when nothing was predicted positive
+  double f1() const;
+};
+
+// Evaluates a linear boundary over a labelled dataset.
+Confusion evaluate(const LinearBoundary& boundary, const Dataset& data);
+
+// Area under the ROC curve for a scored dataset, where *smaller* scores
+// indicate the positive (Sybil) class — the natural direction for DTW
+// distances. Computed by the rank statistic (ties get half credit).
+double auc_lower_is_positive(const Dataset& data);
+
+}  // namespace vp::ml

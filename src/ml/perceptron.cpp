@@ -1,0 +1,104 @@
+#include "ml/perceptron.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace vp::ml {
+
+namespace {
+
+struct Weights {
+  double w1 = 0.0;
+  double w2 = 0.0;
+  double b = 0.0;
+};
+
+std::size_t count_errors(const Dataset& data, const Weights& w, double den_mu,
+                         double den_sd, double dist_mu, double dist_sd) {
+  std::size_t errors = 0;
+  for (const auto& p : data) {
+    const double x1 = (p.density - den_mu) / den_sd;
+    const double x2 = (p.distance - dist_mu) / dist_sd;
+    const double score = w.w1 * x1 + w.w2 * x2 + w.b;
+    const bool predicted = score >= 0.0;
+    if (predicted != p.sybil_pair) ++errors;
+  }
+  return errors;
+}
+
+}  // namespace
+
+PerceptronModel Perceptron::fit(const Dataset& data,
+                                const PerceptronOptions& options) {
+  VP_REQUIRE(data.size() >= 4);
+  VP_REQUIRE(options.epochs > 0);
+
+  RunningStats den_stats, dist_stats;
+  bool has_pos = false, has_neg = false;
+  for (const auto& p : data) {
+    den_stats.add(p.density);
+    dist_stats.add(p.distance);
+    (p.sybil_pair ? has_pos : has_neg) = true;
+  }
+  VP_REQUIRE(has_pos && has_neg);
+  const double den_mu = den_stats.mean();
+  const double den_sd = std::max(den_stats.stddev(), 1e-9);
+  const double dist_mu = dist_stats.mean();
+  const double dist_sd = std::max(dist_stats.stddev(), 1e-9);
+
+  Weights w;
+  // Start from the class-mean direction so the pocket has a sane baseline.
+  w.w2 = -1.0;
+  Weights pocket = w;
+  std::size_t pocket_errors =
+      count_errors(data, pocket, den_mu, den_sd, dist_mu, dist_sd);
+
+  Rng rng(options.shuffle_seed);
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    for (std::size_t idx : order) {
+      const auto& p = data[idx];
+      const double x1 = (p.density - den_mu) / den_sd;
+      const double x2 = (p.distance - dist_mu) / dist_sd;
+      const double target = p.sybil_pair ? 1.0 : -1.0;
+      const double score = w.w1 * x1 + w.w2 * x2 + w.b;
+      if (target * score <= 0.0) {
+        w.w1 += options.learning_rate * target * x1;
+        w.w2 += options.learning_rate * target * x2;
+        w.b += options.learning_rate * target;
+        const std::size_t errors =
+            count_errors(data, w, den_mu, den_sd, dist_mu, dist_sd);
+        if (errors < pocket_errors) {
+          pocket = w;
+          pocket_errors = errors;
+        }
+      }
+    }
+  }
+
+  PerceptronModel model;
+  model.w_density = pocket.w1 / den_sd;
+  model.w_distance = pocket.w2 / dist_sd;
+  model.bias =
+      pocket.b - pocket.w1 * den_mu / den_sd - pocket.w2 * dist_mu / dist_sd;
+  model.training_errors = pocket_errors;
+
+  if (model.w_distance >= 0.0) {
+    throw InvalidArgument(
+        "perceptron: fitted model does not place Sybil pairs on the "
+        "small-distance side; training data is degenerate");
+  }
+  model.boundary.k = -model.w_density / model.w_distance;
+  model.boundary.b = -model.bias / model.w_distance;
+  return model;
+}
+
+}  // namespace vp::ml

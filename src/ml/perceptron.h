@@ -1,0 +1,36 @@
+// Pocket perceptron on the density–distance plane — the simplest of the
+// linear classifiers Section IV-C names; included for the ablation bench.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "ml/dataset.h"
+#include "ml/linear_boundary.h"
+
+namespace vp::ml {
+
+struct PerceptronOptions {
+  std::size_t epochs = 200;
+  double learning_rate = 1.0;
+  std::uint64_t shuffle_seed = 1;  // presentation order per epoch
+};
+
+struct PerceptronModel {
+  double w_density = 0.0;
+  double w_distance = 0.0;
+  double bias = 0.0;
+  LinearBoundary boundary;
+  std::size_t training_errors = 0;  // errors of the pocketed weights
+};
+
+class Perceptron {
+ public:
+  // Pocket algorithm: keeps the weight vector with the fewest training
+  // errors seen, so it converges to something useful even when the data is
+  // not linearly separable (ours is not, Fig. 10 shows overlap).
+  static PerceptronModel fit(const Dataset& data,
+                             const PerceptronOptions& options = {});
+};
+
+}  // namespace vp::ml

@@ -1,0 +1,40 @@
+#include "mobility/epoch_mobility.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vp::mob {
+
+EpochMobility::EpochMobility(EpochMobilityParams params, VehicleState initial,
+                             Rng rng)
+    : params_(params), state_(initial), rng_(rng) {
+  VP_REQUIRE(params.epoch_rate_per_s > 0.0);
+  VP_REQUIRE(params.sigma_speed_mps >= 0.0);
+  VP_REQUIRE(params.min_speed_mps > 0.0);
+  VP_REQUIRE(params.max_speed_mps >= params.mean_speed_mps);
+  start_new_epoch();
+}
+
+void EpochMobility::start_new_epoch() {
+  state_.speed_mps =
+      std::clamp(rng_.normal(params_.mean_speed_mps, params_.sigma_speed_mps),
+                 params_.min_speed_mps, params_.max_speed_mps);
+  time_to_epoch_end_ = rng_.exponential(params_.epoch_rate_per_s);
+  ++epoch_count_;
+}
+
+void EpochMobility::advance(double dt, const Highway& highway) {
+  VP_REQUIRE(dt >= 0.0);
+  double remaining = dt;
+  while (remaining > 0.0) {
+    const double step = std::min(remaining, time_to_epoch_end_);
+    state_.position.x += sign(state_.direction) * state_.speed_mps * step;
+    highway.wrap(state_);
+    time_to_epoch_end_ -= step;
+    remaining -= step;
+    if (time_to_epoch_end_ <= 0.0) start_new_epoch();
+  }
+}
+
+}  // namespace vp::mob

@@ -1,0 +1,48 @@
+// The continuous-time stochastic mobility model of Section V-A: a
+// vehicle's motion is a sequence of mobility epochs whose lengths are
+// i.i.d. exponential with rate λe; during each epoch it holds a constant
+// speed drawn i.i.d. from N(µv, σv). Defaults follow Table V
+// (λe = 0.2 s⁻¹, µv = 25 m/s, σv = 5 m/s).
+#pragma once
+
+#include "common/rng.h"
+#include "mobility/highway.h"
+#include "mobility/state.h"
+
+namespace vp::mob {
+
+struct EpochMobilityParams {
+  double epoch_rate_per_s = 0.2;  // λe
+  double mean_speed_mps = 25.0;   // µv
+  double sigma_speed_mps = 5.0;   // σv
+  // Draws are clamped here so a tail sample cannot stop or reverse traffic.
+  double min_speed_mps = 1.0;
+  double max_speed_mps = 50.0;
+};
+
+class EpochMobility {
+ public:
+  // The initial epoch starts at time 0 with a freshly drawn speed.
+  EpochMobility(EpochMobilityParams params, VehicleState initial, Rng rng);
+
+  // Advances by dt seconds (dt >= 0), crossing as many epoch boundaries as
+  // fall inside the interval and applying the highway's wrap rule.
+  void advance(double dt, const Highway& highway);
+
+  const VehicleState& state() const { return state_; }
+  const EpochMobilityParams& params() const { return params_; }
+
+  // Number of epochs started so far (>= 1); exposed for tests.
+  std::size_t epoch_count() const { return epoch_count_; }
+
+ private:
+  void start_new_epoch();
+
+  EpochMobilityParams params_;
+  VehicleState state_;
+  Rng rng_;
+  double time_to_epoch_end_ = 0.0;
+  std::size_t epoch_count_ = 0;
+};
+
+}  // namespace vp::mob

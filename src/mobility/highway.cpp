@@ -1,0 +1,60 @@
+#include "mobility/highway.h"
+
+#include "common/error.h"
+
+namespace vp::mob {
+
+Highway::Highway(HighwayConfig config) : config_(config) {
+  VP_REQUIRE(config.length_m > 0.0);
+  VP_REQUIRE(config.lanes_per_direction > 0);
+  VP_REQUIRE(config.lane_width_m > 0.0);
+}
+
+Direction Highway::lane_direction(std::size_t lane) const {
+  VP_REQUIRE(lane < lane_count());
+  return lane < config_.lanes_per_direction ? Direction::kForward
+                                            : Direction::kBackward;
+}
+
+double Highway::lane_center_y(std::size_t lane) const {
+  VP_REQUIRE(lane < lane_count());
+  return (static_cast<double>(lane) + 0.5) * config_.lane_width_m;
+}
+
+std::size_t Highway::opposite_lane(std::size_t lane) const {
+  VP_REQUIRE(lane < lane_count());
+  // Mirror across the median: lane i ↔ lane (count-1-i) keeps outer lanes
+  // outer and inner lanes inner.
+  return lane_count() - 1 - lane;
+}
+
+void Highway::wrap(VehicleState& state) const {
+  const double len = config_.length_m;
+  // A long dt could in principle overshoot more than a full road length;
+  // loop until the vehicle is back on the road.
+  while (state.position.x < 0.0 || state.position.x > len) {
+    if (state.position.x > len) {
+      // Ran off the forward end: continue backward from that end.
+      state.position.x = len - (state.position.x - len);
+      state.lane = opposite_lane(state.lane);
+      state.direction = lane_direction(state.lane);
+    } else {
+      state.position.x = -state.position.x;
+      state.lane = opposite_lane(state.lane);
+      state.direction = lane_direction(state.lane);
+    }
+    state.position.y = lane_center_y(state.lane);
+  }
+}
+
+VehicleState Highway::random_state(Rng& rng) const {
+  VehicleState s;
+  s.lane = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(lane_count()) - 1));
+  s.direction = lane_direction(s.lane);
+  s.position.x = rng.uniform(0.0, config_.length_m);
+  s.position.y = lane_center_y(s.lane);
+  return s;
+}
+
+}  // namespace vp::mob

@@ -1,0 +1,49 @@
+// The simulation road of Section V-A: a 2 km bi-directional highway with
+// 2 lanes per direction (lane width 3.6 m). Vehicles that reach the end of
+// one direction re-enter at the beginning of the other direction.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "mobility/state.h"
+
+namespace vp::mob {
+
+struct HighwayConfig {
+  double length_m = 2000.0;
+  std::size_t lanes_per_direction = 2;
+  double lane_width_m = 3.6;
+};
+
+class Highway {
+ public:
+  explicit Highway(HighwayConfig config = {});
+
+  double length_m() const { return config_.length_m; }
+  std::size_t lane_count() const { return 2 * config_.lanes_per_direction; }
+
+  // Lanes [0, lanes_per_direction) drive forward, the rest backward.
+  Direction lane_direction(std::size_t lane) const;
+  double lane_center_y(std::size_t lane) const;
+
+  // A lane of the opposite direction "mirroring" this one (outer stays
+  // outer); where a wrapping vehicle continues.
+  std::size_t opposite_lane(std::size_t lane) const;
+
+  // Applies the end-of-road rule: a vehicle that ran past either end is
+  // placed at that end in a lane of the other direction, preserving the
+  // overshoot distance.
+  void wrap(VehicleState& state) const;
+
+  // Uniformly random initial state: lane uniform, x uniform along the road,
+  // speed drawn by the caller afterwards.
+  VehicleState random_state(Rng& rng) const;
+
+  const HighwayConfig& config() const { return config_; }
+
+ private:
+  HighwayConfig config_;
+};
+
+}  // namespace vp::mob

@@ -1,0 +1,37 @@
+// Geometry and kinematic state shared by the mobility models.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace vp::mob {
+
+// Planar position in metres: x runs along the road, y across it.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend Vec2 operator*(double s, Vec2 v) { return {s * v.x, s * v.y}; }
+};
+
+inline double distance(Vec2 a, Vec2 b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+// Driving direction along the x axis.
+enum class Direction : int { kForward = +1, kBackward = -1 };
+
+inline double sign(Direction d) { return d == Direction::kForward ? 1.0 : -1.0; }
+
+struct VehicleState {
+  Vec2 position;
+  double speed_mps = 0.0;
+  Direction direction = Direction::kForward;
+  std::size_t lane = 0;
+};
+
+}  // namespace vp::mob

@@ -1,0 +1,53 @@
+#include "mobility/trace.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vp::mob {
+
+void Trace::add(double time_s, Vec2 position, double speed_mps) {
+  VP_REQUIRE(points_.empty() || time_s >= points_.back().time_s);
+  points_.push_back({time_s, position, speed_mps});
+}
+
+const TracePoint& Trace::point(std::size_t i) const {
+  VP_REQUIRE(i < points_.size());
+  return points_[i];
+}
+
+Vec2 Trace::position_at(double time_s) const {
+  VP_REQUIRE(!points_.empty());
+  if (time_s <= points_.front().time_s) return points_.front().position;
+  if (time_s >= points_.back().time_s) return points_.back().position;
+  const auto it = std::upper_bound(
+      points_.begin(), points_.end(), time_s,
+      [](double t, const TracePoint& p) { return t < p.time_s; });
+  const TracePoint& b = *it;
+  const TracePoint& a = *(it - 1);
+  const double frac = (time_s - a.time_s) / (b.time_s - a.time_s);
+  return a.position + frac * (b.position - a.position);
+}
+
+double Trace::mean_speed_mps() const {
+  VP_REQUIRE(!points_.empty());
+  double acc = 0.0;
+  for (const TracePoint& p : points_) acc += p.speed_mps;
+  return acc / static_cast<double>(points_.size());
+}
+
+bool Trace::is_stationary(double t0, double t1, double speed_floor_mps) const {
+  bool any = false;
+  for (const TracePoint& p : points_) {
+    if (p.time_s < t0 || p.time_s >= t1) continue;
+    any = true;
+    if (p.speed_mps >= speed_floor_mps) return false;
+  }
+  return any;
+}
+
+double distance_at(const Trace& a, const Trace& b, double time_s) {
+  return distance(a.position_at(time_s), b.position_at(time_s));
+}
+
+}  // namespace vp::mob

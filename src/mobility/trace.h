@@ -1,0 +1,48 @@
+// Position traces: sampled vehicle states over time, plus derived
+// quantities (pairwise distance series) used by tests and the field-test
+// analysis of Fig. 14.
+#pragma once
+
+#include <vector>
+
+#include "mobility/state.h"
+
+namespace vp::mob {
+
+struct TracePoint {
+  double time_s = 0.0;
+  Vec2 position;
+  double speed_mps = 0.0;
+};
+
+class Trace {
+ public:
+  Trace() = default;
+
+  void add(double time_s, Vec2 position, double speed_mps);
+
+  std::size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const TracePoint& point(std::size_t i) const;
+  const std::vector<TracePoint>& points() const { return points_; }
+
+  // Linear interpolation of position at an arbitrary time (clamped to the
+  // trace's span). Requires a non-empty trace.
+  Vec2 position_at(double time_s) const;
+
+  // Mean speed over the trace; requires non-empty.
+  double mean_speed_mps() const;
+
+  // True if every sample in [t0, t1) moves slower than `speed_floor_mps` —
+  // how the Fig. 14 analysis identifies "all vehicles stationary at the
+  // intersection". Returns false if the window contains no samples.
+  bool is_stationary(double t0, double t1, double speed_floor_mps) const;
+
+ private:
+  std::vector<TracePoint> points_;
+};
+
+// Distance between two traces at a common time.
+double distance_at(const Trace& a, const Trace& b, double time_s);
+
+}  // namespace vp::mob

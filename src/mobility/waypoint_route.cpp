@@ -1,0 +1,74 @@
+#include "mobility/waypoint_route.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vp::mob {
+
+WaypointRoute::WaypointRoute(std::vector<Waypoint> waypoints)
+    : waypoints_(std::move(waypoints)) {
+  VP_REQUIRE(!waypoints_.empty());
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    VP_REQUIRE(waypoints_[i].time_s > waypoints_[i - 1].time_s);
+  }
+}
+
+Vec2 WaypointRoute::position_at(double time_s) const {
+  if (time_s <= waypoints_.front().time_s) return waypoints_.front().position;
+  if (time_s >= waypoints_.back().time_s) return waypoints_.back().position;
+  const auto it = std::upper_bound(
+      waypoints_.begin(), waypoints_.end(), time_s,
+      [](double t, const Waypoint& w) { return t < w.time_s; });
+  const Waypoint& b = *it;
+  const Waypoint& a = *(it - 1);
+  const double frac = (time_s - a.time_s) / (b.time_s - a.time_s);
+  return a.position + frac * (b.position - a.position);
+}
+
+double WaypointRoute::speed_at(double time_s) const {
+  if (time_s < waypoints_.front().time_s ||
+      time_s >= waypoints_.back().time_s) {
+    return 0.0;
+  }
+  const auto it = std::upper_bound(
+      waypoints_.begin(), waypoints_.end(), time_s,
+      [](double t, const Waypoint& w) { return t < w.time_s; });
+  if (it == waypoints_.begin() || it == waypoints_.end()) return 0.0;
+  const Waypoint& b = *it;
+  const Waypoint& a = *(it - 1);
+  return distance(a.position, b.position) / (b.time_s - a.time_s);
+}
+
+WaypointRoute WaypointRoute::stationary(Vec2 position, double t0, double t1) {
+  VP_REQUIRE(t1 > t0);
+  return WaypointRoute({{t0, position}, {t1, position}});
+}
+
+WaypointRoute WaypointRoute::linear(Vec2 from, Vec2 to, double t0, double t1) {
+  VP_REQUIRE(t1 > t0);
+  return WaypointRoute({{t0, from}, {t1, to}});
+}
+
+WaypointRoute& WaypointRoute::then(const WaypointRoute& next) {
+  VP_REQUIRE(next.start_time_s() >= end_time_s());
+  for (const Waypoint& w : next.waypoints_) {
+    if (w.time_s > end_time_s()) waypoints_.push_back(w);
+  }
+  return *this;
+}
+
+WaypointRoute& WaypointRoute::then_stop(double duration_s) {
+  VP_REQUIRE(duration_s > 0.0);
+  waypoints_.push_back(
+      {end_time_s() + duration_s, waypoints_.back().position});
+  return *this;
+}
+
+WaypointRoute& WaypointRoute::then_move_to(Vec2 to, double duration_s) {
+  VP_REQUIRE(duration_s > 0.0);
+  waypoints_.push_back({end_time_s() + duration_s, to});
+  return *this;
+}
+
+}  // namespace vp::mob

@@ -1,0 +1,55 @@
+// Time-stamped waypoint routes: the GPS-trace substitute the synthetic
+// field test (Section VI) drives its four vehicles with. Consecutive
+// waypoints with the same position model a stop (e.g. the red light at the
+// urban intersection behind the paper's single false positive, Fig. 14).
+#pragma once
+
+#include <vector>
+
+#include "mobility/state.h"
+
+namespace vp::mob {
+
+struct Waypoint {
+  double time_s = 0.0;
+  Vec2 position;
+};
+
+class WaypointRoute {
+ public:
+  // Waypoints must be non-empty and strictly increasing in time.
+  explicit WaypointRoute(std::vector<Waypoint> waypoints);
+
+  // Piecewise-linear position; clamps before the first / after the last
+  // waypoint.
+  Vec2 position_at(double time_s) const;
+
+  // Instantaneous speed of the active segment (0 at stops and outside the
+  // route's time span).
+  double speed_at(double time_s) const;
+
+  double start_time_s() const { return waypoints_.front().time_s; }
+  double end_time_s() const { return waypoints_.back().time_s; }
+  std::size_t size() const { return waypoints_.size(); }
+
+  // Route that stays at one position for [t0, t1].
+  static WaypointRoute stationary(Vec2 position, double t0, double t1);
+
+  // Constant-velocity route from `from` at t0 to `to` at t1.
+  static WaypointRoute linear(Vec2 from, Vec2 to, double t0, double t1);
+
+  // Appends another route; its first waypoint must be at or after this
+  // route's last time.
+  WaypointRoute& then(const WaypointRoute& next);
+
+  // Appends a stop of the given duration at the current end position.
+  WaypointRoute& then_stop(double duration_s);
+
+  // Appends a constant-speed leg to `to`, taking `duration_s`.
+  WaypointRoute& then_move_to(Vec2 to, double duration_s);
+
+ private:
+  std::vector<Waypoint> waypoints_;
+};
+
+}  // namespace vp::mob

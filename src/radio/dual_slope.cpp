@@ -1,0 +1,106 @@
+#include "radio/dual_slope.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vp::radio {
+
+DualSlopeParams DualSlopeParams::campus() {
+  return {.reference_distance_m = 1.0,
+          .critical_distance_m = 218.0,
+          .gamma1 = 1.66,
+          .gamma2 = 5.53,
+          .sigma1_db = 2.8,
+          .sigma2_db = 3.2};
+}
+
+DualSlopeParams DualSlopeParams::rural() {
+  return {.reference_distance_m = 1.0,
+          .critical_distance_m = 182.0,
+          .gamma1 = 1.89,
+          .gamma2 = 5.86,
+          .sigma1_db = 3.1,
+          .sigma2_db = 3.6};
+}
+
+DualSlopeParams DualSlopeParams::urban() {
+  return {.reference_distance_m = 1.0,
+          .critical_distance_m = 102.0,
+          .gamma1 = 2.56,
+          .gamma2 = 6.34,
+          .sigma1_db = 3.9,
+          .sigma2_db = 5.2};
+}
+
+DualSlopeParams DualSlopeParams::highway() {
+  return {.reference_distance_m = 1.0,
+          .critical_distance_m = 200.0,
+          .gamma1 = 1.80,
+          .gamma2 = 5.70,
+          .sigma1_db = 3.0,
+          .sigma2_db = 3.4};
+}
+
+DualSlopeModel::DualSlopeModel(double frequency_hz, DualSlopeParams params,
+                               LinkBudget budget)
+    : free_space_(frequency_hz, budget), params_(params) {
+  VP_REQUIRE(params.reference_distance_m > 0.0);
+  VP_REQUIRE(params.critical_distance_m > params.reference_distance_m);
+  VP_REQUIRE(params.gamma1 > 0.0 && params.gamma2 > 0.0);
+  VP_REQUIRE(params.sigma1_db >= 0.0 && params.sigma2_db >= 0.0);
+}
+
+double DualSlopeModel::mean_rx_power_dbm(double tx_power_dbm,
+                                         double distance_m,
+                                         double time_s) const {
+  VP_REQUIRE(distance_m > 0.0);
+  const DualSlopeParams& p = params_;
+  // P(d0) computed with free space at the reference distance (Eq. 1).
+  const double p_d0 = free_space_.mean_rx_power_dbm(
+      tx_power_dbm, p.reference_distance_m, time_s);
+  const double d = std::max(distance_m, p.reference_distance_m);
+  if (d <= p.critical_distance_m) {
+    return p_d0 -
+           10.0 * p.gamma1 * std::log10(d / p.reference_distance_m);
+  }
+  return p_d0 -
+         10.0 * p.gamma1 *
+             std::log10(p.critical_distance_m / p.reference_distance_m) -
+         10.0 * p.gamma2 * std::log10(d / p.critical_distance_m);
+}
+
+double DualSlopeModel::sample_rx_power_dbm(double tx_power_dbm,
+                                           double distance_m, double time_s,
+                                           Rng& rng) const {
+  const double sigma = distance_m <= params_.critical_distance_m
+                           ? params_.sigma1_db
+                           : params_.sigma2_db;
+  return mean_rx_power_dbm(tx_power_dbm, distance_m, time_s) +
+         rng.normal(0.0, sigma);
+}
+
+double DualSlopeModel::shadowing_sigma_db(double distance_m,
+                                          double /*time_s*/) const {
+  return distance_m <= params_.critical_distance_m ? params_.sigma1_db
+                                                   : params_.sigma2_db;
+}
+
+double DualSlopeModel::distance_for_mean_power(double tx_power_dbm,
+                                               double rx_power_dbm,
+                                               double time_s) const {
+  const DualSlopeParams& p = params_;
+  const double p_d0 = free_space_.mean_rx_power_dbm(
+      tx_power_dbm, p.reference_distance_m, time_s);
+  const double at_breakpoint =
+      p_d0 - 10.0 * p.gamma1 *
+                 std::log10(p.critical_distance_m / p.reference_distance_m);
+  if (rx_power_dbm >= at_breakpoint) {
+    return p.reference_distance_m *
+           std::pow(10.0, (p_d0 - rx_power_dbm) / (10.0 * p.gamma1));
+  }
+  return p.critical_distance_m *
+         std::pow(10.0, (at_breakpoint - rx_power_dbm) / (10.0 * p.gamma2));
+}
+
+}  // namespace vp::radio

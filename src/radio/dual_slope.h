@@ -1,0 +1,52 @@
+// The empirical dual-slope piecewise-linear path-loss model of Eq. 1
+// (Cheng et al. [22]) — the model the paper's own measurements are fitted
+// to (Table IV) and the model our simulator uses as ground truth.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "radio/propagation.h"
+
+namespace vp::radio {
+
+struct DualSlopeParams {
+  double reference_distance_m = 1.0;  // d0
+  double critical_distance_m = 200.0;  // dc (breakpoint)
+  double gamma1 = 2.0;  // path-loss exponent before the breakpoint
+  double gamma2 = 4.0;  // path-loss exponent after the breakpoint
+  double sigma1_db = 3.0;  // shadowing deviation before the breakpoint
+  double sigma2_db = 3.0;  // shadowing deviation after the breakpoint
+
+  // Table IV fits from the paper's own field measurements.
+  static DualSlopeParams campus();
+  static DualSlopeParams rural();
+  static DualSlopeParams urban();
+  // Not in Table IV (the paper fitted three areas); an LOS-dominated
+  // motorway setting between campus and rural, used by the highway leg of
+  // the synthetic field test.
+  static DualSlopeParams highway();
+};
+
+class DualSlopeModel final : public PropagationModel {
+ public:
+  DualSlopeModel(double frequency_hz, DualSlopeParams params,
+                 LinkBudget budget = {});
+
+  double mean_rx_power_dbm(double tx_power_dbm, double distance_m,
+                           double time_s) const override;
+  double sample_rx_power_dbm(double tx_power_dbm, double distance_m,
+                             double time_s, Rng& rng) const override;
+  double distance_for_mean_power(double tx_power_dbm, double rx_power_dbm,
+                                 double time_s) const override;
+  double shadowing_sigma_db(double distance_m, double time_s) const override;
+  std::string_view name() const override { return "dual-slope"; }
+
+  const DualSlopeParams& params() const { return params_; }
+
+ private:
+  FreeSpaceModel free_space_;
+  DualSlopeParams params_;
+};
+
+}  // namespace vp::radio

@@ -1,0 +1,52 @@
+#include "radio/fading.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vp::radio {
+
+namespace {
+std::uint64_t pair_key(NodeId tx, NodeId rx) {
+  return (static_cast<std::uint64_t>(tx) << 32) | rx;
+}
+}  // namespace
+
+CorrelatedShadowingField::CorrelatedShadowingField(double coherence_time_s,
+                                                   double noise_db, Rng rng)
+    : coherence_time_s_(coherence_time_s), noise_db_(noise_db), rng_(rng) {
+  VP_REQUIRE(coherence_time_s > 0.0);
+  VP_REQUIRE(noise_db >= 0.0);
+}
+
+double CorrelatedShadowingField::advance(State& state, double time_s) {
+  if (!state.initialized) {
+    state.x = rng_.normal(0.0, 1.0);
+    state.time_s = time_s;
+    state.initialized = true;
+    return state.x;
+  }
+  VP_REQUIRE(time_s >= state.time_s);
+  const double dt = time_s - state.time_s;
+  if (dt > 0.0) {
+    const double rho = std::exp(-dt / coherence_time_s_);
+    state.x = rho * state.x +
+              std::sqrt(std::max(0.0, 1.0 - rho * rho)) * rng_.normal(0.0, 1.0);
+    state.time_s = time_s;
+  }
+  return state.x;
+}
+
+double CorrelatedShadowingField::shadow_only(NodeId tx, NodeId rx,
+                                             double sigma_db, double time_s) {
+  VP_REQUIRE(sigma_db >= 0.0);
+  State& state = states_[pair_key(tx, rx)];
+  return sigma_db * advance(state, time_s);
+}
+
+double CorrelatedShadowingField::sample(NodeId tx, NodeId rx, double sigma_db,
+                                        double time_s) {
+  return shadow_only(tx, rx, sigma_db, time_s) + rng_.normal(0.0, noise_db_);
+}
+
+}  // namespace vp::radio

@@ -1,0 +1,99 @@
+#include "radio/fitter.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+#include "common/least_squares.h"
+
+namespace vp::radio {
+
+DualSlopeFitter::DualSlopeFitter(double frequency_hz, double tx_power_dbm,
+                                 double reference_distance_m,
+                                 LinkBudget budget)
+    : frequency_hz_(frequency_hz),
+      tx_power_dbm_(tx_power_dbm),
+      reference_distance_m_(reference_distance_m),
+      budget_(budget) {
+  VP_REQUIRE(frequency_hz > 0.0);
+  VP_REQUIRE(reference_distance_m > 0.0);
+}
+
+DualSlopeFit DualSlopeFitter::fit(std::span<const RssiSample> samples,
+                                  double dc_min, double dc_max,
+                                  double dc_step) const {
+  VP_REQUIRE(samples.size() >= 8);
+  VP_REQUIRE(dc_min > reference_distance_m_);
+  VP_REQUIRE(dc_max > dc_min && dc_step > 0.0);
+
+  const FreeSpaceModel free_space(frequency_hz_, budget_);
+  const double p_d0 =
+      free_space.mean_rx_power_dbm(tx_power_dbm_, reference_distance_m_, 0.0);
+
+  DualSlopeFit best;
+  double best_sse = std::numeric_limits<double>::infinity();
+  bool found = false;
+
+  for (double dc = dc_min; dc <= dc_max; dc += dc_step) {
+    // Segment the samples at the candidate breakpoint.
+    std::vector<double> x1, y1, x2, y2;
+    for (const RssiSample& s : samples) {
+      VP_REQUIRE(s.distance_m > 0.0);
+      const double d = std::max(s.distance_m, reference_distance_m_);
+      if (d <= dc) {
+        x1.push_back(std::log10(d / reference_distance_m_));
+        y1.push_back(s.rssi_dbm);
+      } else {
+        x2.push_back(std::log10(d / dc));
+        y2.push_back(s.rssi_dbm);
+      }
+    }
+    if (x1.size() < 4 || x2.size() < 4) continue;
+
+    // Near segment: y = P(d0) − 10γ1·x1 → slope through the fixed intercept.
+    const double s1 = slope_through(x1, y1, p_d0);
+    const double gamma1 = -s1 / 10.0;
+    if (gamma1 <= 0.0) continue;
+
+    // Far segment: y = [P(d0) − 10γ1·log10(dc/d0)] − 10γ2·x2.
+    const double p_dc =
+        p_d0 - 10.0 * gamma1 * std::log10(dc / reference_distance_m_);
+    const double s2 = slope_through(x2, y2, p_dc);
+    const double gamma2 = -s2 / 10.0;
+    if (gamma2 <= 0.0) continue;
+
+    double sse1 = 0.0, sse2 = 0.0;
+    for (std::size_t i = 0; i < x1.size(); ++i) {
+      const double r = y1[i] - (p_d0 + s1 * x1[i]);
+      sse1 += r * r;
+    }
+    for (std::size_t i = 0; i < x2.size(); ++i) {
+      const double r = y2[i] - (p_dc + s2 * x2[i]);
+      sse2 += r * r;
+    }
+    const double sse = sse1 + sse2;
+    if (sse < best_sse) {
+      best_sse = sse;
+      best.params.reference_distance_m = reference_distance_m_;
+      best.params.critical_distance_m = dc;
+      best.params.gamma1 = gamma1;
+      best.params.gamma2 = gamma2;
+      best.params.sigma1_db = std::sqrt(sse1 / static_cast<double>(x1.size()));
+      best.params.sigma2_db = std::sqrt(sse2 / static_cast<double>(x2.size()));
+      best.sse = sse;
+      best.n_near = x1.size();
+      best.n_far = x2.size();
+      found = true;
+    }
+  }
+
+  if (!found) {
+    throw InvalidArgument(
+        "dual-slope fit: no breakpoint candidate had at least 4 samples on "
+        "both sides");
+  }
+  return best;
+}
+
+}  // namespace vp::radio

@@ -1,0 +1,49 @@
+// Least-squares fitting of the dual-slope model (Eq. 1) to RSSI-vs-distance
+// measurements — the regression the paper runs on its Scenario-2 data to
+// produce Table IV. Given samples and a known TX power, the fitter searches
+// the breakpoint distance dc and solves the two slopes γ1, γ2 by
+// constrained least squares in the log-distance domain, then reports the
+// per-segment residual deviations σ1, σ2.
+#pragma once
+
+#include <span>
+
+#include "radio/dual_slope.h"
+
+namespace vp::radio {
+
+struct RssiSample {
+  double distance_m = 0.0;
+  double rssi_dbm = 0.0;
+};
+
+struct DualSlopeFit {
+  DualSlopeParams params;
+  double sse = 0.0;       // total squared error at the chosen breakpoint
+  std::size_t n_near = 0;  // samples at d <= dc
+  std::size_t n_far = 0;   // samples at d > dc
+};
+
+class DualSlopeFitter {
+ public:
+  // `tx_power_dbm` is the (known) transmit power of the probe sender;
+  // `budget` its antenna gains — together they pin P(d0) via free space.
+  DualSlopeFitter(double frequency_hz, double tx_power_dbm,
+                  double reference_distance_m = 1.0, LinkBudget budget = {});
+
+  // Fits γ1, γ2, dc, σ1, σ2. The breakpoint is searched over
+  // [dc_min, dc_max] with the given step. Requires at least 4 samples on
+  // each side of every candidate breakpoint actually evaluated; candidates
+  // without enough support are skipped. Throws InvalidArgument if no
+  // candidate is feasible.
+  DualSlopeFit fit(std::span<const RssiSample> samples, double dc_min = 50.0,
+                   double dc_max = 400.0, double dc_step = 2.0) const;
+
+ private:
+  double frequency_hz_;
+  double tx_power_dbm_;
+  double reference_distance_m_;
+  LinkBudget budget_;
+};
+
+}  // namespace vp::radio

@@ -1,0 +1,38 @@
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "radio/propagation.h"
+
+namespace vp::radio {
+
+FreeSpaceModel::FreeSpaceModel(double frequency_hz, LinkBudget budget)
+    : wavelength_m_(units::kSpeedOfLightMps / frequency_hz), budget_(budget) {
+  VP_REQUIRE(frequency_hz > 0.0);
+}
+
+double FreeSpaceModel::mean_rx_power_dbm(double tx_power_dbm,
+                                         double distance_m,
+                                         double /*time_s*/) const {
+  VP_REQUIRE(distance_m > 0.0);
+  // Friis: Pr = Pt + Gt + Gr + 20·log10(λ / (4πd)).
+  const double fspl_db =
+      20.0 * std::log10(4.0 * units::kPi * distance_m / wavelength_m_);
+  return tx_power_dbm + budget_.total_gain_db() - fspl_db;
+}
+
+double FreeSpaceModel::sample_rx_power_dbm(double tx_power_dbm,
+                                           double distance_m, double time_s,
+                                           Rng& /*rng*/) const {
+  return mean_rx_power_dbm(tx_power_dbm, distance_m, time_s);
+}
+
+double FreeSpaceModel::distance_for_mean_power(double tx_power_dbm,
+                                               double rx_power_dbm,
+                                               double /*time_s*/) const {
+  // Invert Friis for d.
+  const double fspl_db = tx_power_dbm + budget_.total_gain_db() - rx_power_dbm;
+  return wavelength_m_ / (4.0 * units::kPi) * std::pow(10.0, fspl_db / 20.0);
+}
+
+}  // namespace vp::radio

@@ -1,0 +1,43 @@
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "radio/propagation.h"
+
+namespace vp::radio {
+
+NakagamiModel::NakagamiModel(double frequency_hz, double reference_distance_m,
+                             double path_loss_exponent, double m_shape,
+                             LinkBudget budget)
+    : mean_model_(frequency_hz, reference_distance_m, path_loss_exponent,
+                  /*sigma_db=*/0.0, budget),
+      m_shape_(m_shape) {
+  VP_REQUIRE(m_shape >= 0.5);
+}
+
+double NakagamiModel::mean_rx_power_dbm(double tx_power_dbm, double distance_m,
+                                        double time_s) const {
+  return mean_model_.mean_rx_power_dbm(tx_power_dbm, distance_m, time_s);
+}
+
+double NakagamiModel::sample_rx_power_dbm(double tx_power_dbm,
+                                          double distance_m, double time_s,
+                                          Rng& rng) const {
+  // Nakagami-m amplitude fading ⇔ the received *power* is Gamma(m, Ω/m)
+  // with Ω the mean linear power. m = 1 is Rayleigh fading.
+  const double mean_dbm =
+      mean_model_.mean_rx_power_dbm(tx_power_dbm, distance_m, time_s);
+  const double omega_mw = units::dbm_to_mw(mean_dbm);
+  const double power_mw = rng.gamma(m_shape_, omega_mw / m_shape_);
+  // Guard against log(0) from an extreme deep fade.
+  return units::mw_to_dbm(std::max(power_mw, 1e-300));
+}
+
+double NakagamiModel::distance_for_mean_power(double tx_power_dbm,
+                                              double rx_power_dbm,
+                                              double time_s) const {
+  return mean_model_.distance_for_mean_power(tx_power_dbm, rx_power_dbm,
+                                             time_s);
+}
+
+}  // namespace vp::radio

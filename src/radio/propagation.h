@@ -1,0 +1,165 @@
+// Radio propagation model interface.
+//
+// The simulator (replacing NS-2.34) computes the power a receiver sees for
+// every transmission through one of these models. Models are time-aware so
+// the Fig. 11b experiment — where the environment drifts every 30 s and the
+// predefined-model baseline breaks — is expressible; stationary models
+// simply ignore the time argument.
+//
+// All models also expose the *mean* received power and its inverse
+// (distance for a given mean power): the CPVSAD baseline [19] estimates
+// positions exactly that way, which is precisely the fragility Voiceprint
+// avoids.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "common/rng.h"
+
+namespace vp::radio {
+
+class PropagationModel {
+ public:
+  virtual ~PropagationModel() = default;
+
+  // Deterministic (fading-free) received power in dBm at the given link
+  // distance in metres. Requires distance > 0.
+  virtual double mean_rx_power_dbm(double tx_power_dbm, double distance_m,
+                                   double time_s) const = 0;
+
+  // One stochastic realisation including fading/shadowing.
+  virtual double sample_rx_power_dbm(double tx_power_dbm, double distance_m,
+                                     double time_s, Rng& rng) const = 0;
+
+  // Distance (metres) at which the mean received power equals
+  // `rx_power_dbm` — the model inversion position-verification methods use.
+  // Requires a strictly monotone mean power curve.
+  virtual double distance_for_mean_power(double tx_power_dbm,
+                                         double rx_power_dbm,
+                                         double time_s) const = 0;
+
+  // Large-scale shadowing deviation (dB) the model prescribes at this
+  // link distance and time; deterministic models return 0. Consumed by the
+  // correlated shadowing field (radio/fading.h) that realises per-radio-
+  // pair fading in the simulator.
+  virtual double shadowing_sigma_db(double distance_m, double time_s) const {
+    (void)distance_m;
+    (void)time_s;
+    return 0.0;
+  }
+
+  virtual std::string_view name() const = 0;
+};
+
+// Antenna gains applied at both ends of every link (Table II: 7 dBi omni).
+struct LinkBudget {
+  double tx_antenna_gain_dbi = 0.0;
+  double rx_antenna_gain_dbi = 0.0;
+
+  double total_gain_db() const {
+    return tx_antenna_gain_dbi + rx_antenna_gain_dbi;
+  }
+};
+
+// --- Concrete models -------------------------------------------------------
+
+// Friis free-space path loss (the model of Demirbas [14] / Bouassida [17]).
+class FreeSpaceModel final : public PropagationModel {
+ public:
+  explicit FreeSpaceModel(double frequency_hz, LinkBudget budget = {});
+
+  double mean_rx_power_dbm(double tx_power_dbm, double distance_m,
+                           double time_s) const override;
+  double sample_rx_power_dbm(double tx_power_dbm, double distance_m,
+                             double time_s, Rng& rng) const override;
+  double distance_for_mean_power(double tx_power_dbm, double rx_power_dbm,
+                                 double time_s) const override;
+  std::string_view name() const override { return "free-space"; }
+
+  double wavelength_m() const { return wavelength_m_; }
+
+ private:
+  double wavelength_m_;
+  LinkBudget budget_;
+};
+
+// Two-ray ground reflection (the model of Lv [16]). Below the crossover
+// distance it degenerates to free space, as in NS-2.
+class TwoRayGroundModel final : public PropagationModel {
+ public:
+  TwoRayGroundModel(double frequency_hz, double tx_height_m,
+                    double rx_height_m, LinkBudget budget = {});
+
+  double mean_rx_power_dbm(double tx_power_dbm, double distance_m,
+                           double time_s) const override;
+  double sample_rx_power_dbm(double tx_power_dbm, double distance_m,
+                             double time_s, Rng& rng) const override;
+  double distance_for_mean_power(double tx_power_dbm, double rx_power_dbm,
+                                 double time_s) const override;
+  std::string_view name() const override { return "two-ray-ground"; }
+
+  // Distance where the two-ray term takes over from free space.
+  double crossover_distance_m() const { return crossover_m_; }
+
+ private:
+  FreeSpaceModel free_space_;
+  double tx_height_m_;
+  double rx_height_m_;
+  double crossover_m_;
+  LinkBudget budget_;
+};
+
+// Log-normal shadowing (the model of Chen [18], Xiao [20], Yu [19] — and
+// therefore the model CPVSAD assumes).
+class ShadowingModel final : public PropagationModel {
+ public:
+  // Mean power follows P(d0) − 10·γ·log10(d/d0); P(d0) is free space at the
+  // reference distance d0. σ is the shadowing deviation in dB.
+  ShadowingModel(double frequency_hz, double reference_distance_m,
+                 double path_loss_exponent, double sigma_db,
+                 LinkBudget budget = {});
+
+  double mean_rx_power_dbm(double tx_power_dbm, double distance_m,
+                           double time_s) const override;
+  double sample_rx_power_dbm(double tx_power_dbm, double distance_m,
+                             double time_s, Rng& rng) const override;
+  double distance_for_mean_power(double tx_power_dbm, double rx_power_dbm,
+                                 double time_s) const override;
+  double shadowing_sigma_db(double distance_m, double time_s) const override;
+  std::string_view name() const override { return "log-shadowing"; }
+
+  double path_loss_exponent() const { return exponent_; }
+  double sigma_db() const { return sigma_db_; }
+
+ private:
+  FreeSpaceModel free_space_;
+  double reference_distance_m_;
+  double exponent_;
+  double sigma_db_;
+};
+
+// Nakagami-m fast fading on top of a log-distance mean — the fading NS-2's
+// VANET extensions use (Rayleigh when m = 1, matching Wang [15]).
+class NakagamiModel final : public PropagationModel {
+ public:
+  NakagamiModel(double frequency_hz, double reference_distance_m,
+                double path_loss_exponent, double m_shape,
+                LinkBudget budget = {});
+
+  double mean_rx_power_dbm(double tx_power_dbm, double distance_m,
+                           double time_s) const override;
+  double sample_rx_power_dbm(double tx_power_dbm, double distance_m,
+                             double time_s, Rng& rng) const override;
+  double distance_for_mean_power(double tx_power_dbm, double rx_power_dbm,
+                                 double time_s) const override;
+  std::string_view name() const override { return "nakagami"; }
+
+  double m_shape() const { return m_shape_; }
+
+ private:
+  ShadowingModel mean_model_;  // σ = 0: pure log-distance mean
+  double m_shape_;
+};
+
+}  // namespace vp::radio

@@ -1,0 +1,30 @@
+#include "radio/receiver.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vp::radio {
+
+Receiver::Receiver(ReceiverConfig config) : config_(config) {
+  VP_REQUIRE(config.quantization_db >= 0.0);
+}
+
+std::optional<double> Receiver::measure(double rx_power_dbm) const {
+  if (rx_power_dbm < config_.sensitivity_dbm) return std::nullopt;
+  double rssi = rx_power_dbm;
+  if (config_.quantization_db > 0.0) {
+    rssi = std::round(rssi / config_.quantization_db) * config_.quantization_db;
+  }
+  return std::max(rssi, config_.sensitivity_dbm);
+}
+
+bool Receiver::captures(double rx_power_dbm, double interference_mw) const {
+  if (rx_power_dbm < config_.sensitivity_dbm) return false;
+  if (interference_mw <= 0.0) return true;
+  const double signal_mw = units::dbm_to_mw(rx_power_dbm);
+  const double sinr_db = units::linear_to_db(signal_mw / interference_mw);
+  return sinr_db >= config_.capture_threshold_db;
+}
+
+}  // namespace vp::radio

@@ -1,0 +1,39 @@
+// Receiver front-end: decides whether a frame's power is decodable and
+// turns the analog power into the RSSI the host records. The IWCU OBU4.2
+// (Table II) reports integer dBm with an RX sensitivity of −95 dBm; the
+// paper's far-node traces visibly pin at that floor.
+#pragma once
+
+#include <optional>
+
+#include "common/units.h"
+
+namespace vp::radio {
+
+struct ReceiverConfig {
+  double sensitivity_dbm = units::kRxSensitivityDbm;  // below this: no decode
+  double quantization_db = 1.0;  // RSSI reporting step (0 = no quantisation)
+  // SINR (dB) a frame needs over the sum of interferers to be captured.
+  double capture_threshold_db = 10.0;
+};
+
+class Receiver {
+ public:
+  explicit Receiver(ReceiverConfig config = {});
+
+  // RSSI the hardware reports for a decodable frame, or nullopt if the
+  // power is below sensitivity. The reported value is quantised and floored
+  // at the sensitivity (hardware never reports below its own floor).
+  std::optional<double> measure(double rx_power_dbm) const;
+
+  // Whether a frame at `rx_power_dbm` survives concurrent interference
+  // totalling `interference_mw` (linear milliwatts; 0 = clean channel).
+  bool captures(double rx_power_dbm, double interference_mw) const;
+
+  const ReceiverConfig& config() const { return config_; }
+
+ private:
+  ReceiverConfig config_;
+};
+
+}  // namespace vp::radio

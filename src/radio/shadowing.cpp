@@ -1,0 +1,51 @@
+#include <cmath>
+
+#include "common/error.h"
+#include "radio/propagation.h"
+
+namespace vp::radio {
+
+ShadowingModel::ShadowingModel(double frequency_hz,
+                               double reference_distance_m,
+                               double path_loss_exponent, double sigma_db,
+                               LinkBudget budget)
+    : free_space_(frequency_hz, budget),
+      reference_distance_m_(reference_distance_m),
+      exponent_(path_loss_exponent),
+      sigma_db_(sigma_db) {
+  VP_REQUIRE(reference_distance_m > 0.0);
+  VP_REQUIRE(path_loss_exponent > 0.0);
+  VP_REQUIRE(sigma_db >= 0.0);
+}
+
+double ShadowingModel::mean_rx_power_dbm(double tx_power_dbm,
+                                         double distance_m,
+                                         double time_s) const {
+  VP_REQUIRE(distance_m > 0.0);
+  const double p_ref =
+      free_space_.mean_rx_power_dbm(tx_power_dbm, reference_distance_m_, time_s);
+  return p_ref - 10.0 * exponent_ * std::log10(distance_m / reference_distance_m_);
+}
+
+double ShadowingModel::sample_rx_power_dbm(double tx_power_dbm,
+                                           double distance_m, double time_s,
+                                           Rng& rng) const {
+  return mean_rx_power_dbm(tx_power_dbm, distance_m, time_s) +
+         rng.normal(0.0, sigma_db_);
+}
+
+double ShadowingModel::shadowing_sigma_db(double /*distance_m*/,
+                                          double /*time_s*/) const {
+  return sigma_db_;
+}
+
+double ShadowingModel::distance_for_mean_power(double tx_power_dbm,
+                                               double rx_power_dbm,
+                                               double time_s) const {
+  const double p_ref = free_space_.mean_rx_power_dbm(
+      tx_power_dbm, reference_distance_m_, time_s);
+  return reference_distance_m_ *
+         std::pow(10.0, (p_ref - rx_power_dbm) / (10.0 * exponent_));
+}
+
+}  // namespace vp::radio

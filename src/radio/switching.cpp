@@ -1,0 +1,79 @@
+#include "radio/switching.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vp::radio {
+
+SwitchingDualSlopeModel::SwitchingDualSlopeModel(
+    double frequency_hz, std::vector<DualSlopeParams> params_cycle,
+    double change_period_s, LinkBudget budget)
+    : change_period_s_(change_period_s) {
+  VP_REQUIRE(!params_cycle.empty());
+  VP_REQUIRE(change_period_s > 0.0);
+  models_.reserve(params_cycle.size());
+  for (const DualSlopeParams& p : params_cycle) {
+    models_.emplace_back(frequency_hz, p, budget);
+  }
+}
+
+SwitchingDualSlopeModel SwitchingDualSlopeModel::perturbed_cycle(
+    double frequency_hz, const DualSlopeParams& base, std::size_t steps,
+    double change_period_s, std::uint64_t seed, LinkBudget budget) {
+  VP_REQUIRE(steps > 0);
+  Rng rng = Rng(seed).fork("model-cycle");
+  std::vector<DualSlopeParams> cycle;
+  cycle.reserve(steps);
+  cycle.push_back(base);
+  for (std::size_t i = 1; i < steps; ++i) {
+    DualSlopeParams p = base;
+    // Stay within the envelope of the paper's three fitted environments
+    // (Table IV): γ1 ∈ [1.66, 2.56], γ2 ∈ [5.53, 6.34], σ ∈ [2.8, 5.2],
+    // dc ∈ [102, 218].
+    p.gamma1 = rng.uniform(1.66, 2.56);
+    p.gamma2 = rng.uniform(5.53, 6.34);
+    p.sigma1_db = rng.uniform(2.8, 3.9);
+    p.sigma2_db = rng.uniform(3.2, 5.2);
+    p.critical_distance_m = rng.uniform(102.0, 218.0);
+    cycle.push_back(p);
+  }
+  return SwitchingDualSlopeModel(frequency_hz, std::move(cycle),
+                                 change_period_s, budget);
+}
+
+const DualSlopeModel& SwitchingDualSlopeModel::active_model(
+    double time_s) const {
+  const double t = std::max(time_s, 0.0);
+  const auto slot = static_cast<std::size_t>(t / change_period_s_);
+  return models_[slot % models_.size()];
+}
+
+double SwitchingDualSlopeModel::mean_rx_power_dbm(double tx_power_dbm,
+                                                  double distance_m,
+                                                  double time_s) const {
+  return active_model(time_s).mean_rx_power_dbm(tx_power_dbm, distance_m,
+                                                time_s);
+}
+
+double SwitchingDualSlopeModel::sample_rx_power_dbm(double tx_power_dbm,
+                                                    double distance_m,
+                                                    double time_s,
+                                                    Rng& rng) const {
+  return active_model(time_s).sample_rx_power_dbm(tx_power_dbm, distance_m,
+                                                  time_s, rng);
+}
+
+double SwitchingDualSlopeModel::shadowing_sigma_db(double distance_m,
+                                                   double time_s) const {
+  return active_model(time_s).shadowing_sigma_db(distance_m, time_s);
+}
+
+double SwitchingDualSlopeModel::distance_for_mean_power(double tx_power_dbm,
+                                                        double rx_power_dbm,
+                                                        double time_s) const {
+  return active_model(time_s).distance_for_mean_power(tx_power_dbm,
+                                                      rx_power_dbm, time_s);
+}
+
+}  // namespace vp::radio

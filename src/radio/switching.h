@@ -1,0 +1,50 @@
+// Time-varying propagation: cycles through a list of dual-slope parameter
+// sets every `change_period_s` seconds. This reproduces the paper's
+// Fig. 11b setup, where NS-2's model parameters are modified periodically
+// (Table V: model change period 30 s) to show that Voiceprint is immune to
+// environment drift while the predefined-model baseline is not.
+#pragma once
+
+#include <vector>
+
+#include "radio/dual_slope.h"
+
+namespace vp::radio {
+
+class SwitchingDualSlopeModel final : public PropagationModel {
+ public:
+  // Requires at least one parameter set and change_period_s > 0.
+  SwitchingDualSlopeModel(double frequency_hz,
+                          std::vector<DualSlopeParams> params_cycle,
+                          double change_period_s, LinkBudget budget = {});
+
+  // Builds a cycle that perturbs `base` with progressively different
+  // exponents and deviations — the "different dynamic environments" of the
+  // paper's simulation. `steps` distinct environments are generated.
+  static SwitchingDualSlopeModel perturbed_cycle(double frequency_hz,
+                                                 const DualSlopeParams& base,
+                                                 std::size_t steps,
+                                                 double change_period_s,
+                                                 std::uint64_t seed,
+                                                 LinkBudget budget = {});
+
+  double mean_rx_power_dbm(double tx_power_dbm, double distance_m,
+                           double time_s) const override;
+  double sample_rx_power_dbm(double tx_power_dbm, double distance_m,
+                             double time_s, Rng& rng) const override;
+  double distance_for_mean_power(double tx_power_dbm, double rx_power_dbm,
+                                 double time_s) const override;
+  double shadowing_sigma_db(double distance_m, double time_s) const override;
+  std::string_view name() const override { return "switching-dual-slope"; }
+
+  // The model active at the given simulation time.
+  const DualSlopeModel& active_model(double time_s) const;
+  std::size_t cycle_length() const { return models_.size(); }
+  double change_period_s() const { return change_period_s_; }
+
+ private:
+  std::vector<DualSlopeModel> models_;
+  double change_period_s_;
+};
+
+}  // namespace vp::radio

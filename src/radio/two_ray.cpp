@@ -1,0 +1,55 @@
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "radio/propagation.h"
+
+namespace vp::radio {
+
+TwoRayGroundModel::TwoRayGroundModel(double frequency_hz, double tx_height_m,
+                                     double rx_height_m, LinkBudget budget)
+    : free_space_(frequency_hz, budget),
+      tx_height_m_(tx_height_m),
+      rx_height_m_(rx_height_m),
+      crossover_m_(4.0 * units::kPi * tx_height_m * rx_height_m /
+                   free_space_.wavelength_m()),
+      budget_(budget) {
+  VP_REQUIRE(tx_height_m > 0.0 && rx_height_m > 0.0);
+}
+
+double TwoRayGroundModel::mean_rx_power_dbm(double tx_power_dbm,
+                                            double distance_m,
+                                            double time_s) const {
+  VP_REQUIRE(distance_m > 0.0);
+  if (distance_m < crossover_m_) {
+    return free_space_.mean_rx_power_dbm(tx_power_dbm, distance_m, time_s);
+  }
+  // Pr = Pt + Gt + Gr + 20·log10(ht·hr) − 40·log10(d).
+  return tx_power_dbm + budget_.total_gain_db() +
+         20.0 * std::log10(tx_height_m_ * rx_height_m_) -
+         40.0 * std::log10(distance_m);
+}
+
+double TwoRayGroundModel::sample_rx_power_dbm(double tx_power_dbm,
+                                              double distance_m, double time_s,
+                                              Rng& /*rng*/) const {
+  return mean_rx_power_dbm(tx_power_dbm, distance_m, time_s);
+}
+
+double TwoRayGroundModel::distance_for_mean_power(double tx_power_dbm,
+                                                  double rx_power_dbm,
+                                                  double time_s) const {
+  const double at_crossover =
+      mean_rx_power_dbm(tx_power_dbm, crossover_m_, time_s);
+  if (rx_power_dbm > at_crossover) {
+    return free_space_.distance_for_mean_power(tx_power_dbm, rx_power_dbm,
+                                               time_s);
+  }
+  // Invert the fourth-power law.
+  const double num = tx_power_dbm + budget_.total_gain_db() +
+                     20.0 * std::log10(tx_height_m_ * rx_height_m_) -
+                     rx_power_dbm;
+  return std::pow(10.0, num / 40.0);
+}
+
+}  // namespace vp::radio

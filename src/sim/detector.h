@@ -1,0 +1,32 @@
+// The interface every Sybil detector implements so the evaluation harness
+// can sweep Voiceprint and the baselines identically.
+//
+// `world` is passed for *cooperative* schemes (CPVSAD consults witness
+// vehicles' RSSI reports); independent schemes such as Voiceprint must use
+// only the observation window. Ground truth lives in the world too but is
+// reserved for the harness — detectors must not touch it.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/observation.h"
+#include "sim/world.h"
+
+namespace vp::sim {
+
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  // Identities the observer should treat as part of a Sybil attack
+  // (Algorithm 1's SybilIDs, i.e. suspected Sybil identities together with
+  // the malicious senders behind them).
+  virtual std::vector<IdentityId> detect(const ObservationWindow& window,
+                                         const World& world) = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+}  // namespace vp::sim

@@ -1,0 +1,60 @@
+#include "sim/metrics.h"
+
+#include <set>
+
+#include "common/error.h"
+
+namespace vp::sim {
+
+double DetectionCounts::dr() const {
+  VP_REQUIRE(dr_defined());
+  return static_cast<double>(detected_true) /
+         static_cast<double>(illegitimate);
+}
+
+double DetectionCounts::fpr() const {
+  VP_REQUIRE(fpr_defined());
+  return static_cast<double>(detected_false) /
+         static_cast<double>(legitimate);
+}
+
+DetectionCounts score_detection(const std::vector<IdentityId>& flagged,
+                                const ObservationWindow& window,
+                                const GroundTruth& truth) {
+  const std::set<IdentityId> flagged_set(flagged.begin(), flagged.end());
+  DetectionCounts counts;
+  for (const NeighborObservation& neighbor : window.neighbors) {
+    if (!truth.known(neighbor.id)) continue;
+    const bool illegitimate = truth.is_illegitimate(neighbor.id);
+    const bool hit = flagged_set.count(neighbor.id) != 0;
+    if (illegitimate) {
+      ++counts.illegitimate;
+      if (hit) ++counts.detected_true;
+    } else {
+      ++counts.legitimate;
+      if (hit) ++counts.detected_false;
+    }
+  }
+  return counts;
+}
+
+void RateAverager::add(const DetectionCounts& counts) {
+  if (counts.dr_defined()) {
+    dr_sum_ += counts.dr();
+    ++dr_n_;
+  }
+  if (counts.fpr_defined()) {
+    fpr_sum_ += counts.fpr();
+    ++fpr_n_;
+  }
+}
+
+double RateAverager::average_dr() const {
+  return dr_n_ == 0 ? 0.0 : dr_sum_ / static_cast<double>(dr_n_);
+}
+
+double RateAverager::average_fpr() const {
+  return fpr_n_ == 0 ? 0.0 : fpr_sum_ / static_cast<double>(fpr_n_);
+}
+
+}  // namespace vp::sim

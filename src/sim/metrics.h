@@ -1,0 +1,51 @@
+// The paper's evaluation metrics (Section V-B): per-observer,
+// per-detection-period detection rate (Eq. 10) and false positive rate
+// (Eq. 11), averaged over all observers and periods (Eq. 12, 13).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/observation.h"
+#include "sim/world.h"
+
+namespace vp::sim {
+
+struct DetectionCounts {
+  std::size_t detected_true = 0;   // N_T: illegitimate ids correctly flagged
+  std::size_t illegitimate = 0;    // N_m + Σ N_s among heard identities
+  std::size_t detected_false = 0;  // N_F: legitimate ids wrongly flagged
+  std::size_t legitimate = 0;      // N_n among heard identities
+
+  // DR is undefined when the observer heard no illegitimate identity.
+  bool dr_defined() const { return illegitimate > 0; }
+  double dr() const;   // requires dr_defined()
+  bool fpr_defined() const { return legitimate > 0; }
+  double fpr() const;  // requires fpr_defined()
+};
+
+// Scores one detector output against ground truth. `flagged` may contain
+// duplicates or identities outside the window; both are ignored.
+DetectionCounts score_detection(const std::vector<IdentityId>& flagged,
+                                const ObservationWindow& window,
+                                const GroundTruth& truth);
+
+// Accumulates Eq. 12/13 averages across (observer, period) pairs.
+class RateAverager {
+ public:
+  void add(const DetectionCounts& counts);
+
+  double average_dr() const;   // 0 if no defined sample
+  double average_fpr() const;
+  std::size_t dr_samples() const { return dr_n_; }
+  std::size_t fpr_samples() const { return fpr_n_; }
+
+ private:
+  double dr_sum_ = 0.0;
+  std::size_t dr_n_ = 0;
+  double fpr_sum_ = 0.0;
+  std::size_t fpr_n_ = 0;
+};
+
+}  // namespace vp::sim

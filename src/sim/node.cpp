@@ -1,0 +1,40 @@
+#include "sim/node.h"
+
+#include "common/error.h"
+
+namespace vp::sim {
+
+Node::Node(NodeId id, bool malicious, std::vector<IdentityConfig> identities,
+           mob::EpochMobility mobility, radio::Receiver receiver)
+    : id_(id),
+      malicious_(malicious),
+      identities_(std::move(identities)),
+      mobility_(std::move(mobility)),
+      receiver_(receiver) {
+  VP_REQUIRE(!identities_.empty());
+  // The first identity is the node's genuine one; only malicious nodes may
+  // carry more.
+  VP_REQUIRE(!identities_.front().sybil);
+  VP_REQUIRE(malicious_ || identities_.size() == 1);
+  for (std::size_t i = 1; i < identities_.size(); ++i) {
+    VP_REQUIRE(identities_[i].sybil);
+  }
+}
+
+void Node::attach_mac(std::unique_ptr<mac::CsmaCa> mac) {
+  VP_REQUIRE(mac != nullptr);
+  VP_REQUIRE(mac_ == nullptr);
+  mac_ = std::move(mac);
+}
+
+mac::CsmaCa& Node::mac() {
+  VP_REQUIRE(mac_ != nullptr);
+  return *mac_;
+}
+
+const mac::CsmaCa& Node::mac() const {
+  VP_REQUIRE(mac_ != nullptr);
+  return *mac_;
+}
+
+}  // namespace vp::sim

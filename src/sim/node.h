@@ -1,0 +1,65 @@
+// A physical vehicle in the simulation: one radio, one mobility process,
+// one RSSI log, and the identities it broadcasts (one for normal nodes;
+// one real plus 3–6 forged ones for malicious nodes, Section V-A).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "mac/csma_ca.h"
+#include "mobility/epoch_mobility.h"
+#include "mobility/trace.h"
+#include "radio/receiver.h"
+#include "sim/rssi_log.h"
+
+namespace vp::sim {
+
+struct IdentityConfig {
+  IdentityId id = kInvalidIdentity;
+  bool sybil = false;
+  double tx_power_dbm = 20.0;
+  // Forged positions drift with the real vehicle at this fixed offset; zero
+  // for genuine identities.
+  mob::Vec2 claimed_offset;
+};
+
+class Node {
+ public:
+  Node(NodeId id, bool malicious, std::vector<IdentityConfig> identities,
+       mob::EpochMobility mobility, radio::Receiver receiver);
+
+  NodeId id() const { return id_; }
+  bool malicious() const { return malicious_; }
+
+  const std::vector<IdentityConfig>& identities() const { return identities_; }
+  const mob::VehicleState& state() const { return mobility_.state(); }
+  mob::EpochMobility& mobility() { return mobility_; }
+  const radio::Receiver& receiver() const { return receiver_; }
+
+  RssiLog& log() { return log_; }
+  const RssiLog& log() const { return log_; }
+
+  // Position history sampled at every mobility tick; stands in for the GPS
+  // trace a real vehicle would log (used by cooperative baselines and the
+  // Fig. 14-style post-analysis).
+  mob::Trace& trace() { return trace_; }
+  const mob::Trace& trace() const { return trace_; }
+
+  // The MAC is attached by the world once the shared channel exists.
+  void attach_mac(std::unique_ptr<mac::CsmaCa> mac);
+  mac::CsmaCa& mac();
+  const mac::CsmaCa& mac() const;
+
+ private:
+  NodeId id_;
+  bool malicious_;
+  std::vector<IdentityConfig> identities_;
+  mob::EpochMobility mobility_;
+  radio::Receiver receiver_;
+  RssiLog log_;
+  mob::Trace trace_;
+  std::unique_ptr<mac::CsmaCa> mac_;
+};
+
+}  // namespace vp::sim

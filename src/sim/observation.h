@@ -1,0 +1,39 @@
+// What one vehicle knows after an observation window: the RSSI series (and
+// raw beacon records) of every identity it heard, plus its locally
+// estimated traffic density (Eq. 9). This is the sole input of
+// Voiceprint's comparison phase and the verifier-side input of CPVSAD.
+#pragma once
+
+#include <vector>
+
+#include "common/ids.h"
+#include "mobility/state.h"
+#include "sim/rssi_log.h"
+#include "timeseries/series.h"
+
+namespace vp::sim {
+
+struct NeighborObservation {
+  IdentityId id = kInvalidIdentity;
+  ts::Series rssi;
+  std::vector<BeaconRecord> beacons;
+};
+
+struct ObservationWindow {
+  NodeId observer = kInvalidNode;
+  mob::Vec2 observer_position;  // at the end of the window
+  double t0 = 0.0;
+  double t1 = 0.0;
+  std::vector<NeighborObservation> neighbors;
+  // Eq. 9 local estimate, vehicles per km.
+  double estimated_density_per_km = 0.0;
+
+  const NeighborObservation* find(IdentityId id) const {
+    for (const auto& n : neighbors) {
+      if (n.id == id) return &n;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace vp::sim

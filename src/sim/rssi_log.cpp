@@ -1,0 +1,64 @@
+#include "sim/rssi_log.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vp::sim {
+
+namespace {
+// Records are appended in time order, so binary search bounds the window.
+auto window_range(const std::vector<BeaconRecord>& records, double t0,
+                  double t1) {
+  const auto lo = std::lower_bound(
+      records.begin(), records.end(), t0,
+      [](const BeaconRecord& r, double t) { return r.time_s < t; });
+  const auto hi = std::lower_bound(
+      lo, records.end(), t1,
+      [](const BeaconRecord& r, double t) { return r.time_s < t; });
+  return std::pair(lo, hi);
+}
+}  // namespace
+
+void RssiLog::record(IdentityId id, const BeaconRecord& record) {
+  auto& list = entries_[id];
+  VP_REQUIRE(list.empty() || record.time_s >= list.back().time_s);
+  list.push_back(record);
+  ++total_;
+}
+
+std::vector<IdentityId> RssiLog::identities_heard(
+    double t0, double t1, std::size_t min_samples) const {
+  std::vector<IdentityId> ids;
+  for (const auto& [id, records] : entries_) {
+    const auto [lo, hi] = window_range(records, t0, t1);
+    if (static_cast<std::size_t>(hi - lo) >= min_samples) ids.push_back(id);
+  }
+  return ids;
+}
+
+ts::Series RssiLog::rssi_series(IdentityId id, double t0, double t1) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return {};
+  const auto [lo, hi] = window_range(it->second, t0, t1);
+  ts::Series series;
+  for (auto r = lo; r != hi; ++r) series.add(r->time_s, r->rssi_dbm);
+  return series;
+}
+
+std::vector<BeaconRecord> RssiLog::records(IdentityId id, double t0,
+                                           double t1) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return {};
+  const auto [lo, hi] = window_range(it->second, t0, t1);
+  return std::vector<BeaconRecord>(lo, hi);
+}
+
+std::size_t RssiLog::sample_count(IdentityId id, double t0, double t1) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return 0;
+  const auto [lo, hi] = window_range(it->second, t0, t1);
+  return static_cast<std::size_t>(hi - lo);
+}
+
+}  // namespace vp::sim

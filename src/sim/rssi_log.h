@@ -1,0 +1,50 @@
+// The collection phase's storage (Section IV-C-1): every vehicle records,
+// per received identity, the reception time, measured RSSI and the claimed
+// payload fields. Voiceprint itself only needs the ⟨ID, RSSI⟩ 2-tuples; the
+// claimed positions are kept for the CPVSAD baseline, which verifies them.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+#include "mobility/state.h"
+#include "timeseries/series.h"
+
+namespace vp::sim {
+
+struct BeaconRecord {
+  double time_s = 0.0;
+  double rssi_dbm = 0.0;
+  mob::Vec2 claimed_position;
+  double claimed_speed_mps = 0.0;
+  // The "TX power used" field of the WSMP N-header (IEEE 1609.3). Honest
+  // for everyone in this simulator; position-verification baselines rely
+  // on it, Voiceprint never reads it.
+  double declared_tx_power_dbm = 20.0;
+};
+
+class RssiLog {
+ public:
+  void record(IdentityId id, const BeaconRecord& record);
+
+  // Identities with at least `min_samples` records in [t0, t1).
+  std::vector<IdentityId> identities_heard(double t0, double t1,
+                                           std::size_t min_samples) const;
+
+  // RSSI time series of one identity restricted to [t0, t1); empty series
+  // if the identity was never heard there.
+  ts::Series rssi_series(IdentityId id, double t0, double t1) const;
+
+  // All records of one identity in [t0, t1).
+  std::vector<BeaconRecord> records(IdentityId id, double t0, double t1) const;
+
+  std::size_t sample_count(IdentityId id, double t0, double t1) const;
+  std::size_t total_records() const { return total_; }
+
+ private:
+  std::map<IdentityId, std::vector<BeaconRecord>> entries_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace vp::sim

@@ -1,0 +1,53 @@
+#include "sim/runner.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vp::sim {
+
+std::vector<NodeId> sample_observers(const World& world,
+                                     const EvaluationOptions& options) {
+  std::vector<NodeId> observers = world.normal_node_ids();
+  VP_REQUIRE(!observers.empty());
+  Rng rng(options.sampling_seed);
+  std::shuffle(observers.begin(), observers.end(), rng.engine());
+  if (observers.size() > options.max_observers) {
+    observers.resize(options.max_observers);
+  }
+  return observers;
+}
+
+EvaluationResult evaluate(const World& world, Detector& detector,
+                          const EvaluationOptions& options) {
+  const std::vector<NodeId> observers = sample_observers(world, options);
+  RateAverager averager;
+  EvaluationResult result;
+  double density_sum = 0.0;
+  double neighbor_sum = 0.0;
+
+  for (double t : world.detection_times()) {
+    for (NodeId observer : observers) {
+      const ObservationWindow window =
+          world.observe(observer, t, options.min_samples);
+      if (window.neighbors.empty()) continue;
+      const std::vector<IdentityId> flagged = detector.detect(window, world);
+      averager.add(score_detection(flagged, window, world.truth()));
+      density_sum += window.estimated_density_per_km;
+      neighbor_sum += static_cast<double>(window.neighbors.size());
+      ++result.windows_evaluated;
+    }
+  }
+
+  result.average_dr = averager.average_dr();
+  result.average_fpr = averager.average_fpr();
+  if (result.windows_evaluated > 0) {
+    result.average_estimated_density =
+        density_sum / static_cast<double>(result.windows_evaluated);
+    result.average_neighbors =
+        neighbor_sum / static_cast<double>(result.windows_evaluated);
+  }
+  return result;
+}
+
+}  // namespace vp::sim

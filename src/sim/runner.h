@@ -1,0 +1,44 @@
+// Experiment harness: runs detectors over a finished simulation the way the
+// paper evaluates them — every sampled normal vehicle performs a detection
+// at the end of every detection period, and the per-(observer, period)
+// rates are averaged (Eq. 12/13).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "sim/detector.h"
+#include "sim/metrics.h"
+#include "sim/world.h"
+
+namespace vp::sim {
+
+struct EvaluationOptions {
+  // Observers are a uniform sample of the normal vehicles; pairwise DTW per
+  // observer is quadratic in neighbours, so evaluating every vehicle at
+  // high density is needlessly slow and statistically redundant.
+  std::size_t max_observers = 16;
+  // Minimum packets an identity needs within the window to be compared
+  // (2 s of beacons by default: with fewer, a series carries no shape).
+  std::size_t min_samples = 20;
+  std::uint64_t sampling_seed = 7;
+};
+
+struct EvaluationResult {
+  double average_dr = 0.0;
+  double average_fpr = 0.0;
+  std::size_t windows_evaluated = 0;
+  double average_estimated_density = 0.0;
+  double average_neighbors = 0.0;
+};
+
+// Evaluates `detector` on an already-run world.
+EvaluationResult evaluate(const World& world, Detector& detector,
+                          const EvaluationOptions& options = {});
+
+// Picks the observer sample used by evaluate() (exposed for experiments
+// that need the same sample across detectors).
+std::vector<NodeId> sample_observers(const World& world,
+                                     const EvaluationOptions& options);
+
+}  // namespace vp::sim

@@ -1,0 +1,86 @@
+#include "sim/scenario.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace vp::sim {
+
+std::size_t ScenarioConfig::vehicle_count() const {
+  const double km = highway.length_m / 1000.0;
+  return static_cast<std::size_t>(std::llround(density_per_km * km));
+}
+
+std::size_t ScenarioConfig::malicious_count() const {
+  const auto n = static_cast<double>(vehicle_count());
+  // At least one attacker whenever the fraction is nonzero, so sparse
+  // scenarios still contain an attack to detect.
+  const auto m = static_cast<std::size_t>(std::llround(n * malicious_fraction));
+  return malicious_fraction > 0.0 ? std::max<std::size_t>(m, 1) : 0;
+}
+
+void ScenarioConfig::validate() const {
+  auto fail = [](const std::string& msg) { throw InvalidArgument(msg); };
+  if (density_per_km <= 0.0) fail("density must be positive");
+  if (malicious_fraction < 0.0 || malicious_fraction > 1.0) {
+    fail("malicious fraction must be in [0, 1]");
+  }
+  if (sybil_per_malicious_min < 1 ||
+      sybil_per_malicious_max < sybil_per_malicious_min) {
+    fail("invalid Sybil count range");
+  }
+  if (tx_power_max_dbm < tx_power_min_dbm) fail("invalid TX power range");
+  if (beacon_rate_hz <= 0.0) fail("beacon rate must be positive");
+  if (sim_time_s <= 0.0) fail("simulation time must be positive");
+  if (observation_time_s <= 0.0 || observation_time_s > sim_time_s) {
+    fail("observation time must be in (0, sim time]");
+  }
+  if (detection_period_s <= 0.0) fail("detection period must be positive");
+  if (density_estimation_period_s <= 0.0 ||
+      density_estimation_period_s > observation_time_s) {
+    fail("density estimation period must be in (0, observation time]");
+  }
+  if (max_transmission_range_m <= 0.0) fail("Dist_max must be positive");
+  if (sch_beacon_rate_hz < 0.0) fail("SCH beacon rate must be >= 0");
+  if (attack_start_time_s < 0.0) fail("attack start time must be >= 0");
+  if (shadowing_coherence_time_s <= 0.0) {
+    fail("shadowing coherence time must be positive");
+  }
+  if (measurement_noise_db < 0.0) fail("measurement noise must be >= 0");
+  if (malicious_count() >= vehicle_count() && malicious_fraction < 1.0) {
+    fail("malicious count exceeds vehicle count");
+  }
+}
+
+std::string ScenarioConfig::describe() const {
+  std::ostringstream os;
+  os << "Scenario (Table V defaults unless overridden)\n"
+     << "  highway length        : " << highway.length_m << " m, "
+     << 2 * highway.lanes_per_direction << " lanes ("
+     << highway.lane_width_m << " m wide)\n"
+     << "  density               : " << density_per_km << " vhls/km ("
+     << vehicle_count() << " vehicles, " << malicious_count()
+     << " malicious)\n"
+     << "  sybil per malicious   : " << sybil_per_malicious_min << "-"
+     << sybil_per_malicious_max << "\n"
+     << "  tx power              : " << tx_power_min_dbm << "-"
+     << tx_power_max_dbm << " dBm\n"
+     << "  beacon rate           : " << beacon_rate_hz << " Hz, "
+     << payload_bytes << " B @ " << phy.data_rate_bps / 1e6 << " Mbps\n"
+     << "  slot / SIFS           : " << phy.slot_us << " us / " << phy.sifs_us
+     << " us\n"
+     << "  mobility              : epochs " << mobility.epoch_rate_per_s
+     << "/s, speed N(" << mobility.mean_speed_mps << ", "
+     << mobility.sigma_speed_mps << ") m/s\n"
+     << "  observation/detection : " << observation_time_s << " s / "
+     << detection_period_s << " s (density est. "
+     << density_estimation_period_s << " s)\n"
+     << "  model change          : " << (model_change ? "on" : "off")
+     << " (period " << model_change_period_s << " s)\n"
+     << "  sim time              : " << sim_time_s << " s, seed " << seed
+     << "\n";
+  return os.str();
+}
+
+}  // namespace vp::sim

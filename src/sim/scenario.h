@@ -1,0 +1,114 @@
+// Scenario configuration. The defaults are Table V of the paper plus its
+// surrounding prose (Section V-A): a 2 km, 4-lane bi-directional highway;
+// 5% malicious vehicles, each fabricating 3–6 Sybil identities; 10 Hz
+// beacons; per-identity TX power drawn once from 17–23 dBm; epoch mobility
+// with λe = 0.2 s⁻¹, speeds N(25, 5) m/s; 20 s observation windows and a
+// propagation environment that optionally drifts every 30 s (Fig. 11b).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mac/phy.h"
+#include "mobility/epoch_mobility.h"
+#include "mobility/highway.h"
+#include "radio/dual_slope.h"
+#include "radio/receiver.h"
+
+namespace vp::sim {
+
+struct ScenarioConfig {
+  // --- Road and traffic --------------------------------------------------
+  mob::HighwayConfig highway{};              // 2 km, 2 lanes/direction, 3.6 m
+  double density_per_km = 50.0;              // Table V: 10–100 vhls/km
+  double malicious_fraction = 0.05;          // 5% of vehicles
+  int sybil_per_malicious_min = 3;
+  int sybil_per_malicious_max = 6;
+  mob::EpochMobilityParams mobility{};       // λe=0.2, N(25,5) m/s
+
+  // --- Radio and MAC -----------------------------------------------------
+  double frequency_hz = 5.89e9;              // CH 178
+  double tx_power_min_dbm = 17.0;            // drawn once per identity
+  double tx_power_max_dbm = 23.0;
+  radio::LinkBudget link_budget{};           // antenna gains (0 dBi default)
+  mac::PhyParams phy{};                      // 3 Mbps, slot 13 µs, SIFS 32 µs
+  radio::ReceiverConfig receiver{};          // −95 dBm sensitivity
+  double beacon_rate_hz = 10.0;
+  std::size_t payload_bytes = 500;
+  // --- Service channel (Section VII future work) --------------------------
+  // When > 0, every identity additionally beacons at this rate on the SCH —
+  // a second 10 MHz channel with its own contention domain — and receivers
+  // fold those samples into the same per-identity RSSI series, filling the
+  // observation window proportionally faster. (Modelled as a second
+  // transceiver; DSRC sync-interval channel switching is not simulated.)
+  double sch_beacon_rate_hz = 0.0;
+  std::size_t sch_payload_bytes = 200;  // samples need no full safety payload
+  // Reception is not evaluated beyond this range (mean power there is far
+  // below sensitivity for every Table IV environment); purely a CPU guard.
+  double max_reception_range_m = 800.0;
+
+  // --- Propagation environment -------------------------------------------
+  radio::DualSlopeParams base_environment = radio::DualSlopeParams::highway();
+  // Shadowing evolves per physical radio pair with this coherence time —
+  // the mechanism behind Observation 3 (identities of the same radio share
+  // one realised fading process; distinct radios do not).
+  double shadowing_coherence_time_s = 1.0;
+  // i.i.d. per-packet residual (measurement noise + residual fast fading),
+  // dB. Frame-level RSSI is averaged over >1 ms of symbols, so its
+  // repeatability is sub-dB on real hardware.
+  double measurement_noise_db = 0.5;
+  bool model_change = false;                 // Fig. 11a (off) vs 11b (on)
+  double model_change_period_s = 30.0;       // Table V
+  std::size_t model_cycle_steps = 4;
+
+  // --- Attack payload ----------------------------------------------------
+  // Sybil identities claim positions offset along the road from the real
+  // vehicle by a per-identity constant in ±[min, max].
+  double sybil_offset_min_m = 20.0;
+  double sybil_offset_max_m = 200.0;
+  double gps_noise_m = 2.5;                  // Table II horizontal accuracy
+
+  // How the attacker plays its TX power (Assumption 3 vs the Section VII
+  // "smart attack with power control" the paper leaves as an open problem):
+  //   kConstant       — every identity keeps its initial power (Assumption 3)
+  //   kPerPacket      — the attacker re-draws each Sybil beacon's power
+  //                     from [tx_power_min, tx_power_max] per packet
+  enum class AttackerPowerMode { kConstant, kPerPacket };
+  AttackerPowerMode attacker_power_mode = AttackerPowerMode::kConstant;
+
+  // How the attacker times its Sybil beacons:
+  //   kBurst     — all identities drain the one MAC queue back-to-back
+  //                (what a single radio naturally does)
+  //   kStaggered — the attacker deliberately spreads its identities'
+  //                beacons across the beacon period, so their samples ride
+  //                different instants of the shadowing process
+  enum class SybilTimingMode { kBurst, kStaggered };
+  SybilTimingMode sybil_timing_mode = SybilTimingMode::kBurst;
+
+  // When > 0, Sybil identities stay silent until this simulation time, so
+  // the attack *starts* mid-run — the situation entry-plausibility checks
+  // (Bouassida-style, baseline/rssi_variation.h) are designed to catch: a
+  // brand-new identity popping up mid-range at full signal strength.
+  double attack_start_time_s = 0.0;
+
+  // --- Detection-related timing (consumed by the harness) -----------------
+  double sim_time_s = 100.0;
+  double observation_time_s = 20.0;          // Table V
+  double detection_period_s = 20.0;
+  double density_estimation_period_s = 10.0;
+  double max_transmission_range_m = 400.0;   // Dist_max of Eq. 9
+
+  std::uint64_t seed = 1;
+
+  // --- Derived -------------------------------------------------------------
+  std::size_t vehicle_count() const;
+  std::size_t malicious_count() const;
+
+  // Throws InvalidArgument on inconsistent settings.
+  void validate() const;
+
+  // A human-readable dump of the Table V parameters (printed by benches).
+  std::string describe() const;
+};
+
+}  // namespace vp::sim

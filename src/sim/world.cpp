@@ -1,0 +1,373 @@
+#include "sim/world.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "radio/switching.h"
+
+namespace vp::sim {
+
+void GroundTruth::add(IdentityId id, Info info) {
+  VP_REQUIRE(infos_.emplace(id, info).second);
+}
+
+const GroundTruth::Info& GroundTruth::info(IdentityId id) const {
+  const auto it = infos_.find(id);
+  VP_REQUIRE(it != infos_.end());
+  return it->second;
+}
+
+bool GroundTruth::known(IdentityId id) const { return infos_.count(id) != 0; }
+
+bool GroundTruth::is_illegitimate(IdentityId id) const {
+  const Info& i = info(id);
+  return i.sybil || i.owner_malicious;
+}
+
+bool GroundTruth::same_radio(IdentityId a, IdentityId b) const {
+  return info(a).owner == info(b).owner;
+}
+
+World::World(ScenarioConfig config)
+    : config_(std::move(config)),
+      rng_(config_.seed),
+      gps_rng_(rng_.fork("gps")),
+      attacker_power_rng_(rng_.fork("attacker-power")),
+      highway_(config_.highway) {
+  config_.validate();
+  build_model();
+  shadowing_ = std::make_unique<radio::CorrelatedShadowingField>(
+      config_.shadowing_coherence_time_s, config_.measurement_noise_db,
+      rng_.fork("shadowing"));
+  channel_ = std::make_unique<mac::Channel>(*model_, config_.phy);
+  if (config_.sch_beacon_rate_hz > 0.0) {
+    sch_channel_ = std::make_unique<mac::Channel>(*model_, config_.phy);
+  }
+  build_nodes();
+}
+
+void World::build_model() {
+  if (config_.model_change) {
+    model_ = std::make_unique<radio::SwitchingDualSlopeModel>(
+        radio::SwitchingDualSlopeModel::perturbed_cycle(
+            config_.frequency_hz, config_.base_environment,
+            config_.model_cycle_steps, config_.model_change_period_s,
+            config_.seed, config_.link_budget));
+  } else {
+    model_ = std::make_unique<radio::DualSlopeModel>(
+        config_.frequency_hz, config_.base_environment, config_.link_budget);
+  }
+}
+
+void World::build_nodes() {
+  Rng build_rng = rng_.fork("build");
+  const std::size_t n = config_.vehicle_count();
+  const std::size_t n_malicious = config_.malicious_count();
+  VP_REQUIRE(n >= 2);
+
+  // Pick which vehicles are malicious, uniformly over the fleet.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), build_rng.engine());
+  std::vector<bool> malicious(n, false);
+  for (std::size_t i = 0; i < n_malicious; ++i) malicious[order[i]] = true;
+
+  IdentityId next_sybil_id = 10000;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto node_id = static_cast<NodeId>(i);
+    std::vector<IdentityConfig> identities;
+    // Genuine identity: same numeric value as the node id.
+    identities.push_back(
+        {.id = static_cast<IdentityId>(i),
+         .sybil = false,
+         .tx_power_dbm = build_rng.uniform(config_.tx_power_min_dbm,
+                                           config_.tx_power_max_dbm),
+         .claimed_offset = {}});
+    if (malicious[i]) {
+      const auto n_sybil = static_cast<int>(
+          build_rng.uniform_int(config_.sybil_per_malicious_min,
+                                config_.sybil_per_malicious_max));
+      for (int s = 0; s < n_sybil; ++s) {
+        const double magnitude = build_rng.uniform(
+            config_.sybil_offset_min_m, config_.sybil_offset_max_m);
+        const double offset =
+            build_rng.chance(0.5) ? magnitude : -magnitude;
+        identities.push_back(
+            {.id = next_sybil_id++,
+             .sybil = true,
+             .tx_power_dbm = build_rng.uniform(config_.tx_power_min_dbm,
+                                               config_.tx_power_max_dbm),
+             .claimed_offset = {offset, 0.0}});
+      }
+    }
+
+    mob::VehicleState initial = highway_.random_state(build_rng);
+    mob::EpochMobility mobility(
+        config_.mobility, initial,
+        rng_.fork("mobility-" + std::to_string(i)));
+    auto node =
+        std::make_unique<Node>(node_id, malicious[i], identities,
+                               std::move(mobility),
+                               radio::Receiver(config_.receiver));
+
+    for (const IdentityConfig& identity : node->identities()) {
+      truth_.add(identity.id, {.owner = node_id,
+                               .sybil = identity.sybil,
+                               .owner_malicious = malicious[i]});
+    }
+    nodes_.push_back(std::move(node));
+  }
+
+  // Attach MACs (the channels exist by now) and schedule beacon processes.
+  if (sch_channel_) sch_macs_.resize(nodes_.size());
+  for (auto& node_ptr : nodes_) {
+    Node* node = node_ptr.get();
+    node->attach_mac(std::make_unique<mac::CsmaCa>(
+        config_.phy, *channel_, queue_,
+        rng_.fork("mac-" + std::to_string(node->id())), node->id(),
+        [node] { return node->state().position; },
+        [this, node](const mac::Frame& frame) {
+          start_transmission(node, frame, /*sch=*/false);
+        }));
+    if (sch_channel_) {
+      sch_macs_[node->id()] = std::make_unique<mac::CsmaCa>(
+          config_.phy, *sch_channel_, queue_,
+          rng_.fork("sch-mac-" + std::to_string(node->id())), node->id(),
+          [node] { return node->state().position; },
+          [this, node](const mac::Frame& frame) {
+            start_transmission(node, frame, /*sch=*/true);
+          });
+    }
+    const double beacon_period = 1.0 / config_.beacon_rate_hz;
+    // Random phase per NODE desynchronises the fleet's beacons; all of a
+    // node's identities share that phase because one radio drains one
+    // queue — the malicious node emits its genuine and Sybil beacons in a
+    // back-to-back burst (which is also why Sybil frames experience nearly
+    // identical instantaneous shadowing, Observation 3). A staggering
+    // attacker deliberately spreads its identities over the period instead.
+    const double phase = build_rng.uniform(0.0, beacon_period);
+    const bool stagger =
+        node->malicious() && config_.sybil_timing_mode ==
+                                 ScenarioConfig::SybilTimingMode::kStaggered;
+    for (std::size_t idx = 0; idx < node->identities().size(); ++idx) {
+      const double identity_phase =
+          stagger && idx > 0 ? build_rng.uniform(0.0, beacon_period) : phase;
+      schedule_beacon(node, idx, identity_phase, /*sch=*/false);
+      if (sch_channel_) {
+        const double sch_period = 1.0 / config_.sch_beacon_rate_hz;
+        const double sch_phase =
+            stagger && idx > 0
+                ? build_rng.uniform(0.0, sch_period)
+                : phase * sch_period / beacon_period;
+        schedule_beacon(node, idx, sch_phase, /*sch=*/true);
+      }
+    }
+  }
+}
+
+mac::CsmaCa& World::mac_for(Node* node, bool sch) {
+  if (!sch) return node->mac();
+  VP_REQUIRE(sch_channel_ != nullptr);
+  return *sch_macs_[node->id()];
+}
+
+void World::schedule_beacon(Node* node, std::size_t identity_index,
+                            double first_time, bool sch) {
+  queue_.schedule(first_time, [this, node, identity_index, sch] {
+    const double now = queue_.now();
+    if (now >= config_.sim_time_s) return;
+    const IdentityConfig& identity = node->identities()[identity_index];
+    if (identity.sybil && now < config_.attack_start_time_s) {
+      // The attack has not started yet: stay silent, keep the schedule.
+      schedule_beacon(node, identity_index,
+                      now + 1.0 / (sch ? config_.sch_beacon_rate_hz
+                                       : config_.beacon_rate_hz),
+                      sch);
+      return;
+    }
+
+    mac::Frame frame;
+    frame.identity = identity.id;
+    frame.sender = node->id();
+    frame.tx_power_dbm = identity.tx_power_dbm;
+    // The Section VII smart attack: the malicious node re-draws the power
+    // of every forged beacon to destroy the constant offset Eq. 7 removes.
+    if (node->malicious() && identity.sybil &&
+        config_.attacker_power_mode ==
+            ScenarioConfig::AttackerPowerMode::kPerPacket) {
+      frame.tx_power_dbm = attacker_power_rng_.uniform(
+          config_.tx_power_min_dbm, config_.tx_power_max_dbm);
+    }
+    const mob::Vec2 gps_noise = {gps_rng_.normal(0.0, config_.gps_noise_m),
+                                 gps_rng_.normal(0.0, config_.gps_noise_m)};
+    frame.claimed_position =
+        node->state().position + identity.claimed_offset + gps_noise;
+    frame.claimed_speed_mps = node->state().speed_mps;
+    frame.payload_bytes =
+        sch ? config_.sch_payload_bytes : config_.payload_bytes;
+    if (!mac_for(node, sch).enqueue(frame)) ++stats_.beacon_queue_drops;
+
+    const double period =
+        1.0 / (sch ? config_.sch_beacon_rate_hz : config_.beacon_rate_hz);
+    schedule_beacon(node, identity_index, now + period, sch);
+  });
+}
+
+void World::start_transmission(Node* node, const mac::Frame& frame,
+                               bool sch) {
+  const double now = queue_.now();
+  const double airtime = config_.phy.airtime_s(frame.payload_bytes);
+  mac::Channel& channel = sch ? *sch_channel_ : *channel_;
+  const mac::TransmissionSeq seq =
+      channel.begin(frame, node->state().position, now, airtime);
+  ++stats_.frames_sent;
+
+  mac::Transmission transmission;
+  transmission.seq = seq;
+  transmission.frame = frame;
+  transmission.tx_position = node->state().position;
+  transmission.start_s = now;
+  transmission.end_s = now + airtime;
+  queue_.schedule(now + airtime, [this, node, transmission, sch] {
+    finish_transmission(node, transmission, sch);
+  });
+}
+
+void World::finish_transmission(Node* node, mac::Transmission transmission,
+                                bool sch) {
+  mac::Channel& channel = sch ? *sch_channel_ : *channel_;
+  deliver(transmission, channel);
+  mac_for(node, sch).on_transmission_complete();
+  // Anything that ended more than a frame ago can no longer overlap a
+  // frame still in flight.
+  const double max_airtime = config_.phy.airtime_s(config_.payload_bytes);
+  channel.prune(queue_.now() - 2.0 * max_airtime);
+}
+
+void World::deliver(const mac::Transmission& t, mac::Channel& channel) {
+  for (auto& receiver_ptr : nodes_) {
+    Node& rx_node = *receiver_ptr;
+    if (rx_node.id() == t.frame.sender) continue;
+    const mob::Vec2 pos = rx_node.state().position;
+    const double d = std::max(mob::distance(pos, t.tx_position), 1.0);
+    if (d > config_.max_reception_range_m) continue;
+    if (channel.node_transmitting_during(rx_node.id(), t.start_s, t.end_s)) {
+      ++stats_.frames_half_duplex_missed;
+      continue;
+    }
+    // Mean path loss plus the *pair-correlated* shadowing realisation: all
+    // identities of one radio share the same process toward this receiver
+    // (Observation 3), while distinct radios fade independently. The
+    // shadowing process is advanced at delivery (frame-end) time: the
+    // event queue guarantees those are globally ordered even with two
+    // channels in flight.
+    const double mean_power =
+        model_->mean_rx_power_dbm(t.frame.tx_power_dbm, d, t.start_s);
+    const double sigma = model_->shadowing_sigma_db(d, t.start_s);
+    const double rx_power =
+        mean_power +
+        shadowing_->sample(t.frame.sender, rx_node.id(), sigma, t.end_s);
+    const auto rssi = rx_node.receiver().measure(rx_power);
+    if (!rssi.has_value()) {
+      ++stats_.frames_below_sensitivity;
+      continue;
+    }
+    const double interference =
+        channel.interference_mw(pos, t.start_s, t.end_s, t.seq);
+    if (!rx_node.receiver().captures(rx_power, interference)) {
+      ++stats_.frames_collided;
+      continue;
+    }
+    rx_node.log().record(t.frame.identity,
+                         {.time_s = t.end_s,
+                          .rssi_dbm = *rssi,
+                          .claimed_position = t.frame.claimed_position,
+                          .claimed_speed_mps = t.frame.claimed_speed_mps,
+                          .declared_tx_power_dbm = t.frame.tx_power_dbm});
+    ++stats_.frames_received;
+  }
+}
+
+void World::mobility_tick(double dt) {
+  const double tick_now = queue_.now();
+  for (auto& node : nodes_) {
+    node->mobility().advance(dt, highway_);
+    node->trace().add(tick_now, node->state().position,
+                      node->state().speed_mps);
+  }
+  const double now = queue_.now();
+  if (now + dt <= config_.sim_time_s) {
+    queue_.schedule(now + dt, [this, dt] { mobility_tick(dt); });
+  }
+}
+
+void World::run() {
+  VP_REQUIRE(!ran_);
+  ran_ = true;
+  for (auto& node : nodes_) {
+    node->trace().add(0.0, node->state().position, node->state().speed_mps);
+  }
+  const double dt = 0.1;
+  queue_.schedule(dt, [this, dt] { mobility_tick(dt); });
+  queue_.run_until(config_.sim_time_s);
+}
+
+Node& World::node(NodeId id) {
+  VP_REQUIRE(id < nodes_.size());
+  return *nodes_[id];
+}
+
+const Node& World::node(NodeId id) const {
+  VP_REQUIRE(id < nodes_.size());
+  return *nodes_[id];
+}
+
+std::vector<NodeId> World::normal_node_ids() const {
+  std::vector<NodeId> ids;
+  for (const auto& node : nodes_) {
+    if (!node->malicious()) ids.push_back(node->id());
+  }
+  return ids;
+}
+
+std::vector<double> World::detection_times() const {
+  std::vector<double> times;
+  for (double t = config_.observation_time_s; t <= config_.sim_time_s + 1e-9;
+       t += config_.detection_period_s) {
+    times.push_back(t);
+  }
+  return times;
+}
+
+ObservationWindow World::observe(NodeId observer, double t1,
+                                 std::size_t min_samples) const {
+  const Node& obs_node = node(observer);
+  ObservationWindow window;
+  window.observer = observer;
+  window.observer_position = obs_node.state().position;
+  window.t0 = t1 - config_.observation_time_s;
+  window.t1 = t1;
+
+  for (IdentityId id :
+       obs_node.log().identities_heard(window.t0, window.t1, min_samples)) {
+    NeighborObservation neighbor;
+    neighbor.id = id;
+    neighbor.rssi = obs_node.log().rssi_series(id, window.t0, window.t1);
+    neighbor.beacons = obs_node.log().records(id, window.t0, window.t1);
+    window.neighbors.push_back(std::move(neighbor));
+  }
+
+  // Eq. 9: den = N / (2 · Dist_max), with N the identities heard during the
+  // trailing density-estimation period. A fresh observer cannot yet tell
+  // legitimate nodes apart, so all heard identities count (Section IV-C-3).
+  const double est_t0 = t1 - config_.density_estimation_period_s;
+  const std::size_t heard =
+      obs_node.log().identities_heard(est_t0, t1, 1).size();
+  const double dist_max_km = config_.max_transmission_range_m / 1000.0;
+  window.estimated_density_per_km =
+      static_cast<double>(heard) / (2.0 * dist_max_km);
+  return window;
+}
+
+}  // namespace vp::sim

@@ -1,0 +1,133 @@
+// The simulated VANET (the NS-2.34 stand-in): a highway of beaconing
+// vehicles — some malicious, each with forged Sybil identities — over a
+// shared CSMA/CA channel with a (possibly drifting) dual-slope propagation
+// environment. After run(), per-vehicle RSSI logs can be cut into the
+// ObservationWindows the detectors consume.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "mac/channel.h"
+#include "mobility/highway.h"
+#include "radio/fading.h"
+#include "radio/propagation.h"
+#include "sim/node.h"
+#include "sim/observation.h"
+#include "sim/scenario.h"
+
+namespace vp::sim {
+
+// Who really owns each identity — the evaluation oracle (never visible to
+// detectors).
+class GroundTruth {
+ public:
+  struct Info {
+    NodeId owner = kInvalidNode;
+    bool sybil = false;
+    bool owner_malicious = false;
+  };
+
+  void add(IdentityId id, Info info);
+  const Info& info(IdentityId id) const;
+  bool known(IdentityId id) const;
+
+  // Sybil identities and the genuine identity of a malicious node both
+  // count as illegitimate (Eq. 10's N_m + Σ N_s).
+  bool is_illegitimate(IdentityId id) const;
+
+  // True if both identities are emitted by the same physical radio — the
+  // ground truth for a "Sybil pair" in classifier training (Fig. 10).
+  bool same_radio(IdentityId a, IdentityId b) const;
+
+  std::size_t identity_count() const { return infos_.size(); }
+
+ private:
+  std::map<IdentityId, Info> infos_;
+};
+
+struct WorldStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t frames_below_sensitivity = 0;
+  std::uint64_t frames_collided = 0;
+  std::uint64_t frames_half_duplex_missed = 0;
+  std::uint64_t beacon_queue_drops = 0;
+};
+
+class World {
+ public:
+  // Builds road, vehicles, identities, MACs and schedules the beacon
+  // processes. Throws InvalidArgument if the config does not validate.
+  explicit World(ScenarioConfig config);
+
+  // Immovable: MACs and queued events hold references into this object.
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+  World(World&&) = delete;
+  World& operator=(World&&) = delete;
+
+  // Runs the full scenario (callable once).
+  void run();
+
+  double now() const { return queue_.now(); }
+  const ScenarioConfig& config() const { return config_; }
+  const mob::Highway& highway() const { return highway_; }
+  const GroundTruth& truth() const { return truth_; }
+  const radio::PropagationModel& propagation() const { return *model_; }
+  const WorldStats& stats() const { return stats_; }
+
+  const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+  Node& node(NodeId id);
+  const Node& node(NodeId id) const;
+
+  // Ids of all non-malicious vehicles (the observers the paper averages
+  // over).
+  std::vector<NodeId> normal_node_ids() const;
+
+  // Detection instants: the end of each detection period that fits in the
+  // simulation (t = obs, obs+period, ...).
+  std::vector<double> detection_times() const;
+
+  // Cuts the observer's log into an observation window over [t1−obs, t1),
+  // computing the Eq. 9 density estimate over the trailing estimation
+  // period. Identities with fewer than `min_samples` packets are ignored
+  // (too little data to form a series).
+  ObservationWindow observe(NodeId observer, double t1,
+                            std::size_t min_samples = 4) const;
+
+ private:
+  void build_model();
+  void build_nodes();
+  // `sch` selects the service-channel path (second channel + MAC).
+  void schedule_beacon(Node* node, std::size_t identity_index,
+                       double first_time, bool sch);
+  void start_transmission(Node* node, const mac::Frame& frame, bool sch);
+  void finish_transmission(Node* node, mac::Transmission transmission,
+                           bool sch);
+  void deliver(const mac::Transmission& transmission, mac::Channel& channel);
+  mac::CsmaCa& mac_for(Node* node, bool sch);
+  void mobility_tick(double dt);
+
+  ScenarioConfig config_;
+  Rng rng_;
+  Rng gps_rng_;
+  Rng attacker_power_rng_;
+  mob::Highway highway_;
+  std::unique_ptr<radio::PropagationModel> model_;
+  std::unique_ptr<radio::CorrelatedShadowingField> shadowing_;
+  EventQueue queue_;
+  std::unique_ptr<mac::Channel> channel_;      // CCH
+  std::unique_ptr<mac::Channel> sch_channel_;  // SCH (when enabled)
+  std::vector<std::unique_ptr<mac::CsmaCa>> sch_macs_;  // per node id
+  std::vector<std::unique_ptr<Node>> nodes_;
+  GroundTruth truth_;
+  WorldStats stats_;
+  bool ran_ = false;
+};
+
+}  // namespace vp::sim

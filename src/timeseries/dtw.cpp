@@ -1,0 +1,280 @@
+#include "timeseries/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace vp::ts {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Parent direction of a DP cell, for path recovery.
+enum class Move : unsigned char { kNone, kDiag, kLeft, kUp };
+}  // namespace
+
+double local_cost(double a, double b, LocalCost cost) {
+  const double d = a - b;
+  return cost == LocalCost::kSquared ? d * d : std::fabs(d);
+}
+
+SearchWindow::SearchWindow(std::size_t rows, std::size_t cols)
+    : cols_(cols), lo_(rows, 0), hi_(rows, 0), set_(rows, false) {
+  VP_REQUIRE(rows > 0 && cols > 0);
+}
+
+SearchWindow SearchWindow::full(std::size_t rows, std::size_t cols) {
+  SearchWindow w(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) w.include_range(i, 0, cols - 1);
+  return w;
+}
+
+void SearchWindow::include(std::size_t i, std::size_t j) {
+  include_range(i, j, j);
+}
+
+void SearchWindow::include_range(std::size_t i, std::size_t jlo,
+                                 std::size_t jhi) {
+  VP_REQUIRE(i < lo_.size());
+  VP_REQUIRE(jlo <= jhi && jhi < cols_);
+  if (!set_[i]) {
+    lo_[i] = jlo;
+    hi_[i] = jhi;
+    set_[i] = true;
+  } else {
+    lo_[i] = std::min(lo_[i], jlo);
+    hi_[i] = std::max(hi_[i], jhi);
+  }
+}
+
+void SearchWindow::expand(std::size_t radius) {
+  if (radius == 0) return;
+  const std::size_t rows = lo_.size();
+  std::vector<std::size_t> new_lo(rows, 0), new_hi(rows, 0);
+  std::vector<bool> new_set(rows, false);
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (!set_[i]) continue;
+    const std::size_t r0 = i >= radius ? i - radius : 0;
+    const std::size_t r1 = std::min(i + radius, rows - 1);
+    const std::size_t c0 = lo_[i] >= radius ? lo_[i] - radius : 0;
+    const std::size_t c1 = std::min(hi_[i] + radius, cols_ - 1);
+    for (std::size_t r = r0; r <= r1; ++r) {
+      if (!new_set[r]) {
+        new_lo[r] = c0;
+        new_hi[r] = c1;
+        new_set[r] = true;
+      } else {
+        new_lo[r] = std::min(new_lo[r], c0);
+        new_hi[r] = std::max(new_hi[r], c1);
+      }
+    }
+  }
+  lo_ = std::move(new_lo);
+  hi_ = std::move(new_hi);
+  set_ = std::move(new_set);
+}
+
+bool SearchWindow::row_empty(std::size_t i) const {
+  VP_REQUIRE(i < set_.size());
+  return !set_[i];
+}
+
+std::size_t SearchWindow::lo(std::size_t i) const {
+  VP_REQUIRE(i < lo_.size() && set_[i]);
+  return lo_[i];
+}
+
+std::size_t SearchWindow::hi(std::size_t i) const {
+  VP_REQUIRE(i < hi_.size() && set_[i]);
+  return hi_[i];
+}
+
+std::size_t SearchWindow::cell_count() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < lo_.size(); ++i) {
+    if (set_[i]) total += hi_[i] - lo_[i] + 1;
+  }
+  return total;
+}
+
+DtwResult dtw(std::span<const double> x, std::span<const double> y,
+              LocalCost cost) {
+  VP_REQUIRE(!x.empty() && !y.empty());
+  return dtw_windowed(x, y, SearchWindow::full(x.size(), y.size()), cost);
+}
+
+double dtw_distance(std::span<const double> x, std::span<const double> y,
+                    LocalCost cost) {
+  VP_REQUIRE(!x.empty() && !y.empty());
+  const std::size_t n = x.size();
+  const std::size_t m = y.size();
+  std::vector<double> prev(m, kInf), curr(m, kInf);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const double c = local_cost(x[i], y[j], cost);
+      double best;
+      if (i == 0 && j == 0) {
+        best = 0.0;
+      } else {
+        best = kInf;
+        if (i > 0) best = std::min(best, prev[j]);                // up
+        if (j > 0) best = std::min(best, curr[j - 1]);            // left
+        if (i > 0 && j > 0) best = std::min(best, prev[j - 1]);   // diag
+      }
+      curr[j] = c + best;
+    }
+    std::swap(prev, curr);
+    std::fill(curr.begin(), curr.end(), kInf);
+  }
+  return prev[m - 1];
+}
+
+DtwResult dtw_windowed(std::span<const double> x, std::span<const double> y,
+                       const SearchWindow& window, LocalCost cost) {
+  VP_REQUIRE(!x.empty() && !y.empty());
+  VP_REQUIRE(window.rows() == x.size());
+  VP_REQUIRE(window.cols() == y.size());
+  const std::size_t n = x.size();
+  const std::size_t m = y.size();
+  if (window.row_empty(0) || window.lo(0) != 0 || window.row_empty(n - 1) ||
+      window.hi(n - 1) != m - 1) {
+    throw InvalidArgument("DTW window must contain (0,0) and (N-1,M-1)");
+  }
+
+  // Row-sliced DP storage: for each row keep values and parent moves over
+  // [lo, hi] only.
+  std::vector<std::vector<double>> dp(n);
+  std::vector<std::vector<Move>> parent(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (window.row_empty(i)) continue;
+    const std::size_t width = window.hi(i) - window.lo(i) + 1;
+    dp[i].assign(width, kInf);
+    parent[i].assign(width, Move::kNone);
+  }
+
+  auto cell = [&](std::size_t i, std::size_t j) -> double {
+    if (window.row_empty(i)) return kInf;
+    if (j < window.lo(i) || j > window.hi(i)) return kInf;
+    return dp[i][j - window.lo(i)];
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (window.row_empty(i)) continue;
+    for (std::size_t j = window.lo(i); j <= window.hi(i); ++j) {
+      const double c = local_cost(x[i], y[j], cost);
+      double best;
+      Move move;
+      if (i == 0 && j == 0) {
+        best = 0.0;
+        move = Move::kNone;
+      } else {
+        best = kInf;
+        move = Move::kNone;
+        if (i > 0 && j > 0) {
+          const double v = cell(i - 1, j - 1);
+          if (v < best) {
+            best = v;
+            move = Move::kDiag;
+          }
+        }
+        if (j > 0) {
+          const double v = cell(i, j - 1);
+          if (v < best) {
+            best = v;
+            move = Move::kLeft;
+          }
+        }
+        if (i > 0) {
+          const double v = cell(i - 1, j);
+          if (v < best) {
+            best = v;
+            move = Move::kUp;
+          }
+        }
+        if (!std::isfinite(best)) continue;  // unreachable cell
+      }
+      dp[i][j - window.lo(i)] = c + best;
+      parent[i][j - window.lo(i)] = move;
+    }
+  }
+
+  const double total = cell(n - 1, m - 1);
+  if (!std::isfinite(total)) {
+    throw InvalidArgument("DTW window admits no monotone warp path");
+  }
+
+  DtwResult result;
+  result.distance = total;
+  std::size_t i = n - 1;
+  std::size_t j = m - 1;
+  for (;;) {
+    result.path.push_back({i, j});
+    const Move move = parent[i][j - window.lo(i)];
+    if (move == Move::kNone) break;
+    switch (move) {
+      case Move::kDiag:
+        --i;
+        --j;
+        break;
+      case Move::kLeft:
+        --j;
+        break;
+      case Move::kUp:
+        --i;
+        break;
+      case Move::kNone:
+        break;
+    }
+  }
+  std::reverse(result.path.begin(), result.path.end());
+  VP_ENSURE((result.path.front() == WarpStep{0, 0}));
+  return result;
+}
+
+DtwResult dtw_banded(std::span<const double> x, std::span<const double> y,
+                     std::size_t band, LocalCost cost) {
+  VP_REQUIRE(!x.empty() && !y.empty());
+  const std::size_t n = x.size();
+  const std::size_t m = y.size();
+  SearchWindow window(n, m);
+  // Sakoe–Chiba band around the rescaled diagonal. When the lengths differ
+  // by more than the band, consecutive rows' bands would not overlap, so
+  // each row additionally covers the diagonal staircase to the next row's
+  // centre — guaranteeing a monotone path for any size ratio.
+  auto centre_of = [&](std::size_t i) -> std::size_t {
+    if (n == 1) return m - 1;
+    return static_cast<std::size_t>(
+        (static_cast<double>(i) * static_cast<double>(m - 1)) /
+            static_cast<double>(n - 1) +
+        0.5);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t centre = centre_of(i);
+    const std::size_t jlo = centre >= band ? centre - band : 0;
+    const std::size_t jhi = std::min(centre + band, m - 1);
+    window.include_range(i, jlo, jhi);
+    const std::size_t next = centre_of(std::min(i + 1, n - 1));
+    window.include_range(i, std::min(centre, next), std::max(centre, next));
+  }
+  return dtw_windowed(x, y, window, cost);
+}
+
+bool is_valid_warp_path(std::span<const WarpStep> path, std::size_t n,
+                        std::size_t m) {
+  if (path.empty()) return false;
+  if (path.front().i != 0 || path.front().j != 0) return false;
+  if (path.back().i != n - 1 || path.back().j != m - 1) return false;
+  for (std::size_t k = 1; k < path.size(); ++k) {
+    const auto& a = path[k - 1];
+    const auto& b = path[k];
+    const bool monotone = b.i >= a.i && b.j >= a.j;
+    const bool step = (b.i - a.i) + (b.j - a.j) >= 1;
+    const bool continuous = b.i - a.i <= 1 && b.j - a.j <= 1;
+    if (!monotone || !step || !continuous) return false;
+  }
+  return true;
+}
+
+}  // namespace vp::ts

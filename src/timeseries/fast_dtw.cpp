@@ -1,0 +1,105 @@
+#include "timeseries/fast_dtw.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+
+namespace vp::ts {
+
+std::vector<double> coarsen_by_two(std::span<const double> x) {
+  VP_REQUIRE(!x.empty());
+  std::vector<double> out;
+  out.reserve((x.size() + 1) / 2);
+  std::size_t i = 0;
+  for (; i + 1 < x.size(); i += 2) out.push_back(0.5 * (x[i] + x[i + 1]));
+  if (i < x.size()) out.push_back(x[i]);
+  return out;
+}
+
+SearchWindow expand_window(std::span<const WarpStep> coarse_path,
+                           std::size_t fine_n, std::size_t fine_m,
+                           std::size_t radius) {
+  VP_REQUIRE(!coarse_path.empty());
+  SearchWindow window(fine_n, fine_m);
+  for (const WarpStep& step : coarse_path) {
+    // Each coarse cell (i,j) covers fine rows {2i, 2i+1} × cols {2j, 2j+1}.
+    const std::size_t r0 = std::min(2 * step.i, fine_n - 1);
+    const std::size_t r1 = std::min(2 * step.i + 1, fine_n - 1);
+    const std::size_t c0 = std::min(2 * step.j, fine_m - 1);
+    const std::size_t c1 = std::min(2 * step.j + 1, fine_m - 1);
+    window.include_range(r0, c0, c1);
+    window.include_range(r1, c0, c1);
+  }
+  window.expand(radius);
+  // The projection of a valid coarse path always covers the corners; the
+  // radius expansion can only widen that.
+  window.include(0, 0);
+  window.include(fine_n - 1, fine_m - 1);
+  return window;
+}
+
+SearchWindow constrain_to_band(const SearchWindow& window, std::size_t band) {
+  const std::size_t n = window.rows();
+  const std::size_t m = window.cols();
+  SearchWindow out(n, m);
+  auto diagonal = [&](std::size_t i) -> std::size_t {
+    if (n == 1) return m - 1;
+    return static_cast<std::size_t>(
+        (static_cast<double>(i) * static_cast<double>(m - 1)) /
+            static_cast<double>(n - 1) +
+        0.5);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = diagonal(i);
+    const std::size_t blo = c >= band ? c - band : 0;
+    const std::size_t bhi = std::min(c + band, m - 1);
+    if (!window.row_empty(i)) {
+      const std::size_t plo = std::max(window.lo(i), blo);
+      const std::size_t phi = std::min(window.hi(i), bhi);
+      if (plo <= phi) out.include_range(i, plo, phi);
+    }
+    // Diagonal staircase from this row's centre to the next row's centre
+    // keeps the constrained window monotonically connected.
+    const std::size_t c_next = diagonal(std::min(i + 1, n - 1));
+    out.include_range(i, std::min(c, c_next), std::max(c, c_next));
+  }
+  return out;
+}
+
+namespace {
+
+DtwResult fast_dtw_impl(std::span<const double> x, std::span<const double> y,
+                        const FastDtwOptions& options, std::size_t band) {
+  // Below this size a full DTW is cheaper than recursing.
+  const std::size_t min_size = options.radius + 2;
+  if (x.size() <= min_size || y.size() <= min_size) {
+    if (options.band == 0) return dtw(x, y, options.cost);
+    const SearchWindow window = constrain_to_band(
+        SearchWindow::full(x.size(), y.size()), std::max<std::size_t>(band, 1));
+    return dtw_windowed(x, y, window, options.cost);
+  }
+  const std::vector<double> coarse_x = coarsen_by_two(x);
+  const std::vector<double> coarse_y = coarsen_by_two(y);
+  const DtwResult coarse =
+      fast_dtw_impl(coarse_x, coarse_y, options,
+                    std::max<std::size_t>(band / 2, 1));
+  SearchWindow window =
+      expand_window(coarse.path, x.size(), y.size(), options.radius);
+  if (options.band > 0) {
+    window = constrain_to_band(window, std::max<std::size_t>(band, 1));
+    window.include(0, 0);
+    window.include(x.size() - 1, y.size() - 1);
+  }
+  return dtw_windowed(x, y, window, options.cost);
+}
+
+}  // namespace
+
+DtwResult fast_dtw(std::span<const double> x, std::span<const double> y,
+                   const FastDtwOptions& options) {
+  VP_REQUIRE(!x.empty() && !y.empty());
+  return fast_dtw_impl(x, y, options, options.band);
+}
+
+}  // namespace vp::ts

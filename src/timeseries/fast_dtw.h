@@ -1,0 +1,50 @@
+// FastDTW (Salvador & Chan, "Toward Accurate Dynamic Time Warping in Linear
+// Time and Space", 2007) — the approximation the paper adopts for its O(N)
+// comparison phase (Section IV-B).
+//
+// The algorithm recursively (1) coarsens both series by averaging adjacent
+// pairs, (2) solves the coarse alignment, (3) projects the coarse warp path
+// onto the finer resolution and expands it by `radius` cells, and
+// (4) runs windowed DTW inside that neighbourhood.
+#pragma once
+
+#include <span>
+
+#include "timeseries/dtw.h"
+
+namespace vp::ts {
+
+struct FastDtwOptions {
+  // Neighbourhood half-width around the projected coarse path. Larger radius
+  // is more accurate and slower; the original paper reports ~1% error at
+  // radius 1 on typical data.
+  std::size_t radius = 1;
+  LocalCost cost = LocalCost::kSquared;
+  // Optional global Sakoe–Chiba constraint (half-width in samples at full
+  // resolution, scaled down at coarser levels; 0 = unconstrained). Salvador
+  // & Chan list such constraints among the classic DTW speedups; for
+  // time-synchronised signals like RSSI beacons it is also a modelling
+  // statement — alignment may shift only by a bounded lag.
+  std::size_t band = 0;
+};
+
+// Approximate DTW distance and warp path. Requires both series non-empty.
+DtwResult fast_dtw(std::span<const double> x, std::span<const double> y,
+                   const FastDtwOptions& options = {});
+
+// Coarsens a series by averaging adjacent pairs; an odd trailing element is
+// kept as-is. Exposed for tests.
+std::vector<double> coarsen_by_two(std::span<const double> x);
+
+// Projects a coarse warp path onto series of the given (finer) lengths and
+// expands it by `radius`. Exposed for tests.
+SearchWindow expand_window(std::span<const WarpStep> coarse_path,
+                           std::size_t fine_n, std::size_t fine_m,
+                           std::size_t radius);
+
+// Intersects `window` with a Sakoe–Chiba band of the given half-width,
+// always keeping the diagonal staircase so a monotone path exists.
+// Exposed for tests.
+SearchWindow constrain_to_band(const SearchWindow& window, std::size_t band);
+
+}  // namespace vp::ts

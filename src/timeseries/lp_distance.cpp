@@ -1,0 +1,50 @@
+#include "timeseries/lp_distance.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vp::ts {
+
+double lp_distance(std::span<const double> x, std::span<const double> y,
+                   int p) {
+  VP_REQUIRE(x.size() == y.size());
+  VP_REQUIRE(p >= 1);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += std::pow(std::fabs(x[i] - y[i]), p);
+  }
+  return std::pow(acc, 1.0 / static_cast<double>(p));
+}
+
+double euclidean_distance(std::span<const double> x,
+                          std::span<const double> y) {
+  VP_REQUIRE(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double manhattan_distance(std::span<const double> x,
+                          std::span<const double> y) {
+  VP_REQUIRE(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) acc += std::fabs(x[i] - y[i]);
+  return acc;
+}
+
+double squared_euclidean_distance(std::span<const double> x,
+                                  std::span<const double> y) {
+  VP_REQUIRE(x.size() == y.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace vp::ts

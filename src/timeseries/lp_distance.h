@@ -1,0 +1,22 @@
+// Lp-norm distances between equal-length series (Eq. 2 of the paper).
+// These are the point-to-point alternatives to DTW; the ablation benches
+// compare them against DTW/FastDTW under packet loss.
+#pragma once
+
+#include <span>
+
+namespace vp::ts {
+
+// D_Lp(X, Y) = (Σ |x_i − y_i|^p)^(1/p). Requires equal lengths and p >= 1.
+double lp_distance(std::span<const double> x, std::span<const double> y, int p);
+
+// Convenience wrappers.
+double euclidean_distance(std::span<const double> x, std::span<const double> y);
+double manhattan_distance(std::span<const double> x, std::span<const double> y);
+
+// Squared Euclidean distance (no final square root) — the same local-cost
+// convention DTW uses, handy for like-for-like comparisons.
+double squared_euclidean_distance(std::span<const double> x,
+                                  std::span<const double> y);
+
+}  // namespace vp::ts

@@ -1,0 +1,57 @@
+#include "timeseries/normalize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace vp::ts {
+
+namespace {
+std::vector<double> z_score_impl(std::span<const double> xs, double scale) {
+  VP_REQUIRE(!xs.empty());
+  RunningStats stats;
+  for (double x : xs) stats.add(x);
+  const double mu = stats.mean();
+  const double sigma =
+      stats.count() > 1 ? std::sqrt(stats.population_variance()) : 0.0;
+  std::vector<double> out(xs.size());
+  if (sigma == 0.0) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return out;
+  }
+  const double denom = scale * sigma;
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (xs[i] - mu) / denom;
+  return out;
+}
+}  // namespace
+
+std::vector<double> z_score_enhanced(std::span<const double> xs) {
+  return z_score_impl(xs, 3.0);
+}
+
+std::vector<double> z_score(std::span<const double> xs) {
+  return z_score_impl(xs, 1.0);
+}
+
+void min_max_normalize(std::span<double> xs) {
+  if (xs.empty()) return;
+  const auto [lo_it, hi_it] = std::minmax_element(xs.begin(), xs.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  if (hi == lo) {
+    std::fill(xs.begin(), xs.end(), 0.0);
+    return;
+  }
+  const double range = hi - lo;
+  for (double& x : xs) x = (x - lo) / range;
+}
+
+std::vector<double> min_max_normalized(std::span<const double> xs) {
+  std::vector<double> out(xs.begin(), xs.end());
+  min_max_normalize(out);
+  return out;
+}
+
+}  // namespace vp::ts

@@ -1,0 +1,32 @@
+// Normalisations used by Voiceprint's comparison phase.
+//
+// Pre-processing (Eq. 7): enhanced Z-score, (x − µ)/(3σ), applied per RSSI
+// series so that a malicious node spoofing different TX powers per Sybil
+// identity (Assumption 3) cannot break the shape similarity — a constant
+// power offset shifts µ only and is removed exactly.
+//
+// Post-processing (Eq. 8): min–max normalisation of the whole set of
+// pairwise DTW distances into [0, 1], so a single density-dependent linear
+// threshold applies.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace vp::ts {
+
+// Enhanced Z-score of Eq. 7. A constant series (σ = 0, e.g. a far node
+// pinned at the −95 dBm sensitivity floor) maps to all zeros.
+std::vector<double> z_score_enhanced(std::span<const double> xs);
+
+// Classic Z-score (x − µ)/σ, for the normalisation ablation.
+std::vector<double> z_score(std::span<const double> xs);
+
+// In-place min–max normalisation of Eq. 8. If all values are equal the
+// result is all zeros.
+void min_max_normalize(std::span<double> xs);
+
+// Out-of-place variant.
+std::vector<double> min_max_normalized(std::span<const double> xs);
+
+}  // namespace vp::ts

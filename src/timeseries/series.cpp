@@ -1,0 +1,92 @@
+#include "timeseries/series.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace vp::ts {
+
+Series::Series(std::vector<double> times, std::vector<double> values)
+    : times_(std::move(times)), values_(std::move(values)) {
+  VP_REQUIRE(times_.size() == values_.size());
+  VP_REQUIRE(std::is_sorted(times_.begin(), times_.end()));
+}
+
+Series Series::uniform(double t0, double period, std::vector<double> values) {
+  VP_REQUIRE(period > 0.0);
+  std::vector<double> times(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    times[i] = t0 + period * static_cast<double>(i);
+  return Series(std::move(times), std::move(values));
+}
+
+void Series::add(double time, double value) {
+  VP_REQUIRE(times_.empty() || time >= times_.back());
+  times_.push_back(time);
+  values_.push_back(value);
+}
+
+double Series::value(std::size_t i) const {
+  VP_REQUIRE(i < values_.size());
+  return values_[i];
+}
+
+double Series::time(std::size_t i) const {
+  VP_REQUIRE(i < times_.size());
+  return times_[i];
+}
+
+Series Series::slice_time(double t_begin, double t_end) const {
+  VP_REQUIRE(t_begin <= t_end);
+  const auto lo = std::lower_bound(times_.begin(), times_.end(), t_begin);
+  const auto hi = std::lower_bound(times_.begin(), times_.end(), t_end);
+  const auto a = static_cast<std::size_t>(lo - times_.begin());
+  const auto b = static_cast<std::size_t>(hi - times_.begin());
+  return Series(std::vector<double>(times_.begin() + a, times_.begin() + b),
+                std::vector<double>(values_.begin() + a, values_.begin() + b));
+}
+
+Series Series::tail(std::size_t n) const {
+  const std::size_t start = n >= size() ? 0 : size() - n;
+  return Series(std::vector<double>(times_.begin() + start, times_.end()),
+                std::vector<double>(values_.begin() + start, values_.end()));
+}
+
+Series Series::moving_average(std::size_t window) const {
+  VP_REQUIRE(window % 2 == 1);
+  if (window == 1 || size() < 2) return *this;
+  const std::size_t half = window / 2;
+  std::vector<double> out(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(i + half, values_.size() - 1);
+    double acc = 0.0;
+    for (std::size_t j = lo; j <= hi; ++j) acc += values_[j];
+    out[i] = acc / static_cast<double>(hi - lo + 1);
+  }
+  return Series(times_, std::move(out));
+}
+
+Series Series::resample(std::size_t n) const {
+  VP_REQUIRE(size() >= 2);
+  VP_REQUIRE(n >= 2);
+  const double t0 = times_.front();
+  const double t1 = times_.back();
+  std::vector<double> times(n);
+  std::vector<double> values(n);
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t =
+        t0 + (t1 - t0) * static_cast<double>(i) / static_cast<double>(n - 1);
+    while (cursor + 1 < times_.size() && times_[cursor + 1] < t) ++cursor;
+    const std::size_t j = std::min(cursor + 1, times_.size() - 1);
+    const double dt = times_[j] - times_[cursor];
+    const double frac = dt <= 0.0 ? 0.0 : std::clamp((t - times_[cursor]) / dt, 0.0, 1.0);
+    times[i] = t;
+    values[i] = values_[cursor] + frac * (values_[j] - values_[cursor]);
+  }
+  return Series(std::move(times), std::move(values));
+}
+
+}  // namespace vp::ts

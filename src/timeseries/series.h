@@ -1,0 +1,54 @@
+// A time-stamped scalar series. RSSI traces recorded from the control
+// channel are stored as Series: sample times are packet reception times, so
+// packet loss produces irregular spacing and unequal lengths — exactly the
+// situation DTW (rather than point-to-point Euclidean distance) handles.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vp::ts {
+
+class Series {
+ public:
+  Series() = default;
+
+  // Builds a series from parallel time/value vectors. Times must be
+  // non-decreasing.
+  Series(std::vector<double> times, std::vector<double> values);
+
+  // Builds a uniformly sampled series starting at t0 with the given period.
+  static Series uniform(double t0, double period, std::vector<double> values);
+
+  // Appends a sample; time must be >= the last sample's time.
+  void add(double time, double value);
+
+  std::size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  std::span<const double> values() const { return values_; }
+  std::span<const double> times() const { return times_; }
+
+  double value(std::size_t i) const;
+  double time(std::size_t i) const;
+
+  // Sub-series with sample times in [t_begin, t_end).
+  Series slice_time(double t_begin, double t_end) const;
+
+  // Last `n` samples (all of them if n >= size()).
+  Series tail(std::size_t n) const;
+
+  // Centered moving average with the given odd window (window=1 is a copy).
+  Series moving_average(std::size_t window) const;
+
+  // Piecewise-linear resampling onto `n` uniformly spaced points across the
+  // series' time span. Requires size() >= 2 and n >= 2.
+  Series resample(std::size_t n) const;
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+}  // namespace vp::ts

@@ -1,0 +1,166 @@
+// Tests for the smart-attacker modes (Section VII) and the mid-run attack
+// start, plus their impact on the detectors.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "baseline/rssi_variation.h"
+#include "core/detector.h"
+#include "sim/runner.h"
+#include "sim/world.h"
+
+namespace vp {
+namespace {
+
+sim::ScenarioConfig attack_config(
+    sim::ScenarioConfig::AttackerPowerMode power,
+    sim::ScenarioConfig::SybilTimingMode timing, std::uint64_t seed) {
+  sim::ScenarioConfig config;
+  config.density_per_km = 15.0;
+  config.sim_time_s = 40.0;
+  config.attacker_power_mode = power;
+  config.sybil_timing_mode = timing;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Attacks, PerPacketPowerShowsUpInDeclaredPower) {
+  sim::World world(attack_config(
+      sim::ScenarioConfig::AttackerPowerMode::kPerPacket,
+      sim::ScenarioConfig::SybilTimingMode::kBurst, 31));
+  world.run();
+  // Find a Sybil identity and check the observed declared powers vary.
+  const sim::Node* attacker = nullptr;
+  for (const auto& node : world.nodes()) {
+    if (node->malicious()) attacker = node.get();
+  }
+  ASSERT_NE(attacker, nullptr);
+  const IdentityId sybil = attacker->identities()[1].id;
+  bool found_observer = false;
+  for (NodeId obs : world.normal_node_ids()) {
+    const auto records = world.node(obs).log().records(sybil, 0.0, 40.0);
+    if (records.size() < 20) continue;
+    found_observer = true;
+    std::set<double> powers;
+    for (const auto& r : records) powers.insert(r.declared_tx_power_dbm);
+    EXPECT_GT(powers.size(), 5u);  // re-drawn per packet
+    break;
+  }
+  EXPECT_TRUE(found_observer);
+}
+
+TEST(Attacks, ConstantPowerIsConstant) {
+  sim::World world(attack_config(
+      sim::ScenarioConfig::AttackerPowerMode::kConstant,
+      sim::ScenarioConfig::SybilTimingMode::kBurst, 31));
+  world.run();
+  for (const auto& node : world.nodes()) {
+    for (NodeId obs : world.normal_node_ids()) {
+      if (obs == node->id()) continue;
+      for (const auto& identity : node->identities()) {
+        const auto records =
+            world.node(obs).log().records(identity.id, 0.0, 40.0);
+        for (const auto& r : records) {
+          EXPECT_DOUBLE_EQ(r.declared_tx_power_dbm, identity.tx_power_dbm);
+        }
+        if (!records.empty()) return;  // one verified link is enough
+      }
+    }
+  }
+}
+
+TEST(Attacks, PowerControlDegradesVoiceprint) {
+  auto run_dr = [](sim::ScenarioConfig::AttackerPowerMode mode) {
+    sim::World world(attack_config(
+        mode, sim::ScenarioConfig::SybilTimingMode::kBurst, 33));
+    world.run();
+    core::VoiceprintDetector detector(core::tuned_simulation_options());
+    return sim::evaluate(world, detector, {.max_observers = 10}).average_dr;
+  };
+  const double dr_constant =
+      run_dr(sim::ScenarioConfig::AttackerPowerMode::kConstant);
+  const double dr_control =
+      run_dr(sim::ScenarioConfig::AttackerPowerMode::kPerPacket);
+  // Section VII: power control evades RSSI-shape detection (at least
+  // partially — the attack's hop range is only ±3 dB here).
+  EXPECT_LT(dr_control, dr_constant);
+}
+
+TEST(Attacks, StaggeredTimingSpreadsBeaconPhases) {
+  sim::World world(attack_config(
+      sim::ScenarioConfig::AttackerPowerMode::kConstant,
+      sim::ScenarioConfig::SybilTimingMode::kStaggered, 35));
+  world.run();
+  const sim::Node* attacker = nullptr;
+  for (const auto& node : world.nodes()) {
+    if (node->malicious()) attacker = node.get();
+  }
+  ASSERT_NE(attacker, nullptr);
+  // Collect the first-beacon times of the attacker's identities at some
+  // observer; staggered mode should spread them over the beacon period
+  // rather than bunching within a few milliseconds.
+  for (NodeId obs : world.normal_node_ids()) {
+    std::vector<double> firsts;
+    for (const auto& identity : attacker->identities()) {
+      const auto records =
+          world.node(obs).log().records(identity.id, 0.0, 40.0);
+      if (!records.empty()) firsts.push_back(records.front().time_s);
+    }
+    if (firsts.size() < 3) continue;
+    std::sort(firsts.begin(), firsts.end());
+    double max_gap = 0.0;
+    for (std::size_t i = 1; i < firsts.size(); ++i) {
+      max_gap = std::max(max_gap, firsts[i] - firsts[i - 1]);
+    }
+    EXPECT_GT(max_gap, 0.004);  // bursts would arrive ~1.4 ms apart
+    return;
+  }
+  FAIL() << "no observer heard three attacker identities";
+}
+
+TEST(Attacks, AttackStartDelaysSybilBeacons) {
+  sim::ScenarioConfig config = attack_config(
+      sim::ScenarioConfig::AttackerPowerMode::kConstant,
+      sim::ScenarioConfig::SybilTimingMode::kBurst, 37);
+  config.attack_start_time_s = 20.0;
+  sim::World world(config);
+  world.run();
+  for (const auto& node : world.nodes()) {
+    for (NodeId obs : world.normal_node_ids()) {
+      if (obs == node->id()) continue;
+      for (const auto& identity : node->identities()) {
+        const auto records =
+            world.node(obs).log().records(identity.id, 0.0, 40.0);
+        if (records.empty()) continue;
+        if (identity.sybil) {
+          EXPECT_GE(records.front().time_s, 20.0);
+        }
+      }
+    }
+  }
+}
+
+TEST(Attacks, MidRunAttackTriggersEntryCheck) {
+  // With the attack starting mid-run, the Bouassida-style entry check has
+  // something to catch: identities appearing at full strength mid-range.
+  sim::ScenarioConfig config = attack_config(
+      sim::ScenarioConfig::AttackerPowerMode::kConstant,
+      sim::ScenarioConfig::SybilTimingMode::kBurst, 39);
+  config.attack_start_time_s = 25.0;
+  config.sim_time_s = 45.0;
+  sim::World world(config);
+  world.run();
+  baseline::RssiVariationDetector detector;
+  const sim::EvaluationResult result =
+      sim::evaluate(world, detector, {.max_observers = 10});
+  // Only Sybils first heard well inside the radio horizon are separable
+  // from far vehicles genuinely entering range, so the heuristic catches a
+  // minority share — but strictly more than the ~0 it scores when the
+  // attack runs from t=0 (nothing ever "appears").
+  EXPECT_GT(result.average_dr, 0.1);
+  EXPECT_LT(result.average_fpr, 0.15);
+}
+
+}  // namespace
+}  // namespace vp

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/cli.h"
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace vp {
+namespace {
+
+TEST(Units, DbmRoundTrip) {
+  for (double dbm : {-95.0, -60.0, 0.0, 20.0, 23.0}) {
+    EXPECT_NEAR(units::mw_to_dbm(units::dbm_to_mw(dbm)), dbm, 1e-9);
+  }
+}
+
+TEST(Units, KnownConversions) {
+  EXPECT_NEAR(units::dbm_to_mw(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(units::dbm_to_mw(20.0), 100.0, 1e-9);
+  EXPECT_NEAR(units::kmh_to_mps(36.0), 10.0, 1e-12);
+  EXPECT_NEAR(units::mps_to_kmh(25.0), 90.0, 1e-12);
+  EXPECT_NEAR(units::kDsrcWavelengthM, 0.0509, 1e-3);
+}
+
+TEST(TableTest, AlignedOutput) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "2.5"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  // Every line has the same column separator position count.
+  std::istringstream is(s);
+  std::string line;
+  int lines = 0;
+  while (std::getline(is, line)) ++lines;
+  EXPECT_EQ(lines, 4);  // header + rule + 2 rows
+}
+
+TEST(TableTest, CellCountMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(-0.5, 3), "-0.500");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = "/tmp/vp_test_csv.csv";
+  {
+    CsvWriter csv(path, {"t", "rssi"});
+    csv.write_row(std::vector<double>{1.0, -80.5});
+    csv.write_row(std::vector<std::string>{"x,y", "quote\"d"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "t,rssi");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,-80.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"x,y\",\"quote\"\"d\"");
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ParsesForms) {
+  const char* argv[] = {"prog",     "--seed=9", "--density", "55.5",
+                        "--verbose"};
+  CliArgs args(5, argv);
+  EXPECT_EQ(args.get_seed("seed", 1), 9u);
+  EXPECT_DOUBLE_EQ(args.get_double("density", 0.0), 55.5);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_EQ(args.get("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=on", "--b=Off", "--c=1", "--d=no"};
+  CliArgs args(5, argv);
+  EXPECT_TRUE(args.get_bool("a", false));
+  EXPECT_FALSE(args.get_bool("b", true));
+  EXPECT_TRUE(args.get_bool("c", false));
+  EXPECT_FALSE(args.get_bool("d", true));
+}
+
+TEST(Cli, MalformedInputThrows) {
+  const char* bad[] = {"prog", "stray"};
+  EXPECT_THROW(CliArgs(2, bad), InvalidArgument);
+
+  const char* argv[] = {"prog", "--n=abc"};
+  CliArgs args(2, argv);
+  EXPECT_THROW(args.get_int("n", 0), InvalidArgument);
+  EXPECT_THROW(args.get_double("n", 0.0), InvalidArgument);
+  EXPECT_THROW(args.get_bool("n", false), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace vp

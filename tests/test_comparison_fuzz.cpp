@@ -1,0 +1,89 @@
+// Randomised robustness sweep over the comparison phase: arbitrary bundles
+// of ragged, gappy, clipped series must never crash the pipeline, and its
+// outputs must always satisfy the documented invariants.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "core/comparison.h"
+#include "core/detector.h"
+#include "timeseries/series.h"
+
+namespace vp::core {
+namespace {
+
+std::vector<NamedSeries> random_bundle(Rng& rng) {
+  const auto n_series = static_cast<std::size_t>(rng.uniform_int(0, 12));
+  std::vector<NamedSeries> bundle;
+  for (std::size_t s = 0; s < n_series; ++s) {
+    ts::Series series;
+    double t = rng.uniform(0.0, 10.0);
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 250));
+    const double base = rng.uniform(-95.0, -55.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      t += rng.uniform(0.0, 0.4);  // ragged sampling with gaps
+      double v = base + rng.normal(0.0, rng.uniform(0.0, 6.0));
+      if (rng.chance(0.1)) v = -95.0;  // clipped sample
+      series.add(t, v);
+    }
+    bundle.emplace_back(static_cast<IdentityId>(s), std::move(series));
+  }
+  return bundle;
+}
+
+class ComparisonFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ComparisonFuzz, InvariantsHoldOnArbitraryBundles) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto bundle = random_bundle(rng);
+    for (const auto alignment :
+         {ComparisonOptions::Alignment::kMatchedSamples,
+          ComparisonOptions::Alignment::kResampleGrid,
+          ComparisonOptions::Alignment::kNone}) {
+      ComparisonOptions options;
+      options.alignment = alignment;
+      const auto pairs = compare_series(bundle, options);
+
+      // Pair count is bounded by C(usable, 2) <= C(n, 2).
+      const std::size_t n = bundle.size();
+      EXPECT_LE(pairs.size(), n * (n > 0 ? n - 1 : 0) / 2);
+
+      std::set<std::pair<IdentityId, IdentityId>> seen;
+      for (const PairDistance& p : pairs) {
+        EXPECT_LT(p.a, p.b);  // canonical i < j ordering
+        EXPECT_TRUE(seen.emplace(p.a, p.b).second);
+        EXPECT_GE(p.normalized, 0.0);
+        EXPECT_LE(p.normalized, 1.0);
+        if (p.comparable) {
+          EXPECT_GE(p.raw, 0.0);
+          EXPECT_TRUE(std::isfinite(p.raw));
+        } else {
+          EXPECT_DOUBLE_EQ(p.normalized, 1.0);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ComparisonFuzz, DetectorNeverCrashesAndFlagsSubset) {
+  Rng rng(GetParam() + 1000);
+  VoiceprintDetector detector;
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto bundle = random_bundle(rng);
+    const auto flagged =
+        detector.detect_series(bundle, rng.uniform(0.0, 150.0));
+    std::set<IdentityId> ids;
+    for (const auto& [id, s] : bundle) ids.insert(id);
+    for (IdentityId id : flagged) EXPECT_TRUE(ids.count(id));
+    EXPECT_LE(detector.last_flagged_pairs().size(),
+              detector.last_all_pairs().size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComparisonFuzz,
+                         ::testing::Values(11u, 222u, 3333u, 44444u));
+
+}  // namespace
+}  // namespace vp::core

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/comparison.h"
+#include "core/confirmation.h"
+#include "core/density.h"
+#include "core/detector.h"
+#include "core/threshold.h"
+#include "timeseries/series.h"
+
+namespace vp::core {
+namespace {
+
+// Builds a bundle of synthetic RSSI series mimicking one observer's
+// collection phase: a shared fading trajectory for the attacker's three
+// identities (primary + two Sybils at spoofed powers), and independent
+// trajectories for two normal vehicles.
+std::vector<NamedSeries> make_attack_series(std::uint64_t seed,
+                                            double noise_db = 1.0) {
+  Rng rng(seed);
+  const std::size_t n = 200;
+  std::vector<double> attacker_path(n), normal1_path(n), normal2_path(n);
+  double a = -75.0, b = -78.0, c = -70.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    a += rng.normal(0.0, 0.4);
+    b += rng.normal(0.0, 0.4);
+    c += rng.normal(0.0, 0.4);
+    attacker_path[i] = a;
+    normal1_path[i] = b;
+    normal2_path[i] = c;
+  }
+  auto series_from = [&](const std::vector<double>& path, double offset,
+                         std::uint64_t noise_seed) {
+    Rng noise(noise_seed);
+    std::vector<double> values(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      values[i] = path[i] + offset + noise.normal(0.0, noise_db);
+    }
+    return ts::Series::uniform(0.0, 0.1, std::move(values));
+  };
+  return {
+      {1, series_from(attacker_path, 0.0, seed + 10)},     // malicious
+      {101, series_from(attacker_path, 3.0, seed + 11)},   // Sybil, +3 dB
+      {102, series_from(attacker_path, -3.0, seed + 12)},  // Sybil, −3 dB
+      {2, series_from(normal1_path, 0.0, seed + 13)},
+      {3, series_from(normal2_path, 0.0, seed + 14)},
+  };
+}
+
+bool is_sybil_pair(IdentityId a, IdentityId b) {
+  auto owner = [](IdentityId id) {
+    return (id == 101 || id == 102) ? IdentityId{1} : id;
+  };
+  return owner(a) == owner(b);
+}
+
+TEST(Comparison, SybilPairsScoreLowest) {
+  const auto series = make_attack_series(1);
+  const auto pairs = compare_series(series);
+  ASSERT_EQ(pairs.size(), 10u);  // C(5,2)
+  double max_sybil = 0.0;
+  double min_other = 1.0;
+  for (const PairDistance& p : pairs) {
+    if (is_sybil_pair(p.a, p.b)) {
+      max_sybil = std::max(max_sybil, p.normalized);
+    } else {
+      min_other = std::min(min_other, p.normalized);
+    }
+  }
+  EXPECT_LT(max_sybil, min_other);
+  EXPECT_LT(max_sybil, 0.2);
+}
+
+TEST(Comparison, NormalizedDistancesInUnitInterval) {
+  const auto pairs = compare_series(make_attack_series(2));
+  double lo = 1.0, hi = 0.0;
+  for (const PairDistance& p : pairs) {
+    EXPECT_GE(p.normalized, 0.0);
+    EXPECT_LE(p.normalized, 1.0);
+    lo = std::min(lo, p.normalized);
+    hi = std::max(hi, p.normalized);
+  }
+  EXPECT_DOUBLE_EQ(lo, 0.0);  // min-max normalisation pins the extremes
+  EXPECT_DOUBLE_EQ(hi, 1.0);
+}
+
+TEST(Comparison, ZScoreDefeatsPowerSpoofing) {
+  // Without Eq. 7 the ±3 dB spoofed powers push Sybil pairs apart; with it
+  // they collapse back to the smallest distances.
+  const auto series = make_attack_series(3);
+  ComparisonOptions with, without;
+  without.z_score_normalize = false;
+
+  auto sybil_rank = [&](const ComparisonOptions& options) {
+    const auto pairs = compare_series(series, options);
+    // Rank of the worst Sybil pair when sorted ascending by distance.
+    std::vector<double> sybil, all;
+    for (const PairDistance& p : pairs) {
+      all.push_back(p.normalized);
+      if (is_sybil_pair(p.a, p.b)) sybil.push_back(p.normalized);
+    }
+    std::sort(all.begin(), all.end());
+    const double worst = *std::max_element(sybil.begin(), sybil.end());
+    return std::lower_bound(all.begin(), all.end(), worst) - all.begin();
+  };
+  EXPECT_LE(sybil_rank(with), 2);     // Sybil pairs are the closest three
+  EXPECT_GT(sybil_rank(without), 2);  // spoofing breaks raw-DTW ordering
+}
+
+TEST(Comparison, SkipsDegenerateSeries) {
+  // Identity 1 offers a single sample; identity 4 a flat (shape-less)
+  // series; identities 2 and 3 proper wiggly series.
+  Rng rng(42);
+  auto wiggly = [&](double base) {
+    std::vector<double> v(80);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      v[i] = base + rng.normal(0.0, 4.0);
+    }
+    return ts::Series::uniform(0.0, 0.1, std::move(v));
+  };
+  std::vector<NamedSeries> series = {
+      {1, ts::Series::uniform(0.0, 0.1, {-80.0})},
+      {2, wiggly(-70.0)},
+      {3, wiggly(-60.0)},
+      {4, ts::Series::uniform(0.0, 0.1, std::vector<double>(80, -75.0))},
+  };
+  const auto pairs = compare_series(series);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, 2u);
+  EXPECT_EQ(pairs[0].b, 3u);
+  EXPECT_TRUE(pairs[0].comparable);
+}
+
+TEST(Comparison, FewerThanTwoSeriesYieldsEmpty) {
+  std::vector<NamedSeries> one = {{1, ts::Series::uniform(0.0, 0.1, {1, 2})}};
+  EXPECT_TRUE(compare_series(one).empty());
+  EXPECT_TRUE(compare_series(std::vector<NamedSeries>{}).empty());
+}
+
+TEST(Comparison, DistanceKindsAgreeOnOrdering) {
+  const auto series = make_attack_series(4);
+  for (DistanceKind kind :
+       {DistanceKind::kExactDtw, DistanceKind::kEuclidean}) {
+    ComparisonOptions options;
+    options.distance = kind;
+    const auto pairs = compare_series(series, options);
+    double max_sybil = 0.0, min_other = 1.0;
+    for (const PairDistance& p : pairs) {
+      if (is_sybil_pair(p.a, p.b)) {
+        max_sybil = std::max(max_sybil, p.normalized);
+      } else {
+        min_other = std::min(min_other, p.normalized);
+      }
+    }
+    EXPECT_LT(max_sybil, min_other) << "kind=" << static_cast<int>(kind);
+  }
+}
+
+TEST(Density, Eq9KnownValues) {
+  // 80 neighbours at Dist_max = 400 m → 80 / 0.8 km = 100 vhls/km.
+  EXPECT_DOUBLE_EQ(estimate_density_per_km(80, 400.0), 100.0);
+  EXPECT_DOUBLE_EQ(estimate_density_per_km(0, 400.0), 0.0);
+  EXPECT_THROW(estimate_density_per_km(1, 0.0), PreconditionError);
+}
+
+TEST(Density, ExcludesKnownSybils) {
+  const std::vector<IdentityId> heard = {1, 2, 101, 102};
+  const std::set<IdentityId> known = {101, 102};
+  EXPECT_DOUBLE_EQ(estimate_density_per_km(heard, known, 400.0), 2.5);
+}
+
+TEST(Threshold, PaperAndConstantBoundaries) {
+  const auto paper = paper_boundary();
+  EXPECT_DOUBLE_EQ(paper.k, 0.00054);
+  EXPECT_DOUBLE_EQ(paper.b, 0.0483);
+  const auto constant = constant_boundary(0.05046);
+  EXPECT_DOUBLE_EQ(constant.threshold_at(4.0), 0.05046);
+  EXPECT_DOUBLE_EQ(constant.threshold_at(100.0), 0.05046);
+  EXPECT_THROW(constant_boundary(-0.1), PreconditionError);
+}
+
+TEST(Detector, FlagsExactlyTheAttackCluster) {
+  VoiceprintDetector detector;  // paper boundary defaults
+  const auto flagged = detector.detect_series(make_attack_series(5), 10.0);
+  EXPECT_EQ(flagged, (std::vector<IdentityId>{1, 101, 102}));
+  EXPECT_EQ(detector.last_flagged_pairs().size(), 3u);  // the 3 Sybil pairs
+  EXPECT_EQ(detector.last_all_pairs().size(), 10u);
+}
+
+TEST(Detector, PowerSpoofingStillCaught) {
+  // ±3 dB offsets are built into make_attack_series; push them wider.
+  auto series = make_attack_series(6);
+  // Re-offset Sybil series by a large constant (strong spoofing).
+  std::vector<double> vals(series[1].second.values().begin(),
+                           series[1].second.values().end());
+  for (double& v : vals) v += 8.0;
+  series[1].second = ts::Series::uniform(0.0, 0.1, std::move(vals));
+
+  VoiceprintDetector detector;
+  const auto flagged = detector.detect_series(series, 10.0);
+  EXPECT_EQ(flagged, (std::vector<IdentityId>{1, 101, 102}));
+}
+
+TEST(Detector, FixedDensityOverride) {
+  VoiceprintOptions options;
+  options.boundary = {.k = 1.0, .b = 0.0};  // threshold = density
+  options.fixed_density_per_km = 0.0;       // → threshold 0: nothing flagged
+  VoiceprintDetector detector(options);
+  const auto flagged = detector.detect_series(make_attack_series(7), 100.0);
+  // Threshold 0 still flags the pair(s) at exactly normalized distance 0.
+  EXPECT_LE(flagged.size(), 2u);
+  EXPECT_DOUBLE_EQ(detector.last_threshold(), 0.0);
+}
+
+TEST(Detector, NoNeighborsNoFlags) {
+  VoiceprintDetector detector;
+  EXPECT_TRUE(
+      detector.detect_series(std::vector<NamedSeries>{}, 10.0).empty());
+  EXPECT_TRUE(detector.last_all_pairs().empty());
+}
+
+TEST(Confirmation, RequiresRepeatedVerdicts) {
+  ConfirmationFilter filter(/*required=*/2, /*window=*/3);
+  const std::vector<IdentityId> heard = {7, 8};
+  EXPECT_TRUE(filter.update(0, heard, {7}).empty());      // 1 of 2
+  const auto confirmed = filter.update(0, heard, {7});    // 2 of 2
+  EXPECT_EQ(confirmed, (std::vector<IdentityId>{7}));
+  EXPECT_TRUE(filter.confirmed(99).empty());  // unknown observer
+}
+
+TEST(Confirmation, SlidingWindowForgets) {
+  ConfirmationFilter filter(2, 2);
+  const std::vector<IdentityId> heard = {5};
+  filter.update(0, heard, {5});
+  filter.update(0, heard, {5});
+  EXPECT_FALSE(filter.confirmed(0).empty());
+  filter.update(0, heard, {});
+  filter.update(0, heard, {});
+  EXPECT_TRUE(filter.confirmed(0).empty());  // both positives aged out
+}
+
+TEST(Confirmation, PerObserverIsolation) {
+  ConfirmationFilter filter(1, 1);
+  filter.update(0, {4}, {4});
+  EXPECT_FALSE(filter.confirmed(0).empty());
+  EXPECT_TRUE(filter.confirmed(1).empty());
+}
+
+TEST(Confirmation, ResetClearsState) {
+  ConfirmationFilter filter(1, 1);
+  filter.update(0, {4}, {4});
+  filter.reset();
+  EXPECT_TRUE(filter.confirmed(0).empty());
+}
+
+TEST(Confirmation, InvalidConfigThrows) {
+  EXPECT_THROW(ConfirmationFilter(0, 3), PreconditionError);
+  EXPECT_THROW(ConfirmationFilter(4, 3), PreconditionError);
+}
+
+}  // namespace
+}  // namespace vp::core

@@ -1,0 +1,191 @@
+#include "timeseries/dtw.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace vp::ts {
+namespace {
+
+// Exhaustive DTW by enumerating all monotone warp paths (exponential —
+// only for tiny series). Gold reference for the DP implementation.
+double brute_force_dtw(const std::vector<double>& x,
+                       const std::vector<double>& y, LocalCost cost,
+                       std::size_t i, std::size_t j) {
+  const double c = local_cost(x[i], y[j], cost);
+  if (i == 0 && j == 0) return c;
+  double best = std::numeric_limits<double>::infinity();
+  if (i > 0) best = std::min(best, brute_force_dtw(x, y, cost, i - 1, j));
+  if (j > 0) best = std::min(best, brute_force_dtw(x, y, cost, i, j - 1));
+  if (i > 0 && j > 0) {
+    best = std::min(best, brute_force_dtw(x, y, cost, i - 1, j - 1));
+  }
+  return c + best;
+}
+
+double brute_force_dtw(const std::vector<double>& x,
+                       const std::vector<double>& y, LocalCost cost) {
+  return brute_force_dtw(x, y, cost, x.size() - 1, y.size() - 1);
+}
+
+// The paper's Fig. 9 example series.
+const std::vector<double> kFig9X = {1, 1, 4, 1, 1};
+const std::vector<double> kFig9Y = {2, 2, 2, 4, 2, 2};
+
+TEST(Dtw, Fig9ExampleOptimalDistance) {
+  // Note: the figure annotates the total as 9, but the DP optimum under
+  // the paper's own Eq. 3/4 (squared local cost) is 5 — verified against
+  // exhaustive path enumeration below. We reproduce the algorithm, not the
+  // figure's arithmetic.
+  const DtwResult result = dtw(kFig9X, kFig9Y);
+  EXPECT_DOUBLE_EQ(result.distance, 5.0);
+  EXPECT_DOUBLE_EQ(brute_force_dtw(kFig9X, kFig9Y, LocalCost::kSquared), 5.0);
+  EXPECT_TRUE(is_valid_warp_path(result.path, kFig9X.size(), kFig9Y.size()));
+}
+
+TEST(Dtw, MatchesBruteForceOnRandomSmallSeries) {
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> x(static_cast<std::size_t>(rng.uniform_int(1, 6)));
+    std::vector<double> y(static_cast<std::size_t>(rng.uniform_int(1, 6)));
+    for (double& v : x) v = rng.uniform(-5.0, 5.0);
+    for (double& v : y) v = rng.uniform(-5.0, 5.0);
+    for (LocalCost cost : {LocalCost::kSquared, LocalCost::kAbsolute}) {
+      const DtwResult result = dtw(x, y, cost);
+      EXPECT_NEAR(result.distance, brute_force_dtw(x, y, cost), 1e-9);
+      EXPECT_TRUE(is_valid_warp_path(result.path, x.size(), y.size()));
+    }
+  }
+}
+
+TEST(Dtw, IdenticalSeriesHaveZeroDistance) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(dtw(x, x).distance, 0.0);
+  EXPECT_DOUBLE_EQ(dtw_distance(x, x), 0.0);
+}
+
+TEST(Dtw, SymmetricInArguments) {
+  const std::vector<double> x = {0.0, 1.0, 5.0, 2.0};
+  const std::vector<double> y = {1.0, 1.0, 4.0, 4.0, 0.0};
+  EXPECT_DOUBLE_EQ(dtw(x, y).distance, dtw(y, x).distance);
+}
+
+TEST(Dtw, DistanceOnlyMatchesFull) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> x(20), y(25);
+    for (double& v : x) v = rng.uniform(-1.0, 1.0);
+    for (double& v : y) v = rng.uniform(-1.0, 1.0);
+    EXPECT_NEAR(dtw(x, y).distance, dtw_distance(x, y), 1e-9);
+  }
+}
+
+TEST(Dtw, ToleratesTemporalShift) {
+  // A shifted copy should be much closer under DTW than under any
+  // point-to-point comparison.
+  std::vector<double> x(50, 0.0), y(50, 0.0);
+  for (int i = 20; i < 30; ++i) x[static_cast<std::size_t>(i)] = 5.0;
+  for (int i = 24; i < 34; ++i) y[static_cast<std::size_t>(i)] = 5.0;
+  EXPECT_LT(dtw(x, y).distance, 1e-9);  // pure shift warps away entirely
+}
+
+TEST(Dtw, HandlesDifferentLengths) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {1.0, 1.5, 2.0, 2.5, 3.0};
+  const DtwResult result = dtw(x, y);
+  EXPECT_TRUE(is_valid_warp_path(result.path, 3, 5));
+  EXPECT_GE(result.path.size(), 5u);  // must cover the longer series
+}
+
+TEST(Dtw, PathEndpointsAndContinuity) {
+  const std::vector<double> x = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0};
+  const std::vector<double> y = {2.0, 7.0, 1.0, 8.0};
+  const DtwResult result = dtw(x, y);
+  ASSERT_FALSE(result.path.empty());
+  EXPECT_EQ(result.path.front(), (WarpStep{0, 0}));
+  EXPECT_EQ(result.path.back(), (WarpStep{5, 3}));
+  EXPECT_TRUE(is_valid_warp_path(result.path, 6, 4));
+}
+
+TEST(Dtw, EmptySeriesThrows) {
+  const std::vector<double> x = {1.0};
+  const std::vector<double> empty;
+  EXPECT_THROW(dtw(x, empty), PreconditionError);
+  EXPECT_THROW(dtw(empty, x), PreconditionError);
+}
+
+TEST(DtwBanded, WideBandMatchesFullDtw) {
+  Rng rng(99);
+  std::vector<double> x(30), y(30);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  for (double& v : y) v = rng.uniform(-1.0, 1.0);
+  EXPECT_NEAR(dtw_banded(x, y, 30).distance, dtw(x, y).distance, 1e-9);
+}
+
+TEST(DtwBanded, NarrowBandUpperBoundsFull) {
+  Rng rng(100);
+  std::vector<double> x(40), y(40);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  for (double& v : y) v = rng.uniform(-1.0, 1.0);
+  const double full = dtw(x, y).distance;
+  const double banded = dtw_banded(x, y, 2).distance;
+  EXPECT_GE(banded, full - 1e-9);  // fewer paths cannot improve the optimum
+}
+
+TEST(SearchWindowTest, FullWindowCounts) {
+  const SearchWindow w = SearchWindow::full(4, 5);
+  EXPECT_EQ(w.cell_count(), 20u);
+  EXPECT_EQ(w.lo(2), 0u);
+  EXPECT_EQ(w.hi(2), 4u);
+}
+
+TEST(SearchWindowTest, IncludeAndExpand) {
+  SearchWindow w(5, 5);
+  w.include(2, 2);
+  EXPECT_TRUE(w.row_empty(0));
+  w.expand(1);
+  EXPECT_FALSE(w.row_empty(1));
+  EXPECT_EQ(w.lo(1), 1u);
+  EXPECT_EQ(w.hi(1), 3u);
+  EXPECT_FALSE(w.row_empty(3));
+  EXPECT_TRUE(w.row_empty(4));
+}
+
+TEST(DtwWindowed, MissingCornerThrows) {
+  SearchWindow w(3, 3);
+  w.include_range(0, 1, 2);  // (0,0) missing
+  w.include_range(1, 0, 2);
+  w.include_range(2, 0, 2);
+  const std::vector<double> x = {1, 2, 3};
+  EXPECT_THROW(dtw_windowed(x, x, w), InvalidArgument);
+}
+
+TEST(DtwWindowed, DisconnectedWindowThrows) {
+  SearchWindow w(3, 4);
+  w.include(0, 0);
+  w.include(2, 3);  // row 1 empty → no monotone path
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {1, 2, 3, 4};
+  EXPECT_THROW(dtw_windowed(x, y, w), InvalidArgument);
+}
+
+TEST(WarpPathValidation, RejectsBadPaths) {
+  // Wrong start.
+  EXPECT_FALSE(is_valid_warp_path(std::vector<WarpStep>{{1, 0}, {1, 1}}, 2, 2));
+  // Non-monotone.
+  EXPECT_FALSE(is_valid_warp_path(
+      std::vector<WarpStep>{{0, 0}, {1, 1}, {0, 1}}, 2, 2));
+  // Jump (discontinuous).
+  EXPECT_FALSE(
+      is_valid_warp_path(std::vector<WarpStep>{{0, 0}, {2, 2}}, 3, 3));
+  // Valid diagonal.
+  EXPECT_TRUE(is_valid_warp_path(
+      std::vector<WarpStep>{{0, 0}, {1, 1}, {2, 2}}, 3, 3));
+}
+
+}  // namespace
+}  // namespace vp::ts

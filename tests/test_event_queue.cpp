@@ -1,0 +1,92 @@
+#include "common/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace vp {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  q.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NowAdvancesToEventTime) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule(2.5, [&] { seen = q.now(); });
+  q.run_all();
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryAndSetsNow) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  q.schedule(10.0, [&] { ++fired; });
+  q.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 5) q.schedule_in(1.0, tick);
+  };
+  q.schedule(0.0, tick);
+  q.run_until(100.0);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(EventQueue, SelfReschedulingStopsAtHorizon) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    q.schedule_in(1.0, tick);  // unbounded; run_until must bound it
+  };
+  q.schedule(0.5, tick);
+  q.run_until(10.0);
+  EXPECT_EQ(count, 10);  // 0.5, 1.5, ..., 9.5
+}
+
+TEST(EventQueue, PastSchedulingThrows) {
+  EventQueue q;
+  q.schedule(1.0, [] {});
+  q.run_until(5.0);
+  EXPECT_THROW(q.schedule(4.0, [] {}), PreconditionError);
+  EXPECT_THROW(q.schedule_in(-1.0, [] {}), PreconditionError);
+}
+
+TEST(EventQueue, ExecutedCounter) {
+  EventQueue q;
+  for (int i = 0; i < 7; ++i) q.schedule(static_cast<double>(i), [] {});
+  q.run_all();
+  EXPECT_EQ(q.executed(), 7u);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace vp

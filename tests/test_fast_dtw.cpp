@@ -1,0 +1,138 @@
+#include "timeseries/fast_dtw.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace vp::ts {
+namespace {
+
+std::vector<double> random_walk(std::size_t n, Rng& rng) {
+  std::vector<double> out(n);
+  double x = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x += rng.normal(0.0, 1.0);
+    out[i] = x;
+  }
+  return out;
+}
+
+TEST(Coarsen, AveragesPairs) {
+  const std::vector<double> x = {1.0, 3.0, 5.0, 7.0};
+  EXPECT_EQ(coarsen_by_two(x), (std::vector<double>{2.0, 6.0}));
+}
+
+TEST(Coarsen, OddTailKept) {
+  const std::vector<double> x = {1.0, 3.0, 10.0};
+  EXPECT_EQ(coarsen_by_two(x), (std::vector<double>{2.0, 10.0}));
+}
+
+TEST(Coarsen, SingleElement) {
+  const std::vector<double> x = {4.0};
+  EXPECT_EQ(coarsen_by_two(x), (std::vector<double>{4.0}));
+}
+
+TEST(ExpandWindow, CoversCornersAndIsUsable) {
+  // A diagonal coarse path on a 3x3 grid expands onto a 6x6 fine grid.
+  const std::vector<WarpStep> coarse = {{0, 0}, {1, 1}, {2, 2}};
+  const SearchWindow w = expand_window(coarse, 6, 6, 1);
+  EXPECT_FALSE(w.row_empty(0));
+  EXPECT_EQ(w.lo(0), 0u);
+  EXPECT_EQ(w.hi(5), 5u);
+  for (std::size_t r = 0; r < 6; ++r) EXPECT_FALSE(w.row_empty(r));
+}
+
+TEST(FastDtw, ExactOnShortSeries) {
+  // Below the recursion floor FastDTW IS full DTW.
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(fast_dtw(x, y).distance, dtw(x, y).distance);
+}
+
+TEST(FastDtw, NeverBeatsExactDtw) {
+  Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<double> x = random_walk(80, rng);
+    const std::vector<double> y = random_walk(90, rng);
+    const double exact = dtw(x, y).distance;
+    const double fast = fast_dtw(x, y, {.radius = 1}).distance;
+    EXPECT_GE(fast, exact - 1e-9);  // approximation can only over-estimate
+  }
+}
+
+TEST(FastDtw, SmallApproximationErrorOnSmoothSeries) {
+  // Salvador & Chan report ~1% typical error at small radius; allow a
+  // generous margin but catch gross regressions.
+  Rng rng(22);
+  double total_rel_err = 0.0;
+  int n = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<double> x = random_walk(120, rng);
+    const std::vector<double> y = random_walk(120, rng);
+    const double exact = dtw(x, y).distance;
+    if (exact < 1e-9) continue;
+    const double fast = fast_dtw(x, y, {.radius = 2}).distance;
+    total_rel_err += (fast - exact) / exact;
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_LT(total_rel_err / n, 0.15);
+}
+
+TEST(FastDtw, LargerRadiusIsMoreAccurate) {
+  Rng rng(23);
+  double err_small = 0.0, err_large = 0.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::vector<double> x = random_walk(100, rng);
+    const std::vector<double> y = random_walk(100, rng);
+    const double exact = dtw(x, y).distance;
+    err_small += fast_dtw(x, y, {.radius = 0}).distance - exact;
+    err_large += fast_dtw(x, y, {.radius = 8}).distance - exact;
+  }
+  EXPECT_LE(err_large, err_small + 1e-9);
+}
+
+TEST(FastDtw, LargeRadiusConvergesToExact) {
+  Rng rng(24);
+  const std::vector<double> x = random_walk(60, rng);
+  const std::vector<double> y = random_walk(70, rng);
+  EXPECT_NEAR(fast_dtw(x, y, {.radius = 70}).distance, dtw(x, y).distance,
+              1e-9);
+}
+
+TEST(FastDtw, IdenticalSeriesZero) {
+  Rng rng(25);
+  const std::vector<double> x = random_walk(200, rng);
+  EXPECT_DOUBLE_EQ(fast_dtw(x, x).distance, 0.0);
+}
+
+TEST(FastDtw, PathIsValid) {
+  Rng rng(26);
+  const std::vector<double> x = random_walk(150, rng);
+  const std::vector<double> y = random_walk(130, rng);
+  const DtwResult result = fast_dtw(x, y, {.radius = 1});
+  EXPECT_TRUE(is_valid_warp_path(result.path, x.size(), y.size()));
+}
+
+TEST(FastDtw, DifferentLengthsAndAbsoluteCost) {
+  Rng rng(27);
+  const std::vector<double> x = random_walk(101, rng);
+  const std::vector<double> y = random_walk(57, rng);
+  const DtwResult result =
+      fast_dtw(x, y, {.radius = 1, .cost = LocalCost::kAbsolute});
+  EXPECT_GT(result.distance, 0.0);
+  EXPECT_TRUE(is_valid_warp_path(result.path, x.size(), y.size()));
+}
+
+TEST(FastDtw, EmptyThrows) {
+  const std::vector<double> x = {1.0};
+  const std::vector<double> empty;
+  EXPECT_THROW(fast_dtw(x, empty), PreconditionError);
+}
+
+}  // namespace
+}  // namespace vp::ts

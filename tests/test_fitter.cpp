@@ -1,0 +1,113 @@
+#include "radio/fitter.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace vp::radio {
+namespace {
+
+constexpr double kFreq = units::kDsrcFrequencyHz;
+
+std::vector<RssiSample> synthesize(const DualSlopeParams& params,
+                                   double tx_power_dbm, std::size_t n,
+                                   std::uint64_t seed, bool with_noise) {
+  const DualSlopeModel model(kFreq, params);
+  Rng rng(seed);
+  std::vector<RssiSample> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = rng.uniform(2.0, 500.0);
+    const double rssi =
+        with_noise ? model.sample_rx_power_dbm(tx_power_dbm, d, 0.0, rng)
+                   : model.mean_rx_power_dbm(tx_power_dbm, d, 0.0);
+    samples.push_back({d, rssi});
+  }
+  return samples;
+}
+
+TEST(Fitter, RecoversNoiselessParametersExactly) {
+  const DualSlopeParams truth = DualSlopeParams::campus();
+  const auto samples = synthesize(truth, 20.0, 400, 1, /*with_noise=*/false);
+  const DualSlopeFitter fitter(kFreq, 20.0);
+  const DualSlopeFit fit = fitter.fit(samples, 100.0, 300.0, 1.0);
+  EXPECT_NEAR(fit.params.gamma1, truth.gamma1, 0.02);
+  EXPECT_NEAR(fit.params.gamma2, truth.gamma2, 0.05);
+  EXPECT_NEAR(fit.params.critical_distance_m, truth.critical_distance_m, 3.0);
+  EXPECT_LT(fit.params.sigma1_db, 0.1);
+  EXPECT_LT(fit.params.sigma2_db, 0.1);
+}
+
+class FitterAreaTest : public ::testing::TestWithParam<DualSlopeParams> {};
+
+TEST_P(FitterAreaTest, RecoversNoisyParameters) {
+  // The Table IV regression: recover each area's parameters from noisy
+  // synthetic measurements of that area's own channel.
+  const DualSlopeParams truth = GetParam();
+  const auto samples = synthesize(truth, 20.0, 3000, 2, /*with_noise=*/true);
+  const DualSlopeFitter fitter(kFreq, 20.0);
+  const DualSlopeFit fit = fitter.fit(samples, 60.0, 350.0, 2.0);
+  EXPECT_NEAR(fit.params.gamma1, truth.gamma1, 0.15);
+  EXPECT_NEAR(fit.params.gamma2, truth.gamma2, 0.35);
+  EXPECT_NEAR(fit.params.critical_distance_m, truth.critical_distance_m,
+              30.0);
+  EXPECT_NEAR(fit.params.sigma1_db, truth.sigma1_db, 0.5);
+  EXPECT_NEAR(fit.params.sigma2_db, truth.sigma2_db, 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table4Areas, FitterAreaTest,
+                         ::testing::Values(DualSlopeParams::campus(),
+                                           DualSlopeParams::rural(),
+                                           DualSlopeParams::urban()),
+                         [](const auto& info) {
+                           switch (info.index) {
+                             case 0: return "campus";
+                             case 1: return "rural";
+                             default: return "urban";
+                           }
+                         });
+
+TEST(Fitter, CountsSamplesPerSegment) {
+  const auto samples =
+      synthesize(DualSlopeParams::rural(), 20.0, 500, 3, true);
+  const DualSlopeFitter fitter(kFreq, 20.0);
+  const DualSlopeFit fit = fitter.fit(samples);
+  EXPECT_EQ(fit.n_near + fit.n_far, samples.size());
+  EXPECT_GE(fit.n_near, 4u);
+  EXPECT_GE(fit.n_far, 4u);
+}
+
+TEST(Fitter, TooFewSamplesThrows) {
+  const std::vector<RssiSample> few = {{10, -60}, {20, -65}, {30, -70},
+                                       {40, -72}};
+  const DualSlopeFitter fitter(kFreq, 20.0);
+  EXPECT_THROW(fitter.fit(few), PreconditionError);
+}
+
+TEST(Fitter, OneSidedDataThrows) {
+  // All samples on the near side of every candidate breakpoint.
+  std::vector<RssiSample> near;
+  Rng rng(4);
+  const DualSlopeModel model(kFreq, DualSlopeParams::campus());
+  for (int i = 0; i < 50; ++i) {
+    const double d = rng.uniform(2.0, 40.0);
+    near.push_back({d, model.mean_rx_power_dbm(20.0, d, 0.0)});
+  }
+  const DualSlopeFitter fitter(kFreq, 20.0);
+  EXPECT_THROW(fitter.fit(near, 50.0, 400.0, 2.0), InvalidArgument);
+}
+
+TEST(Fitter, InvalidRangesThrow) {
+  const auto samples =
+      synthesize(DualSlopeParams::campus(), 20.0, 100, 5, false);
+  const DualSlopeFitter fitter(kFreq, 20.0);
+  EXPECT_THROW(fitter.fit(samples, 0.5, 300.0, 1.0), PreconditionError);
+  EXPECT_THROW(fitter.fit(samples, 100.0, 50.0, 1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace vp::radio

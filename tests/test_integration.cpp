@@ -1,0 +1,155 @@
+// End-to-end checks of the paper's headline claims on small, fast
+// configurations: Voiceprint detects the attack cluster through the full
+// simulation stack, stays accurate when the propagation environment
+// drifts, and its training pipeline produces a usable boundary.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/detector.h"
+#include "core/threshold.h"
+#include "ml/metrics.h"
+#include "sim/runner.h"
+#include "sim/world.h"
+
+namespace vp {
+namespace {
+
+sim::ScenarioConfig config_for(double density, bool model_change,
+                               std::uint64_t seed) {
+  sim::ScenarioConfig config;
+  config.density_per_km = density;
+  config.sim_time_s = 40.0;
+  config.observation_time_s = 20.0;
+  config.detection_period_s = 20.0;
+  config.model_change = model_change;
+  config.model_change_period_s = 10.0;
+  config.seed = seed;
+  return config;
+}
+
+const sim::World& world_low_density() {
+  static auto world = [] {
+    auto w = std::make_unique<sim::World>(config_for(15.0, false, 21));
+    w->run();
+    return w;
+  }();
+  return *world;
+}
+
+const sim::World& world_drifting() {
+  static auto world = [] {
+    auto w = std::make_unique<sim::World>(config_for(15.0, true, 21));
+    w->run();
+    return w;
+  }();
+  return *world;
+}
+
+TEST(Integration, VoiceprintDetectsThroughFullStack) {
+  core::VoiceprintDetector detector(core::tuned_simulation_options());
+  const sim::EvaluationOptions options{.max_observers = 10};
+  const sim::EvaluationResult result =
+      sim::evaluate(world_low_density(), detector, options);
+  EXPECT_GT(result.windows_evaluated, 0u);
+  EXPECT_GT(result.average_dr, 0.75);
+  EXPECT_LT(result.average_fpr, 0.10);
+}
+
+TEST(Integration, VoiceprintImmuneToModelDrift) {
+  core::VoiceprintDetector detector(core::tuned_simulation_options());
+  const sim::EvaluationOptions options{.max_observers = 10};
+  const double dr_stable =
+      sim::evaluate(world_low_density(), detector, options).average_dr;
+  const double dr_drift =
+      sim::evaluate(world_drifting(), detector, options).average_dr;
+  // Fig. 11b: Voiceprint is "almost immune to the change".
+  EXPECT_GT(dr_drift, dr_stable - 0.15);
+}
+
+TEST(Integration, TrainingPipelineProducesUsableBoundary) {
+  ml::Dataset data;
+  core::TrainingOptions options;
+  options.max_observers = 10;
+  core::collect_training_points(world_low_density(), options, data);
+  ASSERT_GT(data.size(), 100u);
+
+  std::size_t sybil_pairs = 0;
+  for (const auto& p : data) sybil_pairs += p.sybil_pair ? 1 : 0;
+  ASSERT_GT(sybil_pairs, 10u);
+  ASSERT_LT(sybil_pairs, data.size());
+
+  const ml::LinearBoundary boundary = core::train_boundary(data);
+  const ml::Confusion confusion = ml::evaluate(boundary, data);
+  EXPECT_GT(confusion.detection_rate(), 0.8);
+  EXPECT_LT(confusion.false_positive_rate(), 0.15);
+
+  // Distances separate classes strongly in ranking terms too.
+  EXPECT_GT(ml::auc_lower_is_positive(data), 0.9);
+}
+
+TEST(Integration, TunedBoundaryWorksInDetector) {
+  // The identity-level tuner (the pipeline behind tuned_simulation_options)
+  // must yield a detector meeting its own FPR budget in-domain.
+  std::vector<core::LabeledWindow> windows;
+  core::TrainingOptions toptions;
+  toptions.max_observers = 10;
+  core::collect_labeled_windows(world_low_density(), toptions, windows);
+  ASSERT_FALSE(windows.empty());
+  const core::TunedBoundary tuned = core::tune_boundary(windows);
+  EXPECT_GT(tuned.train_dr, 0.7);
+  EXPECT_LE(tuned.train_fpr, 0.05 + 1e-9);
+
+  core::VoiceprintOptions voptions;
+  voptions.boundary = tuned.boundary;
+  voptions.min_pair_votes = tuned.votes;
+  core::VoiceprintDetector detector(voptions);
+  const sim::EvaluationResult result = sim::evaluate(
+      world_low_density(), detector, {.max_observers = 10});
+  EXPECT_GT(result.average_dr, 0.7);
+  EXPECT_LT(result.average_fpr, 0.10);
+}
+
+TEST(Integration, DensityEstimateTracksTruth) {
+  const sim::World& world = world_low_density();
+  double density_sum = 0.0;
+  int n = 0;
+  for (NodeId observer : world.normal_node_ids()) {
+    const auto window = world.observe(observer, 20.0);
+    density_sum += window.estimated_density_per_km;
+    ++n;
+  }
+  const double avg = density_sum / n;
+  // Eq. 9 counts Sybil identities too, so it overestimates; it must still
+  // sit within a factor ~2 of the configured 15 vhls/km.
+  EXPECT_GT(avg, 5.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(Integration, CollisionsIncreaseWithDensity) {
+  // The mechanism the paper blames for Voiceprint's DR decline at high
+  // density: more vehicles → more channel collisions → packet loss.
+  auto dense_cfg = config_for(60.0, false, 22);
+  dense_cfg.sim_time_s = 20.0;
+  dense_cfg.observation_time_s = 10.0;
+  auto sparse_cfg = config_for(10.0, false, 22);
+  sparse_cfg.sim_time_s = 20.0;
+  sparse_cfg.observation_time_s = 10.0;
+
+  sim::World dense(dense_cfg);
+  sim::World sparse(sparse_cfg);
+  dense.run();
+  sparse.run();
+
+  const auto loss_rate = [](const sim::WorldStats& s) {
+    const double attempted = static_cast<double>(
+        s.frames_received + s.frames_collided + s.frames_half_duplex_missed);
+    return attempted == 0.0
+               ? 0.0
+               : static_cast<double>(s.frames_collided) / attempted;
+  };
+  EXPECT_GT(loss_rate(dense.stats()), loss_rate(sparse.stats()));
+}
+
+}  // namespace
+}  // namespace vp

@@ -1,0 +1,106 @@
+#include "common/least_squares.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace vp {
+namespace {
+
+TEST(LinearFit, RecoversExactLine) {
+  std::vector<double> xs, ys;
+  for (double x = 0.0; x < 10.0; x += 1.0) {
+    xs.push_back(x);
+    ys.push_back(3.0 * x - 2.0);
+  }
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.residual_stddev, 0.0, 1e-9);
+}
+
+TEST(LinearFit, NoisyLineApproximateRecovery) {
+  Rng rng(5);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.0, 100.0);
+    xs.push_back(x);
+    ys.push_back(-1.5 * x + 7.0 + rng.normal(0.0, 2.0));
+  }
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, -1.5, 0.02);
+  EXPECT_NEAR(fit.intercept, 7.0, 1.0);
+  EXPECT_NEAR(fit.residual_stddev, 2.0, 0.3);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(LinearFit, DegenerateXThrows) {
+  const std::vector<double> xs = {2.0, 2.0, 2.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_THROW(linear_fit(xs, ys), PreconditionError);
+}
+
+TEST(LinearFit, SizeMismatchThrows) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {1.0};
+  EXPECT_THROW(linear_fit(xs, ys), PreconditionError);
+}
+
+TEST(SlopeThrough, ExactRecovery) {
+  std::vector<double> xs, ys;
+  for (double x = 1.0; x <= 5.0; x += 1.0) {
+    xs.push_back(x);
+    ys.push_back(10.0 - 4.0 * x);
+  }
+  EXPECT_NEAR(slope_through(xs, ys, 10.0), -4.0, 1e-12);
+}
+
+TEST(SlopeThrough, AllZeroXThrows) {
+  const std::vector<double> xs = {0.0, 0.0};
+  const std::vector<double> ys = {1.0, 2.0};
+  EXPECT_THROW(slope_through(xs, ys, 0.0), PreconditionError);
+}
+
+TEST(NormalEquations, SolvesTwoColumnSystem) {
+  // y = 2*x1 - 3*x2, rows (x1, x2).
+  const std::vector<double> a = {1, 0, 0, 1, 1, 1, 2, 1};
+  const std::vector<double> b = {2, -3, -1, 1};
+  const std::vector<double> x = solve_normal_equations(a, 2, b);
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 2.0, 1e-9);
+  EXPECT_NEAR(x[1], -3.0, 1e-9);
+}
+
+TEST(NormalEquations, LeastSquaresOverdetermined) {
+  // Fit y = c0 + c1*x through noisy-free points of y = 1 + 2x plus one
+  // outlier-free consistency: exact solution expected.
+  std::vector<double> a, b;
+  for (double x = 0.0; x < 6.0; x += 1.0) {
+    a.push_back(1.0);
+    a.push_back(x);
+    b.push_back(1.0 + 2.0 * x);
+  }
+  const std::vector<double> x = solve_normal_equations(a, 2, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+TEST(NormalEquations, SingularThrows) {
+  // Two identical columns.
+  const std::vector<double> a = {1, 1, 2, 2, 3, 3};
+  const std::vector<double> b = {1, 2, 3};
+  EXPECT_THROW(solve_normal_equations(a, 2, b), InvalidArgument);
+}
+
+TEST(NormalEquations, ShapeChecks) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {1};
+  EXPECT_THROW(solve_normal_equations(a, 2, b), PreconditionError);
+}
+
+}  // namespace
+}  // namespace vp

@@ -1,0 +1,75 @@
+#include "timeseries/lp_distance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace vp::ts {
+namespace {
+
+TEST(LpDistance, EuclideanKnownValue) {
+  const std::vector<double> x = {0.0, 0.0};
+  const std::vector<double> y = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(euclidean_distance(x, y), 5.0);
+  EXPECT_DOUBLE_EQ(squared_euclidean_distance(x, y), 25.0);
+}
+
+TEST(LpDistance, ManhattanKnownValue) {
+  const std::vector<double> x = {1.0, -2.0, 3.0};
+  const std::vector<double> y = {0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(manhattan_distance(x, y), 6.0);
+}
+
+TEST(LpDistance, GeneralPMatchesSpecialCases) {
+  const std::vector<double> x = {1.0, 5.0, -2.0, 0.5};
+  const std::vector<double> y = {0.0, 4.5, 1.0, 0.5};
+  EXPECT_NEAR(lp_distance(x, y, 2), euclidean_distance(x, y), 1e-12);
+  EXPECT_NEAR(lp_distance(x, y, 1), manhattan_distance(x, y), 1e-12);
+}
+
+TEST(LpDistance, IdentityIsZero) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(euclidean_distance(x, x), 0.0);
+  EXPECT_DOUBLE_EQ(lp_distance(x, x, 3), 0.0);
+}
+
+TEST(LpDistance, Symmetry) {
+  const std::vector<double> x = {1.0, 0.0, 2.5};
+  const std::vector<double> y = {-1.0, 4.0, 2.0};
+  EXPECT_DOUBLE_EQ(euclidean_distance(x, y), euclidean_distance(y, x));
+  EXPECT_DOUBLE_EQ(manhattan_distance(x, y), manhattan_distance(y, x));
+}
+
+TEST(LpDistance, TriangleInequality) {
+  const std::vector<double> a = {0.0, 0.0, 0.0};
+  const std::vector<double> b = {1.0, 2.0, -1.0};
+  const std::vector<double> c = {3.0, -1.0, 0.5};
+  EXPECT_LE(euclidean_distance(a, c),
+            euclidean_distance(a, b) + euclidean_distance(b, c) + 1e-12);
+}
+
+TEST(LpDistance, HigherPWeightsLargestDeviation) {
+  // As p grows, Lp approaches the max-abs deviation.
+  const std::vector<double> x = {0.0, 0.0};
+  const std::vector<double> y = {1.0, 10.0};
+  EXPECT_GT(lp_distance(x, y, 1), lp_distance(x, y, 4));
+  EXPECT_NEAR(lp_distance(x, y, 8), 10.0, 0.1);
+}
+
+TEST(LpDistance, LengthMismatchThrows) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {1.0};
+  EXPECT_THROW(euclidean_distance(x, y), PreconditionError);
+  EXPECT_THROW(lp_distance(x, y, 2), PreconditionError);
+}
+
+TEST(LpDistance, InvalidPThrows) {
+  const std::vector<double> x = {1.0};
+  EXPECT_THROW(lp_distance(x, x, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace vp::ts

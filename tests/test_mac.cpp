@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/error.h"
+#include "common/event_queue.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "mac/channel.h"
+#include "mac/csma_ca.h"
+#include "mac/phy.h"
+#include "radio/dual_slope.h"
+
+namespace vp::mac {
+namespace {
+
+constexpr double kFreq = units::kDsrcFrequencyHz;
+
+radio::DualSlopeModel test_model() {
+  return radio::DualSlopeModel(kFreq, radio::DualSlopeParams::highway());
+}
+
+Frame make_frame(NodeId sender, IdentityId id = 0) {
+  Frame f;
+  f.identity = id;
+  f.sender = sender;
+  f.tx_power_dbm = 20.0;
+  f.payload_bytes = 500;
+  return f;
+}
+
+TEST(Phy, AirtimeMatchesTableIII) {
+  const PhyParams phy;
+  // 500 B at 3 Mbps = 1333.3 µs payload + 40 µs preamble.
+  EXPECT_NEAR(phy.airtime_s(500), 1373.3e-6, 1e-6);
+  EXPECT_NEAR(phy.aifs_us(), 58.0, 1e-12);  // SIFS 32 + 2×13
+}
+
+TEST(Channel, BusyWithinRangeIdleFarAway) {
+  const auto model = test_model();
+  Channel channel(model, PhyParams{});
+  const double airtime = PhyParams{}.airtime_s(500);
+  channel.begin(make_frame(0), {1000.0, 0.0}, 0.0, airtime);
+
+  // 50 m away: clearly audible → busy until the frame ends.
+  EXPECT_DOUBLE_EQ(channel.busy_until({1050.0, 0.0}, 0.0005, 1), airtime);
+  // 5 km away: mean power far below carrier sense → idle.
+  EXPECT_DOUBLE_EQ(channel.busy_until({6000.0, 0.0}, 0.0005, 1), 0.0005);
+}
+
+TEST(Channel, OwnTransmissionExcludedFromSensing) {
+  const auto model = test_model();
+  Channel channel(model, PhyParams{});
+  channel.begin(make_frame(7), {0.0, 0.0}, 0.0, 0.001);
+  EXPECT_DOUBLE_EQ(channel.busy_until({0.0, 0.0}, 0.0005, 7), 0.0005);
+}
+
+TEST(Channel, EndedTransmissionNotBusy) {
+  const auto model = test_model();
+  Channel channel(model, PhyParams{});
+  channel.begin(make_frame(0), {0.0, 0.0}, 0.0, 0.001);
+  EXPECT_DOUBLE_EQ(channel.busy_until({10.0, 0.0}, 0.002, 1), 0.002);
+}
+
+TEST(Channel, InterferenceSumsOverlapping) {
+  const auto model = test_model();
+  Channel channel(model, PhyParams{});
+  const auto seq_a = channel.begin(make_frame(0), {0.0, 0.0}, 0.0, 0.001);
+  channel.begin(make_frame(1), {100.0, 0.0}, 0.0005, 0.001);  // overlaps A
+
+  const double i_a = channel.interference_mw({50.0, 0.0}, 0.0, 0.001, seq_a);
+  EXPECT_GT(i_a, 0.0);  // B interferes with A at the midpoint
+
+  // A non-overlapping window sees nothing.
+  EXPECT_DOUBLE_EQ(
+      channel.interference_mw({50.0, 0.0}, 0.005, 0.006, seq_a), 0.0);
+}
+
+TEST(Channel, HalfDuplexDetection) {
+  const auto model = test_model();
+  Channel channel(model, PhyParams{});
+  channel.begin(make_frame(3), {0.0, 0.0}, 0.0, 0.001);
+  EXPECT_TRUE(channel.node_transmitting_during(3, 0.0005, 0.002));
+  EXPECT_FALSE(channel.node_transmitting_during(3, 0.002, 0.003));
+  EXPECT_FALSE(channel.node_transmitting_during(4, 0.0, 0.001));
+}
+
+TEST(Channel, PruneDropsOldTransmissions) {
+  const auto model = test_model();
+  Channel channel(model, PhyParams{});
+  channel.begin(make_frame(0), {0.0, 0.0}, 0.0, 0.001);
+  channel.begin(make_frame(1), {0.0, 0.0}, 1.0, 0.001);
+  channel.prune(0.5);
+  EXPECT_EQ(channel.active_count(1.0005), 1u);
+  // The pruned frame no longer contributes interference.
+  EXPECT_DOUBLE_EQ(channel.interference_mw({10.0, 0.0}, 0.0, 0.001, 999), 0.0);
+}
+
+// A small fixture wiring one CSMA MAC to a channel and queue.
+class CsmaFixture : public ::testing::Test {
+ protected:
+  CsmaFixture()
+      : model_(test_model()), channel_(model_, phy_) {}
+
+  std::unique_ptr<CsmaCa> make_mac(NodeId id, mob::Vec2 pos,
+                                   std::vector<Frame>* sent) {
+    return std::make_unique<CsmaCa>(
+        phy_, channel_, queue_, Rng(100 + id), id, [pos] { return pos; },
+        [this, sent, id](const Frame& f) {
+          sent->push_back(f);
+          const double airtime = phy_.airtime_s(f.payload_bytes);
+          const auto seq =
+              channel_.begin(f, {0.0, 0.0}, queue_.now(), airtime);
+          (void)seq;
+          queue_.schedule_in(airtime, [this, id] { macs_[id]->on_transmission_complete(); });
+        },
+        /*queue_capacity=*/4);
+  }
+
+  PhyParams phy_;
+  radio::DualSlopeModel model_;
+  Channel channel_;
+  EventQueue queue_;
+  std::map<NodeId, CsmaCa*> macs_;
+};
+
+TEST_F(CsmaFixture, SingleNodeTransmitsAfterBackoff) {
+  std::vector<Frame> sent;
+  auto mac = make_mac(0, {0.0, 0.0}, &sent);
+  macs_[0] = mac.get();
+  mac->enqueue(make_frame(0, 42));
+  queue_.run_until(1.0);
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].identity, 42u);
+  EXPECT_EQ(mac->sent(), 1u);
+  EXPECT_EQ(mac->queue_depth(), 0u);
+}
+
+TEST_F(CsmaFixture, FramesServedInOrder) {
+  std::vector<Frame> sent;
+  auto mac = make_mac(0, {0.0, 0.0}, &sent);
+  macs_[0] = mac.get();
+  for (IdentityId i = 0; i < 3; ++i) mac->enqueue(make_frame(0, i));
+  queue_.run_until(1.0);
+  ASSERT_EQ(sent.size(), 3u);
+  for (IdentityId i = 0; i < 3; ++i) EXPECT_EQ(sent[i].identity, i);
+}
+
+TEST_F(CsmaFixture, QueueOverflowDrops) {
+  std::vector<Frame> sent;
+  auto mac = make_mac(0, {0.0, 0.0}, &sent);
+  macs_[0] = mac.get();
+  // Capacity is 4; one may dequeue into transmission quickly, so pushing
+  // 10 must drop at least 5.
+  for (IdentityId i = 0; i < 10; ++i) mac->enqueue(make_frame(0, i));
+  EXPECT_GE(mac->drops(), 5u);
+  queue_.run_until(1.0);
+  EXPECT_LE(sent.size(), 5u);
+}
+
+TEST_F(CsmaFixture, TwoNodesSerializeWhenInRange) {
+  // Both co-located: the second defers until the first frame ends, so the
+  // two transmissions must not overlap.
+  std::vector<Frame> sent;
+  auto mac_a = make_mac(0, {0.0, 0.0}, &sent);
+  auto mac_b = make_mac(1, {5.0, 0.0}, &sent);
+  macs_[0] = mac_a.get();
+  macs_[1] = mac_b.get();
+
+  mac_a->enqueue(make_frame(0, 1));
+  queue_.run_until(0.0002);  // A's backoff may still be pending
+  mac_b->enqueue(make_frame(1, 2));
+  queue_.run_until(1.0);
+
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_EQ(channel_.total_transmissions(), 2u);
+}
+
+}  // namespace
+}  // namespace vp::mac

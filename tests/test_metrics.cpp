@@ -1,0 +1,112 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vp::sim {
+namespace {
+
+GroundTruth make_truth() {
+  GroundTruth truth;
+  truth.add(0, {.owner = 0, .sybil = false, .owner_malicious = false});
+  truth.add(1, {.owner = 1, .sybil = false, .owner_malicious = false});
+  truth.add(2, {.owner = 2, .sybil = false, .owner_malicious = true});
+  truth.add(101, {.owner = 2, .sybil = true, .owner_malicious = true});
+  truth.add(102, {.owner = 2, .sybil = true, .owner_malicious = true});
+  return truth;
+}
+
+ObservationWindow make_window(std::vector<IdentityId> heard) {
+  ObservationWindow window;
+  window.t0 = 0.0;
+  window.t1 = 20.0;
+  for (IdentityId id : heard) {
+    NeighborObservation n;
+    n.id = id;
+    window.neighbors.push_back(n);
+  }
+  return window;
+}
+
+TEST(ScoreDetection, PerfectDetection) {
+  const GroundTruth truth = make_truth();
+  const ObservationWindow window = make_window({0, 1, 2, 101, 102});
+  const DetectionCounts counts =
+      score_detection({2, 101, 102}, window, truth);
+  EXPECT_EQ(counts.detected_true, 3u);
+  EXPECT_EQ(counts.illegitimate, 3u);
+  EXPECT_EQ(counts.detected_false, 0u);
+  EXPECT_EQ(counts.legitimate, 2u);
+  EXPECT_DOUBLE_EQ(counts.dr(), 1.0);
+  EXPECT_DOUBLE_EQ(counts.fpr(), 0.0);
+}
+
+TEST(ScoreDetection, PartialDetectionAndFalsePositive) {
+  const GroundTruth truth = make_truth();
+  const ObservationWindow window = make_window({0, 1, 2, 101, 102});
+  const DetectionCounts counts = score_detection({101, 0}, window, truth);
+  EXPECT_EQ(counts.detected_true, 1u);
+  EXPECT_EQ(counts.detected_false, 1u);
+  EXPECT_DOUBLE_EQ(counts.dr(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(counts.fpr(), 0.5);
+}
+
+TEST(ScoreDetection, FlagsOutsideWindowIgnored) {
+  const GroundTruth truth = make_truth();
+  const ObservationWindow window = make_window({0, 1});
+  const DetectionCounts counts =
+      score_detection({101, 102, 2}, window, truth);  // none were heard
+  EXPECT_EQ(counts.detected_true, 0u);
+  EXPECT_EQ(counts.illegitimate, 0u);
+  EXPECT_FALSE(counts.dr_defined());
+}
+
+TEST(ScoreDetection, DuplicateFlagsCountOnce) {
+  const GroundTruth truth = make_truth();
+  const ObservationWindow window = make_window({2, 101});
+  const DetectionCounts counts =
+      score_detection({101, 101, 101}, window, truth);
+  EXPECT_EQ(counts.detected_true, 1u);
+}
+
+TEST(DetectionCountsTest, UndefinedRatesThrow) {
+  DetectionCounts counts;
+  EXPECT_FALSE(counts.dr_defined());
+  EXPECT_FALSE(counts.fpr_defined());
+  EXPECT_THROW(counts.dr(), PreconditionError);
+  EXPECT_THROW(counts.fpr(), PreconditionError);
+}
+
+TEST(RateAveragerTest, AveragesOnlyDefinedEntries) {
+  RateAverager averager;
+  DetectionCounts a;
+  a.detected_true = 1;
+  a.illegitimate = 2;
+  a.legitimate = 4;
+  a.detected_false = 1;
+  averager.add(a);  // DR 0.5, FPR 0.25
+
+  DetectionCounts b;  // nothing heard: contributes to neither average
+  averager.add(b);
+
+  DetectionCounts c;
+  c.detected_true = 2;
+  c.illegitimate = 2;
+  c.legitimate = 2;
+  averager.add(c);  // DR 1.0, FPR 0.0
+
+  EXPECT_EQ(averager.dr_samples(), 2u);
+  EXPECT_EQ(averager.fpr_samples(), 2u);
+  EXPECT_DOUBLE_EQ(averager.average_dr(), 0.75);
+  EXPECT_DOUBLE_EQ(averager.average_fpr(), 0.125);
+}
+
+TEST(RateAveragerTest, EmptyAveragerIsZero) {
+  RateAverager averager;
+  EXPECT_DOUBLE_EQ(averager.average_dr(), 0.0);
+  EXPECT_DOUBLE_EQ(averager.average_fpr(), 0.0);
+}
+
+}  // namespace
+}  // namespace vp::sim

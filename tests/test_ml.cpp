@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "ml/lda.h"
+#include "ml/logistic.h"
+#include "ml/metrics.h"
+#include "ml/perceptron.h"
+
+namespace vp::ml {
+namespace {
+
+// Synthetic density–distance data mimicking Fig. 10: Sybil pairs hug small
+// distances with a slight density-dependent rise; normal pairs sit higher.
+Dataset make_fig10_like_data(std::size_t n_per_class, std::uint64_t seed) {
+  Rng rng(seed);
+  Dataset data;
+  for (std::size_t i = 0; i < n_per_class; ++i) {
+    const double den = rng.uniform(10.0, 100.0);
+    LabeledPoint sybil;
+    sybil.density = den;
+    sybil.distance =
+        std::max(0.0, 0.02 + 0.0004 * den + rng.normal(0.0, 0.015));
+    sybil.sybil_pair = true;
+    data.push_back(sybil);
+
+    LabeledPoint normal;
+    normal.density = rng.uniform(10.0, 100.0);
+    normal.distance =
+        std::clamp(0.42 + rng.normal(0.0, 0.15), 0.08, 1.0);
+    normal.sybil_pair = false;
+    data.push_back(normal);
+  }
+  return data;
+}
+
+TEST(LinearBoundaryTest, ThresholdAndClassification) {
+  const LinearBoundary b{.k = 0.001, .b = 0.05};
+  EXPECT_DOUBLE_EQ(b.threshold_at(50.0), 0.1);
+  EXPECT_TRUE(b.is_sybil(50.0, 0.1));    // boundary inclusive (Algorithm 1)
+  EXPECT_TRUE(b.is_sybil(50.0, 0.05));
+  EXPECT_FALSE(b.is_sybil(50.0, 0.11));
+}
+
+TEST(LdaTest, SeparatesFig10LikeData) {
+  const Dataset data = make_fig10_like_data(400, 1);
+  const LdaModel model = Lda::fit(data);
+  const Confusion c = evaluate(model.boundary, data);
+  EXPECT_GT(c.detection_rate(), 0.90);
+  EXPECT_LT(c.false_positive_rate(), 0.15);
+  // A tighter prior trades detection for false positives.
+  const LdaModel tight = Lda::fit(data, 0.05);
+  const Confusion ct = evaluate(tight.boundary, data);
+  EXPECT_LT(ct.false_positive_rate(), 0.05);
+}
+
+TEST(LdaTest, BoundaryHasSmallPositiveInterceptAndSlope) {
+  const Dataset data = make_fig10_like_data(400, 2);
+  const LdaModel model = Lda::fit(data, 0.05);
+  EXPECT_GT(model.boundary.b, 0.0);
+  EXPECT_LT(model.boundary.b, 0.3);
+  // Sybil distances rise with density in this data, so the learned
+  // threshold should too.
+  EXPECT_GT(model.boundary.k, 0.0);
+}
+
+TEST(LdaTest, SmallerPriorTightensBoundary) {
+  const Dataset data = make_fig10_like_data(400, 3);
+  const LdaModel tight = Lda::fit(data, 0.01);
+  const LdaModel loose = Lda::fit(data, 0.50);
+  // At any density the low-prior threshold sits below the high-prior one.
+  EXPECT_LT(tight.boundary.threshold_at(50.0),
+            loose.boundary.threshold_at(50.0));
+}
+
+TEST(LdaTest, RequiresBothClasses) {
+  Dataset data;
+  for (int i = 0; i < 10; ++i) {
+    data.push_back({10.0 + i, 0.5, false});
+  }
+  EXPECT_THROW(Lda::fit(data), PreconditionError);
+}
+
+TEST(LdaTest, DegenerateOrientationThrows) {
+  // Sybil pairs with LARGER distances: the detector's rule cannot
+  // represent that, and silently inverting would be dangerous.
+  Rng rng(5);
+  Dataset data;
+  for (int i = 0; i < 100; ++i) {
+    data.push_back({rng.uniform(10, 100), rng.normal(0.8, 0.05), true});
+    data.push_back({rng.uniform(10, 100), rng.normal(0.2, 0.05), false});
+  }
+  EXPECT_THROW(Lda::fit(data), InvalidArgument);
+}
+
+TEST(LogisticTest, SeparatesFig10LikeData) {
+  const Dataset data = make_fig10_like_data(300, 7);
+  const LogisticModel model = Logistic::fit(data);
+  const Confusion c = evaluate(model.boundary, data);
+  EXPECT_GT(c.detection_rate(), 0.85);
+  EXPECT_LT(c.false_positive_rate(), 0.15);
+}
+
+TEST(LogisticTest, ProbabilitiesOrdered) {
+  const Dataset data = make_fig10_like_data(300, 8);
+  const LogisticModel model = Logistic::fit(data);
+  // A clear Sybil point scores a higher probability than a clear normal.
+  EXPECT_GT(model.probability(50.0, 0.02), model.probability(50.0, 0.6));
+  EXPECT_GT(model.probability(50.0, 0.02), 0.5);
+}
+
+TEST(PerceptronTest, SeparatesFig10LikeData) {
+  const Dataset data = make_fig10_like_data(300, 9);
+  const PerceptronModel model = Perceptron::fit(data);
+  const Confusion c = evaluate(model.boundary, data);
+  EXPECT_GT(c.detection_rate(), 0.80);
+  EXPECT_LT(c.false_positive_rate(), 0.20);
+}
+
+TEST(ConfusionTest, CountsAndRates) {
+  Confusion c;
+  c.add(true, true);    // tp
+  c.add(true, false);   // fn
+  c.add(false, true);   // fp
+  c.add(false, false);  // tn
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.tn, 1u);
+  EXPECT_DOUBLE_EQ(c.detection_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(c.false_positive_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(c.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.5);
+}
+
+TEST(ConfusionTest, EdgeCases) {
+  Confusion c;
+  EXPECT_DOUBLE_EQ(c.detection_rate(), 1.0);       // no positives
+  EXPECT_DOUBLE_EQ(c.false_positive_rate(), 0.0);  // no negatives
+  EXPECT_DOUBLE_EQ(c.precision(), 1.0);            // nothing predicted
+  EXPECT_THROW(c.accuracy(), PreconditionError);
+}
+
+TEST(ConfusionTest, Merge) {
+  Confusion a, b;
+  a.add(true, true);
+  b.add(false, true);
+  a.merge(b);
+  EXPECT_EQ(a.tp, 1u);
+  EXPECT_EQ(a.fp, 1u);
+  EXPECT_EQ(a.total(), 2u);
+}
+
+TEST(AucTest, PerfectSeparationIsOne) {
+  Dataset data;
+  for (int i = 0; i < 50; ++i) {
+    data.push_back({0.0, 0.1, true});
+    data.push_back({0.0, 0.9, false});
+  }
+  EXPECT_DOUBLE_EQ(auc_lower_is_positive(data), 1.0);
+}
+
+TEST(AucTest, RandomScoresNearHalf) {
+  Rng rng(11);
+  Dataset data;
+  for (int i = 0; i < 2000; ++i) {
+    data.push_back({0.0, rng.uniform(0.0, 1.0), i % 2 == 0});
+  }
+  EXPECT_NEAR(auc_lower_is_positive(data), 0.5, 0.05);
+}
+
+TEST(AucTest, TiesGetHalfCredit) {
+  Dataset data;
+  data.push_back({0.0, 0.5, true});
+  data.push_back({0.0, 0.5, false});
+  EXPECT_DOUBLE_EQ(auc_lower_is_positive(data), 0.5);
+}
+
+}  // namespace
+}  // namespace vp::ml

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "mobility/epoch_mobility.h"
+#include "mobility/highway.h"
+#include "mobility/trace.h"
+#include "mobility/waypoint_route.h"
+
+namespace vp::mob {
+namespace {
+
+TEST(HighwayTest, LaneGeometry) {
+  const Highway hw;  // 2 km, 2 lanes/direction, 3.6 m
+  EXPECT_EQ(hw.lane_count(), 4u);
+  EXPECT_EQ(hw.lane_direction(0), Direction::kForward);
+  EXPECT_EQ(hw.lane_direction(1), Direction::kForward);
+  EXPECT_EQ(hw.lane_direction(2), Direction::kBackward);
+  EXPECT_EQ(hw.lane_direction(3), Direction::kBackward);
+  EXPECT_DOUBLE_EQ(hw.lane_center_y(0), 1.8);
+  EXPECT_DOUBLE_EQ(hw.lane_center_y(3), 12.6);
+}
+
+TEST(HighwayTest, OppositeLaneMirrors) {
+  const Highway hw;
+  EXPECT_EQ(hw.opposite_lane(0), 3u);
+  EXPECT_EQ(hw.opposite_lane(1), 2u);
+  EXPECT_EQ(hw.opposite_lane(2), 1u);
+  EXPECT_EQ(hw.opposite_lane(3), 0u);
+}
+
+TEST(HighwayTest, WrapAtForwardEndTurnsAround) {
+  const Highway hw;
+  VehicleState s;
+  s.lane = 0;
+  s.direction = Direction::kForward;
+  s.position = {2050.0, hw.lane_center_y(0)};
+  hw.wrap(s);
+  EXPECT_DOUBLE_EQ(s.position.x, 1950.0);
+  EXPECT_EQ(s.direction, Direction::kBackward);
+  EXPECT_EQ(s.lane, 3u);
+  EXPECT_DOUBLE_EQ(s.position.y, hw.lane_center_y(3));
+}
+
+TEST(HighwayTest, WrapAtBackwardEndTurnsAround) {
+  const Highway hw;
+  VehicleState s;
+  s.lane = 3;
+  s.direction = Direction::kBackward;
+  s.position = {-30.0, hw.lane_center_y(3)};
+  hw.wrap(s);
+  EXPECT_DOUBLE_EQ(s.position.x, 30.0);
+  EXPECT_EQ(s.direction, Direction::kForward);
+  EXPECT_EQ(s.lane, 0u);
+}
+
+TEST(HighwayTest, WrapNoopOnRoad) {
+  const Highway hw;
+  VehicleState s;
+  s.lane = 1;
+  s.direction = Direction::kForward;
+  s.position = {1000.0, hw.lane_center_y(1)};
+  hw.wrap(s);
+  EXPECT_DOUBLE_EQ(s.position.x, 1000.0);
+  EXPECT_EQ(s.lane, 1u);
+}
+
+TEST(HighwayTest, RandomStateOnRoad) {
+  const Highway hw;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const VehicleState s = hw.random_state(rng);
+    EXPECT_GE(s.position.x, 0.0);
+    EXPECT_LE(s.position.x, hw.length_m());
+    EXPECT_LT(s.lane, hw.lane_count());
+    EXPECT_EQ(s.direction, hw.lane_direction(s.lane));
+  }
+}
+
+TEST(EpochMobilityTest, SpeedStatisticsMatchTableV) {
+  // Speeds are N(25, 5) m/s clamped; over many epochs the sample mean
+  // should sit near 25 m/s.
+  const Highway hw;
+  Rng rng(2);
+  VehicleState init = hw.random_state(rng);
+  EpochMobility mob({}, init, Rng(3));
+  RunningStats speeds;
+  for (int i = 0; i < 5000; ++i) {
+    mob.advance(1.0, hw);
+    speeds.add(mob.state().speed_mps);
+  }
+  EXPECT_NEAR(speeds.mean(), 25.0, 1.0);
+  EXPECT_GT(speeds.stddev(), 2.0);
+}
+
+TEST(EpochMobilityTest, EpochRateMatches) {
+  // λe = 0.2/s → ≈ 0.2 epochs per second.
+  const Highway hw;
+  Rng rng(4);
+  EpochMobility mob({}, hw.random_state(rng), Rng(5));
+  const std::size_t start_epochs = mob.epoch_count();
+  mob.advance(1000.0, hw);
+  const auto epochs = static_cast<double>(mob.epoch_count() - start_epochs);
+  EXPECT_NEAR(epochs / 1000.0, 0.2, 0.05);
+}
+
+TEST(EpochMobilityTest, StaysOnRoad) {
+  const Highway hw;
+  Rng rng(6);
+  EpochMobility mob({}, hw.random_state(rng), Rng(7));
+  for (int i = 0; i < 1000; ++i) {
+    mob.advance(0.5, hw);
+    EXPECT_GE(mob.state().position.x, 0.0);
+    EXPECT_LE(mob.state().position.x, hw.length_m());
+    EXPECT_GE(mob.state().speed_mps, 1.0);
+    EXPECT_LE(mob.state().speed_mps, 50.0);
+  }
+}
+
+TEST(EpochMobilityTest, DistanceConsistentWithSpeed) {
+  // Over a short interval without epoch change the displacement is v·dt.
+  const Highway hw({.length_m = 1e9});  // effectively no wrap
+  VehicleState init;
+  init.lane = 0;
+  init.direction = Direction::kForward;
+  init.position = {0.0, 1.8};
+  EpochMobilityParams params;
+  params.epoch_rate_per_s = 1e-9;  // epochs effectively never end
+  EpochMobility mob(params, init, Rng(8));
+  const double v = mob.state().speed_mps;
+  mob.advance(10.0, hw);
+  EXPECT_NEAR(mob.state().position.x, 10.0 * v, 1e-6);
+}
+
+TEST(EpochMobilityTest, ZeroAdvanceIsNoop) {
+  const Highway hw;
+  Rng rng(9);
+  EpochMobility mob({}, hw.random_state(rng), Rng(10));
+  const double x = mob.state().position.x;
+  mob.advance(0.0, hw);
+  EXPECT_DOUBLE_EQ(mob.state().position.x, x);
+}
+
+TEST(WaypointRouteTest, InterpolatesAndClamps) {
+  const WaypointRoute route({{0.0, {0.0, 0.0}}, {10.0, {100.0, 0.0}}});
+  EXPECT_DOUBLE_EQ(route.position_at(5.0).x, 50.0);
+  EXPECT_DOUBLE_EQ(route.position_at(-1.0).x, 0.0);
+  EXPECT_DOUBLE_EQ(route.position_at(11.0).x, 100.0);
+  EXPECT_NEAR(route.speed_at(5.0), 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(route.speed_at(20.0), 0.0);
+}
+
+TEST(WaypointRouteTest, BuilderChainsLegs) {
+  WaypointRoute route = WaypointRoute::linear({0, 0}, {100, 0}, 0.0, 10.0);
+  route.then_stop(5.0).then_move_to({200, 0}, 10.0);
+  EXPECT_DOUBLE_EQ(route.end_time_s(), 25.0);
+  EXPECT_DOUBLE_EQ(route.position_at(12.0).x, 100.0);  // stopped
+  EXPECT_DOUBLE_EQ(route.speed_at(12.0), 0.0);
+  EXPECT_DOUBLE_EQ(route.position_at(20.0).x, 150.0);
+}
+
+TEST(WaypointRouteTest, StationaryRoute) {
+  const WaypointRoute route = WaypointRoute::stationary({5.0, 1.0}, 0.0, 60.0);
+  EXPECT_DOUBLE_EQ(route.position_at(30.0).x, 5.0);
+  EXPECT_DOUBLE_EQ(route.speed_at(30.0), 0.0);
+}
+
+TEST(WaypointRouteTest, NonIncreasingTimesThrow) {
+  EXPECT_THROW(WaypointRoute({{1.0, {0, 0}}, {1.0, {1, 0}}}),
+               PreconditionError);
+  EXPECT_THROW(WaypointRoute({}), PreconditionError);
+}
+
+TEST(TraceTest, PositionInterpolation) {
+  Trace trace;
+  trace.add(0.0, {0.0, 0.0}, 10.0);
+  trace.add(10.0, {100.0, 0.0}, 10.0);
+  EXPECT_DOUBLE_EQ(trace.position_at(5.0).x, 50.0);
+  EXPECT_DOUBLE_EQ(trace.position_at(-5.0).x, 0.0);
+  EXPECT_DOUBLE_EQ(trace.position_at(50.0).x, 100.0);
+}
+
+TEST(TraceTest, StationaryWindowDetection) {
+  Trace trace;
+  for (int i = 0; i < 100; ++i) {
+    const double t = i * 1.0;
+    const double v = (i >= 40 && i < 70) ? 0.0 : 15.0;
+    trace.add(t, {t * 15.0, 0.0}, v);
+  }
+  EXPECT_TRUE(trace.is_stationary(45.0, 65.0, 0.5));
+  EXPECT_FALSE(trace.is_stationary(30.0, 50.0, 0.5));
+  EXPECT_FALSE(trace.is_stationary(200.0, 300.0, 0.5));  // no samples
+}
+
+TEST(TraceTest, DistanceBetweenTraces) {
+  Trace a, b;
+  a.add(0.0, {0.0, 0.0}, 0.0);
+  a.add(10.0, {100.0, 0.0}, 0.0);
+  b.add(0.0, {0.0, 30.0}, 0.0);
+  b.add(10.0, {100.0, 30.0}, 0.0);
+  EXPECT_DOUBLE_EQ(distance_at(a, b, 5.0), 30.0);
+}
+
+TEST(TraceTest, TimeOrderEnforced) {
+  Trace trace;
+  trace.add(1.0, {0, 0}, 0.0);
+  EXPECT_THROW(trace.add(0.5, {0, 0}, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace vp::mob

@@ -1,0 +1,125 @@
+#include "timeseries/normalize.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace vp::ts {
+namespace {
+
+TEST(ZScoreEnhanced, RemovesOffsetExactly) {
+  // Eq. 7's purpose (Assumption 3): a constant TX-power offset between two
+  // Sybil series must vanish entirely.
+  Rng rng(1);
+  std::vector<double> base(100);
+  for (double& v : base) v = rng.normal(-75.0, 4.0);
+  std::vector<double> shifted = base;
+  for (double& v : shifted) v += 6.0;  // +6 dB spoofed power
+
+  const auto a = z_score_enhanced(base);
+  const auto b = z_score_enhanced(shifted);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-9);
+  }
+}
+
+TEST(ZScoreEnhanced, RemovesPositiveScaling) {
+  std::vector<double> base = {-80, -75, -70, -78, -72};
+  std::vector<double> scaled = base;
+  for (double& v : scaled) v = v * 2.0 + 10.0;
+  const auto a = z_score_enhanced(base);
+  const auto b = z_score_enhanced(scaled);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-9);
+}
+
+TEST(ZScoreEnhanced, ThreeSigmaRange) {
+  // 99.7% of normal samples fall within (−1, 1) after dividing by 3σ.
+  Rng rng(2);
+  std::vector<double> xs(10000);
+  for (double& v : xs) v = rng.normal(-70.0, 5.0);
+  const auto z = z_score_enhanced(xs);
+  std::size_t inside = 0;
+  for (double v : z) {
+    if (v > -1.0 && v < 1.0) ++inside;
+  }
+  EXPECT_GT(static_cast<double>(inside) / 10000.0, 0.99);
+}
+
+TEST(ZScoreEnhanced, ConstantSeriesMapsToZeros) {
+  const std::vector<double> xs(50, -95.0);  // sensitivity-floor series
+  const auto z = z_score_enhanced(xs);
+  for (double v : z) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(ZScoreEnhanced, EmptyThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(z_score_enhanced(empty), PreconditionError);
+}
+
+TEST(ZScore, UnitVariance) {
+  Rng rng(3);
+  std::vector<double> xs(5000);
+  for (double& v : xs) v = rng.normal(10.0, 4.0);
+  const auto z = z_score(xs);
+  RunningStats stats;
+  for (double v : z) stats.add(v);
+  EXPECT_NEAR(stats.mean(), 0.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.05);
+}
+
+TEST(ZScoreEnhanced, ThirdOfClassicZScore) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const auto z1 = z_score(xs);
+  const auto z3 = z_score_enhanced(xs);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(z3[i] * 3.0, z1[i], 1e-12);
+  }
+}
+
+TEST(MinMax, MapsToUnitInterval) {
+  std::vector<double> xs = {5.0, 1.0, 3.0};
+  min_max_normalize(xs);
+  EXPECT_DOUBLE_EQ(xs[0], 1.0);
+  EXPECT_DOUBLE_EQ(xs[1], 0.0);
+  EXPECT_DOUBLE_EQ(xs[2], 0.5);
+}
+
+TEST(MinMax, PreservesOrdering) {
+  Rng rng(4);
+  std::vector<double> xs(100);
+  for (double& v : xs) v = rng.uniform(0.0, 50.0);
+  std::vector<double> normalized = min_max_normalized(xs);
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    for (std::size_t j = i + 1; j < xs.size(); ++j) {
+      EXPECT_EQ(xs[i] < xs[j], normalized[i] < normalized[j]);
+    }
+  }
+}
+
+TEST(MinMax, ConstantInputBecomesZeros) {
+  std::vector<double> xs(10, 7.0);
+  min_max_normalize(xs);
+  for (double v : xs) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(MinMax, EmptyIsNoop) {
+  std::vector<double> xs;
+  min_max_normalize(xs);  // must not crash
+  EXPECT_TRUE(min_max_normalized(xs).empty());
+}
+
+TEST(MinMax, Idempotent) {
+  std::vector<double> xs = {0.2, 0.8, 0.0, 1.0};
+  const auto once = min_max_normalized(xs);
+  const auto twice = min_max_normalized(once);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(once[i], twice[i], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace vp::ts

@@ -1,0 +1,247 @@
+#include "radio/propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "radio/dual_slope.h"
+#include "radio/switching.h"
+
+namespace vp::radio {
+namespace {
+
+constexpr double kFreq = units::kDsrcFrequencyHz;
+
+TEST(FreeSpace, KnownFsplAt5p89GHz) {
+  // FSPL(1 m, 5.89 GHz) = 20·log10(4π·1/λ) ≈ 47.84 dB.
+  const FreeSpaceModel model(kFreq);
+  const double rx = model.mean_rx_power_dbm(20.0, 1.0, 0.0);
+  EXPECT_NEAR(rx, 20.0 - 47.84, 0.05);
+}
+
+TEST(FreeSpace, InverseSquareLaw) {
+  const FreeSpaceModel model(kFreq);
+  const double p100 = model.mean_rx_power_dbm(20.0, 100.0, 0.0);
+  const double p200 = model.mean_rx_power_dbm(20.0, 200.0, 0.0);
+  EXPECT_NEAR(p100 - p200, 6.02, 0.01);  // doubling distance costs 6 dB
+}
+
+TEST(FreeSpace, AntennaGainsAdd) {
+  const FreeSpaceModel bare(kFreq);
+  const FreeSpaceModel gained(kFreq, {.tx_antenna_gain_dbi = 7.0,
+                                      .rx_antenna_gain_dbi = 7.0});
+  EXPECT_NEAR(gained.mean_rx_power_dbm(20.0, 100.0, 0.0) -
+                  bare.mean_rx_power_dbm(20.0, 100.0, 0.0),
+              14.0, 1e-9);
+}
+
+TEST(FreeSpace, DistanceInversionRoundTrip) {
+  const FreeSpaceModel model(kFreq);
+  for (double d : {1.0, 10.0, 140.0, 400.0}) {
+    const double rx = model.mean_rx_power_dbm(20.0, d, 0.0);
+    EXPECT_NEAR(model.distance_for_mean_power(20.0, rx, 0.0), d, 1e-6);
+  }
+}
+
+TEST(FreeSpace, SampleEqualsMean) {
+  const FreeSpaceModel model(kFreq);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(model.sample_rx_power_dbm(20.0, 50.0, 0.0, rng),
+                   model.mean_rx_power_dbm(20.0, 50.0, 0.0));
+}
+
+TEST(TwoRay, FourthPowerBeyondCrossover) {
+  const TwoRayGroundModel model(kFreq, 1.5, 1.5);
+  const double dc = model.crossover_distance_m();
+  const double p1 = model.mean_rx_power_dbm(20.0, 2.0 * dc, 0.0);
+  const double p2 = model.mean_rx_power_dbm(20.0, 4.0 * dc, 0.0);
+  EXPECT_NEAR(p1 - p2, 12.04, 0.01);  // 40·log10(2)
+}
+
+TEST(TwoRay, FreeSpaceBeforeCrossover) {
+  const TwoRayGroundModel model(kFreq, 1.5, 1.5);
+  const FreeSpaceModel fs(kFreq);
+  const double d = model.crossover_distance_m() / 3.0;
+  EXPECT_DOUBLE_EQ(model.mean_rx_power_dbm(20.0, d, 0.0),
+                   fs.mean_rx_power_dbm(20.0, d, 0.0));
+}
+
+TEST(TwoRay, InversionRoundTrip) {
+  const TwoRayGroundModel model(kFreq, 1.5, 1.5);
+  const double dc = model.crossover_distance_m();
+  for (double d : {dc / 4.0, dc * 2.0, dc * 5.0}) {
+    const double rx = model.mean_rx_power_dbm(20.0, d, 0.0);
+    EXPECT_NEAR(model.distance_for_mean_power(20.0, rx, 0.0), d, d * 0.05);
+  }
+}
+
+TEST(Shadowing, MeanFollowsPathLossExponent) {
+  const ShadowingModel model(kFreq, 1.0, 3.0, 4.0);
+  const double p10 = model.mean_rx_power_dbm(20.0, 10.0, 0.0);
+  const double p100 = model.mean_rx_power_dbm(20.0, 100.0, 0.0);
+  EXPECT_NEAR(p10 - p100, 30.0, 1e-9);  // 10·γ per decade
+}
+
+TEST(Shadowing, SampleScatterMatchesSigma) {
+  const ShadowingModel model(kFreq, 1.0, 2.5, 3.9);
+  Rng rng(2);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.add(model.sample_rx_power_dbm(20.0, 150.0, 0.0, rng));
+  }
+  EXPECT_NEAR(stats.mean(), model.mean_rx_power_dbm(20.0, 150.0, 0.0), 0.1);
+  EXPECT_NEAR(stats.stddev(), 3.9, 0.1);
+  EXPECT_DOUBLE_EQ(model.shadowing_sigma_db(150.0, 0.0), 3.9);
+}
+
+TEST(Shadowing, InversionRoundTrip) {
+  const ShadowingModel model(kFreq, 1.0, 2.8, 4.0);
+  for (double d : {5.0, 80.0, 350.0}) {
+    const double rx = model.mean_rx_power_dbm(20.0, d, 0.0);
+    EXPECT_NEAR(model.distance_for_mean_power(20.0, rx, 0.0), d, 1e-6);
+  }
+}
+
+TEST(Nakagami, MeanPowerPreserved) {
+  const NakagamiModel model(kFreq, 1.0, 2.0, 3.0);
+  Rng rng(3);
+  double mean_mw = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    mean_mw += units::dbm_to_mw(model.sample_rx_power_dbm(20.0, 100.0, 0.0, rng));
+  }
+  mean_mw /= n;
+  const double expected_mw =
+      units::dbm_to_mw(model.mean_rx_power_dbm(20.0, 100.0, 0.0));
+  EXPECT_NEAR(mean_mw / expected_mw, 1.0, 0.05);
+}
+
+TEST(Nakagami, HigherMMeansLessFading) {
+  Rng rng1(4), rng2(4);
+  const NakagamiModel rayleigh(kFreq, 1.0, 2.0, 1.0);  // m=1: Rayleigh
+  const NakagamiModel calm(kFreq, 1.0, 2.0, 16.0);
+  RunningStats s1, s2;
+  for (int i = 0; i < 20000; ++i) {
+    s1.add(rayleigh.sample_rx_power_dbm(20.0, 100.0, 0.0, rng1));
+    s2.add(calm.sample_rx_power_dbm(20.0, 100.0, 0.0, rng2));
+  }
+  EXPECT_GT(s1.stddev(), 2.0 * s2.stddev());
+}
+
+TEST(DualSlope, ContinuousAtBreakpoint) {
+  const DualSlopeModel model(kFreq, DualSlopeParams::campus());
+  const double dc = model.params().critical_distance_m;
+  const double before = model.mean_rx_power_dbm(20.0, dc - 1e-6, 0.0);
+  const double after = model.mean_rx_power_dbm(20.0, dc + 1e-6, 0.0);
+  EXPECT_NEAR(before, after, 0.01);
+}
+
+TEST(DualSlope, SlopesMatchGammas) {
+  const DualSlopeParams p = DualSlopeParams::urban();
+  const DualSlopeModel model(kFreq, p);
+  // Before the breakpoint: γ1 per decade.
+  const double p10 = model.mean_rx_power_dbm(20.0, 10.0, 0.0);
+  const double p100 = model.mean_rx_power_dbm(20.0, 100.0, 0.0);
+  EXPECT_NEAR(p10 - p100, 10.0 * p.gamma1, 1e-6);
+  // After: γ2 per decade.
+  const double p200 = model.mean_rx_power_dbm(20.0, 200.0, 0.0);
+  const double p2000 = model.mean_rx_power_dbm(20.0, 2000.0, 0.0);
+  EXPECT_NEAR(p200 - p2000, 10.0 * p.gamma2, 1e-6);
+}
+
+TEST(DualSlope, SigmaSwitchesAtBreakpoint) {
+  const DualSlopeParams p = DualSlopeParams::rural();
+  const DualSlopeModel model(kFreq, p);
+  EXPECT_DOUBLE_EQ(model.shadowing_sigma_db(p.critical_distance_m - 1.0, 0.0),
+                   p.sigma1_db);
+  EXPECT_DOUBLE_EQ(model.shadowing_sigma_db(p.critical_distance_m + 1.0, 0.0),
+                   p.sigma2_db);
+}
+
+TEST(DualSlope, InversionRoundTripBothSegments) {
+  const DualSlopeModel model(kFreq, DualSlopeParams::campus());
+  for (double d : {10.0, 100.0, 217.0, 300.0, 600.0}) {
+    const double rx = model.mean_rx_power_dbm(20.0, d, 0.0);
+    EXPECT_NEAR(model.distance_for_mean_power(20.0, rx, 0.0), d, d * 0.01)
+        << "d=" << d;
+  }
+}
+
+TEST(DualSlope, Table4PresetsMatchPaper) {
+  const DualSlopeParams campus = DualSlopeParams::campus();
+  EXPECT_DOUBLE_EQ(campus.critical_distance_m, 218.0);
+  EXPECT_DOUBLE_EQ(campus.gamma1, 1.66);
+  EXPECT_DOUBLE_EQ(campus.gamma2, 5.53);
+  const DualSlopeParams urban = DualSlopeParams::urban();
+  EXPECT_DOUBLE_EQ(urban.critical_distance_m, 102.0);
+  EXPECT_DOUBLE_EQ(urban.sigma2_db, 5.2);
+  const DualSlopeParams rural = DualSlopeParams::rural();
+  EXPECT_DOUBLE_EQ(rural.gamma1, 1.89);
+  EXPECT_DOUBLE_EQ(rural.sigma1_db, 3.1);
+}
+
+TEST(DualSlope, UrbanAttenuatesFasterThanCampusFarOut) {
+  // Observation 2: NLOS-heavy urban channels decay faster.
+  const DualSlopeModel campus(kFreq, DualSlopeParams::campus());
+  const DualSlopeModel urban(kFreq, DualSlopeParams::urban());
+  EXPECT_GT(campus.mean_rx_power_dbm(20.0, 400.0, 0.0),
+            urban.mean_rx_power_dbm(20.0, 400.0, 0.0));
+}
+
+TEST(Switching, CyclesWithPeriod) {
+  const SwitchingDualSlopeModel model = SwitchingDualSlopeModel::perturbed_cycle(
+      kFreq, DualSlopeParams::highway(), 4, 30.0, 77);
+  EXPECT_EQ(model.cycle_length(), 4u);
+  // Same slot → same model; different slot → (almost surely) different power.
+  const double p0a = model.mean_rx_power_dbm(20.0, 150.0, 5.0);
+  const double p0b = model.mean_rx_power_dbm(20.0, 150.0, 25.0);
+  EXPECT_DOUBLE_EQ(p0a, p0b);
+  const double p1 = model.mean_rx_power_dbm(20.0, 150.0, 35.0);
+  EXPECT_NE(p0a, p1);
+  // Cycle wraps after steps × period.
+  const double p_wrap = model.mean_rx_power_dbm(20.0, 150.0, 5.0 + 4 * 30.0);
+  EXPECT_DOUBLE_EQ(p0a, p_wrap);
+}
+
+TEST(Switching, FirstSlotIsBaseEnvironment) {
+  const DualSlopeParams base = DualSlopeParams::rural();
+  const SwitchingDualSlopeModel model =
+      SwitchingDualSlopeModel::perturbed_cycle(kFreq, base, 3, 30.0, 5);
+  const DualSlopeModel plain(kFreq, base);
+  EXPECT_DOUBLE_EQ(model.mean_rx_power_dbm(20.0, 123.0, 10.0),
+                   plain.mean_rx_power_dbm(20.0, 123.0, 10.0));
+}
+
+TEST(Switching, PerturbedParamsStayInTable4Envelope) {
+  const SwitchingDualSlopeModel model = SwitchingDualSlopeModel::perturbed_cycle(
+      kFreq, DualSlopeParams::highway(), 8, 30.0, 99);
+  for (double t = 0.0; t < 8 * 30.0; t += 30.0) {
+    const DualSlopeParams& p = model.active_model(t).params();
+    EXPECT_GE(p.gamma1, 1.66);
+    EXPECT_LE(p.gamma1, 2.56);
+    EXPECT_GE(p.gamma2, 5.53);
+    EXPECT_LE(p.gamma2, 6.34);
+    EXPECT_GE(p.critical_distance_m, 102.0);
+    EXPECT_LE(p.critical_distance_m, 218.0);
+  }
+}
+
+TEST(Models, InvalidParamsThrow) {
+  EXPECT_THROW(FreeSpaceModel(0.0), PreconditionError);
+  EXPECT_THROW(TwoRayGroundModel(kFreq, 0.0, 1.5), PreconditionError);
+  EXPECT_THROW(ShadowingModel(kFreq, 1.0, 0.0, 3.0), PreconditionError);
+  EXPECT_THROW(NakagamiModel(kFreq, 1.0, 2.0, 0.1), PreconditionError);
+  DualSlopeParams bad = DualSlopeParams::campus();
+  bad.critical_distance_m = 0.5;
+  EXPECT_THROW(DualSlopeModel(kFreq, bad), PreconditionError);
+}
+
+TEST(Models, ZeroDistanceThrows) {
+  const FreeSpaceModel model(kFreq);
+  EXPECT_THROW(model.mean_rx_power_dbm(20.0, 0.0, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace vp::radio

@@ -1,0 +1,120 @@
+// Property-based sweeps over the DTW family: metric-like axioms and
+// approximation orderings that must hold for ANY input, checked across a
+// grid of seeds, lengths and costs (TEST_P / INSTANTIATE_TEST_SUITE_P).
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "timeseries/dtw.h"
+#include "timeseries/fast_dtw.h"
+
+namespace vp::ts {
+namespace {
+
+using Params = std::tuple<std::uint64_t /*seed*/, std::size_t /*len x*/,
+                          std::size_t /*len y*/, LocalCost>;
+
+class DtwProperty : public ::testing::TestWithParam<Params> {
+ protected:
+  void SetUp() override {
+    const auto& [seed, nx, ny, cost] = GetParam();
+    cost_ = cost;
+    Rng rng(seed);
+    x_.resize(nx);
+    y_.resize(ny);
+    double vx = rng.uniform(-90.0, -60.0);
+    double vy = rng.uniform(-90.0, -60.0);
+    for (double& v : x_) {
+      vx += rng.normal(0.0, 1.5);
+      v = vx;
+    }
+    for (double& v : y_) {
+      vy += rng.normal(0.0, 1.5);
+      v = vy;
+    }
+  }
+
+  std::vector<double> x_, y_;
+  LocalCost cost_ = LocalCost::kSquared;
+};
+
+TEST_P(DtwProperty, NonNegativeAndZeroOnSelf) {
+  EXPECT_GE(dtw(x_, y_, cost_).distance, 0.0);
+  EXPECT_DOUBLE_EQ(dtw(x_, x_, cost_).distance, 0.0);
+  EXPECT_DOUBLE_EQ(dtw(y_, y_, cost_).distance, 0.0);
+}
+
+TEST_P(DtwProperty, Symmetric) {
+  EXPECT_NEAR(dtw(x_, y_, cost_).distance, dtw(y_, x_, cost_).distance,
+              1e-9);
+}
+
+TEST_P(DtwProperty, DistanceOnlyMatchesPathVariant) {
+  EXPECT_NEAR(dtw(x_, y_, cost_).distance, dtw_distance(x_, y_, cost_),
+              1e-9);
+}
+
+TEST_P(DtwProperty, PathIsValidAndCostConsistent) {
+  const DtwResult result = dtw(x_, y_, cost_);
+  ASSERT_TRUE(is_valid_warp_path(result.path, x_.size(), y_.size()));
+  // Re-summing the local costs along the reported path must reproduce the
+  // reported distance.
+  double total = 0.0;
+  for (const WarpStep& step : result.path) {
+    total += local_cost(x_[step.i], y_[step.j], cost_);
+  }
+  EXPECT_NEAR(total, result.distance, 1e-9);
+}
+
+TEST_P(DtwProperty, ConstraintsOnlyIncreaseCost) {
+  const double exact = dtw(x_, y_, cost_).distance;
+  for (std::size_t band : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    EXPECT_GE(dtw_banded(x_, y_, band, cost_).distance, exact - 1e-9);
+  }
+  for (std::size_t radius : {std::size_t{0}, std::size_t{1}, std::size_t{4}}) {
+    EXPECT_GE(fast_dtw(x_, y_, {.radius = radius, .cost = cost_}).distance,
+              exact - 1e-9);
+  }
+}
+
+TEST_P(DtwProperty, WiderBandNeverWorse) {
+  const double narrow = dtw_banded(x_, y_, 2, cost_).distance;
+  const double wide = dtw_banded(x_, y_, 10, cost_).distance;
+  EXPECT_LE(wide, narrow + 1e-9);
+}
+
+TEST_P(DtwProperty, FastDtwPathValid) {
+  const DtwResult result = fast_dtw(x_, y_, {.radius = 1, .cost = cost_});
+  EXPECT_TRUE(is_valid_warp_path(result.path, x_.size(), y_.size()));
+}
+
+TEST_P(DtwProperty, BandedFastDtwBetweenExactAndBandedExact) {
+  // FastDTW with a band explores a subset of the banded-exact window, so
+  // its cost is sandwiched: exact <= banded-exact <= banded-fast.
+  const double exact = dtw(x_, y_, cost_).distance;
+  const double banded_exact = dtw_banded(x_, y_, 5, cost_).distance;
+  const double banded_fast =
+      fast_dtw(x_, y_, {.radius = 1, .cost = cost_, .band = 5}).distance;
+  EXPECT_GE(banded_exact, exact - 1e-9);
+  EXPECT_GE(banded_fast, banded_exact - 1e-9);
+}
+
+TEST_P(DtwProperty, CoarseningHalvesLength) {
+  const auto coarse = coarsen_by_two(x_);
+  EXPECT_EQ(coarse.size(), (x_.size() + 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DtwProperty,
+    ::testing::Combine(::testing::Values(1u, 7u, 42u),
+                       ::testing::Values(std::size_t{3}, std::size_t{37},
+                                         std::size_t{128}),
+                       ::testing::Values(std::size_t{3}, std::size_t{41},
+                                         std::size_t{100}),
+                       ::testing::Values(LocalCost::kSquared,
+                                         LocalCost::kAbsolute)));
+
+}  // namespace
+}  // namespace vp::ts

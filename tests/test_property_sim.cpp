@@ -1,0 +1,144 @@
+// Property sweeps over whole simulated worlds: accounting identities,
+// physical invariants of the logs and windows, parameterized across
+// densities and seeds.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "sim/world.h"
+
+namespace vp::sim {
+namespace {
+
+using Params = std::tuple<double /*density*/, std::uint64_t /*seed*/>;
+
+class WorldProperty : public ::testing::TestWithParam<Params> {
+ protected:
+  static World& world_for(const Params& params) {
+    // Cache worlds across the test cases of one parameterisation.
+    static std::map<Params, std::unique_ptr<World>> cache;
+    auto& slot = cache[params];
+    if (!slot) {
+      ScenarioConfig config;
+      config.density_per_km = std::get<0>(params);
+      config.sim_time_s = 25.0;
+      config.seed = std::get<1>(params);
+      slot = std::make_unique<World>(config);
+      slot->run();
+    }
+    return *slot;
+  }
+
+  World& world() { return world_for(GetParam()); }
+};
+
+TEST_P(WorldProperty, IdentityAccounting) {
+  World& w = world();
+  std::size_t identities = 0;
+  std::size_t malicious = 0;
+  for (const auto& node : w.nodes()) {
+    identities += node->identities().size();
+    malicious += node->malicious() ? 1 : 0;
+  }
+  EXPECT_EQ(identities, w.truth().identity_count());
+  EXPECT_EQ(malicious, w.config().malicious_count());
+  EXPECT_EQ(w.nodes().size(), w.config().vehicle_count());
+}
+
+TEST_P(WorldProperty, FrameAccountingIsConsistent) {
+  const WorldStats& s = world().stats();
+  EXPECT_GT(s.frames_sent, 0u);
+  // Every reception outcome traces back to a sent frame evaluated at a
+  // receiver; a frame has at most (N-1) receivers.
+  const auto n = world().nodes().size();
+  EXPECT_LE(s.frames_received + s.frames_below_sensitivity +
+                s.frames_collided + s.frames_half_duplex_missed,
+            s.frames_sent * (n - 1));
+}
+
+TEST_P(WorldProperty, LoggedRssiRespectsHardware) {
+  World& w = world();
+  for (const auto& node : w.nodes()) {
+    for (IdentityId id : node->log().identities_heard(0.0, 25.0, 1)) {
+      for (const auto& r : node->log().records(id, 0.0, 25.0)) {
+        EXPECT_GE(r.rssi_dbm, w.config().receiver.sensitivity_dbm);
+        EXPECT_GE(r.time_s, 0.0);
+        EXPECT_LE(r.time_s, w.config().sim_time_s + 1e-9);
+        EXPECT_GE(r.declared_tx_power_dbm, w.config().tx_power_min_dbm);
+        EXPECT_LE(r.declared_tx_power_dbm, w.config().tx_power_max_dbm);
+      }
+    }
+  }
+}
+
+TEST_P(WorldProperty, ObservationWindowsWellFormed) {
+  World& w = world();
+  for (NodeId obs : w.normal_node_ids()) {
+    const ObservationWindow window = w.observe(obs, 20.0);
+    EXPECT_EQ(window.observer, obs);
+    EXPECT_GE(window.estimated_density_per_km, 0.0);
+    std::set<IdentityId> seen;
+    for (const NeighborObservation& n : window.neighbors) {
+      EXPECT_TRUE(seen.insert(n.id).second);  // no duplicate identities
+      EXPECT_EQ(n.rssi.size(), n.beacons.size());
+      for (std::size_t i = 0; i < n.rssi.size(); ++i) {
+        EXPECT_DOUBLE_EQ(n.rssi.value(i), n.beacons[i].rssi_dbm);
+        EXPECT_DOUBLE_EQ(n.rssi.time(i), n.beacons[i].time_s);
+      }
+    }
+  }
+}
+
+TEST_P(WorldProperty, SybilClaimsDriftWithAttacker) {
+  // A Sybil identity's claimed position must track its owner's true
+  // trajectory at a fixed offset (± GPS noise).
+  World& w = world();
+  for (const auto& node : w.nodes()) {
+    if (!node->malicious()) continue;
+    for (const auto& identity : node->identities()) {
+      if (!identity.sybil) continue;
+      for (NodeId obs : w.normal_node_ids()) {
+        for (const auto& r :
+             w.node(obs).log().records(identity.id, 0.0, 25.0)) {
+          const mob::Vec2 owner_pos =
+              node->trace().position_at(r.time_s);
+          const double expected_x = owner_pos.x + identity.claimed_offset.x;
+          // GPS noise 2.5 m (3-sigma ≈ 8m) plus trace interpolation slack.
+          EXPECT_NEAR(r.claimed_position.x, expected_x, 15.0);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(WorldProperty, TracesAreContinuous) {
+  World& w = world();
+  const double max_speed = w.config().mobility.max_speed_mps;
+  for (const auto& node : w.nodes()) {
+    const auto& points = node->trace().points();
+    for (std::size_t i = 1; i < points.size(); ++i) {
+      const double dt = points[i].time_s - points[i - 1].time_s;
+      const double dx =
+          std::abs(points[i].position.x - points[i - 1].position.x);
+      // Either a smooth step or an end-of-road wrap (which relocates the
+      // vehicle to the opposite flow).
+      const bool smooth = dx <= max_speed * dt + 1e-6;
+      const bool wrap = dx > w.highway().length_m() * 0.5;
+      EXPECT_TRUE(smooth || wrap) << "node " << node->id() << " jump " << dx;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WorldProperty,
+    ::testing::Combine(::testing::Values(5.0, 15.0, 35.0),
+                       ::testing::Values(1u, 9u)),
+    [](const ::testing::TestParamInfo<Params>& info) {
+      return "den" + std::to_string(static_cast<int>(std::get<0>(info.param))) +
+             "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace vp::sim

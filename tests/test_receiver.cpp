@@ -1,0 +1,61 @@
+#include "radio/receiver.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace vp::radio {
+namespace {
+
+TEST(ReceiverTest, BelowSensitivityNotDecoded) {
+  const Receiver rx;
+  EXPECT_FALSE(rx.measure(-95.01).has_value());
+  EXPECT_TRUE(rx.measure(-95.0).has_value());
+  EXPECT_TRUE(rx.measure(-60.0).has_value());
+}
+
+TEST(ReceiverTest, IntegerQuantization) {
+  const Receiver rx({.quantization_db = 1.0});
+  EXPECT_DOUBLE_EQ(rx.measure(-80.4).value(), -80.0);
+  EXPECT_DOUBLE_EQ(rx.measure(-80.6).value(), -81.0);
+}
+
+TEST(ReceiverTest, FlooredAtSensitivity) {
+  // A decodable frame never reports below the hardware floor — the paper's
+  // far-node traces pin at −95 dBm (Section VI-B).
+  const Receiver rx({.sensitivity_dbm = -95.0, .quantization_db = 1.0});
+  const auto rssi = rx.measure(-94.9);
+  ASSERT_TRUE(rssi.has_value());
+  EXPECT_DOUBLE_EQ(*rssi, -95.0);  // rounds to −95, floor keeps it there
+}
+
+TEST(ReceiverTest, NoQuantization) {
+  const Receiver rx({.quantization_db = 0.0});
+  EXPECT_DOUBLE_EQ(rx.measure(-80.37).value(), -80.37);
+}
+
+TEST(ReceiverTest, CaptureCleanChannel) {
+  const Receiver rx;
+  EXPECT_TRUE(rx.captures(-80.0, 0.0));
+  EXPECT_FALSE(rx.captures(-96.0, 0.0));  // below sensitivity
+}
+
+TEST(ReceiverTest, CaptureRequiresSinr) {
+  const Receiver rx({.capture_threshold_db = 10.0});
+  const double interferer_mw = units::dbm_to_mw(-85.0);
+  EXPECT_TRUE(rx.captures(-74.0, interferer_mw));   // SINR 11 dB
+  EXPECT_FALSE(rx.captures(-76.0, interferer_mw));  // SINR 9 dB
+}
+
+TEST(ReceiverTest, StrongerInterferenceKills) {
+  const Receiver rx;
+  EXPECT_FALSE(rx.captures(-80.0, units::dbm_to_mw(-78.0)));
+}
+
+TEST(ReceiverTest, InvalidConfigThrows) {
+  EXPECT_THROW(Receiver({.quantization_db = -1.0}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace vp::radio

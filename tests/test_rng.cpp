@@ -1,0 +1,134 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace vp {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(7);
+  Rng b(7);
+  Rng fa = a.fork("mobility");
+  Rng fb = b.fork("mobility");
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(fa.uniform(0.0, 1.0), fb.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, ForksWithDifferentNamesAreIndependent) {
+  Rng root(7);
+  Rng a = root.fork("a");
+  Rng b = root.fork("b");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkDoesNotConsumeParentState) {
+  Rng a(9);
+  Rng b(9);
+  (void)a.fork("child");
+  EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.5, 4.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 4.5);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(1, 6);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 6);
+    saw_lo |= v == 1;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMatchesMoments) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, NormalWithZeroSigmaIsConstant) {
+  Rng rng(11);
+  EXPECT_DOUBLE_EQ(rng.normal(3.5, 0.0), 3.5);
+}
+
+TEST(Rng, ExponentialMatchesMean) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.exponential(0.2));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.2);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, GammaMatchesMean) {
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.gamma(3.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 6.0, 0.2);
+}
+
+TEST(Rng, PreconditionViolationsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), PreconditionError);
+  EXPECT_THROW(rng.normal(0.0, -1.0), PreconditionError);
+  EXPECT_THROW(rng.exponential(0.0), PreconditionError);
+  EXPECT_THROW(rng.chance(1.5), PreconditionError);
+  EXPECT_THROW(rng.gamma(0.0, 1.0), PreconditionError);
+}
+
+TEST(Rng, Hash64IsStable) {
+  EXPECT_EQ(hash64("abc"), hash64("abc"));
+  EXPECT_NE(hash64("abc"), hash64("abd"));
+  EXPECT_NE(hash64(""), hash64("a"));
+}
+
+TEST(Rng, Mix64SpreadsBits) {
+  EXPECT_NE(mix64(0, 0), mix64(0, 1));
+  EXPECT_NE(mix64(1, 0), mix64(0, 1));
+}
+
+}  // namespace
+}  // namespace vp

@@ -1,0 +1,88 @@
+#include "sim/rssi_log.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vp::sim {
+namespace {
+
+BeaconRecord record(double t, double rssi) {
+  return {.time_s = t, .rssi_dbm = rssi, .claimed_position = {}};
+}
+
+TEST(RssiLog, RecordsAndCounts) {
+  RssiLog log;
+  log.record(7, record(1.0, -70));
+  log.record(7, record(2.0, -71));
+  log.record(8, record(1.5, -80));
+  EXPECT_EQ(log.total_records(), 3u);
+  EXPECT_EQ(log.sample_count(7, 0.0, 10.0), 2u);
+  EXPECT_EQ(log.sample_count(8, 0.0, 10.0), 1u);
+  EXPECT_EQ(log.sample_count(9, 0.0, 10.0), 0u);
+}
+
+TEST(RssiLog, WindowIsHalfOpen) {
+  RssiLog log;
+  log.record(1, record(1.0, -70));
+  log.record(1, record(2.0, -71));
+  log.record(1, record(3.0, -72));
+  EXPECT_EQ(log.sample_count(1, 1.0, 3.0), 2u);  // [1, 3)
+  EXPECT_EQ(log.sample_count(1, 3.0, 3.0), 0u);
+  EXPECT_EQ(log.sample_count(1, 2.5, 10.0), 1u);
+}
+
+TEST(RssiLog, IdentitiesHeardAppliesMinSamples) {
+  RssiLog log;
+  for (int i = 0; i < 5; ++i) log.record(1, record(i * 1.0, -70));
+  log.record(2, record(0.5, -75));
+  const auto three = log.identities_heard(0.0, 10.0, 3);
+  ASSERT_EQ(three.size(), 1u);
+  EXPECT_EQ(three[0], 1u);
+  const auto one = log.identities_heard(0.0, 10.0, 1);
+  EXPECT_EQ(one.size(), 2u);
+}
+
+TEST(RssiLog, SeriesMatchesRecords) {
+  RssiLog log;
+  log.record(4, record(0.1, -60));
+  log.record(4, record(0.2, -61));
+  log.record(4, record(0.3, -62));
+  const ts::Series series = log.rssi_series(4, 0.15, 0.35);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.time(0), 0.2);
+  EXPECT_DOUBLE_EQ(series.value(0), -61);
+  EXPECT_DOUBLE_EQ(series.value(1), -62);
+  EXPECT_TRUE(log.rssi_series(99, 0.0, 1.0).empty());
+}
+
+TEST(RssiLog, RecordsSliceMatchesSeries) {
+  RssiLog log;
+  for (int i = 0; i < 10; ++i) log.record(5, record(i * 0.1, -70.0 - i));
+  const auto records = log.records(5, 0.25, 0.75);
+  const auto series = log.rssi_series(5, 0.25, 0.75);
+  ASSERT_EQ(records.size(), series.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(records[i].time_s, series.time(i));
+    EXPECT_DOUBLE_EQ(records[i].rssi_dbm, series.value(i));
+  }
+}
+
+TEST(RssiLog, EqualTimestampsAllowed) {
+  RssiLog log;
+  log.record(6, record(1.0, -70));
+  log.record(6, record(1.0, -71));  // CCH + SCH can land together
+  EXPECT_EQ(log.sample_count(6, 0.9, 1.1), 2u);
+}
+
+TEST(RssiLog, OutOfOrderRejected) {
+  RssiLog log;
+  log.record(6, record(2.0, -70));
+  EXPECT_THROW(log.record(6, record(1.0, -70)), PreconditionError);
+  // Other identities are unaffected by identity 6's clock.
+  log.record(7, record(0.5, -80));
+  EXPECT_EQ(log.total_records(), 2u);
+}
+
+}  // namespace
+}  // namespace vp::sim

@@ -1,0 +1,110 @@
+// Tests for the evaluation harness (sim/runner.h): observer sampling and
+// the Eq. 12/13 aggregation loop.
+#include "sim/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/detector.h"
+#include "sim/world.h"
+
+namespace vp::sim {
+namespace {
+
+const World& world() {
+  static std::unique_ptr<World> instance = [] {
+    ScenarioConfig config;
+    config.density_per_km = 10.0;
+    config.sim_time_s = 45.0;
+    config.seed = 63;
+    auto w = std::make_unique<World>(config);
+    w->run();
+    return w;
+  }();
+  return *instance;
+}
+
+TEST(SampleObservers, RespectsCapAndMembership) {
+  const EvaluationOptions options{.max_observers = 5};
+  const std::vector<NodeId> sample = sample_observers(world(), options);
+  EXPECT_EQ(sample.size(), 5u);
+  const std::vector<NodeId> normals = world().normal_node_ids();
+  const std::set<NodeId> normal_set(normals.begin(), normals.end());
+  std::set<NodeId> unique;
+  for (NodeId id : sample) {
+    EXPECT_TRUE(normal_set.count(id)) << id;
+    EXPECT_TRUE(unique.insert(id).second);  // no duplicates
+  }
+}
+
+TEST(SampleObservers, DeterministicPerSeed) {
+  EvaluationOptions a{.max_observers = 6};
+  a.sampling_seed = 1;
+  EvaluationOptions b{.max_observers = 6};
+  b.sampling_seed = 1;
+  EXPECT_EQ(sample_observers(world(), a), sample_observers(world(), b));
+  EvaluationOptions c{.max_observers = 6};
+  c.sampling_seed = 2;
+  EXPECT_NE(sample_observers(world(), a), sample_observers(world(), c));
+}
+
+TEST(SampleObservers, TakesAllWhenCapExceedsFleet) {
+  const EvaluationOptions options{.max_observers = 10000};
+  EXPECT_EQ(sample_observers(world(), options).size(),
+            world().normal_node_ids().size());
+}
+
+// A detector that flags everything / nothing, for harness arithmetic.
+class FlagAll final : public Detector {
+ public:
+  std::vector<IdentityId> detect(const ObservationWindow& window,
+                                 const World&) override {
+    std::vector<IdentityId> all;
+    for (const auto& n : window.neighbors) all.push_back(n.id);
+    return all;
+  }
+  std::string_view name() const override { return "flag-all"; }
+};
+
+class FlagNone final : public Detector {
+ public:
+  std::vector<IdentityId> detect(const ObservationWindow&,
+                                 const World&) override {
+    return {};
+  }
+  std::string_view name() const override { return "flag-none"; }
+};
+
+TEST(Evaluate, FlagAllHasPerfectDrAndFullFpr) {
+  FlagAll detector;
+  const EvaluationResult result =
+      evaluate(world(), detector, {.max_observers = 6});
+  EXPECT_GT(result.windows_evaluated, 0u);
+  EXPECT_DOUBLE_EQ(result.average_dr, 1.0);
+  EXPECT_DOUBLE_EQ(result.average_fpr, 1.0);
+}
+
+TEST(Evaluate, FlagNoneHasZeroRates) {
+  FlagNone detector;
+  const EvaluationResult result =
+      evaluate(world(), detector, {.max_observers = 6});
+  EXPECT_DOUBLE_EQ(result.average_dr, 0.0);
+  EXPECT_DOUBLE_EQ(result.average_fpr, 0.0);
+}
+
+TEST(Evaluate, WindowCountBoundedByGrid) {
+  FlagNone detector;
+  const EvaluationOptions options{.max_observers = 4};
+  const EvaluationResult result = evaluate(world(), detector, options);
+  const std::size_t grid =
+      world().detection_times().size() * options.max_observers;
+  EXPECT_LE(result.windows_evaluated, grid);
+  EXPECT_GT(result.windows_evaluated, 0u);
+  EXPECT_GT(result.average_neighbors, 0.0);
+  EXPECT_GT(result.average_estimated_density, 0.0);
+}
+
+}  // namespace
+}  // namespace vp::sim

@@ -1,0 +1,90 @@
+#include "timeseries/series.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace vp::ts {
+namespace {
+
+TEST(Series, UniformConstruction) {
+  const Series s = Series::uniform(10.0, 0.1, {1.0, 2.0, 3.0});
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.time(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.time(2), 10.2);
+  EXPECT_DOUBLE_EQ(s.value(1), 2.0);
+}
+
+TEST(Series, AddEnforcesTimeOrder) {
+  Series s;
+  s.add(1.0, -80.0);
+  s.add(1.0, -81.0);  // equal time allowed
+  EXPECT_THROW(s.add(0.5, -82.0), PreconditionError);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Series, ConstructorRejectsUnsortedTimes) {
+  EXPECT_THROW(Series({2.0, 1.0}, {0.0, 0.0}), PreconditionError);
+  EXPECT_THROW(Series({1.0}, {0.0, 0.0}), PreconditionError);
+}
+
+TEST(Series, SliceTimeHalfOpen) {
+  const Series s = Series::uniform(0.0, 1.0, {0, 1, 2, 3, 4});
+  const Series cut = s.slice_time(1.0, 3.0);
+  ASSERT_EQ(cut.size(), 2u);
+  EXPECT_DOUBLE_EQ(cut.value(0), 1.0);
+  EXPECT_DOUBLE_EQ(cut.value(1), 2.0);
+}
+
+TEST(Series, SliceOutsideRangeIsEmpty) {
+  const Series s = Series::uniform(0.0, 1.0, {0, 1, 2});
+  EXPECT_TRUE(s.slice_time(10.0, 20.0).empty());
+}
+
+TEST(Series, Tail) {
+  const Series s = Series::uniform(0.0, 1.0, {0, 1, 2, 3});
+  const Series t = s.tail(2);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.value(0), 2.0);
+  EXPECT_EQ(s.tail(10).size(), 4u);
+}
+
+TEST(Series, MovingAverageSmooths) {
+  const Series s = Series::uniform(0.0, 1.0, {0, 10, 0, 10, 0});
+  const Series m = s.moving_average(3);
+  ASSERT_EQ(m.size(), 5u);
+  EXPECT_NEAR(m.value(2), 20.0 / 3.0, 1e-12);
+  // Window 1 is identity.
+  const Series id = s.moving_average(1);
+  EXPECT_DOUBLE_EQ(id.value(1), 10.0);
+}
+
+TEST(Series, MovingAverageRequiresOddWindow) {
+  const Series s = Series::uniform(0.0, 1.0, {1, 2, 3});
+  EXPECT_THROW(s.moving_average(2), PreconditionError);
+}
+
+TEST(Series, ResampleLinearInterpolation) {
+  const Series s = Series::uniform(0.0, 1.0, {0.0, 10.0});
+  const Series r = s.resample(5);
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_DOUBLE_EQ(r.value(0), 0.0);
+  EXPECT_DOUBLE_EQ(r.value(2), 5.0);
+  EXPECT_DOUBLE_EQ(r.value(4), 10.0);
+}
+
+TEST(Series, ResamplePreservesEndpoints) {
+  const Series s = Series({0.0, 0.5, 3.0}, {1.0, 5.0, -2.0});
+  const Series r = s.resample(7);
+  EXPECT_DOUBLE_EQ(r.value(0), 1.0);
+  EXPECT_DOUBLE_EQ(r.value(6), -2.0);
+}
+
+TEST(Series, ResampleRequirements) {
+  Series s;
+  s.add(0.0, 1.0);
+  EXPECT_THROW(s.resample(5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace vp::ts

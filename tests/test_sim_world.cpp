@@ -1,0 +1,247 @@
+#include "sim/world.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "common/error.h"
+
+namespace vp::sim {
+namespace {
+
+// A small, fast scenario for unit testing.
+ScenarioConfig small_config(std::uint64_t seed = 1) {
+  ScenarioConfig config;
+  config.density_per_km = 10.0;  // 20 vehicles
+  config.sim_time_s = 25.0;
+  config.observation_time_s = 20.0;
+  config.detection_period_s = 20.0;
+  config.seed = seed;
+  return config;
+}
+
+TEST(ScenarioConfigTest, DerivedCounts) {
+  ScenarioConfig config;
+  config.density_per_km = 50.0;
+  EXPECT_EQ(config.vehicle_count(), 100u);   // 2 km road
+  EXPECT_EQ(config.malicious_count(), 5u);   // 5%
+  config.density_per_km = 10.0;
+  EXPECT_EQ(config.vehicle_count(), 20u);
+  EXPECT_EQ(config.malicious_count(), 1u);   // floor of one attacker
+}
+
+TEST(ScenarioConfigTest, ValidationCatchesBadConfigs) {
+  ScenarioConfig config;
+  config.density_per_km = 0.0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config = ScenarioConfig{};
+  config.observation_time_s = 200.0;  // > sim time
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config = ScenarioConfig{};
+  config.sybil_per_malicious_min = 5;
+  config.sybil_per_malicious_max = 3;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+}
+
+TEST(ScenarioConfigTest, DescribeMentionsKeyParameters) {
+  const std::string text = ScenarioConfig{}.describe();
+  EXPECT_NE(text.find("2000"), std::string::npos);
+  EXPECT_NE(text.find("10 Hz"), std::string::npos);
+}
+
+TEST(GroundTruthTest, IllegitimacyRules) {
+  GroundTruth truth;
+  truth.add(0, {.owner = 0, .sybil = false, .owner_malicious = false});
+  truth.add(1, {.owner = 1, .sybil = false, .owner_malicious = true});
+  truth.add(10001, {.owner = 1, .sybil = true, .owner_malicious = true});
+  EXPECT_FALSE(truth.is_illegitimate(0));
+  EXPECT_TRUE(truth.is_illegitimate(1));      // malicious primary
+  EXPECT_TRUE(truth.is_illegitimate(10001));  // Sybil
+  EXPECT_TRUE(truth.same_radio(1, 10001));
+  EXPECT_FALSE(truth.same_radio(0, 1));
+  EXPECT_THROW(truth.info(999), PreconditionError);
+  EXPECT_FALSE(truth.known(999));
+}
+
+TEST(GroundTruthTest, DuplicateIdentityRejected) {
+  GroundTruth truth;
+  truth.add(5, {});
+  EXPECT_THROW(truth.add(5, {}), PreconditionError);
+}
+
+class SmallWorldTest : public ::testing::Test {
+ protected:
+  static World& world() {
+    // Building and running the world once keeps the suite fast.
+    static std::unique_ptr<World> instance = [] {
+      auto w = std::make_unique<World>(small_config());
+      w->run();
+      return w;
+    }();
+    return *instance;
+  }
+};
+
+TEST_F(SmallWorldTest, FleetComposition) {
+  const World& w = world();
+  EXPECT_EQ(w.nodes().size(), 20u);
+  std::size_t malicious = 0;
+  std::size_t sybil_identities = 0;
+  for (const auto& node : w.nodes()) {
+    if (node->malicious()) {
+      ++malicious;
+      const std::size_t sybils = node->identities().size() - 1;
+      EXPECT_GE(sybils, 3u);
+      EXPECT_LE(sybils, 6u);
+      sybil_identities += sybils;
+    } else {
+      EXPECT_EQ(node->identities().size(), 1u);
+    }
+  }
+  EXPECT_EQ(malicious, 1u);
+  EXPECT_EQ(w.truth().identity_count(), 20u + sybil_identities);
+}
+
+TEST_F(SmallWorldTest, TxPowersWithinConfiguredRange) {
+  for (const auto& node : world().nodes()) {
+    for (const auto& identity : node->identities()) {
+      EXPECT_GE(identity.tx_power_dbm, 17.0);
+      EXPECT_LE(identity.tx_power_dbm, 23.0);
+    }
+  }
+}
+
+TEST_F(SmallWorldTest, SybilOffsetsWithinConfiguredRange) {
+  for (const auto& node : world().nodes()) {
+    for (const auto& identity : node->identities()) {
+      if (!identity.sybil) continue;
+      const double off = std::abs(identity.claimed_offset.x);
+      EXPECT_GE(off, 20.0);
+      EXPECT_LE(off, 200.0);
+    }
+  }
+}
+
+TEST_F(SmallWorldTest, BeaconsFlowAndAreLogged) {
+  const WorldStats& stats = world().stats();
+  EXPECT_GT(stats.frames_sent, 1000u);
+  EXPECT_GT(stats.frames_received, stats.frames_sent);  // broadcast fan-out
+  std::size_t logged = 0;
+  for (const auto& node : world().nodes()) logged += node->log().total_records();
+  EXPECT_EQ(logged, stats.frames_received);
+}
+
+TEST_F(SmallWorldTest, ReceivedRssiRespectsSensitivity) {
+  for (const auto& node : world().nodes()) {
+    for (IdentityId id : node->log().identities_heard(0.0, 25.0, 1)) {
+      for (const BeaconRecord& r : node->log().records(id, 0.0, 25.0)) {
+        EXPECT_GE(r.rssi_dbm, -95.0);
+      }
+    }
+  }
+}
+
+TEST_F(SmallWorldTest, NodesNeverHearThemselves) {
+  for (const auto& node : world().nodes()) {
+    std::set<IdentityId> own;
+    for (const auto& identity : node->identities()) own.insert(identity.id);
+    for (IdentityId heard : node->log().identities_heard(0.0, 25.0, 1)) {
+      EXPECT_EQ(own.count(heard), 0u);
+    }
+  }
+}
+
+TEST_F(SmallWorldTest, DetectionTimesFollowConfig) {
+  const std::vector<double> times = world().detection_times();
+  ASSERT_EQ(times.size(), 1u);  // sim 25 s, first detection at 20 s
+  EXPECT_DOUBLE_EQ(times[0], 20.0);
+}
+
+TEST_F(SmallWorldTest, ObservationWindowContents) {
+  const World& w = world();
+  const std::vector<NodeId> normals = w.normal_node_ids();
+  ASSERT_FALSE(normals.empty());
+  const ObservationWindow window = w.observe(normals.front(), 20.0);
+  EXPECT_DOUBLE_EQ(window.t0, 0.0);
+  EXPECT_DOUBLE_EQ(window.t1, 20.0);
+  EXPECT_FALSE(window.neighbors.empty());
+  for (const NeighborObservation& n : window.neighbors) {
+    EXPECT_GE(n.rssi.size(), 4u);  // default min_samples
+    EXPECT_EQ(n.rssi.size(), n.beacons.size());
+    // Series times stay inside the window.
+    EXPECT_GE(n.rssi.time(0), window.t0);
+    EXPECT_LT(n.rssi.time(n.rssi.size() - 1), window.t1);
+  }
+  EXPECT_GT(window.estimated_density_per_km, 0.0);
+  EXPECT_NE(window.find(window.neighbors.front().id), nullptr);
+  EXPECT_EQ(window.find(99999), nullptr);
+}
+
+TEST_F(SmallWorldTest, TracesCoverSimTime) {
+  for (const auto& node : world().nodes()) {
+    ASSERT_FALSE(node->trace().empty());
+    EXPECT_DOUBLE_EQ(node->trace().point(0).time_s, 0.0);
+    EXPECT_GT(node->trace().points().back().time_s, 24.0);
+  }
+}
+
+TEST_F(SmallWorldTest, SybilSeriesTrackMaliciousSeries) {
+  // The load-bearing property (Observation 3): an observer's RSSI series
+  // for a Sybil identity must hug the series of the attacker's genuine
+  // identity far more closely than any other vehicle's series does.
+  const World& w = world();
+  const Node* attacker = nullptr;
+  for (const auto& node : w.nodes()) {
+    if (node->malicious()) attacker = node.get();
+  }
+  ASSERT_NE(attacker, nullptr);
+  const IdentityId primary = attacker->identities()[0].id;
+  const IdentityId sybil = attacker->identities()[1].id;
+
+  int checked = 0;
+  for (NodeId obs : w.normal_node_ids()) {
+    const auto& log = w.node(obs).log();
+    const auto primary_series = log.rssi_series(primary, 0.0, 20.0);
+    const auto sybil_series = log.rssi_series(sybil, 0.0, 20.0);
+    if (primary_series.size() < 50 || sybil_series.size() < 50) continue;
+    // Compare sample means — same radio, same path, ±3 dB TX offsets; the
+    // mean gap must stay within TX-power spread + noise.
+    double mean_p = 0.0, mean_s = 0.0;
+    for (double v : primary_series.values()) mean_p += v;
+    for (double v : sybil_series.values()) mean_s += v;
+    mean_p /= static_cast<double>(primary_series.size());
+    mean_s /= static_cast<double>(sybil_series.size());
+    EXPECT_LT(std::abs(mean_p - mean_s), 9.0);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(WorldLifecycle, RunTwiceThrows) {
+  World w(small_config(3));
+  w.run();
+  EXPECT_THROW(w.run(), PreconditionError);
+}
+
+TEST(WorldLifecycle, DeterministicForFixedSeed) {
+  World a(small_config(7));
+  World b(small_config(7));
+  a.run();
+  b.run();
+  EXPECT_EQ(a.stats().frames_sent, b.stats().frames_sent);
+  EXPECT_EQ(a.stats().frames_received, b.stats().frames_received);
+  EXPECT_EQ(a.stats().frames_collided, b.stats().frames_collided);
+}
+
+TEST(WorldLifecycle, SeedChangesOutcome) {
+  World a(small_config(8));
+  World b(small_config(9));
+  a.run();
+  b.run();
+  EXPECT_NE(a.stats().frames_received, b.stats().frames_received);
+}
+
+}  // namespace
+}  // namespace vp::sim

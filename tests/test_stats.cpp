@@ -1,0 +1,130 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace vp {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.population_variance(), 4.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyThrows) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.mean(), PreconditionError);
+  EXPECT_THROW(s.min(), PreconditionError);
+}
+
+TEST(RunningStats, SingleSampleVarianceThrows) {
+  RunningStats s;
+  s.add(1.0);
+  EXPECT_THROW(s.variance(), PreconditionError);
+  EXPECT_DOUBLE_EQ(s.population_variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  RunningStats a, b, all;
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i < 4 ? a : b).add(xs[i]);
+    all.add(xs[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(BatchStats, MatchRunning) {
+  const std::vector<double> xs = {-3.0, 1.5, 2.0, 8.0, 0.0};
+  EXPECT_NEAR(mean(xs), 1.7, 1e-12);
+  EXPECT_DOUBLE_EQ(min_of(xs), -3.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 8.0);
+  EXPECT_GT(variance(xs), 0.0);
+  EXPECT_NEAR(stddev(xs) * stddev(xs), variance(xs), 1e-12);
+}
+
+TEST(Percentile, InterpolatesSorted) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> xs = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 7.0);
+}
+
+TEST(NormalDistribution, PdfPeak) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804, 1e-9);
+  EXPECT_NEAR(normal_pdf(1.0), 0.2419707245, 1e-9);
+}
+
+TEST(NormalDistribution, CdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(NormalDistribution, QuantileInvertsCdf) {
+  for (double p : {0.01, 0.025, 0.1, 0.5, 0.9, 0.975, 0.99}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-6) << "p=" << p;
+  }
+}
+
+TEST(NormalDistribution, QuantileBoundsThrow) {
+  EXPECT_THROW(normal_quantile(0.0), PreconditionError);
+  EXPECT_THROW(normal_quantile(1.0), PreconditionError);
+}
+
+TEST(HistogramTest, BinningAndFractions) {
+  Histogram h(0.0, 10.0, 5);
+  for (double x : {0.5, 1.5, 2.5, 2.7, 9.9}) h.add(x);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);  // 0.5, 1.5
+  EXPECT_EQ(h.count(1), 2u);  // 2.5, 2.7
+  EXPECT_EQ(h.count(4), 1u);  // 9.9
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+}
+
+TEST(HistogramTest, OutOfRangeClamped) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(HistogramTest, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), PreconditionError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace vp

@@ -1,0 +1,134 @@
+// Unit tests for the identity-level boundary tuner (core/threshold.h):
+// Algorithm 1 unions flagged pairs into identities, so the tuner must
+// optimise identity-level DR under an identity-level FPR budget.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/threshold.h"
+
+namespace vp::core {
+namespace {
+
+// One window: identities 1 (attacker), 101/102 (Sybils), 2/3 (normal).
+// Sybil-cluster pairs sit at small distances; everything else far away,
+// except an optional "platoon" pair (2,3) at a configurable distance.
+LabeledWindow make_window(double platoon_distance, double density = 40.0) {
+  LabeledWindow w;
+  w.density = density;
+  w.identities = {{1, true}, {101, true}, {102, true}, {2, false},
+                  {3, false}};
+  auto pair = [](IdentityId a, IdentityId b, double d, bool sybil) {
+    return LabeledWindow::Pair{
+        .a = a, .b = b, .distance = d, .comparable = true, .sybil_pair = sybil};
+  };
+  w.pairs = {
+      pair(1, 101, 0.010, true),  pair(1, 102, 0.015, true),
+      pair(101, 102, 0.012, true), pair(1, 2, 0.500, false),
+      pair(1, 3, 0.450, false),   pair(101, 2, 0.550, false),
+      pair(101, 3, 0.600, false), pair(102, 2, 0.700, false),
+      pair(102, 3, 0.650, false), pair(2, 3, platoon_distance, false),
+  };
+  return w;
+}
+
+TEST(EvaluateBoundary, PerfectBoundaryPerfectRates) {
+  const std::vector<LabeledWindow> windows = {make_window(0.4)};
+  const TunedBoundary result =
+      evaluate_boundary({.k = 0.0, .b = 0.02}, windows);
+  EXPECT_DOUBLE_EQ(result.train_dr, 1.0);
+  EXPECT_DOUBLE_EQ(result.train_fpr, 0.0);
+}
+
+TEST(EvaluateBoundary, LooseBoundaryFlagsPlatoon) {
+  // Threshold above the platoon pair's distance: both normal identities
+  // get one vote each; with votes=1 they are false positives.
+  const std::vector<LabeledWindow> windows = {make_window(0.05)};
+  const TunedBoundary v1 =
+      evaluate_boundary({.k = 0.0, .b = 0.06}, windows, 1);
+  EXPECT_DOUBLE_EQ(v1.train_dr, 1.0);
+  EXPECT_DOUBLE_EQ(v1.train_fpr, 1.0);  // both normals flagged
+
+  // With votes=2 the single platoon pair cannot condemn anyone, while the
+  // Sybil clique members still collect two votes each.
+  const TunedBoundary v2 =
+      evaluate_boundary({.k = 0.0, .b = 0.06}, windows, 2);
+  EXPECT_DOUBLE_EQ(v2.train_dr, 1.0);
+  EXPECT_DOUBLE_EQ(v2.train_fpr, 0.0);
+}
+
+TEST(EvaluateBoundary, TightBoundaryMissesEverything) {
+  const std::vector<LabeledWindow> windows = {make_window(0.4)};
+  const TunedBoundary result =
+      evaluate_boundary({.k = 0.0, .b = 0.001}, windows);
+  EXPECT_DOUBLE_EQ(result.train_dr, 0.0);
+  EXPECT_DOUBLE_EQ(result.train_fpr, 0.0);
+}
+
+TEST(EvaluateBoundary, IncomparablePairsCarryNoVotes) {
+  LabeledWindow w = make_window(0.4);
+  for (auto& p : w.pairs) p.comparable = false;
+  const TunedBoundary result =
+      evaluate_boundary({.k = 0.0, .b = 1.0}, {&w, 1});
+  EXPECT_DOUBLE_EQ(result.train_dr, 0.0);
+  EXPECT_DOUBLE_EQ(result.train_fpr, 0.0);
+}
+
+TEST(EvaluateBoundary, DensityDependentThreshold) {
+  // Boundary k·den+b: at density 40 with k=0.001, b=0 → threshold 0.04,
+  // which catches the Sybil cluster (distances ≤ 0.015) only because of
+  // the density term.
+  const std::vector<LabeledWindow> windows = {make_window(0.4)};
+  const TunedBoundary with_slope =
+      evaluate_boundary({.k = 0.001, .b = 0.0}, windows);
+  EXPECT_DOUBLE_EQ(with_slope.train_dr, 1.0);
+  const TunedBoundary without =
+      evaluate_boundary({.k = 0.0, .b = 0.0}, windows);
+  EXPECT_DOUBLE_EQ(without.train_dr, 0.0);
+}
+
+TEST(TuneBoundary, FindsFeasibleOptimum) {
+  // Two windows, one with a confusable platoon pair at 0.05. The tuner
+  // should pick votes=2 (or a threshold below 0.05) and reach DR 1 with
+  // FPR 0.
+  std::vector<LabeledWindow> windows = {make_window(0.05), make_window(0.4)};
+  const TunedBoundary tuned = tune_boundary(windows, {.fpr_budget = 0.01});
+  EXPECT_DOUBLE_EQ(tuned.train_dr, 1.0);
+  EXPECT_LE(tuned.train_fpr, 0.01);
+}
+
+TEST(TuneBoundary, FallsBackToLowestFprWhenInfeasible) {
+  // Budget 0 with an unavoidable false positive: pick the lowest-FPR line.
+  LabeledWindow w = make_window(0.001);  // platoon below every Sybil pair
+  BoundaryTuning tuning;
+  tuning.fpr_budget = -1.0;  // nothing is feasible
+  const TunedBoundary tuned = tune_boundary({&w, 1}, tuning);
+  EXPECT_LE(tuned.train_fpr, 1.0);  // returns something sane
+}
+
+TEST(TuneBoundary, InvalidConfigThrows) {
+  std::vector<LabeledWindow> windows = {make_window(0.4)};
+  BoundaryTuning bad;
+  bad.b_steps = 1;
+  EXPECT_THROW(tune_boundary(windows, bad), PreconditionError);
+  bad = BoundaryTuning{};
+  bad.k_grid.clear();
+  EXPECT_THROW(tune_boundary(windows, bad), PreconditionError);
+  EXPECT_THROW(tune_boundary(std::vector<LabeledWindow>{}, BoundaryTuning{}),
+               PreconditionError);
+}
+
+TEST(TuneBoundary, TwoIdentityWindowsUseSinglePairRule) {
+  // With only two identities heard, clique evidence cannot exist; the
+  // vote requirement must fall back to 1.
+  LabeledWindow w;
+  w.density = 10.0;
+  w.identities = {{1, true}, {101, true}};
+  w.pairs = {{.a = 1, .b = 101, .distance = 0.01, .comparable = true,
+              .sybil_pair = true}};
+  const TunedBoundary result =
+      evaluate_boundary({.k = 0.0, .b = 0.02}, {&w, 1}, /*votes=*/2);
+  EXPECT_DOUBLE_EQ(result.train_dr, 1.0);
+}
+
+}  // namespace
+}  // namespace vp::core
