@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_rssi_distributions.dir/fig05_rssi_distributions.cpp.o"
+  "CMakeFiles/fig05_rssi_distributions.dir/fig05_rssi_distributions.cpp.o.d"
+  "fig05_rssi_distributions"
+  "fig05_rssi_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_rssi_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

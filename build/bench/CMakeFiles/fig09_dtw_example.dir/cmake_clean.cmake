@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_dtw_example.dir/fig09_dtw_example.cpp.o"
+  "CMakeFiles/fig09_dtw_example.dir/fig09_dtw_example.cpp.o.d"
+  "fig09_dtw_example"
+  "fig09_dtw_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_dtw_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_detection.dir/fig11_detection.cpp.o"
+  "CMakeFiles/fig11_detection.dir/fig11_detection.cpp.o.d"
+  "fig11_detection"
+  "fig11_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

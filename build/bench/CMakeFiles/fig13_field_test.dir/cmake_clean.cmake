@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_field_test.dir/fig13_field_test.cpp.o"
+  "CMakeFiles/fig13_field_test.dir/fig13_field_test.cpp.o.d"
+  "fig13_field_test"
+  "fig13_field_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_field_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_complexity.dir/sec6_complexity.cpp.o"
+  "CMakeFiles/sec6_complexity.dir/sec6_complexity.cpp.o.d"
+  "sec6_complexity"
+  "sec6_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/substrate_channel.dir/substrate_channel.cpp.o"
+  "CMakeFiles/substrate_channel.dir/substrate_channel.cpp.o.d"
+  "substrate_channel"
+  "substrate_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/substrate_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table01_design_space.dir/table01_design_space.cpp.o"
+  "CMakeFiles/table01_design_space.dir/table01_design_space.cpp.o.d"
+  "table01_design_space"
+  "table01_design_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table01_design_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

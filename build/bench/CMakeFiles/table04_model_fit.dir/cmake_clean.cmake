@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_model_fit.dir/table04_model_fit.cpp.o"
+  "CMakeFiles/table04_model_fit.dir/table04_model_fit.cpp.o.d"
+  "table04_model_fit"
+  "table04_model_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_model_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_smoke_fig09 "/root/repo/build/bench/fig09_dtw_example")
+set_tests_properties(bench_smoke_fig09 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;34;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_table04 "/root/repo/build/bench/table04_model_fit" "--samples" "600")
+set_tests_properties(bench_smoke_table04 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;35;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig05 "/root/repo/build/bench/fig05_rssi_distributions")
+set_tests_properties(bench_smoke_fig05 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;37;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig06_07 "/root/repo/build/bench/fig06_07_sybil_timeseries" "--duration" "30")
+set_tests_properties(bench_smoke_fig06_07 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig10 "/root/repo/build/bench/fig10_lda_training" "--densities" "12" "--runs" "1" "--observers" "3")
+set_tests_properties(bench_smoke_fig10 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;40;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig11 "/root/repo/build/bench/fig11_detection" "--densities" "12" "--runs" "1" "--observers" "3" "--model-change" "off")
+set_tests_properties(bench_smoke_fig11 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;42;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_fig13 "/root/repo/build/bench/fig13_field_test" "--duration-scale" "0.08")
+set_tests_properties(bench_smoke_fig13 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;45;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_distance "/root/repo/build/bench/ablation_distance" "--density" "12")
+set_tests_properties(bench_smoke_ablation_distance PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;47;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_smoke_ablation_attacks "/root/repo/build/bench/ablation_attacks" "--density" "12")
+set_tests_properties(bench_smoke_ablation_attacks PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;49;add_test;/root/repo/bench/CMakeLists.txt;0;")

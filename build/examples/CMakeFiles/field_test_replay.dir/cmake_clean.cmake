@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_test_replay.dir/field_test_replay.cpp.o"
+  "CMakeFiles/field_test_replay.dir/field_test_replay.cpp.o.d"
+  "field_test_replay"
+  "field_test_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_test_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highway_sybil_sim.dir/highway_sybil_sim.cpp.o"
+  "CMakeFiles/highway_sybil_sim.dir/highway_sybil_sim.cpp.o.d"
+  "highway_sybil_sim"
+  "highway_sybil_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highway_sybil_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_spoofing_attack.dir/power_spoofing_attack.cpp.o"
+  "CMakeFiles/power_spoofing_attack.dir/power_spoofing_attack.cpp.o.d"
+  "power_spoofing_attack"
+  "power_spoofing_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_spoofing_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

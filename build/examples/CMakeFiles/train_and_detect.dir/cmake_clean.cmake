@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_and_detect.dir/train_and_detect.cpp.o"
+  "CMakeFiles/train_and_detect.dir/train_and_detect.cpp.o.d"
+  "train_and_detect"
+  "train_and_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_and_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_baseline.dir/baseline/cpvsad.cpp.o"
+  "CMakeFiles/vp_baseline.dir/baseline/cpvsad.cpp.o.d"
+  "CMakeFiles/vp_baseline.dir/baseline/rssi_variation.cpp.o"
+  "CMakeFiles/vp_baseline.dir/baseline/rssi_variation.cpp.o.d"
+  "libvp_baseline.a"
+  "libvp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

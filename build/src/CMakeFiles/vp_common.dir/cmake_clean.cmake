@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_common.dir/common/cli.cpp.o"
+  "CMakeFiles/vp_common.dir/common/cli.cpp.o.d"
+  "CMakeFiles/vp_common.dir/common/csv.cpp.o"
+  "CMakeFiles/vp_common.dir/common/csv.cpp.o.d"
+  "CMakeFiles/vp_common.dir/common/event_queue.cpp.o"
+  "CMakeFiles/vp_common.dir/common/event_queue.cpp.o.d"
+  "CMakeFiles/vp_common.dir/common/least_squares.cpp.o"
+  "CMakeFiles/vp_common.dir/common/least_squares.cpp.o.d"
+  "CMakeFiles/vp_common.dir/common/rng.cpp.o"
+  "CMakeFiles/vp_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/vp_common.dir/common/stats.cpp.o"
+  "CMakeFiles/vp_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/vp_common.dir/common/table.cpp.o"
+  "CMakeFiles/vp_common.dir/common/table.cpp.o.d"
+  "libvp_common.a"
+  "libvp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

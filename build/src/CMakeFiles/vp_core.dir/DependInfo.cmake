@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/comparison.cpp" "src/CMakeFiles/vp_core.dir/core/comparison.cpp.o" "gcc" "src/CMakeFiles/vp_core.dir/core/comparison.cpp.o.d"
+  "/root/repo/src/core/confirmation.cpp" "src/CMakeFiles/vp_core.dir/core/confirmation.cpp.o" "gcc" "src/CMakeFiles/vp_core.dir/core/confirmation.cpp.o.d"
+  "/root/repo/src/core/density.cpp" "src/CMakeFiles/vp_core.dir/core/density.cpp.o" "gcc" "src/CMakeFiles/vp_core.dir/core/density.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/CMakeFiles/vp_core.dir/core/detector.cpp.o" "gcc" "src/CMakeFiles/vp_core.dir/core/detector.cpp.o.d"
+  "/root/repo/src/core/threshold.cpp" "src/CMakeFiles/vp_core.dir/core/threshold.cpp.o" "gcc" "src/CMakeFiles/vp_core.dir/core/threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vp_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vp_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vp_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vp_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_core.dir/core/comparison.cpp.o"
+  "CMakeFiles/vp_core.dir/core/comparison.cpp.o.d"
+  "CMakeFiles/vp_core.dir/core/confirmation.cpp.o"
+  "CMakeFiles/vp_core.dir/core/confirmation.cpp.o.d"
+  "CMakeFiles/vp_core.dir/core/density.cpp.o"
+  "CMakeFiles/vp_core.dir/core/density.cpp.o.d"
+  "CMakeFiles/vp_core.dir/core/detector.cpp.o"
+  "CMakeFiles/vp_core.dir/core/detector.cpp.o.d"
+  "CMakeFiles/vp_core.dir/core/threshold.cpp.o"
+  "CMakeFiles/vp_core.dir/core/threshold.cpp.o.d"
+  "libvp_core.a"
+  "libvp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

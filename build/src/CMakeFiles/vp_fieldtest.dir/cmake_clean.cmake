@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_fieldtest.dir/fieldtest/area.cpp.o"
+  "CMakeFiles/vp_fieldtest.dir/fieldtest/area.cpp.o.d"
+  "CMakeFiles/vp_fieldtest.dir/fieldtest/replay.cpp.o"
+  "CMakeFiles/vp_fieldtest.dir/fieldtest/replay.cpp.o.d"
+  "CMakeFiles/vp_fieldtest.dir/fieldtest/scenario3.cpp.o"
+  "CMakeFiles/vp_fieldtest.dir/fieldtest/scenario3.cpp.o.d"
+  "libvp_fieldtest.a"
+  "libvp_fieldtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_fieldtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

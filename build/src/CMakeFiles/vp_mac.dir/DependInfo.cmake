@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/channel.cpp" "src/CMakeFiles/vp_mac.dir/mac/channel.cpp.o" "gcc" "src/CMakeFiles/vp_mac.dir/mac/channel.cpp.o.d"
+  "/root/repo/src/mac/csma_ca.cpp" "src/CMakeFiles/vp_mac.dir/mac/csma_ca.cpp.o" "gcc" "src/CMakeFiles/vp_mac.dir/mac/csma_ca.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vp_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vp_mobility.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_mac.dir/mac/channel.cpp.o"
+  "CMakeFiles/vp_mac.dir/mac/channel.cpp.o.d"
+  "CMakeFiles/vp_mac.dir/mac/csma_ca.cpp.o"
+  "CMakeFiles/vp_mac.dir/mac/csma_ca.cpp.o.d"
+  "libvp_mac.a"
+  "libvp_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

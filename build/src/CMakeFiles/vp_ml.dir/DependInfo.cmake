@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/lda.cpp" "src/CMakeFiles/vp_ml.dir/ml/lda.cpp.o" "gcc" "src/CMakeFiles/vp_ml.dir/ml/lda.cpp.o.d"
+  "/root/repo/src/ml/logistic.cpp" "src/CMakeFiles/vp_ml.dir/ml/logistic.cpp.o" "gcc" "src/CMakeFiles/vp_ml.dir/ml/logistic.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/CMakeFiles/vp_ml.dir/ml/metrics.cpp.o" "gcc" "src/CMakeFiles/vp_ml.dir/ml/metrics.cpp.o.d"
+  "/root/repo/src/ml/perceptron.cpp" "src/CMakeFiles/vp_ml.dir/ml/perceptron.cpp.o" "gcc" "src/CMakeFiles/vp_ml.dir/ml/perceptron.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

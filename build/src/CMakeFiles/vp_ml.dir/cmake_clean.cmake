@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_ml.dir/ml/lda.cpp.o"
+  "CMakeFiles/vp_ml.dir/ml/lda.cpp.o.d"
+  "CMakeFiles/vp_ml.dir/ml/logistic.cpp.o"
+  "CMakeFiles/vp_ml.dir/ml/logistic.cpp.o.d"
+  "CMakeFiles/vp_ml.dir/ml/metrics.cpp.o"
+  "CMakeFiles/vp_ml.dir/ml/metrics.cpp.o.d"
+  "CMakeFiles/vp_ml.dir/ml/perceptron.cpp.o"
+  "CMakeFiles/vp_ml.dir/ml/perceptron.cpp.o.d"
+  "libvp_ml.a"
+  "libvp_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

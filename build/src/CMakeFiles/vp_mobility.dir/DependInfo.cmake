@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/epoch_mobility.cpp" "src/CMakeFiles/vp_mobility.dir/mobility/epoch_mobility.cpp.o" "gcc" "src/CMakeFiles/vp_mobility.dir/mobility/epoch_mobility.cpp.o.d"
+  "/root/repo/src/mobility/highway.cpp" "src/CMakeFiles/vp_mobility.dir/mobility/highway.cpp.o" "gcc" "src/CMakeFiles/vp_mobility.dir/mobility/highway.cpp.o.d"
+  "/root/repo/src/mobility/trace.cpp" "src/CMakeFiles/vp_mobility.dir/mobility/trace.cpp.o" "gcc" "src/CMakeFiles/vp_mobility.dir/mobility/trace.cpp.o.d"
+  "/root/repo/src/mobility/waypoint_route.cpp" "src/CMakeFiles/vp_mobility.dir/mobility/waypoint_route.cpp.o" "gcc" "src/CMakeFiles/vp_mobility.dir/mobility/waypoint_route.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

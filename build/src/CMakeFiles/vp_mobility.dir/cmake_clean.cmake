@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_mobility.dir/mobility/epoch_mobility.cpp.o"
+  "CMakeFiles/vp_mobility.dir/mobility/epoch_mobility.cpp.o.d"
+  "CMakeFiles/vp_mobility.dir/mobility/highway.cpp.o"
+  "CMakeFiles/vp_mobility.dir/mobility/highway.cpp.o.d"
+  "CMakeFiles/vp_mobility.dir/mobility/trace.cpp.o"
+  "CMakeFiles/vp_mobility.dir/mobility/trace.cpp.o.d"
+  "CMakeFiles/vp_mobility.dir/mobility/waypoint_route.cpp.o"
+  "CMakeFiles/vp_mobility.dir/mobility/waypoint_route.cpp.o.d"
+  "libvp_mobility.a"
+  "libvp_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

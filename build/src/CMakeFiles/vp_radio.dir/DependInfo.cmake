@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/dual_slope.cpp" "src/CMakeFiles/vp_radio.dir/radio/dual_slope.cpp.o" "gcc" "src/CMakeFiles/vp_radio.dir/radio/dual_slope.cpp.o.d"
+  "/root/repo/src/radio/fading.cpp" "src/CMakeFiles/vp_radio.dir/radio/fading.cpp.o" "gcc" "src/CMakeFiles/vp_radio.dir/radio/fading.cpp.o.d"
+  "/root/repo/src/radio/fitter.cpp" "src/CMakeFiles/vp_radio.dir/radio/fitter.cpp.o" "gcc" "src/CMakeFiles/vp_radio.dir/radio/fitter.cpp.o.d"
+  "/root/repo/src/radio/free_space.cpp" "src/CMakeFiles/vp_radio.dir/radio/free_space.cpp.o" "gcc" "src/CMakeFiles/vp_radio.dir/radio/free_space.cpp.o.d"
+  "/root/repo/src/radio/nakagami.cpp" "src/CMakeFiles/vp_radio.dir/radio/nakagami.cpp.o" "gcc" "src/CMakeFiles/vp_radio.dir/radio/nakagami.cpp.o.d"
+  "/root/repo/src/radio/receiver.cpp" "src/CMakeFiles/vp_radio.dir/radio/receiver.cpp.o" "gcc" "src/CMakeFiles/vp_radio.dir/radio/receiver.cpp.o.d"
+  "/root/repo/src/radio/shadowing.cpp" "src/CMakeFiles/vp_radio.dir/radio/shadowing.cpp.o" "gcc" "src/CMakeFiles/vp_radio.dir/radio/shadowing.cpp.o.d"
+  "/root/repo/src/radio/switching.cpp" "src/CMakeFiles/vp_radio.dir/radio/switching.cpp.o" "gcc" "src/CMakeFiles/vp_radio.dir/radio/switching.cpp.o.d"
+  "/root/repo/src/radio/two_ray.cpp" "src/CMakeFiles/vp_radio.dir/radio/two_ray.cpp.o" "gcc" "src/CMakeFiles/vp_radio.dir/radio/two_ray.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_radio.dir/radio/dual_slope.cpp.o"
+  "CMakeFiles/vp_radio.dir/radio/dual_slope.cpp.o.d"
+  "CMakeFiles/vp_radio.dir/radio/fading.cpp.o"
+  "CMakeFiles/vp_radio.dir/radio/fading.cpp.o.d"
+  "CMakeFiles/vp_radio.dir/radio/fitter.cpp.o"
+  "CMakeFiles/vp_radio.dir/radio/fitter.cpp.o.d"
+  "CMakeFiles/vp_radio.dir/radio/free_space.cpp.o"
+  "CMakeFiles/vp_radio.dir/radio/free_space.cpp.o.d"
+  "CMakeFiles/vp_radio.dir/radio/nakagami.cpp.o"
+  "CMakeFiles/vp_radio.dir/radio/nakagami.cpp.o.d"
+  "CMakeFiles/vp_radio.dir/radio/receiver.cpp.o"
+  "CMakeFiles/vp_radio.dir/radio/receiver.cpp.o.d"
+  "CMakeFiles/vp_radio.dir/radio/shadowing.cpp.o"
+  "CMakeFiles/vp_radio.dir/radio/shadowing.cpp.o.d"
+  "CMakeFiles/vp_radio.dir/radio/switching.cpp.o"
+  "CMakeFiles/vp_radio.dir/radio/switching.cpp.o.d"
+  "CMakeFiles/vp_radio.dir/radio/two_ray.cpp.o"
+  "CMakeFiles/vp_radio.dir/radio/two_ray.cpp.o.d"
+  "libvp_radio.a"
+  "libvp_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/vp_sim.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/vp_sim.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/node.cpp" "src/CMakeFiles/vp_sim.dir/sim/node.cpp.o" "gcc" "src/CMakeFiles/vp_sim.dir/sim/node.cpp.o.d"
+  "/root/repo/src/sim/rssi_log.cpp" "src/CMakeFiles/vp_sim.dir/sim/rssi_log.cpp.o" "gcc" "src/CMakeFiles/vp_sim.dir/sim/rssi_log.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "src/CMakeFiles/vp_sim.dir/sim/runner.cpp.o" "gcc" "src/CMakeFiles/vp_sim.dir/sim/runner.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/CMakeFiles/vp_sim.dir/sim/scenario.cpp.o" "gcc" "src/CMakeFiles/vp_sim.dir/sim/scenario.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/CMakeFiles/vp_sim.dir/sim/world.cpp.o" "gcc" "src/CMakeFiles/vp_sim.dir/sim/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vp_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vp_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vp_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vp_mac.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

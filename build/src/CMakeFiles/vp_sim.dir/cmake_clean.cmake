@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/vp_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/vp_sim.dir/sim/node.cpp.o"
+  "CMakeFiles/vp_sim.dir/sim/node.cpp.o.d"
+  "CMakeFiles/vp_sim.dir/sim/rssi_log.cpp.o"
+  "CMakeFiles/vp_sim.dir/sim/rssi_log.cpp.o.d"
+  "CMakeFiles/vp_sim.dir/sim/runner.cpp.o"
+  "CMakeFiles/vp_sim.dir/sim/runner.cpp.o.d"
+  "CMakeFiles/vp_sim.dir/sim/scenario.cpp.o"
+  "CMakeFiles/vp_sim.dir/sim/scenario.cpp.o.d"
+  "CMakeFiles/vp_sim.dir/sim/world.cpp.o"
+  "CMakeFiles/vp_sim.dir/sim/world.cpp.o.d"
+  "libvp_sim.a"
+  "libvp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timeseries/dtw.cpp" "src/CMakeFiles/vp_timeseries.dir/timeseries/dtw.cpp.o" "gcc" "src/CMakeFiles/vp_timeseries.dir/timeseries/dtw.cpp.o.d"
+  "/root/repo/src/timeseries/fast_dtw.cpp" "src/CMakeFiles/vp_timeseries.dir/timeseries/fast_dtw.cpp.o" "gcc" "src/CMakeFiles/vp_timeseries.dir/timeseries/fast_dtw.cpp.o.d"
+  "/root/repo/src/timeseries/lp_distance.cpp" "src/CMakeFiles/vp_timeseries.dir/timeseries/lp_distance.cpp.o" "gcc" "src/CMakeFiles/vp_timeseries.dir/timeseries/lp_distance.cpp.o.d"
+  "/root/repo/src/timeseries/normalize.cpp" "src/CMakeFiles/vp_timeseries.dir/timeseries/normalize.cpp.o" "gcc" "src/CMakeFiles/vp_timeseries.dir/timeseries/normalize.cpp.o.d"
+  "/root/repo/src/timeseries/series.cpp" "src/CMakeFiles/vp_timeseries.dir/timeseries/series.cpp.o" "gcc" "src/CMakeFiles/vp_timeseries.dir/timeseries/series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

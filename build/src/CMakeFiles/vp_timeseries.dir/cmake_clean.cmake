@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_timeseries.dir/timeseries/dtw.cpp.o"
+  "CMakeFiles/vp_timeseries.dir/timeseries/dtw.cpp.o.d"
+  "CMakeFiles/vp_timeseries.dir/timeseries/fast_dtw.cpp.o"
+  "CMakeFiles/vp_timeseries.dir/timeseries/fast_dtw.cpp.o.d"
+  "CMakeFiles/vp_timeseries.dir/timeseries/lp_distance.cpp.o"
+  "CMakeFiles/vp_timeseries.dir/timeseries/lp_distance.cpp.o.d"
+  "CMakeFiles/vp_timeseries.dir/timeseries/normalize.cpp.o"
+  "CMakeFiles/vp_timeseries.dir/timeseries/normalize.cpp.o.d"
+  "CMakeFiles/vp_timeseries.dir/timeseries/series.cpp.o"
+  "CMakeFiles/vp_timeseries.dir/timeseries/series.cpp.o.d"
+  "libvp_timeseries.a"
+  "libvp_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

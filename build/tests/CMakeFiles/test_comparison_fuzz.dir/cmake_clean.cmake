@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comparison_fuzz.dir/test_comparison_fuzz.cpp.o"
+  "CMakeFiles/test_comparison_fuzz.dir/test_comparison_fuzz.cpp.o.d"
+  "test_comparison_fuzz"
+  "test_comparison_fuzz.pdb"
+  "test_comparison_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comparison_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fast_dtw.dir/test_fast_dtw.cpp.o"
+  "CMakeFiles/test_fast_dtw.dir/test_fast_dtw.cpp.o.d"
+  "test_fast_dtw"
+  "test_fast_dtw.pdb"
+  "test_fast_dtw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fast_dtw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

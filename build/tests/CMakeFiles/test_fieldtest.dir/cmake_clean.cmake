@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fieldtest.dir/test_fieldtest.cpp.o"
+  "CMakeFiles/test_fieldtest.dir/test_fieldtest.cpp.o.d"
+  "test_fieldtest"
+  "test_fieldtest.pdb"
+  "test_fieldtest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fieldtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fitter.dir/test_fitter.cpp.o"
+  "CMakeFiles/test_fitter.dir/test_fitter.cpp.o.d"
+  "test_fitter"
+  "test_fitter.pdb"
+  "test_fitter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_dtw.dir/test_property_dtw.cpp.o"
+  "CMakeFiles/test_property_dtw.dir/test_property_dtw.cpp.o.d"
+  "test_property_dtw"
+  "test_property_dtw.pdb"
+  "test_property_dtw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_dtw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

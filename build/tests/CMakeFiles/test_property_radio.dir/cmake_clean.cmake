@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_radio.dir/test_property_radio.cpp.o"
+  "CMakeFiles/test_property_radio.dir/test_property_radio.cpp.o.d"
+  "test_property_radio"
+  "test_property_radio.pdb"
+  "test_property_radio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_sim.dir/test_property_sim.cpp.o"
+  "CMakeFiles/test_property_sim.dir/test_property_sim.cpp.o.d"
+  "test_property_sim"
+  "test_property_sim.pdb"
+  "test_property_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

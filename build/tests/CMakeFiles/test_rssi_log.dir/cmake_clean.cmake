@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rssi_log.dir/test_rssi_log.cpp.o"
+  "CMakeFiles/test_rssi_log.dir/test_rssi_log.cpp.o.d"
+  "test_rssi_log"
+  "test_rssi_log.pdb"
+  "test_rssi_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rssi_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

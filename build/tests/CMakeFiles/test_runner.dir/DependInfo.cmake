@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_runner.cpp" "tests/CMakeFiles/test_runner.dir/test_runner.cpp.o" "gcc" "tests/CMakeFiles/test_runner.dir/test_runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vp_fieldtest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vp_timeseries.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vp_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vp_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vp_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sch.dir/test_sch.cpp.o"
+  "CMakeFiles/test_sch.dir/test_sch.cpp.o.d"
+  "test_sch"
+  "test_sch.pdb"
+  "test_sch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threshold_tuning.dir/test_threshold_tuning.cpp.o"
+  "CMakeFiles/test_threshold_tuning.dir/test_threshold_tuning.cpp.o.d"
+  "test_threshold_tuning"
+  "test_threshold_tuning.pdb"
+  "test_threshold_tuning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threshold_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
