@@ -18,6 +18,9 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const double density = args.get_double("density", 30.0);
   const std::uint64_t seed = args.get_seed("seed", 2208);
+  // Worker threads for the pairwise sweep and window cutting (0 = all
+  // hardware threads). Results are bit-identical for every value.
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
 
   std::cout << "Ablation A8 — attack scale (density " << density
             << " vhls/km)\n\n";
@@ -32,9 +35,9 @@ int main(int argc, char** argv) {
     config.seed = mix64(seed, static_cast<std::uint64_t>(sybils));
     sim::World world(config);
     world.run();
-    core::VoiceprintDetector detector(core::tuned_simulation_options());
-    const sim::EvaluationResult result =
-        sim::evaluate(world, detector, {.max_observers = 8});
+    core::VoiceprintDetector detector(core::tuned_simulation_options(threads));
+    const sim::EvaluationResult result = sim::evaluate(
+        world, detector, {.max_observers = 8, .threads = threads});
     by_count.add_row({std::to_string(sybils),
                       Table::num(result.average_dr, 4),
                       Table::num(result.average_fpr, 4),
@@ -51,9 +54,9 @@ int main(int argc, char** argv) {
     config.seed = mix64(seed, static_cast<std::uint64_t>(fraction * 1000));
     sim::World world(config);
     world.run();
-    core::VoiceprintDetector detector(core::tuned_simulation_options());
-    const sim::EvaluationResult result =
-        sim::evaluate(world, detector, {.max_observers = 8});
+    core::VoiceprintDetector detector(core::tuned_simulation_options(threads));
+    const sim::EvaluationResult result = sim::evaluate(
+        world, detector, {.max_observers = 8, .threads = threads});
     by_fraction.add_row({Table::num(fraction, 2),
                          Table::num(result.average_dr, 4),
                          Table::num(result.average_fpr, 4)});

@@ -41,7 +41,8 @@ struct PanelRow {
 };
 
 void run_panel(bool model_change, const std::vector<double>& densities,
-               std::size_t runs, std::size_t observers, std::uint64_t seed) {
+               std::size_t runs, std::size_t observers, std::uint64_t seed,
+               std::size_t threads) {
   std::cout << (model_change
                     ? "\n=== Fig. 11b: WITH propagation model change ===\n"
                     : "\n=== Fig. 11a: WITHOUT propagation model change ===\n");
@@ -58,9 +59,11 @@ void run_panel(bool model_change, const std::vector<double>& densities,
       sim::World world(config);
       world.run();
 
-      core::VoiceprintDetector voiceprint(core::tuned_simulation_options());
+      core::VoiceprintDetector voiceprint(
+          core::tuned_simulation_options(threads));
       baseline::CpvsadDetector cpvsad;      // assumes the base environment
-      const sim::EvaluationOptions options{.max_observers = observers};
+      sim::EvaluationOptions options{.max_observers = observers};
+      options.threads = threads;
       const auto vp_result = sim::evaluate(world, voiceprint, options);
       const auto cp_result = sim::evaluate(world, cpvsad, options);
       vp_dr += vp_result.average_dr;
@@ -107,6 +110,9 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("observers", 8));
   const std::uint64_t seed = args.get_seed("seed", 1101);
   const std::string mode = args.get("model-change", "both");
+  // Worker threads for the pairwise sweep and window cutting (0 = all
+  // hardware threads). Results are bit-identical for every value.
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
 
   {
     sim::ScenarioConfig defaults;
@@ -115,10 +121,10 @@ int main(int argc, char** argv) {
   }
 
   if (mode == "off" || mode == "both") {
-    run_panel(false, densities, runs, observers, seed);
+    run_panel(false, densities, runs, observers, seed, threads);
   }
   if (mode == "on" || mode == "both") {
-    run_panel(true, densities, runs, observers, seed);
+    run_panel(true, densities, runs, observers, seed, threads);
   }
   std::cout << "\nExpected: (a) both ~90% DR, <10% FPR; CPVSAD rises with "
                "density, Voiceprint declines. (b) CPVSAD collapses, "

@@ -4,12 +4,20 @@
 //   * a full confirmation round over 80 neighbours (3160 comparisons) took
 //     ~630 ms.
 // We benchmark FastDTW vs exact DTW vs Euclidean across series lengths,
-// plus the full Algorithm-1 pipeline for various neighbour counts.
+// workspace-reusing vs per-call-allocating FastDTW, and the full
+// Algorithm-1 pipeline (serial vs parallel sweep) for various neighbour
+// counts. After the google-benchmark run, main() sweeps neighbour counts
+// {10, 20, 40, 80, 160} with a wall-clock timer and writes
+// BENCH_comparison.json (ns per confirmation round, serial and parallel).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/comparison.h"
 #include "core/detector.h"
 #include "timeseries/dtw.h"
@@ -42,6 +50,26 @@ void BM_FastDtw(benchmark::State& state) {
   state.SetComplexityN(static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_FastDtw)->RangeMultiplier(2)->Range(25, 1600)->Complexity();
+
+// Same computation through a reused DtwWorkspace: the pyramid, search
+// windows and DP storage hit their high-water mark once and are recycled,
+// so this should beat BM_FastDtw at every length.
+void BM_FastDtwWorkspace(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = ts::z_score_enhanced(rssi_like_series(n, 1));
+  const auto y = ts::z_score_enhanced(rssi_like_series(n, 2));
+  ts::DtwWorkspace workspace;
+  ts::DtwResult result;
+  for (auto _ : state) {
+    ts::fast_dtw(x, y, {.radius = 1}, workspace, result);
+    benchmark::DoNotOptimize(result.distance);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FastDtwWorkspace)
+    ->RangeMultiplier(2)
+    ->Range(25, 1600)
+    ->Complexity();
 
 void BM_ExactDtw(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -77,24 +105,113 @@ void BM_PaperSingleComparison200(benchmark::State& state) {
 }
 BENCHMARK(BM_PaperSingleComparison200);
 
-// Full Algorithm-1 detection for N neighbours (the paper extrapolates 80
-// neighbours → ~630 ms on the OBU).
-void BM_FullDetection(benchmark::State& state) {
-  const auto neighbors = static_cast<std::size_t>(state.range(0));
+std::vector<core::NamedSeries> neighbor_series(std::size_t neighbors) {
   std::vector<core::NamedSeries> series;
+  series.reserve(neighbors);
   for (std::size_t i = 0; i < neighbors; ++i) {
     series.emplace_back(
         static_cast<IdentityId>(i),
         ts::Series::uniform(0.0, 0.1, rssi_like_series(200, 100 + i)));
   }
-  core::VoiceprintDetector detector;
+  return series;
+}
+
+// Full Algorithm-1 detection for N neighbours (the paper extrapolates 80
+// neighbours → ~630 ms on the OBU). range(1) is the comparison-sweep
+// thread count (1 = serial baseline); the flagged set is identical for
+// every value.
+void BM_FullDetection(benchmark::State& state) {
+  const auto neighbors = static_cast<std::size_t>(state.range(0));
+  const std::vector<core::NamedSeries> series = neighbor_series(neighbors);
+  core::VoiceprintOptions options;
+  options.comparison.threads = static_cast<std::size_t>(state.range(1));
+  core::VoiceprintDetector detector(options);
   for (auto _ : state) {
     benchmark::DoNotOptimize(detector.detect_series(series, 50.0));
   }
   state.SetComplexityN(static_cast<std::int64_t>(neighbors));
 }
-BENCHMARK(BM_FullDetection)->Arg(10)->Arg(20)->Arg(40)->Arg(80)->Complexity();
+BENCHMARK(BM_FullDetection)
+    ->ArgsProduct({{10, 20, 40, 80, 160}, {1, 4}})
+    ->ArgNames({"neighbors", "threads"})
+    ->Complexity();
+
+// Wall-clock sweep behind BENCH_comparison.json: ns per confirmation round
+// (one detect_series call over N neighbours), serial vs parallel.
+double ns_per_round(core::VoiceprintDetector& detector,
+                    const std::vector<core::NamedSeries>& series) {
+  using clock = std::chrono::steady_clock;
+  benchmark::DoNotOptimize(detector.detect_series(series, 50.0));  // warm-up
+  std::size_t rounds = 0;
+  const clock::time_point start = clock::now();
+  clock::time_point now = start;
+  // At least 3 rounds and at least 200 ms, so short configs are not noise.
+  while (rounds < 3 || now - start < std::chrono::milliseconds(200)) {
+    benchmark::DoNotOptimize(detector.detect_series(series, 50.0));
+    ++rounds;
+    now = clock::now();
+  }
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(now - start)
+                 .count()) /
+         static_cast<double>(rounds);
+}
+
+void write_bench_json(const char* path) {
+  // Pool width for the "parallel" column. On a wide machine this is the
+  // hardware concurrency; on a 1-core container it still exercises the
+  // real pool dispatch (4 workers oversubscribed), so speedup ≈ 1 there.
+  const std::size_t parallel_threads = std::max<std::size_t>(
+      vp::hardware_threads(), 4);
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n  \"benchmark\": \"confirmation round (Algorithm 1, "
+               "200-sample series)\",\n  \"hardware_threads\": %zu,\n"
+               "  \"parallel_threads\": %zu,\n  \"rounds\": [",
+               vp::hardware_threads(), parallel_threads);
+  bool first = true;
+  for (std::size_t neighbors : {10u, 20u, 40u, 80u, 160u}) {
+    const std::vector<core::NamedSeries> series = neighbor_series(neighbors);
+
+    core::VoiceprintOptions serial_options;
+    serial_options.comparison.threads = 1;
+    core::VoiceprintDetector serial(serial_options);
+    const double serial_ns = ns_per_round(serial, series);
+
+    core::VoiceprintOptions parallel_options;
+    parallel_options.comparison.threads = parallel_threads;
+    core::VoiceprintDetector parallel(parallel_options);
+    const double parallel_ns = ns_per_round(parallel, series);
+
+    std::fprintf(out,
+                 "%s\n    {\"neighbors\": %zu, \"pairs\": %zu, "
+                 "\"serial_ns_per_round\": %.0f, "
+                 "\"parallel_ns_per_round\": %.0f, \"speedup\": %.3f}",
+                 first ? "" : ",", neighbors, neighbors * (neighbors - 1) / 2,
+                 serial_ns, parallel_ns, serial_ns / parallel_ns);
+    std::fprintf(stderr,
+                 "BENCH neighbors=%zu serial=%.3f ms parallel=%.3f ms "
+                 "speedup=%.2fx\n",
+                 neighbors, serial_ns * 1e-6, parallel_ns * 1e-6,
+                 serial_ns / parallel_ns);
+    first = false;
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", path);
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_bench_json("BENCH_comparison.json");
+  return 0;
+}

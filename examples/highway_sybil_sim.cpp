@@ -24,6 +24,9 @@ int main(int argc, char** argv) {
   config.density_per_km = args.get_double("density", 30.0);
   config.seed = args.get_seed("seed", 5);
   config.sim_time_s = args.get_double("sim-time", 60.0);
+  // Worker threads for the pairwise sweep and window cutting (0 = all
+  // hardware threads). Results are bit-identical for every value.
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
 
   std::cout << config.describe() << "\nrunning...\n";
   sim::World world(config);
@@ -48,7 +51,7 @@ int main(int argc, char** argv) {
             << Table::num(window.estimated_density_per_km, 1)
             << " vhls/km\n\n";
 
-  core::VoiceprintDetector detector(core::tuned_simulation_options());
+  core::VoiceprintDetector detector(core::tuned_simulation_options(threads));
   const auto flagged = detector.detect_window(window);
   const std::set<IdentityId> flagged_set(flagged.begin(), flagged.end());
 
@@ -64,9 +67,10 @@ int main(int argc, char** argv) {
   table.print(std::cout);
 
   // Fleet-wide averages (Eq. 12/13) over sampled observers and periods.
-  core::VoiceprintDetector fleet_detector(core::tuned_simulation_options());
-  const sim::EvaluationResult result =
-      sim::evaluate(world, fleet_detector, {.max_observers = 8});
+  core::VoiceprintDetector fleet_detector(
+      core::tuned_simulation_options(threads));
+  const sim::EvaluationResult result = sim::evaluate(
+      world, fleet_detector, {.max_observers = 8, .threads = threads});
   std::cout << "\nfleet average detection rate      : "
             << Table::num(result.average_dr, 4)
             << "\nfleet average false positive rate : "

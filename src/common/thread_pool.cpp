@@ -1,0 +1,133 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace vp {
+
+namespace {
+// True while the current thread is executing tasks for some parallel_for.
+// A nested parallel_for must not submit to the pool (the outer call holds
+// it busy), so it runs serially on the nesting worker instead.
+thread_local bool tl_in_worker = false;
+}  // namespace
+
+std::size_t hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  const std::size_t background = workers <= 1 ? 0 : workers - 1;
+  threads_.reserve(background);
+  for (std::size_t i = 0; i < background; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  job_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(std::max<std::size_t>(hardware_threads(), 8));
+  return pool;
+}
+
+void ThreadPool::run_tasks(std::size_t worker_id) {
+  const bool was_in_worker = tl_in_worker;
+  tl_in_worker = true;
+  try {
+    for (std::size_t i = next_.fetch_add(1); i < count_;
+         i = next_.fetch_add(1)) {
+      (*fn_)(worker_id, i);
+    }
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    next_.store(count_);  // abandon the remaining indices
+  }
+  tl_in_worker = was_in_worker;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    job_ready_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    // Claim a participant slot under the lock: the claim must be atomic
+    // with observing this generation, or a late wake-up could claim into
+    // the next job's id space.
+    const std::size_t id = worker_ids_.fetch_add(1);
+    const bool participate = id < max_workers_;
+    lock.unlock();
+    if (participate) run_tasks(id);
+    lock.lock();
+    if (participate && --active_ == 0) job_done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count, std::size_t max_workers,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1 || max_workers <= 1 || threads_.empty() || tl_in_worker) {
+    const bool was_in_worker = tl_in_worker;
+    tl_in_worker = true;
+    try {
+      for (std::size_t i = 0; i < count; ++i) fn(0, i);
+    } catch (...) {
+      tl_in_worker = was_in_worker;
+      throw;
+    }
+    tl_in_worker = was_in_worker;
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  job_done_.wait(lock, [&] { return !busy_; });
+  busy_ = true;
+  fn_ = &fn;
+  count_ = count;
+  max_workers_ = std::min(max_workers, workers());
+  next_.store(0);
+  worker_ids_.store(1);  // the calling thread is worker 0
+  error_ = nullptr;
+  // Every background worker eventually wakes and claims an id for this
+  // generation (or a later one); exactly this many get id < max_workers_.
+  active_ = std::min(threads_.size(), max_workers_ - 1);
+  ++generation_;
+  lock.unlock();
+  job_ready_.notify_all();
+
+  run_tasks(0);
+
+  lock.lock();
+  job_done_.wait(lock, [&] { return active_ == 0; });
+  busy_ = false;
+  const std::exception_ptr error = error_;
+  error_ = nullptr;
+  lock.unlock();
+  job_done_.notify_all();  // wake submitters queued on !busy_
+  if (error) std::rethrow_exception(error);
+}
+
+void parallel_for(std::size_t threads, std::size_t count,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (threads == 0) threads = hardware_threads();
+  if (threads <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(0, i);
+    return;
+  }
+  ThreadPool::shared().parallel_for(count, threads, fn);
+}
+
+}  // namespace vp

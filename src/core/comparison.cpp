@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/error.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "timeseries/dtw.h"
 #include "timeseries/lp_distance.h"
 #include "timeseries/normalize.h"
@@ -13,26 +15,39 @@ namespace vp::core {
 
 namespace {
 
+// Per-worker scratch for the pairwise sweep: one DTW workspace plus the
+// alignment buffers, so the hot loop reuses its allocations across pairs.
+struct PairScratch {
+  ts::DtwWorkspace workspace;
+  ts::DtwResult result;
+  std::vector<double> va, vb;
+};
+
 double pair_distance(const std::vector<double>& x, const std::vector<double>& y,
-                     const ComparisonOptions& options) {
+                     const ComparisonOptions& options, PairScratch& scratch) {
   switch (options.distance) {
     case DistanceKind::kFastDtw: {
-      const ts::DtwResult result =
-          ts::fast_dtw(x, y, {.radius = options.fastdtw_radius,
-                              .cost = options.cost,
-                              .band = options.dtw_band});
+      ts::fast_dtw(x, y,
+                   {.radius = options.fastdtw_radius,
+                    .cost = options.cost,
+                    .band = options.dtw_band},
+                   scratch.workspace, scratch.result);
       return options.length_normalize
-                 ? result.distance / static_cast<double>(result.path.size())
-                 : result.distance;
+                 ? scratch.result.distance /
+                       static_cast<double>(scratch.result.path.size())
+                 : scratch.result.distance;
     }
     case DistanceKind::kExactDtw: {
-      const ts::DtwResult result =
-          options.dtw_band > 0
-              ? ts::dtw_banded(x, y, options.dtw_band, options.cost)
-              : ts::dtw(x, y, options.cost);
+      if (options.dtw_band > 0) {
+        ts::dtw_banded(x, y, options.dtw_band, options.cost, scratch.workspace,
+                       scratch.result);
+      } else {
+        ts::dtw(x, y, options.cost, scratch.workspace, scratch.result);
+      }
       return options.length_normalize
-                 ? result.distance / static_cast<double>(result.path.size())
-                 : result.distance;
+                 ? scratch.result.distance /
+                       static_cast<double>(scratch.result.path.size())
+                 : scratch.result.distance;
     }
     case DistanceKind::kEuclidean: {
       // Euclidean needs equal lengths; packet loss makes them unequal, so
@@ -72,6 +87,69 @@ bool has_usable_shape(std::span<const double> values,
          options.max_floor_fraction * static_cast<double>(values.size());
 }
 
+// One (a, b) comparison: common-support restriction, alignment, Eq. 7 and
+// the DTW distance, using only `scratch`'s buffers for the hot allocations.
+PairDistance compare_pair(const NamedSeries& ea, const NamedSeries& eb,
+                          const ComparisonOptions& options,
+                          PairScratch& scratch) {
+  const ts::Series& sa = ea.second;
+  const ts::Series& sb = eb.second;
+  PairDistance p;
+  p.a = ea.first;
+  p.b = eb.first;
+
+  // Restrict to the common time support.
+  const double lo = std::max(sa.time(0), sb.time(0));
+  const double hi = std::min(sa.time(sa.size() - 1), sb.time(sb.size() - 1));
+  if (hi - lo < options.min_overlap_s) {
+    p.comparable = false;
+    return p;
+  }
+  // Half-open slice: nudge the upper bound to include the endpoint.
+  const ts::Series cut_a = sa.slice_time(lo, hi + 1e-9);
+  const ts::Series cut_b = sb.slice_time(lo, hi + 1e-9);
+  if (cut_a.size() < options.min_overlap_samples ||
+      cut_b.size() < options.min_overlap_samples ||
+      !has_usable_shape(cut_a.values(), options) ||
+      !has_usable_shape(cut_b.values(), options)) {
+    p.comparable = false;
+    return p;
+  }
+
+  // Eq. 7 on the overlapped segments, then the (banded) DTW distance.
+  std::vector<double>& va = scratch.va;
+  std::vector<double>& vb = scratch.vb;
+  switch (options.alignment) {
+    case ComparisonOptions::Alignment::kMatchedSamples:
+      match_samples(cut_a, cut_b, options.match_gap_s, va, vb);
+      if (va.size() < options.min_overlap_samples) {
+        p.comparable = false;
+        return p;
+      }
+      break;
+    case ComparisonOptions::Alignment::kResampleGrid: {
+      const auto grid_points = std::max<std::size_t>(
+          static_cast<std::size_t>((hi - lo) / options.grid_period_s) + 1, 2);
+      const ts::Series ra = cut_a.resample(grid_points);
+      const ts::Series rb = cut_b.resample(grid_points);
+      va.assign(ra.values().begin(), ra.values().end());
+      vb.assign(rb.values().begin(), rb.values().end());
+      break;
+    }
+    case ComparisonOptions::Alignment::kNone:
+      va.assign(cut_a.values().begin(), cut_a.values().end());
+      vb.assign(cut_b.values().begin(), cut_b.values().end());
+      break;
+  }
+  if (options.z_score_normalize) {
+    va = ts::z_score_enhanced(va);
+    vb = ts::z_score_enhanced(vb);
+  }
+  p.raw = pair_distance(va, vb, options, scratch);
+  p.normalized = p.raw;
+  return p;
+}
+
 }  // namespace
 
 void match_samples(const ts::Series& a, const ts::Series& b, double max_gap_s,
@@ -79,18 +157,23 @@ void match_samples(const ts::Series& a, const ts::Series& b, double max_gap_s,
   out_a.clear();
   out_b.clear();
   std::size_t j = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
+  for (std::size_t i = 0; i < a.size() && j < b.size(); ++i) {
     const double t = a.time(i);
     while (j + 1 < b.size() &&
            std::fabs(b.time(j + 1) - t) <= std::fabs(b.time(j) - t)) {
       ++j;
     }
-    if (j >= b.size()) break;
     if (std::fabs(b.time(j) - t) > max_gap_s) continue;
+    // Leave b[j] to the next a-sample when that one is strictly closer:
+    // otherwise a marginal earlier match consumes the partner and the final
+    // a-sample exits unmatched even though it had the better claim.
+    if (i + 1 < a.size() &&
+        std::fabs(b.time(j) - a.time(i + 1)) < std::fabs(b.time(j) - t)) {
+      continue;
+    }
     out_a.push_back(a.value(i));
     out_b.push_back(b.value(j));
     ++j;  // consume the matched sample
-    if (j >= b.size()) break;
   }
 }
 
@@ -107,72 +190,30 @@ std::vector<PairDistance> compare_series(std::span<const NamedSeries> series,
 
   std::vector<PairDistance> pairs;
   if (usable.size() < 2) return pairs;
-  pairs.reserve(usable.size() * (usable.size() - 1) / 2);
 
+  // Enumerate the (i, j) pairs up front in Algorithm 1's i < j order and
+  // pre-size the output: each worker writes its pair into a fixed slot, so
+  // the result vector — and with it Eq. 8's min–max pass below — is
+  // bit-identical no matter how many threads run the sweep.
+  std::vector<std::pair<std::size_t, std::size_t>> jobs;
+  jobs.reserve(usable.size() * (usable.size() - 1) / 2);
   for (std::size_t i = 0; i + 1 < usable.size(); ++i) {
     for (std::size_t j = i + 1; j < usable.size(); ++j) {
-      const ts::Series& sa = usable[i]->second;
-      const ts::Series& sb = usable[j]->second;
-      PairDistance p;
-      p.a = usable[i]->first;
-      p.b = usable[j]->first;
-
-      // Restrict to the common time support.
-      const double lo = std::max(sa.time(0), sb.time(0));
-      const double hi =
-          std::min(sa.time(sa.size() - 1), sb.time(sb.size() - 1));
-      if (hi - lo < options.min_overlap_s) {
-        p.comparable = false;
-        pairs.push_back(p);
-        continue;
-      }
-      // Half-open slice: nudge the upper bound to include the endpoint.
-      const ts::Series cut_a = sa.slice_time(lo, hi + 1e-9);
-      const ts::Series cut_b = sb.slice_time(lo, hi + 1e-9);
-      if (cut_a.size() < options.min_overlap_samples ||
-          cut_b.size() < options.min_overlap_samples ||
-          !has_usable_shape(cut_a.values(), options) ||
-          !has_usable_shape(cut_b.values(), options)) {
-        p.comparable = false;
-        pairs.push_back(p);
-        continue;
-      }
-
-      // Eq. 7 on the overlapped segments, then the (banded) DTW distance.
-      std::vector<double> va, vb;
-      switch (options.alignment) {
-        case ComparisonOptions::Alignment::kMatchedSamples:
-          match_samples(cut_a, cut_b, options.match_gap_s, va, vb);
-          if (va.size() < options.min_overlap_samples) {
-            p.comparable = false;
-            pairs.push_back(p);
-            continue;
-          }
-          break;
-        case ComparisonOptions::Alignment::kResampleGrid: {
-          const auto grid_points = std::max<std::size_t>(
-              static_cast<std::size_t>((hi - lo) / options.grid_period_s) + 1,
-              2);
-          const ts::Series ra = cut_a.resample(grid_points);
-          const ts::Series rb = cut_b.resample(grid_points);
-          va.assign(ra.values().begin(), ra.values().end());
-          vb.assign(rb.values().begin(), rb.values().end());
-          break;
-        }
-        case ComparisonOptions::Alignment::kNone:
-          va.assign(cut_a.values().begin(), cut_a.values().end());
-          vb.assign(cut_b.values().begin(), cut_b.values().end());
-          break;
-      }
-      if (options.z_score_normalize) {
-        va = ts::z_score_enhanced(va);
-        vb = ts::z_score_enhanced(vb);
-      }
-      p.raw = pair_distance(va, vb, options);
-      p.normalized = p.raw;
-      pairs.push_back(p);
+      jobs.emplace_back(i, j);
     }
   }
+  pairs.resize(jobs.size());
+
+  const std::size_t threads = std::min(
+      options.threads == 0 ? hardware_threads() : options.threads,
+      jobs.size());
+  std::vector<PairScratch> scratch(std::max<std::size_t>(threads, 1));
+  parallel_for(threads, jobs.size(),
+               [&](std::size_t worker, std::size_t k) {
+                 pairs[k] = compare_pair(*usable[jobs[k].first],
+                                         *usable[jobs[k].second], options,
+                                         scratch[worker]);
+               });
 
   std::vector<double> values;
   values.reserve(pairs.size());

@@ -94,6 +94,14 @@ struct ComparisonOptions {
   // declared incomparable (treated as non-Sybil).
   double min_overlap_s = 5.0;
   std::size_t min_overlap_samples = 10;
+  // Worker threads for the pairwise sweep (the hot path: a confirmation
+  // round over 80 neighbours is 3160 FastDTW calls). 1 = serial on the
+  // calling thread; 0 = all hardware threads. Each worker owns one
+  // ts::DtwWorkspace and the (i,j) pairs are enumerated up front and
+  // written into pre-sized slots, so the output — and therefore Eq. 8
+  // min–max normalisation and everything downstream — is bit-identical
+  // for every thread count.
+  std::size_t threads = 1;
 };
 
 using NamedSeries = std::pair<IdentityId, ts::Series>;

@@ -8,10 +8,11 @@
 
 namespace vp::core {
 
-VoiceprintOptions tuned_simulation_options() {
+VoiceprintOptions tuned_simulation_options(std::size_t threads) {
   VoiceprintOptions options;
   options.boundary = {.k = 0.0, .b = 0.0125};
   options.min_pair_votes = 2;
+  options.comparison.threads = threads;
   return options;
 }
 

@@ -37,7 +37,9 @@ struct VoiceprintOptions {
 // budget 5%) — the analogue of the paper's trained (k = 0.00054,
 // b = 0.0483) on its NS-2 setup. Use these for simulation experiments;
 // retrain with bench/fig10_lda_training when the scenario changes.
-VoiceprintOptions tuned_simulation_options();
+// `threads` feeds ComparisonOptions::threads (the pairwise FastDTW sweep;
+// 1 = serial, 0 = all hardware threads) and never changes the results.
+VoiceprintOptions tuned_simulation_options(std::size_t threads = 1);
 
 class VoiceprintDetector final : public sim::Detector {
  public:

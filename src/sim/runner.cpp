@@ -1,8 +1,10 @@
 #include "sim/runner.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace vp::sim {
 
@@ -26,17 +28,29 @@ EvaluationResult evaluate(const World& world, Detector& detector,
   double density_sum = 0.0;
   double neighbor_sum = 0.0;
 
+  // Cut every (detection time, observer) window first — observe() is pure,
+  // so the cuts fan out across the pool — then run the detector serially
+  // over them in the same fixed order as the serial loop, keeping the
+  // Eq. 12/13 averages identical for every thread count.
+  std::vector<std::pair<double, NodeId>> tasks;
+  tasks.reserve(world.detection_times().size() * observers.size());
   for (double t : world.detection_times()) {
-    for (NodeId observer : observers) {
-      const ObservationWindow window =
-          world.observe(observer, t, options.min_samples);
-      if (window.neighbors.empty()) continue;
-      const std::vector<IdentityId> flagged = detector.detect(window, world);
-      averager.add(score_detection(flagged, window, world.truth()));
-      density_sum += window.estimated_density_per_km;
-      neighbor_sum += static_cast<double>(window.neighbors.size());
-      ++result.windows_evaluated;
-    }
+    for (NodeId observer : observers) tasks.emplace_back(t, observer);
+  }
+  std::vector<ObservationWindow> windows(tasks.size());
+  parallel_for(options.threads, tasks.size(),
+               [&](std::size_t /*worker*/, std::size_t k) {
+                 windows[k] = world.observe(tasks[k].second, tasks[k].first,
+                                            options.min_samples);
+               });
+
+  for (const ObservationWindow& window : windows) {
+    if (window.neighbors.empty()) continue;
+    const std::vector<IdentityId> flagged = detector.detect(window, world);
+    averager.add(score_detection(flagged, window, world.truth()));
+    density_sum += window.estimated_density_per_km;
+    neighbor_sum += static_cast<double>(window.neighbors.size());
+    ++result.windows_evaluated;
   }
 
   result.average_dr = averager.average_dr();

@@ -22,6 +22,12 @@ struct EvaluationOptions {
   // (2 s of beacons by default: with fewer, a series carries no shape).
   std::size_t min_samples = 20;
   std::uint64_t sampling_seed = 7;
+  // Worker threads for cutting the observer×detection-time observation
+  // windows out of the logs (1 = serial, 0 = all hardware threads). The
+  // detector pass itself stays serial in a fixed order — Detector
+  // implementations are stateful — so results are identical for every
+  // value; parallelise inside a detection via ComparisonOptions::threads.
+  std::size_t threads = 1;
 };
 
 struct EvaluationResult {

@@ -31,6 +31,14 @@ SearchWindow SearchWindow::full(std::size_t rows, std::size_t cols) {
   return w;
 }
 
+void SearchWindow::reset(std::size_t rows, std::size_t cols) {
+  VP_REQUIRE(rows > 0 && cols > 0);
+  cols_ = cols;
+  lo_.assign(rows, 0);
+  hi_.assign(rows, 0);
+  set_.assign(rows, false);
+}
+
 void SearchWindow::include(std::size_t i, std::size_t j) {
   include_range(i, j, j);
 }
@@ -105,12 +113,31 @@ DtwResult dtw(std::span<const double> x, std::span<const double> y,
   return dtw_windowed(x, y, SearchWindow::full(x.size(), y.size()), cost);
 }
 
+void dtw(std::span<const double> x, std::span<const double> y, LocalCost cost,
+         DtwWorkspace& workspace, DtwResult& out) {
+  VP_REQUIRE(!x.empty() && !y.empty());
+  workspace.window_a.reset(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    workspace.window_a.include_range(i, 0, y.size() - 1);
+  }
+  dtw_windowed(x, y, workspace.window_a, cost, workspace, out);
+}
+
 double dtw_distance(std::span<const double> x, std::span<const double> y,
                     LocalCost cost) {
+  DtwWorkspace workspace;
+  return dtw_distance(x, y, cost, workspace);
+}
+
+double dtw_distance(std::span<const double> x, std::span<const double> y,
+                    LocalCost cost, DtwWorkspace& workspace) {
   VP_REQUIRE(!x.empty() && !y.empty());
   const std::size_t n = x.size();
   const std::size_t m = y.size();
-  std::vector<double> prev(m, kInf), curr(m, kInf);
+  std::vector<double>& prev = workspace.prev;
+  std::vector<double>& curr = workspace.curr;
+  prev.assign(m, kInf);
+  curr.assign(m, kInf);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < m; ++j) {
       const double c = local_cost(x[i], y[j], cost);
@@ -133,6 +160,15 @@ double dtw_distance(std::span<const double> x, std::span<const double> y,
 
 DtwResult dtw_windowed(std::span<const double> x, std::span<const double> y,
                        const SearchWindow& window, LocalCost cost) {
+  DtwWorkspace workspace;
+  DtwResult out;
+  dtw_windowed(x, y, window, cost, workspace, out);
+  return out;
+}
+
+void dtw_windowed(std::span<const double> x, std::span<const double> y,
+                  const SearchWindow& window, LocalCost cost,
+                  DtwWorkspace& workspace, DtwResult& out) {
   VP_REQUIRE(!x.empty() && !y.empty());
   VP_REQUIRE(window.rows() == x.size());
   VP_REQUIRE(window.cols() == y.size());
@@ -144,20 +180,25 @@ DtwResult dtw_windowed(std::span<const double> x, std::span<const double> y,
   }
 
   // Row-sliced DP storage: for each row keep values and parent moves over
-  // [lo, hi] only.
-  std::vector<std::vector<double>> dp(n);
-  std::vector<std::vector<Move>> parent(n);
+  // [lo, hi] only, flattened into one buffer via per-row offsets so the
+  // workspace can recycle a single allocation across calls.
+  std::vector<std::size_t>& row_offset = workspace.row_offset;
+  row_offset.assign(n, 0);
+  std::size_t cells = 0;
   for (std::size_t i = 0; i < n; ++i) {
+    row_offset[i] = cells;
     if (window.row_empty(i)) continue;
-    const std::size_t width = window.hi(i) - window.lo(i) + 1;
-    dp[i].assign(width, kInf);
-    parent[i].assign(width, Move::kNone);
+    cells += window.hi(i) - window.lo(i) + 1;
   }
+  std::vector<double>& dp = workspace.dp;
+  std::vector<unsigned char>& parent = workspace.parent;
+  dp.assign(cells, kInf);
+  parent.assign(cells, static_cast<unsigned char>(Move::kNone));
 
   auto cell = [&](std::size_t i, std::size_t j) -> double {
     if (window.row_empty(i)) return kInf;
     if (j < window.lo(i) || j > window.hi(i)) return kInf;
-    return dp[i][j - window.lo(i)];
+    return dp[row_offset[i] + (j - window.lo(i))];
   };
 
   for (std::size_t i = 0; i < n; ++i) {
@@ -195,8 +236,9 @@ DtwResult dtw_windowed(std::span<const double> x, std::span<const double> y,
         }
         if (!std::isfinite(best)) continue;  // unreachable cell
       }
-      dp[i][j - window.lo(i)] = c + best;
-      parent[i][j - window.lo(i)] = move;
+      dp[row_offset[i] + (j - window.lo(i))] = c + best;
+      parent[row_offset[i] + (j - window.lo(i))] =
+          static_cast<unsigned char>(move);
     }
   }
 
@@ -205,13 +247,14 @@ DtwResult dtw_windowed(std::span<const double> x, std::span<const double> y,
     throw InvalidArgument("DTW window admits no monotone warp path");
   }
 
-  DtwResult result;
-  result.distance = total;
+  out.distance = total;
+  out.path.clear();
   std::size_t i = n - 1;
   std::size_t j = m - 1;
   for (;;) {
-    result.path.push_back({i, j});
-    const Move move = parent[i][j - window.lo(i)];
+    out.path.push_back({i, j});
+    const Move move =
+        static_cast<Move>(parent[row_offset[i] + (j - window.lo(i))]);
     if (move == Move::kNone) break;
     switch (move) {
       case Move::kDiag:
@@ -228,21 +271,18 @@ DtwResult dtw_windowed(std::span<const double> x, std::span<const double> y,
         break;
     }
   }
-  std::reverse(result.path.begin(), result.path.end());
-  VP_ENSURE((result.path.front() == WarpStep{0, 0}));
-  return result;
+  std::reverse(out.path.begin(), out.path.end());
+  VP_ENSURE((out.path.front() == WarpStep{0, 0}));
 }
 
-DtwResult dtw_banded(std::span<const double> x, std::span<const double> y,
-                     std::size_t band, LocalCost cost) {
-  VP_REQUIRE(!x.empty() && !y.empty());
-  const std::size_t n = x.size();
-  const std::size_t m = y.size();
-  SearchWindow window(n, m);
-  // Sakoe–Chiba band around the rescaled diagonal. When the lengths differ
-  // by more than the band, consecutive rows' bands would not overlap, so
-  // each row additionally covers the diagonal staircase to the next row's
-  // centre — guaranteeing a monotone path for any size ratio.
+namespace {
+
+// Builds the Sakoe–Chiba band window of dtw_banded into `window`. When the
+// lengths differ by more than the band, consecutive rows' bands would not
+// overlap, so each row additionally covers the diagonal staircase to the
+// next row's centre — guaranteeing a monotone path for any size ratio.
+void banded_window(std::size_t n, std::size_t m, std::size_t band,
+                   SearchWindow& window) {
   auto centre_of = [&](std::size_t i) -> std::size_t {
     if (n == 1) return m - 1;
     return static_cast<std::size_t>(
@@ -258,7 +298,25 @@ DtwResult dtw_banded(std::span<const double> x, std::span<const double> y,
     const std::size_t next = centre_of(std::min(i + 1, n - 1));
     window.include_range(i, std::min(centre, next), std::max(centre, next));
   }
+}
+
+}  // namespace
+
+DtwResult dtw_banded(std::span<const double> x, std::span<const double> y,
+                     std::size_t band, LocalCost cost) {
+  VP_REQUIRE(!x.empty() && !y.empty());
+  SearchWindow window(x.size(), y.size());
+  banded_window(x.size(), y.size(), band, window);
   return dtw_windowed(x, y, window, cost);
+}
+
+void dtw_banded(std::span<const double> x, std::span<const double> y,
+                std::size_t band, LocalCost cost, DtwWorkspace& workspace,
+                DtwResult& out) {
+  VP_REQUIRE(!x.empty() && !y.empty());
+  workspace.window_a.reset(x.size(), y.size());
+  banded_window(x.size(), y.size(), band, workspace.window_a);
+  dtw_windowed(x, y, workspace.window_a, cost, workspace, out);
 }
 
 bool is_valid_warp_path(std::span<const WarpStep> path, std::size_t n,

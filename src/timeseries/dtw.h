@@ -44,6 +44,10 @@ class SearchWindow {
   // The full matrix (plain DTW's window).
   static SearchWindow full(std::size_t rows, std::size_t cols);
 
+  // Re-dimensions the window to rows×cols with every band empty, reusing
+  // the existing storage (no allocation once capacity is established).
+  void reset(std::size_t rows, std::size_t cols);
+
   std::size_t rows() const { return lo_.size(); }
   std::size_t cols() const { return cols_; }
 
@@ -69,6 +73,47 @@ class SearchWindow {
   std::vector<bool> set_;
 };
 
+// Reusable scratch for the whole DTW family (plain, windowed, banded,
+// distance-only, and FastDTW). The pairwise comparison sweep calls DTW
+// thousands of times per detection round; with a workspace the cost
+// matrix, parent moves, search windows, warp paths and FastDTW's
+// coarsening pyramid are allocated once per worker and grow to the
+// high-water mark instead of being reallocated per pair.
+//
+// Ownership rules: a workspace is owned by exactly one thread at a time
+// (one workspace per pool worker); the workspace-taking entry points below
+// may use any buffer in it, so never share one workspace between
+// concurrently running calls. Every buffer is fully (re)initialised by the
+// call that uses it, so results are bit-identical to the workspace-free
+// entry points — those are thin wrappers that run on a fresh workspace.
+//
+// The members are internal scratch for the functions of this header and
+// fast_dtw.h; treat them as opaque.
+struct DtwWorkspace {
+  DtwWorkspace() = default;
+  DtwWorkspace(const DtwWorkspace&) = delete;
+  DtwWorkspace& operator=(const DtwWorkspace&) = delete;
+  DtwWorkspace(DtwWorkspace&&) = default;
+  DtwWorkspace& operator=(DtwWorkspace&&) = default;
+
+  // dtw_distance rolling rows.
+  std::vector<double> prev, curr;
+  // dtw_windowed row-sliced DP storage, flattened over the window cells.
+  std::vector<double> dp;
+  std::vector<unsigned char> parent;
+  std::vector<std::size_t> row_offset;
+  // FastDTW coarsening pyramid (level k holds the series coarsened k+1
+  // times); the outer vectors only ever grow so inner capacity survives.
+  std::vector<std::vector<double>> pyramid_x, pyramid_y;
+  // FastDTW per-level scratch: previous level's path and the two search
+  // windows (projection+expansion, band intersection).
+  std::vector<WarpStep> coarse_path;
+  SearchWindow window_a{1, 1}, window_b{1, 1};
+  // expand_window projection bands (per fine row, before radius growth).
+  std::vector<std::size_t> proj_lo, proj_hi;
+  std::vector<unsigned char> proj_set;
+};
+
 // Full DTW with path recovery. Requires both series non-empty.
 DtwResult dtw(std::span<const double> x, std::span<const double> y,
               LocalCost cost = LocalCost::kSquared);
@@ -87,6 +132,20 @@ DtwResult dtw_windowed(std::span<const double> x, std::span<const double> y,
 // DTW constrained to a Sakoe–Chiba band of the given half-width.
 DtwResult dtw_banded(std::span<const double> x, std::span<const double> y,
                      std::size_t band, LocalCost cost = LocalCost::kSquared);
+
+// Workspace-reusing variants. Results (distance and path) are bit-identical
+// to the wrappers above; `out` is cleared and refilled, reusing its path
+// capacity across calls.
+void dtw(std::span<const double> x, std::span<const double> y, LocalCost cost,
+         DtwWorkspace& workspace, DtwResult& out);
+double dtw_distance(std::span<const double> x, std::span<const double> y,
+                    LocalCost cost, DtwWorkspace& workspace);
+void dtw_windowed(std::span<const double> x, std::span<const double> y,
+                  const SearchWindow& window, LocalCost cost,
+                  DtwWorkspace& workspace, DtwResult& out);
+void dtw_banded(std::span<const double> x, std::span<const double> y,
+                std::size_t band, LocalCost cost, DtwWorkspace& workspace,
+                DtwResult& out);
 
 // True if `path` satisfies the boundary, monotonicity and continuity
 // constraints of Eq. 5 for series of the given lengths.

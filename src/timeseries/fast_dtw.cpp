@@ -8,30 +8,72 @@
 namespace vp::ts {
 
 std::vector<double> coarsen_by_two(std::span<const double> x) {
-  VP_REQUIRE(!x.empty());
   std::vector<double> out;
+  coarsen_by_two(x, out);
+  return out;
+}
+
+void coarsen_by_two(std::span<const double> x, std::vector<double>& out) {
+  VP_REQUIRE(!x.empty());
+  out.clear();
   out.reserve((x.size() + 1) / 2);
   std::size_t i = 0;
   for (; i + 1 < x.size(); i += 2) out.push_back(0.5 * (x[i] + x[i + 1]));
   if (i < x.size()) out.push_back(x[i]);
-  return out;
 }
 
 SearchWindow expand_window(std::span<const WarpStep> coarse_path,
                            std::size_t fine_n, std::size_t fine_m,
                            std::size_t radius) {
+  DtwWorkspace workspace;
+  return expand_window(coarse_path, fine_n, fine_m, radius, workspace);
+}
+
+const SearchWindow& expand_window(std::span<const WarpStep> coarse_path,
+                                  std::size_t fine_n, std::size_t fine_m,
+                                  std::size_t radius,
+                                  DtwWorkspace& workspace) {
   VP_REQUIRE(!coarse_path.empty());
-  SearchWindow window(fine_n, fine_m);
+  // First merge the projected path into per-row bands (the pre-expansion
+  // coverage), then grow every band by `radius` in both directions. This
+  // produces exactly SearchWindow::expand's result without an intermediate
+  // window allocation.
+  std::vector<std::size_t>& proj_lo = workspace.proj_lo;
+  std::vector<std::size_t>& proj_hi = workspace.proj_hi;
+  std::vector<unsigned char>& proj_set = workspace.proj_set;
+  proj_lo.assign(fine_n, 0);
+  proj_hi.assign(fine_n, 0);
+  proj_set.assign(fine_n, 0);
+  auto cover = [&](std::size_t r, std::size_t c0, std::size_t c1) {
+    if (!proj_set[r]) {
+      proj_lo[r] = c0;
+      proj_hi[r] = c1;
+      proj_set[r] = 1;
+    } else {
+      proj_lo[r] = std::min(proj_lo[r], c0);
+      proj_hi[r] = std::max(proj_hi[r], c1);
+    }
+  };
   for (const WarpStep& step : coarse_path) {
     // Each coarse cell (i,j) covers fine rows {2i, 2i+1} × cols {2j, 2j+1}.
     const std::size_t r0 = std::min(2 * step.i, fine_n - 1);
     const std::size_t r1 = std::min(2 * step.i + 1, fine_n - 1);
     const std::size_t c0 = std::min(2 * step.j, fine_m - 1);
     const std::size_t c1 = std::min(2 * step.j + 1, fine_m - 1);
-    window.include_range(r0, c0, c1);
-    window.include_range(r1, c0, c1);
+    cover(r0, c0, c1);
+    cover(r1, c0, c1);
   }
-  window.expand(radius);
+
+  SearchWindow& window = workspace.window_a;
+  window.reset(fine_n, fine_m);
+  for (std::size_t i = 0; i < fine_n; ++i) {
+    if (!proj_set[i]) continue;
+    const std::size_t r0 = i >= radius ? i - radius : 0;
+    const std::size_t r1 = std::min(i + radius, fine_n - 1);
+    const std::size_t c0 = proj_lo[i] >= radius ? proj_lo[i] - radius : 0;
+    const std::size_t c1 = std::min(proj_hi[i] + radius, fine_m - 1);
+    for (std::size_t r = r0; r <= r1; ++r) window.include_range(r, c0, c1);
+  }
   // The projection of a valid coarse path always covers the corners; the
   // radius expansion can only widen that.
   window.include(0, 0);
@@ -39,10 +81,15 @@ SearchWindow expand_window(std::span<const WarpStep> coarse_path,
   return window;
 }
 
-SearchWindow constrain_to_band(const SearchWindow& window, std::size_t band) {
+namespace {
+
+// constrain_to_band writing into `out` (reset in place, no allocation once
+// capacity exists).
+void constrain_to_band_into(const SearchWindow& window, std::size_t band,
+                            SearchWindow& out) {
   const std::size_t n = window.rows();
   const std::size_t m = window.cols();
-  SearchWindow out(n, m);
+  out.reset(n, m);
   auto diagonal = [&](std::size_t i) -> std::size_t {
     if (n == 1) return m - 1;
     return static_cast<std::size_t>(
@@ -64,42 +111,94 @@ SearchWindow constrain_to_band(const SearchWindow& window, std::size_t band) {
     const std::size_t c_next = diagonal(std::min(i + 1, n - 1));
     out.include_range(i, std::min(c, c_next), std::max(c, c_next));
   }
-  return out;
-}
-
-namespace {
-
-DtwResult fast_dtw_impl(std::span<const double> x, std::span<const double> y,
-                        const FastDtwOptions& options, std::size_t band) {
-  // Below this size a full DTW is cheaper than recursing.
-  const std::size_t min_size = options.radius + 2;
-  if (x.size() <= min_size || y.size() <= min_size) {
-    if (options.band == 0) return dtw(x, y, options.cost);
-    const SearchWindow window = constrain_to_band(
-        SearchWindow::full(x.size(), y.size()), std::max<std::size_t>(band, 1));
-    return dtw_windowed(x, y, window, options.cost);
-  }
-  const std::vector<double> coarse_x = coarsen_by_two(x);
-  const std::vector<double> coarse_y = coarsen_by_two(y);
-  const DtwResult coarse =
-      fast_dtw_impl(coarse_x, coarse_y, options,
-                    std::max<std::size_t>(band / 2, 1));
-  SearchWindow window =
-      expand_window(coarse.path, x.size(), y.size(), options.radius);
-  if (options.band > 0) {
-    window = constrain_to_band(window, std::max<std::size_t>(band, 1));
-    window.include(0, 0);
-    window.include(x.size() - 1, y.size() - 1);
-  }
-  return dtw_windowed(x, y, window, options.cost);
 }
 
 }  // namespace
 
+SearchWindow constrain_to_band(const SearchWindow& window, std::size_t band) {
+  SearchWindow out(window.rows(), window.cols());
+  constrain_to_band_into(window, band, out);
+  return out;
+}
+
+void fast_dtw(std::span<const double> x, std::span<const double> y,
+              const FastDtwOptions& options, DtwWorkspace& workspace,
+              DtwResult& out) {
+  VP_REQUIRE(!x.empty() && !y.empty());
+  // Below this size a full DTW is cheaper than recursing.
+  const std::size_t min_size = options.radius + 2;
+
+  // The recursive formulation ("coarsen, solve, project, refine") is run
+  // iteratively here: first build the coarsening pyramid into the
+  // workspace, then solve the coarsest level, then refine back up. Level 0
+  // is the input itself; pyramid[k-1] holds the series coarsened k times.
+  std::size_t levels = 0;
+  std::span<const double> cx = x;
+  std::span<const double> cy = y;
+  while (cx.size() > min_size && cy.size() > min_size) {
+    if (workspace.pyramid_x.size() <= levels) {
+      workspace.pyramid_x.emplace_back();
+      workspace.pyramid_y.emplace_back();
+    }
+    coarsen_by_two(cx, workspace.pyramid_x[levels]);
+    coarsen_by_two(cy, workspace.pyramid_y[levels]);
+    cx = workspace.pyramid_x[levels];
+    cy = workspace.pyramid_y[levels];
+    ++levels;
+  }
+
+  // The global Sakoe–Chiba half-width at each level: halved per coarsening
+  // step with a floor of one cell (as the recursion passes max(band/2, 1)
+  // downward).
+  auto band_at = [&](std::size_t level) -> std::size_t {
+    if (level == 0) return options.band;
+    return std::max<std::size_t>(options.band >> level, 1);
+  };
+
+  // Solve the coarsest level exactly.
+  if (options.band == 0) {
+    dtw(cx, cy, options.cost, workspace, out);
+  } else {
+    workspace.window_a.reset(cx.size(), cy.size());
+    for (std::size_t i = 0; i < cx.size(); ++i) {
+      workspace.window_a.include_range(i, 0, cy.size() - 1);
+    }
+    constrain_to_band_into(workspace.window_a,
+                           std::max<std::size_t>(band_at(levels), 1),
+                           workspace.window_b);
+    dtw_windowed(cx, cy, workspace.window_b, options.cost, workspace, out);
+  }
+
+  // Refine: project each level's path onto the next finer level, expand by
+  // the radius, optionally re-apply the band, and solve inside the window.
+  for (std::size_t level = levels; level-- > 0;) {
+    const std::span<const double> fx =
+        level == 0 ? x : std::span<const double>(workspace.pyramid_x[level - 1]);
+    const std::span<const double> fy =
+        level == 0 ? y : std::span<const double>(workspace.pyramid_y[level - 1]);
+    workspace.coarse_path.assign(out.path.begin(), out.path.end());
+    const SearchWindow& expanded = expand_window(
+        workspace.coarse_path, fx.size(), fy.size(), options.radius,
+        workspace);
+    const SearchWindow* window = &expanded;
+    if (options.band > 0) {
+      constrain_to_band_into(expanded,
+                             std::max<std::size_t>(band_at(level), 1),
+                             workspace.window_b);
+      workspace.window_b.include(0, 0);
+      workspace.window_b.include(fx.size() - 1, fy.size() - 1);
+      window = &workspace.window_b;
+    }
+    dtw_windowed(fx, fy, *window, options.cost, workspace, out);
+  }
+}
+
 DtwResult fast_dtw(std::span<const double> x, std::span<const double> y,
                    const FastDtwOptions& options) {
-  VP_REQUIRE(!x.empty() && !y.empty());
-  return fast_dtw_impl(x, y, options, options.band);
+  DtwWorkspace workspace;
+  DtwResult out;
+  fast_dtw(x, y, options, workspace, out);
+  return out;
 }
 
 }  // namespace vp::ts

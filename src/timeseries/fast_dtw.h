@@ -32,15 +32,32 @@ struct FastDtwOptions {
 DtwResult fast_dtw(std::span<const double> x, std::span<const double> y,
                    const FastDtwOptions& options = {});
 
+// Workspace-reusing variant: the coarsening pyramid, per-level search
+// windows and DP storage all live in `workspace` and are recycled across
+// calls (see DtwWorkspace's ownership rules). Results are bit-identical to
+// fast_dtw above, which wraps this with a per-call workspace.
+void fast_dtw(std::span<const double> x, std::span<const double> y,
+              const FastDtwOptions& options, DtwWorkspace& workspace,
+              DtwResult& out);
+
 // Coarsens a series by averaging adjacent pairs; an odd trailing element is
 // kept as-is. Exposed for tests.
 std::vector<double> coarsen_by_two(std::span<const double> x);
+
+// In-place variant reusing `out`'s capacity. `out` must not alias `x`.
+void coarsen_by_two(std::span<const double> x, std::vector<double>& out);
 
 // Projects a coarse warp path onto series of the given (finer) lengths and
 // expands it by `radius`. Exposed for tests.
 SearchWindow expand_window(std::span<const WarpStep> coarse_path,
                            std::size_t fine_n, std::size_t fine_m,
                            std::size_t radius);
+
+// Workspace variant; the returned window lives in (and is invalidated by
+// the next use of) `workspace`.
+const SearchWindow& expand_window(std::span<const WarpStep> coarse_path,
+                                  std::size_t fine_n, std::size_t fine_m,
+                                  std::size_t radius, DtwWorkspace& workspace);
 
 // Intersects `window` with a Sakoe–Chiba band of the given half-width,
 // always keeping the diagonal staircase so a monotone path exists.

@@ -1,0 +1,205 @@
+// The parallel comparison engine's two core guarantees (ISSUE 1):
+//   1. compare_series is bit-identical for every thread count — the (i,j)
+//      pairs are enumerated up front and written into fixed slots, so
+//      Eq. 8's min–max normalisation sees the same ordered distance set;
+//   2. a reused ts::DtwWorkspace gives exactly the same results as fresh
+//      per-call allocations, across interleaved series lengths.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/comparison.h"
+#include "core/detector.h"
+#include "sim/runner.h"
+#include "sim/world.h"
+#include "timeseries/dtw.h"
+#include "timeseries/fast_dtw.h"
+#include "timeseries/series.h"
+
+namespace vp::core {
+namespace {
+
+// A 50-identity observation window: 10 radios, five identities each, all
+// identities of one radio riding the same shadowing trajectory (the Sybil
+// signature) with independent packet loss and measurement noise.
+std::vector<NamedSeries> fifty_identity_window() {
+  Rng rng(42);
+  std::vector<NamedSeries> series;
+  const std::size_t slots = 120;  // 12 s at 10 Hz
+  for (int radio = 0; radio < 10; ++radio) {
+    std::vector<double> shadow(slots);
+    double s = 0.0;
+    for (std::size_t i = 0; i < slots; ++i) {
+      s = 0.9 * s + rng.normal(0.0, 1.5);
+      shadow[i] = -70.0 - radio + s;
+    }
+    for (int ident = 0; ident < 5; ++ident) {
+      Rng local(static_cast<std::uint64_t>(radio * 100 + ident));
+      ts::Series out;
+      for (std::size_t i = 0; i < slots; ++i) {
+        if (local.chance(0.2)) continue;  // lost beacon
+        out.add(static_cast<double>(i) * 0.1 + 0.002 * ident,
+                shadow[i] + local.normal(0.0, 0.5));
+      }
+      series.emplace_back(static_cast<IdentityId>(radio * 100 + ident),
+                          std::move(out));
+    }
+  }
+  return series;
+}
+
+void expect_identical(const std::vector<PairDistance>& a,
+                      const std::vector<PairDistance>& b,
+                      std::size_t threads) {
+  ASSERT_EQ(a.size(), b.size()) << "threads=" << threads;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].a, b[k].a) << "threads=" << threads << " k=" << k;
+    EXPECT_EQ(a[k].b, b[k].b) << "threads=" << threads << " k=" << k;
+    EXPECT_EQ(a[k].comparable, b[k].comparable)
+        << "threads=" << threads << " k=" << k;
+    // Bit-identical, not approximately equal: the parallel sweep must not
+    // change a single ulp anywhere downstream.
+    EXPECT_EQ(a[k].raw, b[k].raw) << "threads=" << threads << " k=" << k;
+    EXPECT_EQ(a[k].normalized, b[k].normalized)
+        << "threads=" << threads << " k=" << k;
+  }
+}
+
+TEST(ParallelComparison, BitIdenticalAcrossThreadCounts) {
+  const std::vector<NamedSeries> series = fifty_identity_window();
+  ComparisonOptions options;
+  options.threads = 1;
+  const std::vector<PairDistance> serial = compare_series(series, options);
+  ASSERT_EQ(serial.size(), 50u * 49u / 2u);
+
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8},
+                              std::size_t{0} /* 0 = all hardware threads */}) {
+    options.threads = threads;
+    expect_identical(serial, compare_series(series, options), threads);
+  }
+}
+
+TEST(ParallelComparison, BitIdenticalForExactDtwToo) {
+  const std::vector<NamedSeries> series = fifty_identity_window();
+  ComparisonOptions options;
+  options.distance = DistanceKind::kExactDtw;
+  options.threads = 1;
+  const std::vector<PairDistance> serial = compare_series(series, options);
+  options.threads = 8;
+  expect_identical(serial, compare_series(series, options), 8);
+}
+
+TEST(ParallelComparison, EvaluateHarnessIdenticalAcrossThreads) {
+  sim::ScenarioConfig config;
+  config.density_per_km = 10.0;
+  config.sim_time_s = 45.0;
+  config.seed = 63;
+  sim::World world(config);
+  world.run();
+
+  auto run = [&](std::size_t harness_threads, std::size_t sweep_threads) {
+    VoiceprintDetector detector(tuned_simulation_options(sweep_threads));
+    sim::EvaluationOptions options{.max_observers = 6};
+    options.threads = harness_threads;
+    return sim::evaluate(world, detector, options);
+  };
+  const sim::EvaluationResult serial = run(1, 1);
+  const sim::EvaluationResult parallel = run(4, 4);
+  EXPECT_EQ(serial.average_dr, parallel.average_dr);
+  EXPECT_EQ(serial.average_fpr, parallel.average_fpr);
+  EXPECT_EQ(serial.windows_evaluated, parallel.windows_evaluated);
+  EXPECT_EQ(serial.average_estimated_density,
+            parallel.average_estimated_density);
+  EXPECT_EQ(serial.average_neighbors, parallel.average_neighbors);
+}
+
+std::vector<double> noisy_series(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  double shadow = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    shadow = 0.9 * shadow + rng.normal(0.0, 1.5);
+    out[i] = -75.0 + shadow + rng.normal(0.0, 1.0);
+  }
+  return out;
+}
+
+TEST(DtwWorkspace, ReusedWorkspaceMatchesFreshCalls) {
+  // Two consecutive calls with very different lengths through ONE workspace
+  // must equal fresh per-call results: every buffer is re-dimensioned, no
+  // state leaks between calls.
+  ts::DtwWorkspace workspace;
+  ts::DtwResult reused;
+  const std::vector<std::pair<std::size_t, std::size_t>> shapes = {
+      {200, 190}, {37, 53}, {160, 40}, {8, 8}, {200, 200}};
+  for (const ts::FastDtwOptions options :
+       {ts::FastDtwOptions{.radius = 1, .band = 0},
+        ts::FastDtwOptions{.radius = 1, .band = 2},
+        ts::FastDtwOptions{.radius = 2, .band = 5}}) {
+    for (const auto& [n, m] : shapes) {
+      const std::vector<double> x = noisy_series(n, n * 31 + m);
+      const std::vector<double> y = noisy_series(m, n * 17 + m + 1);
+      const ts::DtwResult fresh = ts::fast_dtw(x, y, options);
+      ts::fast_dtw(x, y, options, workspace, reused);
+      EXPECT_EQ(fresh.distance, reused.distance) << n << "x" << m;
+      EXPECT_EQ(fresh.path, reused.path) << n << "x" << m;
+    }
+  }
+}
+
+TEST(DtwWorkspace, ExactBandedAndDistanceVariantsMatch) {
+  ts::DtwWorkspace workspace;
+  ts::DtwResult reused;
+  const std::vector<std::pair<std::size_t, std::size_t>> shapes = {
+      {50, 64}, {64, 50}, {7, 90}};
+  for (const auto& [n, m] : shapes) {
+    const std::vector<double> x = noisy_series(n, 1000 + n);
+    const std::vector<double> y = noisy_series(m, 2000 + m);
+
+    const ts::DtwResult plain = ts::dtw(x, y);
+    ts::dtw(x, y, ts::LocalCost::kSquared, workspace, reused);
+    EXPECT_EQ(plain.distance, reused.distance);
+    EXPECT_EQ(plain.path, reused.path);
+
+    const ts::DtwResult banded = ts::dtw_banded(x, y, 4);
+    ts::dtw_banded(x, y, 4, ts::LocalCost::kSquared, workspace, reused);
+    EXPECT_EQ(banded.distance, reused.distance);
+    EXPECT_EQ(banded.path, reused.path);
+
+    EXPECT_EQ(ts::dtw_distance(x, y),
+              ts::dtw_distance(x, y, ts::LocalCost::kSquared, workspace));
+  }
+}
+
+TEST(DtwWorkspace, CoarsenAndExpandVariantsMatch) {
+  ts::DtwWorkspace workspace;
+  std::vector<double> reused;
+  for (std::size_t n : {std::size_t{2}, std::size_t{9}, std::size_t{200}}) {
+    const std::vector<double> x = noisy_series(n, 7 * n);
+    ts::coarsen_by_two(x, reused);
+    EXPECT_EQ(ts::coarsen_by_two(x), reused) << n;
+  }
+
+  const std::vector<double> x = noisy_series(60, 5);
+  const std::vector<double> y = noisy_series(55, 6);
+  const ts::DtwResult coarse = ts::dtw(x, y);
+  for (std::size_t radius : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+    const ts::SearchWindow fresh =
+        ts::expand_window(coarse.path, 120, 110, radius);
+    const ts::SearchWindow& reused_window =
+        ts::expand_window(coarse.path, 120, 110, radius, workspace);
+    ASSERT_EQ(fresh.rows(), reused_window.rows());
+    ASSERT_EQ(fresh.cols(), reused_window.cols());
+    for (std::size_t i = 0; i < fresh.rows(); ++i) {
+      ASSERT_EQ(fresh.row_empty(i), reused_window.row_empty(i)) << i;
+      if (fresh.row_empty(i)) continue;
+      EXPECT_EQ(fresh.lo(i), reused_window.lo(i)) << i;
+      EXPECT_EQ(fresh.hi(i), reused_window.hi(i)) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vp::core
