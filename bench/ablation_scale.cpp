@@ -10,17 +10,19 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "core/detector.h"
+#include "obs/report.h"
 #include "sim/runner.h"
 #include "sim/world.h"
 
 int main(int argc, char** argv) {
   using namespace vp;
   const CliArgs args(argc, argv);
+  const RunFlags run_flags = parse_run_flags(args);
+  obs::RunSession session(args.program_name(), run_flags.metrics_out,
+                          run_flags.trace_out);
   const double density = args.get_double("density", 30.0);
   const std::uint64_t seed = args.get_seed("seed", 2208);
-  // Worker threads for the pairwise sweep and window cutting (0 = all
-  // hardware threads). Results are bit-identical for every value.
-  const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
+  const std::size_t threads = run_flags.threads;
 
   std::cout << "Ablation A8 — attack scale (density " << density
             << " vhls/km)\n\n";

@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "core/detector.h"
+#include "obs/report.h"
 #include "sim/runner.h"
 #include "sim/world.h"
 
@@ -103,6 +104,9 @@ void run_panel(bool model_change, const std::vector<double>& densities,
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  const RunFlags run_flags = parse_run_flags(args);
+  obs::RunSession session(args.program_name(), run_flags.metrics_out,
+                          run_flags.trace_out);
   const std::vector<double> densities =
       parse_densities(args.get("densities", "10,25,40,55,70,85,100"));
   const auto runs = static_cast<std::size_t>(args.get_int("runs", 1));
@@ -110,9 +114,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("observers", 8));
   const std::uint64_t seed = args.get_seed("seed", 1101);
   const std::string mode = args.get("model-change", "both");
-  // Worker threads for the pairwise sweep and window cutting (0 = all
-  // hardware threads). Results are bit-identical for every value.
-  const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
+  const std::size_t threads = run_flags.threads;
 
   {
     sim::ScenarioConfig defaults;

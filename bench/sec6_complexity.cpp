@@ -7,19 +7,31 @@
 // workspace-reusing vs per-call-allocating FastDTW, and the full
 // Algorithm-1 pipeline (serial vs parallel sweep) for various neighbour
 // counts. After the google-benchmark run, main() sweeps neighbour counts
-// {10, 20, 40, 80, 160} with a wall-clock timer and writes
-// BENCH_comparison.json (ns per confirmation round, serial and parallel).
+// {10, 20, 40, 80, 160} and writes BENCH_comparison.json (ns per
+// confirmation round, serial and parallel). The sweep's timings flow
+// through the observability registry's histograms (obs::ScopedTimer into
+// obs::Histogram), so the numbers in BENCH_comparison.json come from the
+// exact same aggregation code as a runtime --metrics-out report and the
+// two can never drift apart. Supports --metrics-out/--trace-out like the
+// experiment binaries (flags are split off before google-benchmark parses
+// the rest).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/cli.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/comparison.h"
 #include "core/detector.h"
+#include "obs/report.h"
+#include "obs/runtime.h"
+#include "obs/timer.h"
 #include "timeseries/dtw.h"
 #include "timeseries/fast_dtw.h"
 #include "timeseries/lp_distance.h"
@@ -136,25 +148,27 @@ BENCHMARK(BM_FullDetection)
     ->ArgNames({"neighbors", "threads"})
     ->Complexity();
 
-// Wall-clock sweep behind BENCH_comparison.json: ns per confirmation round
-// (one detect_series call over N neighbours), serial vs parallel.
-double ns_per_round(core::VoiceprintDetector& detector,
-                    const std::vector<core::NamedSeries>& series) {
-  using clock = std::chrono::steady_clock;
+// Wall-clock sweep behind BENCH_comparison.json: every confirmation round
+// (one detect_series call over N neighbours) is timed by obs::ScopedTimer
+// into an obs::Histogram from the shared registry — the same aggregation
+// code a --metrics-out run report uses, so bench numbers and runtime
+// metrics are produced by one implementation.
+vp::obs::Histogram& measure_rounds(const std::string& name,
+                                   core::VoiceprintDetector& detector,
+                                   const std::vector<core::NamedSeries>& series) {
+  obs::Histogram& hist = obs::registry().histogram(name);
+  hist.reset();  // this sweep only (the binary may be re-run in-process)
   benchmark::DoNotOptimize(detector.detect_series(series, 50.0));  // warm-up
+  std::uint64_t total_ns = 0;
   std::size_t rounds = 0;
-  const clock::time_point start = clock::now();
-  clock::time_point now = start;
   // At least 3 rounds and at least 200 ms, so short configs are not noise.
-  while (rounds < 3 || now - start < std::chrono::milliseconds(200)) {
+  while (rounds < 3 || total_ns < 200'000'000ULL) {
+    obs::ScopedTimer timer(&hist);
     benchmark::DoNotOptimize(detector.detect_series(series, 50.0));
+    total_ns += timer.stop();
     ++rounds;
-    now = clock::now();
   }
-  return static_cast<double>(
-             std::chrono::duration_cast<std::chrono::nanoseconds>(now - start)
-                 .count()) /
-         static_cast<double>(rounds);
+  return hist;
 }
 
 void write_bench_json(const char* path) {
@@ -163,53 +177,101 @@ void write_bench_json(const char* path) {
   // real pool dispatch (4 workers oversubscribed), so speedup ≈ 1 there.
   const std::size_t parallel_threads = std::max<std::size_t>(
       vp::hardware_threads(), 4);
-  std::FILE* out = std::fopen(path, "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot open %s for writing\n", path);
-    return;
-  }
-  std::fprintf(out,
-               "{\n  \"benchmark\": \"confirmation round (Algorithm 1, "
-               "200-sample series)\",\n  \"hardware_threads\": %zu,\n"
-               "  \"parallel_threads\": %zu,\n  \"rounds\": [",
-               vp::hardware_threads(), parallel_threads);
-  bool first = true;
+  obs::json::Object doc;
+  doc.emplace("benchmark", obs::json::Value(
+                               "confirmation round (Algorithm 1, 200-sample "
+                               "series)"));
+  doc.emplace("hardware_threads", obs::json::Value(vp::hardware_threads()));
+  doc.emplace("parallel_threads", obs::json::Value(parallel_threads));
+  obs::json::Array rounds;
   for (std::size_t neighbors : {10u, 20u, 40u, 80u, 160u}) {
     const std::vector<core::NamedSeries> series = neighbor_series(neighbors);
+    const std::string base = "bench.round_ns.n" + std::to_string(neighbors);
 
     core::VoiceprintOptions serial_options;
     serial_options.comparison.threads = 1;
     core::VoiceprintDetector serial(serial_options);
-    const double serial_ns = ns_per_round(serial, series);
+    const obs::HistogramSnapshot serial_stats =
+        measure_rounds(base + ".serial", serial, series).snapshot();
 
     core::VoiceprintOptions parallel_options;
     parallel_options.comparison.threads = parallel_threads;
     core::VoiceprintDetector parallel(parallel_options);
-    const double parallel_ns = ns_per_round(parallel, series);
+    const obs::HistogramSnapshot parallel_stats =
+        measure_rounds(base + ".parallel", parallel, series).snapshot();
 
-    std::fprintf(out,
-                 "%s\n    {\"neighbors\": %zu, \"pairs\": %zu, "
-                 "\"serial_ns_per_round\": %.0f, "
-                 "\"parallel_ns_per_round\": %.0f, \"speedup\": %.3f}",
-                 first ? "" : ",", neighbors, neighbors * (neighbors - 1) / 2,
-                 serial_ns, parallel_ns, serial_ns / parallel_ns);
+    obs::json::Object row;
+    row.emplace("neighbors", obs::json::Value(neighbors));
+    row.emplace("pairs", obs::json::Value(neighbors * (neighbors - 1) / 2));
+    row.emplace("serial_ns_per_round", obs::json::Value(serial_stats.mean));
+    row.emplace("serial_p50_ns", obs::json::Value(serial_stats.p50));
+    row.emplace("serial_p95_ns", obs::json::Value(serial_stats.p95));
+    row.emplace("parallel_ns_per_round",
+                obs::json::Value(parallel_stats.mean));
+    row.emplace("parallel_p50_ns", obs::json::Value(parallel_stats.p50));
+    row.emplace("parallel_p95_ns", obs::json::Value(parallel_stats.p95));
+    row.emplace("speedup",
+                obs::json::Value(serial_stats.mean / parallel_stats.mean));
+    rounds.push_back(obs::json::Value(std::move(row)));
     std::fprintf(stderr,
                  "BENCH neighbors=%zu serial=%.3f ms parallel=%.3f ms "
                  "speedup=%.2fx\n",
-                 neighbors, serial_ns * 1e-6, parallel_ns * 1e-6,
-                 serial_ns / parallel_ns);
-    first = false;
+                 neighbors, serial_stats.mean * 1e-6,
+                 parallel_stats.mean * 1e-6,
+                 serial_stats.mean / parallel_stats.mean);
   }
-  std::fprintf(out, "\n  ]\n}\n");
-  std::fclose(out);
+  doc.emplace("rounds", obs::json::Value(std::move(rounds)));
+
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  out << obs::json::Value(std::move(doc)).dump(2) << "\n";
   std::fprintf(stderr, "wrote %s\n", path);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Split the shared run flags off before google-benchmark parses the
+  // rest (it rejects flags it does not know).
+  std::vector<char*> bench_argv{argv[0]};
+  std::vector<const char*> run_argv{argv[0]};
+  const auto is_run_flag = [](std::string_view arg) {
+    for (const std::string_view name :
+         {"--threads", "--metrics-out", "--trace-out"}) {
+      if (arg == name) return true;
+      if (arg.size() > name.size() && arg.substr(0, name.size()) == name &&
+          arg[name.size()] == '=') {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (!is_run_flag(arg)) {
+      bench_argv.push_back(argv[i]);
+      continue;
+    }
+    run_argv.push_back(argv[i]);
+    // --name value form: the value token travels along.
+    if (arg.find('=') == std::string_view::npos && i + 1 < argc &&
+        std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      run_argv.push_back(argv[++i]);
+    }
+  }
+  const CliArgs run_args(static_cast<int>(run_argv.size()), run_argv.data());
+  const RunFlags run_flags = parse_run_flags(run_args);
+  obs::RunSession session(run_args.program_name(), run_flags.metrics_out,
+                          run_flags.trace_out);
+
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   write_bench_json("BENCH_comparison.json");

@@ -6,12 +6,17 @@
 // prints what it found vs ground truth.
 //
 //   ./build/examples/highway_sybil_sim --density 30 --seed 5
+//
+// Pass --metrics-out report.json and/or --trace-out trace.jsonl to get a
+// structured run report (per-phase latency percentiles, per-pair DTW
+// counters, thread-pool utilisation) and a JSONL span trace.
 #include <iostream>
 #include <set>
 
 #include "common/cli.h"
 #include "common/table.h"
 #include "core/detector.h"
+#include "obs/report.h"
 #include "sim/metrics.h"
 #include "sim/runner.h"
 #include "sim/world.h"
@@ -19,14 +24,15 @@
 int main(int argc, char** argv) {
   using namespace vp;
   const CliArgs args(argc, argv);
+  const RunFlags run_flags = parse_run_flags(args);
+  obs::RunSession session(args.program_name(), run_flags.metrics_out,
+                          run_flags.trace_out);
 
   sim::ScenarioConfig config;
   config.density_per_km = args.get_double("density", 30.0);
   config.seed = args.get_seed("seed", 5);
   config.sim_time_s = args.get_double("sim-time", 60.0);
-  // Worker threads for the pairwise sweep and window cutting (0 = all
-  // hardware threads). Results are bit-identical for every value.
-  const auto threads = static_cast<std::size_t>(args.get_int("threads", 1));
+  const std::size_t threads = run_flags.threads;
 
   std::cout << config.describe() << "\nrunning...\n";
   sim::World world(config);
@@ -75,5 +81,9 @@ int main(int argc, char** argv) {
             << Table::num(result.average_dr, 4)
             << "\nfleet average false positive rate : "
             << Table::num(result.average_fpr, 4) << "\n";
+
+  if (session.active()) {
+    session.set_extra(sim::evaluation_report_extra(result));
+  }
   return 0;
 }

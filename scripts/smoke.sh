@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# End-to-end smoke test: build (if needed), run the quickstart example,
+# run an instrumented highway simulation, and validate the emitted run
+# report + span trace with tools/check_run_report (which applies the same
+# voiceprint.run_report/v1 schema checks as the unit tests).
+#
+#   scripts/smoke.sh [build-dir]       # default build dir: ./build
+#
+# Wired into ctest as the `smoke` test (ctest passes its own binary dir).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+quickstart="$build_dir/examples/quickstart"
+highway="$build_dir/examples/highway_sybil_sim"
+checker="$build_dir/tools/check_run_report"
+
+if [[ ! -x "$quickstart" || ! -x "$highway" || ! -x "$checker" ]]; then
+  echo "smoke: binaries missing, building in $build_dir"
+  cmake -B "$build_dir" -S "$repo_root"
+  cmake --build "$build_dir" -j --target quickstart highway_sybil_sim \
+    check_run_report
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "smoke: quickstart"
+"$quickstart" > "$tmp/quickstart.out"
+grep -q "flagged as Sybil attack" "$tmp/quickstart.out" || {
+  echo "smoke: quickstart output missing detection summary"
+  cat "$tmp/quickstart.out"
+  exit 1
+}
+
+echo "smoke: instrumented highway_sybil_sim"
+"$highway" --density 12 --sim-time 20 \
+  --metrics-out "$tmp/report.json" --trace-out "$tmp/trace.jsonl" \
+  > "$tmp/highway.out"
+grep -q "fleet average detection rate" "$tmp/highway.out" || {
+  echo "smoke: highway_sybil_sim output missing fleet summary"
+  cat "$tmp/highway.out"
+  exit 1
+}
+
+echo "smoke: validating run report + trace"
+"$checker" "$tmp/report.json" --trace "$tmp/trace.jsonl"
+
+echo "smoke: OK"

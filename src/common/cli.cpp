@@ -84,6 +84,22 @@ std::uint64_t CliArgs::get_seed(const std::string& name,
   }
 }
 
+std::string CliArgs::program_name() const {
+  const auto slash = program_.find_last_of('/');
+  return slash == std::string::npos ? program_ : program_.substr(slash + 1);
+}
+
+RunFlags parse_run_flags(const CliArgs& args, std::size_t default_threads) {
+  RunFlags flags;
+  const std::int64_t threads =
+      args.get_int("threads", static_cast<std::int64_t>(default_threads));
+  if (threads < 0) throw InvalidArgument("--threads must be >= 0");
+  flags.threads = static_cast<std::size_t>(threads);
+  flags.metrics_out = args.get("metrics-out", "");
+  flags.trace_out = args.get("trace-out", "");
+  return flags;
+}
+
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;

@@ -29,9 +29,29 @@ class CliArgs {
   // Name of the binary (argv[0]).
   const std::string& program() const { return program_; }
 
+  // program() without its directory part, for report labelling.
+  std::string program_name() const;
+
  private:
   std::string program_;
   std::map<std::string, std::string> values_;
 };
+
+// Flags every experiment binary shares (parsed in one place so the
+// spellings and semantics cannot drift between binaries):
+//   --threads N       worker threads for the pairwise sweep and window
+//                     cutting; 0 = all hardware threads; results are
+//                     bit-identical for every value.
+//   --metrics-out P   write a voiceprint.run_report/v1 JSON document to P
+//                     when the binary exits.
+//   --trace-out P     stream JSONL span events to P during the run.
+// Empty paths mean "off" (the run stays uninstrumented).
+struct RunFlags {
+  std::size_t threads = 1;
+  std::string metrics_out;
+  std::string trace_out;
+};
+
+RunFlags parse_run_flags(const CliArgs& args, std::size_t default_threads = 1);
 
 }  // namespace vp

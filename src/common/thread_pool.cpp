@@ -1,8 +1,18 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace vp {
+
+namespace {
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+}  // namespace
 
 namespace {
 // True while the current thread is executing tasks for some parallel_for.
@@ -16,7 +26,8 @@ std::size_t hardware_threads() {
   return n == 0 ? 1 : static_cast<std::size_t>(n);
 }
 
-ThreadPool::ThreadPool(std::size_t workers) {
+ThreadPool::ThreadPool(std::size_t workers)
+    : stat_worker_busy_ns_(workers <= 1 ? 1 : workers) {
   const std::size_t background = workers <= 1 ? 0 : workers - 1;
   threads_.reserve(background);
   for (std::size_t i = 0; i < background; ++i) {
@@ -41,10 +52,13 @@ ThreadPool& ThreadPool::shared() {
 void ThreadPool::run_tasks(std::size_t worker_id) {
   const bool was_in_worker = tl_in_worker;
   tl_in_worker = true;
+  const auto busy_since = std::chrono::steady_clock::now();
+  std::uint64_t ran = 0;
   try {
     for (std::size_t i = next_.fetch_add(1); i < count_;
          i = next_.fetch_add(1)) {
       (*fn_)(worker_id, i);
+      ++ran;
     }
   } catch (...) {
     {
@@ -53,6 +67,9 @@ void ThreadPool::run_tasks(std::size_t worker_id) {
     }
     next_.store(count_);  // abandon the remaining indices
   }
+  stat_tasks_.fetch_add(ran, std::memory_order_relaxed);
+  stat_worker_busy_ns_[worker_id].fetch_add(elapsed_ns(busy_since),
+                                            std::memory_order_relaxed);
   tl_in_worker = was_in_worker;
 }
 
@@ -92,8 +109,12 @@ void ThreadPool::parallel_for(
     return;
   }
 
+  const auto submit_at = std::chrono::steady_clock::now();
   std::unique_lock<std::mutex> lock(mu_);
   job_done_.wait(lock, [&] { return !busy_; });
+  stat_submit_wait_ns_.fetch_add(elapsed_ns(submit_at),
+                                 std::memory_order_relaxed);
+  stat_jobs_.fetch_add(1, std::memory_order_relaxed);
   busy_ = true;
   fn_ = &fn;
   count_ = count;
@@ -118,6 +139,26 @@ void ThreadPool::parallel_for(
   lock.unlock();
   job_done_.notify_all();  // wake submitters queued on !busy_
   if (error) std::rethrow_exception(error);
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.workers = workers();
+  s.jobs = stat_jobs_.load(std::memory_order_relaxed);
+  s.tasks = stat_tasks_.load(std::memory_order_relaxed);
+  s.submit_wait_ns = stat_submit_wait_ns_.load(std::memory_order_relaxed);
+  s.worker_busy_ns.reserve(stat_worker_busy_ns_.size());
+  for (const auto& w : stat_worker_busy_ns_) {
+    s.worker_busy_ns.push_back(w.load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+void ThreadPool::reset_stats() {
+  stat_jobs_.store(0, std::memory_order_relaxed);
+  stat_tasks_.store(0, std::memory_order_relaxed);
+  stat_submit_wait_ns_.store(0, std::memory_order_relaxed);
+  for (auto& w : stat_worker_busy_ns_) w.store(0, std::memory_order_relaxed);
 }
 
 void parallel_for(std::size_t threads, std::size_t count,

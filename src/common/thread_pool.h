@@ -41,6 +41,21 @@ class ThreadPool {
   // plus the calling thread).
   std::size_t workers() const { return threads_.size() + 1; }
 
+  // Utilisation counters, accumulated since construction (or the last
+  // reset_stats). They cover pool-dispatched jobs only — the serial fast
+  // paths never touch the pool, and nested calls run inline on their
+  // worker — and cost two clock reads per participant per job, which is
+  // noise next to any real job. Read by the observability RunReport.
+  struct Stats {
+    std::size_t workers = 0;          // pool width (calling thread included)
+    std::uint64_t jobs = 0;           // parallel_for calls dispatched here
+    std::uint64_t tasks = 0;          // indices executed by pool jobs
+    std::uint64_t submit_wait_ns = 0; // submitters blocked on a busy pool
+    std::vector<std::uint64_t> worker_busy_ns;  // per participant id
+  };
+  Stats stats() const;
+  void reset_stats();
+
   // Runs fn(worker, index) for every index in [0, count) on up to
   // max_workers workers; the calling thread participates as worker 0.
   // Blocks until every index has run. The first exception thrown by fn is
@@ -75,6 +90,13 @@ class ThreadPool {
   std::atomic<std::size_t> next_{0};        // next index to claim
   std::atomic<std::size_t> worker_ids_{0};  // next participant id to hand out
   std::exception_ptr error_;
+
+  // Utilisation counters (see Stats). Relaxed atomics: they feed reports,
+  // not synchronisation.
+  std::atomic<std::uint64_t> stat_jobs_{0};
+  std::atomic<std::uint64_t> stat_tasks_{0};
+  std::atomic<std::uint64_t> stat_submit_wait_ns_{0};
+  std::vector<std::atomic<std::uint64_t>> stat_worker_busy_ns_;
 };
 
 // Number of hardware threads, at least 1.

@@ -7,6 +7,8 @@
 #include "common/error.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
+#include "obs/runtime.h"
+#include "obs/timer.h"
 #include "timeseries/dtw.h"
 #include "timeseries/lp_distance.h"
 #include "timeseries/normalize.h"
@@ -22,6 +24,25 @@ struct PairScratch {
   ts::DtwResult result;
   std::vector<double> va, vb;
 };
+
+// Histogram sinks for the per-pair sub-phases, resolved from the registry
+// once per sweep (registry lookup takes a mutex; the pair loop must not).
+// Null when observability is disabled — compare_pair then reads no clocks.
+struct PairSinks {
+  obs::Histogram* cut_align_ns = nullptr;  // support cut + sample alignment
+  obs::Histogram* zscore_ns = nullptr;     // Eq. 7 enhanced Z-score
+  obs::Histogram* dtw_ns = nullptr;        // the DTW/Euclidean distance call
+};
+
+PairSinks resolve_pair_sinks() {
+  PairSinks sinks;
+  if (!obs::enabled()) return sinks;
+  obs::MetricsRegistry& registry = obs::registry();
+  sinks.cut_align_ns = &registry.histogram("comparison.pair_cut_align_ns");
+  sinks.zscore_ns = &registry.histogram("comparison.pair_zscore_ns");
+  sinks.dtw_ns = &registry.histogram("comparison.pair_dtw_ns");
+  return sinks;
+}
 
 double pair_distance(const std::vector<double>& x, const std::vector<double>& y,
                      const ComparisonOptions& options, PairScratch& scratch) {
@@ -91,13 +112,14 @@ bool has_usable_shape(std::span<const double> values,
 // the DTW distance, using only `scratch`'s buffers for the hot allocations.
 PairDistance compare_pair(const NamedSeries& ea, const NamedSeries& eb,
                           const ComparisonOptions& options,
-                          PairScratch& scratch) {
+                          PairScratch& scratch, const PairSinks& sinks) {
   const ts::Series& sa = ea.second;
   const ts::Series& sb = eb.second;
   PairDistance p;
   p.a = ea.first;
   p.b = eb.first;
 
+  obs::ScopedTimer cut_timer(sinks.cut_align_ns);
   // Restrict to the common time support.
   const double lo = std::max(sa.time(0), sb.time(0));
   const double hi = std::min(sa.time(sa.size() - 1), sb.time(sb.size() - 1));
@@ -141,10 +163,13 @@ PairDistance compare_pair(const NamedSeries& ea, const NamedSeries& eb,
       vb.assign(cut_b.values().begin(), cut_b.values().end());
       break;
   }
+  cut_timer.stop();
   if (options.z_score_normalize) {
+    obs::ScopedTimer zscore_timer(sinks.zscore_ns);
     va = ts::z_score_enhanced(va);
     vb = ts::z_score_enhanced(vb);
   }
+  obs::ScopedTimer dtw_timer(sinks.dtw_ns);
   p.raw = pair_distance(va, vb, options, scratch);
   p.normalized = p.raw;
   return p;
@@ -204,6 +229,17 @@ std::vector<PairDistance> compare_series(std::span<const NamedSeries> series,
   }
   pairs.resize(jobs.size());
 
+  const PairSinks sinks = resolve_pair_sinks();
+  const bool instrumented = obs::enabled();
+  obs::ScopedTimer sweep_timer =
+      instrumented
+          ? obs::ScopedTimer(
+                &obs::registry().histogram("comparison.sweep_ns"),
+                obs::trace(),
+                {.phase = "comparison.sweep",
+                 .pairs = static_cast<std::int64_t>(jobs.size())})
+          : obs::ScopedTimer();
+
   const std::size_t threads = std::min(
       options.threads == 0 ? hardware_threads() : options.threads,
       jobs.size());
@@ -212,14 +248,45 @@ std::vector<PairDistance> compare_series(std::span<const NamedSeries> series,
                [&](std::size_t worker, std::size_t k) {
                  pairs[k] = compare_pair(*usable[jobs[k].first],
                                          *usable[jobs[k].second], options,
-                                         scratch[worker]);
+                                         scratch[worker], sinks);
                });
+  sweep_timer.stop();
+
+  if (instrumented) {
+    obs::MetricsRegistry& registry = obs::registry();
+    std::size_t comparable = 0;
+    for (const PairDistance& p : pairs) comparable += p.comparable ? 1 : 0;
+    registry.counter("comparison.sweeps").add(1);
+    registry.counter("comparison.series_heard").add(series.size());
+    registry.counter("comparison.series_usable").add(usable.size());
+    registry.counter("comparison.pairs_total").add(jobs.size());
+    registry.counter("comparison.pairs_comparable").add(comparable);
+    registry.counter("comparison.pairs_incomparable")
+        .add(jobs.size() - comparable);
+    // Per-worker workspace stats, summed: every DTW DP solve of this
+    // sweep ran on one of these workspaces.
+    ts::DtwWorkspace::Stats dtw_stats;
+    for (const PairScratch& s : scratch) {
+      dtw_stats.dp_solves += s.workspace.stats.dp_solves;
+      dtw_stats.cells += s.workspace.stats.cells;
+      dtw_stats.grows += s.workspace.stats.grows;
+    }
+    registry.counter("dtw.dp_solves").add(dtw_stats.dp_solves);
+    registry.counter("dtw.cells_expanded").add(dtw_stats.cells);
+    registry.counter("dtw.workspace_grows").add(dtw_stats.grows);
+    registry.counter("dtw.workspace_reuse_hits")
+        .add(dtw_stats.dp_solves - dtw_stats.grows);
+  }
 
   std::vector<double> values;
   values.reserve(pairs.size());
   for (const PairDistance& p : pairs) {
     if (p.comparable) values.push_back(p.raw);
   }
+  obs::ScopedTimer minmax_timer =
+      instrumented
+          ? obs::ScopedTimer(&obs::registry().histogram("comparison.minmax_ns"))
+          : obs::ScopedTimer();
   if (options.min_max_normalize &&
       values.size() >= options.min_pairs_for_min_max) {
     // Eq. 8 over the comparable distances of this window.

@@ -5,6 +5,8 @@
 #include <set>
 
 #include "common/error.h"
+#include "obs/runtime.h"
+#include "obs/timer.h"
 
 namespace vp::core {
 
@@ -21,8 +23,26 @@ VoiceprintDetector::VoiceprintDetector(VoiceprintOptions options)
 
 std::vector<IdentityId> VoiceprintDetector::detect_series(
     std::span<const NamedSeries> series, double density_per_km) {
+  const bool instrumented = obs::enabled();
+  obs::ScopedTimer total_timer =
+      instrumented
+          ? obs::ScopedTimer(&obs::registry().histogram("detect.total_ns"),
+                             obs::trace(), {.phase = "detect"})
+          : obs::ScopedTimer();
+
   last_all_ = compare_series(series, options_.comparison);
   last_flagged_.clear();
+
+  // Threshold-and-vote is the per-period decision step that the paper's
+  // multi-period confirmation (Section VI) builds on.
+  obs::ScopedTimer confirm_timer =
+      instrumented
+          ? obs::ScopedTimer(
+                &obs::registry().histogram("detect.confirmation_ns"),
+                obs::trace(),
+                {.phase = "detect.confirmation",
+                 .pairs = static_cast<std::int64_t>(last_all_.size())})
+          : obs::ScopedTimer();
 
   const double density =
       options_.fixed_density_per_km.value_or(density_per_km);
@@ -45,6 +65,18 @@ std::vector<IdentityId> VoiceprintDetector::detect_series(
   std::set<IdentityId> suspects;
   for (const auto& [id, count] : votes) {
     if (count >= required) suspects.insert(id);
+  }
+  confirm_timer.stop();
+
+  if (instrumented) {
+    obs::MetricsRegistry& registry = obs::registry();
+    registry.counter("detect.calls").add(1);
+    registry.counter("detect.pairs_flagged").add(last_flagged_.size());
+    registry.counter("detect.suspects_flagged").add(suspects.size());
+    registry
+        .histogram("detect.suspects_per_call",
+                   obs::Histogram::default_count_bounds())
+        .record(static_cast<double>(suspects.size()));
   }
   return {suspects.begin(), suspects.end()};
 }

@@ -1,0 +1,178 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+
+namespace vp::obs {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Relaxed CAS loops for the double aggregates; std::atomic<double>
+// fetch_add/min/max support is uneven across standard libraries.
+void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  VP_REQUIRE(!bounds_.empty());
+  VP_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+             std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                 bounds_.end());
+  min_.store(kInf, std::memory_order_relaxed);
+  max_.store(-kInf, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::default_latency_bounds_ns() {
+  std::vector<double> bounds;
+  bounds.reserve(9 * 8);
+  for (double decade = 1e3; decade <= 1e10; decade *= 10.0) {
+    for (int digit = 1; digit <= 9; ++digit) {
+      bounds.push_back(decade * digit);
+    }
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::default_count_bounds() {
+  std::vector<double> bounds;
+  bounds.reserve(64 + 10);
+  for (int i = 0; i <= 64; ++i) bounds.push_back(static_cast<double>(i));
+  for (double b = 128.0; b <= 65536.0; b *= 2.0) bounds.push_back(b);
+  return bounds;
+}
+
+void Histogram::record(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t count = count_.load(std::memory_order_relaxed);
+  if (count == 0) return 0.0;
+  const double observed_min = min_.load(std::memory_order_relaxed);
+  const double observed_max = max_.load(std::memory_order_relaxed);
+  const double target = q * static_cast<double>(count);
+  if (target <= 0.0) return observed_min;
+  if (target >= static_cast<double>(count)) return observed_max;
+
+  double cum_before = 0.0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    const double n =
+        static_cast<double>(buckets_[b].load(std::memory_order_relaxed));
+    if (n == 0.0 || cum_before + n < target) {
+      cum_before += n;
+      continue;
+    }
+    // Rank `target` falls in bucket b; interpolate over its value range,
+    // clamped to what was actually observed (a sparsely filled bucket
+    // would otherwise extrapolate past the true extremes).
+    if (b == bounds_.size()) return observed_max;  // overflow bucket
+    const double hi = bounds_[b];
+    const double lo = b == 0 ? std::min(observed_min, hi) : bounds_[b - 1];
+    return std::clamp(lo + (hi - lo) * (target - cum_before) / n,
+                      observed_min, observed_max);
+  }
+  return observed_max;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  if (s.count == 0) return s;
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  s.mean = s.sum / static_cast<double>(s.count);
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(kInf, std::memory_order_relaxed);
+  max_.store(-kInf, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return histogram(name, Histogram::default_latency_bounds_ns());
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.try_emplace(name, std::move(bounds)).first->second;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c.value();
+  return out;
+}
+
+std::map<std::string, double> MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, g] : gauges_) out[name] = g.value();
+  return out;
+}
+
+std::map<std::string, HistogramSnapshot> MetricsRegistry::histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistogramSnapshot> out;
+  for (const auto& [name, h] : histograms_) out[name] = h.snapshot();
+  return out;
+}
+
+}  // namespace vp::obs

@@ -1,0 +1,136 @@
+// Lock-cheap metrics primitives for the detection pipeline.
+//
+// A MetricsRegistry hands out named Counters, Gauges and Histograms with
+// stable addresses (instruments are created under a mutex once, then
+// updated lock-free), so instrumentation sites cache the reference in a
+// function-local static and pay one relaxed atomic add per event. The
+// registry never removes instruments; reset() zeroes values in place so
+// cached references stay valid across runs and tests.
+//
+// Histograms use fixed upper-bound buckets (default: log-spaced latency
+// buckets from 1 µs to ~100 s) plus exact count/sum/min/max, which is
+// enough to report p50/p95/p99 with bounded memory and no per-sample
+// allocation. Quantiles interpolate linearly inside the owning bucket —
+// the convention is documented at Histogram::quantile.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vp::obs {
+
+// Monotonic counter. All operations are lock-free and relaxed: counters
+// feed end-of-run reports, not synchronisation.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Point-in-time aggregate of a histogram, for reports and tests.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // 0 when count == 0
+  double max = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+// Fixed-bucket histogram. Bucket i covers (bounds[i-1], bounds[i]]; an
+// implicit overflow bucket covers (bounds.back(), +inf). record() is a
+// binary search plus relaxed atomic adds — no locks, no allocation.
+class Histogram {
+ public:
+  // `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  // Log-spaced latency bounds in nanoseconds: 9 per decade (1,2,...,9 ×
+  // 10^k) from 1 µs through 100 s. Fine enough that p99 of a phase timer
+  // is meaningful, small enough (72 buckets) to live per instrument.
+  static std::vector<double> default_latency_bounds_ns();
+
+  // Bounds for small-count distributions (suspect-set sizes, neighbour
+  // counts, densities): every integer up to 64, then power-of-two steps
+  // up to 65536.
+  static std::vector<double> default_count_bounds();
+
+  void record(double value);
+  HistogramSnapshot snapshot() const;
+
+  // Quantile convention: with total count C, the q-quantile is the value
+  // at rank r = q·C (1-based, fractional). Ranks are located in bucket
+  // order; within a bucket holding n samples over (lo, hi], ranks map
+  // linearly onto (lo, hi] — rank k of n returns lo + (hi−lo)·k/n,
+  // clamped to [observed min, observed max] so a sparsely filled bucket
+  // cannot extrapolate past the true extremes. The first bucket uses its
+  // lower bound, and the overflow bucket returns the exact observed max.
+  // Exact-on-known-data: samples equal to bucket upper bounds, one per
+  // bucket, reproduce themselves exactly.
+  double quantile(double q) const;
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  // bounds_.size() + 1 buckets; the last is the overflow bucket.
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+// Named instrument store. Lookup takes a mutex (sites should cache the
+// returned reference); updates through the returned instruments are
+// lock-free. Instruments live as long as the registry and are never
+// removed, so cached references survive reset().
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  // Histogram with the default latency bounds, or explicit bounds. Asking
+  // for an existing name returns the existing instrument (explicit bounds
+  // are ignored in that case — bounds are fixed at creation).
+  Histogram& histogram(const std::string& name);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  // Zeroes every instrument in place (addresses are preserved).
+  void reset();
+
+  // Stable snapshot of all instrument names → values, for the RunReport.
+  std::map<std::string, std::uint64_t> counters() const;
+  std::map<std::string, double> gauges() const;
+  std::map<std::string, HistogramSnapshot> histograms() const;
+
+ private:
+  mutable std::mutex mu_;
+  // std::map node stability keeps instrument addresses valid forever.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace vp::obs

@@ -1,0 +1,80 @@
+// Structured run reports: one JSON document per run aggregating the whole
+// MetricsRegistry (counters, gauges, histogram percentiles) plus shared
+// thread-pool utilisation and an optional binary-specific "extra" block.
+//
+// Schema "voiceprint.run_report/v1" (DESIGN.md §7):
+//   {
+//     "schema": "voiceprint.run_report/v1",
+//     "binary": "<program name>",
+//     "counters":   { "<name>": <uint>, ... },
+//     "gauges":     { "<name>": <number>, ... },
+//     "histograms": { "<name>": { "count", "sum", "min", "max", "mean",
+//                                 "p50", "p95", "p99" }, ... },
+//     "thread_pool": { "workers", "jobs", "tasks", "submit_wait_ns",
+//                      "worker_busy_ns": [<uint>, ...] },
+//     "extra": { ... }            // optional, e.g. the evaluation summary
+//   }
+// validate_run_report / validate_span are the single source of truth for
+// that schema — the smoke-test checker binary and the unit tests both
+// call them, so the documented schema and the emitted documents cannot
+// drift apart.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace vp::obs {
+
+// Builds the report document from `registry` plus the shared thread
+// pool's utilisation counters.
+json::Value build_run_report(const MetricsRegistry& registry,
+                             const std::string& binary,
+                             std::optional<json::Value> extra = std::nullopt);
+
+// Serialises (pretty-printed) to `path`; throws InvalidArgument when the
+// file cannot be written.
+void write_run_report(const std::string& path, const json::Value& report);
+
+// True when `report` conforms to voiceprint.run_report/v1. On failure,
+// `error` (if non-null) receives a one-line description.
+bool validate_run_report(const json::Value& report, std::string* error);
+
+// True when `span` is a well-formed trace span line (phase string,
+// wall_ns/thread counts, observer/window/pairs each null or a number).
+bool validate_span(const json::Value& span, std::string* error);
+
+// RAII harness hook used by the instrumented binaries: enables collection
+// when either output path is non-empty (and resets the registry so the
+// report covers exactly this run), opens the trace, and on destruction
+// writes the report and closes the trace. With both paths empty it does
+// nothing at all — the run stays uninstrumented.
+class RunSession {
+ public:
+  RunSession(std::string binary, std::string metrics_out,
+             std::string trace_out);
+  ~RunSession();
+
+  RunSession(const RunSession&) = delete;
+  RunSession& operator=(const RunSession&) = delete;
+
+  bool active() const { return active_; }
+
+  // Binary-specific report block, e.g. the Eq. 12/13 evaluation summary.
+  void set_extra(json::Value extra) { extra_ = std::move(extra); }
+
+  // Writes the report and closes the trace now (idempotent; the
+  // destructor calls this).
+  void finish();
+
+ private:
+  std::string binary_;
+  std::string metrics_out_;
+  std::optional<json::Value> extra_;
+  bool active_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace vp::obs

@@ -1,0 +1,47 @@
+#include "obs/runtime.h"
+
+#include <memory>
+#include <mutex>
+
+namespace vp::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+std::atomic<TraceRecorder*> g_trace{nullptr};
+}  // namespace detail
+
+namespace {
+std::mutex g_trace_mu;
+std::unique_ptr<TraceRecorder> g_trace_owner;
+}  // namespace
+
+MetricsRegistry& registry() {
+  static MetricsRegistry* instance = new MetricsRegistry();  // never freed
+  return *instance;
+}
+
+void enable() { detail::g_enabled.store(true, std::memory_order_relaxed); }
+
+void open_trace(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  auto recorder = std::make_unique<TraceRecorder>(path);
+  detail::g_trace.store(recorder.get(), std::memory_order_release);
+  // The old recorder (if any) is destroyed after the pointer swap; spans
+  // racing a replacement would dangle, hence the header's rule to manage
+  // traces from the harness thread only.
+  g_trace_owner = std::move(recorder);
+  enable();
+}
+
+void close_trace() {
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  detail::g_trace.store(nullptr, std::memory_order_release);
+  g_trace_owner.reset();
+}
+
+void disable() {
+  detail::g_enabled.store(false, std::memory_order_relaxed);
+  close_trace();
+}
+
+}  // namespace vp::obs

@@ -1,0 +1,79 @@
+// RAII scoped timer: measures wall time from construction to destruction
+// (or stop()) and delivers it to a Histogram and/or a TraceRecorder span.
+//
+// A default-constructed timer is disarmed and never reads the clock, so
+// the disabled-instrumentation pattern
+//
+//   obs::ScopedTimer t = obs::enabled()
+//       ? obs::ScopedTimer(&hist, obs::trace(), {.phase = "x"})
+//       : obs::ScopedTimer();
+//
+// costs one branch when observability is off.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace vp::obs {
+
+class ScopedTimer {
+ public:
+  // Disarmed: no clock read, destructor is a no-op.
+  ScopedTimer() = default;
+
+  // Armed if at least one sink is non-null. `proto` carries the span
+  // fields except wall_ns, which the timer fills in.
+  explicit ScopedTimer(Histogram* hist, TraceRecorder* trace = nullptr,
+                       SpanEvent proto = {})
+      : hist_(hist), trace_(trace), proto_(proto) {
+    if (hist_ != nullptr || trace_ != nullptr) {
+      armed_ = true;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ScopedTimer(ScopedTimer&& other) noexcept { *this = std::move(other); }
+  ScopedTimer& operator=(ScopedTimer&& other) noexcept {
+    if (this != &other) {
+      hist_ = other.hist_;
+      trace_ = other.trace_;
+      proto_ = other.proto_;
+      start_ = other.start_;
+      armed_ = other.armed_;
+      other.armed_ = false;
+    }
+    return *this;
+  }
+
+  ~ScopedTimer() { stop(); }
+
+  // Records now instead of at scope exit; returns the elapsed wall time
+  // (0 when disarmed). Idempotent.
+  std::uint64_t stop() {
+    if (!armed_) return 0;
+    armed_ = false;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    if (hist_ != nullptr) hist_->record(static_cast<double>(ns));
+    if (trace_ != nullptr) {
+      proto_.wall_ns = ns;
+      trace_->record(proto_);
+    }
+    return ns;
+  }
+
+ private:
+  Histogram* hist_ = nullptr;
+  TraceRecorder* trace_ = nullptr;
+  SpanEvent proto_{};
+  std::chrono::steady_clock::time_point start_{};
+  bool armed_ = false;
+};
+
+}  // namespace vp::obs

@@ -1,0 +1,57 @@
+#include "obs/trace.h"
+
+#include <atomic>
+
+#include "common/error.h"
+#include "obs/json.h"
+
+namespace vp::obs {
+
+std::uint64_t trace_thread_id() {
+  static std::atomic<std::uint64_t> next{0};
+  thread_local const std::uint64_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+TraceRecorder::TraceRecorder(const std::string& path)
+    : out_(path, std::ios::out | std::ios::trunc) {
+  if (!out_) throw InvalidArgument("cannot open trace file: " + path);
+}
+
+TraceRecorder::~TraceRecorder() { flush(); }
+
+void TraceRecorder::record(const SpanEvent& event) {
+  std::string line;
+  line.reserve(128);
+  line += "{\"phase\":";
+  json::escape_string(event.phase, line);
+  auto int_or_null = [&line](const char* key, std::int64_t v) {
+    line += ",\"";
+    line += key;
+    line += "\":";
+    line += v < 0 ? "null" : std::to_string(v);
+  };
+  int_or_null("observer", event.observer);
+  int_or_null("window", event.window);
+  int_or_null("pairs", event.pairs);
+  line += ",\"wall_ns\":" + std::to_string(event.wall_ns);
+  line += ",\"thread\":" + std::to_string(trace_thread_id());
+  line += "}\n";
+
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line;
+  ++spans_;
+}
+
+void TraceRecorder::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  out_.flush();
+}
+
+std::uint64_t TraceRecorder::spans_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+}  // namespace vp::obs

@@ -1,0 +1,59 @@
+// Scoped tracing for the detection pipeline: a thread-safe recorder that
+// appends one JSON object per span to a JSONL file.
+//
+// Span taxonomy (DESIGN.md §7): every span carries `phase` (which stage of
+// Algorithm 1 or the harness produced it), `wall_ns`, and `thread` (a
+// small per-process sequential id assigned on a thread's first span);
+// `observer`, `window` and `pairs` are contextual and emitted as null when
+// the phase has no such notion. The file is valid JSONL: one complete
+// object per line, flushed on close.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace vp::obs {
+
+// One completed span. Negative contextual fields mean "not applicable"
+// and are written as JSON null.
+struct SpanEvent {
+  std::string_view phase;       // e.g. "comparison.sweep"
+  std::int64_t observer = -1;   // observing node id
+  std::int64_t window = -1;     // window ordinal within the run
+  std::int64_t pairs = -1;      // pair count the span covered
+  std::uint64_t wall_ns = 0;    // span duration
+};
+
+// Small sequential id of the calling thread (0 for the first thread that
+// asks, 1 for the second, ...). Stable for the thread's lifetime; used so
+// trace consumers can group spans by executing thread without parsing
+// platform thread ids.
+std::uint64_t trace_thread_id();
+
+class TraceRecorder {
+ public:
+  // Opens `path` for writing (truncates); throws InvalidArgument when the
+  // file cannot be opened.
+  explicit TraceRecorder(const std::string& path);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Appends one span line. Thread-safe; the JSON text is built outside the
+  // lock so contention covers only the stream append.
+  void record(const SpanEvent& event);
+
+  void flush();
+  std::uint64_t spans_recorded() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::ofstream out_;
+  std::uint64_t spans_ = 0;
+};
+
+}  // namespace vp::obs

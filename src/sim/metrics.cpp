@@ -57,4 +57,14 @@ double RateAverager::average_fpr() const {
   return fpr_n_ == 0 ? 0.0 : fpr_sum_ / static_cast<double>(fpr_n_);
 }
 
+std::optional<double> RateAverager::average_dr_if_defined() const {
+  if (dr_n_ == 0) return std::nullopt;
+  return dr_sum_ / static_cast<double>(dr_n_);
+}
+
+std::optional<double> RateAverager::average_fpr_if_defined() const {
+  if (fpr_n_ == 0) return std::nullopt;
+  return fpr_sum_ / static_cast<double>(fpr_n_);
+}
+
 }  // namespace vp::sim

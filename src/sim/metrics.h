@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "common/ids.h"
@@ -32,12 +33,26 @@ DetectionCounts score_detection(const std::vector<IdentityId>& flagged,
                                 const GroundTruth& truth);
 
 // Accumulates Eq. 12/13 averages across (observer, period) pairs.
+//
+// A window where the observer heard no illegitimate identity has no
+// defined DR (Eq. 10 divides by zero), and likewise for FPR; such windows
+// contribute to neither average. average_dr()/average_fpr() return 0.0
+// when NO window had a defined rate — callers that must distinguish that
+// from a true 0.0 (the run report does) check defined_dr_samples() /
+// defined_fpr_samples() first, or use the optional-returning variants.
 class RateAverager {
  public:
   void add(const DetectionCounts& counts);
 
   double average_dr() const;   // 0 if no defined sample
   double average_fpr() const;
+  // Empty when no (observer, period) window had a defined rate.
+  std::optional<double> average_dr_if_defined() const;
+  std::optional<double> average_fpr_if_defined() const;
+  // Number of windows that contributed to each average.
+  std::size_t defined_dr_samples() const { return dr_n_; }
+  std::size_t defined_fpr_samples() const { return fpr_n_; }
+  // Older spellings of the sample counts, kept for existing callers.
   std::size_t dr_samples() const { return dr_n_; }
   std::size_t fpr_samples() const { return fpr_n_; }
 

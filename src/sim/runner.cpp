@@ -5,6 +5,8 @@
 
 #include "common/error.h"
 #include "common/thread_pool.h"
+#include "obs/runtime.h"
+#include "obs/timer.h"
 
 namespace vp::sim {
 
@@ -37,24 +39,75 @@ EvaluationResult evaluate(const World& world, Detector& detector,
   for (double t : world.detection_times()) {
     for (NodeId observer : observers) tasks.emplace_back(t, observer);
   }
+  // Observability sinks, resolved once (the registry lookup takes a
+  // mutex; the per-window loops must not).
+  const bool instrumented = obs::enabled();
+  obs::Histogram* cut_ns = nullptr;
+  obs::Histogram* detect_ns = nullptr;
+  obs::Histogram* suspects_hist = nullptr;
+  obs::Histogram* neighbors_hist = nullptr;
+  obs::Histogram* density_hist = nullptr;
+  if (instrumented) {
+    obs::MetricsRegistry& registry = obs::registry();
+    cut_ns = &registry.histogram("evaluation.window_cut_ns");
+    detect_ns = &registry.histogram("evaluation.window_detect_ns");
+    suspects_hist = &registry.histogram(
+        "evaluation.suspects_per_window", obs::Histogram::default_count_bounds());
+    neighbors_hist = &registry.histogram(
+        "evaluation.neighbors_per_window", obs::Histogram::default_count_bounds());
+    density_hist = &registry.histogram("evaluation.density_per_km",
+                                       obs::Histogram::default_count_bounds());
+  }
+
   std::vector<ObservationWindow> windows(tasks.size());
   parallel_for(options.threads, tasks.size(),
                [&](std::size_t /*worker*/, std::size_t k) {
+                 obs::ScopedTimer cut_timer(
+                     cut_ns, instrumented ? obs::trace() : nullptr,
+                     {.phase = "collection.cut",
+                      .observer = static_cast<std::int64_t>(tasks[k].second),
+                      .window = static_cast<std::int64_t>(k)});
                  windows[k] = world.observe(tasks[k].second, tasks[k].first,
                                             options.min_samples);
                });
 
-  for (const ObservationWindow& window : windows) {
-    if (window.neighbors.empty()) continue;
+  for (std::size_t k = 0; k < windows.size(); ++k) {
+    const ObservationWindow& window = windows[k];
+    if (window.neighbors.empty()) {
+      if (instrumented) obs::registry().counter("evaluation.windows_empty").add(1);
+      continue;
+    }
+    const std::size_t n = window.neighbors.size();
+    obs::ScopedTimer detect_timer(
+        detect_ns, instrumented ? obs::trace() : nullptr,
+        {.phase = "detection.window",
+         .observer = static_cast<std::int64_t>(tasks[k].second),
+         .window = static_cast<std::int64_t>(k),
+         .pairs = static_cast<std::int64_t>(n * (n - 1) / 2)});
     const std::vector<IdentityId> flagged = detector.detect(window, world);
+    detect_timer.stop();
     averager.add(score_detection(flagged, window, world.truth()));
     density_sum += window.estimated_density_per_km;
     neighbor_sum += static_cast<double>(window.neighbors.size());
     ++result.windows_evaluated;
+    if (instrumented) {
+      suspects_hist->record(static_cast<double>(flagged.size()));
+      neighbors_hist->record(static_cast<double>(n));
+      density_hist->record(window.estimated_density_per_km);
+    }
   }
 
   result.average_dr = averager.average_dr();
   result.average_fpr = averager.average_fpr();
+  result.dr_samples = averager.defined_dr_samples();
+  result.fpr_samples = averager.defined_fpr_samples();
+  if (instrumented) {
+    obs::MetricsRegistry& registry = obs::registry();
+    registry.counter("evaluation.windows_evaluated")
+        .add(result.windows_evaluated);
+    registry.counter("evaluation.dr_defined_windows").add(result.dr_samples);
+    registry.counter("evaluation.fpr_defined_windows").add(result.fpr_samples);
+  }
   if (result.windows_evaluated > 0) {
     result.average_estimated_density =
         density_sum / static_cast<double>(result.windows_evaluated);
@@ -62,6 +115,24 @@ EvaluationResult evaluate(const World& world, Detector& detector,
         neighbor_sum / static_cast<double>(result.windows_evaluated);
   }
   return result;
+}
+
+obs::json::Value evaluation_report_extra(const EvaluationResult& result) {
+  obs::json::Object extra;
+  extra.emplace("average_dr", result.dr_defined()
+                                  ? obs::json::Value(result.average_dr)
+                                  : obs::json::Value(nullptr));
+  extra.emplace("average_fpr", result.fpr_defined()
+                                   ? obs::json::Value(result.average_fpr)
+                                   : obs::json::Value(nullptr));
+  extra.emplace("dr_defined_windows", obs::json::Value(result.dr_samples));
+  extra.emplace("fpr_defined_windows", obs::json::Value(result.fpr_samples));
+  extra.emplace("windows_evaluated",
+                obs::json::Value(result.windows_evaluated));
+  extra.emplace("average_estimated_density_per_km",
+                obs::json::Value(result.average_estimated_density));
+  extra.emplace("average_neighbors", obs::json::Value(result.average_neighbors));
+  return obs::json::Value(std::move(extra));
 }
 
 }  // namespace vp::sim

@@ -7,6 +7,7 @@
 #include <cstddef>
 
 #include "common/rng.h"
+#include "obs/json.h"
 #include "sim/detector.h"
 #include "sim/metrics.h"
 #include "sim/world.h"
@@ -31,8 +32,18 @@ struct EvaluationOptions {
 };
 
 struct EvaluationResult {
+  // 0.0 both when the true average is zero AND when no window had a
+  // defined rate — check dr_defined()/fpr_defined() (the run report
+  // writes null for an undefined average instead of a silent 0).
   double average_dr = 0.0;
   double average_fpr = 0.0;
+  // How many (observer, period) windows had a defined DR / FPR (Eq. 10/11
+  // are undefined when the observer heard no illegitimate / no legitimate
+  // identity).
+  std::size_t dr_samples = 0;
+  std::size_t fpr_samples = 0;
+  bool dr_defined() const { return dr_samples > 0; }
+  bool fpr_defined() const { return fpr_samples > 0; }
   std::size_t windows_evaluated = 0;
   double average_estimated_density = 0.0;
   double average_neighbors = 0.0;
@@ -46,5 +57,11 @@ EvaluationResult evaluate(const World& world, Detector& detector,
 // that need the same sample across detectors).
 std::vector<NodeId> sample_observers(const World& world,
                                      const EvaluationOptions& options);
+
+// JSON block for the run report's "extra" section. An average with zero
+// defined windows is written as null, never as a silent 0.0 — in a report
+// a spurious zero reads as a catastrophic regression when it is really
+// "nothing to measure".
+obs::json::Value evaluation_report_extra(const EvaluationResult& result);
 
 }  // namespace vp::sim

@@ -136,6 +136,9 @@ double dtw_distance(std::span<const double> x, std::span<const double> y,
   const std::size_t m = y.size();
   std::vector<double>& prev = workspace.prev;
   std::vector<double>& curr = workspace.curr;
+  ++workspace.stats.dp_solves;
+  workspace.stats.cells += n * m;
+  if (m > prev.capacity()) ++workspace.stats.grows;
   prev.assign(m, kInf);
   curr.assign(m, kInf);
   for (std::size_t i = 0; i < n; ++i) {
@@ -192,6 +195,9 @@ void dtw_windowed(std::span<const double> x, std::span<const double> y,
   }
   std::vector<double>& dp = workspace.dp;
   std::vector<unsigned char>& parent = workspace.parent;
+  ++workspace.stats.dp_solves;
+  workspace.stats.cells += cells;
+  if (cells > dp.capacity()) ++workspace.stats.grows;
   dp.assign(cells, kInf);
   parent.assign(cells, static_cast<unsigned char>(Move::kNone));
 

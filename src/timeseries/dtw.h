@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -90,6 +91,17 @@ class SearchWindow {
 // The members are internal scratch for the functions of this header and
 // fast_dtw.h; treat them as opaque.
 struct DtwWorkspace {
+  // Instrumentation accumulated across every DP solve run on this
+  // workspace. Plain fields, always on: a workspace is owned by one
+  // thread at a time, and the counters cost three integer ops per solve.
+  // dp_solves − grows is the number of solves fully served from recycled
+  // capacity ("workspace reuse hits" in the run report).
+  struct Stats {
+    std::uint64_t dp_solves = 0;  // windowed/banded/full + distance solves
+    std::uint64_t cells = 0;      // DP cells expanded across all solves
+    std::uint64_t grows = 0;      // solves that had to grow the DP buffer
+  };
+
   DtwWorkspace() = default;
   DtwWorkspace(const DtwWorkspace&) = delete;
   DtwWorkspace& operator=(const DtwWorkspace&) = delete;
@@ -112,6 +124,8 @@ struct DtwWorkspace {
   // expand_window projection bands (per fine row, before radius growth).
   std::vector<std::size_t> proj_lo, proj_hi;
   std::vector<unsigned char> proj_set;
+
+  Stats stats;
 };
 
 // Full DTW with path recovery. Requires both series non-empty.

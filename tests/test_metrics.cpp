@@ -108,5 +108,37 @@ TEST(RateAveragerTest, EmptyAveragerIsZero) {
   EXPECT_DOUBLE_EQ(averager.average_fpr(), 0.0);
 }
 
+// The run report must distinguish "no window had a defined rate" (null)
+// from a true 0.0 average; the sample counts and optional variants carry
+// that distinction.
+TEST(RateAveragerTest, DefinedSampleCountsSeparateNoDataFromZero) {
+  RateAverager averager;
+  EXPECT_EQ(averager.defined_dr_samples(), 0u);
+  EXPECT_EQ(averager.defined_fpr_samples(), 0u);
+  EXPECT_FALSE(averager.average_dr_if_defined().has_value());
+  EXPECT_FALSE(averager.average_fpr_if_defined().has_value());
+
+  // A window with illegitimate identities but zero detections: DR is a
+  // genuine 0.0, not "undefined".
+  DetectionCounts miss;
+  miss.illegitimate = 3;
+  averager.add(miss);
+  EXPECT_EQ(averager.defined_dr_samples(), 1u);
+  EXPECT_EQ(averager.defined_fpr_samples(), 0u);
+  ASSERT_TRUE(averager.average_dr_if_defined().has_value());
+  EXPECT_DOUBLE_EQ(*averager.average_dr_if_defined(), 0.0);
+  EXPECT_FALSE(averager.average_fpr_if_defined().has_value());
+
+  DetectionCounts clean;
+  clean.legitimate = 5;
+  averager.add(clean);  // FPR 0.0 now defined too
+  EXPECT_EQ(averager.defined_fpr_samples(), 1u);
+  EXPECT_DOUBLE_EQ(*averager.average_fpr_if_defined(), 0.0);
+
+  // The older spellings stay aliases of the canonical names.
+  EXPECT_EQ(averager.dr_samples(), averager.defined_dr_samples());
+  EXPECT_EQ(averager.fpr_samples(), averager.defined_fpr_samples());
+}
+
 }  // namespace
 }  // namespace vp::sim

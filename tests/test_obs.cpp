@@ -1,0 +1,377 @@
+// Tests for the observability layer (src/obs): metrics primitives with
+// exact quantiles on known data, concurrent updates through the thread
+// pool, JSONL trace well-formedness, run-report schema round trips, and
+// the central invariant that instrumentation never changes what the
+// detector computes (enabled vs disabled outputs are bit-identical).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/detector.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/runtime.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
+#include "timeseries/series.h"
+
+namespace vp {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(ObsCounter, AddValueReset) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsCounter, ConcurrentIncrementsFromThreadPool) {
+  obs::Counter c;
+  constexpr std::size_t kAdds = 20000;
+  parallel_for(8, kAdds, [&](std::size_t, std::size_t) { c.add(1); });
+  EXPECT_EQ(c.value(), kAdds);
+}
+
+TEST(ObsGauge, LastWriteWins) {
+  obs::Gauge g;
+  g.set(1.5);
+  g.set(-3.25);
+  EXPECT_DOUBLE_EQ(g.value(), -3.25);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+// One sample per bucket on bounds {1..5}: the documented quantile
+// convention reproduces the exact ranks, so these values are not
+// approximate — they are what the convention promises.
+TEST(ObsHistogram, ExactQuantilesOnKnownData) {
+  obs::Histogram h({1.0, 2.0, 3.0, 4.0, 5.0});
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.record(v);
+
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 15.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.p50, 2.5);   // rank 2.5 interpolated in (2, 3]
+  EXPECT_DOUBLE_EQ(s.p95, 4.75);  // rank 4.75 interpolated in (4, 5]
+  EXPECT_DOUBLE_EQ(s.p99, 4.95);
+  EXPECT_DOUBLE_EQ(h.quantile(0.2), 1.0);  // rank 1 = first bucket's bound
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);  // rank C = observed max
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);  // rank 0 = observed min
+}
+
+TEST(ObsHistogram, OverflowBucketReturnsObservedMax) {
+  obs::Histogram h({10.0});
+  h.record(5.0);
+  h.record(100.0);
+  h.record(200.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 200.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().max, 200.0);
+}
+
+TEST(ObsHistogram, EmptySnapshotIsAllZero) {
+  obs::Histogram h(obs::Histogram::default_latency_bounds_ns());
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(ObsHistogram, ConcurrentRecordsKeepExactCountAndSum) {
+  obs::Histogram h(obs::Histogram::default_count_bounds());
+  constexpr std::size_t kRecords = 10000;
+  parallel_for(8, kRecords, [&](std::size_t, std::size_t i) {
+    h.record(static_cast<double>(i % 7));
+  });
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, kRecords);
+  double expected_sum = 0.0;
+  for (std::size_t i = 0; i < kRecords; ++i) {
+    expected_sum += static_cast<double>(i % 7);
+  }
+  EXPECT_DOUBLE_EQ(s.sum, expected_sum);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+}
+
+TEST(ObsRegistry, InstrumentAddressesAreStableAcrossReset) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("stable.counter");
+  obs::Histogram& h =
+      registry.histogram("stable.hist", {1.0, 2.0});
+  c.add(7);
+  h.record(1.0);
+
+  registry.reset();
+  EXPECT_EQ(&registry.counter("stable.counter"), &c);
+  EXPECT_EQ(&registry.histogram("stable.hist"), &h);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.snapshot().count, 0u);
+
+  // An existing name keeps its bounds; new explicit bounds are ignored.
+  obs::Histogram& again = registry.histogram("stable.hist", {99.0});
+  EXPECT_EQ(&again, &h);
+  EXPECT_EQ(again.upper_bounds().size(), 2u);
+}
+
+TEST(ObsJson, DumpParseRoundTrip) {
+  obs::json::Object obj;
+  obj.emplace("null", obs::json::Value(nullptr));
+  obj.emplace("flag", obs::json::Value(true));
+  obj.emplace("n", obs::json::Value(42.5));
+  obj.emplace("text", obs::json::Value("line\n\"quoted\"\t\\slash"));
+  obs::json::Array arr;
+  arr.push_back(obs::json::Value(1));
+  arr.push_back(obs::json::Value("two"));
+  obj.emplace("arr", obs::json::Value(std::move(arr)));
+  const obs::json::Value value(std::move(obj));
+
+  for (int indent : {0, 2}) {
+    const obs::json::Value parsed = obs::json::parse(value.dump(indent));
+    EXPECT_TRUE(parsed.find("null")->is_null());
+    EXPECT_TRUE(parsed.find("flag")->as_bool());
+    EXPECT_DOUBLE_EQ(parsed.find("n")->as_number(), 42.5);
+    EXPECT_EQ(parsed.find("text")->as_string(), "line\n\"quoted\"\t\\slash");
+    ASSERT_TRUE(parsed.find("arr")->is_array());
+    EXPECT_DOUBLE_EQ(parsed.find("arr")->as_array()[0].as_number(), 1.0);
+    EXPECT_EQ(parsed.find("arr")->as_array()[1].as_string(), "two");
+    EXPECT_EQ(parsed.find("missing"), nullptr);
+  }
+}
+
+TEST(ObsJson, RejectsMalformedDocuments) {
+  EXPECT_THROW(obs::json::parse("{"), InvalidArgument);
+  EXPECT_THROW(obs::json::parse("[1,]"), InvalidArgument);
+  EXPECT_THROW(obs::json::parse("{} trailing"), InvalidArgument);
+  EXPECT_THROW(obs::json::parse("\"unterminated"), InvalidArgument);
+  EXPECT_THROW(obs::json::parse("nul"), InvalidArgument);
+}
+
+TEST(ObsTrace, JsonlLinesAreWellFormedUnderConcurrency) {
+  const std::string path = temp_path("obs_trace_test.jsonl");
+  constexpr std::size_t kSpans = 400;
+  {
+    obs::TraceRecorder recorder(path);
+    parallel_for(8, kSpans, [&](std::size_t, std::size_t i) {
+      obs::SpanEvent event;
+      event.phase = "test.span";
+      event.window = static_cast<std::int64_t>(i);
+      event.pairs = (i % 2 == 0) ? static_cast<std::int64_t>(i) : -1;
+      event.wall_ns = 17;
+      recorder.record(event);
+    });
+    EXPECT_EQ(recorder.spans_recorded(), kSpans);
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  std::string error;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    const obs::json::Value span = obs::json::parse(line);
+    EXPECT_TRUE(obs::validate_span(span, &error)) << error;
+    EXPECT_EQ(span.find("phase")->as_string(), "test.span");
+    // observer was never set: it must be emitted as null, not -1.
+    EXPECT_TRUE(span.find("observer")->is_null());
+    ++lines;
+  }
+  EXPECT_EQ(lines, kSpans);
+  std::remove(path.c_str());
+}
+
+TEST(ObsTimer, DisarmedTimerRecordsNothing) {
+  obs::Histogram h({1.0});
+  {
+    obs::ScopedTimer disarmed;
+    EXPECT_EQ(disarmed.stop(), 0u);
+  }
+  {
+    obs::ScopedTimer null_sinks(nullptr, nullptr);
+    (void)null_sinks;
+  }
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST(ObsTimer, RecordsOnceIntoHistogramAndSpan) {
+  const std::string path = temp_path("obs_timer_test.jsonl");
+  obs::Histogram h(obs::Histogram::default_latency_bounds_ns());
+  {
+    obs::TraceRecorder recorder(path);
+    obs::ScopedTimer timer(&h, &recorder, {.phase = "timed"});
+    timer.stop();
+    timer.stop();  // idempotent: second stop must not record again
+    EXPECT_EQ(recorder.spans_recorded(), 1u);
+  }
+  EXPECT_EQ(h.snapshot().count, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(ObsReport, BuildWriteParseValidateRoundTrip) {
+  obs::MetricsRegistry registry;
+  registry.counter("demo.events").add(3);
+  registry.gauge("demo.level").set(0.5);
+  obs::Histogram& h = registry.histogram("demo.ns", {1.0, 2.0, 3.0, 4.0, 5.0});
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.record(v);
+
+  obs::json::Object extra;
+  extra.emplace("note", obs::json::Value("unit test"));
+  const obs::json::Value report = obs::build_run_report(
+      registry, "test_obs", obs::json::Value(std::move(extra)));
+
+  std::string error;
+  EXPECT_TRUE(obs::validate_run_report(report, &error)) << error;
+  EXPECT_EQ(report.find("binary")->as_string(), "test_obs");
+  EXPECT_DOUBLE_EQ(
+      report.find("counters")->find("demo.events")->as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(
+      report.find("histograms")->find("demo.ns")->find("p95")->as_number(),
+      4.75);
+  EXPECT_EQ(report.find("extra")->find("note")->as_string(), "unit test");
+
+  const std::string path = temp_path("obs_report_test.json");
+  obs::write_run_report(path, report);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const obs::json::Value reread = obs::json::parse(text);
+  EXPECT_TRUE(obs::validate_run_report(reread, &error)) << error;
+  std::remove(path.c_str());
+}
+
+TEST(ObsReport, ValidatorRejectsBrokenDocuments) {
+  std::string error;
+  EXPECT_FALSE(obs::validate_run_report(obs::json::Value(1.0), &error));
+
+  obs::MetricsRegistry registry;
+  registry.counter("x").add(1);
+  obs::json::Value report = obs::build_run_report(registry, "b");
+  report.as_object()["schema"] = obs::json::Value("something/else");
+  EXPECT_FALSE(obs::validate_run_report(report, &error));
+  EXPECT_NE(error.find("schema"), std::string::npos);
+
+  obs::json::Value bad_span = obs::json::parse(
+      R"({"phase":"","observer":null,"window":null,"pairs":null,)"
+      R"("wall_ns":1,"thread":0})");
+  EXPECT_FALSE(obs::validate_span(bad_span, &error));
+}
+
+// --- Determinism: the acceptance bar for the whole subsystem. ---
+
+std::vector<double> rssi_like(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  double shadow = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    shadow = 0.9 * shadow + rng.normal(0.0, 1.5);
+    out[i] = -75.0 + shadow + rng.normal(0.0, 1.0);
+  }
+  return out;
+}
+
+// 12 normal identities plus a 3-identity Sybil clique (same radio, small
+// per-identity jitter), so the detector flags a non-trivial suspect set.
+std::vector<core::NamedSeries> sybil_scenario_series() {
+  std::vector<core::NamedSeries> series;
+  for (std::size_t i = 0; i < 12; ++i) {
+    series.emplace_back(static_cast<IdentityId>(i),
+                        ts::Series::uniform(0.0, 0.1, rssi_like(200, 10 + i)));
+  }
+  const std::vector<double> radio = rssi_like(200, 99);
+  for (std::size_t s = 0; s < 3; ++s) {
+    std::vector<double> jittered = radio;
+    Rng rng(1000 + s);
+    for (double& v : jittered) v += rng.normal(0.0, 0.05);
+    series.emplace_back(static_cast<IdentityId>(100 + s),
+                        ts::Series::uniform(0.0, 0.1, std::move(jittered)));
+  }
+  return series;
+}
+
+struct DetectorOutput {
+  std::vector<IdentityId> suspects;
+  std::vector<core::PairDistance> pairs;
+  double threshold = 0.0;
+};
+
+DetectorOutput run_detector(const std::vector<core::NamedSeries>& series,
+                            std::size_t threads) {
+  core::VoiceprintOptions options;
+  options.comparison.threads = threads;
+  core::VoiceprintDetector detector(options);
+  DetectorOutput out;
+  out.suspects = detector.detect_series(series, 50.0);
+  out.pairs = detector.last_all_pairs();
+  out.threshold = detector.last_threshold();
+  return out;
+}
+
+void expect_identical(const DetectorOutput& a, const DetectorOutput& b) {
+  EXPECT_EQ(a.suspects, b.suspects);
+  EXPECT_EQ(a.threshold, b.threshold);  // bitwise, not approximate
+  ASSERT_EQ(a.pairs.size(), b.pairs.size());
+  for (std::size_t i = 0; i < a.pairs.size(); ++i) {
+    EXPECT_EQ(a.pairs[i].a, b.pairs[i].a);
+    EXPECT_EQ(a.pairs[i].b, b.pairs[i].b);
+    EXPECT_EQ(a.pairs[i].normalized, b.pairs[i].normalized);
+    EXPECT_EQ(a.pairs[i].raw, b.pairs[i].raw);
+    EXPECT_EQ(a.pairs[i].comparable, b.pairs[i].comparable);
+  }
+}
+
+TEST(ObsDeterminism, EnabledAndDisabledRunsAreBitIdentical) {
+  const std::vector<core::NamedSeries> series = sybil_scenario_series();
+  const std::string trace_path = temp_path("obs_determinism_trace.jsonl");
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    obs::disable();
+    const DetectorOutput baseline = run_detector(series, threads);
+    EXPECT_FALSE(baseline.suspects.empty());
+
+    obs::registry().reset();
+    obs::open_trace(trace_path);  // metrics + tracing on
+    const DetectorOutput instrumented = run_detector(series, threads);
+    obs::disable();
+
+    expect_identical(baseline, instrumented);
+    // The instrumented run actually instrumented something.
+    EXPECT_GT(obs::registry().counter("comparison.sweeps").value(), 0u);
+    EXPECT_GT(obs::registry().counter("dtw.dp_solves").value(), 0u);
+  }
+  obs::registry().reset();
+  std::remove(trace_path.c_str());
+}
+
+TEST(ObsDeterminism, ThreadCountDoesNotChangeInstrumentedResults) {
+  const std::vector<core::NamedSeries> series = sybil_scenario_series();
+  obs::registry().reset();
+  obs::enable();
+  const DetectorOutput serial = run_detector(series, 1);
+  const DetectorOutput parallel = run_detector(series, 8);
+  obs::disable();
+  expect_identical(serial, parallel);
+  obs::registry().reset();
+}
+
+}  // namespace
+}  // namespace vp

@@ -109,6 +109,48 @@ TEST(ThreadPool, SharedPoolHasAtLeastTwoWorkers) {
   EXPECT_GE(ThreadPool::shared().workers(), 2u);
 }
 
+TEST(ThreadPoolStats, CountsDispatchedJobsAndTasks) {
+  ThreadPool pool(3);
+  ThreadPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.workers, 3u);
+  EXPECT_EQ(stats.jobs, 0u);
+  EXPECT_EQ(stats.tasks, 0u);
+  EXPECT_EQ(stats.submit_wait_ns, 0u);
+  ASSERT_EQ(stats.worker_busy_ns.size(), 3u);
+
+  std::atomic<std::size_t> total{0};
+  const auto work = [&](std::size_t, std::size_t) {
+    for (volatile int spin = 0; spin < 500; ++spin) {
+    }
+    ++total;
+  };
+  pool.parallel_for(100, 3, work);
+  pool.parallel_for(40, 3, work);
+  stats = pool.stats();
+  EXPECT_EQ(total.load(), 140u);
+  EXPECT_EQ(stats.jobs, 2u);
+  EXPECT_EQ(stats.tasks, 140u);
+  // The calling thread participates as worker 0 in every dispatched job.
+  EXPECT_GT(stats.worker_busy_ns[0], 0u);
+
+  pool.reset_stats();
+  stats = pool.stats();
+  EXPECT_EQ(stats.jobs, 0u);
+  EXPECT_EQ(stats.tasks, 0u);
+  EXPECT_EQ(stats.submit_wait_ns, 0u);
+  for (std::uint64_t ns : stats.worker_busy_ns) EXPECT_EQ(ns, 0u);
+}
+
+TEST(ThreadPoolStats, SerialFastPathsAreNotCounted) {
+  // Documented contract: the stats cover pool-dispatched jobs only.
+  ThreadPool pool(3);
+  pool.parallel_for(1, 3, [](std::size_t, std::size_t) {});   // count == 1
+  pool.parallel_for(10, 1, [](std::size_t, std::size_t) {});  // serial width
+  const ThreadPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.jobs, 0u);
+  EXPECT_EQ(stats.tasks, 0u);
+}
+
 TEST(HardwareThreads, AtLeastOne) { EXPECT_GE(hardware_threads(), 1u); }
 
 }  // namespace

@@ -1,0 +1,116 @@
+// Schema checker for emitted observability artefacts:
+//
+//   check_run_report <report.json> [--trace <trace.jsonl>]
+//
+// Parses the report and validates it against voiceprint.run_report/v1 via
+// obs::validate_run_report — the same function the unit tests call, so
+// this binary cannot accept a document the tests would reject. With
+// --trace, every JSONL line must parse and pass obs::validate_span.
+// Exit status 0 on success, 1 on any violation (with a one-line reason on
+// stderr). Used by scripts/smoke.sh (the `smoke` ctest).
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+int check_report(const std::string& path) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::cerr << "check_run_report: cannot read " << path << "\n";
+    return 1;
+  }
+  vp::obs::json::Value report;
+  try {
+    report = vp::obs::json::parse(text);
+  } catch (const std::exception& e) {
+    std::cerr << "check_run_report: " << path << ": " << e.what() << "\n";
+    return 1;
+  }
+  std::string error;
+  if (!vp::obs::validate_run_report(report, &error)) {
+    std::cerr << "check_run_report: " << path << ": " << error << "\n";
+    return 1;
+  }
+  const auto& histograms = report.find("histograms")->as_object();
+  std::cout << "ok: " << path << " ("
+            << report.find("counters")->as_object().size() << " counters, "
+            << histograms.size() << " histograms)\n";
+  return 0;
+}
+
+int check_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "check_run_report: cannot read " << path << "\n";
+    return 1;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  std::size_t spans = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    vp::obs::json::Value span;
+    try {
+      span = vp::obs::json::parse(line);
+    } catch (const std::exception& e) {
+      std::cerr << "check_run_report: " << path << ":" << lineno << ": "
+                << e.what() << "\n";
+      return 1;
+    }
+    std::string error;
+    if (!vp::obs::validate_span(span, &error)) {
+      std::cerr << "check_run_report: " << path << ":" << lineno << ": "
+                << error << "\n";
+      return 1;
+    }
+    ++spans;
+  }
+  if (spans == 0) {
+    std::cerr << "check_run_report: " << path << ": no spans recorded\n";
+    return 1;
+  }
+  std::cout << "ok: " << path << " (" << spans << " spans)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string report_path;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (report_path.empty()) {
+      report_path = arg;
+    } else {
+      std::cerr << "usage: check_run_report <report.json> "
+                   "[--trace <trace.jsonl>]\n";
+      return 1;
+    }
+  }
+  if (report_path.empty()) {
+    std::cerr << "usage: check_run_report <report.json> "
+                 "[--trace <trace.jsonl>]\n";
+    return 1;
+  }
+  int status = check_report(report_path);
+  if (!trace_path.empty()) status |= check_trace(trace_path);
+  return status;
+}
