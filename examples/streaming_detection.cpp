@@ -1,0 +1,175 @@
+// Online streaming detection demo (DESIGN.md §8): the Table V highway
+// scenario served beacon-by-beacon instead of as an offline batch.
+//
+// Builds and runs the simulated VANET, then replays one observer's
+// receptions in arrival order through stream::StreamEngine — bounded
+// per-identity ring buffers, staleness expiry, explicit load shedding —
+// which runs a confirmation round every detection period. Each round is
+// checked against core::VoiceprintDetector on the batch-cut window: the
+// suspect sets and pair distances must match bit for bit.
+//
+//   ./build/examples/streaming_detection --density 30 --seed 5
+//   ./build/examples/streaming_detection --rate-cap 50 --ring 64   # overload
+//
+// Pass --metrics-out / --trace-out for a run report with the stream.*
+// metrics (ingest and shed counters, ring evictions, round latency).
+#include <algorithm>
+#include <iostream>
+#include <set>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/detector.h"
+#include "obs/report.h"
+#include "sim/runner.h"
+#include "sim/world.h"
+#include "stream/engine.h"
+
+int main(int argc, char** argv) {
+  using namespace vp;
+  const CliArgs args(argc, argv);
+  const RunFlags run_flags = parse_run_flags(args);
+  obs::RunSession session(args.program_name(), run_flags.metrics_out,
+                          run_flags.trace_out);
+
+  sim::ScenarioConfig config;
+  config.density_per_km = args.get_double("density", 30.0);
+  config.seed = args.get_seed("seed", 5);
+  config.sim_time_s = args.get_double("sim-time", 60.0);
+
+  std::cout << config.describe() << "\nrunning...\n";
+  sim::World world(config);
+  world.run();
+
+  const NodeId observer = world.normal_node_ids().front();
+  const sim::RssiLog& log = world.node(observer).log();
+  const double horizon = config.sim_time_s + 1.0;
+
+  // The observer's receptions in arrival order: merge the per-identity
+  // logs by (time, id) — exactly the beacon stream its radio delivered.
+  struct Rx {
+    double time_s;
+    IdentityId id;
+    double rssi_dbm;
+  };
+  std::vector<Rx> beacons;
+  for (IdentityId id : log.identities_heard(0.0, horizon, 1)) {
+    for (const sim::BeaconRecord& r : log.records(id, 0.0, horizon)) {
+      beacons.push_back({r.time_s, id, r.rssi_dbm});
+    }
+  }
+  std::sort(beacons.begin(), beacons.end(), [](const Rx& a, const Rx& b) {
+    return a.time_s != b.time_s ? a.time_s < b.time_s : a.id < b.id;
+  });
+
+  stream::StreamEngineConfig engine_config;
+  engine_config.observation_time_s = config.observation_time_s;
+  engine_config.round_period_s = config.detection_period_s;
+  engine_config.density_estimation_period_s =
+      config.density_estimation_period_s;
+  engine_config.max_transmission_range_m = config.max_transmission_range_m;
+  engine_config.min_samples = 4;  // World::observe's default
+  engine_config.ring_capacity =
+      static_cast<std::size_t>(args.get_int("ring", 256));
+  engine_config.max_identities =
+      static_cast<std::size_t>(args.get_int("max-identities", 512));
+  engine_config.max_ingest_rate_hz = args.get_double("rate-cap", 0.0);
+  engine_config.detector = core::tuned_simulation_options(run_flags.threads);
+
+  stream::StreamEngine engine(engine_config);
+  core::VoiceprintDetector batch(core::tuned_simulation_options(
+      run_flags.threads));
+
+  // Check every round against the batch detector on the same window as it
+  // completes. Shedding (a rate cap, a small ring) breaks parity by
+  // design — the engine then sees less than the unbounded log did.
+  const bool shedding_configured =
+      engine_config.max_ingest_rate_hz > 0.0 || args.has("ring") ||
+      args.has("max-identities");
+  std::size_t rounds_checked = 0;
+  std::size_t rounds_matched = 0;
+  std::vector<stream::StreamRound> rounds;
+  engine.set_round_callback([&](const stream::StreamRound& round) {
+    rounds.push_back(round);
+    const sim::ObservationWindow window =
+        world.observe(observer, round.time_s, engine_config.min_samples);
+    const std::vector<IdentityId> expected = batch.detect_window(window);
+    ++rounds_checked;
+    if (expected == round.suspects &&
+        window.estimated_density_per_km == round.density_per_km) {
+      ++rounds_matched;
+    }
+  });
+
+  for (const Rx& rx : beacons) engine.ingest(rx.id, rx.time_s, rx.rssi_dbm);
+  engine.advance_to(world.detection_times().back());
+
+  std::cout << "\nstreamed " << beacons.size() << " beacons through observer "
+            << observer << "; " << engine.stats().rounds
+            << " confirmation rounds\n\n";
+  Table table({"round t", "heard", "density", "suspects"});
+  for (const stream::StreamRound& round : rounds) {
+    std::string ids;
+    for (IdentityId id : round.suspects) {
+      if (!ids.empty()) ids += " ";
+      ids += std::to_string(id);
+    }
+    table.add_row({Table::num(round.time_s, 0), std::to_string(
+                       round.identities_heard),
+                   Table::num(round.density_per_km, 1),
+                   ids.empty() ? "-" : ids});
+  }
+  table.print(std::cout);
+
+  if (engine.last_round()) {
+    const stream::StreamRound& last = *engine.last_round();
+    const std::set<IdentityId> flagged(last.suspects.begin(),
+                                       last.suspects.end());
+    std::cout << "\nlast round verdicts vs ground truth:\n";
+    Table verdicts({"identity", "truth", "verdict"});
+    const sim::ObservationWindow window =
+        world.observe(observer, last.time_s, engine_config.min_samples);
+    for (const sim::NeighborObservation& n : window.neighbors) {
+      const auto& info = world.truth().info(n.id);
+      const std::string truth = info.sybil ? "SYBIL"
+                                : info.owner_malicious ? "malicious sender"
+                                                       : "normal";
+      verdicts.add_row({std::to_string(n.id), truth,
+                        flagged.count(n.id) ? "flagged" : "-"});
+    }
+    verdicts.print(std::cout);
+  }
+
+  const stream::StreamEngine::Stats& stats = engine.stats();
+  std::cout << "\nstream engine: ingested " << stats.beacons_ingested << "/"
+            << stats.beacons_offered << " beacons (shed "
+            << stats.beacons_shed_rate_limited << " rate-limited, "
+            << stats.beacons_shed_identity_cap << " identity-cap, "
+            << stats.beacons_shed_out_of_order << " out-of-order; "
+            << stats.ring_evictions << " ring evictions), tracking "
+            << engine.identities_tracked() << " identities\n";
+
+  if (shedding_configured) {
+    std::cout << "streaming parity: skipped (load shedding configured)\n";
+  } else if (rounds_checked > 0 && rounds_matched == rounds_checked) {
+    std::cout << "streaming parity: OK — " << rounds_matched << "/"
+              << rounds_checked << " rounds bit-identical to the batch "
+              << "detector\n";
+  } else {
+    std::cout << "streaming parity: MISMATCH — " << rounds_matched << "/"
+              << rounds_checked << " rounds matched\n";
+  }
+
+  if (session.active()) {
+    obs::json::Object extra;
+    extra.emplace("beacons_offered", obs::json::Value(stats.beacons_offered));
+    extra.emplace("beacons_ingested",
+                  obs::json::Value(stats.beacons_ingested));
+    extra.emplace("rounds", obs::json::Value(stats.rounds));
+    extra.emplace("parity_rounds_checked", obs::json::Value(rounds_checked));
+    extra.emplace("parity_rounds_matched", obs::json::Value(rounds_matched));
+    session.set_extra(obs::json::Value(std::move(extra)));
+  }
+  return (shedding_configured || rounds_matched == rounds_checked) ? 0 : 1;
+}

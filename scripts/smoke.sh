@@ -14,13 +14,16 @@ build_dir="${1:-$repo_root/build}"
 
 quickstart="$build_dir/examples/quickstart"
 highway="$build_dir/examples/highway_sybil_sim"
+streaming="$build_dir/examples/streaming_detection"
+stream_bench="$build_dir/bench/stream_throughput"
 checker="$build_dir/tools/check_run_report"
 
-if [[ ! -x "$quickstart" || ! -x "$highway" || ! -x "$checker" ]]; then
+if [[ ! -x "$quickstart" || ! -x "$highway" || ! -x "$streaming" \
+      || ! -x "$stream_bench" || ! -x "$checker" ]]; then
   echo "smoke: binaries missing, building in $build_dir"
   cmake -B "$build_dir" -S "$repo_root"
   cmake --build "$build_dir" -j --target quickstart highway_sybil_sim \
-    check_run_report
+    streaming_detection stream_throughput check_run_report
 fi
 
 tmp="$(mktemp -d)"
@@ -46,5 +49,24 @@ grep -q "fleet average detection rate" "$tmp/highway.out" || {
 
 echo "smoke: validating run report + trace"
 "$checker" "$tmp/report.json" --trace "$tmp/trace.jsonl"
+
+echo "smoke: streaming_detection (batch parity)"
+"$streaming" --density 12 --duration 60 \
+  --metrics-out "$tmp/stream_report.json" \
+  --trace-out "$tmp/stream_trace.jsonl" > "$tmp/streaming.out"
+grep -q "streaming parity: OK" "$tmp/streaming.out" || {
+  echo "smoke: streaming_detection did not report batch parity"
+  cat "$tmp/streaming.out"
+  exit 1
+}
+
+echo "smoke: stream_throughput --quick"
+"$stream_bench" --quick --duration 25 --out "$tmp/BENCH_stream.json" \
+  > "$tmp/stream_bench.out"
+
+echo "smoke: validating streaming report + bench artefact"
+"$checker" "$tmp/stream_report.json" --trace "$tmp/stream_trace.jsonl" \
+  --require stream.beacons_ingested --require stream.rounds \
+  --stream-bench "$tmp/BENCH_stream.json"
 
 echo "smoke: OK"

@@ -42,6 +42,7 @@ ts::Series RssiLog::rssi_series(IdentityId id, double t0, double t1) const {
   if (it == entries_.end()) return {};
   const auto [lo, hi] = window_range(it->second, t0, t1);
   ts::Series series;
+  series.reserve(static_cast<std::size_t>(hi - lo));
   for (auto r = lo; r != hi; ++r) series.add(r->time_s, r->rssi_dbm);
   return series;
 }

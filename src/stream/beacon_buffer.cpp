@@ -1,0 +1,109 @@
+#include "stream/beacon_buffer.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace vp::stream {
+
+BeaconBuffer::BeaconBuffer(std::size_t capacity) {
+  VP_REQUIRE(capacity >= 1);
+  times_.resize(capacity);
+  values_.resize(capacity);
+}
+
+bool BeaconBuffer::push(double time_s, double rssi_dbm) {
+  VP_REQUIRE(empty() || time_s >= back_time());
+  bool evicted = false;
+  if (size_ == times_.size()) {
+    pop_front();
+    evicted = true;
+  }
+  const std::size_t slot = (head_ + size_) % times_.size();
+  times_[slot] = time_s;
+  values_[slot] = rssi_dbm;
+  ++size_;
+  // Welford forward update.
+  const double delta = rssi_dbm - mean_;
+  mean_ += delta / static_cast<double>(size_);
+  m2_ += delta * (rssi_dbm - mean_);
+  return evicted;
+}
+
+void BeaconBuffer::pop_front() {
+  const double x = values_[head_];
+  head_ = (head_ + 1) % times_.size();
+  --size_;
+  // Welford reverse update (exact inverse of the forward step).
+  if (size_ == 0) {
+    mean_ = 0.0;
+    m2_ = 0.0;
+    return;
+  }
+  const double old_mean = mean_;
+  mean_ = (static_cast<double>(size_ + 1) * mean_ - x) /
+          static_cast<double>(size_);
+  m2_ -= (x - old_mean) * (x - mean_);
+  m2_ = std::max(m2_, 0.0);
+}
+
+std::size_t BeaconBuffer::evict_before(double t) {
+  std::size_t dropped = 0;
+  while (size_ > 0 && times_[head_] < t) {
+    pop_front();
+    ++dropped;
+  }
+  return dropped;
+}
+
+double BeaconBuffer::front_time() const {
+  VP_REQUIRE(!empty());
+  return times_[head_];
+}
+
+double BeaconBuffer::back_time() const {
+  VP_REQUIRE(!empty());
+  return time_at(size_ - 1);
+}
+
+std::size_t BeaconBuffer::lower_index(double t) const {
+  std::size_t lo = 0;
+  std::size_t hi = size_;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (time_at(mid) < t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::size_t BeaconBuffer::count_in(double t0, double t1) const {
+  const std::size_t lo = lower_index(t0);
+  const std::size_t hi = lower_index(std::max(t0, t1));
+  return hi - lo;
+}
+
+void BeaconBuffer::extract(double t0, double t1, ts::Series& out) const {
+  const std::size_t lo = lower_index(t0);
+  const std::size_t hi = lower_index(std::max(t0, t1));
+  out.reserve(out.size() + (hi - lo));
+  for (std::size_t i = lo; i < hi; ++i) {
+    const std::size_t slot = (head_ + i) % times_.size();
+    out.add(times_[slot], values_[slot]);
+  }
+}
+
+double BeaconBuffer::mean() const {
+  VP_REQUIRE(!empty());
+  return mean_;
+}
+
+double BeaconBuffer::population_variance() const {
+  VP_REQUIRE(!empty());
+  return m2_ / static_cast<double>(size_);
+}
+
+}  // namespace vp::stream

@@ -1,0 +1,83 @@
+// Fixed-capacity per-identity beacon storage for the streaming engine.
+//
+// A BeaconBuffer is a ring of ⟨reception time, RSSI⟩ samples with O(1)
+// append: when full, the oldest sample is evicted (the streaming engine
+// counts those evictions — under overload the window degrades gracefully
+// instead of growing without bound). Samples arrive in time order, so
+// window queries (`count_in`, `extract`) binary-search the ring exactly
+// like sim::RssiLog does over its vectors, and extracting [t0, t1)
+// reproduces RssiLog::rssi_series bit for bit — the foundation of the
+// streaming-vs-batch parity invariant (DESIGN.md §8).
+//
+// The buffer also maintains incremental Welford mean/variance over its
+// current contents (updated forward on append, reversed on eviction), so
+// a window-level amplitude summary — the shape/floor admission signals
+// and the stream.* gauges — costs O(1) per beacon instead of a second
+// pass. Note the detection path itself still normalises per *pair* over
+// the aligned subsequences (Eq. 7 in core/comparison.cpp); that is what
+// keeps streaming results bit-identical to the batch detector.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "timeseries/series.h"
+
+namespace vp::stream {
+
+class BeaconBuffer {
+ public:
+  // Requires capacity >= 1.
+  explicit BeaconBuffer(std::size_t capacity);
+
+  // Appends a sample; time must be >= the newest sample's time (the
+  // engine sheds out-of-order beacons before they reach the ring).
+  // Returns true when a full ring evicted its oldest sample to make room.
+  bool push(double time_s, double rssi_dbm);
+
+  // Drops samples with time < t from the front; returns how many.
+  std::size_t evict_before(double t);
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return times_.size(); }
+  bool empty() const { return size_ == 0; }
+
+  // Oldest / newest sample times; require a non-empty buffer.
+  double front_time() const;
+  double back_time() const;
+
+  // Number of samples with time in [t0, t1) (binary search, O(log n)).
+  std::size_t count_in(double t0, double t1) const;
+
+  // Appends the samples in [t0, t1) to `out` in time order. The values
+  // are the stored doubles, untouched — extraction over a window the
+  // ring fully retains equals RssiLog::rssi_series on the same records.
+  void extract(double t0, double t1, ts::Series& out) const;
+
+  // Welford summary over the current contents. mean() requires a
+  // non-empty buffer; population_variance() likewise (divides by n).
+  // Evictions reverse the update, so after long streams the summary can
+  // carry rounding on the order of 1e-9 dB² — fine for gauges and
+  // admission signals, which is all it feeds.
+  double mean() const;
+  double population_variance() const;
+
+ private:
+  double time_at(std::size_t i) const {
+    return times_[(head_ + i) % times_.size()];
+  }
+  // First logical index with time >= t.
+  std::size_t lower_index(double t) const;
+  void pop_front();
+
+  std::vector<double> times_;
+  std::vector<double> values_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+
+  // Sliding Welford state over the ring contents.
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace vp::stream

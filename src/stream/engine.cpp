@@ -1,0 +1,216 @@
+#include "stream/engine.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.h"
+#include "obs/runtime.h"
+#include "obs/timer.h"
+
+namespace vp::stream {
+
+namespace {
+
+// Registry instruments, resolved once per engine (lookup takes a mutex;
+// ingest must not). Updates are gated on obs::enabled() — with
+// observability off the engine pays one predictable branch per beacon.
+struct Sinks {
+  obs::Counter* offered;
+  obs::Counter* ingested;
+  obs::Counter* shed_rate;
+  obs::Counter* shed_identity_cap;
+  obs::Counter* shed_out_of_order;
+  obs::Counter* ring_evictions;
+  obs::Counter* samples_expired;
+  obs::Counter* identities_expired;
+  obs::Counter* rounds;
+  obs::Histogram* round_ns;
+  obs::Histogram* round_suspects;
+  obs::Histogram* round_neighbors;
+  obs::Gauge* identities_tracked;
+};
+
+const Sinks& sinks() {
+  static const Sinks s = [] {
+    obs::MetricsRegistry& r = obs::registry();
+    return Sinks{
+        .offered = &r.counter("stream.beacons_offered"),
+        .ingested = &r.counter("stream.beacons_ingested"),
+        .shed_rate = &r.counter("stream.beacons_shed_rate_limited"),
+        .shed_identity_cap = &r.counter("stream.beacons_shed_identity_cap"),
+        .shed_out_of_order = &r.counter("stream.beacons_shed_out_of_order"),
+        .ring_evictions = &r.counter("stream.ring_evictions"),
+        .samples_expired = &r.counter("stream.samples_expired"),
+        .identities_expired = &r.counter("stream.identities_expired"),
+        .rounds = &r.counter("stream.rounds"),
+        .round_ns = &r.histogram("stream.round_ns"),
+        .round_suspects = &r.histogram("stream.round_suspects",
+                                       obs::Histogram::default_count_bounds()),
+        .round_neighbors = &r.histogram("stream.round_neighbors",
+                                        obs::Histogram::default_count_bounds()),
+        .identities_tracked = &r.gauge("stream.identities_tracked"),
+    };
+  }();
+  return s;
+}
+
+}  // namespace
+
+StreamEngine::StreamEngine(StreamEngineConfig config)
+    : config_(std::move(config)), detector_(config_.detector) {
+  VP_REQUIRE(config_.observation_time_s > 0.0);
+  VP_REQUIRE(config_.round_period_s > 0.0);
+  VP_REQUIRE(config_.density_estimation_period_s > 0.0);
+  // The rings only guarantee retention over the observation window, so
+  // the Eq. 9 estimation period must fit inside it.
+  VP_REQUIRE(config_.density_estimation_period_s <= config_.observation_time_s);
+  VP_REQUIRE(config_.max_transmission_range_m > 0.0);
+  VP_REQUIRE(config_.ring_capacity >= 1);
+  VP_REQUIRE(config_.max_identities >= 1);
+  VP_REQUIRE(config_.staleness_horizon_s > 0.0);
+  next_round_ = config_.observation_time_s;
+}
+
+StreamEngine::Admission StreamEngine::ingest(IdentityId id, double time_s,
+                                             double rssi_dbm) {
+  const bool instrumented = obs::enabled();
+  ++stats_.beacons_offered;
+  if (instrumented) sinks().offered->add(1);
+
+  // A round at t covers [t − observation, t): run every round due at or
+  // before this beacon first, so the beacon (time >= t) stays outside.
+  advance_to(time_s);
+
+  // Late beacon whose confirmation round already closed.
+  if (time_s < last_round_time_) {
+    ++stats_.beacons_shed_out_of_order;
+    if (instrumented) sinks().shed_out_of_order->add(1);
+    return Admission::kShedOutOfOrder;
+  }
+
+  // Admission cap: at most max_ingest_rate_hz accepted beacons per whole
+  // second of stream time. Deterministic — no wall clock involved.
+  if (config_.max_ingest_rate_hz > 0.0) {
+    const auto second = static_cast<std::int64_t>(std::floor(time_s));
+    if (second != bucket_second_) {
+      bucket_second_ = second;
+      bucket_accepted_ = 0;
+    }
+    if (static_cast<double>(bucket_accepted_) >= config_.max_ingest_rate_hz) {
+      ++stats_.beacons_shed_rate_limited;
+      if (instrumented) sinks().shed_rate->add(1);
+      return Admission::kShedRateLimited;
+    }
+  }
+
+  auto it = states_.find(id);
+  if (it == states_.end()) {
+    if (states_.size() >= config_.max_identities) {
+      ++stats_.beacons_shed_identity_cap;
+      if (instrumented) sinks().shed_identity_cap->add(1);
+      return Admission::kShedIdentityCap;
+    }
+    it = states_.emplace(id, IdentityState(config_.ring_capacity)).first;
+  } else if (time_s < it->second.last_heard_s) {
+    // Identities of one radio beacon in time order; a regression is a
+    // transport glitch, not a new window sample (equal timestamps are
+    // fine — CCH and SCH receptions can land together).
+    ++stats_.beacons_shed_out_of_order;
+    if (instrumented) sinks().shed_out_of_order->add(1);
+    return Admission::kShedOutOfOrder;
+  }
+
+  IdentityState& state = it->second;
+  if (state.ring.push(time_s, rssi_dbm)) {
+    ++stats_.ring_evictions;
+    if (instrumented) sinks().ring_evictions->add(1);
+  }
+  state.last_heard_s = time_s;
+  ++bucket_accepted_;
+  ++stats_.beacons_ingested;
+  if (instrumented) sinks().ingested->add(1);
+  return Admission::kAccepted;
+}
+
+void StreamEngine::advance_to(double time_s) {
+  // Repeated addition, exactly like World::detection_times builds its
+  // instants — bit-equal round times are part of the parity invariant.
+  while (next_round_ <= time_s) {
+    run_round(next_round_);
+    next_round_ += config_.round_period_s;
+  }
+}
+
+void StreamEngine::expire_stale(double t) {
+  const bool instrumented = obs::enabled();
+  for (auto it = states_.begin(); it != states_.end();) {
+    IdentityState& state = it->second;
+    if (state.last_heard_s < t - config_.staleness_horizon_s) {
+      ++stats_.identities_expired;
+      if (instrumented) sinks().identities_expired->add(1);
+      it = states_.erase(it);
+      continue;
+    }
+    // Age samples that slid out of every window this round can use.
+    const std::size_t dropped =
+        state.ring.evict_before(t - config_.observation_time_s);
+    stats_.samples_expired += dropped;
+    if (instrumented && dropped > 0) sinks().samples_expired->add(dropped);
+    ++it;
+  }
+}
+
+void StreamEngine::run_round(double t) {
+  expire_stale(t);
+
+  const double t0 = t - config_.observation_time_s;
+  round_series_.clear();
+  std::size_t heard_for_density = 0;
+  for (auto& [id, state] : states_) {
+    if (state.ring.count_in(t - config_.density_estimation_period_s, t) >= 1) {
+      ++heard_for_density;
+    }
+    const std::size_t n = state.ring.count_in(t0, t);
+    if (n < config_.min_samples) continue;
+    ts::Series series;
+    series.reserve(n);
+    state.ring.extract(t0, t, series);
+    round_series_.emplace_back(id, std::move(series));
+  }
+  // Eq. 9, exactly as World::observe computes it for the batch window.
+  const double dist_max_km = config_.max_transmission_range_m / 1000.0;
+  const double density =
+      static_cast<double>(heard_for_density) / (2.0 * dist_max_km);
+
+  const bool instrumented = obs::enabled();
+  obs::ScopedTimer round_timer =
+      instrumented
+          ? obs::ScopedTimer(
+                sinks().round_ns, obs::trace(),
+                {.phase = "stream.round",
+                 .pairs = static_cast<std::int64_t>(
+                     round_series_.size() * (round_series_.size() - 1) / 2)})
+          : obs::ScopedTimer();
+
+  StreamRound round;
+  round.time_s = t;
+  round.identities_heard = round_series_.size();
+  round.density_per_km = density;
+  round.suspects = detector_.detect_series(round_series_, density);
+  round.pairs = detector_.last_all_pairs();
+  round_timer.stop();
+
+  ++stats_.rounds;
+  last_round_time_ = t;
+  if (instrumented) {
+    sinks().rounds->add(1);
+    sinks().round_suspects->record(static_cast<double>(round.suspects.size()));
+    sinks().round_neighbors->record(
+        static_cast<double>(round.identities_heard));
+    sinks().identities_tracked->set(static_cast<double>(states_.size()));
+  }
+  if (callback_) callback_(round);
+  last_round_ = std::move(round);
+}
+
+}  // namespace vp::stream

@@ -1,0 +1,156 @@
+// Online streaming Sybil detection (DESIGN.md §8).
+//
+// The paper's pipeline — collect a 20 s window, compare, confirm
+// (Section IV-C) — is implemented in sim/ and core/ as an offline batch
+// over an unbounded RssiLog. StreamEngine is the serving-layer version a
+// real OBU needs: it ingests timestamped ⟨ID, RSSI⟩ beacons one at a
+// time into bounded per-identity ring buffers (stream/beacon_buffer.h),
+// keeps the sliding observation window incrementally, and every
+// confirmation period cuts the window out of the rings and runs the
+// unmodified core::VoiceprintDetector over it.
+//
+// Parity invariant: on any trace the rings fully retain (ring capacity
+// and identity cap not exceeded, staleness horizon >= observation time),
+// every confirmation round produces **bit-identical** suspect sets and
+// pair distances to VoiceprintDetector::detect_window on the batch-cut
+// window — at every thread count. Enforced by tests/test_stream_engine.cpp
+// over simulator and field-test-replay traces.
+//
+// Overload behaviour: the engine never blocks, never allocates per
+// beacon beyond its rings, and never exceeds its configured bounds.
+// Excess load is shed explicitly — a beacons-per-second admission cap, a
+// per-observer identity cap, ring eviction of the oldest samples — and
+// every shed unit is counted (engine Stats and, when observability is
+// enabled, the stream.* metrics).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/detector.h"
+#include "stream/beacon_buffer.h"
+
+namespace vp::stream {
+
+struct StreamEngineConfig {
+  // Window geometry; mirrors sim::ScenarioConfig so the engine's rounds
+  // line up with World::detection_times (first round at
+  // observation_time_s, then every round_period_s).
+  double observation_time_s = 20.0;  // Table V
+  double round_period_s = 20.0;      // the paper's detection period
+  double density_estimation_period_s = 10.0;
+  double max_transmission_range_m = 400.0;  // Dist_max of Eq. 9
+  std::size_t min_samples = 4;  // identity needs this many in the window
+
+  // --- Bounded-memory knobs --------------------------------------------
+  // Per-identity ring capacity. 10 Hz beacons over a 20 s window are 200
+  // samples; 256 leaves headroom for CCH+SCH double beaconing.
+  std::size_t ring_capacity = 256;
+  // Identities tracked at once per engine (observer). A new identity
+  // arriving at the cap is shed — an attacker fabricating identities
+  // cannot grow the observer's memory.
+  std::size_t max_identities = 512;
+  // Identities silent this long are dropped at the next round boundary.
+  // Must be >= observation_time_s for batch parity (a shorter horizon
+  // deliberately narrows what the engine remembers).
+  double staleness_horizon_s = 40.0;
+  // Admission cap in accepted beacons per second, bucketed on whole
+  // seconds of stream time; 0 = unlimited. Beacons over the cap are shed
+  // before touching any ring.
+  double max_ingest_rate_hz = 0.0;
+
+  // Detector options for the rounds (threads, boundary, fixed density …).
+  // The engine feeds the same series the batch window cut would.
+  core::VoiceprintOptions detector{};
+};
+
+// What one confirmation round produced.
+struct StreamRound {
+  double time_s = 0.0;               // window is [time_s - observation, time_s)
+  std::size_t identities_heard = 0;  // series handed to the detector
+  double density_per_km = 0.0;       // Eq. 9 over the estimation period
+  std::vector<IdentityId> suspects;
+  std::vector<core::PairDistance> pairs;  // detector's last_all_pairs()
+};
+
+class StreamEngine {
+ public:
+  enum class Admission {
+    kAccepted,
+    kShedRateLimited,   // over max_ingest_rate_hz this second
+    kShedIdentityCap,   // new identity at the max_identities cap
+    kShedOutOfOrder,    // time regressed (per identity, or into a closed round)
+  };
+
+  // Plain counters mirroring the stream.* metrics, always maintained (the
+  // registry copies are gated on obs::enabled()). For every call,
+  // beacons_offered == beacons_ingested + the three shed counters.
+  struct Stats {
+    std::uint64_t beacons_offered = 0;
+    std::uint64_t beacons_ingested = 0;
+    std::uint64_t beacons_shed_rate_limited = 0;
+    std::uint64_t beacons_shed_identity_cap = 0;
+    std::uint64_t beacons_shed_out_of_order = 0;
+    std::uint64_t ring_evictions = 0;    // capacity-pressure drops
+    std::uint64_t samples_expired = 0;   // aged past the observation window
+    std::uint64_t identities_expired = 0;
+    std::uint64_t rounds = 0;
+  };
+
+  explicit StreamEngine(StreamEngineConfig config);
+
+  // Feeds one beacon, running any confirmation rounds that fall due at or
+  // before its timestamp first (a round at t sees exactly the beacons
+  // with time < t, matching the half-open batch window). Never throws on
+  // overload — excess load is shed and counted.
+  Admission ingest(IdentityId id, double time_s, double rssi_dbm);
+
+  // Advances stream time without a beacon, running any due rounds —
+  // call with the trace end time to flush the final round(s).
+  void advance_to(double time_s);
+
+  // Invoked synchronously after every confirmation round (memory stays
+  // bounded: the engine itself retains only last_round()).
+  void set_round_callback(std::function<void(const StreamRound&)> callback) {
+    callback_ = std::move(callback);
+  }
+
+  const std::optional<StreamRound>& last_round() const { return last_round_; }
+  const Stats& stats() const { return stats_; }
+  std::size_t identities_tracked() const { return states_.size(); }
+  double next_round_time() const { return next_round_; }
+  const StreamEngineConfig& config() const { return config_; }
+
+ private:
+  struct IdentityState {
+    BeaconBuffer ring;
+    double last_heard_s = 0.0;  // survives the ring ageing empty
+    explicit IdentityState(std::size_t capacity) : ring(capacity) {}
+  };
+
+  void run_round(double t);
+  void expire_stale(double t);
+
+  StreamEngineConfig config_;
+  core::VoiceprintDetector detector_;
+  // Sorted by identity id — the same order RssiLog's std::map gives the
+  // batch window cut, which the pair list's ordering parity relies on.
+  std::map<IdentityId, IdentityState> states_;
+  std::function<void(const StreamRound&)> callback_;
+  std::optional<StreamRound> last_round_;
+  Stats stats_;
+
+  double next_round_ = 0.0;
+  double last_round_time_ = -1.0;
+  // Admission bucket: accepted count within [bucket_second_, +1 s).
+  std::int64_t bucket_second_ = 0;
+  std::uint64_t bucket_accepted_ = 0;
+
+  // Reused across rounds so a round allocates only for its results.
+  std::vector<core::NamedSeries> round_series_;
+};
+
+}  // namespace vp::stream

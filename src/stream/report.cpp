@@ -1,0 +1,123 @@
+#include "stream/report.h"
+
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace vp::stream {
+
+namespace {
+
+using obs::json::Array;
+using obs::json::Object;
+using obs::json::Value;
+
+Value snapshot_json(const obs::HistogramSnapshot& s) {
+  Object o;
+  o.emplace("count", Value(s.count));
+  o.emplace("sum", Value(s.sum));
+  o.emplace("min", Value(s.min));
+  o.emplace("max", Value(s.max));
+  o.emplace("mean", Value(s.mean));
+  o.emplace("p50", Value(s.p50));
+  o.emplace("p95", Value(s.p95));
+  o.emplace("p99", Value(s.p99));
+  return Value(std::move(o));
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool require_number(const Value& object, const char* key,
+                    const std::string& where, std::string* error) {
+  const Value* v = object.find(key);
+  if (v == nullptr || !v->is_number()) {
+    return fail(error, where + ": missing or non-numeric \"" + key + "\"");
+  }
+  return true;
+}
+
+}  // namespace
+
+Value build_stream_bench_report(const std::string& binary,
+                                const std::vector<BenchConfigResult>& configs) {
+  Object doc;
+  doc.emplace("schema", Value("voiceprint.stream_bench/v1"));
+  doc.emplace("binary", Value(binary));
+  doc.emplace("hardware_threads", Value(hardware_threads()));
+  Array rows;
+  for (const BenchConfigResult& c : configs) {
+    Object row;
+    row.emplace("label", Value(c.label));
+    row.emplace("beacon_rate_hz", Value(c.beacon_rate_hz));
+    row.emplace("identities", Value(c.identities));
+    row.emplace("duration_s", Value(c.duration_s));
+    row.emplace("offered", Value(c.offered));
+    row.emplace("ingested", Value(c.ingested));
+    row.emplace("shed", Value(c.shed));
+    row.emplace("ring_evictions", Value(c.ring_evictions));
+    row.emplace("rounds", Value(c.rounds));
+    row.emplace("ingest_beacons_per_s", Value(c.ingest_beacons_per_s));
+    row.emplace("round_ns", snapshot_json(c.round_ns));
+    rows.push_back(Value(std::move(row)));
+  }
+  doc.emplace("configs", Value(std::move(rows)));
+  return Value(std::move(doc));
+}
+
+bool validate_stream_bench(const Value& report, std::string* error) {
+  if (!report.is_object()) return fail(error, "report is not an object");
+  const Value* schema = report.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "voiceprint.stream_bench/v1") {
+    return fail(error, "schema is not \"voiceprint.stream_bench/v1\"");
+  }
+  const Value* binary = report.find("binary");
+  if (binary == nullptr || !binary->is_string()) {
+    return fail(error, "missing or non-string \"binary\"");
+  }
+  if (!require_number(report, "hardware_threads", "report", error)) {
+    return false;
+  }
+  const Value* configs = report.find("configs");
+  if (configs == nullptr || !configs->is_array()) {
+    return fail(error, "missing or non-array \"configs\"");
+  }
+  if (configs->as_array().empty()) return fail(error, "\"configs\" is empty");
+  std::size_t index = 0;
+  for (const Value& row : configs->as_array()) {
+    const std::string where = "configs[" + std::to_string(index++) + "]";
+    if (!row.is_object()) return fail(error, where + " is not an object");
+    const Value* label = row.find("label");
+    if (label == nullptr || !label->is_string()) {
+      return fail(error, where + ": missing or non-string \"label\"");
+    }
+    for (const char* key :
+         {"beacon_rate_hz", "identities", "duration_s", "offered", "ingested",
+          "shed", "ring_evictions", "rounds", "ingest_beacons_per_s"}) {
+      if (!require_number(row, key, where, error)) return false;
+    }
+    // Conservation law of the admission path: every offered beacon was
+    // either ingested or explicitly shed — a bench that silently loses
+    // beacons is rejected here, not discovered in a dashboard.
+    if (row.find("offered")->as_number() !=
+        row.find("ingested")->as_number() + row.find("shed")->as_number()) {
+      return fail(error, where + ": offered != ingested + shed");
+    }
+    const Value* round_ns = row.find("round_ns");
+    if (round_ns == nullptr || !round_ns->is_object()) {
+      return fail(error, where + ": missing or non-object \"round_ns\"");
+    }
+    for (const char* key :
+         {"count", "sum", "min", "max", "mean", "p50", "p95", "p99"}) {
+      if (!require_number(*round_ns, key, where + ".round_ns", error)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace vp::stream

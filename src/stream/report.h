@@ -1,0 +1,44 @@
+// BENCH_stream.json schema ("voiceprint.stream_bench/v1"): the
+// bench/stream_throughput sweep writes one document summarising each
+// (beacon rate × identity count) configuration — offered/ingested/shed
+// beacon counts, wall-clock ingest throughput, and the confirmation-round
+// latency percentiles taken from the same obs::HistogramSnapshot
+// aggregation a --metrics-out run report uses.
+//
+// Like obs/report.h, build and validate live together so the emitted
+// document and the check (tools/check_run_report --stream-bench, the
+// smoke test, and the unit tests) cannot drift apart.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace vp::stream {
+
+// One sweep configuration's results.
+struct BenchConfigResult {
+  std::string label;            // e.g. "rate50_n80"
+  double beacon_rate_hz = 0.0;  // offered per-identity beacon rate
+  std::size_t identities = 0;
+  double duration_s = 0.0;      // stream time covered
+  std::uint64_t offered = 0;
+  std::uint64_t ingested = 0;
+  std::uint64_t shed = 0;       // all shed classes summed
+  std::uint64_t ring_evictions = 0;
+  std::uint64_t rounds = 0;
+  double ingest_beacons_per_s = 0.0;  // offered / wall time, the hot number
+  obs::HistogramSnapshot round_ns;    // confirmation-round latency
+};
+
+// Builds the voiceprint.stream_bench/v1 document.
+obs::json::Value build_stream_bench_report(
+    const std::string& binary, const std::vector<BenchConfigResult>& configs);
+
+// True when `report` conforms to voiceprint.stream_bench/v1. On failure,
+// `error` (if non-null) receives a one-line description.
+bool validate_stream_bench(const obs::json::Value& report, std::string* error);
+
+}  // namespace vp::stream

@@ -24,6 +24,12 @@ class Series {
   // Appends a sample; time must be >= the last sample's time.
   void add(double time, double value);
 
+  // Pre-allocates storage for `n` samples (window cuts know their size).
+  void reserve(std::size_t n) {
+    times_.reserve(n);
+    values_.reserve(n);
+  }
+
   std::size_t size() const { return values_.size(); }
   bool empty() const { return values_.empty(); }
 

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/error.h"
+#include "common/rng.h"
 
 namespace vp::sim {
 namespace {
@@ -73,6 +76,53 @@ TEST(RssiLog, EqualTimestampsAllowed) {
   log.record(6, record(1.0, -70));
   log.record(6, record(1.0, -71));  // CCH + SCH can land together
   EXPECT_EQ(log.sample_count(6, 0.9, 1.1), 2u);
+}
+
+// Regression guard for the binary-search window cut: every query must
+// agree with a brute-force linear scan over the same records, across
+// randomized windows that land on, between and outside the timestamps —
+// including runs of equal timestamps (CCH + SCH double receptions).
+TEST(RssiLog, BinarySearchMatchesLinearScan) {
+  RssiLog log;
+  std::vector<double> times;
+  Rng rng(2024);
+  double t = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    t += rng.uniform(0.0, 0.3);  // zero steps create duplicate timestamps
+    log.record(11, record(t, -70.0 + rng.normal(0.0, 3.0)));
+    times.push_back(t);
+  }
+
+  const auto linear_count = [&](double t0, double t1) {
+    std::size_t n = 0;
+    for (double x : times) n += (x >= t0 && x < t1) ? 1 : 0;
+    return n;
+  };
+
+  for (int trial = 0; trial < 300; ++trial) {
+    double t0 = rng.uniform(-1.0, t + 1.0);
+    double t1 = rng.uniform(-1.0, t + 1.0);
+    if (trial % 3 == 0) t0 = times[static_cast<std::size_t>(
+        rng.uniform(0.0, static_cast<double>(times.size())))];  // on a sample
+    if (trial % 5 == 0) t1 = t0;  // empty window
+    const std::size_t expected = linear_count(t0, t1);
+    EXPECT_EQ(log.sample_count(11, t0, t1), expected) << t0 << " " << t1;
+    EXPECT_EQ(log.rssi_series(11, t0, t1).size(), expected);
+    EXPECT_EQ(log.records(11, t0, t1).size(), expected);
+  }
+}
+
+TEST(RssiLog, IdentitiesHeardMinSamplesBoundary) {
+  RssiLog log;
+  for (int i = 0; i < 4; ++i) log.record(1, record(i * 1.0, -70));
+  for (int i = 0; i < 3; ++i) log.record(2, record(i * 1.0, -75));
+  // Exactly at the threshold counts; one below does not.
+  EXPECT_EQ(log.identities_heard(0.0, 10.0, 4).size(), 1u);
+  EXPECT_EQ(log.identities_heard(0.0, 10.0, 3).size(), 2u);
+  EXPECT_EQ(log.identities_heard(0.0, 10.0, 5).size(), 0u);
+  // An empty window hears nobody even with min_samples = 0-equivalent.
+  EXPECT_TRUE(log.identities_heard(5.0, 5.0, 1).empty());
+  EXPECT_TRUE(log.identities_heard(7.0, 3.0, 1).empty());  // inverted
 }
 
 TEST(RssiLog, OutOfOrderRejected) {

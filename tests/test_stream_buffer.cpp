@@ -1,0 +1,147 @@
+#include "stream/beacon_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "sim/rssi_log.h"
+
+namespace vp::stream {
+namespace {
+
+TEST(BeaconBuffer, AppendAndWindowQueries) {
+  BeaconBuffer ring(8);
+  for (int i = 0; i < 5; ++i) ring.push(i * 1.0, -70.0 - i);
+  EXPECT_EQ(ring.size(), 5u);
+  EXPECT_EQ(ring.capacity(), 8u);
+  EXPECT_DOUBLE_EQ(ring.front_time(), 0.0);
+  EXPECT_DOUBLE_EQ(ring.back_time(), 4.0);
+  EXPECT_EQ(ring.count_in(1.0, 3.0), 2u);  // [1, 3) half-open
+  EXPECT_EQ(ring.count_in(3.0, 3.0), 0u);
+  EXPECT_EQ(ring.count_in(5.0, 10.0), 0u);
+  EXPECT_EQ(ring.count_in(3.0, 1.0), 0u);  // inverted window is empty
+
+  ts::Series out;
+  ring.extract(1.0, 3.0, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out.time(0), 1.0);
+  EXPECT_DOUBLE_EQ(out.value(0), -71.0);
+  EXPECT_DOUBLE_EQ(out.value(1), -72.0);
+}
+
+TEST(BeaconBuffer, CapacityOneAndRejections) {
+  BeaconBuffer ring(1);
+  EXPECT_FALSE(ring.push(1.0, -70.0));
+  EXPECT_TRUE(ring.push(2.0, -71.0));  // evicts the only slot
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_DOUBLE_EQ(ring.front_time(), 2.0);
+  EXPECT_THROW(ring.push(1.5, -70.0), PreconditionError);  // time regression
+  EXPECT_THROW(BeaconBuffer(0), PreconditionError);
+}
+
+TEST(BeaconBuffer, EvictionKeepsNewestAndNeverExceedsCapacity) {
+  BeaconBuffer ring(4);
+  std::size_t evictions = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (ring.push(i * 0.1, -60.0 + i)) ++evictions;
+    EXPECT_LE(ring.size(), 4u);
+  }
+  EXPECT_EQ(evictions, 16u);
+  EXPECT_EQ(ring.size(), 4u);
+  // The survivors are exactly the newest four.
+  ts::Series out;
+  ring.extract(0.0, 10.0, out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out.value(0), -60.0 + 16);
+  EXPECT_DOUBLE_EQ(out.value(3), -60.0 + 19);
+}
+
+TEST(BeaconBuffer, EvictBefore) {
+  BeaconBuffer ring(16);
+  for (int i = 0; i < 10; ++i) ring.push(i * 1.0, -70.0);
+  EXPECT_EQ(ring.evict_before(4.0), 4u);
+  EXPECT_EQ(ring.size(), 6u);
+  EXPECT_DOUBLE_EQ(ring.front_time(), 4.0);
+  EXPECT_EQ(ring.evict_before(4.0), 0u);  // idempotent at the boundary
+  EXPECT_EQ(ring.evict_before(100.0), 6u);
+  EXPECT_TRUE(ring.empty());
+}
+
+// The sliding Welford summary must track a batch recompute through many
+// append/evict cycles (the reverse update accumulates only rounding).
+TEST(BeaconBuffer, WelfordMatchesBatchUnderSliding) {
+  BeaconBuffer ring(32);
+  Rng rng(123);
+  std::vector<double> shadow;  // reference copy of the ring contents
+  double t = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    t += rng.uniform(0.01, 0.2);
+    const double v = -75.0 + rng.normal(0.0, 4.0);
+    if (ring.push(t, v)) shadow.erase(shadow.begin());
+    shadow.push_back(v);
+
+    RunningStats reference;
+    for (double x : shadow) reference.add(x);
+    ASSERT_NEAR(ring.mean(), reference.mean(), 1e-9);
+    ASSERT_NEAR(ring.population_variance(), reference.population_variance(),
+                1e-7);
+  }
+  // And through explicit front evictions.
+  const std::size_t dropped = ring.evict_before(t - 1.0);
+  shadow.erase(shadow.begin(), shadow.begin() + static_cast<long>(dropped));
+  if (!shadow.empty()) {
+    RunningStats reference;
+    for (double x : shadow) reference.add(x);
+    EXPECT_NEAR(ring.mean(), reference.mean(), 1e-9);
+    EXPECT_NEAR(ring.population_variance(), reference.population_variance(),
+                1e-7);
+  }
+}
+
+// Extraction over a fully retained window is bit-identical to
+// RssiLog::rssi_series on the same records — the parity foundation.
+TEST(BeaconBuffer, ExtractionMatchesRssiLogBitForBit) {
+  BeaconBuffer ring(512);
+  sim::RssiLog log;
+  Rng rng(7);
+  double t = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    t += rng.uniform(0.05, 0.15);
+    const double v = -70.0 + rng.normal(0.0, 3.0);
+    ring.push(t, v);
+    sim::BeaconRecord record;
+    record.time_s = t;
+    record.rssi_dbm = v;
+    log.record(42, record);
+  }
+  for (const auto& [t0, t1] : std::vector<std::pair<double, double>>{
+           {0.0, t + 1.0}, {5.0, 15.0}, {t / 2, t / 2 + 7.0}}) {
+    ts::Series streamed;
+    ring.extract(t0, t1, streamed);
+    const ts::Series batch = log.rssi_series(42, t0, t1);
+    ASSERT_EQ(streamed.size(), batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(streamed.time(i), batch.time(i));    // exact, not NEAR
+      EXPECT_EQ(streamed.value(i), batch.value(i));
+    }
+    EXPECT_EQ(ring.count_in(t0, t1), batch.size());
+  }
+}
+
+TEST(BeaconBuffer, StatsRequireNonEmpty) {
+  BeaconBuffer ring(4);
+  EXPECT_THROW(ring.mean(), PreconditionError);
+  EXPECT_THROW(ring.front_time(), PreconditionError);
+  ring.push(1.0, -70.0);
+  EXPECT_DOUBLE_EQ(ring.mean(), -70.0);
+  EXPECT_DOUBLE_EQ(ring.population_variance(), 0.0);
+  ring.evict_before(2.0);
+  EXPECT_THROW(ring.population_variance(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace vp::stream

@@ -1,20 +1,27 @@
 // Schema checker for emitted observability artefacts:
 //
 //   check_run_report <report.json> [--trace <trace.jsonl>]
+//                    [--require <counter>]... [--stream-bench <bench.json>]
 //
 // Parses the report and validates it against voiceprint.run_report/v1 via
 // obs::validate_run_report — the same function the unit tests call, so
 // this binary cannot accept a document the tests would reject. With
-// --trace, every JSONL line must parse and pass obs::validate_span.
-// Exit status 0 on success, 1 on any violation (with a one-line reason on
-// stderr). Used by scripts/smoke.sh (the `smoke` ctest).
+// --trace, every JSONL line must parse and pass obs::validate_span. Each
+// --require names a counter that must be present with a positive value
+// (how smoke.sh asserts the stream.* pipeline actually ran). With
+// --stream-bench, the file must pass stream::validate_stream_bench
+// (voiceprint.stream_bench/v1, including the shed-beacon conservation
+// law). Exit status 0 on success, 1 on any violation (with a one-line
+// reason on stderr). Used by scripts/smoke.sh (the `smoke` ctest).
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/json.h"
 #include "obs/report.h"
+#include "stream/report.h"
 
 namespace {
 
@@ -27,7 +34,8 @@ bool read_file(const std::string& path, std::string& out) {
   return true;
 }
 
-int check_report(const std::string& path) {
+int check_report(const std::string& path,
+                 const std::vector<std::string>& required_counters) {
   std::string text;
   if (!read_file(path, text)) {
     std::cerr << "check_run_report: cannot read " << path << "\n";
@@ -45,10 +53,47 @@ int check_report(const std::string& path) {
     std::cerr << "check_run_report: " << path << ": " << error << "\n";
     return 1;
   }
+  const auto& counters = report.find("counters")->as_object();
+  for (const std::string& name : required_counters) {
+    const auto it = counters.find(name);
+    if (it == counters.end()) {
+      std::cerr << "check_run_report: " << path << ": required counter '"
+                << name << "' missing\n";
+      return 1;
+    }
+    if (!it->second.is_number() || it->second.as_number() <= 0) {
+      std::cerr << "check_run_report: " << path << ": required counter '"
+                << name << "' is not positive\n";
+      return 1;
+    }
+  }
   const auto& histograms = report.find("histograms")->as_object();
-  std::cout << "ok: " << path << " ("
-            << report.find("counters")->as_object().size() << " counters, "
+  std::cout << "ok: " << path << " (" << counters.size() << " counters, "
             << histograms.size() << " histograms)\n";
+  return 0;
+}
+
+int check_stream_bench(const std::string& path) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::cerr << "check_run_report: cannot read " << path << "\n";
+    return 1;
+  }
+  vp::obs::json::Value bench;
+  try {
+    bench = vp::obs::json::parse(text);
+  } catch (const std::exception& e) {
+    std::cerr << "check_run_report: " << path << ": " << e.what() << "\n";
+    return 1;
+  }
+  std::string error;
+  if (!vp::stream::validate_stream_bench(bench, &error)) {
+    std::cerr << "check_run_report: " << path << ": " << error << "\n";
+    return 1;
+  }
+  std::cout << "ok: " << path << " ("
+            << bench.find("configs")->as_array().size()
+            << " stream bench configs)\n";
   return 0;
 }
 
@@ -91,26 +136,34 @@ int check_trace(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  constexpr const char* kUsage =
+      "usage: check_run_report <report.json> [--trace <trace.jsonl>] "
+      "[--require <counter>]... [--stream-bench <bench.json>]\n";
   std::string report_path;
   std::string trace_path;
+  std::string stream_bench_path;
+  std::vector<std::string> required_counters;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace" && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (arg == "--require" && i + 1 < argc) {
+      required_counters.push_back(argv[++i]);
+    } else if (arg == "--stream-bench" && i + 1 < argc) {
+      stream_bench_path = argv[++i];
     } else if (report_path.empty()) {
       report_path = arg;
     } else {
-      std::cerr << "usage: check_run_report <report.json> "
-                   "[--trace <trace.jsonl>]\n";
+      std::cerr << kUsage;
       return 1;
     }
   }
   if (report_path.empty()) {
-    std::cerr << "usage: check_run_report <report.json> "
-                 "[--trace <trace.jsonl>]\n";
+    std::cerr << kUsage;
     return 1;
   }
-  int status = check_report(report_path);
+  int status = check_report(report_path, required_counters);
   if (!trace_path.empty()) status |= check_trace(trace_path);
+  if (!stream_bench_path.empty()) status |= check_stream_bench(stream_bench_path);
   return status;
 }
