@@ -1,0 +1,213 @@
+// Fleet mode demo (DESIGN.md §9): many observers' beacon streams
+// multiplexed through one sharded service::DetectionService.
+//
+// Builds and runs the simulated VANET, then replays N observers'
+// receptions — merged into a single arrival-ordered fleet stream — through
+// the service, which hosts one stream::StreamEngine per observer session
+// and batches due confirmation rounds across sessions onto the thread
+// pool. Every session's rounds are cross-checked against a standalone
+// StreamEngine fed the same per-observer stream: suspect sets, pair
+// distances and densities must match bit for bit, for every combination
+// of shards ∈ {1, 4} × threads ∈ {0, 1, 4}. Exit status is non-zero on
+// any divergence.
+//
+//   ./build/examples/fleet_detection --density 15 --sessions 6
+//   ./build/examples/fleet_detection --density 12 --sim-time 40 --sessions 3
+//
+// Pass --metrics-out / --trace-out for a run report with the service.*
+// metrics (admission, round scheduling, pump latency).
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/detector.h"
+#include "obs/report.h"
+#include "service/service.h"
+#include "sim/runner.h"
+#include "sim/world.h"
+#include "stream/engine.h"
+
+namespace {
+
+using namespace vp;
+
+struct FleetRx {
+  double time_s;
+  NodeId observer;
+  IdentityId id;
+  double rssi_dbm;
+};
+
+bool rounds_identical(const stream::StreamRound& a,
+                      const stream::StreamRound& b) {
+  if (a.time_s != b.time_s || a.density_per_km != b.density_per_km ||
+      a.identities_heard != b.identities_heard || a.suspects != b.suspects ||
+      a.pairs.size() != b.pairs.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.pairs.size(); ++i) {
+    if (a.pairs[i].a != b.pairs[i].a || a.pairs[i].b != b.pairs[i].b ||
+        a.pairs[i].comparable != b.pairs[i].comparable ||
+        a.pairs[i].raw != b.pairs[i].raw ||              // bitwise, no epsilon
+        a.pairs[i].normalized != b.pairs[i].normalized) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const RunFlags run_flags = parse_run_flags(args);
+  obs::RunSession session(args.program_name(), run_flags.metrics_out,
+                          run_flags.trace_out);
+
+  sim::ScenarioConfig config;
+  config.density_per_km = args.get_double("density", 15.0);
+  config.seed = args.get_seed("seed", 5);
+  config.sim_time_s = args.get_double("sim-time", 60.0);
+
+  std::cout << config.describe() << "\nrunning...\n";
+  sim::World world(config);
+  world.run();
+
+  const std::vector<NodeId> normals = world.normal_node_ids();
+  const std::size_t session_count = std::min<std::size_t>(
+      static_cast<std::size_t>(args.get_int("sessions", 6)), normals.size());
+  const std::vector<NodeId> observers(normals.begin(),
+                                      normals.begin() + session_count);
+  const double horizon = config.sim_time_s + 1.0;
+
+  // The fleet's receptions in arrival order: every observer's log merged
+  // into one stream keyed (time, observer, identity) — the interleaving a
+  // shared ingestion front-end would see.
+  std::vector<FleetRx> fleet;
+  for (NodeId observer : observers) {
+    const sim::RssiLog& log = world.node(observer).log();
+    for (IdentityId id : log.identities_heard(0.0, horizon, 1)) {
+      for (const sim::BeaconRecord& r : log.records(id, 0.0, horizon)) {
+        fleet.push_back({r.time_s, observer, id, r.rssi_dbm});
+      }
+    }
+  }
+  std::sort(fleet.begin(), fleet.end(), [](const FleetRx& a, const FleetRx& b) {
+    if (a.time_s != b.time_s) return a.time_s < b.time_s;
+    if (a.observer != b.observer) return a.observer < b.observer;
+    return a.id < b.id;
+  });
+
+  stream::StreamEngineConfig engine_config;
+  engine_config.observation_time_s = config.observation_time_s;
+  engine_config.round_period_s = config.detection_period_s;
+  engine_config.density_estimation_period_s =
+      config.density_estimation_period_s;
+  engine_config.max_transmission_range_m = config.max_transmission_range_m;
+  engine_config.min_samples = 4;  // World::observe's default
+  engine_config.detector = core::tuned_simulation_options(1);
+  const double end_time = world.detection_times().back();
+
+  // Reference: each observer through its own standalone StreamEngine
+  // (PR 3's engine, untouched). The service must reproduce these rounds
+  // bit for bit at every shard/thread count.
+  std::map<NodeId, std::vector<stream::StreamRound>> reference;
+  for (NodeId observer : observers) {
+    stream::StreamEngine engine(engine_config);
+    engine.set_round_callback([&, observer](const stream::StreamRound& round) {
+      reference[observer].push_back(round);
+    });
+    for (const FleetRx& rx : fleet) {
+      if (rx.observer != observer) continue;
+      engine.ingest(rx.id, rx.time_s, rx.rssi_dbm);
+    }
+    engine.advance_to(end_time);
+  }
+  std::size_t reference_rounds = 0;
+  for (const auto& [observer, rounds] : reference) {
+    reference_rounds += rounds.size();
+  }
+
+  std::cout << "\nfleet of " << observers.size() << " observers, "
+            << fleet.size() << " beacons, " << reference_rounds
+            << " reference rounds\n\n";
+
+  const std::vector<std::size_t> shard_counts = {1, 4};
+  const std::vector<std::size_t> thread_counts = {0, 1, 4};
+  bool all_ok = true;
+  std::size_t total_checked = 0;
+  std::size_t total_matched = 0;
+  Table table({"shards", "threads", "rounds", "matched", "parity"});
+
+  for (std::size_t shards : shard_counts) {
+    for (std::size_t threads : thread_counts) {
+      service::ServiceConfig service_config;
+      service_config.shards = shards;
+      service_config.threads = threads;
+      service_config.max_sessions = observers.size() + 4;
+      service_config.engine = engine_config;
+
+      service::DetectionService fleet_service(service_config);
+      std::map<NodeId, std::vector<stream::StreamRound>> streamed;
+      fleet_service.set_round_callback(
+          [&](const service::SessionRound& round) {
+            streamed[static_cast<NodeId>(round.session)].push_back(
+                round.round);
+          });
+
+      for (const FleetRx& rx : fleet) {
+        fleet_service.ingest(static_cast<service::SessionId>(rx.observer),
+                             rx.id, rx.time_s, rx.rssi_dbm);
+      }
+      fleet_service.advance_all_to(end_time);
+
+      std::size_t checked = 0;
+      std::size_t matched = 0;
+      bool counts_ok = true;
+      for (NodeId observer : observers) {
+        const std::vector<stream::StreamRound>& expected =
+            reference[observer];
+        const std::vector<stream::StreamRound>& got = streamed[observer];
+        counts_ok = counts_ok && got.size() == expected.size();
+        for (std::size_t i = 0; i < expected.size(); ++i) {
+          ++checked;
+          if (i < got.size() && rounds_identical(got[i], expected[i])) {
+            ++matched;
+          }
+        }
+      }
+      const bool ok =
+          counts_ok && checked == matched && checked == reference_rounds;
+      all_ok = all_ok && ok;
+      total_checked += checked;
+      total_matched += matched;
+      table.add_row({std::to_string(shards), std::to_string(threads),
+                     std::to_string(checked), std::to_string(matched),
+                     ok ? "ok" : "MISMATCH"});
+    }
+  }
+  table.print(std::cout);
+
+  if (all_ok) {
+    std::cout << "\nfleet parity: OK — every session bit-identical to its "
+              << "standalone engine across " << shard_counts.size() << "x"
+              << thread_counts.size() << " shard/thread configs\n";
+  } else {
+    std::cout << "\nfleet parity: MISMATCH — " << total_matched << "/"
+              << total_checked << " rounds matched\n";
+  }
+
+  if (session.active()) {
+    obs::json::Object extra;
+    extra.emplace("sessions", obs::json::Value(observers.size()));
+    extra.emplace("beacons", obs::json::Value(fleet.size()));
+    extra.emplace("reference_rounds", obs::json::Value(reference_rounds));
+    extra.emplace("parity_rounds_checked", obs::json::Value(total_checked));
+    extra.emplace("parity_rounds_matched", obs::json::Value(total_matched));
+    session.set_extra(obs::json::Value(std::move(extra)));
+  }
+  return all_ok ? 0 : 1;
+}

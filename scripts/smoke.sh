@@ -15,15 +15,19 @@ build_dir="${1:-$repo_root/build}"
 quickstart="$build_dir/examples/quickstart"
 highway="$build_dir/examples/highway_sybil_sim"
 streaming="$build_dir/examples/streaming_detection"
+fleet="$build_dir/examples/fleet_detection"
 stream_bench="$build_dir/bench/stream_throughput"
+service_bench="$build_dir/bench/service_throughput"
 checker="$build_dir/tools/check_run_report"
 
 if [[ ! -x "$quickstart" || ! -x "$highway" || ! -x "$streaming" \
-      || ! -x "$stream_bench" || ! -x "$checker" ]]; then
+      || ! -x "$fleet" || ! -x "$stream_bench" || ! -x "$service_bench" \
+      || ! -x "$checker" ]]; then
   echo "smoke: binaries missing, building in $build_dir"
   cmake -B "$build_dir" -S "$repo_root"
   cmake --build "$build_dir" -j --target quickstart highway_sybil_sim \
-    streaming_detection stream_throughput check_run_report
+    streaming_detection fleet_detection stream_throughput \
+    service_throughput check_run_report
 fi
 
 tmp="$(mktemp -d)"
@@ -68,5 +72,24 @@ echo "smoke: validating streaming report + bench artefact"
 "$checker" "$tmp/stream_report.json" --trace "$tmp/stream_trace.jsonl" \
   --require stream.beacons_ingested --require stream.rounds \
   --stream-bench "$tmp/BENCH_stream.json"
+
+echo "smoke: fleet_detection (multi-session parity)"
+"$fleet" --density 12 --sim-time 40 --sessions 3 \
+  --metrics-out "$tmp/fleet_report.json" \
+  --trace-out "$tmp/fleet_trace.jsonl" > "$tmp/fleet.out"
+grep -q "fleet parity: OK" "$tmp/fleet.out" || {
+  echo "smoke: fleet_detection did not report parity"
+  cat "$tmp/fleet.out"
+  exit 1
+}
+
+echo "smoke: service_throughput --quick"
+"$service_bench" --quick --duration 25 --out "$tmp/BENCH_service.json" \
+  > "$tmp/service_bench.out"
+
+echo "smoke: validating fleet report + service bench artefact"
+"$checker" "$tmp/fleet_report.json" --trace "$tmp/fleet_trace.jsonl" \
+  --require service.beacons_ingested --require service.rounds_executed \
+  --service-bench "$tmp/BENCH_service.json"
 
 echo "smoke: OK"

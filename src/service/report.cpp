@@ -1,0 +1,147 @@
+#include "service/report.h"
+
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace vp::service {
+
+namespace {
+
+using obs::json::Array;
+using obs::json::Object;
+using obs::json::Value;
+
+Value snapshot_json(const obs::HistogramSnapshot& s) {
+  Object o;
+  o.emplace("count", Value(s.count));
+  o.emplace("sum", Value(s.sum));
+  o.emplace("min", Value(s.min));
+  o.emplace("max", Value(s.max));
+  o.emplace("mean", Value(s.mean));
+  o.emplace("p50", Value(s.p50));
+  o.emplace("p95", Value(s.p95));
+  o.emplace("p99", Value(s.p99));
+  return Value(std::move(o));
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool require_number(const Value& object, const char* key,
+                    const std::string& where, std::string* error) {
+  const Value* v = object.find(key);
+  if (v == nullptr || !v->is_number()) {
+    return fail(error, where + ": missing or non-numeric \"" + key + "\"");
+  }
+  return true;
+}
+
+bool require_snapshot(const Value& row, const char* key,
+                      const std::string& where, std::string* error) {
+  const Value* snapshot = row.find(key);
+  if (snapshot == nullptr || !snapshot->is_object()) {
+    return fail(error,
+                where + ": missing or non-object \"" + std::string(key) +
+                    "\"");
+  }
+  for (const char* field :
+       {"count", "sum", "min", "max", "mean", "p50", "p95", "p99"}) {
+    if (!require_number(*snapshot, field, where + "." + key, error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Value build_service_bench_report(
+    const std::string& binary,
+    const std::vector<ServiceBenchConfigResult>& configs) {
+  Object doc;
+  doc.emplace("schema", Value("voiceprint.service_bench/v1"));
+  doc.emplace("binary", Value(binary));
+  doc.emplace("hardware_threads", Value(hardware_threads()));
+  Array rows;
+  for (const ServiceBenchConfigResult& c : configs) {
+    Object row;
+    row.emplace("label", Value(c.label));
+    row.emplace("sessions", Value(c.sessions));
+    row.emplace("identities_per_session", Value(c.identities_per_session));
+    row.emplace("beacon_rate_hz", Value(c.beacon_rate_hz));
+    row.emplace("duration_s", Value(c.duration_s));
+    row.emplace("shards", Value(c.shards));
+    row.emplace("threads", Value(c.threads));
+    row.emplace("offered", Value(c.offered));
+    row.emplace("ingested", Value(c.ingested));
+    row.emplace("shed", Value(c.shed));
+    row.emplace("rounds_prepared", Value(c.rounds_prepared));
+    row.emplace("rounds_executed", Value(c.rounds_executed));
+    row.emplace("rounds_shed", Value(c.rounds_shed));
+    row.emplace("ingest_beacons_per_s", Value(c.ingest_beacons_per_s));
+    row.emplace("pump_ns", snapshot_json(c.pump_ns));
+    row.emplace("round_ns", snapshot_json(c.round_ns));
+    rows.push_back(Value(std::move(row)));
+  }
+  doc.emplace("configs", Value(std::move(rows)));
+  return Value(std::move(doc));
+}
+
+bool validate_service_bench(const Value& report, std::string* error) {
+  if (!report.is_object()) return fail(error, "report is not an object");
+  const Value* schema = report.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "voiceprint.service_bench/v1") {
+    return fail(error, "schema is not \"voiceprint.service_bench/v1\"");
+  }
+  const Value* binary = report.find("binary");
+  if (binary == nullptr || !binary->is_string()) {
+    return fail(error, "missing or non-string \"binary\"");
+  }
+  if (!require_number(report, "hardware_threads", "report", error)) {
+    return false;
+  }
+  const Value* configs = report.find("configs");
+  if (configs == nullptr || !configs->is_array()) {
+    return fail(error, "missing or non-array \"configs\"");
+  }
+  if (configs->as_array().empty()) return fail(error, "\"configs\" is empty");
+  std::size_t index = 0;
+  for (const Value& row : configs->as_array()) {
+    const std::string where = "configs[" + std::to_string(index++) + "]";
+    if (!row.is_object()) return fail(error, where + " is not an object");
+    const Value* label = row.find("label");
+    if (label == nullptr || !label->is_string()) {
+      return fail(error, where + ": missing or non-string \"label\"");
+    }
+    for (const char* key :
+         {"sessions", "identities_per_session", "beacon_rate_hz",
+          "duration_s", "shards", "threads", "offered", "ingested", "shed",
+          "rounds_prepared", "rounds_executed", "rounds_shed",
+          "ingest_beacons_per_s"}) {
+      if (!require_number(row, key, where, error)) return false;
+    }
+    // Conservation laws of the admission and scheduling paths: every
+    // offered beacon and every prepared round is accounted for — a bench
+    // that silently loses work is rejected here, not discovered in a
+    // dashboard.
+    if (row.find("offered")->as_number() !=
+        row.find("ingested")->as_number() + row.find("shed")->as_number()) {
+      return fail(error, where + ": offered != ingested + shed");
+    }
+    if (row.find("rounds_prepared")->as_number() !=
+        row.find("rounds_executed")->as_number() +
+            row.find("rounds_shed")->as_number()) {
+      return fail(error,
+                  where + ": rounds_prepared != rounds_executed + rounds_shed");
+    }
+    if (!require_snapshot(row, "pump_ns", where, error)) return false;
+    if (!require_snapshot(row, "round_ns", where, error)) return false;
+  }
+  return true;
+}
+
+}  // namespace vp::service

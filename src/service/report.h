@@ -1,0 +1,54 @@
+// BENCH_service.json schema ("voiceprint.service_bench/v1"): the
+// bench/service_throughput sweep writes one document summarising each
+// (session count × beacon rate) configuration — beacon and round
+// conservation counters, wall-clock ingest throughput, and the pump /
+// round latency percentiles taken from the same obs::HistogramSnapshot
+// aggregation a --metrics-out run report uses.
+//
+// Like stream/report.h, build and validate live together so the emitted
+// document and the check (tools/check_run_report --service-bench, the
+// smoke test, and the unit tests) cannot drift apart.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace vp::service {
+
+// One sweep configuration's results.
+struct ServiceBenchConfigResult {
+  std::string label;  // e.g. "s32_rate10"
+  std::size_t sessions = 0;
+  std::size_t identities_per_session = 0;
+  double beacon_rate_hz = 0.0;  // offered per-identity beacon rate
+  double duration_s = 0.0;      // stream time covered
+  std::size_t shards = 0;
+  std::size_t threads = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t ingested = 0;
+  std::uint64_t shed = 0;  // all beacon shed classes summed
+  std::uint64_t rounds_prepared = 0;
+  std::uint64_t rounds_executed = 0;
+  std::uint64_t rounds_shed = 0;       // queue-full + closed-session
+  double ingest_beacons_per_s = 0.0;   // offered / wall time, the hot number
+  obs::HistogramSnapshot pump_ns;      // pool fan-out latency per pump
+  obs::HistogramSnapshot round_ns;     // per-round detector latency
+};
+
+// Builds the voiceprint.service_bench/v1 document.
+obs::json::Value build_service_bench_report(
+    const std::string& binary,
+    const std::vector<ServiceBenchConfigResult>& configs);
+
+// True when `report` conforms to voiceprint.service_bench/v1, including
+// the two conservation laws (offered = ingested + shed and
+// rounds_prepared = rounds_executed + rounds_shed — a drained service
+// holds no queued rounds). On failure, `error` (if non-null) receives a
+// one-line description.
+bool validate_service_bench(const obs::json::Value& report,
+                            std::string* error);
+
+}  // namespace vp::service

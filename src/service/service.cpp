@@ -1,0 +1,332 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "obs/runtime.h"
+#include "obs/timer.h"
+
+namespace vp::service {
+
+namespace {
+
+// Registry instruments, resolved once (lookup takes a mutex; the ingest
+// path must not). Updates are gated on obs::enabled().
+struct Sinks {
+  obs::Counter* offered;
+  obs::Counter* ingested;
+  obs::Counter* shed_session_cap;
+  obs::Counter* shed_rate;
+  obs::Counter* shed_identity_cap;
+  obs::Counter* shed_out_of_order;
+  obs::Counter* sessions_opened;
+  obs::Counter* sessions_rejected;
+  obs::Counter* sessions_closed;
+  obs::Counter* sessions_evicted_idle;
+  obs::Counter* rounds_prepared;
+  obs::Counter* rounds_executed;
+  obs::Counter* rounds_shed_queue_full;
+  obs::Counter* rounds_shed_closed;
+  obs::Counter* pumps;
+  obs::Histogram* pump_ns;
+  obs::Histogram* pump_rounds;
+  obs::Gauge* sessions_active;
+  obs::Gauge* queued_rounds;
+};
+
+const Sinks& sinks() {
+  static const Sinks s = [] {
+    obs::MetricsRegistry& r = obs::registry();
+    return Sinks{
+        .offered = &r.counter("service.beacons_offered"),
+        .ingested = &r.counter("service.beacons_ingested"),
+        .shed_session_cap = &r.counter("service.beacons_shed_session_cap"),
+        .shed_rate = &r.counter("service.beacons_shed_rate_limited"),
+        .shed_identity_cap = &r.counter("service.beacons_shed_identity_cap"),
+        .shed_out_of_order = &r.counter("service.beacons_shed_out_of_order"),
+        .sessions_opened = &r.counter("service.sessions_opened"),
+        .sessions_rejected = &r.counter("service.sessions_rejected"),
+        .sessions_closed = &r.counter("service.sessions_closed"),
+        .sessions_evicted_idle = &r.counter("service.sessions_evicted_idle"),
+        .rounds_prepared = &r.counter("service.rounds_prepared"),
+        .rounds_executed = &r.counter("service.rounds_executed"),
+        .rounds_shed_queue_full = &r.counter("service.rounds_shed_queue_full"),
+        .rounds_shed_closed = &r.counter("service.rounds_shed_closed"),
+        .pumps = &r.counter("service.pumps"),
+        .pump_ns = &r.histogram("service.pump_ns"),
+        .pump_rounds = &r.histogram("service.pump_rounds",
+                                    obs::Histogram::default_count_bounds()),
+        .sessions_active = &r.gauge("service.sessions_active"),
+        .queued_rounds = &r.gauge("service.queued_rounds"),
+    };
+  }();
+  return s;
+}
+
+void set_session_gauges(std::size_t active, std::size_t queued) {
+  if (!obs::enabled()) return;
+  sinks().sessions_active->set(static_cast<double>(active));
+  sinks().queued_rounds->set(static_cast<double>(queued));
+}
+
+}  // namespace
+
+DetectionService::DetectionService(ServiceConfig config)
+    : config_(std::move(config)), shards_(std::max<std::size_t>(
+                                      config_.shards, 1)) {
+  VP_REQUIRE(config_.shards >= 1);
+  VP_REQUIRE(config_.max_sessions >= 1);
+}
+
+std::size_t DetectionService::shard_of(SessionId session) const {
+  // Hash-sharded ownership: splitmix-mixed so dense session ids (vehicle
+  // numbers) still spread evenly across shards.
+  return static_cast<std::size_t>(mix64(0x5e551d, session)) % shards_.size();
+}
+
+DetectionService::Session* DetectionService::find_session(SessionId session) {
+  Shard& shard = shards_[shard_of(session)];
+  const auto it = shard.sessions.find(session);
+  return it == shard.sessions.end() ? nullptr : &it->second;
+}
+
+DetectionService::Session* DetectionService::open_session(SessionId session) {
+  if (sessions_active_ >= config_.max_sessions) return nullptr;
+  const std::size_t shard_index = shard_of(session);
+  Shard& shard = shards_[shard_index];
+  const auto [it, inserted] = shard.sessions.try_emplace(
+      session, session, shard_index, config_.engine);
+  VP_REQUIRE(inserted);
+  Session& s = it->second;
+  // The engine prepares due rounds inline and hands them here; the
+  // detector runs later, on the pump's pool workers. The captured
+  // addresses are stable: map nodes never move, and close() drains a
+  // session's queue entries before erasing it.
+  s.engine.set_round_deferral([this, &s](stream::RoundInput&& input) {
+    enqueue_round(s, std::move(input));
+  });
+  ++sessions_active_;
+  ++stats_.sessions_opened;
+  if (obs::enabled()) sinks().sessions_opened->add(1);
+  set_session_gauges(sessions_active_, queued_total_);
+  return &s;
+}
+
+bool DetectionService::open(SessionId session) {
+  if (find_session(session) != nullptr) return true;
+  if (open_session(session) != nullptr) return true;
+  ++stats_.sessions_rejected;
+  if (obs::enabled()) sinks().sessions_rejected->add(1);
+  return false;
+}
+
+DetectionService::Admission DetectionService::ingest(SessionId session,
+                                                     IdentityId id,
+                                                     double time_s,
+                                                     double rssi_dbm) {
+  const bool instrumented = obs::enabled();
+  ++stats_.beacons_offered;
+  if (instrumented) sinks().offered->add(1);
+  service_time_ = std::max(service_time_, time_s);
+
+  Session* s = find_session(session);
+  if (s == nullptr) {
+    s = open_session(session);
+    if (s == nullptr) {
+      ++stats_.beacons_shed_session_cap;
+      if (instrumented) sinks().shed_session_cap->add(1);
+      return Admission::kShedSessionCap;
+    }
+  }
+  s->last_offered_s = std::max(s->last_offered_s, time_s);
+
+  const stream::StreamEngine::Admission verdict =
+      s->engine.ingest(id, time_s, rssi_dbm);
+  Admission mapped = Admission::kAccepted;
+  switch (verdict) {
+    case stream::StreamEngine::Admission::kAccepted:
+      ++stats_.beacons_ingested;
+      if (instrumented) sinks().ingested->add(1);
+      break;
+    case stream::StreamEngine::Admission::kShedRateLimited:
+      ++stats_.beacons_shed_rate_limited;
+      if (instrumented) sinks().shed_rate->add(1);
+      mapped = Admission::kShedRateLimited;
+      break;
+    case stream::StreamEngine::Admission::kShedIdentityCap:
+      ++stats_.beacons_shed_identity_cap;
+      if (instrumented) sinks().shed_identity_cap->add(1);
+      mapped = Admission::kShedIdentityCap;
+      break;
+    case stream::StreamEngine::Admission::kShedOutOfOrder:
+      ++stats_.beacons_shed_out_of_order;
+      if (instrumented) sinks().shed_out_of_order->add(1);
+      mapped = Admission::kShedOutOfOrder;
+      break;
+  }
+  maybe_auto_pump();
+  return mapped;
+}
+
+void DetectionService::enqueue_round(Session& session,
+                                     stream::RoundInput&& input) {
+  ++stats_.rounds_prepared;
+  if (obs::enabled()) sinks().rounds_prepared->add(1);
+  if (queued_total_ >= config_.max_queued_rounds) {
+    // Deterministic shedding: the round's window was already cut (the
+    // engine has moved on), the detector work is what gets dropped.
+    ++stats_.rounds_shed_queue_full;
+    if (obs::enabled()) sinks().rounds_shed_queue_full->add(1);
+    return;
+  }
+  PendingRound pending;
+  pending.session = &session;
+  pending.session_id = session.id;
+  pending.input = std::move(input);
+  shards_[session.shard].queue.push_back(std::move(pending));
+  ++queued_total_;
+  set_session_gauges(sessions_active_, queued_total_);
+}
+
+void DetectionService::maybe_auto_pump() {
+  if (config_.pump_batch_rounds == 0 || pumping_) return;
+  if (queued_total_ >= config_.pump_batch_rounds) pump();
+}
+
+void DetectionService::advance_all_to(double time_s) {
+  service_time_ = std::max(service_time_, time_s);
+  for (Shard& shard : shards_) {
+    for (auto& [id, session] : shard.sessions) {
+      session.engine.advance_to(time_s);
+    }
+  }
+  pump();
+}
+
+std::size_t DetectionService::pump() {
+  if (pumping_) return 0;
+  pumping_ = true;
+
+  // Take the queues out of the shards first: round callbacks may ingest
+  // (and so enqueue fresh rounds) during delivery, and those must land in
+  // the live queues, not the batch being iterated.
+  std::vector<std::vector<PendingRound>> batches(shards_.size());
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    batches[i] = std::move(shards_[i].queue);
+    shards_[i].queue.clear();
+    total += batches[i].size();
+  }
+  queued_total_ = 0;
+
+  if (total > 0) {
+    const bool instrumented = obs::enabled();
+    obs::ScopedTimer pump_timer =
+        instrumented
+            ? obs::ScopedTimer(sinks().pump_ns, obs::trace(),
+                               {.phase = "service.pump",
+                                .pairs = static_cast<std::int64_t>(total)})
+            : obs::ScopedTimer();
+
+    // One pool task per shard; each drains its own batch FIFO, so a
+    // session's rounds run in order on a single worker. Which shard runs
+    // on which worker is scheduler whim — results never depend on it.
+    parallel_for(config_.threads, batches.size(),
+                 [&](std::size_t /*worker*/, std::size_t index) {
+                   for (PendingRound& pending : batches[index]) {
+                     pending.result = pending.session->engine
+                                          .run_prepared_round(
+                                              std::move(pending.input));
+                   }
+                 });
+    pump_timer.stop();
+
+    // Deliver after the join, shard-major and FIFO within each shard — a
+    // deterministic order independent of the worker interleaving above.
+    for (std::vector<PendingRound>& batch : batches) {
+      for (PendingRound& pending : batch) {
+        ++stats_.rounds_executed;
+        if (callback_) {
+          callback_(SessionRound{pending.session_id,
+                                 std::move(pending.result)});
+        }
+      }
+    }
+    ++stats_.pumps;
+    if (instrumented) {
+      sinks().rounds_executed->add(total);
+      sinks().pumps->add(1);
+      sinks().pump_rounds->record(static_cast<double>(total));
+    }
+  }
+  evict_idle();
+  set_session_gauges(sessions_active_, queued_total_);
+  pumping_ = false;
+  return total;
+}
+
+void DetectionService::evict_idle() {
+  if (config_.session_idle_timeout_s <= 0.0) return;
+  const double horizon = service_time_ - config_.session_idle_timeout_s;
+  for (Shard& shard : shards_) {
+    for (auto it = shard.sessions.begin(); it != shard.sessions.end();) {
+      Session& session = it->second;
+      // A round-callback may have re-queued work for this session during
+      // delivery; a session with queued rounds is not idle.
+      const bool queued = std::any_of(
+          shard.queue.begin(), shard.queue.end(),
+          [&](const PendingRound& p) { return p.session == &session; });
+      if (!queued && session.last_offered_s < horizon) {
+        ++stats_.sessions_evicted_idle;
+        if (obs::enabled()) sinks().sessions_evicted_idle->add(1);
+        it = shard.sessions.erase(it);
+        --sessions_active_;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+bool DetectionService::close(SessionId session) {
+  Session* s = find_session(session);
+  if (s == nullptr) return false;
+  Shard& shard = shards_[s->shard];
+  const auto removed = std::remove_if(
+      shard.queue.begin(), shard.queue.end(),
+      [&](const PendingRound& p) { return p.session == s; });
+  const auto dropped =
+      static_cast<std::size_t>(shard.queue.end() - removed);
+  shard.queue.erase(removed, shard.queue.end());
+  queued_total_ -= dropped;
+  stats_.rounds_shed_closed += dropped;
+  if (obs::enabled() && dropped > 0) sinks().rounds_shed_closed->add(dropped);
+  shard.sessions.erase(session);
+  --sessions_active_;
+  ++stats_.sessions_closed;
+  if (obs::enabled()) sinks().sessions_closed->add(1);
+  set_session_gauges(sessions_active_, queued_total_);
+  return true;
+}
+
+const stream::StreamEngine* DetectionService::session_engine(
+    SessionId session) const {
+  const Shard& shard = shards_[shard_of(session)];
+  const auto it = shard.sessions.find(session);
+  return it == shard.sessions.end() ? nullptr : &it->second.engine;
+}
+
+void DetectionService::for_each_session(
+    const std::function<void(SessionId, const stream::StreamEngine&)>& fn)
+    const {
+  for (const Shard& shard : shards_) {
+    for (const auto& [id, session] : shard.sessions) {
+      fn(id, session.engine);
+    }
+  }
+}
+
+}  // namespace vp::service

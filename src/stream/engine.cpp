@@ -182,6 +182,26 @@ void StreamEngine::run_round(double t) {
   const double density =
       static_cast<double>(heard_for_density) / (2.0 * dist_max_km);
 
+  // The cut is final: from here the round is a pure function of `input`,
+  // so later beacons are late relative to it whether or not the detector
+  // has run yet.
+  last_round_time_ = t;
+  if (obs::enabled()) {
+    sinks().identities_tracked->set(static_cast<double>(states_.size()));
+  }
+
+  RoundInput input;
+  input.time_s = t;
+  input.density_per_km = density;
+  input.series = std::move(round_series_);
+  if (defer_) {
+    defer_(std::move(input));
+    return;
+  }
+  run_prepared_round(std::move(input));
+}
+
+const StreamRound& StreamEngine::run_prepared_round(RoundInput input) {
   const bool instrumented = obs::enabled();
   obs::ScopedTimer round_timer =
       instrumented
@@ -189,28 +209,31 @@ void StreamEngine::run_round(double t) {
                 sinks().round_ns, obs::trace(),
                 {.phase = "stream.round",
                  .pairs = static_cast<std::int64_t>(
-                     round_series_.size() * (round_series_.size() - 1) / 2)})
+                     input.series.size() * (input.series.size() - 1) / 2)})
           : obs::ScopedTimer();
 
   StreamRound round;
-  round.time_s = t;
-  round.identities_heard = round_series_.size();
-  round.density_per_km = density;
-  round.suspects = detector_.detect_series(round_series_, density);
+  round.time_s = input.time_s;
+  round.identities_heard = input.series.size();
+  round.density_per_km = input.density_per_km;
+  round.suspects = detector_.detect_series(input.series, input.density_per_km);
   round.pairs = detector_.last_all_pairs();
   round_timer.stop();
 
   ++stats_.rounds;
-  last_round_time_ = t;
   if (instrumented) {
     sinks().rounds->add(1);
     sinks().round_suspects->record(static_cast<double>(round.suspects.size()));
     sinks().round_neighbors->record(
         static_cast<double>(round.identities_heard));
-    sinks().identities_tracked->set(static_cast<double>(states_.size()));
   }
   if (callback_) callback_(round);
   last_round_ = std::move(round);
+  // Recycle the window vector's capacity for the next inline cut. Under
+  // deferral the next cut may already be in flight on the harness thread,
+  // so the buffer is left alone there.
+  if (!defer_) round_series_ = std::move(input.series);
+  return *last_round_;
 }
 
 }  // namespace vp::stream

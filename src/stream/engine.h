@@ -76,6 +76,18 @@ struct StreamRound {
   std::vector<core::PairDistance> pairs;  // detector's last_all_pairs()
 };
 
+// A confirmation round's detector input, captured at the moment the round
+// fell due — the window cut out of the rings and the Eq. 9 density, i.e.
+// everything whose value depends on ring state. Given a RoundInput, the
+// detector's results are a pure function of it, which is what lets a
+// serving layer (service::DetectionService) run the expensive part later
+// on another thread without touching parity.
+struct RoundInput {
+  double time_s = 0.0;  // window is [time_s - observation, time_s)
+  double density_per_km = 0.0;
+  std::vector<core::NamedSeries> series;
+};
+
 class StreamEngine {
  public:
   enum class Admission {
@@ -118,6 +130,26 @@ class StreamEngine {
     callback_ = std::move(callback);
   }
 
+  // Deferred round execution, for a serving layer multiplexing many
+  // engines. When set, a due round is *prepared* inline — staleness
+  // expiry, window cut, Eq. 9 density: everything that must see the rings
+  // exactly as the triggering beacon found them — and handed to `defer`
+  // instead of running the detector. The owner later completes it with
+  // run_prepared_round (in preparation order, never concurrently with
+  // ingest/advance_to on this engine) or drops it under overload; either
+  // way the engine's window bookkeeping has already moved on, so
+  // subsequent beacons are admitted exactly as if the round had run.
+  void set_round_deferral(std::function<void(RoundInput&&)> defer) {
+    defer_ = std::move(defer);
+  }
+
+  // Completes a prepared round: runs the unmodified detector over the
+  // input, updates Stats::rounds and last_round(), and invokes the round
+  // callback. Results are bit-identical to the inline path — the input
+  // already fixes the window and density, and the detector is a pure
+  // function of them. Also the tail of the inline path itself.
+  const StreamRound& run_prepared_round(RoundInput input);
+
   const std::optional<StreamRound>& last_round() const { return last_round_; }
   const Stats& stats() const { return stats_; }
   std::size_t identities_tracked() const { return states_.size(); }
@@ -140,6 +172,7 @@ class StreamEngine {
   // batch window cut, which the pair list's ordering parity relies on.
   std::map<IdentityId, IdentityState> states_;
   std::function<void(const StreamRound&)> callback_;
+  std::function<void(RoundInput&&)> defer_;
   std::optional<StreamRound> last_round_;
   Stats stats_;
 

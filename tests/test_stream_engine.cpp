@@ -261,5 +261,66 @@ TEST(StreamEngine, RoundBoundaryIsHalfOpen) {
   EXPECT_EQ(engine.last_round()->pairs.size(), 0u);
 }
 
+// A beacon at exactly t = 0 is the earliest admissible sample and lands
+// inside the first window [0, 20).
+TEST(StreamEngine, BeaconAtTimeZeroIsInFirstWindow) {
+  StreamEngineConfig config;
+  config.min_samples = 1;
+  StreamEngine engine(config);
+  EXPECT_EQ(engine.ingest(3, 0.0, -70.0), StreamEngine::Admission::kAccepted);
+  engine.advance_to(20.0);
+  const StreamEngine::Stats& stats = engine.stats();
+  EXPECT_EQ(stats.rounds, 1u);
+  ASSERT_TRUE(engine.last_round().has_value());
+  EXPECT_EQ(engine.last_round()->time_s, 20.0);
+  EXPECT_EQ(engine.last_round()->identities_heard, 1u);
+  // Eq. 9 counts only the trailing estimation period [10, 20): the t=0
+  // beacon is in the observation window but not the density window.
+  EXPECT_EQ(engine.last_round()->density_per_km, 0.0);
+}
+
+// An engine that never hears anything still closes its rounds: empty
+// windows, zero density, no suspects — and no crash or stall.
+TEST(StreamEngine, EmptyTraceProducesEmptyRounds) {
+  StreamEngineConfig config;
+  StreamEngine engine(config);
+  std::vector<StreamRound> rounds;
+  engine.set_round_callback(
+      [&](const StreamRound& round) { rounds.push_back(round); });
+  engine.advance_to(60.0);
+  ASSERT_EQ(rounds.size(), 3u);  // t = 20, 40, 60
+  for (const StreamRound& round : rounds) {
+    EXPECT_EQ(round.identities_heard, 0u);
+    EXPECT_TRUE(round.suspects.empty());
+    EXPECT_TRUE(round.pairs.empty());
+    EXPECT_EQ(round.density_per_km, 0.0);
+  }
+  EXPECT_EQ(engine.stats().beacons_offered, 0u);
+}
+
+// A round falling due exactly on the final beacon's timestamp runs
+// before that beacon is admitted, so the beacon is outside the closing
+// window — and a subsequent advance_to the same instant is idempotent.
+TEST(StreamEngine, RoundDueExactlyOnFinalBeaconTimestamp) {
+  StreamEngineConfig config;
+  config.min_samples = 1;
+  StreamEngine engine(config);
+  std::vector<StreamRound> rounds;
+  engine.set_round_callback(
+      [&](const StreamRound& round) { rounds.push_back(round); });
+  for (double t = 1.0; t <= 39.0; t += 1.0) engine.ingest(5, t, -70.0);
+  // The trace's last beacon lands exactly at the round instant: rounds at
+  // 20 and 40 both close first, then the beacon is accepted into [40, ·).
+  EXPECT_EQ(engine.ingest(5, 40.0, -70.0), StreamEngine::Admission::kAccepted);
+  ASSERT_EQ(rounds.size(), 2u);
+  EXPECT_EQ(rounds[0].time_s, 20.0);
+  EXPECT_EQ(rounds[1].time_s, 40.0);
+  // [20, 40) holds the beacons at 20..39, not the one at 40.
+  EXPECT_EQ(rounds[1].identities_heard, 1u);
+  engine.advance_to(40.0);  // idempotent: no third round
+  EXPECT_EQ(engine.stats().rounds, 2u);
+  EXPECT_EQ(engine.stats().beacons_ingested, 40u);
+}
+
 }  // namespace
 }  // namespace vp::stream

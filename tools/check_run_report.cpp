@@ -2,6 +2,7 @@
 //
 //   check_run_report <report.json> [--trace <trace.jsonl>]
 //                    [--require <counter>]... [--stream-bench <bench.json>]
+//                    [--service-bench <bench.json>]
 //
 // Parses the report and validates it against voiceprint.run_report/v1 via
 // obs::validate_run_report — the same function the unit tests call, so
@@ -11,8 +12,11 @@
 // (how smoke.sh asserts the stream.* pipeline actually ran). With
 // --stream-bench, the file must pass stream::validate_stream_bench
 // (voiceprint.stream_bench/v1, including the shed-beacon conservation
-// law). Exit status 0 on success, 1 on any violation (with a one-line
-// reason on stderr). Used by scripts/smoke.sh (the `smoke` ctest).
+// law); with --service-bench, service::validate_service_bench
+// (voiceprint.service_bench/v1, including the beacon and round
+// conservation laws). Exit status 0 on success, 1 on any violation (with
+// a one-line reason on stderr). Used by scripts/smoke.sh (the `smoke`
+// ctest).
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -21,6 +25,7 @@
 
 #include "obs/json.h"
 #include "obs/report.h"
+#include "service/report.h"
 #include "stream/report.h"
 
 namespace {
@@ -97,6 +102,30 @@ int check_stream_bench(const std::string& path) {
   return 0;
 }
 
+int check_service_bench(const std::string& path) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::cerr << "check_run_report: cannot read " << path << "\n";
+    return 1;
+  }
+  vp::obs::json::Value bench;
+  try {
+    bench = vp::obs::json::parse(text);
+  } catch (const std::exception& e) {
+    std::cerr << "check_run_report: " << path << ": " << e.what() << "\n";
+    return 1;
+  }
+  std::string error;
+  if (!vp::service::validate_service_bench(bench, &error)) {
+    std::cerr << "check_run_report: " << path << ": " << error << "\n";
+    return 1;
+  }
+  std::cout << "ok: " << path << " ("
+            << bench.find("configs")->as_array().size()
+            << " service bench configs)\n";
+  return 0;
+}
+
 int check_trace(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -138,10 +167,12 @@ int check_trace(const std::string& path) {
 int main(int argc, char** argv) {
   constexpr const char* kUsage =
       "usage: check_run_report <report.json> [--trace <trace.jsonl>] "
-      "[--require <counter>]... [--stream-bench <bench.json>]\n";
+      "[--require <counter>]... [--stream-bench <bench.json>] "
+      "[--service-bench <bench.json>]\n";
   std::string report_path;
   std::string trace_path;
   std::string stream_bench_path;
+  std::string service_bench_path;
   std::vector<std::string> required_counters;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -151,6 +182,8 @@ int main(int argc, char** argv) {
       required_counters.push_back(argv[++i]);
     } else if (arg == "--stream-bench" && i + 1 < argc) {
       stream_bench_path = argv[++i];
+    } else if (arg == "--service-bench" && i + 1 < argc) {
+      service_bench_path = argv[++i];
     } else if (report_path.empty()) {
       report_path = arg;
     } else {
@@ -165,5 +198,8 @@ int main(int argc, char** argv) {
   int status = check_report(report_path, required_counters);
   if (!trace_path.empty()) status |= check_trace(trace_path);
   if (!stream_bench_path.empty()) status |= check_stream_bench(stream_bench_path);
+  if (!service_bench_path.empty()) {
+    status |= check_service_bench(service_bench_path);
+  }
   return status;
 }
