@@ -1,0 +1,482 @@
+// Chaos harness for the serving stack (DESIGN.md §10): sweep every
+// fault class at low and high intensity — plus everything-at-once — over
+// a highway trace, run the faulted stream through stream::StreamEngine
+// with kill/restore cycles (checkpoint → encode → decode → rebuild), and
+// prove the stack survives: zero crashes, conservation laws exact,
+// divergence from the clean baseline bounded. One additional run drives
+// a sharded service::DetectionService fleet through the same storm with
+// a service-level kill/restore.
+//
+// Writes BENCH_chaos.json (schema voiceprint.chaos_bench/v1,
+// self-validated before writing; checked again by
+// tools/check_run_report --chaos-bench and scripts/smoke.sh).
+//
+//   ./build/bench/chaos_detection                  # full sweep
+//   ./build/bench/chaos_detection --quick          # smoke-sized sweep
+//   ./build/bench/chaos_detection --kill-cycles 3 --seed 7
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "core/detector.h"
+#include "fault/injector.h"
+#include "fault/report.h"
+#include "obs/report.h"
+#include "obs/runtime.h"
+#include "service/checkpoint.h"
+#include "service/service.h"
+#include "sim/world.h"
+#include "stream/checkpoint.h"
+#include "stream/engine.h"
+
+namespace {
+
+using namespace vp;
+
+// Clean source trace: one observer's receptions from the highway
+// simulator, arrival-ordered — the same kind of stream the parity tests
+// feed the engine.
+std::vector<fault::Beacon> highway_trace(double density, double sim_time,
+                                         std::uint64_t seed,
+                                         sim::ScenarioConfig* out_config) {
+  sim::ScenarioConfig config;
+  config.density_per_km = density;
+  config.sim_time_s = sim_time;
+  config.seed = seed;
+  sim::World world(config);
+  world.run();
+  const NodeId observer = world.normal_node_ids().front();
+  const sim::RssiLog& log = world.node(observer).log();
+
+  std::vector<fault::Beacon> beacons;
+  for (IdentityId id : log.identities_heard(0.0, sim_time + 1.0, 1)) {
+    for (const sim::BeaconRecord& r : log.records(id, 0.0, sim_time + 1.0)) {
+      beacons.push_back({id, r.time_s, r.rssi_dbm});
+    }
+  }
+  std::sort(beacons.begin(), beacons.end(),
+            [](const fault::Beacon& a, const fault::Beacon& b) {
+              return a.time_s != b.time_s ? a.time_s < b.time_s : a.id < b.id;
+            });
+  *out_config = config;
+  return beacons;
+}
+
+stream::StreamEngineConfig engine_config_for(const sim::ScenarioConfig& sim) {
+  stream::StreamEngineConfig config;
+  config.observation_time_s = sim.observation_time_s;
+  config.round_period_s = sim.detection_period_s;
+  config.density_estimation_period_s = sim.density_estimation_period_s;
+  config.max_transmission_range_m = sim.max_transmission_range_m;
+  config.detector = core::tuned_simulation_options(1);
+  return config;
+}
+
+using RoundMap = std::map<double, std::vector<IdentityId>>;
+
+// Fraction of baseline rounds the faulted run got wrong (different
+// suspect set, or the round missing entirely).
+double divergence_vs(const RoundMap& baseline, const RoundMap& faulted) {
+  if (baseline.empty()) return 0.0;
+  std::size_t divergent = 0;
+  for (const auto& [time, suspects] : baseline) {
+    const auto it = faulted.find(time);
+    if (it == faulted.end() || it->second != suspects) ++divergent;
+  }
+  return static_cast<double>(divergent) / static_cast<double>(baseline.size());
+}
+
+void fill_injector_side(const fault::FaultStats& fs,
+                        fault::ChaosRunResult& row) {
+  row.source_beacons = fs.offered;
+  row.emitted = fs.emitted;
+  row.dropped = fs.dropped;
+  row.burst_dropped = fs.burst_dropped;
+  row.duplicated = fs.duplicated;
+  row.reordered = fs.reordered;
+  row.rssi_spiked = fs.rssi_spiked;
+  row.rssi_quantized = fs.rssi_quantized;
+  row.rssi_non_finite = fs.rssi_non_finite;
+  row.time_skewed = fs.time_skewed;
+  row.time_regressed = fs.time_regressed;
+  row.flood_injected = fs.flood_injected;
+}
+
+void print_row(const fault::ChaosRunResult& row) {
+  std::printf(
+      "CHAOS %-22s class=%-12s intensity=%6.3f kills=%llu  emitted=%-6llu "
+      "ingested=%-6llu shed=%-5llu rounds=%-3llu divergence=%.3f\n",
+      row.label.c_str(), row.fault_class.c_str(), row.intensity,
+      static_cast<unsigned long long>(row.kill_restore_cycles),
+      static_cast<unsigned long long>(row.emitted),
+      static_cast<unsigned long long>(row.ingested),
+      static_cast<unsigned long long>(
+          row.shed_rate_limited + row.shed_identity_cap +
+          row.shed_out_of_order + row.shed_invalid_rssi_non_finite +
+          row.shed_invalid_rssi_out_of_range + row.shed_invalid_time_non_finite +
+          row.shed_invalid_time_negative),
+      static_cast<unsigned long long>(row.rounds), row.round_divergence);
+}
+
+// One engine chaos run: fault the trace, stream it with `kill_cycles`
+// checkpoint/encode/decode/restore interruptions, collect rounds.
+fault::ChaosRunResult run_engine_chaos(
+    const std::string& label, const std::string& fault_class, double intensity,
+    const fault::FaultConfig& fault_config,
+    const stream::StreamEngineConfig& engine_config,
+    const std::vector<fault::Beacon>& trace, double end_time,
+    std::size_t kill_cycles, const RoundMap& baseline,
+    double max_divergence) {
+  fault::FaultInjector injector(fault_config);
+  const std::vector<fault::Beacon> faulted = injector.apply(trace);
+
+  RoundMap rounds;
+  auto record = [&rounds](const stream::StreamRound& round) {
+    rounds[round.time_s] = round.suspects;
+  };
+  std::optional<stream::StreamEngine> engine(std::in_place, engine_config);
+  engine->set_round_callback(record);
+
+  // Kill points: evenly spaced beacon indices, skipping 0 and the end.
+  std::vector<std::size_t> kills;
+  for (std::size_t k = 1; k <= kill_cycles; ++k) {
+    kills.push_back(faulted.size() * k / (kill_cycles + 1));
+  }
+  std::size_t next_kill = 0;
+  double last_finite_time = 0.0;
+  for (std::size_t i = 0; i < faulted.size(); ++i) {
+    if (next_kill < kills.size() && i == kills[next_kill]) {
+      ++next_kill;
+      // The crash: serialise, discard the live engine, deserialise,
+      // rebuild. A decode failure here is a harness bug — fail loudly.
+      const std::vector<std::uint8_t> bytes =
+          stream::encode_checkpoint(engine->checkpoint());
+      engine.reset();
+      stream::EngineCheckpoint restored;
+      std::string error;
+      if (!stream::decode_checkpoint(bytes, &restored, &error)) {
+        std::fprintf(stderr, "chaos: checkpoint roundtrip failed: %s\n",
+                     error.c_str());
+        std::exit(1);
+      }
+      engine.emplace(engine_config, restored);
+      engine->set_round_callback(record);
+    }
+    const fault::Beacon& b = faulted[i];
+    engine->ingest(b.id, b.time_s, b.rssi_dbm);
+    if (std::isfinite(b.time_s)) {
+      last_finite_time = std::max(last_finite_time, b.time_s);
+    }
+  }
+  engine->advance_to(std::max(end_time, last_finite_time));
+
+  const stream::StreamEngine::Stats& stats = engine->stats();
+  fault::ChaosRunResult row;
+  row.label = label;
+  row.fault_class = fault_class;
+  row.intensity = intensity;
+  row.kill_restore_cycles = kill_cycles;
+  fill_injector_side(injector.stats(), row);
+  row.offered = stats.beacons_offered;
+  row.ingested = stats.beacons_ingested;
+  row.shed_rate_limited = stats.beacons_shed_rate_limited;
+  row.shed_identity_cap = stats.beacons_shed_identity_cap;
+  row.shed_out_of_order = stats.beacons_shed_out_of_order;
+  row.shed_invalid_rssi_non_finite = stats.shed_invalid_rssi_non_finite;
+  row.shed_invalid_rssi_out_of_range = stats.shed_invalid_rssi_out_of_range;
+  row.shed_invalid_time_non_finite = stats.shed_invalid_time_non_finite;
+  row.shed_invalid_time_negative = stats.shed_invalid_time_negative;
+  row.rounds = stats.rounds;
+  row.round_divergence = divergence_vs(baseline, rounds);
+  row.max_divergence = max_divergence;
+  print_row(row);
+  return row;
+}
+
+// The fleet run: three sessions fed independently-faulted copies of the
+// trace through a sharded DetectionService, with one service-level
+// kill/restore (pump → checkpoint → encode → decode → rebuild) midway.
+fault::ChaosRunResult run_service_chaos(
+    const fault::FaultConfig& base_faults,
+    const stream::StreamEngineConfig& engine_config,
+    const std::vector<fault::Beacon>& trace, double end_time,
+    const RoundMap& baseline, double max_divergence, std::size_t threads) {
+  struct SessionBeacon {
+    service::SessionId session;
+    fault::Beacon beacon;
+  };
+  constexpr std::size_t kSessions = 3;
+  std::vector<SessionBeacon> merged;
+  fault::FaultStats injector_totals;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    fault::FaultConfig fc = base_faults;
+    fc.seed = mix64(base_faults.seed, s + 1);
+    fault::FaultInjector injector(fc);
+    for (const fault::Beacon& b : injector.apply(trace)) {
+      merged.push_back({static_cast<service::SessionId>(s + 1), b});
+    }
+    const fault::FaultStats& fs = injector.stats();
+    injector_totals.offered += fs.offered;
+    injector_totals.emitted += fs.emitted;
+    injector_totals.dropped += fs.dropped;
+    injector_totals.burst_dropped += fs.burst_dropped;
+    injector_totals.duplicated += fs.duplicated;
+    injector_totals.reordered += fs.reordered;
+    injector_totals.rssi_spiked += fs.rssi_spiked;
+    injector_totals.rssi_quantized += fs.rssi_quantized;
+    injector_totals.rssi_non_finite += fs.rssi_non_finite;
+    injector_totals.time_skewed += fs.time_skewed;
+    injector_totals.time_regressed += fs.time_regressed;
+    injector_totals.flood_injected += fs.flood_injected;
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const SessionBeacon& a, const SessionBeacon& b) {
+                     return a.beacon.time_s < b.beacon.time_s;
+                   });
+
+  service::ServiceConfig config;
+  config.shards = kSessions;
+  config.threads = threads;
+  config.engine = engine_config;
+  std::map<service::SessionId, RoundMap> rounds;
+  auto record = [&rounds](const service::SessionRound& r) {
+    rounds[r.session][r.round.time_s] = r.round.suspects;
+  };
+  std::optional<service::DetectionService> svc(std::in_place, config);
+  svc->set_round_callback(record);
+
+  const std::size_t kill_at = merged.size() / 2;
+  double last_finite_time = 0.0;
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    if (i == kill_at) {
+      svc->pump();  // checkpoint requires a drained round queue
+      const std::vector<std::uint8_t> bytes =
+          service::encode_checkpoint(svc->checkpoint());
+      svc.reset();
+      service::ServiceCheckpoint restored;
+      std::string error;
+      if (!service::decode_checkpoint(bytes, &restored, &error)) {
+        std::fprintf(stderr, "chaos: service checkpoint roundtrip failed: %s\n",
+                     error.c_str());
+        std::exit(1);
+      }
+      svc.emplace(config, restored);
+      svc->set_round_callback(record);
+    }
+    const SessionBeacon& sb = merged[i];
+    svc->ingest(sb.session, sb.beacon.id, sb.beacon.time_s, sb.beacon.rssi_dbm);
+    if (std::isfinite(sb.beacon.time_s)) {
+      last_finite_time = std::max(last_finite_time, sb.beacon.time_s);
+    }
+  }
+  svc->advance_all_to(std::max(end_time, last_finite_time));
+
+  const service::DetectionService::Stats& stats = svc->stats();
+  fault::ChaosRunResult row;
+  row.label = "service_fleet";
+  row.fault_class = "all";
+  row.intensity = 1.0;
+  row.kill_restore_cycles = 1;
+  fill_injector_side(injector_totals, row);
+  row.offered = stats.beacons_offered;
+  row.ingested = stats.beacons_ingested;
+  row.shed_rate_limited = stats.beacons_shed_rate_limited;
+  row.shed_identity_cap = stats.beacons_shed_identity_cap;
+  row.shed_out_of_order = stats.beacons_shed_out_of_order;
+  row.shed_session_cap = stats.beacons_shed_session_cap;
+  // Per-reason validation detail lives in the session engines.
+  svc->for_each_session([&row](service::SessionId,
+                               const stream::StreamEngine& engine) {
+    const stream::StreamEngine::Stats& es = engine.stats();
+    row.shed_invalid_rssi_non_finite += es.shed_invalid_rssi_non_finite;
+    row.shed_invalid_rssi_out_of_range += es.shed_invalid_rssi_out_of_range;
+    row.shed_invalid_time_non_finite += es.shed_invalid_time_non_finite;
+    row.shed_invalid_time_negative += es.shed_invalid_time_negative;
+  });
+  row.rounds = stats.rounds_executed;
+  double worst = 0.0;
+  for (std::size_t s = 1; s <= kSessions; ++s) {
+    worst = std::max(worst, divergence_vs(baseline, rounds[s]));
+  }
+  row.round_divergence = worst;
+  row.max_divergence = max_divergence;
+  print_row(row);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const RunFlags run_flags = parse_run_flags(args);
+  obs::RunSession session(args.program_name(), run_flags.metrics_out,
+                          run_flags.trace_out);
+  obs::enable();  // the fault.* / stream.* counters feed --metrics-out
+
+  const bool quick = args.get_bool("quick", false);
+  const double density = args.get_double("density", quick ? 8.0 : 12.0);
+  const double sim_time = args.get_double("sim-time", quick ? 45.0 : 80.0);
+  const std::uint64_t seed = args.get_seed("seed", 11);
+  const auto kill_cycles = static_cast<std::size_t>(
+      args.get_int("kill-cycles", quick ? 1 : 2));
+  const std::string out_path = args.get("out", "BENCH_chaos.json");
+
+  sim::ScenarioConfig sim_config;
+  const std::vector<fault::Beacon> trace =
+      highway_trace(density, sim_time, seed, &sim_config);
+  const stream::StreamEngineConfig engine_config =
+      engine_config_for(sim_config);
+  std::printf("chaos: trace %zu beacons over %.0f s (density %.0f /km)\n",
+              trace.size(), sim_time, density);
+
+  // Clean baseline, and — as run "none" — the same clean trace through
+  // the injector at zero intensity with a kill/restore cycle: the
+  // restored engine must reproduce the baseline exactly (divergence 0).
+  RoundMap baseline;
+  {
+    stream::StreamEngine engine(engine_config);
+    engine.set_round_callback([&baseline](const stream::StreamRound& round) {
+      baseline[round.time_s] = round.suspects;
+    });
+    for (const fault::Beacon& b : trace) {
+      engine.ingest(b.id, b.time_s, b.rssi_dbm);
+    }
+    engine.advance_to(sim_time);
+  }
+
+  fault::FaultConfig off;
+  off.seed = seed;
+
+  std::vector<fault::ChaosRunResult> runs;
+  auto engine_run = [&](const std::string& label,
+                        const std::string& fault_class, double intensity,
+                        const fault::FaultConfig& fc, double max_divergence) {
+    runs.push_back(run_engine_chaos(label, fault_class, intensity, fc,
+                                    engine_config, trace, sim_time,
+                                    kill_cycles, baseline, max_divergence));
+  };
+
+  // Injection disabled + kill/restore: restore parity, divergence 0.
+  engine_run("none_restore_parity", "none", 0.0, off, 0.0);
+
+  {  // i.i.d. loss
+    fault::FaultConfig fc = off;
+    fc.drop_probability = 0.05;
+    engine_run("drop_low", "drop", fc.drop_probability, fc, 0.9);
+    fc.drop_probability = 1.0;  // total blackout: empty rounds only
+    engine_run("drop_max", "drop", fc.drop_probability, fc, 1.0);
+  }
+  {  // correlated loss
+    fault::FaultConfig fc = off;
+    fc.burst_start_probability = 0.002;
+    fc.burst_length = quick ? 20 : 50;
+    engine_run("burst_low", "burst", fc.burst_start_probability, fc, 1.0);
+    fc.burst_start_probability = 1.0;
+    engine_run("burst_max", "burst", fc.burst_start_probability, fc, 1.0);
+  }
+  {  // duplicates
+    fault::FaultConfig fc = off;
+    fc.duplicate_probability = 0.1;
+    engine_run("duplicate_low", "duplicate", fc.duplicate_probability, fc, 1.0);
+    fc.duplicate_probability = 1.0;
+    engine_run("duplicate_max", "duplicate", fc.duplicate_probability, fc, 1.0);
+  }
+  {  // bounded reordering
+    fault::FaultConfig fc = off;
+    fc.reorder_probability = 0.1;
+    fc.reorder_max_displacement = 4;
+    engine_run("reorder_low", "reorder", fc.reorder_probability, fc, 1.0);
+    fc.reorder_probability = 1.0;
+    fc.reorder_max_displacement = 16;
+    engine_run("reorder_max", "reorder", fc.reorder_probability, fc, 1.0);
+  }
+  {  // RSSI spikes + quantisation
+    fault::FaultConfig fc = off;
+    fc.rssi_spike_probability = 0.05;
+    fc.rssi_spike_db = 25.0;
+    engine_run("rssi_spike_low", "rssi_spike", fc.rssi_spike_probability, fc,
+               1.0);
+    fc.rssi_spike_probability = 1.0;
+    fc.rssi_spike_db = 90.0;  // ±90 dB: the negative arm leaves the
+                              // valid range and must be shed as invalid
+    fc.rssi_quantize_step_db = 4.0;
+    engine_run("rssi_spike_max", "rssi_spike", fc.rssi_spike_probability, fc,
+               1.0);
+  }
+  {  // non-finite RSSI — the validation front's reason to exist
+    fault::FaultConfig fc = off;
+    fc.rssi_non_finite_probability = 0.05;
+    engine_run("rssi_non_finite_low", "rssi_non_finite",
+               fc.rssi_non_finite_probability, fc, 1.0);
+    fc.rssi_non_finite_probability = 1.0;
+    engine_run("rssi_non_finite_max", "rssi_non_finite",
+               fc.rssi_non_finite_probability, fc, 1.0);
+  }
+  {  // clock trouble
+    fault::FaultConfig fc = off;
+    fc.time_skew_s = 0.5;
+    fc.time_drift_per_s = 0.001;
+    engine_run("time_skew_low", "time_skew", fc.time_skew_s, fc, 1.0);
+    fc.time_skew_s = -5.0;  // clock BEHIND true time: early beacons land
+                            // at negative timestamps → shed as invalid
+    fc.time_drift_per_s = 0.05;
+    fc.time_regression_probability = 0.2;
+    engine_run("time_skew_max", "time_skew", 5.0, fc, 1.0);
+  }
+  {  // identity flood
+    fault::FaultConfig fc = off;
+    fc.flood_probability = 0.1;
+    engine_run("flood_low", "flood", fc.flood_probability, fc, 1.0);
+    fc.flood_probability = 1.0;
+    engine_run("flood_max", "flood", fc.flood_probability, fc, 1.0);
+  }
+
+  // Everything at once, at maximum intensity — the survival bar: the
+  // engine must stay up through every kill/restore with conservation
+  // exact, whatever the output looks like.
+  fault::FaultConfig storm = off;
+  storm.drop_probability = 0.3;
+  storm.burst_start_probability = 0.01;
+  storm.burst_length = quick ? 20 : 50;
+  storm.duplicate_probability = 0.3;
+  storm.reorder_probability = 0.3;
+  storm.reorder_max_displacement = 16;
+  storm.rssi_spike_probability = 0.5;
+  storm.rssi_spike_db = 90.0;
+  storm.rssi_quantize_step_db = 4.0;
+  storm.rssi_non_finite_probability = 0.3;
+  storm.time_skew_s = -5.0;
+  storm.time_drift_per_s = 0.05;
+  storm.time_regression_probability = 0.2;
+  storm.flood_probability = 0.5;
+  engine_run("all_max", "all", 1.0, storm, 1.0);
+
+  // The fleet under the same storm, with a service-level kill/restore.
+  runs.push_back(run_service_chaos(storm, engine_config, trace, sim_time,
+                                   baseline, 1.0, run_flags.threads));
+
+  const obs::json::Value report =
+      fault::build_chaos_bench_report(args.program_name(), seed, runs);
+  std::string error;
+  if (!fault::validate_chaos_bench(report, &error)) {
+    std::fprintf(stderr, "chaos_detection: self-check failed: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  std::ofstream out(out_path, std::ios::out | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  out << report.dump(2) << "\n";
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  std::printf("chaos: OK (%zu runs, all conservation laws exact)\n",
+              runs.size());
+  return 0;
+}

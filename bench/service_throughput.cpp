@@ -150,7 +150,8 @@ service::ServiceBenchConfigResult run_config(
   result.shed = stats.beacons_shed_session_cap +
                 stats.beacons_shed_rate_limited +
                 stats.beacons_shed_identity_cap +
-                stats.beacons_shed_out_of_order;
+                stats.beacons_shed_out_of_order +
+                stats.beacons_shed_invalid;
   result.rounds_prepared = stats.rounds_prepared;
   result.rounds_executed = stats.rounds_executed;
   result.rounds_shed =

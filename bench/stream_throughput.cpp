@@ -115,9 +115,7 @@ stream::BenchConfigResult run_config(const std::string& label,
   result.duration_s = duration_s;
   result.offered = stats.beacons_offered;
   result.ingested = stats.beacons_ingested;
-  result.shed = stats.beacons_shed_rate_limited +
-                stats.beacons_shed_identity_cap +
-                stats.beacons_shed_out_of_order;
+  result.shed = stats.shed_total();
   result.ring_evictions = stats.ring_evictions;
   result.rounds = stats.rounds;
   result.ingest_beacons_per_s =

@@ -10,11 +10,19 @@
 //
 //   ./build/examples/streaming_detection --density 30 --seed 5
 //   ./build/examples/streaming_detection --rate-cap 50 --ring 64   # overload
+//   ./build/examples/streaming_detection --kill-at 30               # restart
+//
+// --kill-at T simulates an OBU reboot: at the first beacon at or past
+// stream time T the engine is checkpointed through the wire format
+// (encode + decode), destroyed, and restored (DESIGN.md §10). Parity
+// against the batch detector must still hold — restore is bit-exact.
 //
 // Pass --metrics-out / --trace-out for a run report with the stream.*
 // metrics (ingest and shed counters, ring evictions, round latency).
 #include <algorithm>
+#include <cstdint>
 #include <iostream>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -24,6 +32,7 @@
 #include "obs/report.h"
 #include "sim/runner.h"
 #include "sim/world.h"
+#include "stream/checkpoint.h"
 #include "stream/engine.h"
 
 int main(int argc, char** argv) {
@@ -77,7 +86,10 @@ int main(int argc, char** argv) {
   engine_config.max_ingest_rate_hz = args.get_double("rate-cap", 0.0);
   engine_config.detector = core::tuned_simulation_options(run_flags.threads);
 
-  stream::StreamEngine engine(engine_config);
+  const double kill_at = args.get_double("kill-at", -1.0);
+
+  std::optional<stream::StreamEngine> engine;
+  engine.emplace(engine_config);
   core::VoiceprintDetector batch(core::tuned_simulation_options(
       run_flags.threads));
 
@@ -90,7 +102,7 @@ int main(int argc, char** argv) {
   std::size_t rounds_checked = 0;
   std::size_t rounds_matched = 0;
   std::vector<stream::StreamRound> rounds;
-  engine.set_round_callback([&](const stream::StreamRound& round) {
+  const auto on_round = [&](const stream::StreamRound& round) {
     rounds.push_back(round);
     const sim::ObservationWindow window =
         world.observe(observer, round.time_s, engine_config.min_samples);
@@ -100,13 +112,34 @@ int main(int argc, char** argv) {
         window.estimated_density_per_km == round.density_per_km) {
       ++rounds_matched;
     }
-  });
+  };
+  engine->set_round_callback(on_round);
 
-  for (const Rx& rx : beacons) engine.ingest(rx.id, rx.time_s, rx.rssi_dbm);
-  engine.advance_to(world.detection_times().back());
+  bool killed = false;
+  for (const Rx& rx : beacons) {
+    engine->ingest(rx.id, rx.time_s, rx.rssi_dbm);
+    if (kill_at >= 0.0 && !killed && rx.time_s >= kill_at) {
+      // Reboot: checkpoint through the wire format, destroy, restore.
+      const std::vector<std::uint8_t> bytes =
+          stream::encode_checkpoint(engine->checkpoint());
+      engine.reset();
+      stream::EngineCheckpoint restored;
+      std::string error;
+      if (!stream::decode_checkpoint(bytes, &restored, &error)) {
+        std::cerr << "checkpoint decode failed: " << error << "\n";
+        return 1;
+      }
+      engine.emplace(engine_config, restored);
+      engine->set_round_callback(on_round);
+      killed = true;
+      std::cout << "killed and restored engine at t=" << rx.time_s << " ("
+                << bytes.size() << "-byte checkpoint)\n";
+    }
+  }
+  engine->advance_to(world.detection_times().back());
 
   std::cout << "\nstreamed " << beacons.size() << " beacons through observer "
-            << observer << "; " << engine.stats().rounds
+            << observer << "; " << engine->stats().rounds
             << " confirmation rounds\n\n";
   Table table({"round t", "heard", "density", "suspects"});
   for (const stream::StreamRound& round : rounds) {
@@ -122,8 +155,8 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
-  if (engine.last_round()) {
-    const stream::StreamRound& last = *engine.last_round();
+  if (engine->last_round()) {
+    const stream::StreamRound& last = *engine->last_round();
     const std::set<IdentityId> flagged(last.suspects.begin(),
                                        last.suspects.end());
     std::cout << "\nlast round verdicts vs ground truth:\n";
@@ -141,14 +174,14 @@ int main(int argc, char** argv) {
     verdicts.print(std::cout);
   }
 
-  const stream::StreamEngine::Stats& stats = engine.stats();
+  const stream::StreamEngine::Stats& stats = engine->stats();
   std::cout << "\nstream engine: ingested " << stats.beacons_ingested << "/"
             << stats.beacons_offered << " beacons (shed "
             << stats.beacons_shed_rate_limited << " rate-limited, "
             << stats.beacons_shed_identity_cap << " identity-cap, "
             << stats.beacons_shed_out_of_order << " out-of-order; "
             << stats.ring_evictions << " ring evictions), tracking "
-            << engine.identities_tracked() << " identities\n";
+            << engine->identities_tracked() << " identities\n";
 
   if (shedding_configured) {
     std::cout << "streaming parity: skipped (load shedding configured)\n";

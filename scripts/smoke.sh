@@ -18,16 +18,17 @@ streaming="$build_dir/examples/streaming_detection"
 fleet="$build_dir/examples/fleet_detection"
 stream_bench="$build_dir/bench/stream_throughput"
 service_bench="$build_dir/bench/service_throughput"
+chaos_bench="$build_dir/bench/chaos_detection"
 checker="$build_dir/tools/check_run_report"
 
 if [[ ! -x "$quickstart" || ! -x "$highway" || ! -x "$streaming" \
       || ! -x "$fleet" || ! -x "$stream_bench" || ! -x "$service_bench" \
-      || ! -x "$checker" ]]; then
+      || ! -x "$chaos_bench" || ! -x "$checker" ]]; then
   echo "smoke: binaries missing, building in $build_dir"
   cmake -B "$build_dir" -S "$repo_root"
   cmake --build "$build_dir" -j --target quickstart highway_sybil_sim \
     streaming_detection fleet_detection stream_throughput \
-    service_throughput check_run_report
+    service_throughput chaos_detection check_run_report
 fi
 
 tmp="$(mktemp -d)"
@@ -91,5 +92,35 @@ echo "smoke: validating fleet report + service bench artefact"
 "$checker" "$tmp/fleet_report.json" --trace "$tmp/fleet_trace.jsonl" \
   --require service.beacons_ingested --require service.rounds_executed \
   --service-bench "$tmp/BENCH_service.json"
+
+echo "smoke: streaming_detection --kill-at (checkpoint/restore parity)"
+"$streaming" --density 12 --sim-time 60 --kill-at 30 > "$tmp/killed.out"
+grep -q "killed and restored engine" "$tmp/killed.out" || {
+  echo "smoke: streaming_detection --kill-at did not kill/restore"
+  cat "$tmp/killed.out"
+  exit 1
+}
+grep -q "streaming parity: OK" "$tmp/killed.out" || {
+  echo "smoke: parity lost across kill/restore"
+  cat "$tmp/killed.out"
+  exit 1
+}
+
+echo "smoke: chaos_detection --quick (fault sweep + kill/restore cycles)"
+"$chaos_bench" --quick --out "$tmp/BENCH_chaos.json" \
+  --metrics-out "$tmp/chaos_report.json" > "$tmp/chaos.out"
+grep -q "chaos: OK" "$tmp/chaos.out" || {
+  echo "smoke: chaos_detection did not report success"
+  cat "$tmp/chaos.out"
+  exit 1
+}
+
+echo "smoke: validating chaos report + bench artefact"
+"$checker" "$tmp/chaos_report.json" \
+  --require fault.dropped --require fault.flood_injected \
+  --require fault.rssi_non_finite \
+  --require stream.shed_invalid.rssi_non_finite \
+  --require stream.shed_invalid.time_negative \
+  --chaos-bench "$tmp/BENCH_chaos.json"
 
 echo "smoke: OK"

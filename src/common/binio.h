@@ -1,0 +1,119 @@
+// Bounds-checked little-endian binary encoding, used by the checkpoint
+// codecs (stream/checkpoint.h, service/checkpoint.h).
+//
+// Doubles travel as their IEEE-754 bit patterns (std::bit_cast through
+// uint64), so a value written and read back is the *same bits* — the
+// checkpoint restore-parity invariant (DESIGN.md §10) needs exact
+// doubles, not "close enough" text round-trips. The reader never throws
+// on malformed input: every get_* reports truncation through its return
+// value, so a corrupted checkpoint is a diagnosable error, not UB.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace vp {
+
+// FNV-1a over raw bytes; the checkpoint codecs append this as a trailer
+// so bit rot and truncation are detected before any field is trusted.
+inline std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (std::uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+// Appends fixed-width little-endian fields to a byte vector.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void put_u8(std::uint8_t v) { out_.push_back(v); }
+
+  void put_u32(std::uint32_t v) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      out_.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+  }
+
+  void put_u64(std::uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      out_.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+  }
+
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+
+  void put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+// Reads the fields back; every getter returns false (leaving the output
+// untouched) once the input is exhausted.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  bool get_u8(std::uint8_t& v) {
+    if (cursor_ + 1 > bytes_.size()) return false;
+    v = bytes_[cursor_++];
+    return true;
+  }
+
+  bool get_u32(std::uint32_t& v) {
+    if (cursor_ + 4 > bytes_.size()) return false;
+    v = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      v |= static_cast<std::uint32_t>(bytes_[cursor_++]) << shift;
+    }
+    return true;
+  }
+
+  bool get_u64(std::uint64_t& v) {
+    if (cursor_ + 8 > bytes_.size()) return false;
+    v = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      v |= static_cast<std::uint64_t>(bytes_[cursor_++]) << shift;
+    }
+    return true;
+  }
+
+  bool get_i64(std::int64_t& v) {
+    std::uint64_t raw;
+    if (!get_u64(raw)) return false;
+    v = static_cast<std::int64_t>(raw);
+    return true;
+  }
+
+  bool get_f64(double& v) {
+    std::uint64_t raw;
+    if (!get_u64(raw)) return false;
+    v = std::bit_cast<double>(raw);
+    return true;
+  }
+
+  // Advances past n bytes (e.g. an embedded blob parsed separately).
+  bool skip(std::size_t n) {
+    if (n > remaining()) return false;
+    cursor_ += n;
+    return true;
+  }
+
+  std::size_t cursor() const { return cursor_; }
+  std::size_t remaining() const { return bytes_.size() - cursor_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace vp

@@ -27,14 +27,17 @@ double RunningStats::mean() const {
 
 double RunningStats::variance() const {
   VP_REQUIRE(n_ > 1);
-  return m2_ / static_cast<double>(n_ - 1);
+  // Welford's m2 can drift a few ulps below zero on (near-)constant
+  // input; clamping keeps sqrt() callers (stddev, the Eq. 7 Z-score)
+  // defined instead of NaN.
+  return std::max(m2_, 0.0) / static_cast<double>(n_ - 1);
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
 double RunningStats::population_variance() const {
   VP_REQUIRE(n_ > 0);
-  return m2_ / static_cast<double>(n_);
+  return std::max(m2_, 0.0) / static_cast<double>(n_);
 }
 
 double RunningStats::min() const {

@@ -1,0 +1,229 @@
+#include "fault/injector.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/error.h"
+#include "obs/runtime.h"
+
+namespace vp::fault {
+
+namespace {
+
+// Registry instruments, resolved once; updates gated on obs::enabled()
+// like every other subsystem's sinks.
+struct Sinks {
+  obs::Counter* offered;
+  obs::Counter* emitted;
+  obs::Counter* dropped;
+  obs::Counter* burst_dropped;
+  obs::Counter* duplicated;
+  obs::Counter* reordered;
+  obs::Counter* rssi_spiked;
+  obs::Counter* rssi_quantized;
+  obs::Counter* rssi_non_finite;
+  obs::Counter* time_skewed;
+  obs::Counter* time_regressed;
+  obs::Counter* flood_injected;
+};
+
+const Sinks& sinks() {
+  static const Sinks s = [] {
+    obs::MetricsRegistry& r = obs::registry();
+    return Sinks{
+        .offered = &r.counter("fault.offered"),
+        .emitted = &r.counter("fault.emitted"),
+        .dropped = &r.counter("fault.dropped"),
+        .burst_dropped = &r.counter("fault.burst_dropped"),
+        .duplicated = &r.counter("fault.duplicated"),
+        .reordered = &r.counter("fault.reordered"),
+        .rssi_spiked = &r.counter("fault.rssi_spiked"),
+        .rssi_quantized = &r.counter("fault.rssi_quantized"),
+        .rssi_non_finite = &r.counter("fault.rssi_non_finite"),
+        .time_skewed = &r.counter("fault.time_skewed"),
+        .time_regressed = &r.counter("fault.time_regressed"),
+        .flood_injected = &r.counter("fault.flood_injected"),
+    };
+  }();
+  return s;
+}
+
+bool valid_probability(double p) { return p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultConfig config)
+    : config_(std::move(config)),
+      drop_rng_(Rng(config_.seed).fork("fault.drop")),
+      burst_rng_(Rng(config_.seed).fork("fault.burst")),
+      duplicate_rng_(Rng(config_.seed).fork("fault.duplicate")),
+      reorder_rng_(Rng(config_.seed).fork("fault.reorder")),
+      rssi_rng_(Rng(config_.seed).fork("fault.rssi")),
+      time_rng_(Rng(config_.seed).fork("fault.time")),
+      flood_rng_(Rng(config_.seed).fork("fault.flood")) {
+  VP_REQUIRE(valid_probability(config_.drop_probability));
+  VP_REQUIRE(valid_probability(config_.burst_start_probability));
+  VP_REQUIRE(valid_probability(config_.duplicate_probability));
+  VP_REQUIRE(valid_probability(config_.reorder_probability));
+  VP_REQUIRE(valid_probability(config_.rssi_spike_probability));
+  VP_REQUIRE(valid_probability(config_.rssi_non_finite_probability));
+  VP_REQUIRE(valid_probability(config_.time_regression_probability));
+  VP_REQUIRE(valid_probability(config_.flood_probability));
+  VP_REQUIRE(config_.burst_length >= 1);
+  VP_REQUIRE(config_.reorder_max_displacement >= 1);
+  VP_REQUIRE(config_.rssi_quantize_step_db >= 0.0);
+}
+
+void FaultInjector::emit(const Beacon& beacon, std::vector<Beacon>& out) {
+  out.push_back(beacon);
+  ++stats_.emitted;
+  if (obs::enabled()) sinks().emitted->add(1);
+}
+
+void FaultInjector::corrupt_and_emit(Beacon beacon, std::vector<Beacon>& out) {
+  const bool instrumented = obs::enabled();
+
+  // Clock faults first — they model the sender/receiver clock, which the
+  // RSSI path never sees.
+  if (config_.time_skew_s != 0.0 || config_.time_drift_per_s != 0.0) {
+    beacon.time_s =
+        beacon.time_s * (1.0 + config_.time_drift_per_s) + config_.time_skew_s;
+    ++stats_.time_skewed;
+    if (instrumented) sinks().time_skewed->add(1);
+  }
+  if (config_.time_regression_probability > 0.0 &&
+      time_rng_.chance(config_.time_regression_probability)) {
+    beacon.time_s -= config_.time_regression_s;
+    ++stats_.time_regressed;
+    if (instrumented) sinks().time_regressed->add(1);
+  }
+
+  // RSSI faults: spike, then non-finite (which overrides), then
+  // quantisation (a no-op on non-finite values).
+  if (config_.rssi_spike_probability > 0.0 &&
+      rssi_rng_.chance(config_.rssi_spike_probability)) {
+    const double sign = rssi_rng_.chance(0.5) ? 1.0 : -1.0;
+    beacon.rssi_dbm += sign * config_.rssi_spike_db;
+    ++stats_.rssi_spiked;
+    if (instrumented) sinks().rssi_spiked->add(1);
+  }
+  if (config_.rssi_non_finite_probability > 0.0 &&
+      rssi_rng_.chance(config_.rssi_non_finite_probability)) {
+    switch (rssi_rng_.uniform_int(0, 2)) {
+      case 0:
+        beacon.rssi_dbm = std::numeric_limits<double>::quiet_NaN();
+        break;
+      case 1:
+        beacon.rssi_dbm = std::numeric_limits<double>::infinity();
+        break;
+      default:
+        beacon.rssi_dbm = -std::numeric_limits<double>::infinity();
+        break;
+    }
+    ++stats_.rssi_non_finite;
+    if (instrumented) sinks().rssi_non_finite->add(1);
+  } else if (config_.rssi_quantize_step_db > 0.0) {
+    beacon.rssi_dbm = std::round(beacon.rssi_dbm /
+                                 config_.rssi_quantize_step_db) *
+                      config_.rssi_quantize_step_db;
+    ++stats_.rssi_quantized;
+    if (instrumented) sinks().rssi_quantized->add(1);
+  }
+
+  // Delivery faults: hold for reorder, or emit now (possibly twice).
+  if (config_.reorder_probability > 0.0 &&
+      reorder_rng_.chance(config_.reorder_probability)) {
+    const auto displacement = static_cast<std::size_t>(
+        reorder_rng_.uniform_int(
+            1, static_cast<std::int64_t>(config_.reorder_max_displacement)));
+    held_.push_back(Held{beacon, displacement});
+    ++stats_.held;
+    return;
+  }
+  emit(beacon, out);
+  if (config_.duplicate_probability > 0.0 &&
+      duplicate_rng_.chance(config_.duplicate_probability)) {
+    ++stats_.duplicated;
+    if (instrumented) sinks().duplicated->add(1);
+    emit(beacon, out);
+  }
+}
+
+void FaultInjector::offer(const Beacon& beacon, std::vector<Beacon>& out) {
+  const bool instrumented = obs::enabled();
+  ++stats_.offered;
+  if (instrumented) sinks().offered->add(1);
+
+  // Adversarial flood: a fabricated identity rides alongside the real
+  // traffic, at the same instant — exactly what a Sybil attacker's radio
+  // looks like to the ingest path.
+  if (config_.flood_probability > 0.0 &&
+      flood_rng_.chance(config_.flood_probability)) {
+    Beacon fake;
+    fake.id = config_.flood_id_base + flood_sequence_++;
+    fake.time_s = beacon.time_s;
+    fake.rssi_dbm = flood_rng_.uniform(-95.0, -45.0);
+    ++stats_.flood_injected;
+    if (instrumented) sinks().flood_injected->add(1);
+    emit(fake, out);
+  }
+
+  // Correlated loss: a burst swallows this beacon whole (no corruption,
+  // no reorder bookkeeping — the radio heard nothing).
+  if (burst_remaining_ > 0) {
+    --burst_remaining_;
+    ++stats_.burst_dropped;
+    if (instrumented) sinks().burst_dropped->add(1);
+  } else if (config_.burst_start_probability > 0.0 &&
+             burst_rng_.chance(config_.burst_start_probability)) {
+    burst_remaining_ = config_.burst_length - 1;  // this beacon is the first
+    ++stats_.burst_dropped;
+    if (instrumented) sinks().burst_dropped->add(1);
+  } else if (config_.drop_probability > 0.0 &&
+             drop_rng_.chance(config_.drop_probability)) {
+    ++stats_.dropped;
+    if (instrumented) sinks().dropped->add(1);
+  } else {
+    corrupt_and_emit(beacon, out);
+  }
+
+  // Tick the reorder buffer: every held beacon moved one source beacon
+  // closer to release; due ones come out in hold order.
+  if (!held_.empty()) {
+    std::size_t kept = 0;
+    for (Held& h : held_) {
+      if (h.release_after <= 1) {
+        ++stats_.reordered;
+        if (instrumented) sinks().reordered->add(1);
+        --stats_.held;
+        emit(h.beacon, out);
+      } else {
+        --h.release_after;
+        held_[kept++] = std::move(h);
+      }
+    }
+    held_.resize(kept);
+  }
+}
+
+void FaultInjector::flush(std::vector<Beacon>& out) {
+  const bool instrumented = obs::enabled();
+  for (Held& h : held_) {
+    ++stats_.reordered;
+    if (instrumented) sinks().reordered->add(1);
+    --stats_.held;
+    emit(h.beacon, out);
+  }
+  held_.clear();
+}
+
+std::vector<Beacon> FaultInjector::apply(std::span<const Beacon> trace) {
+  std::vector<Beacon> out;
+  out.reserve(trace.size());
+  for (const Beacon& beacon : trace) offer(beacon, out);
+  flush(out);
+  return out;
+}
+
+}  // namespace vp::fault

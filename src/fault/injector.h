@@ -1,0 +1,153 @@
+// Deterministic fault injection for beacon streams (DESIGN.md §10).
+//
+// The serving stack's robustness claims — bounded shedding, exact
+// conservation laws, crash-safe restore — are only credible if something
+// actually attacks them. FaultInjector wraps any beacon source (simulator
+// traces, field-test replay, synthetic load) and applies configurable
+// fault classes on the way through:
+//
+//   * drop            — i.i.d. beacon loss
+//   * burst loss      — correlated outages (a burst drops `burst_length`
+//                       consecutive beacons, modelling a deep fade or a
+//                       jammed channel)
+//   * duplicate       — the same beacon delivered twice (DSRC CCH/SCH
+//                       double reception, or a replaying attacker)
+//   * reorder         — a beacon held back and released up to
+//                       `reorder_max_displacement` beacons late
+//   * RSSI corruption — additive spikes, quantisation to a coarse step,
+//                       and non-finite values (NaN/±Inf) a broken driver
+//                       might report
+//   * timestamp skew  — constant offset + linear drift of a bad clock,
+//                       and outright regressions (time running backwards)
+//   * identity flood  — fabricated identities inserted alongside real
+//                       traffic (the Sybil attacker's own tool, aimed at
+//                       the identity cap)
+//
+// Everything is driven by per-class Rng streams forked from one seed, so
+// a fault sequence is exactly reproducible from (seed, config) — the
+// chaos bench and the determinism tests depend on that. Every applied
+// fault is counted in FaultStats (and the fault.* metrics when
+// observability is enabled), with the conservation law
+//   offered + duplicated + flood_injected
+//     == emitted + dropped + burst_dropped + held
+// holding after every offer()/flush().
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace vp::fault {
+
+// One beacon in flight: what a source hands the serving stack.
+struct Beacon {
+  IdentityId id = 0;
+  double time_s = 0.0;
+  double rssi_dbm = 0.0;
+};
+
+struct FaultConfig {
+  std::uint64_t seed = 1;
+
+  // --- Loss ------------------------------------------------------------
+  double drop_probability = 0.0;         // i.i.d. per beacon
+  double burst_start_probability = 0.0;  // per beacon, outside a burst
+  std::size_t burst_length = 10;         // beacons dropped per burst
+
+  // --- Delivery --------------------------------------------------------
+  double duplicate_probability = 0.0;  // emit the beacon twice
+  double reorder_probability = 0.0;    // hold the beacon back …
+  std::size_t reorder_max_displacement = 4;  // … up to this many beacons
+
+  // --- RSSI corruption -------------------------------------------------
+  double rssi_spike_probability = 0.0;  // add ±rssi_spike_db
+  double rssi_spike_db = 25.0;
+  double rssi_quantize_step_db = 0.0;   // >0: round RSSI to this step
+  double rssi_non_finite_probability = 0.0;  // NaN / +Inf / -Inf
+
+  // --- Timestamp corruption --------------------------------------------
+  double time_skew_s = 0.0;        // constant clock offset
+  double time_drift_per_s = 0.0;   // linear drift: t' = t(1+drift)+skew
+  double time_regression_probability = 0.0;  // send time backwards …
+  double time_regression_s = 5.0;            // … by this much
+
+  // --- Adversarial identity flood --------------------------------------
+  double flood_probability = 0.0;  // per source beacon: inject a fake
+  IdentityId flood_id_base = 1u << 20;  // fabricated ids start here
+};
+
+// Counters for every fault applied. `held` beacons sit in the reorder
+// buffer awaiting release; flush() drains them.
+struct FaultStats {
+  std::uint64_t offered = 0;   // source beacons seen
+  std::uint64_t emitted = 0;   // beacons handed downstream
+  std::uint64_t dropped = 0;
+  std::uint64_t burst_dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;  // beacons that were held and re-released
+  std::uint64_t rssi_spiked = 0;
+  std::uint64_t rssi_quantized = 0;
+  std::uint64_t rssi_non_finite = 0;
+  std::uint64_t time_skewed = 0;     // nonzero skew/drift applied
+  std::uint64_t time_regressed = 0;
+  std::uint64_t flood_injected = 0;
+  std::uint64_t held = 0;  // currently in the reorder buffer
+
+  std::uint64_t conserved_in() const {
+    return offered + duplicated + flood_injected;
+  }
+  std::uint64_t conserved_out() const {
+    return emitted + dropped + burst_dropped + held;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config);
+
+  // Feeds one source beacon; faulted output (zero or more beacons, in
+  // delivery order) is appended to `out`. Deterministic: the same
+  // (seed, config, beacon sequence) produces the same output sequence.
+  void offer(const Beacon& beacon, std::vector<Beacon>& out);
+
+  // Releases every beacon still held by the reorder buffer, in hold
+  // order. Call at end of trace.
+  void flush(std::vector<Beacon>& out);
+
+  // Convenience: runs a whole trace through offer() + flush().
+  std::vector<Beacon> apply(std::span<const Beacon> trace);
+
+  const FaultStats& stats() const { return stats_; }
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  struct Held {
+    Beacon beacon;
+    std::size_t release_after = 0;  // emit when this many beacons pass
+  };
+
+  void corrupt_and_emit(Beacon beacon, std::vector<Beacon>& out);
+  void emit(const Beacon& beacon, std::vector<Beacon>& out);
+
+  FaultConfig config_;
+  FaultStats stats_;
+  // Independent per-class streams: tuning one fault class never perturbs
+  // another class's sequence (same property the simulator's Rng::fork
+  // gives its noise models).
+  Rng drop_rng_;
+  Rng burst_rng_;
+  Rng duplicate_rng_;
+  Rng reorder_rng_;
+  Rng rssi_rng_;
+  Rng time_rng_;
+  Rng flood_rng_;
+
+  std::size_t burst_remaining_ = 0;
+  std::vector<Held> held_;
+  std::uint32_t flood_sequence_ = 0;
+};
+
+}  // namespace vp::fault

@@ -1,0 +1,77 @@
+// BENCH_chaos.json schema ("voiceprint.chaos_bench/v1"): the
+// bench/chaos_detection harness writes one document summarising each
+// fault-class × intensity run over a highway trace — what the injector
+// did (per-class fault counts), what the serving stack did with it
+// (ingested/shed by reason, rounds), how many kill/restore cycles the
+// run survived, and how far its rounds diverged from the clean baseline.
+//
+// Like the other bench schemas, build and validate live together so the
+// emitted document and the check (tools/check_run_report --chaos-bench,
+// the smoke script, and the unit tests) cannot drift apart. The
+// validator enforces the two conservation laws end to end:
+//   source + duplicated + flood == emitted + dropped + burst_dropped
+//   offered == ingested + Σ shed_* (all three overload classes, the four
+//                                   validation reasons, and session cap)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace vp::fault {
+
+// One chaos run's results.
+struct ChaosRunResult {
+  std::string label;        // e.g. "rssi_non_finite_high"
+  std::string fault_class;  // "drop", "burst", ..., "all", "none"
+  double intensity = 0.0;   // the class's driving probability/magnitude
+  std::uint64_t kill_restore_cycles = 0;
+
+  // Injector side (FaultStats).
+  std::uint64_t source_beacons = 0;  // clean-trace beacons offered
+  std::uint64_t emitted = 0;         // beacons the injector delivered
+  std::uint64_t dropped = 0;
+  std::uint64_t burst_dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t rssi_spiked = 0;
+  std::uint64_t rssi_quantized = 0;
+  std::uint64_t rssi_non_finite = 0;
+  std::uint64_t time_skewed = 0;
+  std::uint64_t time_regressed = 0;
+  std::uint64_t flood_injected = 0;
+
+  // Serving-stack side.
+  std::uint64_t offered = 0;  // beacons offered to the engine/service
+  std::uint64_t ingested = 0;
+  std::uint64_t shed_rate_limited = 0;
+  std::uint64_t shed_identity_cap = 0;
+  std::uint64_t shed_out_of_order = 0;
+  std::uint64_t shed_session_cap = 0;  // service runs only
+  std::uint64_t shed_invalid_rssi_non_finite = 0;
+  std::uint64_t shed_invalid_rssi_out_of_range = 0;
+  std::uint64_t shed_invalid_time_non_finite = 0;
+  std::uint64_t shed_invalid_time_negative = 0;
+  std::uint64_t rounds = 0;
+
+  // Fraction of rounds whose suspect set differs from the clean
+  // baseline's round at the same instant, and the run's configured
+  // ceiling for it. A faulted run may legitimately diverge (it saw
+  // different beacons); the ceiling bounds how much.
+  double round_divergence = 0.0;
+  double max_divergence = 1.0;
+};
+
+// Builds the voiceprint.chaos_bench/v1 document.
+obs::json::Value build_chaos_bench_report(
+    const std::string& binary, std::uint64_t seed,
+    const std::vector<ChaosRunResult>& runs);
+
+// True when `report` conforms to voiceprint.chaos_bench/v1 (including
+// both conservation laws per run). On failure, `error` (if non-null)
+// receives a one-line description.
+bool validate_chaos_bench(const obs::json::Value& report, std::string* error);
+
+}  // namespace vp::fault

@@ -8,6 +8,8 @@
 #include "common/thread_pool.h"
 #include "obs/runtime.h"
 #include "obs/timer.h"
+#include "service/checkpoint.h"
+#include "stream/checkpoint.h"
 
 namespace vp::service {
 
@@ -22,6 +24,7 @@ struct Sinks {
   obs::Counter* shed_rate;
   obs::Counter* shed_identity_cap;
   obs::Counter* shed_out_of_order;
+  obs::Counter* shed_invalid;
   obs::Counter* sessions_opened;
   obs::Counter* sessions_rejected;
   obs::Counter* sessions_closed;
@@ -47,6 +50,7 @@ const Sinks& sinks() {
         .shed_rate = &r.counter("service.beacons_shed_rate_limited"),
         .shed_identity_cap = &r.counter("service.beacons_shed_identity_cap"),
         .shed_out_of_order = &r.counter("service.beacons_shed_out_of_order"),
+        .shed_invalid = &r.counter("service.beacons_shed_invalid"),
         .sessions_opened = &r.counter("service.sessions_opened"),
         .sessions_rejected = &r.counter("service.sessions_rejected"),
         .sessions_closed = &r.counter("service.sessions_closed"),
@@ -79,6 +83,55 @@ DetectionService::DetectionService(ServiceConfig config)
                                       config_.shards, 1)) {
   VP_REQUIRE(config_.shards >= 1);
   VP_REQUIRE(config_.max_sessions >= 1);
+}
+
+DetectionService::DetectionService(ServiceConfig config,
+                                   const ServiceCheckpoint& checkpoint)
+    : DetectionService(std::move(config)) {
+  VP_REQUIRE(checkpoint.config_hash == service_config_hash(config_));
+  stats_ = checkpoint.stats;
+  service_time_ = checkpoint.service_time;
+  for (const SessionCheckpoint& sc : checkpoint.sessions) {
+    const std::size_t shard_index = shard_of(sc.id);
+    Shard& shard = shards_[shard_index];
+    const auto [it, inserted] = shard.sessions.try_emplace(
+        sc.id, sc.id, shard_index,
+        stream::StreamEngine(config_.engine, sc.engine));
+    VP_REQUIRE(inserted);
+    Session& s = it->second;
+    s.last_offered_s = sc.last_offered_s;
+    // Same hook open_session installs; the captured address is stable.
+    s.engine.set_round_deferral([this, &s](stream::RoundInput&& input) {
+      enqueue_round(s, std::move(input));
+    });
+    ++sessions_active_;
+  }
+  set_session_gauges(sessions_active_, queued_total_);
+}
+
+ServiceCheckpoint DetectionService::checkpoint() const {
+  // A queued round's window is already cut out of its engine; saving over
+  // it would drop the round on restore. The caller pumps first.
+  VP_REQUIRE(queued_total_ == 0);
+  ServiceCheckpoint cp;
+  cp.config_hash = service_config_hash(config_);
+  cp.service_time = service_time_;
+  cp.stats = stats_;
+  cp.sessions.reserve(sessions_active_);
+  for (const Shard& shard : shards_) {
+    for (const auto& [id, session] : shard.sessions) {
+      cp.sessions.push_back(SessionCheckpoint{
+          .id = id,
+          .last_offered_s = session.last_offered_s,
+          .engine = session.engine.checkpoint()});
+    }
+  }
+  // Deterministic file layout regardless of shard topology.
+  std::sort(cp.sessions.begin(), cp.sessions.end(),
+            [](const SessionCheckpoint& a, const SessionCheckpoint& b) {
+              return a.id < b.id;
+            });
+  return cp;
 }
 
 std::size_t DetectionService::shard_of(SessionId session) const {
@@ -165,6 +218,11 @@ DetectionService::Admission DetectionService::ingest(SessionId session,
       ++stats_.beacons_shed_out_of_order;
       if (instrumented) sinks().shed_out_of_order->add(1);
       mapped = Admission::kShedOutOfOrder;
+      break;
+    case stream::StreamEngine::Admission::kShedInvalid:
+      ++stats_.beacons_shed_invalid;
+      if (instrumented) sinks().shed_invalid->add(1);
+      mapped = Admission::kShedInvalid;
       break;
   }
   maybe_auto_pump();

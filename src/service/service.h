@@ -52,6 +52,8 @@
 
 namespace vp::service {
 
+struct ServiceCheckpoint;  // service/checkpoint.h
+
 using SessionId = std::uint64_t;
 
 struct ServiceConfig {
@@ -98,6 +100,7 @@ class DetectionService {
     kShedRateLimited,   // session engine: over its ingest rate cap
     kShedIdentityCap,   // session engine: new identity at its cap
     kShedOutOfOrder,    // session engine: time regressed
+    kShedInvalid,       // session engine: failed the validation front
   };
 
   // Plain counters mirroring the service.* metrics, always maintained
@@ -109,6 +112,10 @@ class DetectionService {
     std::uint64_t beacons_shed_rate_limited = 0;
     std::uint64_t beacons_shed_identity_cap = 0;
     std::uint64_t beacons_shed_out_of_order = 0;
+    // Engine validation front, summed across sessions (per-reason detail
+    // lives in each session engine's Stats and the stream.shed_invalid.*
+    // metrics).
+    std::uint64_t beacons_shed_invalid = 0;
     std::uint64_t sessions_opened = 0;
     std::uint64_t sessions_rejected = 0;  // open() refused at the cap
     std::uint64_t sessions_closed = 0;
@@ -121,6 +128,19 @@ class DetectionService {
   };
 
   explicit DetectionService(ServiceConfig config);
+
+  // Restores a checkpointed service (DESIGN.md §10). `config` must hash-
+  // match the checkpoint's (service_config_hash; VP_REQUIRE otherwise);
+  // every session is rebuilt from its engine checkpoint with a fresh
+  // deferral hook, after which the restored fleet emits bit-identical
+  // rounds to the uninterrupted one (tests/test_checkpoint.cpp).
+  DetectionService(ServiceConfig config, const ServiceCheckpoint& checkpoint);
+
+  // Captures the complete service state: Stats, service time, and every
+  // session's engine checkpoint. Requires an empty round queue — pump()
+  // first; a queued round's window is already cut and cannot be re-cut,
+  // so checkpointing over it would silently lose rounds.
+  ServiceCheckpoint checkpoint() const;
 
   // Opens a session explicitly (idempotent for a live session). Returns
   // false — and counts a rejection — at the session cap.
@@ -176,6 +196,10 @@ class DetectionService {
 
     Session(SessionId id, std::size_t shard, stream::StreamEngineConfig cfg)
         : id(id), shard(shard), engine(std::move(cfg)) {}
+
+    // Restore path: adopts an engine rebuilt from a checkpoint.
+    Session(SessionId id, std::size_t shard, stream::StreamEngine&& restored)
+        : id(id), shard(shard), engine(std::move(restored)) {}
   };
 
   // One queued confirmation round. `session` stays valid: map nodes are

@@ -96,6 +96,36 @@ void BeaconBuffer::extract(double t0, double t1, ts::Series& out) const {
   }
 }
 
+BeaconBuffer::Snapshot BeaconBuffer::snapshot() const {
+  Snapshot snap;
+  snap.capacity = times_.size();
+  snap.times.reserve(size_);
+  snap.values.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    const std::size_t slot = (head_ + i) % times_.size();
+    snap.times.push_back(times_[slot]);
+    snap.values.push_back(values_[slot]);
+  }
+  snap.mean = mean_;
+  snap.m2 = m2_;
+  return snap;
+}
+
+BeaconBuffer BeaconBuffer::from_snapshot(const Snapshot& snapshot) {
+  VP_REQUIRE(snapshot.times.size() == snapshot.values.size());
+  VP_REQUIRE(snapshot.times.size() <= snapshot.capacity);
+  VP_REQUIRE(std::is_sorted(snapshot.times.begin(), snapshot.times.end()));
+  BeaconBuffer buffer(snapshot.capacity);
+  std::copy(snapshot.times.begin(), snapshot.times.end(),
+            buffer.times_.begin());
+  std::copy(snapshot.values.begin(), snapshot.values.end(),
+            buffer.values_.begin());
+  buffer.size_ = snapshot.times.size();
+  buffer.mean_ = snapshot.mean;
+  buffer.m2_ = snapshot.m2;
+  return buffer;
+}
+
 double BeaconBuffer::mean() const {
   VP_REQUIRE(!empty());
   return mean_;

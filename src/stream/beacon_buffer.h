@@ -62,6 +62,25 @@ class BeaconBuffer {
   double mean() const;
   double population_variance() const;
 
+  // Complete logical state, for checkpointing (DESIGN.md §10). The
+  // samples come out oldest → newest; `mean`/`m2` are the raw Welford
+  // accumulators, captured verbatim so a restored buffer carries the
+  // exact same bits — including the reversal rounding a recomputation
+  // from the samples would lose.
+  struct Snapshot {
+    std::size_t capacity = 0;
+    std::vector<double> times;   // oldest → newest
+    std::vector<double> values;  // values[i] belongs to times[i]
+    double mean = 0.0;
+    double m2 = 0.0;
+  };
+  Snapshot snapshot() const;
+
+  // Rebuilds a buffer bit-identical (for every query) to the one the
+  // snapshot was taken from. Requires capacity >= 1, parallel
+  // times/values no longer than capacity, and non-decreasing times.
+  static BeaconBuffer from_snapshot(const Snapshot& snapshot);
+
  private:
   double time_at(std::size_t i) const {
     return times_[(head_ + i) % times_.size()];

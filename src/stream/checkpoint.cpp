@@ -1,0 +1,237 @@
+#include "stream/checkpoint.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <utility>
+
+#include "common/binio.h"
+#include "common/rng.h"
+
+namespace vp::stream {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4b435056u;  // "VPCK" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+bool fail(std::string* error, std::string reason) {
+  if (error != nullptr) *error = std::move(reason);
+  return false;
+}
+
+void encode_stats(ByteWriter& w, const StreamEngine::Stats& s) {
+  w.put_u64(s.beacons_offered);
+  w.put_u64(s.beacons_ingested);
+  w.put_u64(s.beacons_shed_rate_limited);
+  w.put_u64(s.beacons_shed_identity_cap);
+  w.put_u64(s.beacons_shed_out_of_order);
+  w.put_u64(s.shed_invalid_rssi_non_finite);
+  w.put_u64(s.shed_invalid_rssi_out_of_range);
+  w.put_u64(s.shed_invalid_time_non_finite);
+  w.put_u64(s.shed_invalid_time_negative);
+  w.put_u64(s.ring_evictions);
+  w.put_u64(s.samples_expired);
+  w.put_u64(s.identities_expired);
+  w.put_u64(s.rounds);
+}
+
+bool decode_stats(ByteReader& r, StreamEngine::Stats& s) {
+  return r.get_u64(s.beacons_offered) && r.get_u64(s.beacons_ingested) &&
+         r.get_u64(s.beacons_shed_rate_limited) &&
+         r.get_u64(s.beacons_shed_identity_cap) &&
+         r.get_u64(s.beacons_shed_out_of_order) &&
+         r.get_u64(s.shed_invalid_rssi_non_finite) &&
+         r.get_u64(s.shed_invalid_rssi_out_of_range) &&
+         r.get_u64(s.shed_invalid_time_non_finite) &&
+         r.get_u64(s.shed_invalid_time_negative) &&
+         r.get_u64(s.ring_evictions) && r.get_u64(s.samples_expired) &&
+         r.get_u64(s.identities_expired) && r.get_u64(s.rounds);
+}
+
+}  // namespace
+
+std::uint64_t engine_config_hash(const StreamEngineConfig& config) {
+  // Everything the engine's own bookkeeping depends on, chained through
+  // mix64 in declaration order. Detector options stay out except the
+  // scalars that change results (boundary, density override, votes) —
+  // comparison threads must NOT be here, restoring across thread counts
+  // is supported and results-neutral.
+  std::uint64_t h = hash64("vp.stream.engine_config/v1");
+  h = mix64(h, bits(config.observation_time_s));
+  h = mix64(h, bits(config.round_period_s));
+  h = mix64(h, bits(config.density_estimation_period_s));
+  h = mix64(h, bits(config.max_transmission_range_m));
+  h = mix64(h, static_cast<std::uint64_t>(config.min_samples));
+  h = mix64(h, static_cast<std::uint64_t>(config.ring_capacity));
+  h = mix64(h, static_cast<std::uint64_t>(config.max_identities));
+  h = mix64(h, bits(config.staleness_horizon_s));
+  h = mix64(h, bits(config.max_ingest_rate_hz));
+  h = mix64(h, config.validate_ingest ? 1u : 0u);
+  h = mix64(h, bits(config.min_valid_rssi_dbm));
+  h = mix64(h, bits(config.max_valid_rssi_dbm));
+  h = mix64(h, bits(config.detector.boundary.k));
+  h = mix64(h, bits(config.detector.boundary.b));
+  h = mix64(h, config.detector.fixed_density_per_km
+                   ? mix64(1u, bits(*config.detector.fixed_density_per_km))
+                   : 0u);
+  h = mix64(h, static_cast<std::uint64_t>(config.detector.min_pair_votes));
+  return h;
+}
+
+std::vector<std::uint8_t> encode_checkpoint(
+    const EngineCheckpoint& checkpoint) {
+  std::vector<std::uint8_t> bytes;
+  ByteWriter w(bytes);
+  w.put_u32(kMagic);
+  w.put_u32(kVersion);
+  w.put_u64(checkpoint.config_hash);
+  w.put_f64(checkpoint.next_round_s);
+  w.put_f64(checkpoint.last_round_time_s);
+  w.put_i64(checkpoint.bucket_second);
+  w.put_u64(checkpoint.bucket_accepted);
+  encode_stats(w, checkpoint.stats);
+  w.put_u64(checkpoint.identities.size());
+  for (const IdentityCheckpoint& ic : checkpoint.identities) {
+    w.put_u64(static_cast<std::uint64_t>(ic.id));
+    w.put_f64(ic.last_heard_s);
+    w.put_u64(static_cast<std::uint64_t>(ic.ring.capacity));
+    w.put_u64(static_cast<std::uint64_t>(ic.ring.times.size()));
+    for (double t : ic.ring.times) w.put_f64(t);
+    for (double v : ic.ring.values) w.put_f64(v);
+    w.put_f64(ic.ring.mean);
+    w.put_f64(ic.ring.m2);
+  }
+  // Trailer: FNV-1a over everything before it.
+  w.put_u64(fnv1a64(bytes));
+  return bytes;
+}
+
+bool decode_checkpoint(std::span<const std::uint8_t> bytes,
+                       EngineCheckpoint* out, std::string* error) {
+  if (bytes.size() < 8 + 8) return fail(error, "checkpoint: truncated header");
+  // Verify the trailer first — no field is trusted over bit rot.
+  const std::uint64_t stored_sum =
+      [&] {
+        std::uint64_t v = 0;
+        for (int i = 7; i >= 0; --i) {
+          v = (v << 8) | bytes[bytes.size() - 8 + static_cast<std::size_t>(i)];
+        }
+        return v;
+      }();
+  const auto body = bytes.subspan(0, bytes.size() - 8);
+  if (fnv1a64(body) != stored_sum) {
+    return fail(error, "checkpoint: checksum mismatch (corrupted bytes)");
+  }
+
+  ByteReader r(body);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  if (!r.get_u32(magic) || magic != kMagic) {
+    return fail(error, "checkpoint: bad magic (not a VPCK checkpoint)");
+  }
+  if (!r.get_u32(version) || version != kVersion) {
+    return fail(error, "checkpoint: unsupported version");
+  }
+
+  EngineCheckpoint cp;
+  std::uint64_t identity_count = 0;
+  if (!r.get_u64(cp.config_hash) || !r.get_f64(cp.next_round_s) ||
+      !r.get_f64(cp.last_round_time_s) || !r.get_i64(cp.bucket_second) ||
+      !r.get_u64(cp.bucket_accepted) || !decode_stats(r, cp.stats) ||
+      !r.get_u64(identity_count)) {
+    return fail(error, "checkpoint: truncated engine fields");
+  }
+  // Each identity needs at least id + last_heard + capacity + size + the
+  // two Welford doubles — reject absurd counts before reserving.
+  if (identity_count > r.remaining() / (6 * 8)) {
+    return fail(error, "checkpoint: identity count exceeds payload");
+  }
+  cp.identities.reserve(static_cast<std::size_t>(identity_count));
+  IdentityId previous_id = 0;
+  for (std::uint64_t i = 0; i < identity_count; ++i) {
+    IdentityCheckpoint ic;
+    std::uint64_t raw_id = 0;
+    std::uint64_t capacity = 0;
+    std::uint64_t samples = 0;
+    if (!r.get_u64(raw_id) || !r.get_f64(ic.last_heard_s) ||
+        !r.get_u64(capacity) || !r.get_u64(samples)) {
+      return fail(error, "checkpoint: truncated identity header");
+    }
+    ic.id = static_cast<IdentityId>(raw_id);
+    if (i > 0 && ic.id <= previous_id) {
+      return fail(error, "checkpoint: identity ids not strictly ascending");
+    }
+    previous_id = ic.id;
+    if (capacity < 1) return fail(error, "checkpoint: ring capacity < 1");
+    if (samples > capacity) {
+      return fail(error, "checkpoint: ring holds more samples than capacity");
+    }
+    if (samples > r.remaining() / 8) {
+      return fail(error, "checkpoint: ring sample count exceeds payload");
+    }
+    ic.ring.capacity = static_cast<std::size_t>(capacity);
+    ic.ring.times.resize(static_cast<std::size_t>(samples));
+    ic.ring.values.resize(static_cast<std::size_t>(samples));
+    for (double& t : ic.ring.times) {
+      if (!r.get_f64(t)) return fail(error, "checkpoint: truncated ring times");
+    }
+    for (double& v : ic.ring.values) {
+      if (!r.get_f64(v)) {
+        return fail(error, "checkpoint: truncated ring values");
+      }
+    }
+    if (!std::is_sorted(ic.ring.times.begin(), ic.ring.times.end())) {
+      return fail(error, "checkpoint: ring times not sorted");
+    }
+    if (!r.get_f64(ic.ring.mean) || !r.get_f64(ic.ring.m2)) {
+      return fail(error, "checkpoint: truncated ring summary");
+    }
+    cp.identities.push_back(std::move(ic));
+  }
+  if (r.remaining() != 0) {
+    return fail(error, "checkpoint: trailing bytes after last identity");
+  }
+  if (out != nullptr) *out = std::move(cp);
+  return true;
+}
+
+bool save_checkpoint(const EngineCheckpoint& checkpoint,
+                     const std::string& path, std::string* error) {
+  const std::vector<std::uint8_t> bytes = encode_checkpoint(checkpoint);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return fail(error, "checkpoint: cannot open " + tmp);
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  if (std::fclose(f) != 0 || written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return fail(error, "checkpoint: short write to " + tmp);
+  }
+  // The previous checkpoint at `path` stays intact until this atomic step.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return fail(error, "checkpoint: cannot rename " + tmp + " over " + path);
+  }
+  return true;
+}
+
+bool load_checkpoint(const std::string& path, EngineCheckpoint* out,
+                     std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return fail(error, "checkpoint: cannot open " + path);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) return fail(error, "checkpoint: read error on " + path);
+  return decode_checkpoint(bytes, out, error);
+}
+
+}  // namespace vp::stream

@@ -1,0 +1,81 @@
+// Versioned checkpoint/restore for stream::StreamEngine (DESIGN.md §10).
+//
+// An OBU that reboots mid-drive must resume detection without losing its
+// 20 s observation window. EngineCheckpoint is the engine's complete
+// detection-relevant state — every identity's ring and last-heard time,
+// the round schedule, the admission-rate bucket and the Stats counters —
+// captured at a beacon boundary by StreamEngine::checkpoint() and
+// restored by the StreamEngine(config, checkpoint) constructor.
+//
+// Restore-parity invariant: an engine checkpointed after any beacon and
+// restored with the same configuration emits bit-identical rounds
+// (suspect sets AND pair distances) to the uninterrupted engine, at
+// every thread count. Enforced by tests/test_checkpoint.cpp over highway
+// and field-test traces.
+//
+// Wire format ("voiceprint checkpoint", version 1): magic "VPCK",
+// u32 version, the fields below in fixed order, doubles as IEEE-754 bit
+// patterns (common/binio.h), and a trailing FNV-1a checksum over
+// everything before it. decode_checkpoint rejects bad magic, unknown
+// versions, truncation, trailing garbage, checksum mismatches and
+// structurally invalid contents (unsorted ring times, rings over
+// capacity) with a one-line reason — a corrupted checkpoint is a
+// diagnosable error, never UB. save_checkpoint writes crash-safely:
+// the bytes go to "<path>.tmp" and are renamed over <path> only after a
+// successful flush, so a crash mid-save leaves the previous checkpoint
+// intact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "stream/beacon_buffer.h"
+#include "stream/engine.h"
+
+namespace vp::stream {
+
+// One tracked identity's state.
+struct IdentityCheckpoint {
+  IdentityId id = 0;
+  double last_heard_s = 0.0;  // survives the ring ageing empty
+  BeaconBuffer::Snapshot ring;
+};
+
+struct EngineCheckpoint {
+  // Guards restore against a mismatched engine configuration; filled by
+  // StreamEngine::checkpoint() with engine_config_hash(config).
+  std::uint64_t config_hash = 0;
+  // Round schedule and admission bookkeeping.
+  double next_round_s = 0.0;
+  double last_round_time_s = -1.0;
+  std::int64_t bucket_second = 0;
+  std::uint64_t bucket_accepted = 0;
+  StreamEngine::Stats stats;
+  std::vector<IdentityCheckpoint> identities;  // ascending id
+};
+
+// Hash of the engine-level configuration a checkpoint depends on: window
+// geometry, bounded-memory knobs, the validation contract, and the
+// detector scalars the engine itself owns (threshold boundary, density
+// override, vote count). Deliberately excludes execution knobs —
+// comparison threads — so a checkpoint restores across thread counts,
+// which never change results.
+std::uint64_t engine_config_hash(const StreamEngineConfig& config);
+
+// Serialises to the version-1 wire format described above.
+std::vector<std::uint8_t> encode_checkpoint(const EngineCheckpoint& checkpoint);
+
+// Parses and validates; returns false with a one-line reason in `error`
+// (if non-null) on any malformation. `out` is only modified on success.
+bool decode_checkpoint(std::span<const std::uint8_t> bytes,
+                       EngineCheckpoint* out, std::string* error);
+
+// Crash-safe file save (write "<path>.tmp", flush, rename) / load.
+bool save_checkpoint(const EngineCheckpoint& checkpoint,
+                     const std::string& path, std::string* error);
+bool load_checkpoint(const std::string& path, EngineCheckpoint* out,
+                     std::string* error);
+
+}  // namespace vp::stream

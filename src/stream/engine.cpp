@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "obs/runtime.h"
 #include "obs/timer.h"
+#include "stream/checkpoint.h"
 
 namespace vp::stream {
 
@@ -20,6 +21,10 @@ struct Sinks {
   obs::Counter* shed_rate;
   obs::Counter* shed_identity_cap;
   obs::Counter* shed_out_of_order;
+  obs::Counter* shed_invalid_rssi_non_finite;
+  obs::Counter* shed_invalid_rssi_out_of_range;
+  obs::Counter* shed_invalid_time_non_finite;
+  obs::Counter* shed_invalid_time_negative;
   obs::Counter* ring_evictions;
   obs::Counter* samples_expired;
   obs::Counter* identities_expired;
@@ -39,6 +44,14 @@ const Sinks& sinks() {
         .shed_rate = &r.counter("stream.beacons_shed_rate_limited"),
         .shed_identity_cap = &r.counter("stream.beacons_shed_identity_cap"),
         .shed_out_of_order = &r.counter("stream.beacons_shed_out_of_order"),
+        .shed_invalid_rssi_non_finite =
+            &r.counter("stream.shed_invalid.rssi_non_finite"),
+        .shed_invalid_rssi_out_of_range =
+            &r.counter("stream.shed_invalid.rssi_out_of_range"),
+        .shed_invalid_time_non_finite =
+            &r.counter("stream.shed_invalid.time_non_finite"),
+        .shed_invalid_time_negative =
+            &r.counter("stream.shed_invalid.time_negative"),
         .ring_evictions = &r.counter("stream.ring_evictions"),
         .samples_expired = &r.counter("stream.samples_expired"),
         .identities_expired = &r.counter("stream.identities_expired"),
@@ -69,6 +82,43 @@ StreamEngine::StreamEngine(StreamEngineConfig config)
   VP_REQUIRE(config_.max_identities >= 1);
   VP_REQUIRE(config_.staleness_horizon_s > 0.0);
   next_round_ = config_.observation_time_s;
+  VP_REQUIRE(config_.min_valid_rssi_dbm < config_.max_valid_rssi_dbm);
+}
+
+StreamEngine::StreamEngine(StreamEngineConfig config,
+                           const EngineCheckpoint& checkpoint)
+    : StreamEngine(std::move(config)) {
+  // The checkpoint only makes sense under the geometry it was taken with;
+  // a silent mismatch would produce plausible-looking wrong rounds.
+  VP_REQUIRE(checkpoint.config_hash == engine_config_hash(config_));
+  next_round_ = checkpoint.next_round_s;
+  last_round_time_ = checkpoint.last_round_time_s;
+  bucket_second_ = checkpoint.bucket_second;
+  bucket_accepted_ = checkpoint.bucket_accepted;
+  stats_ = checkpoint.stats;
+  for (const IdentityCheckpoint& ic : checkpoint.identities) {
+    IdentityState state(1);
+    state.ring = BeaconBuffer::from_snapshot(ic.ring);
+    state.last_heard_s = ic.last_heard_s;
+    states_.emplace(ic.id, std::move(state));
+  }
+}
+
+EngineCheckpoint StreamEngine::checkpoint() const {
+  EngineCheckpoint cp;
+  cp.config_hash = engine_config_hash(config_);
+  cp.next_round_s = next_round_;
+  cp.last_round_time_s = last_round_time_;
+  cp.bucket_second = bucket_second_;
+  cp.bucket_accepted = bucket_accepted_;
+  cp.stats = stats_;
+  cp.identities.reserve(states_.size());
+  for (const auto& [id, state] : states_) {
+    cp.identities.push_back(IdentityCheckpoint{
+        .id = id, .last_heard_s = state.last_heard_s,
+        .ring = state.ring.snapshot()});
+  }
+  return cp;
 }
 
 StreamEngine::Admission StreamEngine::ingest(IdentityId id, double time_s,
@@ -76,6 +126,33 @@ StreamEngine::Admission StreamEngine::ingest(IdentityId id, double time_s,
   const bool instrumented = obs::enabled();
   ++stats_.beacons_offered;
   if (instrumented) sinks().offered->add(1);
+
+  // Validation front: out-of-contract beacons are shed before the stream
+  // clock moves — a non-finite timestamp must never reach advance_to,
+  // where it would stall (NaN) or unboundedly run (+inf) the scheduler.
+  if (config_.validate_ingest) {
+    if (!std::isfinite(time_s)) {
+      ++stats_.shed_invalid_time_non_finite;
+      if (instrumented) sinks().shed_invalid_time_non_finite->add(1);
+      return Admission::kShedInvalid;
+    }
+    if (time_s < 0.0) {
+      ++stats_.shed_invalid_time_negative;
+      if (instrumented) sinks().shed_invalid_time_negative->add(1);
+      return Admission::kShedInvalid;
+    }
+    if (!std::isfinite(rssi_dbm)) {
+      ++stats_.shed_invalid_rssi_non_finite;
+      if (instrumented) sinks().shed_invalid_rssi_non_finite->add(1);
+      return Admission::kShedInvalid;
+    }
+    if (rssi_dbm < config_.min_valid_rssi_dbm ||
+        rssi_dbm > config_.max_valid_rssi_dbm) {
+      ++stats_.shed_invalid_rssi_out_of_range;
+      if (instrumented) sinks().shed_invalid_rssi_out_of_range->add(1);
+      return Admission::kShedInvalid;
+    }
+  }
 
   // A round at t covers [t − observation, t): run every round due at or
   // before this beacon first, so the beacon (time >= t) stays outside.

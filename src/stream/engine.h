@@ -62,6 +62,20 @@ struct StreamEngineConfig {
   // before touching any ring.
   double max_ingest_rate_hz = 0.0;
 
+  // --- Ingestion validation (DESIGN.md §10) ------------------------------
+  // The validation front runs before any other admission step and before
+  // the stream clock moves: a beacon with a non-finite RSSI, an RSSI
+  // outside [min_valid_rssi_dbm, max_valid_rssi_dbm], or a non-finite or
+  // negative timestamp is shed (per-reason counters in Stats and the
+  // stream.shed_invalid.* metrics) without touching any engine state.
+  // Disabling validation is for trusted-replay ablations only — a
+  // hostile +inf timestamp would otherwise drive the round scheduler
+  // forever. On a clean trace validation sheds nothing, so enabling it
+  // leaves output bit-identical.
+  bool validate_ingest = true;
+  double min_valid_rssi_dbm = -150.0;  // below thermal-noise plausibility
+  double max_valid_rssi_dbm = 50.0;    // far above any legal DSRC EIRP
+
   // Detector options for the rounds (threads, boundary, fixed density …).
   // The engine feeds the same series the batch window cut would.
   core::VoiceprintOptions detector{};
@@ -88,6 +102,8 @@ struct RoundInput {
   std::vector<core::NamedSeries> series;
 };
 
+struct EngineCheckpoint;  // stream/checkpoint.h
+
 class StreamEngine {
  public:
   enum class Admission {
@@ -95,24 +111,54 @@ class StreamEngine {
     kShedRateLimited,   // over max_ingest_rate_hz this second
     kShedIdentityCap,   // new identity at the max_identities cap
     kShedOutOfOrder,    // time regressed (per identity, or into a closed round)
+    kShedInvalid,       // failed the validation front (see Stats for why)
   };
 
   // Plain counters mirroring the stream.* metrics, always maintained (the
   // registry copies are gated on obs::enabled()). For every call,
-  // beacons_offered == beacons_ingested + the three shed counters.
+  // beacons_offered == beacons_ingested + every shed counter (the three
+  // overload classes plus the four shed_invalid reasons).
   struct Stats {
     std::uint64_t beacons_offered = 0;
     std::uint64_t beacons_ingested = 0;
     std::uint64_t beacons_shed_rate_limited = 0;
     std::uint64_t beacons_shed_identity_cap = 0;
     std::uint64_t beacons_shed_out_of_order = 0;
+    // Validation front, by reason (stream.shed_invalid.* metrics).
+    std::uint64_t shed_invalid_rssi_non_finite = 0;
+    std::uint64_t shed_invalid_rssi_out_of_range = 0;
+    std::uint64_t shed_invalid_time_non_finite = 0;
+    std::uint64_t shed_invalid_time_negative = 0;
     std::uint64_t ring_evictions = 0;    // capacity-pressure drops
     std::uint64_t samples_expired = 0;   // aged past the observation window
     std::uint64_t identities_expired = 0;
     std::uint64_t rounds = 0;
+
+    std::uint64_t shed_invalid_total() const {
+      return shed_invalid_rssi_non_finite + shed_invalid_rssi_out_of_range +
+             shed_invalid_time_non_finite + shed_invalid_time_negative;
+    }
+    std::uint64_t shed_total() const {
+      return beacons_shed_rate_limited + beacons_shed_identity_cap +
+             beacons_shed_out_of_order + shed_invalid_total();
+    }
   };
 
   explicit StreamEngine(StreamEngineConfig config);
+
+  // Restores a checkpointed engine (DESIGN.md §10). `config` must carry
+  // the same engine-level geometry the checkpoint was taken under
+  // (engine_config_hash match, VP_REQUIRE otherwise) and the caller must
+  // supply the same detector options; the restored engine then emits
+  // bit-identical rounds to the uninterrupted one from the checkpoint
+  // beacon onward (tests/test_checkpoint.cpp). last_round() starts empty:
+  // completed rounds belong to whoever consumed them before the save.
+  StreamEngine(StreamEngineConfig config, const EngineCheckpoint& checkpoint);
+
+  // Captures the complete detection-relevant state: every identity's ring
+  // and last-heard time, the round schedule, admission-bucket bookkeeping
+  // and Stats. Callable at any beacon boundary.
+  EngineCheckpoint checkpoint() const;
 
   // Feeds one beacon, running any confirmation rounds that fall due at or
   // before its timestamp first (a round at t sees exactly the beacons

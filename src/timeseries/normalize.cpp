@@ -17,7 +17,10 @@ std::vector<double> z_score_impl(std::span<const double> xs, double scale) {
   const double sigma =
       stats.count() > 1 ? std::sqrt(stats.population_variance()) : 0.0;
   std::vector<double> out(xs.size());
-  if (sigma == 0.0) {
+  // Negated comparison so a NaN sigma (garbage input with validation
+  // disabled) also takes the defined all-zeros branch instead of
+  // propagating NaN into every sample.
+  if (!(sigma > 0.0)) {
     std::fill(out.begin(), out.end(), 0.0);
     return out;
   }
@@ -40,7 +43,9 @@ void min_max_normalize(std::span<double> xs) {
   const auto [lo_it, hi_it] = std::minmax_element(xs.begin(), xs.end());
   const double lo = *lo_it;
   const double hi = *hi_it;
-  if (hi == lo) {
+  // Negated comparison: a zero range (all pairwise distances equal) AND
+  // a NaN extremum both map to the defined all-zeros output.
+  if (!(hi > lo)) {
     std::fill(xs.begin(), xs.end(), 0.0);
     return;
   }

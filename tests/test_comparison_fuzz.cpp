@@ -3,6 +3,7 @@
 // outputs must always satisfy the documented invariants.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "common/rng.h"
@@ -84,6 +85,37 @@ TEST_P(ComparisonFuzz, DetectorNeverCrashesAndFlagsSubset) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ComparisonFuzz,
                          ::testing::Values(11u, 222u, 3333u, 44444u));
+
+// Degenerate-geometry regression: a bundle of identical (but shaped —
+// constant series are excluded by the usable-shape filter) series makes
+// every pairwise distance equal, so min–max normalisation sees hi == lo.
+// It must take its defined all-zeros branch — every output finite,
+// nothing NaN (DESIGN.md §10 numeric edges).
+TEST(ComparisonDegenerate, IdenticalSeriesProduceFiniteDistances) {
+  ts::Series proto;
+  Rng rng(77);
+  for (int i = 0; i < 80; ++i) {  // 7.9 s: clears min_overlap_s
+    proto.add(0.1 * i, -70.0 + 6.0 * std::sin(0.4 * i) + rng.normal(0.0, 1.0));
+  }
+  std::vector<NamedSeries> bundle;
+  for (IdentityId id = 1; id <= 4; ++id) bundle.emplace_back(id, proto);
+
+  const auto pairs = compare_series(bundle, ComparisonOptions{});
+  ASSERT_EQ(pairs.size(), 6u);
+  for (const PairDistance& p : pairs) {
+    EXPECT_TRUE(p.comparable);
+    EXPECT_TRUE(std::isfinite(p.raw));
+    EXPECT_TRUE(std::isfinite(p.normalized));
+    EXPECT_EQ(p.normalized, 0.0);  // all-equal distances normalise to 0
+  }
+
+  // End to end through the detector: no NaN reaches the threshold rule.
+  VoiceprintDetector detector;
+  detector.detect_series(bundle, 15.0);
+  for (const PairDistance& p : detector.last_all_pairs()) {
+    EXPECT_TRUE(std::isfinite(p.normalized));
+  }
+}
 
 }  // namespace
 }  // namespace vp::core

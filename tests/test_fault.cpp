@@ -1,0 +1,388 @@
+// FaultInjector and ingestion-validation invariants (DESIGN.md §10):
+//   * Determinism — identical (seed, config, trace) produces identical
+//     fault sequences, stats, and downstream engine rounds.
+//   * Per-class behaviour — each fault class at p = 1 does exactly what
+//     it says (and only that), with bounded reorder displacement.
+//   * Conservation — offered + duplicated + flood == emitted + dropped +
+//     burst_dropped + held, after every offer and after flush.
+//   * Validation front — every invalid-beacon reason is shed with its
+//     own counter, engine state untouched, conservation exact.
+#include "fault/injector.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "common/error.h"
+#include "fault/report.h"
+#include "service/service.h"
+#include "stream/engine.h"
+
+namespace vp::fault {
+namespace {
+
+std::vector<Beacon> clean_trace(std::size_t identities, double rate_hz,
+                                double duration_s) {
+  std::vector<Beacon> trace;
+  Rng rng(42);
+  for (double t = 0.0; t < duration_s; t += 1.0 / rate_hz) {
+    for (std::size_t i = 0; i < identities; ++i) {
+      trace.push_back({static_cast<IdentityId>(i + 1), t,
+                       -70.0 + rng.normal(0.0, 3.0)});
+    }
+  }
+  return trace;
+}
+
+void expect_conservation(const FaultInjector& injector) {
+  const FaultStats& s = injector.stats();
+  EXPECT_EQ(s.conserved_in(), s.conserved_out());
+}
+
+TEST(FaultInjector, IdenticalSeedIsBitIdentical) {
+  const std::vector<Beacon> trace = clean_trace(6, 10.0, 30.0);
+  FaultConfig config;
+  config.seed = 7;
+  config.drop_probability = 0.1;
+  config.duplicate_probability = 0.1;
+  config.reorder_probability = 0.2;
+  config.rssi_spike_probability = 0.1;
+  config.rssi_non_finite_probability = 0.02;
+  config.time_regression_probability = 0.05;
+  config.flood_probability = 0.1;
+
+  FaultInjector a(config);
+  FaultInjector b(config);
+  const std::vector<Beacon> out_a = a.apply(trace);
+  const std::vector<Beacon> out_b = b.apply(trace);
+  ASSERT_EQ(out_a.size(), out_b.size());
+  for (std::size_t i = 0; i < out_a.size(); ++i) {
+    EXPECT_EQ(out_a[i].id, out_b[i].id);
+    // Bitwise: NaN != NaN, so compare representations.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(out_a[i].time_s),
+              std::bit_cast<std::uint64_t>(out_b[i].time_s));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(out_a[i].rssi_dbm),
+              std::bit_cast<std::uint64_t>(out_b[i].rssi_dbm));
+  }
+  EXPECT_EQ(a.stats().dropped, b.stats().dropped);
+  EXPECT_EQ(a.stats().reordered, b.stats().reordered);
+  EXPECT_EQ(a.stats().flood_injected, b.stats().flood_injected);
+  expect_conservation(a);
+}
+
+// The full determinism chain: same seed + config ⇒ same faulted stream ⇒
+// same engine shed counters and bit-identical rounds.
+TEST(FaultInjector, RepeatRunReproducesEngineRoundsExactly) {
+  const std::vector<Beacon> trace = clean_trace(8, 10.0, 45.0);
+  FaultConfig config;
+  config.seed = 99;
+  config.drop_probability = 0.2;
+  config.rssi_spike_probability = 0.3;
+  config.rssi_non_finite_probability = 0.1;
+  config.flood_probability = 0.2;
+
+  auto run = [&] {
+    FaultInjector injector(config);
+    stream::StreamEngine engine{stream::StreamEngineConfig{}};
+    std::vector<stream::StreamRound> rounds;
+    engine.set_round_callback(
+        [&rounds](const stream::StreamRound& r) { rounds.push_back(r); });
+    for (const Beacon& b : injector.apply(trace)) {
+      engine.ingest(b.id, b.time_s, b.rssi_dbm);
+    }
+    engine.advance_to(45.0);
+    return std::make_pair(std::move(rounds), engine.stats());
+  };
+  const auto [rounds_a, stats_a] = run();
+  const auto [rounds_b, stats_b] = run();
+
+  EXPECT_EQ(stats_a.beacons_ingested, stats_b.beacons_ingested);
+  EXPECT_EQ(stats_a.shed_invalid_total(), stats_b.shed_invalid_total());
+  EXPECT_EQ(stats_a.beacons_shed_identity_cap,
+            stats_b.beacons_shed_identity_cap);
+  ASSERT_EQ(rounds_a.size(), rounds_b.size());
+  for (std::size_t i = 0; i < rounds_a.size(); ++i) {
+    EXPECT_EQ(rounds_a[i].time_s, rounds_b[i].time_s);
+    EXPECT_EQ(rounds_a[i].suspects, rounds_b[i].suspects);
+    ASSERT_EQ(rounds_a[i].pairs.size(), rounds_b[i].pairs.size());
+    for (std::size_t j = 0; j < rounds_a[i].pairs.size(); ++j) {
+      EXPECT_EQ(rounds_a[i].pairs[j].raw, rounds_b[i].pairs[j].raw);
+    }
+  }
+}
+
+TEST(FaultInjector, DropAtOneSwallowsEverything) {
+  const std::vector<Beacon> trace = clean_trace(3, 10.0, 5.0);
+  FaultConfig config;
+  config.drop_probability = 1.0;
+  FaultInjector injector(config);
+  EXPECT_TRUE(injector.apply(trace).empty());
+  EXPECT_EQ(injector.stats().dropped, trace.size());
+  expect_conservation(injector);
+}
+
+TEST(FaultInjector, BurstDropsRunsOfConfiguredLength) {
+  const std::vector<Beacon> trace = clean_trace(1, 10.0, 10.0);  // 100
+  FaultConfig config;
+  config.burst_start_probability = 1.0;  // wall-to-wall bursts
+  config.burst_length = 10;
+  FaultInjector injector(config);
+  EXPECT_TRUE(injector.apply(trace).empty());
+  EXPECT_EQ(injector.stats().burst_dropped, trace.size());
+  EXPECT_EQ(injector.stats().dropped, 0u);  // bursts, not i.i.d. drops
+  expect_conservation(injector);
+}
+
+TEST(FaultInjector, DuplicateAtOneEmitsEverythingTwice) {
+  const std::vector<Beacon> trace = clean_trace(2, 10.0, 5.0);
+  FaultConfig config;
+  config.duplicate_probability = 1.0;
+  FaultInjector injector(config);
+  const std::vector<Beacon> out = injector.apply(trace);
+  ASSERT_EQ(out.size(), trace.size() * 2);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(out[2 * i].id, out[2 * i + 1].id);
+    EXPECT_EQ(out[2 * i].time_s, out[2 * i + 1].time_s);
+    EXPECT_EQ(out[2 * i].rssi_dbm, out[2 * i + 1].rssi_dbm);
+  }
+  expect_conservation(injector);
+}
+
+TEST(FaultInjector, ReorderDisplacementIsBounded) {
+  const std::vector<Beacon> trace = clean_trace(1, 10.0, 30.0);
+  FaultConfig config;
+  config.reorder_probability = 0.5;
+  config.reorder_max_displacement = 4;
+  FaultInjector injector(config);
+  const std::vector<Beacon> out = injector.apply(trace);
+  ASSERT_EQ(out.size(), trace.size());  // nothing lost, only re-sequenced
+  EXPECT_GT(injector.stats().reordered, 0u);
+  // One identity at fixed rate: displacement in positions is bounded by
+  // displacement in source beacons, so |emitted_index - original_index|
+  // stays within max_displacement.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double expected_t = trace[i].time_s;
+    const double dt = std::abs(out[i].time_s - expected_t);
+    EXPECT_LE(dt, 0.1 * (config.reorder_max_displacement + 1) + 1e-9);
+  }
+  expect_conservation(injector);
+}
+
+TEST(FaultInjector, NonFiniteRssiIsInjectedAndCounted) {
+  const std::vector<Beacon> trace = clean_trace(2, 10.0, 10.0);
+  FaultConfig config;
+  config.rssi_non_finite_probability = 1.0;
+  FaultInjector injector(config);
+  const std::vector<Beacon> out = injector.apply(trace);
+  ASSERT_EQ(out.size(), trace.size());
+  for (const Beacon& b : out) EXPECT_FALSE(std::isfinite(b.rssi_dbm));
+  EXPECT_EQ(injector.stats().rssi_non_finite, trace.size());
+  expect_conservation(injector);
+}
+
+TEST(FaultInjector, QuantizationSnapsToStep) {
+  const std::vector<Beacon> trace = clean_trace(2, 10.0, 5.0);
+  FaultConfig config;
+  config.rssi_quantize_step_db = 4.0;
+  FaultInjector injector(config);
+  for (const Beacon& b : injector.apply(trace)) {
+    const double steps = b.rssi_dbm / 4.0;
+    EXPECT_NEAR(steps, std::round(steps), 1e-9);
+  }
+  EXPECT_EQ(injector.stats().rssi_quantized, trace.size());
+}
+
+TEST(FaultInjector, TimeSkewAndDriftTransformTimestamps) {
+  const std::vector<Beacon> trace = clean_trace(1, 10.0, 10.0);
+  FaultConfig config;
+  config.time_skew_s = 2.0;
+  config.time_drift_per_s = 0.01;
+  FaultInjector injector(config);
+  const std::vector<Beacon> out = injector.apply(trace);
+  ASSERT_EQ(out.size(), trace.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i].time_s, trace[i].time_s * 1.01 + 2.0);
+  }
+  EXPECT_EQ(injector.stats().time_skewed, trace.size());
+}
+
+TEST(FaultInjector, FloodFabricatesFreshIdentities) {
+  const std::vector<Beacon> trace = clean_trace(3, 10.0, 10.0);
+  FaultConfig config;
+  config.flood_probability = 1.0;
+  config.flood_id_base = 5000;
+  FaultInjector injector(config);
+  const std::vector<Beacon> out = injector.apply(trace);
+  ASSERT_EQ(out.size(), trace.size() * 2);
+  std::set<IdentityId> fabricated;
+  for (const Beacon& b : out) {
+    if (b.id >= 5000) fabricated.insert(b.id);
+  }
+  // Every injected identity is fresh — the cap-pressure worst case.
+  EXPECT_EQ(fabricated.size(), trace.size());
+  EXPECT_EQ(injector.stats().flood_injected, trace.size());
+  expect_conservation(injector);
+}
+
+TEST(FaultInjector, RejectsInvalidConfig) {
+  FaultConfig config;
+  config.drop_probability = 1.5;
+  EXPECT_THROW(FaultInjector{config}, PreconditionError);
+  config.drop_probability = 0.0;
+  config.burst_length = 0;
+  EXPECT_THROW(FaultInjector{config}, PreconditionError);
+  config.burst_length = 1;
+  config.rssi_quantize_step_db = -1.0;
+  EXPECT_THROW(FaultInjector{config}, PreconditionError);
+}
+
+// --- Ingestion validation front -----------------------------------------
+
+TEST(ValidationFront, ShedsEachReasonWithItsOwnCounter) {
+  stream::StreamEngineConfig config;
+  stream::StreamEngine engine(config);
+  using Admission = stream::StreamEngine::Admission;
+
+  EXPECT_EQ(engine.ingest(1, 1.0, -70.0), Admission::kAccepted);
+  EXPECT_EQ(engine.ingest(1, std::numeric_limits<double>::quiet_NaN(), -70.0),
+            Admission::kShedInvalid);
+  EXPECT_EQ(engine.ingest(1, std::numeric_limits<double>::infinity(), -70.0),
+            Admission::kShedInvalid);
+  EXPECT_EQ(engine.ingest(1, -3.0, -70.0), Admission::kShedInvalid);
+  EXPECT_EQ(engine.ingest(1, 2.0, std::numeric_limits<double>::quiet_NaN()),
+            Admission::kShedInvalid);
+  EXPECT_EQ(engine.ingest(1, 2.0, -std::numeric_limits<double>::infinity()),
+            Admission::kShedInvalid);
+  EXPECT_EQ(engine.ingest(1, 2.0, -200.0), Admission::kShedInvalid);
+  EXPECT_EQ(engine.ingest(1, 2.0, 90.0), Admission::kShedInvalid);
+  EXPECT_EQ(engine.ingest(1, 2.0, -71.0), Admission::kAccepted);
+
+  const stream::StreamEngine::Stats& stats = engine.stats();
+  EXPECT_EQ(stats.shed_invalid_time_non_finite, 2u);
+  EXPECT_EQ(stats.shed_invalid_time_negative, 1u);
+  EXPECT_EQ(stats.shed_invalid_rssi_non_finite, 2u);
+  EXPECT_EQ(stats.shed_invalid_rssi_out_of_range, 2u);
+  EXPECT_EQ(stats.beacons_ingested, 2u);
+  // Conservation, now including the validation classes.
+  EXPECT_EQ(stats.beacons_offered,
+            stats.beacons_ingested + stats.shed_total());
+}
+
+// An invalid beacon must not move ANY engine state: no ring append, no
+// round scheduling, no admission-bucket consumption.
+TEST(ValidationFront, InvalidBeaconLeavesStateUntouched) {
+  stream::StreamEngineConfig config;
+  stream::StreamEngine engine(config);
+  engine.ingest(1, 1.0, -70.0);
+  const double next_round_before = engine.next_round_time();
+
+  // A +inf timestamp would run the round scheduler forever if it ever
+  // reached advance_to; this must return, shed, in O(1).
+  engine.ingest(2, std::numeric_limits<double>::infinity(), -70.0);
+  engine.ingest(2, 25.0, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(engine.identities_tracked(), 1u);  // identity 2 never tracked
+  EXPECT_EQ(engine.next_round_time(), next_round_before);
+  EXPECT_EQ(engine.stats().rounds, 0u);  // the NaN-RSSI at t=25 shed first
+}
+
+// With validation off (trusted replay), the same beacons reach the
+// legacy paths — documenting exactly what the front protects against.
+TEST(ValidationFront, DisabledValidationAdmitsOutOfContractRssi) {
+  stream::StreamEngineConfig config;
+  config.validate_ingest = false;
+  stream::StreamEngine engine(config);
+  EXPECT_EQ(engine.ingest(1, 1.0, -200.0),
+            stream::StreamEngine::Admission::kAccepted);
+  EXPECT_EQ(engine.stats().shed_invalid_total(), 0u);
+}
+
+TEST(ValidationFront, ServiceForwardsInvalidVerdict) {
+  service::ServiceConfig config;
+  service::DetectionService svc(config);
+  using Admission = service::DetectionService::Admission;
+  EXPECT_EQ(svc.ingest(1, 1, 1.0, -70.0), Admission::kAccepted);
+  EXPECT_EQ(svc.ingest(1, 1, std::numeric_limits<double>::quiet_NaN(), -70.0),
+            Admission::kShedInvalid);
+  EXPECT_EQ(svc.ingest(1, 1, 2.0, std::numeric_limits<double>::infinity()),
+            Admission::kShedInvalid);
+  const service::DetectionService::Stats& stats = svc.stats();
+  EXPECT_EQ(stats.beacons_shed_invalid, 2u);
+  EXPECT_EQ(stats.beacons_offered,
+            stats.beacons_ingested + stats.beacons_shed_session_cap +
+                stats.beacons_shed_rate_limited +
+                stats.beacons_shed_identity_cap +
+                stats.beacons_shed_out_of_order + stats.beacons_shed_invalid);
+}
+
+// --- Chaos bench schema -------------------------------------------------
+
+ChaosRunResult valid_run() {
+  ChaosRunResult r;
+  r.label = "drop_low";
+  r.fault_class = "drop";
+  r.intensity = 0.1;
+  r.kill_restore_cycles = 1;
+  r.source_beacons = 100;
+  r.emitted = 85;
+  r.dropped = 10;
+  r.burst_dropped = 5;
+  r.offered = 85;
+  r.ingested = 80;
+  r.shed_out_of_order = 5;
+  r.rounds = 3;
+  r.round_divergence = 0.25;
+  r.max_divergence = 0.5;
+  return r;
+}
+
+TEST(ChaosBenchReport, BuildsAndValidates) {
+  const obs::json::Value report =
+      build_chaos_bench_report("chaos_detection", 11, {valid_run()});
+  std::string error;
+  EXPECT_TRUE(validate_chaos_bench(report, &error)) << error;
+}
+
+TEST(ChaosBenchReport, RejectsInjectorConservationViolation) {
+  ChaosRunResult bad = valid_run();
+  bad.dropped += 1;  // a beacon vanished without being counted
+  std::string error;
+  EXPECT_FALSE(validate_chaos_bench(
+      build_chaos_bench_report("x", 1, {bad}), &error));
+  EXPECT_NE(error.find("injector conservation"), std::string::npos);
+}
+
+TEST(ChaosBenchReport, RejectsServingConservationViolation) {
+  ChaosRunResult bad = valid_run();
+  bad.ingested -= 1;
+  std::string error;
+  EXPECT_FALSE(validate_chaos_bench(
+      build_chaos_bench_report("x", 1, {bad}), &error));
+  EXPECT_NE(error.find("offered != ingested"), std::string::npos);
+}
+
+TEST(ChaosBenchReport, RejectsDivergenceOverCeiling) {
+  ChaosRunResult bad = valid_run();
+  bad.round_divergence = 0.9;  // ceiling is 0.5
+  std::string error;
+  EXPECT_FALSE(validate_chaos_bench(
+      build_chaos_bench_report("x", 1, {bad}), &error));
+  EXPECT_NE(error.find("exceeds max_divergence"), std::string::npos);
+}
+
+TEST(ChaosBenchReport, RejectsWrongSchemaAndMissingFields) {
+  obs::json::Value report =
+      build_chaos_bench_report("chaos_detection", 11, {valid_run()});
+  std::string error;
+  obs::json::Object broken = report.as_object();
+  broken["schema"] = obs::json::Value("voiceprint.stream_bench/v1");
+  EXPECT_FALSE(
+      validate_chaos_bench(obs::json::Value(std::move(broken)), &error));
+  EXPECT_FALSE(validate_chaos_bench(obs::json::Value(1.0), &error));
+}
+
+}  // namespace
+}  // namespace vp::fault

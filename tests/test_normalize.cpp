@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/error.h"
@@ -110,6 +112,52 @@ TEST(MinMax, EmptyIsNoop) {
   std::vector<double> xs;
   min_max_normalize(xs);  // must not crash
   EXPECT_TRUE(min_max_normalized(xs).empty());
+}
+
+// Numeric edge regressions (DESIGN.md §10): degenerate windows must take
+// the documented all-zeros branch, never produce NaN. A constant RSSI
+// series (σ = 0) is exactly what a quantised or clipped radio reports.
+TEST(ZScoreEnhanced, ConstantSeriesIsAllZerosNotNaN) {
+  const std::vector<double> xs(50, -70.0);
+  const auto z = z_score_enhanced(xs);
+  ASSERT_EQ(z.size(), xs.size());
+  for (double v : z) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(ZScoreEnhanced, SingleSampleIsZero) {
+  const std::vector<double> xs = {-63.5};
+  const auto z = z_score_enhanced(xs);
+  ASSERT_EQ(z.size(), 1u);
+  EXPECT_DOUBLE_EQ(z[0], 0.0);
+}
+
+// Near-constant input: RunningStats' Welford m2 can drift a few ulps
+// negative, and sqrt of that would be NaN without the clamp.
+TEST(ZScoreEnhanced, NearConstantSeriesStaysFinite) {
+  std::vector<double> xs(200, -70.0);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    xs[i] += (i % 2 == 0 ? 1.0 : -1.0) * 1e-13;
+  }
+  for (double v : z_score_enhanced(xs)) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(MinMax, SingleElementBecomesZeroNotNaN) {
+  std::vector<double> xs = {42.0};  // hi == lo: the degenerate branch
+  min_max_normalize(xs);
+  EXPECT_TRUE(std::isfinite(xs[0]));
+  EXPECT_DOUBLE_EQ(xs[0], 0.0);
+}
+
+TEST(MinMax, AllEqualNegativeValuesBecomeZerosNotNaN) {
+  std::vector<double> xs(8, -3.25);
+  min_max_normalize(xs);
+  for (double v : xs) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
 }
 
 TEST(MinMax, Idempotent) {

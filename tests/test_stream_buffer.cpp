@@ -132,6 +132,135 @@ TEST(BeaconBuffer, ExtractionMatchesRssiLogBitForBit) {
   }
 }
 
+// Randomised model test: the ring against a naive vector that applies
+// the same operations the slow, obviously-correct way. Random appends
+// (with duplicate timestamps), random front evictions, and window
+// queries with exact-boundary endpoints (t0/t1 landing precisely on
+// stored sample times, where a half-open off-by-one would hide).
+TEST(BeaconBuffer, RandomizedTraceMatchesNaiveModel) {
+  struct Sample {
+    double time;
+    double value;
+  };
+  for (std::uint64_t seed : {3u, 17u, 91u}) {
+    Rng rng(seed);
+    const auto capacity = static_cast<std::size_t>(rng.uniform_int(1, 24));
+    BeaconBuffer ring(capacity);
+    std::vector<Sample> model;  // ring contents, oldest → newest
+
+    double t = 0.0;
+    for (int step = 0; step < 2000; ++step) {
+      const double roll = rng.uniform(0.0, 1.0);
+      if (roll < 0.6) {
+        // Append; 25% of appends reuse the previous timestamp (CCH+SCH
+        // double reception is timestamp-equal by design).
+        if (model.empty() || !rng.chance(0.25)) t += rng.uniform(0.0, 0.3);
+        const double v = rng.uniform(-95.0, -45.0);
+        ring.push(t, v);
+        model.push_back({t, v});
+        if (model.size() > capacity) model.erase(model.begin());
+      } else if (roll < 0.8) {
+        // Evict a random horizon, sometimes exactly a stored time.
+        double horizon = rng.uniform(t - 2.0, t + 0.5);
+        if (!model.empty() && rng.chance(0.5)) {
+          horizon = model[static_cast<std::size_t>(rng.uniform_int(
+                              0, static_cast<std::int64_t>(model.size()) - 1))]
+                        .time;
+        }
+        ring.evict_before(horizon);
+        std::erase_if(model,
+                      [&](const Sample& s) { return s.time < horizon; });
+      } else {
+        // Window query; half the time pin an endpoint to a stored time.
+        double t0 = rng.uniform(t - 3.0, t + 0.5);
+        double t1 = t0 + rng.uniform(0.0, 2.0);
+        if (!model.empty() && rng.chance(0.5)) {
+          t0 = model[static_cast<std::size_t>(rng.uniform_int(
+                         0, static_cast<std::int64_t>(model.size()) - 1))]
+                   .time;
+        }
+        if (!model.empty() && rng.chance(0.5)) {
+          t1 = model[static_cast<std::size_t>(rng.uniform_int(
+                         0, static_cast<std::int64_t>(model.size()) - 1))]
+                   .time;
+        }
+        std::size_t expected = 0;
+        for (const Sample& s : model) {
+          if (s.time >= t0 && s.time < t1) ++expected;  // half-open
+        }
+        ASSERT_EQ(ring.count_in(t0, t1), expected);
+        ts::Series extracted;
+        ring.extract(t0, t1, extracted);
+        ASSERT_EQ(extracted.size(), expected);
+        std::size_t k = 0;
+        for (const Sample& s : model) {
+          if (s.time >= t0 && s.time < t1) {
+            EXPECT_EQ(extracted.time(k), s.time);    // exact, not NEAR
+            EXPECT_EQ(extracted.value(k), s.value);
+            ++k;
+          }
+        }
+      }
+
+      // Structural invariants after every step.
+      ASSERT_EQ(ring.size(), model.size());
+      ASSERT_LE(ring.size(), capacity);
+      if (!model.empty()) {
+        ASSERT_EQ(ring.front_time(), model.front().time);
+        ASSERT_EQ(ring.back_time(), model.back().time);
+        double mean = 0.0;
+        for (const Sample& s : model) mean += s.value;
+        mean /= static_cast<double>(model.size());
+        EXPECT_NEAR(ring.mean(), mean, 1e-6);
+      }
+    }
+  }
+}
+
+// Snapshot/restore round-trips the exact ring state, including the raw
+// Welford accumulators (checkpoint restore parity needs the same bits,
+// not a recomputation).
+TEST(BeaconBuffer, SnapshotRoundTripIsExact) {
+  BeaconBuffer ring(16);
+  Rng rng(5);
+  double t = 0.0;
+  for (int i = 0; i < 40; ++i) {  // wraps and evicts: head_ != 0
+    t += rng.uniform(0.01, 0.2);
+    ring.push(t, rng.uniform(-90.0, -50.0));
+  }
+  ring.evict_before(t - 1.5);
+
+  const BeaconBuffer::Snapshot snap = ring.snapshot();
+  const BeaconBuffer restored = BeaconBuffer::from_snapshot(snap);
+  ASSERT_EQ(restored.size(), ring.size());
+  EXPECT_EQ(restored.capacity(), ring.capacity());
+  EXPECT_EQ(restored.mean(), ring.mean());  // bitwise
+  EXPECT_EQ(restored.population_variance(), ring.population_variance());
+  ts::Series a;
+  ts::Series b;
+  ring.extract(0.0, t + 1.0, a);
+  restored.extract(0.0, t + 1.0, b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.time(i), b.time(i));
+    EXPECT_EQ(a.value(i), b.value(i));
+  }
+}
+
+TEST(BeaconBuffer, FromSnapshotRejectsMalformedState) {
+  BeaconBuffer::Snapshot snap;
+  snap.capacity = 2;
+  snap.times = {1.0, 2.0, 3.0};
+  snap.values = {-70.0, -71.0, -72.0};
+  EXPECT_THROW(BeaconBuffer::from_snapshot(snap), PreconditionError);  // > cap
+  snap.capacity = 4;
+  snap.values.pop_back();
+  EXPECT_THROW(BeaconBuffer::from_snapshot(snap), PreconditionError);  // sizes
+  snap.values.push_back(-72.0);
+  snap.times = {2.0, 1.0, 3.0};
+  EXPECT_THROW(BeaconBuffer::from_snapshot(snap), PreconditionError);  // order
+}
+
 TEST(BeaconBuffer, StatsRequireNonEmpty) {
   BeaconBuffer ring(4);
   EXPECT_THROW(ring.mean(), PreconditionError);

@@ -1,8 +1,12 @@
 // Schema checker for emitted observability artefacts:
 //
-//   check_run_report <report.json> [--trace <trace.jsonl>]
+//   check_run_report [report.json] [--trace <trace.jsonl>]
 //                    [--require <counter>]... [--stream-bench <bench.json>]
-//                    [--service-bench <bench.json>]
+//                    [--service-bench <bench.json>] [--chaos-bench <bench.json>]
+//
+// The positional run report may be omitted when only validating bench
+// artefacts (e.g. `check_run_report --chaos-bench BENCH_chaos.json`);
+// --trace and --require need the report they qualify.
 //
 // Parses the report and validates it against voiceprint.run_report/v1 via
 // obs::validate_run_report — the same function the unit tests call, so
@@ -14,7 +18,10 @@
 // (voiceprint.stream_bench/v1, including the shed-beacon conservation
 // law); with --service-bench, service::validate_service_bench
 // (voiceprint.service_bench/v1, including the beacon and round
-// conservation laws). Exit status 0 on success, 1 on any violation (with
+// conservation laws); with --chaos-bench, fault::validate_chaos_bench
+// (voiceprint.chaos_bench/v1, including the injector and serving-stack
+// conservation laws and the per-run divergence ceilings). Exit status 0
+// on success, 1 on any violation (with
 // a one-line reason on stderr). Used by scripts/smoke.sh (the `smoke`
 // ctest).
 #include <fstream>
@@ -23,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/report.h"
 #include "obs/json.h"
 #include "obs/report.h"
 #include "service/report.h"
@@ -126,6 +134,29 @@ int check_service_bench(const std::string& path) {
   return 0;
 }
 
+int check_chaos_bench(const std::string& path) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::cerr << "check_run_report: cannot read " << path << "\n";
+    return 1;
+  }
+  vp::obs::json::Value bench;
+  try {
+    bench = vp::obs::json::parse(text);
+  } catch (const std::exception& e) {
+    std::cerr << "check_run_report: " << path << ": " << e.what() << "\n";
+    return 1;
+  }
+  std::string error;
+  if (!vp::fault::validate_chaos_bench(bench, &error)) {
+    std::cerr << "check_run_report: " << path << ": " << error << "\n";
+    return 1;
+  }
+  std::cout << "ok: " << path << " ("
+            << bench.find("runs")->as_array().size() << " chaos runs)\n";
+  return 0;
+}
+
 int check_trace(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -166,13 +197,16 @@ int check_trace(const std::string& path) {
 
 int main(int argc, char** argv) {
   constexpr const char* kUsage =
-      "usage: check_run_report <report.json> [--trace <trace.jsonl>] "
+      "usage: check_run_report [report.json] [--trace <trace.jsonl>] "
       "[--require <counter>]... [--stream-bench <bench.json>] "
-      "[--service-bench <bench.json>]\n";
+      "[--service-bench <bench.json>] [--chaos-bench <bench.json>]\n"
+      "       (report.json may be omitted when only bench artefacts are "
+      "checked)\n";
   std::string report_path;
   std::string trace_path;
   std::string stream_bench_path;
   std::string service_bench_path;
+  std::string chaos_bench_path;
   std::vector<std::string> required_counters;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -184,6 +218,8 @@ int main(int argc, char** argv) {
       stream_bench_path = argv[++i];
     } else if (arg == "--service-bench" && i + 1 < argc) {
       service_bench_path = argv[++i];
+    } else if (arg == "--chaos-bench" && i + 1 < argc) {
+      chaos_bench_path = argv[++i];
     } else if (report_path.empty()) {
       report_path = arg;
     } else {
@@ -191,15 +227,23 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  if (report_path.empty()) {
+  const bool has_bench = !stream_bench_path.empty() ||
+                         !service_bench_path.empty() ||
+                         !chaos_bench_path.empty();
+  if (report_path.empty() &&
+      (!has_bench || !trace_path.empty() || !required_counters.empty())) {
     std::cerr << kUsage;
     return 1;
   }
-  int status = check_report(report_path, required_counters);
+  int status = 0;
+  if (!report_path.empty()) {
+    status = check_report(report_path, required_counters);
+  }
   if (!trace_path.empty()) status |= check_trace(trace_path);
   if (!stream_bench_path.empty()) status |= check_stream_bench(stream_bench_path);
   if (!service_bench_path.empty()) {
     status |= check_service_bench(service_bench_path);
   }
+  if (!chaos_bench_path.empty()) status |= check_chaos_bench(chaos_bench_path);
   return status;
 }
