@@ -91,14 +91,15 @@ std::vector<FleetRx> synthesize_fleet(std::size_t sessions,
 service::ServiceBenchConfigResult run_config(
     const std::string& label, std::size_t sessions, std::size_t identities,
     double rate_hz, double duration_s, std::size_t shards,
-    std::size_t threads, bool overload) {
+    std::size_t threads, bool overload, const vp::RunFlags& run_flags) {
   const std::vector<FleetRx> beacons =
       synthesize_fleet(sessions, identities, rate_hz, duration_s);
 
   service::ServiceConfig config;
   config.shards = shards;
   config.threads = threads;
-  config.engine.detector = core::tuned_simulation_options(1);
+  config.engine.detector =
+      core::with_run_flags(core::tuned_simulation_options(1), run_flags);
   if (overload) {
     // The fleet is twice the session cap, each session's offered load is
     // 10× its admission cap, rings are a fraction of a window, and the
@@ -206,13 +207,14 @@ int main(int argc, char** argv) {
       label += "_rate";
       label += std::to_string(static_cast<int>(rate));
       results.push_back(run_config(label, sessions, identities, rate,
-                                   duration, shards, threads, false));
+                                   duration, shards, threads, false,
+                                   run_flags));
     }
   }
   // The overload scenario (always included — the acceptance bar): every
   // shedding path engages and the conservation laws still hold.
   results.push_back(run_config("overload", quick ? 4 : 16, identities, 10.0,
-                               duration, shards, threads, true));
+                               duration, shards, threads, true, run_flags));
 
   const obs::json::Value report =
       service::build_service_bench_report(args.program_name(), results);

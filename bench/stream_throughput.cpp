@@ -75,12 +75,14 @@ std::vector<Rx> synthesize_stream(std::size_t identities, double rate_hz,
 stream::BenchConfigResult run_config(const std::string& label,
                                      std::size_t identities, double rate_hz,
                                      double duration_s, std::size_t threads,
-                                     bool overload) {
+                                     bool overload,
+                                     const vp::RunFlags& run_flags) {
   const std::vector<Rx> beacons =
       synthesize_stream(identities, rate_hz, duration_s);
 
   stream::StreamEngineConfig config;
-  config.detector = core::tuned_simulation_options(threads);
+  config.detector =
+      core::with_run_flags(core::tuned_simulation_options(threads), run_flags);
   if (overload) {
     // 10× over the admission cap, rings far below a full window, and an
     // identity cap below the offered identity count: everything past the
@@ -161,12 +163,14 @@ int main(int argc, char** argv) {
       const std::string label =
           "rate" + std::to_string(static_cast<int>(rate)) + "_n" +
           std::to_string(n);
-      results.push_back(run_config(label, n, rate, duration, threads, false));
+      results.push_back(run_config(label, n, rate, duration, threads, false,
+                                   run_flags));
     }
   }
   // The 10× overload scenario (always included — the acceptance bar).
   results.push_back(run_config("overload_x10", quick ? 20 : 80,
-                               quick ? 10.0 : 20.0, duration, threads, true));
+                               quick ? 10.0 : 20.0, duration, threads, true,
+                               run_flags));
 
   const obs::json::Value report =
       stream::build_stream_bench_report(args.program_name(), results);

@@ -19,16 +19,18 @@ fleet="$build_dir/examples/fleet_detection"
 stream_bench="$build_dir/bench/stream_throughput"
 service_bench="$build_dir/bench/service_throughput"
 chaos_bench="$build_dir/bench/chaos_detection"
+complexity_bench="$build_dir/bench/sec6_complexity"
 checker="$build_dir/tools/check_run_report"
 
 if [[ ! -x "$quickstart" || ! -x "$highway" || ! -x "$streaming" \
       || ! -x "$fleet" || ! -x "$stream_bench" || ! -x "$service_bench" \
-      || ! -x "$chaos_bench" || ! -x "$checker" ]]; then
+      || ! -x "$chaos_bench" || ! -x "$complexity_bench" \
+      || ! -x "$checker" ]]; then
   echo "smoke: binaries missing, building in $build_dir"
   cmake -B "$build_dir" -S "$repo_root"
   cmake --build "$build_dir" -j --target quickstart highway_sybil_sim \
     streaming_detection fleet_detection stream_throughput \
-    service_throughput chaos_detection check_run_report
+    service_throughput chaos_detection sec6_complexity check_run_report
 fi
 
 tmp="$(mktemp -d)"
@@ -122,5 +124,21 @@ echo "smoke: validating chaos report + bench artefact"
   --require stream.shed_invalid.rssi_non_finite \
   --require stream.shed_invalid.time_negative \
   --chaos-bench "$tmp/BENCH_chaos.json"
+
+echo "smoke: streaming_detection --prune --simd (cascade parity)"
+"$streaming" --density 12 --duration 60 --prune --simd \
+  > "$tmp/streaming_pruned.out"
+grep -q "streaming parity: OK" "$tmp/streaming_pruned.out" || {
+  echo "smoke: streaming_detection --prune lost batch parity"
+  cat "$tmp/streaming_pruned.out"
+  exit 1
+}
+
+echo "smoke: sec6_complexity --quick (pruned-vs-exact bench artefact)"
+"$complexity_bench" --quick --out "$tmp/BENCH_comparison.json" \
+  --benchmark_filter=SkipAll > "$tmp/complexity.out"
+
+echo "smoke: validating comparison bench artefact"
+"$checker" --comparison-bench "$tmp/BENCH_comparison.json"
 
 echo "smoke: OK"

@@ -97,6 +97,8 @@ RunFlags parse_run_flags(const CliArgs& args, std::size_t default_threads) {
   flags.threads = static_cast<std::size_t>(threads);
   flags.metrics_out = args.get("metrics-out", "");
   flags.trace_out = args.get("trace-out", "");
+  flags.prune = args.get_bool("prune", false);
+  flags.simd = args.get_bool("simd", true);
   return flags;
 }
 

@@ -45,11 +45,21 @@ class CliArgs {
 //   --metrics-out P   write a voiceprint.run_report/v1 JSON document to P
 //                     when the binary exits.
 //   --trace-out P     stream JSONL span events to P during the run.
+//   --prune           route detection through the lower-bound cascade
+//                     (core::compare_series_pruned); verdicts are
+//                     guaranteed identical to the exact sweep, pruned
+//                     pairs report bounds instead of exact distances.
+//   --simd on|off     let the cascade's band sweeps use the vectorised
+//                     wavefront kernel (default on; bit-identical either
+//                     way, only speed changes). Meaningless without
+//                     --prune.
 // Empty paths mean "off" (the run stays uninstrumented).
 struct RunFlags {
   std::size_t threads = 1;
   std::string metrics_out;
   std::string trace_out;
+  bool prune = false;
+  bool simd = true;
 };
 
 RunFlags parse_run_flags(const CliArgs& args, std::size_t default_threads = 1);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "common/error.h"
@@ -10,6 +11,7 @@
 #include "obs/runtime.h"
 #include "obs/timer.h"
 #include "timeseries/dtw.h"
+#include "timeseries/lower_bound.h"
 #include "timeseries/lp_distance.h"
 #include "timeseries/normalize.h"
 
@@ -42,6 +44,59 @@ PairSinks resolve_pair_sinks() {
   sinks.zscore_ns = &registry.histogram("comparison.pair_zscore_ns");
   sinks.dtw_ns = &registry.histogram("comparison.pair_dtw_ns");
   return sinks;
+}
+
+// Span-based core of match_samples: the cascade aligns on subspans of the
+// original series (no slice_time copies), the public Series overload
+// forwards here — one implementation, identical doubles either way.
+void match_samples_spans(std::span<const double> ta,
+                         std::span<const double> va,
+                         std::span<const double> tb,
+                         std::span<const double> vb, double max_gap_s,
+                         std::vector<double>& out_a,
+                         std::vector<double>& out_b) {
+  out_a.clear();
+  out_b.clear();
+  // Same-beacon-rate fast path: when both sides sit on the identical
+  // strictly-increasing grid, the nearest-neighbour walk below pairs
+  // sample i with sample i (each |tb[j+1] - ta[i]| is positive while
+  // |tb[i] - ta[i]| is zero, so j never advances past i, and the zero gap
+  // always passes max_gap_s) — the output is the two value arrays
+  // verbatim. Strictness matters: duplicate timestamps make the walk
+  // consume ahead, so they take the general loop.
+  if (ta.size() == tb.size() && !ta.empty() && max_gap_s >= 0.0) {
+    bool same_grid = true;
+    for (std::size_t i = 0; i < ta.size(); ++i) {
+      if (ta[i] != tb[i] || (i > 0 && !(ta[i] > ta[i - 1]))) {
+        same_grid = false;
+        break;
+      }
+    }
+    if (same_grid) {
+      out_a.assign(va.begin(), va.end());
+      out_b.assign(vb.begin(), vb.end());
+      return;
+    }
+  }
+  std::size_t j = 0;
+  for (std::size_t i = 0; i < ta.size() && j < tb.size(); ++i) {
+    const double t = ta[i];
+    while (j + 1 < tb.size() &&
+           std::fabs(tb[j + 1] - t) <= std::fabs(tb[j] - t)) {
+      ++j;
+    }
+    if (std::fabs(tb[j] - t) > max_gap_s) continue;
+    // Leave b[j] to the next a-sample when that one is strictly closer:
+    // otherwise a marginal earlier match consumes the partner and the final
+    // a-sample exits unmatched even though it had the better claim.
+    if (i + 1 < ta.size() &&
+        std::fabs(tb[j] - ta[i + 1]) < std::fabs(tb[j] - t)) {
+      continue;
+    }
+    out_a.push_back(va[i]);
+    out_b.push_back(vb[j]);
+    ++j;  // consume the matched sample
+  }
 }
 
 double pair_distance(const std::vector<double>& x, const std::vector<double>& y,
@@ -179,27 +234,8 @@ PairDistance compare_pair(const NamedSeries& ea, const NamedSeries& eb,
 
 void match_samples(const ts::Series& a, const ts::Series& b, double max_gap_s,
                    std::vector<double>& out_a, std::vector<double>& out_b) {
-  out_a.clear();
-  out_b.clear();
-  std::size_t j = 0;
-  for (std::size_t i = 0; i < a.size() && j < b.size(); ++i) {
-    const double t = a.time(i);
-    while (j + 1 < b.size() &&
-           std::fabs(b.time(j + 1) - t) <= std::fabs(b.time(j) - t)) {
-      ++j;
-    }
-    if (std::fabs(b.time(j) - t) > max_gap_s) continue;
-    // Leave b[j] to the next a-sample when that one is strictly closer:
-    // otherwise a marginal earlier match consumes the partner and the final
-    // a-sample exits unmatched even though it had the better claim.
-    if (i + 1 < a.size() &&
-        std::fabs(b.time(j) - a.time(i + 1)) < std::fabs(b.time(j) - t)) {
-      continue;
-    }
-    out_a.push_back(a.value(i));
-    out_b.push_back(b.value(j));
-    ++j;  // consume the matched sample
-  }
+  match_samples_spans(a.times(), a.values(), b.times(), b.values(), max_gap_s,
+                      out_a, out_b);
 }
 
 std::vector<PairDistance> compare_series(std::span<const NamedSeries> series,
@@ -301,6 +337,750 @@ std::vector<PairDistance> compare_series(std::span<const NamedSeries> series,
       if (!p.comparable) p.normalized = 1.0;
     }
   }
+  return pairs;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lower-bound cascade (compare_series_pruned)
+// ---------------------------------------------------------------------------
+
+// Bounds are mathematically valid in real arithmetic; their floating-point
+// evaluation can drift from the ideal value by a few ulps of accumulated
+// rounding (~1e-13 relative for these sums). Every pruning comparison pads
+// its bound by this relative slack — six orders of magnitude of margin —
+// so a rounding difference can never flip a verdict; marginal pairs simply
+// fall through to the exact solve.
+constexpr double kBoundSlack = 1e-9;
+double slack_down(double lb) { return lb * (1.0 - kBoundSlack); }
+double slack_up(double ub) { return ub * (1.0 + kBoundSlack); }
+
+// Deepest cascade tier a pair touched; doubles as its exit-tier label for
+// the CascadeStats conservation law.
+enum class Stage : unsigned char { kSketch, kEnvelope, kKernel, kFull };
+
+struct CascadeRecord {
+  ts::SeriesSketch sa, sb;
+  // Non-null when the matcher output this side verbatim (identical
+  // timestamp grids): the aligned values then live in the original series'
+  // own storage — which outlives the sweep — and were never copied into
+  // the arena. At fleet scale this is the common case, and skipping the
+  // copy keeps the sweep's working set at the size of the input series
+  // instead of one arena slot per pair.
+  const double* direct_a = nullptr;
+  const double* direct_b = nullptr;
+  std::size_t worker = 0;  // arena owner
+  std::size_t offset = 0;  // aligned a-values at [offset, offset+len),
+  std::size_t len = 0;     // b-values at [offset+len, offset+2*len)
+  double lb = 0.0;         // per-step lower bound (tightest so far)
+  double ub = 0.0;         // per-step diagonal upper bound
+  double raw = 0.0;        // exact per-step distance once resolved
+  // Index into the sweep's per-series Z-image cache when the aligned
+  // values are verbatim the full series (full overlap, no samples dropped
+  // by the matcher) — the common same-beacon-rate case. -1 otherwise.
+  std::int64_t zcache_a = -1, zcache_b = -1;
+  Stage stage = Stage::kSketch;
+  bool resolved = false;
+};
+
+bool cascade_supported(const ComparisonOptions& options) {
+  if (options.distance == DistanceKind::kEuclidean) return false;
+  // FastDTW with no band never constrains its window to contain the
+  // diagonal, so the staircase upper bound would not be admissible.
+  if (options.distance == DistanceKind::kFastDtw && options.dtw_band == 0) {
+    return false;
+  }
+  // kNone alignment can produce unequal lengths; the bounds and the
+  // wavefront kernel are equal-length constructions.
+  if (options.alignment == ComparisonOptions::Alignment::kNone) return false;
+  // The cascade's sketches assume Eq. 7 is in play (z-transformed bounds).
+  if (!options.z_score_normalize) return false;
+  return true;
+}
+
+// Mirror of compare_pair's support cut + alignment, but allocation-free:
+// index ranges instead of slice_time copies, spans instead of Series. The
+// produced va/vb hold exactly the same doubles, so pairs the cascade must
+// resolve exactly reproduce the reference path bit for bit.
+bool cascade_align(const NamedSeries& ea, const NamedSeries& eb,
+                   const ComparisonOptions& options, PairScratch& scratch,
+                   bool& va_is_full, bool& vb_is_full,
+                   std::span<const double>& out_a,
+                   std::span<const double>& out_b, bool& direct) {
+  va_is_full = false;
+  vb_is_full = false;
+  direct = false;
+  const ts::Series& series_a = ea.second;
+  const ts::Series& series_b = eb.second;
+  const double lo = std::max(series_a.time(0), series_b.time(0));
+  const double hi = std::min(series_a.time(series_a.size() - 1),
+                             series_b.time(series_b.size() - 1));
+  if (hi - lo < options.min_overlap_s) return false;
+  const double t_end = hi + 1e-9;  // slice_time's endpoint nudge
+  const auto cut = [&](const ts::Series& s, std::span<const double>& times,
+                       std::span<const double>& values) {
+    const std::span<const double> all = s.times();
+    const auto first = static_cast<std::size_t>(
+        std::lower_bound(all.begin(), all.end(), lo) - all.begin());
+    const auto last = static_cast<std::size_t>(
+        std::lower_bound(all.begin(), all.end(), t_end) - all.begin());
+    times = all.subspan(first, last - first);
+    values = s.values().subspan(first, last - first);
+    return first == 0 && last == all.size();
+  };
+  std::span<const double> ta, va_cut, tb, vb_cut;
+  const bool cut_a_full = cut(series_a, ta, va_cut);
+  const bool cut_b_full = cut(series_b, tb, vb_cut);
+  if (ta.size() < options.min_overlap_samples ||
+      tb.size() < options.min_overlap_samples) {
+    return false;
+  }
+  // A full cut is the whole series, which already passed the caller's
+  // usable-shape prefilter — re-running the Welford pass on the same
+  // values cannot change the answer. Only genuine sub-cuts re-check.
+  if ((!cut_a_full && !has_usable_shape(va_cut, options)) ||
+      (!cut_b_full && !has_usable_shape(vb_cut, options))) {
+    return false;
+  }
+  switch (options.alignment) {
+    case ComparisonOptions::Alignment::kMatchedSamples: {
+      // Identical strictly-increasing grids (the common shared-beacon-rate
+      // case): the matcher would pair every sample in order, so its output
+      // is the cut value spans verbatim (see match_samples_spans' fast
+      // path for the equivalence argument). Hand those spans out directly —
+      // they point into the series' own storage, no copy.
+      bool same_grid = ta.size() == tb.size() && !ta.empty() &&
+                       options.match_gap_s >= 0.0;
+      if (same_grid) {
+        for (std::size_t i = 0; i < ta.size(); ++i) {
+          if (ta[i] != tb[i] || (i > 0 && !(ta[i] > ta[i - 1]))) {
+            same_grid = false;
+            break;
+          }
+        }
+      }
+      if (same_grid) {
+        if (va_cut.size() < options.min_overlap_samples) return false;
+        out_a = va_cut;
+        out_b = vb_cut;
+        direct = true;
+        va_is_full = cut_a_full;
+        vb_is_full = cut_b_full;
+        return true;
+      }
+      match_samples_spans(ta, va_cut, tb, vb_cut, options.match_gap_s,
+                          scratch.va, scratch.vb);
+      if (scratch.va.size() < options.min_overlap_samples) return false;
+      // The matcher keeps values in order, so a side that lost nothing
+      // (full cut, every sample matched) is verbatim the full series.
+      va_is_full = cut_a_full && scratch.va.size() == va_cut.size();
+      vb_is_full = cut_b_full && scratch.vb.size() == vb_cut.size();
+      break;
+    }
+    case ComparisonOptions::Alignment::kResampleGrid: {
+      const auto grid_points = std::max<std::size_t>(
+          static_cast<std::size_t>((hi - lo) / options.grid_period_s) + 1, 2);
+      const ts::Series ra =
+          ts::Series(std::vector<double>(ta.begin(), ta.end()),
+                     std::vector<double>(va_cut.begin(), va_cut.end()))
+              .resample(grid_points);
+      const ts::Series rb =
+          ts::Series(std::vector<double>(tb.begin(), tb.end()),
+                     std::vector<double>(vb_cut.begin(), vb_cut.end()))
+              .resample(grid_points);
+      scratch.va.assign(ra.values().begin(), ra.values().end());
+      scratch.vb.assign(rb.values().begin(), rb.values().end());
+      break;
+    }
+    case ComparisonOptions::Alignment::kNone:
+      throw InternalError("cascade requires aligned pairs");
+  }
+  out_a = scratch.va;
+  out_b = scratch.vb;
+  return true;
+}
+
+// Per-step scale conversions under length_normalize: a warp path over two
+// length-L series has between L and 2L-1 cells, so accumulated-cost lower
+// bounds divide by the longest possible path and upper bounds by the
+// shortest.
+double lb_per_step(double acc, std::size_t len,
+                   const ComparisonOptions& options) {
+  return options.length_normalize ? acc / static_cast<double>(2 * len - 1)
+                                  : acc;
+}
+double ub_per_step(double acc, std::size_t len,
+                   const ComparisonOptions& options) {
+  return options.length_normalize ? acc / static_cast<double>(len) : acc;
+}
+
+// Phase A for one pair: cut + align + raw-domain sketches + the O(1)/O(n)
+// sketch bounds. Aligned values are parked in the worker's SoA arena; the
+// Z-images are deliberately NOT materialised — pruned pairs never pay the
+// Eq. 7 pass.
+void cascade_sketch_pair(const NamedSeries& ea, std::size_t idx_a,
+                         const NamedSeries& eb, std::size_t idx_b,
+                         const ComparisonOptions& options,
+                         PairScratch& scratch, std::size_t worker,
+                         std::span<const ts::SeriesSketch> series_sketches,
+                         PairDistance& p, CascadeRecord& rec) {
+  p.a = ea.first;
+  p.b = eb.first;
+  bool va_is_full = false;
+  bool vb_is_full = false;
+  std::span<const double> av, bv;
+  bool direct = false;
+  if (!cascade_align(ea, eb, options, scratch, va_is_full, vb_is_full, av, bv,
+                     direct)) {
+    p.comparable = false;
+    p.normalized = 1.0;
+    return;
+  }
+  VP_ENSURE(av.size() == bv.size() && !av.empty());
+  if (va_is_full) rec.zcache_a = static_cast<std::int64_t>(idx_a);
+  if (vb_is_full) rec.zcache_b = static_cast<std::int64_t>(idx_b);
+  rec.worker = worker;
+  rec.len = av.size();
+  if (direct) {
+    rec.direct_a = av.data();
+    rec.direct_b = bv.data();
+  } else {
+    std::vector<double>& arena = scratch.workspace.batch_values;
+    rec.offset = arena.size();
+    arena.insert(arena.end(), av.begin(), av.end());
+    arena.insert(arena.end(), bv.begin(), bv.end());
+  }
+  // A side aligned in full is the whole series, whose sketch the sweep
+  // precomputed once — a fleet-sized neighborhood would otherwise sketch
+  // every series N-1 times.
+  rec.sa = va_is_full && !series_sketches.empty()
+               ? series_sketches[idx_a]
+               : ts::sketch_series(av);
+  rec.sb = vb_is_full && !series_sketches.empty()
+               ? series_sketches[idx_b]
+               : ts::sketch_series(bv);
+  rec.lb =
+      lb_per_step(ts::lb_kim(rec.sa, rec.sb, options.cost), rec.len, options);
+  rec.ub = ub_per_step(
+      ts::diagonal_upper_bound(av, rec.sa, bv, rec.sb, options.cost), rec.len,
+      options);
+}
+
+std::span<const double> arena_a(std::span<const PairScratch> scratch,
+                                const CascadeRecord& rec) {
+  if (rec.direct_a) return {rec.direct_a, rec.len};
+  return {scratch[rec.worker].workspace.batch_values.data() + rec.offset,
+          rec.len};
+}
+std::span<const double> arena_b(std::span<const PairScratch> scratch,
+                                const CascadeRecord& rec) {
+  if (rec.direct_b) return {rec.direct_b, rec.len};
+  return {scratch[rec.worker].workspace.batch_values.data() + rec.offset +
+              rec.len,
+          rec.len};
+}
+
+// Tightens rec.lb with LB_Keogh (idempotent; reuses the workspace's
+// envelope buffers). `target` is the per-step value the refined bound
+// would have to clear for the caller's pruning test to fire: LB_Keogh
+// never exceeds the accumulated diagonal cost, so when even that cap
+// (ub·L/(2L-1) per step) cannot reach the target, the O(n·band) envelope
+// pass is provably pointless and skipped — the pair keeps its kSketch
+// stage and a later caller with a reachable target may still refine it.
+void refine_keogh(CascadeRecord& rec, std::span<const PairScratch> scratch_all,
+                  const ComparisonOptions& options, PairScratch& scratch,
+                  double target) {
+  if (rec.stage != Stage::kSketch) return;
+  const double cap =
+      options.length_normalize
+          ? rec.ub * (static_cast<double>(rec.len) /
+                      static_cast<double>(2 * rec.len - 1))
+          : rec.ub;
+  if (!(cap > target)) return;
+  rec.lb = std::max(
+      rec.lb,
+      lb_per_step(ts::lb_keogh(arena_a(scratch_all, rec), rec.sa,
+                               arena_b(scratch_all, rec), rec.sb,
+                               options.dtw_band, options.cost,
+                               scratch.workspace),
+                  rec.len, options));
+  rec.stage = Stage::kEnvelope;
+}
+
+// Runs the banded wavefront kernel against a per-step discard threshold:
+// abandoning (or completing with a banded bound past the threshold) lets
+// the caller discard the pair without the full solve. Materialises the
+// pair's Z-images into workspace.zx/zy as a side effect — a subsequent
+// resolve_fast_from_z reuses them.
+struct KernelProbe {
+  double lb = 0.0;       // refined per-step lower bound
+  double raw = 0.0;      // exact per-step distance (kExactDtw, completed)
+  bool resolved = false;
+};
+
+KernelProbe kernel_probe(std::span<const double> a, std::span<const double> b,
+                         const std::vector<double>* za_cache,
+                         const std::vector<double>* zb_cache,
+                         const ComparisonOptions& options,
+                         PairScratch& scratch, double discard_above) {
+  // A cached full-series Z-image is the image of these exact doubles
+  // (z_score_enhanced is a pure function of the value array), so copying
+  // it replaces the Welford pass bit for bit.
+  if (za_cache) {
+    scratch.workspace.zx = *za_cache;
+  } else {
+    ts::z_score_enhanced(a, scratch.workspace.zx);
+  }
+  if (zb_cache) {
+    scratch.workspace.zy = *zb_cache;
+  } else {
+    ts::z_score_enhanced(b, scratch.workspace.zy);
+  }
+  const double steps_max = static_cast<double>(2 * a.size() - 1);
+  double abandon_acc = std::numeric_limits<double>::infinity();
+  if (std::isfinite(discard_above) && discard_above >= 0.0) {
+    // Margin on top of the caller's threshold so the post-abandon check
+    // below robustly reproves the discard (1e-6 ≫ kBoundSlack).
+    abandon_acc = options.length_normalize
+                      ? discard_above * steps_max * (1.0 + 1e-6)
+                      : discard_above * (1.0 + 1e-6);
+  }
+  const ts::BandedDistance kd = ts::banded_dtw_distance(
+      scratch.workspace.zx, scratch.workspace.zy, options.dtw_band,
+      options.cost, abandon_acc, options.use_simd, scratch.workspace);
+  KernelProbe probe;
+  if (kd.abandoned) {
+    // The banded optimum provably exceeds abandon_acc.
+    probe.lb = options.length_normalize ? abandon_acc / steps_max
+                                        : abandon_acc;
+    return probe;
+  }
+  if (options.distance == DistanceKind::kExactDtw) {
+    probe.raw = options.length_normalize
+                    ? kd.distance / static_cast<double>(kd.path_cells)
+                    : kd.distance;
+    probe.lb = probe.raw;
+    probe.resolved = true;
+    return probe;
+  }
+  // FastDTW's band-constrained window is a subset of the full band window,
+  // so the banded optimum lower-bounds the FastDTW accumulated cost, and
+  // its path (like any path) has at most 2L-1 cells.
+  probe.lb = options.length_normalize ? kd.distance / steps_max : kd.distance;
+  return probe;
+}
+
+// Full FastDTW solve on the Z-images already sitting in workspace.zx/zy —
+// the same expressions as pair_distance's kFastDtw branch, hence the same
+// bits.
+double resolve_fast_from_z(const ComparisonOptions& options,
+                           PairScratch& scratch) {
+  ts::fast_dtw(scratch.workspace.zx, scratch.workspace.zy,
+               {.radius = options.fastdtw_radius,
+                .cost = options.cost,
+                .band = options.dtw_band},
+               scratch.workspace, scratch.result);
+  return options.length_normalize
+             ? scratch.result.distance /
+                   static_cast<double>(scratch.result.path.size())
+             : scratch.result.distance;
+}
+
+// Exact distance for one pair (Z-score + solve), used where no probe ran.
+double cascade_resolve(std::span<const double> a, std::span<const double> b,
+                       const std::vector<double>* za_cache,
+                       const std::vector<double>* zb_cache,
+                       const ComparisonOptions& options,
+                       PairScratch& scratch) {
+  const KernelProbe probe =
+      kernel_probe(a, b, za_cache, zb_cache, options, scratch,
+                   std::numeric_limits<double>::infinity());
+  if (probe.resolved) return probe.raw;
+  return resolve_fast_from_z(options, scratch);
+}
+
+}  // namespace
+
+std::vector<PairDistance> compare_series_pruned(
+    std::span<const NamedSeries> series, const ComparisonOptions& options,
+    double decision_threshold, CascadeStats* stats_out) {
+  CascadeStats stats;
+  if (!cascade_supported(options)) {
+    // Reference sweep, then classify; every comparable pair is tallied as
+    // a full sweep so the conservation law still holds.
+    std::vector<PairDistance> pairs = compare_series(series, options);
+    for (PairDistance& p : pairs) {
+      if (!p.comparable) continue;
+      p.flagged = p.normalized <= decision_threshold;
+      ++stats.full_sweeps;
+    }
+    if (obs::enabled()) {
+      obs::registry().counter("dtw.full_sweeps").add(stats.full_sweeps);
+    }
+    if (stats_out) *stats_out = stats;
+    return pairs;
+  }
+
+  std::vector<const NamedSeries*> usable;
+  for (const NamedSeries& entry : series) {
+    if (entry.second.size() < 2) continue;
+    if (!has_usable_shape(entry.second.values(), options)) continue;
+    usable.push_back(&entry);
+  }
+  std::vector<PairDistance> pairs;
+  if (usable.size() < 2) {
+    if (stats_out) *stats_out = stats;
+    return pairs;
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> jobs;
+  jobs.reserve(usable.size() * (usable.size() - 1) / 2);
+  for (std::size_t i = 0; i + 1 < usable.size(); ++i) {
+    for (std::size_t j = i + 1; j < usable.size(); ++j) {
+      jobs.emplace_back(i, j);
+    }
+  }
+  pairs.resize(jobs.size());
+  std::vector<CascadeRecord> recs(jobs.size());
+
+  const bool instrumented = obs::enabled();
+  obs::ScopedTimer sweep_timer =
+      instrumented
+          ? obs::ScopedTimer(
+                &obs::registry().histogram("comparison.sweep_ns"),
+                obs::trace(),
+                {.phase = "comparison.sweep",
+                 .pairs = static_cast<std::int64_t>(jobs.size())})
+          : obs::ScopedTimer();
+
+  const std::size_t threads = std::min(
+      options.threads == 0 ? hardware_threads() : options.threads,
+      jobs.size());
+  std::vector<PairScratch> scratch(std::max<std::size_t>(threads, 1));
+  const std::span<const PairScratch> scratch_view(scratch);
+
+  // Pre-size each worker's SoA arena: Phase A appends every pair's aligned
+  // values, and letting the vectors grow geometrically re-copies hundreds
+  // of kilobytes per round. Indices are claimed dynamically, so each
+  // worker sees roughly an even share; the 9/8 margin absorbs imbalance
+  // and any shortfall just falls back to growth.
+  {
+    std::size_t total = 0;
+    for (const auto& [i, j] : jobs) {
+      total +=
+          2 * std::min(usable[i]->second.size(), usable[j]->second.size());
+    }
+    const std::size_t share =
+        scratch.size() > 1 ? total / scratch.size() + total / 8 : total;
+    for (PairScratch& s : scratch) {
+      s.workspace.batch_values.reserve(std::min(total, share));
+    }
+  }
+
+  // Whole-series sketches, once per series: any pair that aligns a side in
+  // full reuses the cached sketch instead of re-summarising the same
+  // doubles (the cache is exact — same function, same input).
+  std::vector<ts::SeriesSketch> series_sketches(usable.size());
+  parallel_for(threads, usable.size(), [&](std::size_t, std::size_t i) {
+    series_sketches[i] = ts::sketch_series(usable[i]->second.values());
+  });
+
+  // Phase A (parallel): cut, align, sketch. No Z-images, no DTW.
+  parallel_for(threads, jobs.size(), [&](std::size_t worker, std::size_t k) {
+    cascade_sketch_pair(*usable[jobs[k].first], jobs[k].first,
+                        *usable[jobs[k].second], jobs[k].second, options,
+                        scratch[worker], worker, series_sketches, pairs[k],
+                        recs[k]);
+  });
+
+  std::vector<std::size_t> comparable;
+  comparable.reserve(jobs.size());
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    if (pairs[k].comparable) comparable.push_back(k);
+  }
+
+  // Per-series Z-image cache: a series at full beacon rate participates in
+  // up to N-1 pairs whose aligned values are the whole series verbatim, so
+  // its Eq. 7 image — the hottest fixed cost of an exact resolve — is
+  // computed once here instead of once per pair. Computed only for series
+  // at least one pair actually aligned in full.
+  std::vector<std::vector<double>> full_z(usable.size());
+  {
+    std::vector<std::uint8_t> wanted(usable.size(), 0);
+    for (const std::size_t k : comparable) {
+      if (recs[k].zcache_a >= 0) wanted[recs[k].zcache_a] = 1;
+      if (recs[k].zcache_b >= 0) wanted[recs[k].zcache_b] = 1;
+    }
+    parallel_for(threads, usable.size(), [&](std::size_t, std::size_t i) {
+      if (wanted[i]) ts::z_score_enhanced(usable[i]->second.values(),
+                                          full_z[i]);
+    });
+  }
+  const auto zcache = [&](std::int64_t idx) {
+    return idx >= 0 ? &full_z[static_cast<std::size_t>(idx)] : nullptr;
+  };
+
+  const double thr = decision_threshold;
+  const bool minmax = options.min_max_normalize &&
+                      comparable.size() >= options.min_pairs_for_min_max;
+  double vmin = 0.0;
+  double range = 1.0;
+  bool degenerate = false;
+
+  if (minmax) {
+    // Eq. 8 needs the EXACT population min and max of the raw distances.
+    // UCR-style best-so-far searches locate them, skipping any pair whose
+    // bound proves it cannot move the extreme — skipped pairs provably do
+    // not change the extreme's value, so vmin/vmax come out bitwise
+    // identical to the exact path's minmax_element. Each search seeds a
+    // serial exact resolve of its strongest candidate, then fans the
+    // remaining skip tests out in parallel against that fixed target.
+    PairScratch& s0 = scratch[0];
+
+    // Seed: the smallest-UB pair is the strongest minimum candidate;
+    // resolving it exactly gives every later skip test a tight target.
+    std::size_t seed = comparable.front();
+    for (const std::size_t k : comparable) {
+      if (recs[k].ub < recs[seed].ub ||
+          (recs[k].ub == recs[seed].ub && k < seed)) {
+        seed = k;
+      }
+    }
+    {
+      CascadeRecord& rec = recs[seed];
+      rec.raw = cascade_resolve(arena_a(scratch_view, rec),
+                                arena_b(scratch_view, rec),
+                                zcache(rec.zcache_a), zcache(rec.zcache_b),
+                                options, s0);
+      rec.resolved = true;
+      rec.stage = Stage::kFull;
+    }
+    double best_min = recs[seed].raw;
+
+    // Envelope pass against the FIXED seed value, in arena (index) order
+    // and in parallel: the searches are correct under any visit order and
+    // any intermediate target — a skipped pair's certified lb exceeded a
+    // value that is itself >= the final minimum — and index order walks
+    // the SoA arena sequentially instead of striding it by sort rank,
+    // which at fleet scale is the difference between cache hits and a
+    // memory stall per pair. A fixed target also makes the pass
+    // embarrassingly parallel yet bitwise deterministic.
+    const double m0 = best_min;
+    parallel_for(threads, comparable.size(),
+                 [&](std::size_t worker, std::size_t idx) {
+                   CascadeRecord& rec = recs[comparable[idx]];
+                   if (rec.resolved || slack_down(rec.lb) >= m0) return;
+                   refine_keogh(rec, scratch_view, options, scratch[worker],
+                                m0);
+                 });
+
+    // The few pairs whose refined lb cannot rule them out (in practice the
+    // near-minimum cluster) get the exact treatment serially, with the
+    // best-so-far tightening as it goes.
+    for (const std::size_t k : comparable) {
+      CascadeRecord& rec = recs[k];
+      if (rec.resolved) continue;
+      if (slack_down(rec.lb) >= best_min) continue;
+      if (rec.stage < Stage::kKernel) rec.stage = Stage::kKernel;
+      const KernelProbe probe =
+          kernel_probe(arena_a(scratch_view, rec), arena_b(scratch_view, rec),
+                       zcache(rec.zcache_a), zcache(rec.zcache_b), options,
+                       s0, best_min);
+      if (probe.resolved) {
+        rec.raw = probe.raw;
+        rec.resolved = true;
+        rec.stage = Stage::kFull;
+        best_min = std::min(best_min, rec.raw);
+        continue;
+      }
+      rec.lb = std::max(rec.lb, probe.lb);
+      if (slack_down(rec.lb) >= best_min) continue;
+      rec.raw = resolve_fast_from_z(options, s0);
+      rec.resolved = true;
+      rec.stage = Stage::kFull;
+      best_min = std::min(best_min, rec.raw);
+    }
+
+    double best_max = -std::numeric_limits<double>::infinity();
+    for (const std::size_t k : comparable) {
+      if (recs[k].resolved) best_max = std::max(best_max, recs[k].raw);
+    }
+    // Seed the maximum search like the minimum one, with the two strongest
+    // candidates: the largest-LB pair (the highest certified floor — its
+    // exact value is at least every other pair's lower bound, which makes
+    // it the likely true maximum) and the largest-UB pair. Resolving both
+    // pins best_max at (almost always) the true maximum, so the parallel
+    // pass below only resolves the pairs whose padded UB genuinely exceeds
+    // it — the same set a UB-descending sorted sweep would resolve, but
+    // visited in arena order and concurrently.
+    const auto resolve_exact = [&](std::size_t k) {
+      CascadeRecord& rec = recs[k];
+      rec.raw = cascade_resolve(arena_a(scratch_view, rec),
+                                arena_b(scratch_view, rec),
+                                zcache(rec.zcache_a), zcache(rec.zcache_b),
+                                options, s0);
+      rec.resolved = true;
+      rec.stage = Stage::kFull;
+      best_max = std::max(best_max, rec.raw);
+    };
+    const auto seed_by = [&](auto&& key) {
+      std::size_t best = comparable.size();  // sentinel: none
+      for (const std::size_t k : comparable) {
+        const CascadeRecord& rec = recs[k];
+        if (rec.resolved || slack_up(rec.ub) <= best_max) continue;
+        if (best == comparable.size() || key(rec) > key(recs[best])) {
+          best = k;
+        }
+      }
+      if (best != comparable.size()) resolve_exact(best);
+    };
+    seed_by([](const CascadeRecord& rec) { return rec.lb; });
+    seed_by([](const CascadeRecord& rec) { return rec.ub; });
+    // Every unresolved pair with padded UB at or under the fixed target
+    // provably cannot move the maximum; the rest get resolved exactly.
+    // Per-pair work is independent and exact, so the pass parallelises
+    // without losing bitwise determinism.
+    const double m1 = best_max;
+    parallel_for(threads, comparable.size(),
+                 [&](std::size_t worker, std::size_t idx) {
+                   CascadeRecord& rec = recs[comparable[idx]];
+                   if (rec.resolved || slack_up(rec.ub) <= m1) return;
+                   rec.raw = cascade_resolve(
+                       arena_a(scratch_view, rec), arena_b(scratch_view, rec),
+                       zcache(rec.zcache_a), zcache(rec.zcache_b), options,
+                       scratch[worker]);
+                   rec.resolved = true;
+                   rec.stage = Stage::kFull;
+                 });
+    for (const std::size_t k : comparable) {
+      if (recs[k].resolved) best_max = std::max(best_max, recs[k].raw);
+    }
+
+    vmin = best_min;
+    if (!(best_max > vmin)) {
+      degenerate = true;  // min_max_normalize's all-zeros branch
+    } else {
+      range = best_max - vmin;
+    }
+  }
+
+  // Phase C (parallel): classify every pair at the cheapest conclusive
+  // tier. The normalisation (v - vmin) / range is the same monotone
+  // floating-point transform min_max_normalize applies, so comparing a
+  // transformed bound against the threshold decides exactly like the
+  // exact path would.
+  if (degenerate) {
+    const bool flag = 0.0 <= thr;
+    for (const std::size_t k : comparable) {
+      pairs[k].normalized = 0.0;
+      pairs[k].raw = recs[k].resolved ? recs[k].raw : recs[k].lb;
+      pairs[k].flagged = flag;
+    }
+  } else {
+    const auto classify = [&](std::size_t worker, std::size_t idx) {
+      const std::size_t k = comparable[idx];
+      CascadeRecord& rec = recs[k];
+      PairDistance& p = pairs[k];
+      PairScratch& local = scratch[worker];
+      const auto norm = [&](double v) {
+        return minmax ? (v - vmin) / range : v;
+      };
+      const auto decide = [&]() {
+        if (norm(slack_down(rec.lb)) > thr) {
+          p.flagged = false;
+          p.raw = rec.lb;
+          p.normalized = norm(rec.lb);
+          return true;
+        }
+        if (norm(slack_up(rec.ub)) <= thr) {
+          p.flagged = true;
+          p.raw = rec.ub;
+          p.normalized = norm(rec.ub);
+          return true;
+        }
+        return false;
+      };
+      const auto finish_exact = [&]() {
+        p.raw = rec.raw;
+        p.normalized = norm(rec.raw);
+        p.flagged = p.normalized <= thr;
+      };
+      if (rec.resolved) {
+        finish_exact();
+        return;
+      }
+      if (decide()) return;
+      // Raw-domain value past which "not flagged" is provable; the probe
+      // pads it, and the decision is re-verified through `decide`.
+      const double discard = minmax ? vmin + thr * range : thr;
+      refine_keogh(rec, scratch_view, options, local, discard);
+      if (decide()) return;
+      if (rec.stage < Stage::kKernel) rec.stage = Stage::kKernel;
+      const KernelProbe probe =
+          kernel_probe(arena_a(scratch_view, rec), arena_b(scratch_view, rec),
+                       zcache(rec.zcache_a), zcache(rec.zcache_b), options,
+                       local, discard);
+      if (probe.resolved) {
+        rec.raw = probe.raw;
+        rec.resolved = true;
+        rec.stage = Stage::kFull;
+        finish_exact();
+        return;
+      }
+      rec.lb = std::max(rec.lb, probe.lb);
+      if (decide()) return;
+      rec.raw = resolve_fast_from_z(options, local);
+      rec.resolved = true;
+      rec.stage = Stage::kFull;
+      finish_exact();
+    };
+    parallel_for(threads, comparable.size(), classify);
+  }
+  sweep_timer.stop();
+
+  for (const std::size_t k : comparable) {
+    switch (recs[k].stage) {
+      case Stage::kSketch:
+        ++stats.lb_kim_pruned;
+        break;
+      case Stage::kEnvelope:
+        ++stats.lb_keogh_pruned;
+        break;
+      case Stage::kKernel:
+        ++stats.early_abandoned;
+        break;
+      case Stage::kFull:
+        ++stats.full_sweeps;
+        break;
+    }
+  }
+
+  if (instrumented) {
+    obs::MetricsRegistry& registry = obs::registry();
+    registry.counter("comparison.sweeps").add(1);
+    registry.counter("comparison.series_heard").add(series.size());
+    registry.counter("comparison.series_usable").add(usable.size());
+    registry.counter("comparison.pairs_total").add(jobs.size());
+    registry.counter("comparison.pairs_comparable").add(comparable.size());
+    registry.counter("comparison.pairs_incomparable")
+        .add(jobs.size() - comparable.size());
+    registry.counter("dtw.lb_kim_pruned").add(stats.lb_kim_pruned);
+    registry.counter("dtw.lb_keogh_pruned").add(stats.lb_keogh_pruned);
+    registry.counter("dtw.early_abandoned").add(stats.early_abandoned);
+    registry.counter("dtw.full_sweeps").add(stats.full_sweeps);
+    ts::DtwWorkspace::Stats dtw_stats;
+    for (const PairScratch& s : scratch) {
+      dtw_stats.dp_solves += s.workspace.stats.dp_solves;
+      dtw_stats.cells += s.workspace.stats.cells;
+      dtw_stats.grows += s.workspace.stats.grows;
+    }
+    registry.counter("dtw.dp_solves").add(dtw_stats.dp_solves);
+    registry.counter("dtw.cells_expanded").add(dtw_stats.cells);
+    registry.counter("dtw.workspace_grows").add(dtw_stats.grows);
+    registry.counter("dtw.workspace_reuse_hits")
+        .add(dtw_stats.dp_solves - dtw_stats.grows);
+  }
+  if (stats_out) *stats_out = stats;
   return pairs;
 }
 

@@ -5,6 +5,7 @@
 //   3. min–max normalisation of the distance set into [0, 1] (Eq. 8).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
@@ -25,6 +26,13 @@ struct PairDistance {
   // (identities of one radio always interleave in time, so such a pair is
   // conservatively treated as non-Sybil: normalized is pinned to 1).
   bool comparable = true;
+  // Threshold verdict (normalized <= decision threshold). Filled by
+  // compare_series_pruned; the exact path leaves it to the detector, which
+  // stamps it after applying the density-dependent boundary. For a pair
+  // the cascade classified from bounds alone, `flagged` is exact (provably
+  // identical to the full computation) while `raw`/`normalized` hold the
+  // proving bound, not the exact distance — see compare_series_pruned.
+  bool flagged = false;
 };
 
 enum class DistanceKind {
@@ -102,6 +110,35 @@ struct ComparisonOptions {
   // min–max normalisation and everything downstream — is bit-identical
   // for every thread count.
   std::size_t threads = 1;
+  // True (the default, and what every test pins) runs the reference path:
+  // every pair pays its full (Fast)DTW solve. False lets the detector use
+  // compare_series_pruned — the UCR-style lower-bound cascade — which is
+  // guaranteed verdict-identical but reports bound values instead of exact
+  // distances for the pairs it prunes. Flipped by the drivers' --prune.
+  bool exact_mode = true;
+  // Use the vectorised wavefront kernel for surviving band sweeps when the
+  // build has a vector backend (timeseries/simd.h). The scalar sweep is
+  // bit-identical; this flag only trades speed, never results. Flipped by
+  // the drivers' --simd.
+  bool use_simd = true;
+};
+
+// Per-sweep exit-tier tally of the lower-bound cascade. Every comparable
+// pair exits at exactly one tier, so
+//   comparable pairs = lb_kim_pruned + lb_keogh_pruned + early_abandoned
+//                      + full_sweeps
+// (the conservation law check_run_report enforces on BENCH_comparison.json).
+// The same tallies are also accumulated on the obs registry counters
+// dtw.lb_kim_pruned / dtw.lb_keogh_pruned / dtw.early_abandoned /
+// dtw.full_sweeps.
+struct CascadeStats {
+  std::uint64_t lb_kim_pruned = 0;   // decided from the Phase-A sketch
+                                     // bounds alone (LB_Kim + diagonal UB)
+  std::uint64_t lb_keogh_pruned = 0; // needed the Sakoe–Chiba envelopes
+  std::uint64_t early_abandoned = 0; // entered the DTW recurrence but the
+                                     // banded bound pruned it before a
+                                     // full solve (abandoned or completed)
+  std::uint64_t full_sweeps = 0;     // paid the exact distance
 };
 
 using NamedSeries = std::pair<IdentityId, ts::Series>;
@@ -111,6 +148,31 @@ using NamedSeries = std::pair<IdentityId, ts::Series>;
 // two usable series the result is empty.
 std::vector<PairDistance> compare_series(std::span<const NamedSeries> series,
                                          const ComparisonOptions& options = {});
+
+// The pruned comparison sweep (ISSUE 6 tentpole). Same pair enumeration
+// and comparability rules as compare_series, but each pair runs the
+// cascade LB_Kim → LB_Keogh → early-abandoning banded DTW and exits at the
+// cheapest tier that already proves which side of `decision_threshold` its
+// Eq. 8-normalised distance falls on. Contract, for every thread count:
+//
+//   * `comparable` and `flagged` are bit-identical to what the exact path
+//     plus `normalized <= decision_threshold` would produce. Eq. 8's
+//     population min/max are located EXACTLY (best-so-far searches that
+//     only skip pairs provably unable to move an extreme), and pruning
+//     decisions compare slack-padded bounds through the same monotone
+//     floating-point transform the exact path applies, so no rounding
+//     difference can flip a verdict.
+//   * pairs the cascade had to resolve exactly also carry bit-identical
+//     `raw` and `normalized`; pruned pairs carry the proving bound in
+//     those fields instead (documented diagnostics-only).
+//
+// Falls back to the exact sweep (tallying every comparable pair as a full
+// sweep) for option combinations outside the cascade's reach: Euclidean
+// distance, kNone alignment (unequal lengths), disabled Z-scoring, or
+// FastDTW with an unconstrained band (no admissible-diagonal upper bound).
+std::vector<PairDistance> compare_series_pruned(
+    std::span<const NamedSeries> series, const ComparisonOptions& options,
+    double decision_threshold, CascadeStats* stats = nullptr);
 
 // Convenience: runs compare_series on a simulation observation window.
 std::vector<PairDistance> compare_window(const sim::ObservationWindow& window,

@@ -18,6 +18,13 @@ VoiceprintOptions tuned_simulation_options(std::size_t threads) {
   return options;
 }
 
+VoiceprintOptions with_run_flags(VoiceprintOptions options,
+                                 const RunFlags& flags) {
+  options.comparison.exact_mode = !flags.prune;
+  options.comparison.use_simd = flags.simd;
+  return options;
+}
+
 VoiceprintDetector::VoiceprintDetector(VoiceprintOptions options)
     : options_(options) {}
 
@@ -30,7 +37,23 @@ std::vector<IdentityId> VoiceprintDetector::detect_series(
                              obs::trace(), {.phase = "detect"})
           : obs::ScopedTimer();
 
-  last_all_ = compare_series(series, options_.comparison);
+  // The decision threshold only depends on the density, so it is known
+  // before any distance is measured — which is exactly what lets the pruned
+  // sweep classify pairs from bounds without computing their distances.
+  const double density =
+      options_.fixed_density_per_km.value_or(density_per_km);
+  last_threshold_ = options_.boundary.threshold_at(density);
+
+  if (options_.comparison.exact_mode) {
+    last_all_ = compare_series(series, options_.comparison);
+    for (PairDistance& pair : last_all_) {
+      pair.flagged = pair.comparable &&
+                     options_.boundary.is_sybil(density, pair.normalized);
+    }
+  } else {
+    last_all_ = compare_series_pruned(series, options_.comparison,
+                                      last_threshold_);
+  }
   last_flagged_.clear();
 
   // Threshold-and-vote is the per-period decision step that the paper's
@@ -44,18 +67,12 @@ std::vector<IdentityId> VoiceprintDetector::detect_series(
                  .pairs = static_cast<std::int64_t>(last_all_.size())})
           : obs::ScopedTimer();
 
-  const double density =
-      options_.fixed_density_per_km.value_or(density_per_km);
-  last_threshold_ = options_.boundary.threshold_at(density);
-
   std::map<IdentityId, std::size_t> votes;
   for (const PairDistance& pair : last_all_) {
-    if (!pair.comparable) continue;
-    if (options_.boundary.is_sybil(density, pair.normalized)) {
-      last_flagged_.push_back(pair);
-      ++votes[pair.a];
-      ++votes[pair.b];
-    }
+    if (!pair.comparable || !pair.flagged) continue;
+    last_flagged_.push_back(pair);
+    ++votes[pair.a];
+    ++votes[pair.b];
   }
   // With only two identities in earshot no clique evidence can exist; fall
   // back to Algorithm 1's single-pair rule.

@@ -10,6 +10,7 @@
 
 #include <optional>
 
+#include "common/cli.h"
 #include "core/comparison.h"
 #include "ml/linear_boundary.h"
 #include "sim/detector.h"
@@ -40,6 +41,14 @@ struct VoiceprintOptions {
 // `threads` feeds ComparisonOptions::threads (the pairwise FastDTW sweep;
 // 1 = serial, 0 = all hardware threads) and never changes the results.
 VoiceprintOptions tuned_simulation_options(std::size_t threads = 1);
+
+// Applies the shared --prune/--simd run flags (common/cli.h) to an option
+// set: --prune routes detection through the lower-bound cascade
+// (compare_series_pruned; verdicts identical to the exact sweep), --simd
+// selects the vectorised band-sweep kernel. Every driver that exposes the
+// flags funnels them through here so the mapping stays in one place.
+VoiceprintOptions with_run_flags(VoiceprintOptions options,
+                                 const RunFlags& flags);
 
 class VoiceprintDetector final : public sim::Detector {
  public:

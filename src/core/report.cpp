@@ -1,0 +1,135 @@
+#include "core/report.h"
+
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace vp::core {
+
+namespace {
+
+using obs::json::Array;
+using obs::json::Object;
+using obs::json::Value;
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool require_number(const Value& object, const char* key,
+                    const std::string& where, std::string* error) {
+  const Value* v = object.find(key);
+  if (v == nullptr || !v->is_number()) {
+    return fail(error, where + ": missing or non-numeric \"" + key + "\"");
+  }
+  return true;
+}
+
+}  // namespace
+
+Value build_comparison_bench_report(
+    const std::string& binary, const std::string& simd_backend,
+    bool simd_enabled, const std::vector<ComparisonBenchResult>& configs) {
+  Object doc;
+  doc.emplace("schema", Value("voiceprint.comparison_bench/v1"));
+  doc.emplace("binary", Value(binary));
+  doc.emplace("hardware_threads", Value(hardware_threads()));
+  doc.emplace("simd_backend", Value(simd_backend));
+  doc.emplace("simd_enabled", Value(simd_enabled));
+  Array rows;
+  for (const ComparisonBenchResult& c : configs) {
+    Object row;
+    row.emplace("label", Value(c.label));
+    row.emplace("identities", Value(c.identities));
+    row.emplace("pairs", Value(c.pairs));
+    row.emplace("pairs_comparable", Value(c.pairs_comparable));
+    row.emplace("exact_serial_ns", Value(c.exact_serial_ns));
+    row.emplace("pruned_serial_ns", Value(c.pruned_serial_ns));
+    row.emplace("exact_parallel_ns", Value(c.exact_parallel_ns));
+    row.emplace("pruned_parallel_ns", Value(c.pruned_parallel_ns));
+    row.emplace("speedup_serial", Value(c.speedup_serial));
+    row.emplace("speedup_parallel", Value(c.speedup_parallel));
+    row.emplace("lb_kim_pruned", Value(c.cascade.lb_kim_pruned));
+    row.emplace("lb_keogh_pruned", Value(c.cascade.lb_keogh_pruned));
+    row.emplace("early_abandoned", Value(c.cascade.early_abandoned));
+    row.emplace("full_sweeps", Value(c.cascade.full_sweeps));
+    row.emplace("verdicts_match", Value(c.verdicts_match));
+    rows.push_back(Value(std::move(row)));
+  }
+  doc.emplace("configs", Value(std::move(rows)));
+  return Value(std::move(doc));
+}
+
+bool validate_comparison_bench(const Value& report, std::string* error) {
+  if (!report.is_object()) return fail(error, "report is not an object");
+  const Value* schema = report.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "voiceprint.comparison_bench/v1") {
+    return fail(error, "schema is not \"voiceprint.comparison_bench/v1\"");
+  }
+  const Value* binary = report.find("binary");
+  if (binary == nullptr || !binary->is_string()) {
+    return fail(error, "missing or non-string \"binary\"");
+  }
+  if (!require_number(report, "hardware_threads", "report", error)) {
+    return false;
+  }
+  const Value* backend = report.find("simd_backend");
+  if (backend == nullptr || !backend->is_string() ||
+      (backend->as_string() != "avx2" && backend->as_string() != "neon" &&
+       backend->as_string() != "scalar")) {
+    return fail(error,
+                "\"simd_backend\" is not one of avx2 / neon / scalar");
+  }
+  const Value* simd_enabled = report.find("simd_enabled");
+  if (simd_enabled == nullptr || !simd_enabled->is_bool()) {
+    return fail(error, "missing or non-bool \"simd_enabled\"");
+  }
+  const Value* configs = report.find("configs");
+  if (configs == nullptr || !configs->is_array()) {
+    return fail(error, "missing or non-array \"configs\"");
+  }
+  if (configs->as_array().empty()) return fail(error, "\"configs\" is empty");
+  std::size_t index = 0;
+  for (const Value& row : configs->as_array()) {
+    const std::string where = "configs[" + std::to_string(index++) + "]";
+    if (!row.is_object()) return fail(error, where + " is not an object");
+    const Value* label = row.find("label");
+    if (label == nullptr || !label->is_string()) {
+      return fail(error, where + ": missing or non-string \"label\"");
+    }
+    for (const char* key :
+         {"identities", "pairs", "pairs_comparable", "exact_serial_ns",
+          "pruned_serial_ns", "exact_parallel_ns", "pruned_parallel_ns",
+          "speedup_serial", "speedup_parallel", "lb_kim_pruned",
+          "lb_keogh_pruned", "early_abandoned", "full_sweeps"}) {
+      if (!require_number(row, key, where, error)) return false;
+    }
+    // Conservation law of the cascade: every comparable pair exits at
+    // exactly one tier — a bench whose tally loses or double-counts pairs
+    // is rejected here, not discovered in a dashboard.
+    if (row.find("pairs_comparable")->as_number() !=
+        row.find("lb_kim_pruned")->as_number() +
+            row.find("lb_keogh_pruned")->as_number() +
+            row.find("early_abandoned")->as_number() +
+            row.find("full_sweeps")->as_number()) {
+      return fail(error,
+                  where +
+                      ": pairs_comparable != lb_kim_pruned + lb_keogh_pruned"
+                      " + early_abandoned + full_sweeps");
+    }
+    const Value* verdicts = row.find("verdicts_match");
+    if (verdicts == nullptr || !verdicts->is_bool()) {
+      return fail(error, where + ": missing or non-bool \"verdicts_match\"");
+    }
+    // The cascade's whole contract is verdict identity; a bench artefact
+    // recording a mismatch must never validate.
+    if (!verdicts->as_bool()) {
+      return fail(error, where + ": verdicts_match is false");
+    }
+  }
+  return true;
+}
+
+}  // namespace vp::core

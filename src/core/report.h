@@ -1,0 +1,53 @@
+// BENCH_comparison.json schema ("voiceprint.comparison_bench/v1"): the
+// bench/sec6_complexity sweep writes one document comparing the exact
+// pairwise sweep against the lower-bound cascade (compare_series_pruned)
+// over a range of neighbour counts — wall time for both paths, the
+// resulting speedups, and the cascade's exit-tier tally.
+//
+// Like stream/report.h, build and validate live together so the emitted
+// document and the check (tools/check_run_report --comparison-bench, the
+// smoke test, and the unit tests) cannot drift apart. The validator
+// enforces the cascade conservation law
+//   pairs_comparable = lb_kim_pruned + lb_keogh_pruned + early_abandoned
+//                      + full_sweeps
+// and that the bench's exact-vs-pruned verdict cross-check passed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/comparison.h"
+#include "obs/json.h"
+
+namespace vp::core {
+
+// One sweep configuration's results.
+struct ComparisonBenchResult {
+  std::string label;          // e.g. "n80"
+  std::size_t identities = 0;
+  std::size_t pairs = 0;      // enumerated (i < j) pairs
+  std::size_t pairs_comparable = 0;
+  double exact_serial_ns = 0.0;    // exact sweep, threads = 1
+  double pruned_serial_ns = 0.0;   // cascade, threads = 1
+  double exact_parallel_ns = 0.0;  // exact sweep, threads = 0 (all cores)
+  double pruned_parallel_ns = 0.0; // cascade, threads = 0
+  double speedup_serial = 0.0;     // exact_serial_ns / pruned_serial_ns
+  double speedup_parallel = 0.0;
+  CascadeStats cascade;            // exit-tier tally of the pruned sweep
+  bool verdicts_match = false;     // exact vs pruned flagged-pair parity
+};
+
+// Builds the voiceprint.comparison_bench/v1 document. `simd_backend` is
+// ts::simd_backend_name(); `simd_enabled` records whether the bench let the
+// cascade use the vector kernel.
+obs::json::Value build_comparison_bench_report(
+    const std::string& binary, const std::string& simd_backend,
+    bool simd_enabled, const std::vector<ComparisonBenchResult>& configs);
+
+// True when `report` conforms to voiceprint.comparison_bench/v1 (including
+// the conservation law and verdict parity). On failure, `error` (if
+// non-null) receives a one-line description.
+bool validate_comparison_bench(const obs::json::Value& report,
+                               std::string* error);
+
+}  // namespace vp::core

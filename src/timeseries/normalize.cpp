@@ -9,33 +9,41 @@
 namespace vp::ts {
 
 namespace {
-std::vector<double> z_score_impl(std::span<const double> xs, double scale) {
+void z_score_impl(std::span<const double> xs, double scale,
+                  std::vector<double>& out) {
   VP_REQUIRE(!xs.empty());
   RunningStats stats;
   for (double x : xs) stats.add(x);
   const double mu = stats.mean();
   const double sigma =
       stats.count() > 1 ? std::sqrt(stats.population_variance()) : 0.0;
-  std::vector<double> out(xs.size());
+  out.resize(xs.size());
   // Negated comparison so a NaN sigma (garbage input with validation
   // disabled) also takes the defined all-zeros branch instead of
   // propagating NaN into every sample.
   if (!(sigma > 0.0)) {
     std::fill(out.begin(), out.end(), 0.0);
-    return out;
+    return;
   }
   const double denom = scale * sigma;
   for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (xs[i] - mu) / denom;
-  return out;
 }
 }  // namespace
 
 std::vector<double> z_score_enhanced(std::span<const double> xs) {
-  return z_score_impl(xs, 3.0);
+  std::vector<double> out;
+  z_score_impl(xs, 3.0, out);
+  return out;
+}
+
+void z_score_enhanced(std::span<const double> xs, std::vector<double>& out) {
+  z_score_impl(xs, 3.0, out);
 }
 
 std::vector<double> z_score(std::span<const double> xs) {
-  return z_score_impl(xs, 1.0);
+  std::vector<double> out;
+  z_score_impl(xs, 1.0, out);
+  return out;
 }
 
 void min_max_normalize(std::span<double> xs) {

@@ -19,6 +19,12 @@ namespace vp::ts {
 // pinned at the −95 dBm sensitivity floor) maps to all zeros.
 std::vector<double> z_score_enhanced(std::span<const double> xs);
 
+// Buffer-reusing variant (bitwise the same values): `out` is resized and
+// overwritten, recycling its capacity across calls — the comparison
+// cascade Z-scores thousands of pairs per round through one scratch
+// buffer. `out` must not alias `xs`.
+void z_score_enhanced(std::span<const double> xs, std::vector<double>& out);
+
 // Classic Z-score (x − µ)/σ, for the normalisation ablation.
 std::vector<double> z_score(std::span<const double> xs);
 

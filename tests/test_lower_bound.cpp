@@ -1,0 +1,389 @@
+// Lower-bound cascade invariants (DESIGN.md §11):
+//   * Bound ordering — LB_Kim <= LB_Keogh <= banded-DTW accumulated cost
+//     on the true Z-images <= diagonal upper bound, for every series
+//     family the pipeline can produce (AR noise, constants, monotone
+//     ramps, near-flat traces that defeat the approximate sketch, and
+//     fault-injected beacon streams), every band and both local costs.
+//   * Kernel parity — banded_dtw_distance is bit-identical in distance
+//     AND path cell count to dtw_banded()/dtw(), scalar or SIMD, narrow
+//     bands (row sweep) and wide (wavefront).
+//   * Abandon soundness — an abandoned sweep proves the distance exceeds
+//     the ceiling; a ceiling at or above the true distance never
+//     abandons and returns the exact answer.
+//   * Verdict parity — compare_series_pruned flags exactly the pairs the
+//     exact sweep flags (and the detector the same suspects) over random
+//     bundles, highway-simulator windows and field-test replays, at
+//     every thread count, with the exit-tier conservation law intact.
+#include "timeseries/lower_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/comparison.h"
+#include "core/detector.h"
+#include "fault/injector.h"
+#include "fieldtest/replay.h"
+#include "sim/world.h"
+#include "timeseries/dtw.h"
+#include "timeseries/normalize.h"
+
+namespace vp {
+namespace {
+
+std::vector<double> ar_series(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  double shadow = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    shadow = 0.9 * shadow + rng.normal(0.0, 1.5);
+    out[i] = -75.0 + shadow + rng.normal(0.0, 1.0);
+  }
+  return out;
+}
+
+std::vector<double> constant_series(std::size_t n, double v) {
+  return std::vector<double>(n, v);
+}
+
+std::vector<double> monotone_series(std::size_t n) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = -90.0 + 0.25 * static_cast<double>(i);
+  }
+  return out;
+}
+
+// Sub-epsilon wiggle on a constant: sigma is so small the sketch's
+// certified error is infinite and every bound must degenerate safely.
+std::vector<double> near_flat_series(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = -80.0 + 1e-13 * rng.normal(0.0, 1.0);
+  }
+  return out;
+}
+
+// An AR trace pushed through the fault injector (spikes + quantisation —
+// the faults that distort values while keeping them finite).
+std::vector<double> faulty_series(std::size_t n, std::uint64_t seed) {
+  const std::vector<double> base = ar_series(2 * n, seed);
+  std::vector<fault::Beacon> beacons(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    beacons[i] = {1, 0.1 * static_cast<double>(i), base[i]};
+  }
+  fault::FaultConfig config;
+  config.seed = seed;
+  config.rssi_spike_probability = 0.1;
+  config.rssi_quantize_step_db = 0.5;
+  config.drop_probability = 0.1;
+  fault::FaultInjector injector(config);
+  const std::vector<fault::Beacon> out = injector.apply(beacons);
+  std::vector<double> values;
+  for (const fault::Beacon& b : out) values.push_back(b.rssi_dbm);
+  values.resize(n, -75.0);  // drops may shorten the trace; pad to length
+  return values;
+}
+
+std::vector<std::vector<double>> series_pool(std::size_t n) {
+  return {
+      ar_series(n, 1),       ar_series(n, 2),        ar_series(n, 3),
+      constant_series(n, -70.0), constant_series(n, 5.0),
+      monotone_series(n),    near_flat_series(n, 4), faulty_series(n, 5),
+  };
+}
+
+// Accumulated banded-DTW cost between the true (Eq. 7) Z-images — the
+// quantity every cascade bound certifies against.
+double true_banded_cost(std::span<const double> a, std::span<const double> b,
+                        std::size_t band, ts::LocalCost cost) {
+  const std::vector<double> za = ts::z_score_enhanced(a);
+  const std::vector<double> zb = ts::z_score_enhanced(b);
+  return (band == 0 || band >= a.size() - 1)
+             ? ts::dtw(za, zb, cost).distance
+             : ts::dtw_banded(za, zb, band, cost).distance;
+}
+
+TEST(LowerBound, BoundOrderingAcrossSeriesFamilies) {
+  constexpr std::size_t kLen = 64;
+  const std::vector<std::vector<double>> pool = series_pool(kLen);
+  ts::DtwWorkspace workspace;
+  for (const ts::LocalCost cost :
+       {ts::LocalCost::kSquared, ts::LocalCost::kAbsolute}) {
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      for (std::size_t j = i; j < pool.size(); ++j) {
+        const std::vector<double>& a = pool[i];
+        const std::vector<double>& b = pool[j];
+        const ts::SeriesSketch sa = ts::sketch_series(a);
+        const ts::SeriesSketch sb = ts::sketch_series(b);
+        const double kim = ts::lb_kim(sa, sb, cost);
+        const double ub = ts::diagonal_upper_bound(a, sa, b, sb, cost);
+        EXPECT_GE(kim, 0.0);
+        for (const std::size_t band : {0ul, 1ul, 2ul, 3ul, 8ul, kLen}) {
+          const double keogh =
+              ts::lb_keogh(a, sa, b, sb, band, cost, workspace);
+          const double truth = true_banded_cost(a, b, band, cost);
+          EXPECT_LE(kim, keogh) << "i=" << i << " j=" << j;
+          EXPECT_LE(keogh, truth)
+              << "i=" << i << " j=" << j << " band=" << band;
+          // The diagonal is admissible in every band window, so its
+          // (inflated) cost caps the banded optimum at any band.
+          EXPECT_GE(ub, truth) << "i=" << i << " j=" << j
+                               << " band=" << band;
+        }
+      }
+    }
+  }
+}
+
+// Identical series: the true distance is zero, so the lower bounds (which
+// clamp at zero after deflating by their certified error pads) must be
+// exactly zero, and the upper bound — inflated by the same pads, never
+// deflated — must be a non-negative value no larger than the pad itself.
+TEST(LowerBound, IdenticalSeriesAllBoundsZero) {
+  const std::vector<double> a = ar_series(48, 9);
+  const ts::SeriesSketch s = ts::sketch_series(a);
+  ts::DtwWorkspace workspace;
+  const ts::LocalCost cost = ts::LocalCost::kSquared;
+  EXPECT_EQ(ts::lb_kim(s, s, cost), 0.0);
+  EXPECT_EQ(ts::lb_keogh(a, s, a, s, 3, cost, workspace), 0.0);
+  const double ub = ts::diagonal_upper_bound(a, s, a, s, cost);
+  EXPECT_GE(ub, 0.0);
+  EXPECT_LE(ub, 1e-12);
+}
+
+TEST(LowerBound, KernelBitIdenticalToReferenceDtw) {
+  constexpr std::size_t kLen = 50;
+  const std::vector<double> a = ts::z_score_enhanced(ar_series(kLen, 11));
+  const std::vector<double> b = ts::z_score_enhanced(ar_series(kLen, 12));
+  ts::DtwWorkspace workspace;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (const ts::LocalCost cost :
+       {ts::LocalCost::kSquared, ts::LocalCost::kAbsolute}) {
+    for (const bool simd : {false, true}) {
+      // Narrow bands run the row sweep, wide ones the wavefront; 0 and
+      // >= n-1 sweep the full matrix and must match plain dtw().
+      for (const std::size_t band :
+           {0ul, 1ul, 2ul, 3ul, 5ul, 8ul, 32ul, kLen - 1, kLen + 10}) {
+        const ts::BandedDistance got =
+            ts::banded_dtw_distance(a, b, band, cost, kInf, simd, workspace);
+        const ts::DtwResult ref = (band == 0 || band >= kLen - 1)
+                                      ? ts::dtw(a, b, cost)
+                                      : ts::dtw_banded(a, b, band, cost);
+        EXPECT_FALSE(got.abandoned);
+        EXPECT_EQ(got.distance, ref.distance)
+            << "band=" << band << " simd=" << simd;
+        EXPECT_EQ(got.path_cells, ref.path.size())
+            << "band=" << band << " simd=" << simd;
+      }
+    }
+  }
+}
+
+TEST(LowerBound, EarlyAbandonIsSound) {
+  constexpr std::size_t kLen = 40;
+  ts::DtwWorkspace workspace;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<double> a =
+        ts::z_score_enhanced(ar_series(kLen, 100 + trial));
+    const std::vector<double> b =
+        ts::z_score_enhanced(ar_series(kLen, 200 + trial));
+    for (const std::size_t band : {2ul, 8ul, 0ul}) {
+      const ts::BandedDistance full = ts::banded_dtw_distance(
+          a, b, band, ts::LocalCost::kSquared, kInf, true, workspace);
+      ASSERT_FALSE(full.abandoned);
+      // A ceiling below the true distance: either the sweep abandons
+      // (proving distance > ceiling, which is true) or it completes with
+      // the exact answer.
+      const double low = full.distance * rng.uniform(0.1, 0.9);
+      const ts::BandedDistance probe = ts::banded_dtw_distance(
+          a, b, band, ts::LocalCost::kSquared, low, true, workspace);
+      if (!probe.abandoned) {
+        EXPECT_EQ(probe.distance, full.distance);
+        EXPECT_EQ(probe.path_cells, full.path_cells);
+      } else {
+        EXPECT_GT(full.distance, low);
+      }
+      // A ceiling at/above the true distance can never abandon: every
+      // pair of consecutive anti-diagonals contains an optimal-path
+      // prefix cell, whose cost is at most the final distance.
+      const ts::BandedDistance high = ts::banded_dtw_distance(
+          a, b, band, ts::LocalCost::kSquared, full.distance, true,
+          workspace);
+      EXPECT_FALSE(high.abandoned);
+      EXPECT_EQ(high.distance, full.distance);
+      EXPECT_EQ(high.path_cells, full.path_cells);
+    }
+  }
+}
+
+// A bundle with one Sybil clique (shared radio + per-identity noise)
+// among independent vehicles — the workload whose verdicts matter.
+std::vector<core::NamedSeries> sybil_bundle(std::size_t identities,
+                                            std::size_t len,
+                                            std::uint64_t seed) {
+  const std::vector<double> radio = ar_series(len, seed);
+  Rng noise(seed + 1);
+  std::vector<core::NamedSeries> series;
+  for (std::size_t i = 0; i < identities; ++i) {
+    std::vector<double> values;
+    if (i < std::max<std::size_t>(2, identities / 8)) {
+      values = radio;
+      for (double& v : values) v += noise.normal(0.0, 1.0);
+    } else {
+      values = ar_series(len, seed + 100 + i);
+    }
+    series.emplace_back(static_cast<IdentityId>(i),
+                        ts::Series::uniform(0.0, 0.1, std::move(values)));
+  }
+  return series;
+}
+
+void expect_verdicts_identical(const std::vector<core::PairDistance>& pruned,
+                               const std::vector<core::PairDistance>& exact) {
+  ASSERT_EQ(pruned.size(), exact.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ(pruned[i].a, exact[i].a);
+    EXPECT_EQ(pruned[i].b, exact[i].b);
+    EXPECT_EQ(pruned[i].comparable, exact[i].comparable) << "pair " << i;
+    EXPECT_EQ(pruned[i].flagged, exact[i].flagged) << "pair " << i;
+  }
+}
+
+class CascadeParity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CascadeParity, PrunedVerdictsMatchExactSweep) {
+  const std::size_t threads = GetParam();
+  core::ComparisonOptions options;
+  options.distance = core::DistanceKind::kExactDtw;
+  options.threads = threads;
+  for (const bool simd : {true, false}) {
+    for (const std::uint64_t seed : {31ull, 32ull, 33ull}) {
+      const std::vector<core::NamedSeries> series =
+          sybil_bundle(24, 120, seed);
+      const double threshold = 0.00054 * 50.0 + 0.0483;
+      options.use_simd = simd;
+
+      options.exact_mode = true;
+      std::vector<core::PairDistance> exact =
+          core::compare_series(series, options);
+      for (core::PairDistance& p : exact) {
+        if (p.comparable) p.flagged = p.normalized <= threshold;
+      }
+
+      options.exact_mode = false;
+      core::CascadeStats stats;
+      const std::vector<core::PairDistance> pruned =
+          core::compare_series_pruned(series, options, threshold, &stats);
+
+      expect_verdicts_identical(pruned, exact);
+      // Conservation law: every comparable pair exits at exactly one tier.
+      std::size_t comparable = 0;
+      for (const core::PairDistance& p : exact) comparable += p.comparable;
+      EXPECT_EQ(stats.lb_kim_pruned + stats.lb_keogh_pruned +
+                    stats.early_abandoned + stats.full_sweeps,
+                comparable);
+    }
+  }
+}
+
+// The exit tiers are a pure function of the input — thread count must not
+// move a pair between tiers (pruning decisions compare exact bounds, and
+// the searches visit pairs in a fixed order regardless of scheduling).
+TEST(CascadeParity, StatsDeterministicAcrossThreadCounts) {
+  const std::vector<core::NamedSeries> series = sybil_bundle(20, 150, 77);
+  core::ComparisonOptions options;
+  options.distance = core::DistanceKind::kExactDtw;
+  options.exact_mode = false;
+  const double threshold = 0.00054 * 50.0 + 0.0483;
+  std::vector<core::CascadeStats> all;
+  for (const std::size_t threads : {1ul, 2ul, 4ul, 0ul}) {
+    options.threads = threads;
+    core::CascadeStats stats;
+    (void)core::compare_series_pruned(series, options, threshold, &stats);
+    all.push_back(stats);
+  }
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].lb_kim_pruned, all[0].lb_kim_pruned);
+    EXPECT_EQ(all[i].lb_keogh_pruned, all[0].lb_keogh_pruned);
+    EXPECT_EQ(all[i].early_abandoned, all[0].early_abandoned);
+    EXPECT_EQ(all[i].full_sweeps, all[0].full_sweeps);
+  }
+}
+
+TEST_P(CascadeParity, HighwaySimWindowsMatchExactDetector) {
+  const std::size_t threads = GetParam();
+  sim::ScenarioConfig config;
+  config.density_per_km = 15.0;
+  config.sim_time_s = 45.0;
+  config.seed = 63;
+  sim::World world(config);
+  world.run();
+
+  core::VoiceprintOptions exact_options =
+      core::tuned_simulation_options(threads);
+  core::VoiceprintOptions pruned_options = exact_options;
+  pruned_options.comparison.exact_mode = false;
+  core::VoiceprintDetector exact(exact_options);
+  core::VoiceprintDetector pruned(pruned_options);
+
+  std::size_t windows = 0;
+  const std::vector<NodeId> normals = world.normal_node_ids();
+  for (NodeId observer : {normals.front(), normals.back()}) {
+    for (const double t : world.detection_times()) {
+      const sim::ObservationWindow window = world.observe(observer, t);
+      if (window.neighbors.size() < 2) continue;
+      EXPECT_EQ(pruned.detect_window(window), exact.detect_window(window));
+      expect_verdicts_identical(pruned.last_all_pairs(),
+                                exact.last_all_pairs());
+      ++windows;
+    }
+  }
+  EXPECT_GE(windows, 3u);
+}
+
+TEST_P(CascadeParity, FieldTestReplayMatchesExactReplay) {
+  const std::size_t threads = GetParam();
+  ft::FieldTestConfig config;
+  config.area = ft::Area::kCampus;
+  config.duration_s = 240.0;
+  const ft::FieldTestData data = ft::run_field_test(config);
+
+  ft::ReplayOptions exact_options;
+  exact_options.comparison.threads = threads;
+  ft::ReplayOptions pruned_options = exact_options;
+  pruned_options.comparison.exact_mode = false;
+
+  const ft::FieldReplayResult exact = ft::replay_field_test(data,
+                                                            exact_options);
+  const ft::FieldReplayResult pruned =
+      ft::replay_field_test(data, pruned_options);
+
+  EXPECT_EQ(pruned.detection_rate, exact.detection_rate);
+  EXPECT_EQ(pruned.false_positive_rate, exact.false_positive_rate);
+  ASSERT_EQ(pruned.detections.size(), exact.detections.size());
+  for (std::size_t d = 0; d < exact.detections.size(); ++d) {
+    const ft::FieldDetection& pd = pruned.detections[d];
+    const ft::FieldDetection& ed = exact.detections[d];
+    EXPECT_EQ(pd.flagged, ed.flagged);
+    ASSERT_EQ(pd.pairs.size(), ed.pairs.size());
+    for (std::size_t i = 0; i < ed.pairs.size(); ++i) {
+      EXPECT_EQ(pd.pairs[i].a, ed.pairs[i].a);
+      EXPECT_EQ(pd.pairs[i].b, ed.pairs[i].b);
+      EXPECT_EQ(pd.pairs[i].flagged, ed.pairs[i].flagged);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, CascadeParity,
+                         ::testing::Values(0u, 1u, 4u));
+
+}  // namespace
+}  // namespace vp

@@ -3,6 +3,7 @@
 //   check_run_report [report.json] [--trace <trace.jsonl>]
 //                    [--require <counter>]... [--stream-bench <bench.json>]
 //                    [--service-bench <bench.json>] [--chaos-bench <bench.json>]
+//                    [--comparison-bench <bench.json>]
 //
 // The positional run report may be omitted when only validating bench
 // artefacts (e.g. `check_run_report --chaos-bench BENCH_chaos.json`);
@@ -20,7 +21,12 @@
 // (voiceprint.service_bench/v1, including the beacon and round
 // conservation laws); with --chaos-bench, fault::validate_chaos_bench
 // (voiceprint.chaos_bench/v1, including the injector and serving-stack
-// conservation laws and the per-run divergence ceilings). Exit status 0
+// conservation laws and the per-run divergence ceilings); with
+// --comparison-bench, core::validate_comparison_bench
+// (voiceprint.comparison_bench/v1, including the cascade exit-tier
+// conservation law pairs_comparable = lb_kim_pruned + lb_keogh_pruned +
+// early_abandoned + full_sweeps, and that the exact-vs-pruned verdict
+// cross-check passed). Exit status 0
 // on success, 1 on any violation (with
 // a one-line reason on stderr). Used by scripts/smoke.sh (the `smoke`
 // ctest).
@@ -30,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "core/report.h"
 #include "fault/report.h"
 #include "obs/json.h"
 #include "obs/report.h"
@@ -157,6 +164,30 @@ int check_chaos_bench(const std::string& path) {
   return 0;
 }
 
+int check_comparison_bench(const std::string& path) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::cerr << "check_run_report: cannot read " << path << "\n";
+    return 1;
+  }
+  vp::obs::json::Value bench;
+  try {
+    bench = vp::obs::json::parse(text);
+  } catch (const std::exception& e) {
+    std::cerr << "check_run_report: " << path << ": " << e.what() << "\n";
+    return 1;
+  }
+  std::string error;
+  if (!vp::core::validate_comparison_bench(bench, &error)) {
+    std::cerr << "check_run_report: " << path << ": " << error << "\n";
+    return 1;
+  }
+  std::cout << "ok: " << path << " ("
+            << bench.find("configs")->as_array().size()
+            << " comparison bench configs)\n";
+  return 0;
+}
+
 int check_trace(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -199,7 +230,8 @@ int main(int argc, char** argv) {
   constexpr const char* kUsage =
       "usage: check_run_report [report.json] [--trace <trace.jsonl>] "
       "[--require <counter>]... [--stream-bench <bench.json>] "
-      "[--service-bench <bench.json>] [--chaos-bench <bench.json>]\n"
+      "[--service-bench <bench.json>] [--chaos-bench <bench.json>] "
+      "[--comparison-bench <bench.json>]\n"
       "       (report.json may be omitted when only bench artefacts are "
       "checked)\n";
   std::string report_path;
@@ -207,6 +239,7 @@ int main(int argc, char** argv) {
   std::string stream_bench_path;
   std::string service_bench_path;
   std::string chaos_bench_path;
+  std::string comparison_bench_path;
   std::vector<std::string> required_counters;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -220,6 +253,8 @@ int main(int argc, char** argv) {
       service_bench_path = argv[++i];
     } else if (arg == "--chaos-bench" && i + 1 < argc) {
       chaos_bench_path = argv[++i];
+    } else if (arg == "--comparison-bench" && i + 1 < argc) {
+      comparison_bench_path = argv[++i];
     } else if (report_path.empty()) {
       report_path = arg;
     } else {
@@ -229,7 +264,8 @@ int main(int argc, char** argv) {
   }
   const bool has_bench = !stream_bench_path.empty() ||
                          !service_bench_path.empty() ||
-                         !chaos_bench_path.empty();
+                         !chaos_bench_path.empty() ||
+                         !comparison_bench_path.empty();
   if (report_path.empty() &&
       (!has_bench || !trace_path.empty() || !required_counters.empty())) {
     std::cerr << kUsage;
@@ -245,5 +281,8 @@ int main(int argc, char** argv) {
     status |= check_service_bench(service_bench_path);
   }
   if (!chaos_bench_path.empty()) status |= check_chaos_bench(chaos_bench_path);
+  if (!comparison_bench_path.empty()) {
+    status |= check_comparison_bench(comparison_bench_path);
+  }
   return status;
 }
