@@ -27,8 +27,10 @@
 #include "core/detector.h"
 #include "fault/injector.h"
 #include "fault/report.h"
+#include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/runtime.h"
+#include "obs/telemetry.h"
 #include "service/checkpoint.h"
 #include "service/service.h"
 #include "sim/world.h"
@@ -319,6 +321,14 @@ int main(int argc, char** argv) {
                           run_flags.trace_out);
   obs::enable();  // the fault.* / stream.* counters feed --metrics-out
 
+  // Telemetry + health: one frame per chaos run, each evaluated against
+  // the conservation laws. A clean sweep must raise zero alerts — and the
+  // self-test below then breaks a law on purpose and requires the monitor
+  // to catch it, so "no alerts" is a real signal, not a dead check.
+  obs::HealthMonitor monitor = obs::HealthMonitor::with_default_invariants();
+  obs::TelemetryExporter telemetry(obs::telemetry_config_from_flags(run_flags));
+  telemetry.set_monitor(&monitor);  // declared after monitor: outlived
+
   const bool quick = args.get_bool("quick", false);
   const double density = args.get_double("density", quick ? 8.0 : 12.0);
   const double sim_time = args.get_double("sim-time", quick ? 45.0 : 80.0);
@@ -360,6 +370,7 @@ int main(int argc, char** argv) {
     runs.push_back(run_engine_chaos(label, fault_class, intensity, fc,
                                     engine_config, trace, sim_time,
                                     kill_cycles, baseline, max_divergence));
+    telemetry.emit_now(sim_time);  // run boundary: a quiescent point
   };
 
   // Injection disabled + kill/restore: restore parity, divergence 0.
@@ -460,6 +471,34 @@ int main(int argc, char** argv) {
   // The fleet under the same storm, with a service-level kill/restore.
   runs.push_back(run_service_chaos(storm, engine_config, trace, sim_time,
                                    baseline, 1.0, run_flags.threads));
+  telemetry.emit_now(sim_time);
+
+  // Health gate 1: the whole faulted sweep — storms, floods, kill/restore
+  // cycles — must leave every conservation law exact on every frame.
+  if (monitor.alerts_total() != 0) {
+    std::fprintf(stderr,
+                 "chaos_detection: health monitor raised %llu alert(s) on a "
+                 "conserving run\n",
+                 static_cast<unsigned long long>(monitor.alerts_total()));
+    return 1;
+  }
+  // Health gate 2: break the stream admission law on purpose (offered
+  // bumped with no matching ingest/shed) and require the monitor to flag
+  // exactly that invariant on the next frame.
+  obs::registry().counter("stream.beacons_offered").add(5);
+  telemetry.emit_now(sim_time);
+  if (monitor.alerts_by_invariant().count("conservation.stream.beacons") == 0) {
+    std::fprintf(stderr,
+                 "chaos_detection: health monitor missed an injected "
+                 "stream-conservation violation\n");
+    return 1;
+  }
+  std::printf(
+      "chaos: health monitor clean over %llu frames; injected violation "
+      "flagged\n",
+      static_cast<unsigned long long>(monitor.frames_evaluated() - 1));
+  telemetry.finish(sim_time);
+  if (session.active()) session.merge_extra("health", monitor.summary());
 
   const obs::json::Value report =
       fault::build_chaos_bench_report(args.program_name(), seed, runs);

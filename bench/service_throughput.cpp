@@ -31,6 +31,7 @@
 #include "core/detector.h"
 #include "obs/report.h"
 #include "obs/runtime.h"
+#include "obs/telemetry.h"
 #include "service/report.h"
 #include "service/service.h"
 
@@ -91,7 +92,8 @@ std::vector<FleetRx> synthesize_fleet(std::size_t sessions,
 service::ServiceBenchConfigResult run_config(
     const std::string& label, std::size_t sessions, std::size_t identities,
     double rate_hz, double duration_s, std::size_t shards,
-    std::size_t threads, bool overload, const vp::RunFlags& run_flags) {
+    std::size_t threads, bool overload, const vp::RunFlags& run_flags,
+    obs::TelemetryExporter& telemetry) {
   const std::vector<FleetRx> beacons =
       synthesize_fleet(sessions, identities, rate_hz, duration_s);
 
@@ -121,6 +123,9 @@ service::ServiceBenchConfigResult run_config(
     config.engine.max_identities = identities + 16;
   }
   service::DetectionService fleet(config);
+  fleet.set_round_callback([&](const service::SessionRound& round) {
+    telemetry.on_round(round.round.time_s);
+  });
 
   obs::Histogram& round_ns = obs::registry().histogram("stream.round_ns");
   obs::Histogram& pump_ns = obs::registry().histogram("service.pump_ns");
@@ -130,8 +135,10 @@ service::ServiceBenchConfigResult run_config(
   const auto start = std::chrono::steady_clock::now();
   for (const FleetRx& rx : beacons) {
     fleet.ingest(rx.session, rx.id, rx.time_s, rx.rssi_dbm);
+    telemetry.sample(rx.time_s);
   }
   fleet.advance_all_to(duration_s);
+  telemetry.sample(duration_s);
   const auto elapsed = std::chrono::steady_clock::now() - start;
   const double wall_s =
       std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
@@ -171,6 +178,17 @@ service::ServiceBenchConfigResult run_config(
       result.pump_ns.p99 * 1e-6,
       static_cast<unsigned long long>(result.shed),
       static_cast<unsigned long long>(result.rounds_shed));
+
+  // Graceful shutdown: close every session so the fleet-wide accounting
+  // (sessions_opened = closed + evicted + active) stays exact across the
+  // configurations sharing one registry — the HealthMonitor checks it on
+  // every telemetry frame.
+  std::vector<service::SessionId> open_sessions;
+  fleet.for_each_session(
+      [&](service::SessionId id, const stream::StreamEngine&) {
+        open_sessions.push_back(id);
+      });
+  for (service::SessionId id : open_sessions) fleet.close(id);
   return result;
 }
 
@@ -181,6 +199,9 @@ int main(int argc, char** argv) {
   const RunFlags run_flags = parse_run_flags(args, /*default_threads=*/0);
   obs::RunSession session(args.program_name(), run_flags.metrics_out,
                           run_flags.trace_out);
+  obs::HealthMonitor monitor = obs::HealthMonitor::with_default_invariants();
+  obs::TelemetryExporter telemetry(obs::telemetry_config_from_flags(run_flags));
+  if (telemetry.active()) telemetry.set_monitor(&monitor);
   // The pump/round latency histograms must collect even without
   // --metrics-out: BENCH_service.json is derived from them.
   obs::enable();
@@ -208,13 +229,15 @@ int main(int argc, char** argv) {
       label += std::to_string(static_cast<int>(rate));
       results.push_back(run_config(label, sessions, identities, rate,
                                    duration, shards, threads, false,
-                                   run_flags));
+                                   run_flags, telemetry));
     }
   }
   // The overload scenario (always included — the acceptance bar): every
   // shedding path engages and the conservation laws still hold.
   results.push_back(run_config("overload", quick ? 4 : 16, identities, 10.0,
-                               duration, shards, threads, true, run_flags));
+                               duration, shards, threads, true, run_flags,
+                               telemetry));
+  telemetry.finish(duration);
 
   const obs::json::Value report =
       service::build_service_bench_report(args.program_name(), results);

@@ -28,6 +28,7 @@
 #include "core/detector.h"
 #include "obs/report.h"
 #include "obs/runtime.h"
+#include "obs/telemetry.h"
 #include "stream/engine.h"
 #include "stream/report.h"
 
@@ -76,7 +77,8 @@ stream::BenchConfigResult run_config(const std::string& label,
                                      std::size_t identities, double rate_hz,
                                      double duration_s, std::size_t threads,
                                      bool overload,
-                                     const vp::RunFlags& run_flags) {
+                                     const vp::RunFlags& run_flags,
+                                     obs::TelemetryExporter& telemetry) {
   const std::vector<Rx> beacons =
       synthesize_stream(identities, rate_hz, duration_s);
 
@@ -97,13 +99,20 @@ stream::BenchConfigResult run_config(const std::string& label,
     config.max_identities = identities + 16;
   }
   stream::StreamEngine engine(config);
+  engine.set_round_callback([&](const stream::StreamRound& round) {
+    telemetry.on_round(round.time_s);
+  });
 
   obs::Histogram& round_ns = obs::registry().histogram("stream.round_ns");
   round_ns.reset();  // this configuration only
 
   const auto start = std::chrono::steady_clock::now();
-  for (const Rx& rx : beacons) engine.ingest(rx.id, rx.time_s, rx.rssi_dbm);
+  for (const Rx& rx : beacons) {
+    engine.ingest(rx.id, rx.time_s, rx.rssi_dbm);
+    telemetry.sample(rx.time_s);
+  }
   engine.advance_to(duration_s);
+  telemetry.sample(duration_s);
   const auto elapsed = std::chrono::steady_clock::now() - start;
   const double wall_s =
       std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
@@ -142,6 +151,9 @@ int main(int argc, char** argv) {
   const RunFlags run_flags = parse_run_flags(args);
   obs::RunSession session(args.program_name(), run_flags.metrics_out,
                           run_flags.trace_out);
+  obs::HealthMonitor monitor = obs::HealthMonitor::with_default_invariants();
+  obs::TelemetryExporter telemetry(obs::telemetry_config_from_flags(run_flags));
+  if (telemetry.active()) telemetry.set_monitor(&monitor);
   // The round-latency histogram must collect even without --metrics-out:
   // BENCH_stream.json is derived from it.
   obs::enable();
@@ -164,13 +176,14 @@ int main(int argc, char** argv) {
           "rate" + std::to_string(static_cast<int>(rate)) + "_n" +
           std::to_string(n);
       results.push_back(run_config(label, n, rate, duration, threads, false,
-                                   run_flags));
+                                   run_flags, telemetry));
     }
   }
   // The 10× overload scenario (always included — the acceptance bar).
   results.push_back(run_config("overload_x10", quick ? 20 : 80,
                                quick ? 10.0 : 20.0, duration, threads, true,
-                               run_flags));
+                               run_flags, telemetry));
+  telemetry.finish(duration);
 
   const obs::json::Value report =
       stream::build_stream_bench_report(args.program_name(), results);

@@ -15,7 +15,9 @@
 //   ./build/examples/fleet_detection --density 12 --sim-time 40 --sessions 3
 //
 // Pass --metrics-out / --trace-out for a run report with the service.*
-// metrics (admission, round scheduling, pump latency).
+// metrics (admission, round scheduling, pump latency), and
+// --telemetry-out for the continuous frame stream with per-shard round
+// latency and live conservation-law checks (DESIGN.md §12).
 #include <algorithm>
 #include <iostream>
 #include <map>
@@ -25,6 +27,7 @@
 #include "common/table.h"
 #include "core/detector.h"
 #include "obs/report.h"
+#include "obs/telemetry.h"
 #include "service/service.h"
 #include "sim/runner.h"
 #include "sim/world.h"
@@ -43,7 +46,8 @@ struct FleetRx {
 
 bool rounds_identical(const stream::StreamRound& a,
                       const stream::StreamRound& b) {
-  if (a.time_s != b.time_s || a.density_per_km != b.density_per_km ||
+  if (a.round_id != b.round_id || a.time_s != b.time_s ||
+      a.density_per_km != b.density_per_km ||
       a.identities_heard != b.identities_heard || a.suspects != b.suspects ||
       a.pairs.size() != b.pairs.size()) {
     return false;
@@ -66,6 +70,9 @@ int main(int argc, char** argv) {
   const RunFlags run_flags = parse_run_flags(args);
   obs::RunSession session(args.program_name(), run_flags.metrics_out,
                           run_flags.trace_out);
+  obs::HealthMonitor monitor = obs::HealthMonitor::with_default_invariants();
+  obs::TelemetryExporter telemetry(obs::telemetry_config_from_flags(run_flags));
+  if (telemetry.active()) telemetry.set_monitor(&monitor);
 
   sim::ScenarioConfig config;
   config.density_per_km = args.get_double("density", 15.0);
@@ -155,6 +162,7 @@ int main(int argc, char** argv) {
       std::map<NodeId, std::vector<stream::StreamRound>> streamed;
       fleet_service.set_round_callback(
           [&](const service::SessionRound& round) {
+            telemetry.on_round(round.round.time_s);
             streamed[static_cast<NodeId>(round.session)].push_back(
                 round.round);
           });
@@ -162,8 +170,10 @@ int main(int argc, char** argv) {
       for (const FleetRx& rx : fleet) {
         fleet_service.ingest(static_cast<service::SessionId>(rx.observer),
                              rx.id, rx.time_s, rx.rssi_dbm);
+        telemetry.sample(rx.time_s);
       }
       fleet_service.advance_all_to(end_time);
+      telemetry.sample(end_time);
 
       std::size_t checked = 0;
       std::size_t matched = 0;
@@ -180,6 +190,12 @@ int main(int argc, char** argv) {
           }
         }
       }
+      // Graceful shutdown: close every session so the cumulative session
+      // accounting (opened = closed + evicted + active) stays exact
+      // across the shard/thread configs sharing one registry.
+      for (NodeId observer : observers) {
+        fleet_service.close(static_cast<service::SessionId>(observer));
+      }
       const bool ok =
           counts_ok && checked == matched && checked == reference_rounds;
       all_ok = all_ok && ok;
@@ -191,6 +207,7 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  telemetry.finish(end_time);
 
   if (all_ok) {
     std::cout << "\nfleet parity: OK — every session bit-identical to its "
@@ -209,6 +226,7 @@ int main(int argc, char** argv) {
     extra.emplace("parity_rounds_checked", obs::json::Value(total_checked));
     extra.emplace("parity_rounds_matched", obs::json::Value(total_matched));
     session.set_extra(obs::json::Value(std::move(extra)));
+    if (telemetry.active()) session.merge_extra("health", monitor.summary());
   }
   return all_ok ? 0 : 1;
 }

@@ -9,7 +9,10 @@
 //
 // Pass --metrics-out report.json and/or --trace-out trace.jsonl to get a
 // structured run report (per-phase latency percentiles, per-pair DTW
-// counters, thread-pool utilisation) and a JSONL span trace.
+// counters, thread-pool utilisation) and a JSONL span trace;
+// --telemetry-out / --openmetrics-out add the §12 telemetry frame stream
+// (a batch run emits its closing frame, health-checked) and a Prometheus
+// text snapshot.
 #include <iostream>
 #include <set>
 
@@ -17,6 +20,7 @@
 #include "common/table.h"
 #include "core/detector.h"
 #include "obs/report.h"
+#include "obs/telemetry.h"
 #include "sim/metrics.h"
 #include "sim/runner.h"
 #include "sim/world.h"
@@ -27,6 +31,9 @@ int main(int argc, char** argv) {
   const RunFlags run_flags = parse_run_flags(args);
   obs::RunSession session(args.program_name(), run_flags.metrics_out,
                           run_flags.trace_out);
+  obs::HealthMonitor monitor = obs::HealthMonitor::with_default_invariants();
+  obs::TelemetryExporter telemetry(obs::telemetry_config_from_flags(run_flags));
+  if (telemetry.active()) telemetry.set_monitor(&monitor);
 
   sim::ScenarioConfig config;
   config.density_per_km = args.get_double("density", 30.0);
@@ -83,8 +90,10 @@ int main(int argc, char** argv) {
             << "\nfleet average false positive rate : "
             << Table::num(result.average_fpr, 4) << "\n";
 
+  telemetry.finish(t);
   if (session.active()) {
     session.set_extra(sim::evaluation_report_extra(result));
+    if (telemetry.active()) session.merge_extra("health", monitor.summary());
   }
   return 0;
 }

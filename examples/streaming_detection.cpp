@@ -18,7 +18,11 @@
 // against the batch detector must still hold — restore is bit-exact.
 //
 // Pass --metrics-out / --trace-out for a run report with the stream.*
-// metrics (ingest and shed counters, ring evictions, round latency).
+// metrics (ingest and shed counters, ring evictions, round latency), and
+// --telemetry-out for the continuous frame stream (DESIGN.md §12) with
+// the HealthMonitor's conservation-law checks on every frame. Across a
+// --kill-at reboot the same exporter keeps running, so frame sequence
+// numbers stay continuous — check_run_report --telemetry verifies it.
 #include <algorithm>
 #include <cstdint>
 #include <iostream>
@@ -30,6 +34,7 @@
 #include "common/table.h"
 #include "core/detector.h"
 #include "obs/report.h"
+#include "obs/telemetry.h"
 #include "sim/runner.h"
 #include "sim/world.h"
 #include "stream/checkpoint.h"
@@ -41,6 +46,9 @@ int main(int argc, char** argv) {
   const RunFlags run_flags = parse_run_flags(args);
   obs::RunSession session(args.program_name(), run_flags.metrics_out,
                           run_flags.trace_out);
+  obs::HealthMonitor monitor = obs::HealthMonitor::with_default_invariants();
+  obs::TelemetryExporter telemetry(obs::telemetry_config_from_flags(run_flags));
+  if (telemetry.active()) telemetry.set_monitor(&monitor);
 
   sim::ScenarioConfig config;
   config.density_per_km = args.get_double("density", 30.0);
@@ -104,6 +112,7 @@ int main(int argc, char** argv) {
   std::size_t rounds_matched = 0;
   std::vector<stream::StreamRound> rounds;
   const auto on_round = [&](const stream::StreamRound& round) {
+    telemetry.on_round(round.time_s);
     rounds.push_back(round);
     const sim::ObservationWindow window =
         world.observe(observer, round.time_s, engine_config.min_samples);
@@ -119,6 +128,7 @@ int main(int argc, char** argv) {
   bool killed = false;
   for (const Rx& rx : beacons) {
     engine->ingest(rx.id, rx.time_s, rx.rssi_dbm);
+    telemetry.sample(rx.time_s);
     if (kill_at >= 0.0 && !killed && rx.time_s >= kill_at) {
       // Reboot: checkpoint through the wire format, destroy, restore.
       const std::vector<std::uint8_t> bytes =
@@ -138,6 +148,7 @@ int main(int argc, char** argv) {
     }
   }
   engine->advance_to(world.detection_times().back());
+  telemetry.finish(world.detection_times().back());
 
   std::cout << "\nstreamed " << beacons.size() << " beacons through observer "
             << observer << "; " << engine->stats().rounds
@@ -204,6 +215,7 @@ int main(int argc, char** argv) {
     extra.emplace("parity_rounds_checked", obs::json::Value(rounds_checked));
     extra.emplace("parity_rounds_matched", obs::json::Value(rounds_matched));
     session.set_extra(obs::json::Value(std::move(extra)));
+    if (telemetry.active()) session.merge_extra("health", monitor.summary());
   }
   return (shedding_configured || rounds_matched == rounds_checked) ? 0 : 1;
 }

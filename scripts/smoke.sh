@@ -2,9 +2,15 @@
 # End-to-end smoke test: build (if needed), run the quickstart example,
 # run an instrumented highway simulation, and validate the emitted run
 # report + span trace with tools/check_run_report (which applies the same
-# voiceprint.run_report/v1 schema checks as the unit tests).
+# voiceprint.run_report/v1 schema checks as the unit tests). The
+# instrumented runs also emit §12 telemetry frame streams, validated with
+# `check_run_report --telemetry` and rendered once through tools/vp_top.
 #
 #   scripts/smoke.sh [build-dir]       # default build dir: ./build
+#
+# Set SMOKE_ARTIFACT_DIR to keep the emitted reports, traces, telemetry
+# streams and bench artefacts (CI uploads them); by default they live in
+# a mktemp dir removed on exit.
 #
 # Wired into ctest as the `smoke` test (ctest passes its own binary dir).
 set -euo pipefail
@@ -21,20 +27,27 @@ service_bench="$build_dir/bench/service_throughput"
 chaos_bench="$build_dir/bench/chaos_detection"
 complexity_bench="$build_dir/bench/sec6_complexity"
 checker="$build_dir/tools/check_run_report"
+top="$build_dir/tools/vp_top"
 
 if [[ ! -x "$quickstart" || ! -x "$highway" || ! -x "$streaming" \
       || ! -x "$fleet" || ! -x "$stream_bench" || ! -x "$service_bench" \
       || ! -x "$chaos_bench" || ! -x "$complexity_bench" \
-      || ! -x "$checker" ]]; then
+      || ! -x "$checker" || ! -x "$top" ]]; then
   echo "smoke: binaries missing, building in $build_dir"
   cmake -B "$build_dir" -S "$repo_root"
   cmake --build "$build_dir" -j --target quickstart highway_sybil_sim \
     streaming_detection fleet_detection stream_throughput \
-    service_throughput chaos_detection sec6_complexity check_run_report
+    service_throughput chaos_detection sec6_complexity check_run_report \
+    vp_top
 fi
 
-tmp="$(mktemp -d)"
-trap 'rm -rf "$tmp"' EXIT
+if [[ -n "${SMOKE_ARTIFACT_DIR:-}" ]]; then
+  mkdir -p "$SMOKE_ARTIFACT_DIR"
+  tmp="$(cd "$SMOKE_ARTIFACT_DIR" && pwd)"
+else
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+fi
 
 echo "smoke: quickstart"
 "$quickstart" > "$tmp/quickstart.out"
@@ -47,20 +60,28 @@ grep -q "flagged as Sybil attack" "$tmp/quickstart.out" || {
 echo "smoke: instrumented highway_sybil_sim"
 "$highway" --density 12 --sim-time 20 \
   --metrics-out "$tmp/report.json" --trace-out "$tmp/trace.jsonl" \
+  --telemetry-out "$tmp/highway_telemetry.jsonl" \
+  --openmetrics-out "$tmp/highway.om" \
   > "$tmp/highway.out"
 grep -q "fleet average detection rate" "$tmp/highway.out" || {
   echo "smoke: highway_sybil_sim output missing fleet summary"
   cat "$tmp/highway.out"
   exit 1
 }
+grep -q "# EOF" "$tmp/highway.om" || {
+  echo "smoke: highway_sybil_sim OpenMetrics snapshot not terminated"
+  exit 1
+}
 
-echo "smoke: validating run report + trace"
-"$checker" "$tmp/report.json" --trace "$tmp/trace.jsonl"
+echo "smoke: validating run report + trace + telemetry"
+"$checker" "$tmp/report.json" --trace "$tmp/trace.jsonl" \
+  --telemetry "$tmp/highway_telemetry.jsonl"
 
 echo "smoke: streaming_detection (batch parity)"
 "$streaming" --density 12 --duration 60 \
   --metrics-out "$tmp/stream_report.json" \
-  --trace-out "$tmp/stream_trace.jsonl" > "$tmp/streaming.out"
+  --trace-out "$tmp/stream_trace.jsonl" \
+  --telemetry-out "$tmp/stream_telemetry.jsonl" > "$tmp/streaming.out"
 grep -q "streaming parity: OK" "$tmp/streaming.out" || {
   echo "smoke: streaming_detection did not report batch parity"
   cat "$tmp/streaming.out"
@@ -71,15 +92,25 @@ echo "smoke: stream_throughput --quick"
 "$stream_bench" --quick --duration 25 --out "$tmp/BENCH_stream.json" \
   > "$tmp/stream_bench.out"
 
-echo "smoke: validating streaming report + bench artefact"
+echo "smoke: validating streaming report + bench artefact + telemetry"
 "$checker" "$tmp/stream_report.json" --trace "$tmp/stream_trace.jsonl" \
   --require stream.beacons_ingested --require stream.rounds \
-  --stream-bench "$tmp/BENCH_stream.json"
+  --stream-bench "$tmp/BENCH_stream.json" \
+  --telemetry "$tmp/stream_telemetry.jsonl"
+
+echo "smoke: vp_top --once over the streaming telemetry"
+"$top" --once "$tmp/stream_telemetry.jsonl" > "$tmp/vp_top.out"
+grep -q "stream.beacons_ingested" "$tmp/vp_top.out" || {
+  echo "smoke: vp_top did not render the throughput table"
+  cat "$tmp/vp_top.out"
+  exit 1
+}
 
 echo "smoke: fleet_detection (multi-session parity)"
 "$fleet" --density 12 --sim-time 40 --sessions 3 \
   --metrics-out "$tmp/fleet_report.json" \
-  --trace-out "$tmp/fleet_trace.jsonl" > "$tmp/fleet.out"
+  --trace-out "$tmp/fleet_trace.jsonl" \
+  --telemetry-out "$tmp/fleet_telemetry.jsonl" > "$tmp/fleet.out"
 grep -q "fleet parity: OK" "$tmp/fleet.out" || {
   echo "smoke: fleet_detection did not report parity"
   cat "$tmp/fleet.out"
@@ -90,10 +121,11 @@ echo "smoke: service_throughput --quick"
 "$service_bench" --quick --duration 25 --out "$tmp/BENCH_service.json" \
   > "$tmp/service_bench.out"
 
-echo "smoke: validating fleet report + service bench artefact"
+echo "smoke: validating fleet report + service bench artefact + telemetry"
 "$checker" "$tmp/fleet_report.json" --trace "$tmp/fleet_trace.jsonl" \
   --require service.beacons_ingested --require service.rounds_executed \
-  --service-bench "$tmp/BENCH_service.json"
+  --service-bench "$tmp/BENCH_service.json" \
+  --telemetry "$tmp/fleet_telemetry.jsonl"
 
 echo "smoke: streaming_detection --kill-at (checkpoint/restore parity)"
 "$streaming" --density 12 --sim-time 60 --kill-at 30 > "$tmp/killed.out"

@@ -99,6 +99,15 @@ RunFlags parse_run_flags(const CliArgs& args, std::size_t default_threads) {
   flags.trace_out = args.get("trace-out", "");
   flags.prune = args.get_bool("prune", false);
   flags.simd = args.get_bool("simd", true);
+  flags.telemetry_out = args.get("telemetry-out", "");
+  const std::int64_t every = args.get_int("telemetry-every", 1);
+  if (every < 0) throw InvalidArgument("--telemetry-every must be >= 0");
+  flags.telemetry_every_rounds = static_cast<std::uint64_t>(every);
+  flags.telemetry_every_s = args.get_double("telemetry-every-s", 0.0);
+  if (flags.telemetry_every_s < 0.0) {
+    throw InvalidArgument("--telemetry-every-s must be >= 0");
+  }
+  flags.openmetrics_out = args.get("openmetrics-out", "");
   return flags;
 }
 

@@ -53,6 +53,17 @@ class CliArgs {
 //                     wavefront kernel (default on; bit-identical either
 //                     way, only speed changes). Meaningless without
 //                     --prune.
+//   --telemetry-out P append voiceprint.telemetry/v1 JSONL frames to P
+//                     on deterministic stream-clock boundaries.
+//   --telemetry-every N
+//                     emit a frame every N confirmation rounds
+//                     (default 1; 0 disables the round cadence).
+//   --telemetry-every-s T
+//                     emit a frame every T seconds of *stream* clock
+//                     (default 0 = off; never wall clock).
+//   --openmetrics-out P
+//                     write the final registry snapshot to P in
+//                     Prometheus/OpenMetrics text exposition.
 // Empty paths mean "off" (the run stays uninstrumented).
 struct RunFlags {
   std::size_t threads = 1;
@@ -60,6 +71,10 @@ struct RunFlags {
   std::string trace_out;
   bool prune = false;
   bool simd = true;
+  std::string telemetry_out;
+  std::uint64_t telemetry_every_rounds = 1;
+  double telemetry_every_s = 0.0;
+  std::string openmetrics_out;
 };
 
 RunFlags parse_run_flags(const CliArgs& args, std::size_t default_threads = 1);

@@ -26,6 +26,7 @@ struct Sinks {
   obs::Counter* time_skewed;
   obs::Counter* time_regressed;
   obs::Counter* flood_injected;
+  obs::Gauge* held;
 };
 
 const Sinks& sinks() {
@@ -44,6 +45,7 @@ const Sinks& sinks() {
         .time_skewed = &r.counter("fault.time_skewed"),
         .time_regressed = &r.counter("fault.time_regressed"),
         .flood_injected = &r.counter("fault.flood_injected"),
+        .held = &r.gauge("fault.held"),
     };
   }();
   return s;
@@ -139,6 +141,7 @@ void FaultInjector::corrupt_and_emit(Beacon beacon, std::vector<Beacon>& out) {
             1, static_cast<std::int64_t>(config_.reorder_max_displacement)));
     held_.push_back(Held{beacon, displacement});
     ++stats_.held;
+    if (instrumented) sinks().held->set(static_cast<double>(stats_.held));
     return;
   }
   emit(beacon, out);
@@ -204,6 +207,7 @@ void FaultInjector::offer(const Beacon& beacon, std::vector<Beacon>& out) {
       }
     }
     held_.resize(kept);
+    if (instrumented) sinks().held->set(static_cast<double>(stats_.held));
   }
 }
 
@@ -216,6 +220,7 @@ void FaultInjector::flush(std::vector<Beacon>& out) {
     emit(h.beacon, out);
   }
   held_.clear();
+  if (instrumented) sinks().held->set(0.0);
 }
 
 std::vector<Beacon> FaultInjector::apply(std::span<const Beacon> trace) {

@@ -27,10 +27,12 @@
 // a fault sequence is exactly reproducible from (seed, config) — the
 // chaos bench and the determinism tests depend on that. Every applied
 // fault is counted in FaultStats (and the fault.* metrics when
-// observability is enabled), with the conservation law
+// observability is enabled; the reorder-buffer occupancy is mirrored in
+// the `fault.held` gauge), with the conservation law
 //   offered + duplicated + flood_injected
 //     == emitted + dropped + burst_dropped + held
-// holding after every offer()/flush().
+// holding after every offer()/flush() — the HealthMonitor checks exactly
+// this on every telemetry frame.
 #pragma once
 
 #include <cstdint>

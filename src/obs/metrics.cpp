@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/error.h"
@@ -65,6 +66,10 @@ std::vector<double> Histogram::default_count_bounds() {
 }
 
 void Histogram::record(double value) {
+  if (!std::isfinite(value)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   const auto idx = static_cast<std::size_t>(it - bounds_.begin());
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
@@ -107,6 +112,7 @@ HistogramSnapshot Histogram::snapshot() const {
   HistogramSnapshot s;
   s.count = count_.load(std::memory_order_relaxed);
   s.sum = sum_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
   if (s.count == 0) return s;
   s.min = min_.load(std::memory_order_relaxed);
   s.max = max_.load(std::memory_order_relaxed);
@@ -120,6 +126,7 @@ HistogramSnapshot Histogram::snapshot() const {
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
+  rejected_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
   min_.store(kInf, std::memory_order_relaxed);
   max_.store(-kInf, std::memory_order_relaxed);

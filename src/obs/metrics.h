@@ -56,6 +56,7 @@ struct HistogramSnapshot {
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  std::uint64_t rejected = 0;  // non-finite samples refused by record()
 };
 
 // Fixed-bucket histogram. Bucket i covers (bounds[i-1], bounds[i]]; an
@@ -76,6 +77,9 @@ class Histogram {
   // up to 65536.
   static std::vector<double> default_count_bounds();
 
+  // Records one sample. NaN and ±inf are refused — a single non-finite
+  // sample would poison `sum` (and with it every serialized report, since
+  // JSON has no NaN) — and tallied in the `rejected` counter instead.
   void record(double value);
   HistogramSnapshot snapshot() const;
 
@@ -98,6 +102,7 @@ class Histogram {
   // bounds_.size() + 1 buckets; the last is the overflow bucket.
   std::vector<std::atomic<std::uint64_t>> buckets_;
   std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> rejected_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_{0.0};
   std::atomic<double> max_{0.0};

@@ -12,19 +12,6 @@ namespace vp::obs {
 
 namespace {
 
-json::Value histogram_value(const HistogramSnapshot& s) {
-  json::Object h;
-  h.emplace("count", json::Value(s.count));
-  h.emplace("sum", json::Value(s.sum));
-  h.emplace("min", json::Value(s.min));
-  h.emplace("max", json::Value(s.max));
-  h.emplace("mean", json::Value(s.mean));
-  h.emplace("p50", json::Value(s.p50));
-  h.emplace("p95", json::Value(s.p95));
-  h.emplace("p99", json::Value(s.p99));
-  return json::Value(std::move(h));
-}
-
 bool fail(std::string* error, const std::string& what) {
   if (error != nullptr) *error = what;
   return false;
@@ -36,8 +23,24 @@ bool is_count(const json::Value& v) {
          v.as_number() == std::floor(v.as_number());
 }
 
-bool check_histogram(const std::string& name, const json::Value& v,
-                     std::string* error) {
+}  // namespace
+
+json::Value histogram_to_json(const HistogramSnapshot& s) {
+  json::Object h;
+  h.emplace("count", json::Value(s.count));
+  h.emplace("sum", json::Value(s.sum));
+  h.emplace("min", json::Value(s.min));
+  h.emplace("max", json::Value(s.max));
+  h.emplace("mean", json::Value(s.mean));
+  h.emplace("p50", json::Value(s.p50));
+  h.emplace("p95", json::Value(s.p95));
+  h.emplace("p99", json::Value(s.p99));
+  h.emplace("rejected", json::Value(s.rejected));
+  return json::Value(std::move(h));
+}
+
+bool validate_histogram_json(const std::string& name, const json::Value& v,
+                             std::string* error) {
   if (!v.is_object()) return fail(error, "histogram " + name + ": not object");
   for (const char* key : {"count", "sum", "min", "max", "mean", "p50", "p95",
                           "p99"}) {
@@ -49,6 +52,10 @@ bool check_histogram(const std::string& name, const json::Value& v,
   }
   if (!is_count(*v.find("count"))) {
     return fail(error, "histogram " + name + ": count not a whole number");
+  }
+  const json::Value* rejected = v.find("rejected");
+  if (rejected != nullptr && !is_count(*rejected)) {
+    return fail(error, "histogram " + name + ": rejected not a whole number");
   }
   if (v.find("count")->as_number() > 0) {
     const double min = v.find("min")->as_number();
@@ -67,8 +74,6 @@ bool check_histogram(const std::string& name, const json::Value& v,
   }
   return true;
 }
-
-}  // namespace
 
 json::Value build_run_report(const MetricsRegistry& registry,
                              const std::string& binary,
@@ -91,7 +96,7 @@ json::Value build_run_report(const MetricsRegistry& registry,
 
   json::Object histograms;
   for (const auto& [name, snapshot] : registry.histograms()) {
-    histograms.emplace(name, histogram_value(snapshot));
+    histograms.emplace(name, histogram_to_json(snapshot));
   }
   report.emplace("histograms", json::Value(std::move(histograms)));
 
@@ -146,7 +151,7 @@ bool validate_run_report(const json::Value& report, std::string* error) {
     if (!v.is_number()) return fail(error, "gauge " + name + ": not a number");
   }
   for (const auto& [name, v] : report.find("histograms")->as_object()) {
-    if (!check_histogram(name, v, error)) return false;
+    if (!validate_histogram_json(name, v, error)) return false;
   }
   const json::Value* pool = report.find("thread_pool");
   if (pool == nullptr || !pool->is_object()) {
@@ -175,7 +180,7 @@ bool validate_span(const json::Value& span, std::string* error) {
   if (phase == nullptr || !phase->is_string() || phase->as_string().empty()) {
     return fail(error, "span: missing non-empty string 'phase'");
   }
-  for (const char* key : {"observer", "window", "pairs"}) {
+  for (const char* key : {"observer", "window", "pairs", "round"}) {
     const json::Value* v = span.find(key);
     if (v == nullptr || (!v->is_null() && !is_count(*v))) {
       return fail(error, std::string("span: '") + key +
@@ -208,6 +213,13 @@ RunSession::~RunSession() {
   } catch (const std::exception& e) {
     std::fprintf(stderr, "run report: %s\n", e.what());
   }
+}
+
+void RunSession::merge_extra(const std::string& key, json::Value value) {
+  if (!extra_.has_value() || !extra_->is_object()) {
+    extra_ = json::Value(json::Object{});
+  }
+  extra_->as_object().insert_or_assign(key, std::move(value));
 }
 
 void RunSession::finish() {

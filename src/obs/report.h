@@ -28,6 +28,16 @@
 
 namespace vp::obs {
 
+// Serialises one HistogramSnapshot to its report/telemetry JSON form
+// ({"count","sum","min","max","mean","p50","p95","p99","rejected"}).
+// Shared between the run report and the telemetry frame encoder.
+json::Value histogram_to_json(const HistogramSnapshot& snapshot);
+
+// Validates one serialised histogram object (shape, count a whole number,
+// percentiles monotone and inside [min, max]). Extra keys are allowed.
+bool validate_histogram_json(const std::string& name, const json::Value& v,
+                             std::string* error);
+
 // Builds the report document from `registry` plus the shared thread
 // pool's utilisation counters.
 json::Value build_run_report(const MetricsRegistry& registry,
@@ -43,7 +53,8 @@ void write_run_report(const std::string& path, const json::Value& report);
 bool validate_run_report(const json::Value& report, std::string* error);
 
 // True when `span` is a well-formed trace span line (phase string,
-// wall_ns/thread counts, observer/window/pairs each null or a number).
+// wall_ns/thread counts, observer/window/pairs/round each null or a
+// number).
 bool validate_span(const json::Value& span, std::string* error);
 
 // RAII harness hook used by the instrumented binaries: enables collection
@@ -64,6 +75,11 @@ class RunSession {
 
   // Binary-specific report block, e.g. the Eq. 12/13 evaluation summary.
   void set_extra(json::Value extra) { extra_ = std::move(extra); }
+
+  // Merges one key into the extra block without clobbering what set_extra
+  // installed (used e.g. to fold the telemetry health summary into a
+  // report that already carries an evaluation block).
+  void merge_extra(const std::string& key, json::Value value);
 
   // Writes the report and closes the trace now (idempotent; the
   // destructor calls this).

@@ -14,6 +14,20 @@ std::uint64_t trace_thread_id() {
   return id;
 }
 
+SpanContext& span_context() {
+  thread_local SpanContext context;
+  return context;
+}
+
+ScopedSpanContext::ScopedSpanContext(std::int64_t round, std::int64_t observer)
+    : saved_(span_context()) {
+  SpanContext& context = span_context();
+  if (round >= 0) context.round = round;
+  if (observer >= 0) context.observer = observer;
+}
+
+ScopedSpanContext::~ScopedSpanContext() { span_context() = saved_; }
+
 TraceRecorder::TraceRecorder(const std::string& path)
     : out_(path, std::ios::out | std::ios::trunc) {
   if (!out_) throw InvalidArgument("cannot open trace file: " + path);
@@ -22,6 +36,7 @@ TraceRecorder::TraceRecorder(const std::string& path)
 TraceRecorder::~TraceRecorder() { flush(); }
 
 void TraceRecorder::record(const SpanEvent& event) {
+  const SpanContext& context = span_context();
   std::string line;
   line.reserve(128);
   line += "{\"phase\":";
@@ -32,9 +47,11 @@ void TraceRecorder::record(const SpanEvent& event) {
     line += "\":";
     line += v < 0 ? "null" : std::to_string(v);
   };
-  int_or_null("observer", event.observer);
+  int_or_null("observer",
+              event.observer >= 0 ? event.observer : context.observer);
   int_or_null("window", event.window);
   int_or_null("pairs", event.pairs);
+  int_or_null("round", event.round >= 0 ? event.round : context.round);
   line += ",\"wall_ns\":" + std::to_string(event.wall_ns);
   line += ",\"thread\":" + std::to_string(trace_thread_id());
   line += "}\n";

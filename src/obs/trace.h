@@ -4,9 +4,11 @@
 // Span taxonomy (DESIGN.md §7): every span carries `phase` (which stage of
 // Algorithm 1 or the harness produced it), `wall_ns`, and `thread` (a
 // small per-process sequential id assigned on a thread's first span);
-// `observer`, `window` and `pairs` are contextual and emitted as null when
-// the phase has no such notion. The file is valid JSONL: one complete
-// object per line, flushed on close.
+// `observer`, `window`, `pairs` and `round` are contextual and emitted as
+// null when the phase has no such notion; `round` and `observer` are
+// inherited from the thread's SpanContext when the span itself does not
+// set them. The file is valid JSONL: one complete object per line,
+// flushed on close.
 #pragma once
 
 #include <cstdint>
@@ -24,7 +26,34 @@ struct SpanEvent {
   std::int64_t observer = -1;   // observing node id
   std::int64_t window = -1;     // window ordinal within the run
   std::int64_t pairs = -1;      // pair count the span covered
+  std::int64_t round = -1;      // confirmation-round id the span belongs to
   std::uint64_t wall_ns = 0;    // span duration
+};
+
+// Thread-local causal context. The stream engine (and the service's pump
+// workers) install the current confirmation-round id and observing session
+// before running detection, so spans recorded by core:: code — which knows
+// nothing about rounds — still join the trace per round: record() fills
+// any SpanEvent field left at -1 from the installed context.
+struct SpanContext {
+  std::int64_t round = -1;
+  std::int64_t observer = -1;
+};
+
+SpanContext& span_context();
+
+// RAII install/restore of the calling thread's SpanContext. Fields passed
+// as -1 keep whatever the enclosing scope installed.
+class ScopedSpanContext {
+ public:
+  ScopedSpanContext(std::int64_t round, std::int64_t observer);
+  ~ScopedSpanContext();
+
+  ScopedSpanContext(const ScopedSpanContext&) = delete;
+  ScopedSpanContext& operator=(const ScopedSpanContext&) = delete;
+
+ private:
+  SpanContext saved_;
 };
 
 // Small sequential id of the calling thread (0 for the first thread that

@@ -13,7 +13,8 @@
 //
 // Wire format ("VPSC", version 1) mirrors the engine codec: fixed-order
 // little-endian fields, doubles as IEEE-754 bit patterns, each session's
-// engine checkpoint embedded as a length-prefixed version-1 VPCK blob,
+// engine checkpoint embedded as a length-prefixed, self-versioned VPCK
+// blob (the engine codec owns that version),
 // and a trailing FNV-1a checksum. decode rejects malformed input with a
 // one-line reason; save is crash-safe (tmp + rename).
 #pragma once

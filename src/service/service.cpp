@@ -1,6 +1,7 @@
 #include "service/service.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/error.h"
@@ -83,6 +84,14 @@ DetectionService::DetectionService(ServiceConfig config)
                                       config_.shards, 1)) {
   VP_REQUIRE(config_.shards >= 1);
   VP_REQUIRE(config_.max_sessions >= 1);
+  // Resolve per-shard latency sinks up front (the restore constructor
+  // delegates here, so both paths get them); recording is still gated on
+  // obs::enabled() at pump time.
+  shard_round_ns_.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shard_round_ns_.push_back(&obs::registry().histogram(
+        "service.shard" + std::to_string(i) + ".round_ns"));
+  }
 }
 
 DetectionService::DetectionService(ServiceConfig config,
@@ -292,14 +301,23 @@ std::size_t DetectionService::pump() {
     // One pool task per shard; each drains its own batch FIFO, so a
     // session's rounds run in order on a single worker. Which shard runs
     // on which worker is scheduler whim — results never depend on it.
-    parallel_for(config_.threads, batches.size(),
-                 [&](std::size_t /*worker*/, std::size_t index) {
-                   for (PendingRound& pending : batches[index]) {
-                     pending.result = pending.session->engine
-                                          .run_prepared_round(
-                                              std::move(pending.input));
-                   }
-                 });
+    parallel_for(
+        config_.threads, batches.size(),
+        [&](std::size_t /*worker*/, std::size_t index) {
+          obs::Histogram* shard_hist =
+              instrumented ? shard_round_ns_[index] : nullptr;
+          for (PendingRound& pending : batches[index]) {
+            // Session id as the span-context observer: detector-internal
+            // spans recorded on this worker join to the right session and
+            // round even though the engine itself knows neither.
+            obs::ScopedSpanContext span_context(
+                static_cast<std::int64_t>(pending.input.round_id),
+                static_cast<std::int64_t>(pending.session_id));
+            obs::ScopedTimer round_timer(shard_hist);
+            pending.result = pending.session->engine.run_prepared_round(
+                std::move(pending.input));
+          }
+        });
     pump_timer.stop();
 
     // Deliver after the join, shard-major and FIFO within each shard — a

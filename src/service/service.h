@@ -50,6 +50,10 @@
 
 #include "stream/engine.h"
 
+namespace vp::obs {
+class Histogram;
+}  // namespace vp::obs
+
 namespace vp::service {
 
 struct ServiceCheckpoint;  // service/checkpoint.h
@@ -229,6 +233,10 @@ class DetectionService {
 
   ServiceConfig config_;
   std::vector<Shard> shards_;
+  // Per-shard round-latency histograms ("service.shard<k>.round_ns"),
+  // resolved once at construction; registry nodes are address-stable so
+  // pump workers record without a lookup. Parallel to shards_.
+  std::vector<obs::Histogram*> shard_round_ns_;
   std::function<void(const SessionRound&)> callback_;
   Stats stats_;
   std::size_t sessions_active_ = 0;

@@ -13,7 +13,10 @@ namespace vp::stream {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4b435056u;  // "VPCK" little-endian
-constexpr std::uint32_t kVersion = 1;
+// Version 2 adds next_round_id after the admission bucket; version 1 is
+// still decoded (next_round_id defaults to stats.rounds).
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kMinVersion = 1;
 
 std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
 
@@ -92,6 +95,7 @@ std::vector<std::uint8_t> encode_checkpoint(
   w.put_f64(checkpoint.last_round_time_s);
   w.put_i64(checkpoint.bucket_second);
   w.put_u64(checkpoint.bucket_accepted);
+  w.put_u64(checkpoint.next_round_id);
   encode_stats(w, checkpoint.stats);
   w.put_u64(checkpoint.identities.size());
   for (const IdentityCheckpoint& ic : checkpoint.identities) {
@@ -132,7 +136,7 @@ bool decode_checkpoint(std::span<const std::uint8_t> bytes,
   if (!r.get_u32(magic) || magic != kMagic) {
     return fail(error, "checkpoint: bad magic (not a VPCK checkpoint)");
   }
-  if (!r.get_u32(version) || version != kVersion) {
+  if (!r.get_u32(version) || version < kMinVersion || version > kVersion) {
     return fail(error, "checkpoint: unsupported version");
   }
 
@@ -140,10 +144,18 @@ bool decode_checkpoint(std::span<const std::uint8_t> bytes,
   std::uint64_t identity_count = 0;
   if (!r.get_u64(cp.config_hash) || !r.get_f64(cp.next_round_s) ||
       !r.get_f64(cp.last_round_time_s) || !r.get_i64(cp.bucket_second) ||
-      !r.get_u64(cp.bucket_accepted) || !decode_stats(r, cp.stats) ||
-      !r.get_u64(identity_count)) {
+      !r.get_u64(cp.bucket_accepted)) {
     return fail(error, "checkpoint: truncated engine fields");
   }
+  if (version >= 2 && !r.get_u64(cp.next_round_id)) {
+    return fail(error, "checkpoint: truncated engine fields");
+  }
+  if (!decode_stats(r, cp.stats) || !r.get_u64(identity_count)) {
+    return fail(error, "checkpoint: truncated engine fields");
+  }
+  // v1 predates round ids; every executed round was also prepared, so the
+  // rounds counter is the best (and usually exact) continuation point.
+  if (version < 2) cp.next_round_id = cp.stats.rounds;
   // Each identity needs at least id + last_heard + capacity + size + the
   // two Welford doubles — reject absurd counts before reserving.
   if (identity_count > r.remaining() / (6 * 8)) {

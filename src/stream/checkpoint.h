@@ -13,14 +13,18 @@
 // every thread count. Enforced by tests/test_checkpoint.cpp over highway
 // and field-test traces.
 //
-// Wire format ("voiceprint checkpoint", version 1): magic "VPCK",
+// Wire format ("voiceprint checkpoint", version 2): magic "VPCK",
 // u32 version, the fields below in fixed order, doubles as IEEE-754 bit
 // patterns (common/binio.h), and a trailing FNV-1a checksum over
-// everything before it. decode_checkpoint rejects bad magic, unknown
-// versions, truncation, trailing garbage, checksum mismatches and
-// structurally invalid contents (unsorted ring times, rings over
-// capacity) with a one-line reason — a corrupted checkpoint is a
-// diagnosable error, never UB. save_checkpoint writes crash-safely:
+// everything before it. Version 2 adds next_round_id (the causal round
+// counter) after the admission bucket; version-1 blobs still decode,
+// with next_round_id defaulted to stats.rounds — exact when every
+// prepared round also executed, best-effort under deferred-round
+// shedding. decode_checkpoint rejects bad magic, unknown versions,
+// truncation, trailing garbage, checksum mismatches and structurally
+// invalid contents (unsorted ring times, rings over capacity) with a
+// one-line reason — a corrupted checkpoint is a diagnosable error,
+// never UB. save_checkpoint writes crash-safely:
 // the bytes go to "<path>.tmp" and are renamed over <path> only after a
 // successful flush, so a crash mid-save leaves the previous checkpoint
 // intact.
@@ -52,6 +56,9 @@ struct EngineCheckpoint {
   double last_round_time_s = -1.0;
   std::int64_t bucket_second = 0;
   std::uint64_t bucket_accepted = 0;
+  // Causal id of the next prepared round (engine next_round_id()); keeps
+  // telemetry round ids and trace joins continuous across a restore.
+  std::uint64_t next_round_id = 0;
   StreamEngine::Stats stats;
   std::vector<IdentityCheckpoint> identities;  // ascending id
 };
@@ -64,7 +71,7 @@ struct EngineCheckpoint {
 // which never change results.
 std::uint64_t engine_config_hash(const StreamEngineConfig& config);
 
-// Serialises to the version-1 wire format described above.
+// Serialises to the version-2 wire format described above.
 std::vector<std::uint8_t> encode_checkpoint(const EngineCheckpoint& checkpoint);
 
 // Parses and validates; returns false with a one-line reason in `error`

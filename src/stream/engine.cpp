@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "obs/runtime.h"
 #include "obs/timer.h"
+#include "obs/trace.h"
 #include "stream/checkpoint.h"
 
 namespace vp::stream {
@@ -93,6 +94,7 @@ StreamEngine::StreamEngine(StreamEngineConfig config,
   VP_REQUIRE(checkpoint.config_hash == engine_config_hash(config_));
   next_round_ = checkpoint.next_round_s;
   last_round_time_ = checkpoint.last_round_time_s;
+  next_round_id_ = checkpoint.next_round_id;
   bucket_second_ = checkpoint.bucket_second;
   bucket_accepted_ = checkpoint.bucket_accepted;
   stats_ = checkpoint.stats;
@@ -109,6 +111,7 @@ EngineCheckpoint StreamEngine::checkpoint() const {
   cp.config_hash = engine_config_hash(config_);
   cp.next_round_s = next_round_;
   cp.last_round_time_s = last_round_time_;
+  cp.next_round_id = next_round_id_;
   cp.bucket_second = bucket_second_;
   cp.bucket_accepted = bucket_accepted_;
   cp.stats = stats_;
@@ -268,6 +271,7 @@ void StreamEngine::run_round(double t) {
   }
 
   RoundInput input;
+  input.round_id = next_round_id_++;
   input.time_s = t;
   input.density_per_km = density;
   input.series = std::move(round_series_);
@@ -280,16 +284,22 @@ void StreamEngine::run_round(double t) {
 
 const StreamRound& StreamEngine::run_prepared_round(RoundInput input) {
   const bool instrumented = obs::enabled();
+  // Detector-internal spans on this thread inherit the round id (and, in
+  // service mode, the session id the pump worker installed).
+  obs::ScopedSpanContext span_context(
+      static_cast<std::int64_t>(input.round_id), -1);
   obs::ScopedTimer round_timer =
       instrumented
           ? obs::ScopedTimer(
                 sinks().round_ns, obs::trace(),
                 {.phase = "stream.round",
                  .pairs = static_cast<std::int64_t>(
-                     input.series.size() * (input.series.size() - 1) / 2)})
+                     input.series.size() * (input.series.size() - 1) / 2),
+                 .round = static_cast<std::int64_t>(input.round_id)})
           : obs::ScopedTimer();
 
   StreamRound round;
+  round.round_id = input.round_id;
   round.time_s = input.time_s;
   round.identities_heard = input.series.size();
   round.density_per_km = input.density_per_km;

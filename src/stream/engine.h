@@ -83,6 +83,7 @@ struct StreamEngineConfig {
 
 // What one confirmation round produced.
 struct StreamRound {
+  std::uint64_t round_id = 0;        // causal id, sequential per engine
   double time_s = 0.0;               // window is [time_s - observation, time_s)
   std::size_t identities_heard = 0;  // series handed to the detector
   double density_per_km = 0.0;       // Eq. 9 over the estimation period
@@ -97,6 +98,12 @@ struct StreamRound {
 // serving layer (service::DetectionService) run the expensive part later
 // on another thread without touching parity.
 struct RoundInput {
+  // Causal round id, assigned at preparation time (sequential per
+  // engine, checkpointed). Spans recorded while the round executes carry
+  // it — detector-internal spans inherit it through the thread's
+  // SpanContext — so a trace joins per confirmation round even when the
+  // service runs rounds on pool workers.
+  std::uint64_t round_id = 0;
   double time_s = 0.0;  // window is [time_s - observation, time_s)
   double density_per_km = 0.0;
   std::vector<core::NamedSeries> series;
@@ -200,6 +207,9 @@ class StreamEngine {
   const Stats& stats() const { return stats_; }
   std::size_t identities_tracked() const { return states_.size(); }
   double next_round_time() const { return next_round_; }
+  // Id the next prepared round will carry (count of rounds prepared so
+  // far; survives checkpoint/restore).
+  std::uint64_t next_round_id() const { return next_round_id_; }
   const StreamEngineConfig& config() const { return config_; }
 
  private:
@@ -224,6 +234,7 @@ class StreamEngine {
 
   double next_round_ = 0.0;
   double last_round_time_ = -1.0;
+  std::uint64_t next_round_id_ = 0;
   // Admission bucket: accepted count within [bucket_second_, +1 s).
   std::int64_t bucket_second_ = 0;
   std::uint64_t bucket_accepted_ = 0;

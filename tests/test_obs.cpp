@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -110,6 +112,60 @@ TEST(ObsHistogram, ConcurrentRecordsKeepExactCountAndSum) {
   EXPECT_DOUBLE_EQ(s.sum, expected_sum);
   EXPECT_DOUBLE_EQ(s.min, 0.0);
   EXPECT_DOUBLE_EQ(s.max, 6.0);
+}
+
+// A sample exactly on a bucket's upper bound belongs to that bucket:
+// bucket i covers (bounds[i-1], bounds[i]]. One sample per bound must
+// reproduce the bounds exactly under the rank convention.
+TEST(ObsHistogram, BoundaryValuesLandInOwningBucket) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  for (double v : {1.0, 2.0, 4.0}) h.record(v);
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0 / 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(2.0 / 3.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+}
+
+// Non-finite samples must not poison count/sum/quantiles — they are
+// refused and tallied in the snapshot's `rejected` counter instead, so
+// a telemetry consumer can see that something upstream produced NaN.
+TEST(ObsHistogram, NonFiniteSamplesRejectedAndCounted) {
+  obs::Histogram h({10.0});
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  h.record(std::numeric_limits<double>::infinity());
+  h.record(-std::numeric_limits<double>::infinity());
+  h.record(5.0);
+  const obs::HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.rejected, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 5.0);
+  EXPECT_TRUE(std::isfinite(s.mean));
+  EXPECT_TRUE(std::isfinite(s.p99));
+  h.reset();
+  EXPECT_EQ(h.snapshot().rejected, 0u);
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+// Degenerate shapes: a single-bucket histogram still interpolates
+// within its one bucket (clamped to the observed extremes), and an
+// empty histogram answers 0 for every quantile instead of reading
+// uninitialised bucket state.
+TEST(ObsHistogram, SingleBucketAndEmptyQuantiles) {
+  obs::Histogram single({8.0});
+  for (double v : {2.0, 4.0, 6.0, 8.0}) single.record(v);
+  const obs::HistogramSnapshot s = single.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(single.quantile(1.0), 8.0);
+  EXPECT_GE(single.quantile(0.5), s.min);
+  EXPECT_LE(single.quantile(0.5), s.max);
+  EXPECT_DOUBLE_EQ(s.p50, single.quantile(0.5));
+
+  obs::Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.99), 0.0);
 }
 
 TEST(ObsRegistry, InstrumentAddressesAreStableAcrossReset) {

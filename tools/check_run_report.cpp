@@ -4,10 +4,11 @@
 //                    [--require <counter>]... [--stream-bench <bench.json>]
 //                    [--service-bench <bench.json>] [--chaos-bench <bench.json>]
 //                    [--comparison-bench <bench.json>]
+//                    [--telemetry <telemetry.jsonl>]
 //
-// The positional run report may be omitted when only validating bench
-// artefacts (e.g. `check_run_report --chaos-bench BENCH_chaos.json`);
-// --trace and --require need the report they qualify.
+// The positional run report may be omitted when only validating bench or
+// telemetry artefacts (e.g. `check_run_report --chaos-bench
+// BENCH_chaos.json`); --trace and --require need the report they qualify.
 //
 // Parses the report and validates it against voiceprint.run_report/v1 via
 // obs::validate_run_report — the same function the unit tests call, so
@@ -26,7 +27,10 @@
 // (voiceprint.comparison_bench/v1, including the cascade exit-tier
 // conservation law pairs_comparable = lb_kim_pruned + lb_keogh_pruned +
 // early_abandoned + full_sweeps, and that the exact-vs-pruned verdict
-// cross-check passed). Exit status 0
+// cross-check passed). With --telemetry, every JSONL frame must pass
+// obs::TelemetryValidator (voiceprint.telemetry/v1 schema, gapless frame
+// sequence, non-decreasing stream clock, counter monotonicity, histogram
+// shape, and the conservation laws re-evaluated per frame). Exit status 0
 // on success, 1 on any violation (with
 // a one-line reason on stderr). Used by scripts/smoke.sh (the `smoke`
 // ctest).
@@ -40,6 +44,7 @@
 #include "fault/report.h"
 #include "obs/json.h"
 #include "obs/report.h"
+#include "obs/telemetry.h"
 #include "service/report.h"
 #include "stream/report.h"
 
@@ -188,6 +193,44 @@ int check_comparison_bench(const std::string& path) {
   return 0;
 }
 
+int check_telemetry(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "check_run_report: cannot read " << path << "\n";
+    return 1;
+  }
+  vp::obs::TelemetryValidator validator;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    vp::obs::json::Value frame;
+    try {
+      frame = vp::obs::json::parse(line);
+    } catch (const std::exception& e) {
+      std::cerr << "check_run_report: " << path << ":" << lineno << ": "
+                << e.what() << "\n";
+      return 1;
+    }
+    std::string error;
+    if (!validator.check_frame(frame, &error)) {
+      std::cerr << "check_run_report: " << path << ":" << lineno << ": "
+                << error << "\n";
+      return 1;
+    }
+  }
+  std::string error;
+  if (!validator.finish(&error)) {
+    std::cerr << "check_run_report: " << path << ": " << error << "\n";
+    return 1;
+  }
+  std::cout << "ok: " << path << " (" << validator.frames()
+            << " telemetry frames, " << validator.alerts_seen()
+            << " alerts)\n";
+  return 0;
+}
+
 int check_trace(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -231,15 +274,16 @@ int main(int argc, char** argv) {
       "usage: check_run_report [report.json] [--trace <trace.jsonl>] "
       "[--require <counter>]... [--stream-bench <bench.json>] "
       "[--service-bench <bench.json>] [--chaos-bench <bench.json>] "
-      "[--comparison-bench <bench.json>]\n"
-      "       (report.json may be omitted when only bench artefacts are "
-      "checked)\n";
+      "[--comparison-bench <bench.json>] [--telemetry <telemetry.jsonl>]\n"
+      "       (report.json may be omitted when only bench/telemetry "
+      "artefacts are checked)\n";
   std::string report_path;
   std::string trace_path;
   std::string stream_bench_path;
   std::string service_bench_path;
   std::string chaos_bench_path;
   std::string comparison_bench_path;
+  std::string telemetry_path;
   std::vector<std::string> required_counters;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -255,6 +299,8 @@ int main(int argc, char** argv) {
       chaos_bench_path = argv[++i];
     } else if (arg == "--comparison-bench" && i + 1 < argc) {
       comparison_bench_path = argv[++i];
+    } else if (arg == "--telemetry" && i + 1 < argc) {
+      telemetry_path = argv[++i];
     } else if (report_path.empty()) {
       report_path = arg;
     } else {
@@ -265,7 +311,8 @@ int main(int argc, char** argv) {
   const bool has_bench = !stream_bench_path.empty() ||
                          !service_bench_path.empty() ||
                          !chaos_bench_path.empty() ||
-                         !comparison_bench_path.empty();
+                         !comparison_bench_path.empty() ||
+                         !telemetry_path.empty();
   if (report_path.empty() &&
       (!has_bench || !trace_path.empty() || !required_counters.empty())) {
     std::cerr << kUsage;
@@ -284,5 +331,6 @@ int main(int argc, char** argv) {
   if (!comparison_bench_path.empty()) {
     status |= check_comparison_bench(comparison_bench_path);
   }
+  if (!telemetry_path.empty()) status |= check_telemetry(telemetry_path);
   return status;
 }

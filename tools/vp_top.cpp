@@ -1,0 +1,263 @@
+// Live terminal view over a telemetry JSONL stream (DESIGN.md §12):
+//
+//   vp_top <telemetry.jsonl> [--once] [--interval-ms <n>]
+//
+// Re-reads the frame stream each refresh and renders what an operator
+// watches during a run: beacon/round throughput (cumulative totals plus
+// the rate over the newest frame interval), every shed counter that has
+// fired, per-shard round latency (p50/p95/p99 from the
+// service.shard<k>.round_ns and stream.round_ns timing histograms), and
+// the HealthMonitor alert count with the most recent alert's detail.
+//
+// --once prints a single snapshot and exits (exit 1 when the file holds
+// no frames — how smoke.sh asserts telemetry actually flowed); the
+// default follow mode clears the screen and refreshes every
+// --interval-ms (default 1000) until interrupted. Frames are parsed with
+// the same JSON layer the validator uses; malformed lines are counted
+// and skipped, never fatal — vp_top is a viewer, check_run_report is the
+// gate.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/table.h"
+#include "obs/json.h"
+
+namespace {
+
+using vp::obs::json::Value;
+
+struct LatencyRow {
+  double count = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+// Everything one pass over the frame stream yields.
+struct StreamState {
+  std::size_t frames = 0;
+  std::size_t bad_lines = 0;
+  std::uint64_t last_seq = 0;
+  double stream_time_s = 0.0;
+  double rate_window_s = 0.0;  // stream time between the last two frames
+  std::map<std::string, std::uint64_t> totals;      // accumulated deltas
+  std::map<std::string, std::int64_t> last_deltas;  // newest frame only
+  std::map<std::string, double> gauges;             // newest frame
+  std::map<std::string, LatencyRow> latency;        // newest frame's timing
+  std::uint64_t alerts = 0;
+  std::string last_alert;
+};
+
+bool scan_file(const std::string& path, StreamState& state) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  double prev_time_s = 0.0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Value frame;
+    try {
+      frame = vp::obs::json::parse(line);
+    } catch (const std::exception&) {
+      ++state.bad_lines;
+      continue;
+    }
+    if (!frame.is_object()) {
+      ++state.bad_lines;
+      continue;
+    }
+    prev_time_s = state.stream_time_s;
+    if (const Value* v = frame.find("seq"); v != nullptr && v->is_number()) {
+      state.last_seq = static_cast<std::uint64_t>(v->as_number());
+    }
+    if (const Value* v = frame.find("stream_time_s");
+        v != nullptr && v->is_number()) {
+      state.stream_time_s = v->as_number();
+    }
+    state.last_deltas.clear();
+    if (const Value* counters = frame.find("counters");
+        counters != nullptr && counters->is_object()) {
+      for (const auto& [name, delta] : counters->as_object()) {
+        if (!delta.is_number()) continue;
+        const auto d = static_cast<std::int64_t>(delta.as_number());
+        state.last_deltas[name] = d;
+        state.totals[name] += static_cast<std::uint64_t>(d);
+      }
+    }
+    if (const Value* gauges = frame.find("gauges");
+        gauges != nullptr && gauges->is_object()) {
+      for (const auto& [name, v] : gauges->as_object()) {
+        if (v.is_number()) state.gauges[name] = v.as_number();
+      }
+    }
+    if (const Value* timing = frame.find("timing");
+        timing != nullptr && timing->is_object()) {
+      for (const auto& [name, hist] : timing->as_object()) {
+        if (!hist.is_object()) continue;
+        LatencyRow row;
+        const auto field = [&](const char* key) {
+          const Value* v = hist.find(key);
+          return v != nullptr && v->is_number() ? v->as_number() : 0.0;
+        };
+        row.count = field("count");
+        row.p50 = field("p50");
+        row.p95 = field("p95");
+        row.p99 = field("p99");
+        state.latency[name] = row;
+      }
+    }
+    if (const Value* alerts = frame.find("alerts");
+        alerts != nullptr && alerts->is_array()) {
+      for (const Value& alert : alerts->as_array()) {
+        ++state.alerts;
+        if (!alert.is_object()) continue;
+        const Value* invariant = alert.find("invariant");
+        const Value* detail = alert.find("detail");
+        state.last_alert =
+            (invariant != nullptr && invariant->is_string()
+                 ? invariant->as_string()
+                 : std::string("?")) +
+            ": " +
+            (detail != nullptr && detail->is_string() ? detail->as_string()
+                                                      : std::string());
+      }
+    }
+    ++state.frames;
+    state.rate_window_s = state.stream_time_s - prev_time_s;
+  }
+  return true;
+}
+
+std::string rate_cell(std::int64_t delta, double window_s) {
+  if (window_s <= 0.0) return "-";
+  return vp::Table::num(static_cast<double>(delta) / window_s, 1) + "/s";
+}
+
+std::string us(double ns) { return vp::Table::num(ns / 1000.0, 1); }
+
+void render(const std::string& path, const StreamState& state,
+            std::ostream& os) {
+  os << path << "  frames=" << state.frames << "  seq=" << state.last_seq
+     << "  stream_time=" << vp::Table::num(state.stream_time_s, 2) << "s";
+  if (state.bad_lines > 0) os << "  bad_lines=" << state.bad_lines;
+  os << "\n\n";
+
+  // Throughput: the counters an operator watches, with the rate over the
+  // newest frame interval (stream-clock, not wall-clock).
+  static constexpr const char* kThroughput[] = {
+      "stream.beacons_offered",  "stream.beacons_ingested",
+      "stream.rounds",           "service.beacons_offered",
+      "service.beacons_ingested", "service.rounds_executed",
+      "service.pumps",           "fault.offered",
+      "fault.emitted",           "detect.calls",
+  };
+  vp::Table throughput({"counter", "total", "rate"});
+  for (const char* name : kThroughput) {
+    const auto it = state.totals.find(name);
+    if (it == state.totals.end()) continue;
+    const auto d = state.last_deltas.find(name);
+    throughput.add_row(
+        {name, std::to_string(it->second),
+         rate_cell(d == state.last_deltas.end() ? 0 : d->second,
+                   state.rate_window_s)});
+  }
+  throughput.print(os);
+  os << "\n";
+
+  // Every shed/drop counter that has actually fired.
+  vp::Table shed({"shed counter", "total"});
+  bool any_shed = false;
+  for (const auto& [name, total] : state.totals) {
+    if (total == 0) continue;
+    if (name.find("shed") == std::string::npos &&
+        name.find("dropped") == std::string::npos &&
+        name.find("evict") == std::string::npos) {
+      continue;
+    }
+    shed.add_row({name, std::to_string(total)});
+    any_shed = true;
+  }
+  if (any_shed) {
+    shed.print(os);
+    os << "\n";
+  }
+
+  // Round latency per shard (µs), from the newest frame's cumulative
+  // timing histograms.
+  vp::Table latency({"latency (us)", "count", "p50", "p95", "p99"});
+  bool any_latency = false;
+  for (const auto& [name, row] : state.latency) {
+    const bool round_hist =
+        name == "stream.round_ns" || name == "service.pump_ns" ||
+        (name.rfind("service.shard", 0) == 0 &&
+         name.size() >= 9 && name.compare(name.size() - 9, 9, ".round_ns") == 0);
+    if (!round_hist || row.count <= 0.0) continue;
+    latency.add_row({name, vp::Table::num(row.count, 0), us(row.p50),
+                     us(row.p95), us(row.p99)});
+    any_latency = true;
+  }
+  if (any_latency) {
+    latency.print(os);
+    os << "\n";
+  }
+
+  os << "alerts: " << state.alerts;
+  if (!state.last_alert.empty()) os << "  last: " << state.last_alert;
+  os << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr const char* kUsage =
+      "usage: vp_top <telemetry.jsonl> [--once] [--interval-ms <n>]\n";
+  std::string path;
+  bool once = false;
+  long interval_ms = 1000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--once") {
+      once = true;
+    } else if (arg == "--interval-ms" && i + 1 < argc) {
+      interval_ms = std::stol(argv[++i]);
+      if (interval_ms < 1) interval_ms = 1;
+    } else if (path.empty() && arg.rfind("--", 0) != 0) {
+      path = arg;
+    } else {
+      std::cerr << kUsage;
+      return 1;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << kUsage;
+    return 1;
+  }
+
+  for (;;) {
+    StreamState state;
+    if (!scan_file(path, state)) {
+      std::cerr << "vp_top: cannot read " << path << "\n";
+      return 1;
+    }
+    std::ostringstream out;
+    render(path, state, out);
+    if (once) {
+      std::cout << out.str();
+      if (state.frames == 0) {
+        std::cerr << "vp_top: no telemetry frames in " << path << "\n";
+        return 1;
+      }
+      return 0;
+    }
+    // Follow mode: home the cursor and repaint over the previous screen.
+    std::cout << "\x1b[H\x1b[2J" << out.str() << std::flush;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
