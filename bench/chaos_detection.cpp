@@ -20,6 +20,7 @@
 #include <fstream>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,8 @@
 #include "core/detector.h"
 #include "fault/injector.h"
 #include "fault/report.h"
+#include "fusion/checkpoint.h"
+#include "fusion/engine.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/runtime.h"
@@ -308,6 +311,254 @@ fault::ChaosRunResult run_service_chaos(
   }
   row.round_divergence = worst;
   row.max_divergence = max_divergence;
+  // Close every session (after the per-engine stats were harvested) so
+  // the session conservation law (opened = closed + evicted + active)
+  // stays exact for the later runs in this process; a destroyed service
+  // cannot retire the registry's active-sessions gauge.
+  for (std::size_t s = 1; s <= kSessions; ++s) {
+    svc->close(static_cast<service::SessionId>(s));
+  }
+  print_row(row);
+  return row;
+}
+
+// The collusion regression: corroboration must not hand a colluding
+// minority a better frame-up than they had alone. Three attacker sessions
+// feed the service crafted streams in which one legitimate identity's
+// beacon series is replayed under a second legitimate identity — a
+// perfect DTW twin, so their per-observer engines accuse the framed pair
+// every round — while six honest sessions stream the clean trace and
+// exonerate it. The fusion quorum has to hold: the framed identities are
+// never fused-accused, their trust recovers instead of decaying, and the
+// attackers pay the badmouth penalty until their vote weight is spent.
+// One mid-stream kill/restore round-trips the service AND the fusion
+// (VPFU) checkpoints together. Any gate failure exits loudly.
+fault::ChaosRunResult run_collusion_chaos(
+    const stream::StreamEngineConfig& engine_config,
+    const std::vector<fault::Beacon>& trace, double end_time,
+    const RoundMap& baseline, std::size_t threads) {
+  constexpr std::size_t kHonest = 6;
+  constexpr std::size_t kAttackers = 3;
+
+  // Identities the clean baseline ever flagged (the trace's real Sybil
+  // twins): fused accusations against those are correct detections.
+  // Everything else is an honest identity the collusion must not sink.
+  std::set<IdentityId> baseline_suspects;
+  for (const auto& [time, suspects] : baseline) {
+    baseline_suspects.insert(suspects.begin(), suspects.end());
+  }
+
+  // Frame targets: the two busiest identities the baseline never flagged
+  // — the hardest honest pair to protect, since every observer votes on
+  // them every epoch.
+  std::map<IdentityId, std::size_t> beacon_counts;
+  for (const fault::Beacon& b : trace) ++beacon_counts[b.id];
+  IdentityId frame_a = 0;
+  IdentityId frame_b = 0;
+  std::size_t best_a = 0;
+  std::size_t best_b = 0;
+  for (const auto& [id, count] : beacon_counts) {
+    if (baseline_suspects.count(id) != 0) continue;
+    if (count > best_a) {
+      frame_b = frame_a;
+      best_b = best_a;
+      frame_a = id;
+      best_a = count;
+    } else if (count > best_b) {
+      frame_b = id;
+      best_b = count;
+    }
+  }
+  if (best_b == 0) {
+    std::fprintf(stderr, "chaos: collusion needs two clean identities\n");
+    std::exit(1);
+  }
+
+  // The attackers' stream: frame_a's genuine beacons, each replayed 20 ms
+  // later under frame_b's identity — two identities, one RSSI voiceprint.
+  std::vector<fault::Beacon> crafted;
+  for (const fault::Beacon& b : trace) {
+    if (b.id != frame_a) continue;
+    crafted.push_back(b);
+    crafted.push_back({frame_b, b.time_s + 0.02, b.rssi_dbm});
+  }
+  std::sort(crafted.begin(), crafted.end(),
+            [](const fault::Beacon& a, const fault::Beacon& b) {
+              return a.time_s != b.time_s ? a.time_s < b.time_s : a.id < b.id;
+            });
+
+  struct SessionBeacon {
+    service::SessionId session;
+    fault::Beacon beacon;
+  };
+  std::vector<SessionBeacon> merged;
+  for (std::size_t s = 1; s <= kHonest; ++s) {
+    for (const fault::Beacon& b : trace) {
+      merged.push_back({static_cast<service::SessionId>(s), b});
+    }
+  }
+  for (std::size_t s = kHonest + 1; s <= kHonest + kAttackers; ++s) {
+    for (const fault::Beacon& b : crafted) {
+      merged.push_back({static_cast<service::SessionId>(s), b});
+    }
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const SessionBeacon& a, const SessionBeacon& b) {
+                     return a.beacon.time_s < b.beacon.time_s;
+                   });
+
+  service::ServiceConfig config;
+  config.shards = 3;
+  config.threads = threads;
+  config.engine = engine_config;
+  fusion::FusionConfig fusion_config;
+  fusion_config.epoch_period_s = engine_config.round_period_s;
+
+  std::map<service::SessionId, RoundMap> rounds;
+  auto record = [&rounds](const service::SessionRound& r) {
+    rounds[r.session][r.round.time_s] = r.round.suspects;
+  };
+  std::vector<fusion::FusedEpoch> epochs;
+  auto collect = [&epochs](const fusion::FusedEpoch& e) {
+    epochs.push_back(e);
+  };
+  std::optional<service::DetectionService> svc(std::in_place, config);
+  std::optional<fusion::FusionEngine> fuse(std::in_place, fusion_config);
+  auto wire = [&svc, &fuse, &record, &collect] {
+    svc->set_round_callback(record);
+    svc->add_round_listener(
+        [&fuse](const service::SessionRound& r) { fuse->observe(r); });
+    fuse->set_epoch_callback(collect);
+  };
+  wire();
+
+  const std::size_t kill_at = merged.size() / 2;
+  double last_time = 0.0;
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    if (i == kill_at) {
+      // The crash takes down service and fusion together; both restore
+      // from their own checkpoint bytes (mid-epoch for the fusion side).
+      svc->pump();  // drains queued rounds into the live fusion engine
+      const std::vector<std::uint8_t> svc_bytes =
+          service::encode_checkpoint(svc->checkpoint());
+      const std::vector<std::uint8_t> fuse_bytes =
+          fusion::encode_checkpoint(fuse->checkpoint());
+      svc.reset();
+      fuse.reset();
+      service::ServiceCheckpoint svc_restored;
+      fusion::FusionCheckpoint fuse_restored;
+      std::string error;
+      if (!service::decode_checkpoint(svc_bytes, &svc_restored, &error) ||
+          !fusion::decode_checkpoint(fuse_bytes, &fuse_restored, &error)) {
+        std::fprintf(stderr, "chaos: collusion checkpoint roundtrip: %s\n",
+                     error.c_str());
+        std::exit(1);
+      }
+      svc.emplace(config, svc_restored);
+      fuse.emplace(fusion_config, fuse_restored);
+      wire();
+    }
+    const SessionBeacon& sb = merged[i];
+    svc->ingest(sb.session, sb.beacon.id, sb.beacon.time_s, sb.beacon.rssi_dbm);
+    fuse->advance(sb.beacon.time_s);
+    last_time = std::max(last_time, sb.beacon.time_s);
+  }
+  const double horizon = std::max(end_time, last_time);
+  svc->advance_all_to(horizon);
+  fuse->advance(horizon);
+  fuse->finish();
+
+  // Gate A: no fused epoch ever accuses an identity the clean baseline
+  // never flagged — the frame-up must not land once, not just "rarely".
+  std::uint64_t framed_accusations = 0;
+  for (const fusion::FusedEpoch& epoch : epochs) {
+    for (const fusion::FusedVerdict& verdict : epoch.verdicts) {
+      if (verdict.accused && baseline_suspects.count(verdict.id) == 0) {
+        ++framed_accusations;
+        std::fprintf(stderr,
+                     "chaos: collusion landed on identity %llu in epoch "
+                     "%lld (%u/%u accusers)\n",
+                     static_cast<unsigned long long>(verdict.id),
+                     static_cast<long long>(epoch.index), verdict.accusations,
+                     verdict.voters);
+      }
+    }
+  }
+  // Gate B: every clean identity's trust holds above the honest floor
+  // (they were exonerated, so they should have *recovered* from 0.5).
+  constexpr double kHonestTrustFloor = 0.3;
+  double clean_trust_min = 1.0;
+  for (const auto& [id, score] : fuse->identity_trust().scores()) {
+    if (baseline_suspects.count(static_cast<IdentityId>(id)) != 0) continue;
+    clean_trust_min = std::min(clean_trust_min, score);
+  }
+  // Gate C: badmouthing cost the attackers real vote weight — every
+  // attacker session ends strictly below every honest session.
+  double attacker_trust_max = 0.0;
+  double honest_trust_min = 1.0;
+  for (std::size_t s = 1; s <= kHonest + kAttackers; ++s) {
+    const double score = fuse->observer_trust().get(s);
+    if (s <= kHonest) {
+      honest_trust_min = std::min(honest_trust_min, score);
+    } else {
+      attacker_trust_max = std::max(attacker_trust_max, score);
+    }
+  }
+  if (framed_accusations != 0 || clean_trust_min < kHonestTrustFloor ||
+      attacker_trust_max >= honest_trust_min) {
+    std::fprintf(stderr,
+                 "chaos: collusion gate failed — %llu framed accusations, "
+                 "clean trust min %.3f (floor %.2f), attacker trust %.3f vs "
+                 "honest %.3f\n",
+                 static_cast<unsigned long long>(framed_accusations),
+                 clean_trust_min, kHonestTrustFloor, attacker_trust_max,
+                 honest_trust_min);
+    std::exit(1);
+  }
+  std::printf(
+      "chaos: collusion held — ids %llu/%llu exonerated over %zu epochs, "
+      "clean trust >= %.2f, attacker trust %.2f < honest %.2f\n",
+      static_cast<unsigned long long>(frame_a),
+      static_cast<unsigned long long>(frame_b), epochs.size(), clean_trust_min,
+      attacker_trust_max, honest_trust_min);
+
+  const service::DetectionService::Stats& stats = svc->stats();
+  fault::ChaosRunResult row;
+  row.label = "collusion_cross_vouch";
+  row.fault_class = "collusion";
+  row.intensity = static_cast<double>(kAttackers) /
+                  static_cast<double>(kHonest + kAttackers);
+  row.kill_restore_cycles = 1;
+  // No injector in this run: the crafted streams are the fault. Source =
+  // emitted keeps the injector conservation law trivially exact.
+  row.source_beacons = merged.size();
+  row.emitted = merged.size();
+  row.offered = stats.beacons_offered;
+  row.ingested = stats.beacons_ingested;
+  row.shed_rate_limited = stats.beacons_shed_rate_limited;
+  row.shed_identity_cap = stats.beacons_shed_identity_cap;
+  row.shed_out_of_order = stats.beacons_shed_out_of_order;
+  row.shed_session_cap = stats.beacons_shed_session_cap;
+  svc->for_each_session([&row](service::SessionId,
+                               const stream::StreamEngine& engine) {
+    const stream::StreamEngine::Stats& es = engine.stats();
+    row.shed_invalid_rssi_non_finite += es.shed_invalid_rssi_non_finite;
+    row.shed_invalid_rssi_out_of_range += es.shed_invalid_rssi_out_of_range;
+    row.shed_invalid_time_non_finite += es.shed_invalid_time_non_finite;
+    row.shed_invalid_time_negative += es.shed_invalid_time_negative;
+  });
+  row.rounds = stats.rounds_executed;
+  // The honest sessions saw the clean trace: their rounds must match the
+  // baseline exactly (ceiling 0) even through the kill/restore.
+  double worst = 0.0;
+  for (std::size_t s = 1; s <= kHonest; ++s) {
+    worst = std::max(worst, divergence_vs(baseline, rounds[s]));
+  }
+  row.round_divergence = worst;
+  row.max_divergence = 0.0;
+  for (std::size_t s = 1; s <= kHonest + kAttackers; ++s) {
+    svc->close(s);  // retire the sessions gauge for the conservation law
+  }
   print_row(row);
   return row;
 }
@@ -473,6 +724,15 @@ int main(int argc, char** argv) {
                                    baseline, 1.0, run_flags.threads));
   telemetry.emit_now(sim_time);
 
+  // Cross-vouching collusion against the fusion quorum (DESIGN.md §13):
+  // three attacker sessions frame an honest identity pair; the run gates
+  // on the frame never fusing, honest trust holding, and the attackers'
+  // vote weight decaying — and its telemetry frame checks the fusion
+  // conservation law with real (non-zero) fusion counters.
+  runs.push_back(run_collusion_chaos(engine_config, trace, sim_time, baseline,
+                                     run_flags.threads));
+  telemetry.emit_now(sim_time);
+
   // Health gate 1: the whole faulted sweep — storms, floods, kill/restore
   // cycles — must leave every conservation law exact on every frame.
   if (monitor.alerts_total() != 0) {
@@ -480,6 +740,10 @@ int main(int argc, char** argv) {
                  "chaos_detection: health monitor raised %llu alert(s) on a "
                  "conserving run\n",
                  static_cast<unsigned long long>(monitor.alerts_total()));
+    for (const auto& [invariant, count] : monitor.alerts_by_invariant()) {
+      std::fprintf(stderr, "  %s: %llu\n", invariant.c_str(),
+                   static_cast<unsigned long long>(count));
+    }
     return 1;
   }
   // Health gate 2: break the stream admission law on purpose (offered

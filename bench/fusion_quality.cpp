@@ -1,0 +1,339 @@
+// Fusion accuracy bench (DESIGN.md §13): does cross-observer
+// corroboration actually beat the paper's single-observer detector?
+//
+// Sweeps observer count × attacker mix over the highway scenario. Each
+// config replays the fleet's merged beacon stream once through a sharded
+// service::DetectionService with a fusion::FusionEngine subscribed, and
+// scores THREE channels from that one replay (the labelled RateAverager
+// channels exist for exactly this):
+//   single — every delivered round's suspect set against the observer's
+//            own ground-truth window (Eq. 10/11 per (observer, period),
+//            Eq. 12/13 averaged): the paper's detector, as deployed.
+//   fused  — every closed fusion epoch's quorum verdicts against ground
+//            truth over the epoch's whole electorate.
+//   cpvsad — the cooperative position-verification baseline via the
+//            batch evaluation harness on the same world.
+// Writes BENCH_fusion.json (voiceprint.fusion_bench/v1, self-validated
+// before writing — including fused DR >= single DR and fused FPR <=
+// single FPR on every multi-observer row; checked again by
+// tools/check_run_report --fusion-bench and scripts/smoke.sh).
+//
+//   ./build/bench/fusion_quality                 # full sweep
+//   ./build/bench/fusion_quality --quick         # smoke-sized sweep
+//   ./build/bench/fusion_quality --observers 8 --density 15
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baseline/cpvsad.h"
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/detector.h"
+#include "fusion/engine.h"
+#include "fusion/report.h"
+#include "obs/report.h"
+#include "obs/telemetry.h"
+#include "service/service.h"
+#include "sim/metrics.h"
+#include "sim/runner.h"
+#include "sim/world.h"
+#include "stream/engine.h"
+
+namespace {
+
+using namespace vp;
+
+struct SweepPoint {
+  std::string label;
+  std::size_t observers = 0;
+  double density_per_km = 0.0;
+  double malicious_fraction = 0.0;
+  double sim_time_s = 0.0;
+};
+
+struct FleetRx {
+  double time_s;
+  NodeId observer;
+  IdentityId id;
+  double rssi_dbm;
+};
+
+std::string format_rate(const std::optional<double>& rate) {
+  if (!rate.has_value()) return "n/a";
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.3f", *rate);
+  return buf;
+}
+
+fusion::FusionBenchConfigResult run_point(const SweepPoint& point,
+                                          std::uint64_t seed,
+                                          std::size_t threads,
+                                          obs::TelemetryExporter& telemetry) {
+  sim::ScenarioConfig config;
+  config.density_per_km = point.density_per_km;
+  config.malicious_fraction = point.malicious_fraction;
+  config.sim_time_s = point.sim_time_s;
+  config.seed = seed;
+  sim::World world(config);
+  world.run();
+  const sim::GroundTruth& truth = world.truth();
+
+  const std::vector<NodeId> normals = world.normal_node_ids();
+  const std::size_t session_count =
+      std::min(point.observers, normals.size());
+  const std::vector<NodeId> observers(normals.begin(),
+                                      normals.begin() + session_count);
+  const double horizon = config.sim_time_s + 1.0;
+  const double end_time = world.detection_times().back();
+
+  std::vector<FleetRx> fleet;
+  for (NodeId observer : observers) {
+    const sim::RssiLog& log = world.node(observer).log();
+    for (IdentityId id : log.identities_heard(0.0, horizon, 1)) {
+      for (const sim::BeaconRecord& r : log.records(id, 0.0, horizon)) {
+        fleet.push_back({r.time_s, observer, id, r.rssi_dbm});
+      }
+    }
+  }
+  std::sort(fleet.begin(), fleet.end(), [](const FleetRx& a, const FleetRx& b) {
+    if (a.time_s != b.time_s) return a.time_s < b.time_s;
+    if (a.observer != b.observer) return a.observer < b.observer;
+    return a.id < b.id;
+  });
+
+  stream::StreamEngineConfig engine_config;
+  engine_config.observation_time_s = config.observation_time_s;
+  engine_config.round_period_s = config.detection_period_s;
+  engine_config.density_estimation_period_s =
+      config.density_estimation_period_s;
+  engine_config.max_transmission_range_m = config.max_transmission_range_m;
+  engine_config.min_samples = 4;  // World::observe's default
+  engine_config.detector = core::tuned_simulation_options(1);
+
+  service::ServiceConfig service_config;
+  service_config.shards = 4;
+  service_config.threads = threads;
+  service_config.max_sessions = observers.size() + 4;
+  service_config.engine = engine_config;
+
+  fusion::FusionConfig fusion_config;
+  fusion_config.epoch_period_s = config.detection_period_s;
+
+  service::DetectionService service(service_config);
+  fusion::FusionEngine fusion_engine(fusion_config);
+  sim::RateAverager rates;
+
+  // Channel "single": the paper's per-observer verdicts, scored per
+  // delivered round against that observer's own window.
+  service.set_round_callback([&](const service::SessionRound& round) {
+    telemetry.on_round(round.round.time_s);
+    const sim::ObservationWindow window = world.observe(
+        static_cast<NodeId>(round.session), round.round.time_s);
+    rates.add("single",
+              sim::score_detection(round.round.suspects, window, truth));
+  });
+  service.add_round_listener([&](const service::SessionRound& round) {
+    fusion_engine.observe(round);
+  });
+
+  // Channel "fused": one sample per closed epoch, over the epoch's whole
+  // electorate (every identity any observer compared).
+  fusion_engine.set_epoch_callback([&](const fusion::FusedEpoch& epoch) {
+    sim::DetectionCounts counts;
+    for (const fusion::FusedVerdict& verdict : epoch.verdicts) {
+      if (!truth.known(verdict.id)) continue;
+      if (truth.is_illegitimate(verdict.id)) {
+        ++counts.illegitimate;
+        if (verdict.accused) ++counts.detected_true;
+      } else {
+        ++counts.legitimate;
+        if (verdict.accused) ++counts.detected_false;
+      }
+    }
+    rates.add("fused", counts);
+  });
+
+  for (const FleetRx& rx : fleet) {
+    service.ingest(static_cast<service::SessionId>(rx.observer), rx.id,
+                   rx.time_s, rx.rssi_dbm);
+    fusion_engine.advance(rx.time_s);
+    telemetry.sample(rx.time_s);
+  }
+  service.advance_all_to(end_time);
+  fusion_engine.advance(end_time);
+  fusion_engine.finish();
+  for (NodeId observer : observers) {
+    service.close(static_cast<service::SessionId>(observer));
+  }
+  telemetry.sample(end_time);
+
+  // Channel "cpvsad": the cooperative baseline on the same world through
+  // the batch harness, with the same observer budget and window floor.
+  baseline::CpvsadDetector cpvsad;
+  sim::EvaluationOptions eval_options;
+  eval_options.max_observers = observers.size();
+  eval_options.min_samples = 4;
+  eval_options.threads = threads;
+  const sim::EvaluationResult cpvsad_result =
+      sim::evaluate(world, cpvsad, eval_options);
+
+  fusion::FusionBenchConfigResult row;
+  row.label = point.label;
+  row.observers = observers.size();
+  row.density_per_km = point.density_per_km;
+  row.attackers = config.malicious_count();
+  row.sim_time_s = point.sim_time_s;
+  const fusion::FusionEngine::Stats& fs = fusion_engine.stats();
+  row.rounds_delivered = fs.rounds_delivered;
+  row.rounds_fused = fs.rounds_fused;
+  row.rounds_expired = fs.rounds_expired;
+  row.rounds_pending = fusion_engine.rounds_pending();
+  row.epochs_closed = fs.epochs_closed;
+  row.votes_cast = fs.votes_cast;
+  row.single_dr = rates.average_dr_if_defined("single");
+  row.single_fpr = rates.average_fpr_if_defined("single");
+  row.single_dr_samples = rates.defined_dr_samples("single");
+  row.single_fpr_samples = rates.defined_fpr_samples("single");
+  row.fused_dr = rates.average_dr_if_defined("fused");
+  row.fused_fpr = rates.average_fpr_if_defined("fused");
+  row.fused_dr_samples = rates.defined_dr_samples("fused");
+  row.fused_fpr_samples = rates.defined_fpr_samples("fused");
+  if (cpvsad_result.dr_defined()) row.cpvsad_dr = cpvsad_result.average_dr;
+  if (cpvsad_result.fpr_defined()) row.cpvsad_fpr = cpvsad_result.average_fpr;
+
+  // End-of-run trust: pooled bounds over every scored id, plus the floor
+  // over identities the ground truth marks legitimate.
+  double trust_min = 1.0;
+  double trust_max = 0.0;
+  double honest_min = 1.0;
+  bool any_score = false;
+  for (const auto& [id, score] : fusion_engine.identity_trust().scores()) {
+    trust_min = std::min(trust_min, score);
+    trust_max = std::max(trust_max, score);
+    any_score = true;
+    const auto identity = static_cast<IdentityId>(id);
+    if (truth.known(identity) && !truth.is_illegitimate(identity)) {
+      honest_min = std::min(honest_min, score);
+    }
+  }
+  for (const auto& [id, score] : fusion_engine.observer_trust().scores()) {
+    trust_min = std::min(trust_min, score);
+    trust_max = std::max(trust_max, score);
+    any_score = true;
+  }
+  if (!any_score) {
+    trust_min = trust_max = honest_min = fusion_config.trust.initial;
+  }
+  row.trust_min = trust_min;
+  row.trust_max = trust_max;
+  row.honest_identity_trust_min = honest_min;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const RunFlags run_flags = parse_run_flags(args);
+  obs::RunSession session(args.program_name(), run_flags.metrics_out,
+                          run_flags.trace_out);
+  obs::HealthMonitor monitor = obs::HealthMonitor::with_default_invariants();
+  obs::TelemetryExporter telemetry(obs::telemetry_config_from_flags(run_flags));
+  if (telemetry.active()) telemetry.set_monitor(&monitor);
+
+  const bool quick = args.get_bool("quick", false);
+  const std::uint64_t seed = args.get_seed("seed", 5);
+  const std::string out_path = args.get("out", "BENCH_fusion.json");
+  const double density = args.get_double("density", 12.0);
+  const double sim_time = args.get_double("sim-time", quick ? 40.0 : 60.0);
+
+  // Observer count sweep at the paper's attacker mix, then an attacker
+  // mix sweep at a fixed fleet size: corroboration should pay more as
+  // either rises.
+  std::vector<SweepPoint> sweep;
+  // Corroboration needs coverage: a Sybil heard by only two observers can
+  // collect at most one accusation beyond the twin's owner, so the quick
+  // grid keeps the fleet at 6 rather than shrinking it below the
+  // min_corroboration regime.
+  const std::vector<std::size_t> observer_counts =
+      quick ? std::vector<std::size_t>{1, 6}
+            : std::vector<std::size_t>{1, 3, 6, 10};
+  for (std::size_t n : observer_counts) {
+    sweep.push_back({"observers_" + std::to_string(n), n, density, 0.05,
+                     sim_time});
+  }
+  for (double mix : quick ? std::vector<double>{0.15}
+                          : std::vector<double>{0.10, 0.15}) {
+    char label[40];
+    std::snprintf(label, sizeof(label), "attacker_mix_%02d",
+                  static_cast<int>(mix * 100.0 + 0.5));
+    sweep.push_back({label, 6, density, mix, sim_time});
+  }
+  if (args.has("observers")) {
+    const auto n = static_cast<std::size_t>(args.get_int("observers", 6));
+    sweep = {{"observers_" + std::to_string(n), n, density, 0.05, sim_time}};
+  }
+
+  std::vector<fusion::FusionBenchConfigResult> rows;
+  Table table({"config", "observers", "attackers", "epochs", "single DR/FPR",
+               "fused DR/FPR", "cpvsad DR/FPR", "honest trust"});
+  for (const SweepPoint& point : sweep) {
+    std::printf("fusion_quality: %s (%zu observers, %.0f%% malicious)...\n",
+                point.label.c_str(), point.observers,
+                point.malicious_fraction * 100.0);
+    const fusion::FusionBenchConfigResult row =
+        run_point(point, seed, run_flags.threads, telemetry);
+    char honest[16];
+    std::snprintf(honest, sizeof(honest), "%.2f",
+                  row.honest_identity_trust_min);
+    table.add_row({row.label, std::to_string(row.observers),
+                   std::to_string(row.attackers),
+                   std::to_string(row.epochs_closed),
+                   format_rate(row.single_dr) + "/" +
+                       format_rate(row.single_fpr),
+                   format_rate(row.fused_dr) + "/" +
+                       format_rate(row.fused_fpr),
+                   format_rate(row.cpvsad_dr) + "/" +
+                       format_rate(row.cpvsad_fpr),
+                   honest});
+    rows.push_back(row);
+  }
+  table.print(std::cout);
+  telemetry.finish(sim_time);
+
+  if (telemetry.active() && monitor.alerts_total() != 0) {
+    std::fprintf(stderr,
+                 "fusion_quality: health monitor raised %llu alert(s)\n",
+                 static_cast<unsigned long long>(monitor.alerts_total()));
+    return 1;
+  }
+  if (session.active()) {
+    obs::json::Object extra;
+    extra.emplace("configs", obs::json::Value(rows.size()));
+    session.set_extra(obs::json::Value(std::move(extra)));
+    if (telemetry.active()) session.merge_extra("health", monitor.summary());
+  }
+
+  const obs::json::Value report =
+      fusion::build_fusion_bench_report(args.program_name(), seed, rows);
+  std::string error;
+  if (!fusion::validate_fusion_bench(report, &error)) {
+    std::fprintf(stderr, "fusion_quality: self-check failed: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  std::ofstream out(out_path, std::ios::out | std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  out << report.dump(2) << "\n";
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  std::printf("fusion_quality: OK (%zu configs)\n", rows.size());
+  return 0;
+}

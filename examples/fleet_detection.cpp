@@ -21,11 +21,14 @@
 #include <algorithm>
 #include <iostream>
 #include <map>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "common/cli.h"
 #include "common/table.h"
 #include "core/detector.h"
+#include "fusion/engine.h"
 #include "obs/report.h"
 #include "obs/telemetry.h"
 #include "service/service.h"
@@ -43,6 +46,53 @@ struct FleetRx {
   IdentityId id;
   double rssi_dbm;
 };
+
+// Everything the fusion layer produces for one run: the closed epochs in
+// order plus the end-of-run trust scores and counters. Compared bitwise
+// (no epsilon) across the shard/thread grid — the fusion determinism
+// claim is exactly that these are invariant under delivery interleaving.
+struct FusionOutcome {
+  std::vector<fusion::FusedEpoch> epochs;
+  std::map<std::uint64_t, double> identity_trust;
+  std::map<std::uint64_t, double> observer_trust;
+  fusion::FusionEngine::Stats stats;
+};
+
+bool verdicts_identical(const fusion::FusedVerdict& a,
+                        const fusion::FusedVerdict& b) {
+  return a.id == b.id && a.accused == b.accused &&
+         a.accuse_weight == b.accuse_weight &&    // bitwise, no epsilon
+         a.total_weight == b.total_weight && a.voters == b.voters &&
+         a.accusations == b.accusations;
+}
+
+bool outcomes_identical(const FusionOutcome& a, const FusionOutcome& b) {
+  if (a.epochs.size() != b.epochs.size()) return false;
+  for (std::size_t i = 0; i < a.epochs.size(); ++i) {
+    const fusion::FusedEpoch& ea = a.epochs[i];
+    const fusion::FusedEpoch& eb = b.epochs[i];
+    if (ea.index != eb.index || ea.start_s != eb.start_s ||
+        ea.end_s != eb.end_s || ea.rounds != eb.rounds ||
+        ea.max_round_id != eb.max_round_id ||
+        ea.verdicts.size() != eb.verdicts.size()) {
+      return false;
+    }
+    for (std::size_t v = 0; v < ea.verdicts.size(); ++v) {
+      if (!verdicts_identical(ea.verdicts[v], eb.verdicts[v])) return false;
+    }
+  }
+  const fusion::FusionEngine::Stats& sa = a.stats;
+  const fusion::FusionEngine::Stats& sb = b.stats;
+  return a.identity_trust == b.identity_trust &&
+         a.observer_trust == b.observer_trust &&
+         sa.rounds_delivered == sb.rounds_delivered &&
+         sa.rounds_fused == sb.rounds_fused &&
+         sa.rounds_expired == sb.rounds_expired &&
+         sa.epochs_closed == sb.epochs_closed &&
+         sa.votes_cast == sb.votes_cast &&
+         sa.verdicts_fused == sb.verdicts_fused &&
+         sa.accusations_fused == sb.accusations_fused;
+}
 
 bool rounds_identical(const stream::StreamRound& a,
                       const stream::StreamRound& b) {
@@ -143,12 +193,24 @@ int main(int argc, char** argv) {
             << fleet.size() << " beacons, " << reference_rounds
             << " reference rounds\n\n";
 
+  // --fuse: additionally attach a fusion::FusionEngine to every config
+  // and require its entire output — fused epochs, trust scores, counters
+  // — to be bit-identical across the grid (DESIGN.md §13).
+  const bool fuse = args.get_bool("fuse", false);
+  fusion::FusionConfig fusion_config;
+  fusion_config.epoch_period_s = config.detection_period_s;
+
   const std::vector<std::size_t> shard_counts = {1, 4};
   const std::vector<std::size_t> thread_counts = {0, 1, 4};
   bool all_ok = true;
+  bool fusion_ok = true;
+  std::optional<FusionOutcome> fusion_reference;
   std::size_t total_checked = 0;
   std::size_t total_matched = 0;
-  Table table({"shards", "threads", "rounds", "matched", "parity"});
+  Table table(fuse ? std::vector<std::string>{"shards", "threads", "rounds",
+                                              "matched", "parity", "fusion"}
+                   : std::vector<std::string>{"shards", "threads", "rounds",
+                                              "matched", "parity"});
 
   for (std::size_t shards : shard_counts) {
     for (std::size_t threads : thread_counts) {
@@ -167,12 +229,34 @@ int main(int argc, char** argv) {
                 round.round);
           });
 
+      std::optional<fusion::FusionEngine> fusion_engine;
+      FusionOutcome outcome;
+      if (fuse) {
+        fusion_engine.emplace(fusion_config);
+        fusion_engine->set_epoch_callback(
+            [&](const fusion::FusedEpoch& epoch) {
+              outcome.epochs.push_back(epoch);
+            });
+        fleet_service.add_round_listener(
+            [&](const service::SessionRound& round) {
+              fusion_engine->observe(round);
+            });
+      }
+
       for (const FleetRx& rx : fleet) {
         fleet_service.ingest(static_cast<service::SessionId>(rx.observer),
                              rx.id, rx.time_s, rx.rssi_dbm);
+        if (fusion_engine) fusion_engine->advance(rx.time_s);
         telemetry.sample(rx.time_s);
       }
       fleet_service.advance_all_to(end_time);
+      if (fusion_engine) {
+        fusion_engine->advance(end_time);
+        fusion_engine->finish();
+        outcome.identity_trust = fusion_engine->identity_trust().scores();
+        outcome.observer_trust = fusion_engine->observer_trust().scores();
+        outcome.stats = fusion_engine->stats();
+      }
       telemetry.sample(end_time);
 
       std::size_t checked = 0;
@@ -201,9 +285,22 @@ int main(int argc, char** argv) {
       all_ok = all_ok && ok;
       total_checked += checked;
       total_matched += matched;
-      table.add_row({std::to_string(shards), std::to_string(threads),
-                     std::to_string(checked), std::to_string(matched),
-                     ok ? "ok" : "MISMATCH"});
+      std::vector<std::string> row{std::to_string(shards),
+                                   std::to_string(threads),
+                                   std::to_string(checked),
+                                   std::to_string(matched),
+                                   ok ? "ok" : "MISMATCH"};
+      if (fuse) {
+        bool config_fusion_ok = true;
+        if (!fusion_reference.has_value()) {
+          fusion_reference = std::move(outcome);
+        } else {
+          config_fusion_ok = outcomes_identical(*fusion_reference, outcome);
+        }
+        fusion_ok = fusion_ok && config_fusion_ok;
+        row.push_back(config_fusion_ok ? "ok" : "MISMATCH");
+      }
+      table.add_row(std::move(row));
     }
   }
   table.print(std::cout);
@@ -217,6 +314,16 @@ int main(int argc, char** argv) {
     std::cout << "\nfleet parity: MISMATCH — " << total_matched << "/"
               << total_checked << " rounds matched\n";
   }
+  if (fuse) {
+    if (fusion_ok && fusion_reference.has_value()) {
+      std::cout << "fusion parity: OK — " << fusion_reference->epochs.size()
+                << " fused epochs, " << fusion_reference->identity_trust.size()
+                << " identity and " << fusion_reference->observer_trust.size()
+                << " observer trust scores bit-identical across all configs\n";
+    } else {
+      std::cout << "fusion parity: MISMATCH\n";
+    }
+  }
 
   if (session.active()) {
     obs::json::Object extra;
@@ -225,8 +332,13 @@ int main(int argc, char** argv) {
     extra.emplace("reference_rounds", obs::json::Value(reference_rounds));
     extra.emplace("parity_rounds_checked", obs::json::Value(total_checked));
     extra.emplace("parity_rounds_matched", obs::json::Value(total_matched));
+    if (fuse && fusion_reference.has_value()) {
+      extra.emplace("fused_epochs",
+                    obs::json::Value(fusion_reference->epochs.size()));
+      extra.emplace("fusion_parity_ok", obs::json::Value(fusion_ok));
+    }
     session.set_extra(obs::json::Value(std::move(extra)));
     if (telemetry.active()) session.merge_extra("health", monitor.summary());
   }
-  return all_ok ? 0 : 1;
+  return all_ok && fusion_ok ? 0 : 1;
 }

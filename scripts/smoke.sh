@@ -26,19 +26,20 @@ stream_bench="$build_dir/bench/stream_throughput"
 service_bench="$build_dir/bench/service_throughput"
 chaos_bench="$build_dir/bench/chaos_detection"
 complexity_bench="$build_dir/bench/sec6_complexity"
+fusion_bench="$build_dir/bench/fusion_quality"
 checker="$build_dir/tools/check_run_report"
 top="$build_dir/tools/vp_top"
 
 if [[ ! -x "$quickstart" || ! -x "$highway" || ! -x "$streaming" \
       || ! -x "$fleet" || ! -x "$stream_bench" || ! -x "$service_bench" \
       || ! -x "$chaos_bench" || ! -x "$complexity_bench" \
-      || ! -x "$checker" || ! -x "$top" ]]; then
+      || ! -x "$fusion_bench" || ! -x "$checker" || ! -x "$top" ]]; then
   echo "smoke: binaries missing, building in $build_dir"
   cmake -B "$build_dir" -S "$repo_root"
   cmake --build "$build_dir" -j --target quickstart highway_sybil_sim \
     streaming_detection fleet_detection stream_throughput \
-    service_throughput chaos_detection sec6_complexity check_run_report \
-    vp_top
+    service_throughput chaos_detection sec6_complexity fusion_quality \
+    check_run_report vp_top
 fi
 
 if [[ -n "${SMOKE_ARTIFACT_DIR:-}" ]]; then
@@ -106,13 +107,18 @@ grep -q "stream.beacons_ingested" "$tmp/vp_top.out" || {
   exit 1
 }
 
-echo "smoke: fleet_detection (multi-session parity)"
-"$fleet" --density 12 --sim-time 40 --sessions 3 \
+echo "smoke: fleet_detection --fuse (multi-session + fusion parity)"
+"$fleet" --density 12 --sim-time 40 --sessions 3 --fuse \
   --metrics-out "$tmp/fleet_report.json" \
   --trace-out "$tmp/fleet_trace.jsonl" \
   --telemetry-out "$tmp/fleet_telemetry.jsonl" > "$tmp/fleet.out"
 grep -q "fleet parity: OK" "$tmp/fleet.out" || {
   echo "smoke: fleet_detection did not report parity"
+  cat "$tmp/fleet.out"
+  exit 1
+}
+grep -q "fusion parity: OK" "$tmp/fleet.out" || {
+  echo "smoke: fleet_detection --fuse did not report fusion parity"
   cat "$tmp/fleet.out"
   exit 1
 }
@@ -124,8 +130,21 @@ echo "smoke: service_throughput --quick"
 echo "smoke: validating fleet report + service bench artefact + telemetry"
 "$checker" "$tmp/fleet_report.json" --trace "$tmp/fleet_trace.jsonl" \
   --require service.beacons_ingested --require service.rounds_executed \
+  --require fusion.rounds_delivered --require fusion.epochs_closed \
   --service-bench "$tmp/BENCH_service.json" \
   --telemetry "$tmp/fleet_telemetry.jsonl"
+
+echo "smoke: fusion_quality --quick (corroboration accuracy sweep)"
+"$fusion_bench" --quick --out "$tmp/BENCH_fusion.json" \
+  > "$tmp/fusion_bench.out"
+grep -q "fusion_quality: OK" "$tmp/fusion_bench.out" || {
+  echo "smoke: fusion_quality did not report success"
+  cat "$tmp/fusion_bench.out"
+  exit 1
+}
+
+echo "smoke: validating fusion bench artefact"
+"$checker" --fusion-bench "$tmp/BENCH_fusion.json"
 
 echo "smoke: streaming_detection --kill-at (checkpoint/restore parity)"
 "$streaming" --density 12 --sim-time 60 --kill-at 30 > "$tmp/killed.out"
@@ -145,6 +164,11 @@ echo "smoke: chaos_detection --quick (fault sweep + kill/restore cycles)"
   --metrics-out "$tmp/chaos_report.json" > "$tmp/chaos.out"
 grep -q "chaos: OK" "$tmp/chaos.out" || {
   echo "smoke: chaos_detection did not report success"
+  cat "$tmp/chaos.out"
+  exit 1
+}
+grep -q "chaos: collusion held" "$tmp/chaos.out" || {
+  echo "smoke: chaos_detection did not run the collusion regression"
   cat "$tmp/chaos.out"
   exit 1
 }

@@ -1,0 +1,275 @@
+#include "fusion/checkpoint.h"
+
+#include <bit>
+#include <cstdio>
+#include <utility>
+
+#include "common/binio.h"
+#include "common/rng.h"
+
+namespace vp::fusion {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x55465056u;  // "VPFU" little-endian
+constexpr std::uint32_t kVersion = 1;
+
+bool fail(std::string* error, std::string reason) {
+  if (error != nullptr) *error = std::move(reason);
+  return false;
+}
+
+void encode_stats(ByteWriter& w, const FusionEngine::Stats& s) {
+  w.put_u64(s.rounds_delivered);
+  w.put_u64(s.rounds_fused);
+  w.put_u64(s.rounds_expired);
+  w.put_u64(s.epochs_closed);
+  w.put_u64(s.votes_cast);
+  w.put_u64(s.verdicts_fused);
+  w.put_u64(s.accusations_fused);
+}
+
+bool decode_stats(ByteReader& r, FusionEngine::Stats& s) {
+  return r.get_u64(s.rounds_delivered) && r.get_u64(s.rounds_fused) &&
+         r.get_u64(s.rounds_expired) && r.get_u64(s.epochs_closed) &&
+         r.get_u64(s.votes_cast) && r.get_u64(s.verdicts_fused) &&
+         r.get_u64(s.accusations_fused);
+}
+
+void encode_trust(ByteWriter& w, const std::map<std::uint64_t, double>& t) {
+  w.put_u64(t.size());
+  for (const auto& [id, score] : t) {
+    w.put_u64(id);
+    w.put_f64(score);
+  }
+}
+
+bool decode_trust(ByteReader& r, const char* section,
+                  std::map<std::uint64_t, double>& t, std::string* error) {
+  std::uint64_t count = 0;
+  if (!r.get_u64(count)) {
+    return fail(error, std::string("fusion checkpoint: truncated ") + section);
+  }
+  if (count > r.remaining() / (2 * 8)) {
+    return fail(error, std::string("fusion checkpoint: ") + section +
+                           " count exceeds payload");
+  }
+  bool first = true;
+  std::uint64_t previous = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t id = 0;
+    double score = 0.0;
+    if (!r.get_u64(id) || !r.get_f64(score)) {
+      return fail(error,
+                  std::string("fusion checkpoint: truncated ") + section);
+    }
+    if (!first && id <= previous) {
+      return fail(error, std::string("fusion checkpoint: ") + section +
+                             " ids not ascending");
+    }
+    first = false;
+    previous = id;
+    t.emplace(id, score);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t fusion_config_hash(const FusionConfig& config) {
+  std::uint64_t h = hash64("vp.fusion.config/v1");
+  h = mix64(h, std::bit_cast<std::uint64_t>(config.epoch_period_s));
+  h = mix64(h, std::bit_cast<std::uint64_t>(config.watermark_lateness_s));
+  h = mix64(h, std::bit_cast<std::uint64_t>(config.quorum_fraction));
+  h = mix64(h, std::bit_cast<std::uint64_t>(config.exoneration_weight));
+  h = mix64(h, static_cast<std::uint64_t>(config.min_corroboration));
+  h = mix64(h, static_cast<std::uint64_t>(config.weight_by_trust ? 1 : 0));
+  h = mix64(h, static_cast<std::uint64_t>(config.weight_by_density ? 1 : 0));
+  h = mix64(h, std::bit_cast<std::uint64_t>(config.density_reference_per_km));
+  h = mix64(h, std::bit_cast<std::uint64_t>(config.trust.initial));
+  h = mix64(h, std::bit_cast<std::uint64_t>(config.trust.accusation_decay));
+  h = mix64(h,
+            std::bit_cast<std::uint64_t>(config.trust.exoneration_recovery));
+  h = mix64(h, std::bit_cast<std::uint64_t>(config.trust.badmouth_penalty));
+  h = mix64(h,
+            std::bit_cast<std::uint64_t>(config.trust.corroboration_reward));
+  h = mix64(h, std::bit_cast<std::uint64_t>(config.trust.floor));
+  h = mix64(h, std::bit_cast<std::uint64_t>(config.trust.ceiling));
+  return h;
+}
+
+std::vector<std::uint8_t> encode_checkpoint(
+    const FusionCheckpoint& checkpoint) {
+  std::vector<std::uint8_t> bytes;
+  ByteWriter w(bytes);
+  w.put_u32(kMagic);
+  w.put_u32(kVersion);
+  w.put_u64(checkpoint.config_hash);
+  w.put_f64(checkpoint.watermark);
+  w.put_i64(checkpoint.closed_before);
+  encode_stats(w, checkpoint.stats);
+  encode_trust(w, checkpoint.identity_trust);
+  encode_trust(w, checkpoint.observer_trust);
+  w.put_u64(checkpoint.epochs.size());
+  for (const EpochCheckpoint& ec : checkpoint.epochs) {
+    w.put_i64(ec.index);
+    w.put_u64(ec.rounds);
+    w.put_u64(ec.max_round_id);
+    w.put_u64(ec.votes.size());
+    for (const VoteCheckpoint& vc : ec.votes) {
+      w.put_u64(vc.identity);
+      w.put_u64(vc.observer);
+      w.put_u8(vc.accused ? 1 : 0);
+      w.put_f64(vc.density_per_km);
+      w.put_f64(vc.time_s);
+    }
+  }
+  w.put_u64(fnv1a64(bytes));
+  return bytes;
+}
+
+bool decode_checkpoint(std::span<const std::uint8_t> bytes,
+                       FusionCheckpoint* out, std::string* error) {
+  if (bytes.size() < 8 + 8) {
+    return fail(error, "fusion checkpoint: truncated header");
+  }
+  std::uint64_t stored_sum = 0;
+  for (int i = 7; i >= 0; --i) {
+    stored_sum = (stored_sum << 8) |
+                 bytes[bytes.size() - 8 + static_cast<std::size_t>(i)];
+  }
+  const auto body = bytes.subspan(0, bytes.size() - 8);
+  if (fnv1a64(body) != stored_sum) {
+    return fail(error, "fusion checkpoint: checksum mismatch");
+  }
+
+  ByteReader r(body);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  if (!r.get_u32(magic) || magic != kMagic) {
+    return fail(error, "fusion checkpoint: bad magic (not VPFU)");
+  }
+  if (!r.get_u32(version) || version != kVersion) {
+    return fail(error, "fusion checkpoint: unsupported version");
+  }
+
+  FusionCheckpoint cp;
+  if (!r.get_u64(cp.config_hash) || !r.get_f64(cp.watermark) ||
+      !r.get_i64(cp.closed_before) || !decode_stats(r, cp.stats)) {
+    return fail(error, "fusion checkpoint: truncated engine fields");
+  }
+  if (!decode_trust(r, "identity trust", cp.identity_trust, error) ||
+      !decode_trust(r, "observer trust", cp.observer_trust, error)) {
+    return false;
+  }
+
+  std::uint64_t epoch_count = 0;
+  if (!r.get_u64(epoch_count)) {
+    return fail(error, "fusion checkpoint: truncated epoch count");
+  }
+  if (epoch_count > r.remaining() / (4 * 8)) {
+    return fail(error, "fusion checkpoint: epoch count exceeds payload");
+  }
+  cp.epochs.reserve(static_cast<std::size_t>(epoch_count));
+  bool first_epoch = true;
+  std::int64_t previous_index = 0;
+  for (std::uint64_t e = 0; e < epoch_count; ++e) {
+    EpochCheckpoint ec;
+    std::uint64_t vote_count = 0;
+    if (!r.get_i64(ec.index) || !r.get_u64(ec.rounds) ||
+        !r.get_u64(ec.max_round_id) || !r.get_u64(vote_count)) {
+      return fail(error, "fusion checkpoint: truncated epoch header");
+    }
+    if (!first_epoch && ec.index <= previous_index) {
+      return fail(error, "fusion checkpoint: epoch indices not ascending");
+    }
+    if (ec.index < cp.closed_before) {
+      return fail(error, "fusion checkpoint: open epoch behind the closed "
+                         "frontier");
+    }
+    first_epoch = false;
+    previous_index = ec.index;
+    if (vote_count > r.remaining() / (2 * 8 + 1 + 2 * 8)) {
+      return fail(error, "fusion checkpoint: vote count exceeds payload");
+    }
+    ec.votes.reserve(static_cast<std::size_t>(vote_count));
+    bool first_vote = true;
+    std::uint64_t prev_identity = 0;
+    std::uint64_t prev_observer = 0;
+    for (std::uint64_t v = 0; v < vote_count; ++v) {
+      VoteCheckpoint vc;
+      std::uint8_t accused = 0;
+      if (!r.get_u64(vc.identity) || !r.get_u64(vc.observer) ||
+          !r.get_u8(accused) || !r.get_f64(vc.density_per_km) ||
+          !r.get_f64(vc.time_s)) {
+        return fail(error, "fusion checkpoint: truncated vote");
+      }
+      if (accused > 1) {
+        return fail(error, "fusion checkpoint: non-boolean accused flag");
+      }
+      if (vc.identity > 0xffffffffu) {
+        return fail(error, "fusion checkpoint: identity exceeds 32 bits");
+      }
+      vc.accused = accused == 1;
+      if (!first_vote &&
+          (vc.identity < prev_identity ||
+           (vc.identity == prev_identity && vc.observer <= prev_observer))) {
+        return fail(error,
+                    "fusion checkpoint: votes not (identity, observer) "
+                    "ascending");
+      }
+      first_vote = false;
+      prev_identity = vc.identity;
+      prev_observer = vc.observer;
+      ec.votes.push_back(vc);
+    }
+    cp.epochs.push_back(std::move(ec));
+  }
+  if (r.remaining() != 0) {
+    return fail(error, "fusion checkpoint: trailing bytes");
+  }
+  if (out != nullptr) *out = std::move(cp);
+  return true;
+}
+
+bool save_checkpoint(const FusionCheckpoint& checkpoint,
+                     const std::string& path, std::string* error) {
+  const std::vector<std::uint8_t> bytes = encode_checkpoint(checkpoint);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return fail(error, "fusion checkpoint: cannot open " + tmp);
+  }
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  if (std::fclose(f) != 0 || written != bytes.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return fail(error, "fusion checkpoint: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return fail(error,
+                "fusion checkpoint: cannot rename " + tmp + " over " + path);
+  }
+  return true;
+}
+
+bool load_checkpoint(const std::string& path, FusionCheckpoint* out,
+                     std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return fail(error, "fusion checkpoint: cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) return fail(error, "fusion checkpoint: read error on " + path);
+  return decode_checkpoint(bytes, out, error);
+}
+
+}  // namespace vp::fusion

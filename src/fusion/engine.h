@@ -1,0 +1,235 @@
+// Cross-observer corroboration and trust fusion (DESIGN.md §13).
+//
+// Voiceprint's detector is strictly per-observer: Section IV compares only
+// the RSSI series one vehicle heard itself, so a suspect pair flagged by
+// one observer is never corroborated by the neighbours that heard the same
+// beacons. The FusionEngine closes that gap. It subscribes to
+// service::DetectionService round results (add_round_listener) and
+// aggregates per-identity verdicts across observers into fusion epochs:
+//
+//   * Voting — each delivered round casts one vote per identity the
+//     observer compared that epoch: "accused" if the identity is in the
+//     round's suspect set, "exonerated" if it was heard and compared but
+//     not flagged. Votes are weighted by the observer's current trust
+//     score and by its Eq. 9 neighbour density (a denser observer heard
+//     more corroborating traffic), and fused by quorum: an identity is
+//     accused when the accusing weight strictly exceeds
+//     quorum_fraction × total weight. An exact tie exonerates; a lone
+//     voter's verdict stands unweighted (single-observer fallback — the
+//     paper's behaviour).
+//   * Epoch close — epochs are fixed windows of the *stream* clock
+//     (never wall clock): epoch k covers [k·P, (k+1)·P). The driver
+//     advances a watermark with the same stream time it feeds the
+//     service; an epoch closes when the watermark passes its end (plus a
+//     lateness slack). Rounds delivered for an already-closed epoch are
+//     counted expired, never silently dropped:
+//       rounds_delivered = rounds_fused + rounds_expired + pending
+//     is a conservation law checked by the HealthMonitor and the bench
+//     validators. Votes accumulate in sorted maps and every weight sum
+//     runs in sorted (identity, observer) key order at close, so fused
+//     verdicts are bit-identical at every service shard/thread count even
+//     though delivery interleaves differently.
+//   * Trust — a bounded per-identity score in [0, 1] (TrustStore),
+//     evolved only at epoch close: a corroborated accusation decays the
+//     accused identity's trust, exoneration recovers it. Observers are
+//     scored too: accusing against the fused verdict (badmouthing) costs
+//     trust — and with it future vote weight — which is what blunts the
+//     collusion scenario in bench/chaos_detection; corroborated accusers
+//     earn a little back. All scores serialise into the VPFU checkpoint
+//     (fusion/checkpoint.h) so kill/restore parity holds mid-epoch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "service/service.h"
+
+namespace vp::fusion {
+
+struct FusionCheckpoint;  // fusion/checkpoint.h
+
+// Trust dynamics, applied at epoch close only (never mid-epoch, so the
+// weights an epoch's votes carry cannot depend on delivery order).
+struct TrustConfig {
+  double initial = 0.5;                // score for a first-seen id
+  double accusation_decay = 0.15;      // fused accusation: accused -= this
+  double exoneration_recovery = 0.05;  // heard, not accused: accused += this
+  double badmouth_penalty = 0.10;      // accuser against fused verdict
+  double corroboration_reward = 0.02;  // accuser with the fused verdict
+  // Hard bounds; every update clamps into [floor, ceiling] ⊆ [0, 1].
+  double floor = 0.0;
+  double ceiling = 1.0;
+};
+
+struct FusionConfig {
+  // Epoch width on the stream clock; normally the engines' round period
+  // so each observer votes once per epoch.
+  double epoch_period_s = 20.0;
+  // Extra stream time past an epoch's end before it closes, for rounds
+  // that are prepared late (a session whose clock stalls delivers its
+  // round only when a later beacon arrives).
+  double watermark_lateness_s = 0.0;
+  // An identity is accused when accuse_weight > quorum_fraction × total
+  // weight (strict: an exact tie exonerates).
+  double quorum_fraction = 0.5;
+  // Multiplier on exonerating votes, in (0, 1]. An accusation is specific
+  // evidence (the observer saw two near-identical RSSI series); an
+  // exoneration is only absence of evidence — the observer may never have
+  // heard the accused identity's Sybil twin at all — so it votes with a
+  // fraction of an accusation's weight. With equal voter weights and k
+  // accusers out of n, the identity is accused iff k/(n−k) > this: 0.5
+  // lets a lone accuser win a 2-voter ballot but makes it lose 1-of-3 and
+  // 1-of-4 (one coincidental DTW match cannot out-vote a corroborating
+  // majority), while 2-of-4 still accuses. 1.0 makes the vote symmetric
+  // (what the tie-break tests use).
+  double exoneration_weight = 0.5;
+  // Minimum distinct accusers for a multi-voter ballot to fuse as
+  // accused, on top of the weight quorum. Lone-voter ballots are exempt
+  // (single-observer fallback). This is the orthogonal guard the weight
+  // ratio cannot express: a coincidental DTW match is one observer's
+  // mistake and stays a lone accusation no matter how its density/trust
+  // weight tips a near-tie, while a real Sybil within range of two or
+  // more observers collects independent accusations.
+  std::uint32_t min_corroboration = 2;
+  // Vote weight multipliers. Trust weighting uses the observer's score at
+  // the epoch being closed; density weighting scales a vote by
+  // 1 + density / density_reference_per_km (Eq. 9 density from the round).
+  bool weight_by_trust = true;
+  bool weight_by_density = true;
+  double density_reference_per_km = 10.0;
+  TrustConfig trust;
+};
+
+// One identity's fused verdict for one epoch. Weight fields are exact
+// sums in sorted observer order — bit-comparable across runs.
+struct FusedVerdict {
+  IdentityId id = 0;
+  bool accused = false;
+  double accuse_weight = 0.0;
+  double total_weight = 0.0;
+  std::uint32_t voters = 0;       // observers that compared this identity
+  std::uint32_t accusations = 0;  // of which accused it
+};
+
+// A closed fusion epoch, delivered to the epoch callback in index order.
+struct FusedEpoch {
+  std::int64_t index = 0;  // covers [index·P, (index+1)·P)
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::uint64_t rounds = 0;         // rounds fused into this epoch
+  std::uint64_t max_round_id = 0;   // newest contributing round (tracing)
+  std::vector<FusedVerdict> verdicts;  // ascending identity id
+};
+
+// Bounded per-id trust scores. Plain sorted map so snapshots, checkpoint
+// layout and update order are deterministic.
+class TrustStore {
+ public:
+  explicit TrustStore(const TrustConfig& config) : config_(config) {}
+
+  // Current score, or the configured initial for an unseen id.
+  double get(std::uint64_t id) const;
+  // Applies a delta and clamps into [floor, ceiling].
+  void adjust(std::uint64_t id, double delta);
+
+  const std::map<std::uint64_t, double>& scores() const { return scores_; }
+  void restore(std::map<std::uint64_t, double> scores) {
+    scores_ = std::move(scores);
+  }
+
+ private:
+  TrustConfig config_;
+  std::map<std::uint64_t, double> scores_;
+};
+
+class FusionEngine {
+ public:
+  // Plain counters mirroring the fusion.* metrics, always maintained
+  // (registry copies are gated on obs::enabled()).
+  struct Stats {
+    std::uint64_t rounds_delivered = 0;
+    std::uint64_t rounds_fused = 0;    // credited when their epoch closes
+    std::uint64_t rounds_expired = 0;  // arrived after their epoch closed
+    std::uint64_t epochs_closed = 0;
+    std::uint64_t votes_cast = 0;      // (identity, observer) pairs recorded
+    std::uint64_t verdicts_fused = 0;
+    std::uint64_t accusations_fused = 0;
+  };
+
+  explicit FusionEngine(FusionConfig config);
+
+  // Restores a checkpointed engine (open epochs, trust scores, stats).
+  // `config` must hash-match the checkpoint's (VP_REQUIRE otherwise).
+  FusionEngine(FusionConfig config, const FusionCheckpoint& checkpoint);
+
+  // Captures the complete fusion state: open epochs with their buffered
+  // votes, both trust stores, the watermark and Stats. Callable at any
+  // point — mid-epoch kill/restore is the case it exists for.
+  FusionCheckpoint checkpoint() const;
+
+  // Buffers one delivered round's votes. Wire it to the service with
+  //   service.add_round_listener([&](const service::SessionRound& r) {
+  //     fusion.observe(r); });
+  // Never closes an epoch — delivery order within a pump depends on the
+  // shard layout, so epoch closes only happen in advance()/finish().
+  void observe(const service::SessionRound& round);
+
+  // Advances the stream-clock watermark and closes every epoch whose
+  // end + watermark_lateness_s <= time_s, invoking the epoch callback in
+  // index order. Call it from the ingest loop with the same stream time
+  // the service sees; never call it with wall-clock time.
+  void advance(double time_s);
+
+  // Closes every open epoch regardless of the watermark (end of trace).
+  void finish();
+
+  void set_epoch_callback(std::function<void(const FusedEpoch&)> callback) {
+    callback_ = std::move(callback);
+  }
+
+  const Stats& stats() const { return stats_; }
+  const FusionConfig& config() const { return config_; }
+  double watermark() const { return watermark_; }
+  // Rounds buffered in epochs that have not closed yet; the gauge term of
+  // the fusion conservation law.
+  std::uint64_t rounds_pending() const { return pending_rounds_; }
+
+  // Identity trust (what the accusations decay) and observer trust (what
+  // scales vote weight). Separate stores: session ids and identity ids
+  // are different namespaces that may collide numerically.
+  const TrustStore& identity_trust() const { return identity_trust_; }
+  const TrustStore& observer_trust() const { return observer_trust_; }
+
+ private:
+  struct Vote {
+    bool accused = false;
+    double density_per_km = 0.0;
+    double time_s = 0.0;  // newest round that touched this vote
+  };
+
+  // votes: identity → observer → vote. Sorted maps end to end so the
+  // close-time weight sums run in one canonical order.
+  struct OpenEpoch {
+    std::uint64_t rounds = 0;
+    std::uint64_t max_round_id = 0;
+    std::map<IdentityId, std::map<std::uint64_t, Vote>> votes;
+  };
+
+  std::int64_t epoch_of(double time_s) const;
+  void close_epochs_through(std::int64_t last_index);
+  void close_epoch(std::int64_t index, const OpenEpoch& epoch);
+
+  FusionConfig config_;
+  std::function<void(const FusedEpoch&)> callback_;
+  std::map<std::int64_t, OpenEpoch> epochs_;  // open epochs by index
+  std::int64_t closed_before_ = 0;  // every epoch < this has closed
+  double watermark_ = 0.0;
+  std::uint64_t pending_rounds_ = 0;
+  Stats stats_;
+  TrustStore identity_trust_;
+  TrustStore observer_trust_;
+};
+
+}  // namespace vp::fusion

@@ -1,0 +1,71 @@
+// voiceprint.fusion_bench/v1: the BENCH_fusion.json artefact emitted by
+// bench/fusion_quality.cpp — fused vs single-observer vs CPVSAD accuracy
+// over an observer-count × attacker-mix sweep.
+//
+// build_fusion_bench_report and validate_fusion_bench live together so
+// the producing bench, the unit tests and tools/check_run_report
+// --fusion-bench can never drift on what a well-formed document is. The
+// validator enforces, per row:
+//   * the fusion conservation law
+//       rounds_delivered = rounds_fused + rounds_expired + rounds_pending
+//   * trust bounds: every reported trust statistic inside [0, 1] with
+//     trust_min <= trust_max
+//   * the corroboration claim on multi-observer rows (observers >= 3,
+//     both channels defined): fused DR >= single DR and
+//     fused FPR <= single FPR, within 1e-9
+// Undefined rates (no window had the denominator) are null, never 0.0.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace vp::fusion {
+
+struct FusionBenchConfigResult {
+  std::string label;
+  std::size_t observers = 0;
+  double density_per_km = 0.0;
+  std::size_t attackers = 0;  // malicious source vehicles in the world
+  double sim_time_s = 0.0;
+
+  // FusionEngine accounting after finish(); pending is the gauge term
+  // (non-zero only if the bench stopped short of closing every epoch).
+  std::uint64_t rounds_delivered = 0;
+  std::uint64_t rounds_fused = 0;
+  std::uint64_t rounds_expired = 0;
+  std::uint64_t rounds_pending = 0;
+  std::uint64_t epochs_closed = 0;
+  std::uint64_t votes_cast = 0;
+
+  // Eq. 12/13 averages per channel; *_samples counts the windows where
+  // the rate was defined (empty optional <=> 0 samples).
+  std::optional<double> single_dr;
+  std::optional<double> single_fpr;
+  std::size_t single_dr_samples = 0;
+  std::size_t single_fpr_samples = 0;
+  std::optional<double> fused_dr;
+  std::optional<double> fused_fpr;
+  std::size_t fused_dr_samples = 0;
+  std::size_t fused_fpr_samples = 0;
+  std::optional<double> cpvsad_dr;
+  std::optional<double> cpvsad_fpr;
+
+  // End-of-run trust statistics over every scored id (identities and
+  // observers pooled); honest_identity_trust_min covers only identities
+  // the ground truth marks legitimate.
+  double trust_min = 0.0;
+  double trust_max = 0.0;
+  double honest_identity_trust_min = 0.0;
+};
+
+obs::json::Value build_fusion_bench_report(
+    const std::string& binary, std::uint64_t seed,
+    const std::vector<FusionBenchConfigResult>& configs);
+
+bool validate_fusion_bench(const obs::json::Value& report, std::string* error);
+
+}  // namespace vp::fusion

@@ -94,6 +94,11 @@ const std::vector<ConservationLaw>& conservation_laws() {
        {"service.sessions_closed", "service.sessions_evicted_idle"},
        {"service.sessions_active"},
        false},
+      {"conservation.fusion.rounds",
+       {"fusion.rounds_delivered"},
+       {"fusion.rounds_fused", "fusion.rounds_expired"},
+       {"fusion.rounds_pending"},
+       false},
       {"conservation.fault.beacons",
        {"fault.offered", "fault.duplicated", "fault.flood_injected"},
        {"fault.emitted", "fault.dropped", "fault.burst_dropped"},

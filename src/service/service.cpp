@@ -325,9 +325,11 @@ std::size_t DetectionService::pump() {
     for (std::vector<PendingRound>& batch : batches) {
       for (PendingRound& pending : batch) {
         ++stats_.rounds_executed;
-        if (callback_) {
-          callback_(SessionRound{pending.session_id,
-                                 std::move(pending.result)});
+        if (callback_ || !listeners_.empty()) {
+          const SessionRound delivered{pending.session_id,
+                                       std::move(pending.result)};
+          if (callback_) callback_(delivered);
+          for (const auto& listener : listeners_) listener(delivered);
         }
       }
     }

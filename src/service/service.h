@@ -176,6 +176,16 @@ class DetectionService {
     callback_ = std::move(callback);
   }
 
+  // Additional result listeners, invoked after the round callback for
+  // every delivered round, in registration order — same thread, same
+  // deterministic delivery order. This is how cross-cutting consumers
+  // (fusion::FusionEngine) tap the result stream without stealing the
+  // primary callback from the driver. Listeners cannot be removed;
+  // register objects that outlive the service.
+  void add_round_listener(std::function<void(const SessionRound&)> listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
   const Stats& stats() const { return stats_; }
   const ServiceConfig& config() const { return config_; }
   std::size_t sessions_active() const { return sessions_active_; }
@@ -238,6 +248,7 @@ class DetectionService {
   // pump workers record without a lookup. Parallel to shards_.
   std::vector<obs::Histogram*> shard_round_ns_;
   std::function<void(const SessionRound&)> callback_;
+  std::vector<std::function<void(const SessionRound&)>> listeners_;
   Stats stats_;
   std::size_t sessions_active_ = 0;
   std::size_t queued_total_ = 0;

@@ -38,33 +38,73 @@ DetectionCounts score_detection(const std::vector<IdentityId>& flagged,
   return counts;
 }
 
-void RateAverager::add(const DetectionCounts& counts) {
+void RateAverager::add(std::string_view channel,
+                       const DetectionCounts& counts) {
+  if (!counts.dr_defined() && !counts.fpr_defined()) return;
+  const auto it = channels_.find(channel);
+  Channel& c = it != channels_.end()
+                   ? it->second
+                   : channels_.emplace(std::string(channel), Channel{})
+                         .first->second;
   if (counts.dr_defined()) {
-    dr_sum_ += counts.dr();
-    ++dr_n_;
+    c.dr_sum += counts.dr();
+    ++c.dr_n;
   }
   if (counts.fpr_defined()) {
-    fpr_sum_ += counts.fpr();
-    ++fpr_n_;
+    c.fpr_sum += counts.fpr();
+    ++c.fpr_n;
   }
 }
 
-double RateAverager::average_dr() const {
-  return dr_n_ == 0 ? 0.0 : dr_sum_ / static_cast<double>(dr_n_);
+const RateAverager::Channel* RateAverager::find(
+    std::string_view channel) const {
+  const auto it = channels_.find(channel);
+  return it == channels_.end() ? nullptr : &it->second;
 }
 
-double RateAverager::average_fpr() const {
-  return fpr_n_ == 0 ? 0.0 : fpr_sum_ / static_cast<double>(fpr_n_);
+double RateAverager::average_dr(std::string_view channel) const {
+  const Channel* c = find(channel);
+  return c == nullptr || c->dr_n == 0
+             ? 0.0
+             : c->dr_sum / static_cast<double>(c->dr_n);
 }
 
-std::optional<double> RateAverager::average_dr_if_defined() const {
-  if (dr_n_ == 0) return std::nullopt;
-  return dr_sum_ / static_cast<double>(dr_n_);
+double RateAverager::average_fpr(std::string_view channel) const {
+  const Channel* c = find(channel);
+  return c == nullptr || c->fpr_n == 0
+             ? 0.0
+             : c->fpr_sum / static_cast<double>(c->fpr_n);
 }
 
-std::optional<double> RateAverager::average_fpr_if_defined() const {
-  if (fpr_n_ == 0) return std::nullopt;
-  return fpr_sum_ / static_cast<double>(fpr_n_);
+std::optional<double> RateAverager::average_dr_if_defined(
+    std::string_view channel) const {
+  const Channel* c = find(channel);
+  if (c == nullptr || c->dr_n == 0) return std::nullopt;
+  return c->dr_sum / static_cast<double>(c->dr_n);
+}
+
+std::optional<double> RateAverager::average_fpr_if_defined(
+    std::string_view channel) const {
+  const Channel* c = find(channel);
+  if (c == nullptr || c->fpr_n == 0) return std::nullopt;
+  return c->fpr_sum / static_cast<double>(c->fpr_n);
+}
+
+std::size_t RateAverager::defined_dr_samples(std::string_view channel) const {
+  const Channel* c = find(channel);
+  return c == nullptr ? 0 : c->dr_n;
+}
+
+std::size_t RateAverager::defined_fpr_samples(std::string_view channel) const {
+  const Channel* c = find(channel);
+  return c == nullptr ? 0 : c->fpr_n;
+}
+
+std::vector<std::string> RateAverager::channels() const {
+  std::vector<std::string> names;
+  names.reserve(channels_.size());
+  for (const auto& [name, channel] : channels_) names.push_back(name);
+  return names;
 }
 
 }  // namespace vp::sim

@@ -4,7 +4,10 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/ids.h"
@@ -40,27 +43,55 @@ DetectionCounts score_detection(const std::vector<IdentityId>& flagged,
 // when NO window had a defined rate — callers that must distinguish that
 // from a true 0.0 (the run report does) check defined_dr_samples() /
 // defined_fpr_samples() first, or use the optional-returning variants.
+//
+// Samples land in named channels so one run can average several detector
+// variants side by side (the fusion bench scores "single" and "fused"
+// from the same replay); a second pass pooling into the first pass's
+// averages is no longer possible unless both name the same channel. The
+// channel-less overloads keep the original single-accumulator behaviour
+// by reading and writing the default channel ("").
 class RateAverager {
  public:
-  void add(const DetectionCounts& counts);
+  void add(const DetectionCounts& counts) { add("", counts); }
+  void add(std::string_view channel, const DetectionCounts& counts);
 
-  double average_dr() const;   // 0 if no defined sample
-  double average_fpr() const;
+  double average_dr() const { return average_dr(""); }
+  double average_fpr() const { return average_fpr(""); }
+  double average_dr(std::string_view channel) const;  // 0 if no sample
+  double average_fpr(std::string_view channel) const;
   // Empty when no (observer, period) window had a defined rate.
-  std::optional<double> average_dr_if_defined() const;
-  std::optional<double> average_fpr_if_defined() const;
+  std::optional<double> average_dr_if_defined() const {
+    return average_dr_if_defined("");
+  }
+  std::optional<double> average_fpr_if_defined() const {
+    return average_fpr_if_defined("");
+  }
+  std::optional<double> average_dr_if_defined(std::string_view channel) const;
+  std::optional<double> average_fpr_if_defined(std::string_view channel) const;
   // Number of windows that contributed to each average.
-  std::size_t defined_dr_samples() const { return dr_n_; }
-  std::size_t defined_fpr_samples() const { return fpr_n_; }
+  std::size_t defined_dr_samples() const { return defined_dr_samples(""); }
+  std::size_t defined_fpr_samples() const { return defined_fpr_samples(""); }
+  std::size_t defined_dr_samples(std::string_view channel) const;
+  std::size_t defined_fpr_samples(std::string_view channel) const;
   // Older spellings of the sample counts, kept for existing callers.
-  std::size_t dr_samples() const { return dr_n_; }
-  std::size_t fpr_samples() const { return fpr_n_; }
+  std::size_t dr_samples() const { return defined_dr_samples(""); }
+  std::size_t fpr_samples() const { return defined_fpr_samples(""); }
+  // Channel names seen by add(), sorted; the default channel appears only
+  // once it has received a sample.
+  std::vector<std::string> channels() const;
 
  private:
-  double dr_sum_ = 0.0;
-  std::size_t dr_n_ = 0;
-  double fpr_sum_ = 0.0;
-  std::size_t fpr_n_ = 0;
+  struct Channel {
+    double dr_sum = 0.0;
+    std::size_t dr_n = 0;
+    double fpr_sum = 0.0;
+    std::size_t fpr_n = 0;
+  };
+
+  // nullptr when the channel has never received a sample.
+  const Channel* find(std::string_view channel) const;
+
+  std::map<std::string, Channel, std::less<>> channels_;
 };
 
 }  // namespace vp::sim

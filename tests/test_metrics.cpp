@@ -140,5 +140,60 @@ TEST(RateAveragerTest, DefinedSampleCountsSeparateNoDataFromZero) {
   EXPECT_EQ(averager.fpr_samples(), averager.defined_fpr_samples());
 }
 
+// Labelled rate channels: one averager can keep e.g. "single" and
+// "fused" accuracy series side by side without the accumulators
+// bleeding into each other; the no-channel API stays an alias of the
+// default "" channel.
+TEST(RateAveragerTest, LabelledChannelsAccumulateIndependently) {
+  RateAverager averager;
+
+  DetectionCounts hit;
+  hit.detected_true = 2;
+  hit.illegitimate = 2;
+  hit.legitimate = 4;
+  averager.add("single", hit);  // DR 1.0, FPR 0.0
+
+  DetectionCounts miss;
+  miss.illegitimate = 2;
+  miss.detected_false = 1;
+  miss.legitimate = 4;
+  averager.add("fused", miss);  // DR 0.0, FPR 0.25
+
+  EXPECT_DOUBLE_EQ(averager.average_dr("single"), 1.0);
+  EXPECT_DOUBLE_EQ(averager.average_fpr("single"), 0.0);
+  EXPECT_DOUBLE_EQ(averager.average_dr("fused"), 0.0);
+  EXPECT_DOUBLE_EQ(averager.average_fpr("fused"), 0.25);
+  EXPECT_EQ(averager.defined_dr_samples("single"), 1u);
+  EXPECT_EQ(averager.defined_dr_samples("fused"), 1u);
+
+  // A channel nothing was added to reports no data, not zeros.
+  EXPECT_EQ(averager.defined_dr_samples("cpvsad"), 0u);
+  EXPECT_FALSE(averager.average_dr_if_defined("cpvsad").has_value());
+
+  // Only materialised channels are listed, sorted.
+  const std::vector<std::string> channels = averager.channels();
+  ASSERT_EQ(channels.size(), 2u);
+  EXPECT_EQ(channels[0], "fused");
+  EXPECT_EQ(channels[1], "single");
+}
+
+TEST(RateAveragerTest, DefaultChannelAliasesUnlabelledApi) {
+  RateAverager averager;
+  DetectionCounts counts;
+  counts.detected_true = 1;
+  counts.illegitimate = 2;
+  averager.add(counts);  // unlabelled → channel ""
+
+  EXPECT_DOUBLE_EQ(averager.average_dr(""), averager.average_dr());
+  EXPECT_EQ(averager.defined_dr_samples(""), averager.defined_dr_samples());
+  ASSERT_EQ(averager.channels().size(), 1u);
+  EXPECT_EQ(averager.channels()[0], "");
+
+  // An entry with neither rate defined materialises no channel.
+  RateAverager empty;
+  empty.add("ghost", DetectionCounts{});
+  EXPECT_TRUE(empty.channels().empty());
+}
+
 }  // namespace
 }  // namespace vp::sim

@@ -4,6 +4,7 @@
 //                    [--require <counter>]... [--stream-bench <bench.json>]
 //                    [--service-bench <bench.json>] [--chaos-bench <bench.json>]
 //                    [--comparison-bench <bench.json>]
+//                    [--fusion-bench <bench.json>]
 //                    [--telemetry <telemetry.jsonl>]
 //
 // The positional run report may be omitted when only validating bench or
@@ -27,7 +28,11 @@
 // (voiceprint.comparison_bench/v1, including the cascade exit-tier
 // conservation law pairs_comparable = lb_kim_pruned + lb_keogh_pruned +
 // early_abandoned + full_sweeps, and that the exact-vs-pruned verdict
-// cross-check passed). With --telemetry, every JSONL frame must pass
+// cross-check passed); with --fusion-bench, fusion::validate_fusion_bench
+// (voiceprint.fusion_bench/v1, including the round conservation law
+// rounds_delivered = fused + expired + pending, trust bounds in [0, 1],
+// and fused DR >= single DR / fused FPR <= single FPR on every
+// multi-observer row). With --telemetry, every JSONL frame must pass
 // obs::TelemetryValidator (voiceprint.telemetry/v1 schema, gapless frame
 // sequence, non-decreasing stream clock, counter monotonicity, histogram
 // shape, and the conservation laws re-evaluated per frame). Exit status 0
@@ -42,6 +47,7 @@
 
 #include "core/report.h"
 #include "fault/report.h"
+#include "fusion/report.h"
 #include "obs/json.h"
 #include "obs/report.h"
 #include "obs/telemetry.h"
@@ -193,6 +199,30 @@ int check_comparison_bench(const std::string& path) {
   return 0;
 }
 
+int check_fusion_bench(const std::string& path) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::cerr << "check_run_report: cannot read " << path << "\n";
+    return 1;
+  }
+  vp::obs::json::Value bench;
+  try {
+    bench = vp::obs::json::parse(text);
+  } catch (const std::exception& e) {
+    std::cerr << "check_run_report: " << path << ": " << e.what() << "\n";
+    return 1;
+  }
+  std::string error;
+  if (!vp::fusion::validate_fusion_bench(bench, &error)) {
+    std::cerr << "check_run_report: " << path << ": " << error << "\n";
+    return 1;
+  }
+  std::cout << "ok: " << path << " ("
+            << bench.find("configs")->as_array().size()
+            << " fusion bench configs)\n";
+  return 0;
+}
+
 int check_telemetry(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -274,7 +304,8 @@ int main(int argc, char** argv) {
       "usage: check_run_report [report.json] [--trace <trace.jsonl>] "
       "[--require <counter>]... [--stream-bench <bench.json>] "
       "[--service-bench <bench.json>] [--chaos-bench <bench.json>] "
-      "[--comparison-bench <bench.json>] [--telemetry <telemetry.jsonl>]\n"
+      "[--comparison-bench <bench.json>] [--fusion-bench <bench.json>] "
+      "[--telemetry <telemetry.jsonl>]\n"
       "       (report.json may be omitted when only bench/telemetry "
       "artefacts are checked)\n";
   std::string report_path;
@@ -283,6 +314,7 @@ int main(int argc, char** argv) {
   std::string service_bench_path;
   std::string chaos_bench_path;
   std::string comparison_bench_path;
+  std::string fusion_bench_path;
   std::string telemetry_path;
   std::vector<std::string> required_counters;
   for (int i = 1; i < argc; ++i) {
@@ -299,6 +331,8 @@ int main(int argc, char** argv) {
       chaos_bench_path = argv[++i];
     } else if (arg == "--comparison-bench" && i + 1 < argc) {
       comparison_bench_path = argv[++i];
+    } else if (arg == "--fusion-bench" && i + 1 < argc) {
+      fusion_bench_path = argv[++i];
     } else if (arg == "--telemetry" && i + 1 < argc) {
       telemetry_path = argv[++i];
     } else if (report_path.empty()) {
@@ -312,6 +346,7 @@ int main(int argc, char** argv) {
                          !service_bench_path.empty() ||
                          !chaos_bench_path.empty() ||
                          !comparison_bench_path.empty() ||
+                         !fusion_bench_path.empty() ||
                          !telemetry_path.empty();
   if (report_path.empty() &&
       (!has_bench || !trace_path.empty() || !required_counters.empty())) {
@@ -331,6 +366,7 @@ int main(int argc, char** argv) {
   if (!comparison_bench_path.empty()) {
     status |= check_comparison_bench(comparison_bench_path);
   }
+  if (!fusion_bench_path.empty()) status |= check_fusion_bench(fusion_bench_path);
   if (!telemetry_path.empty()) status |= check_telemetry(telemetry_path);
   return status;
 }
