@@ -34,68 +34,22 @@
 #include "obs/telemetry.h"
 #include "service/report.h"
 #include "service/service.h"
+#include "sim/replay_source.h"
 
 namespace {
 
 using namespace vp;
-
-struct FleetRx {
-  double time_s;
-  service::SessionId session;
-  IdentityId id;
-  double rssi_dbm;
-};
-
-// One identity's beacons heard by one session over [0, duration):
-// nominal 1/rate spacing with MAC-ish jitter, values an AR(1) shadowing
-// walk around a mean level.
-void synthesize_identity(service::SessionId session, IdentityId id,
-                         double rate_hz, double duration_s,
-                         std::vector<FleetRx>& out) {
-  Rng rng(mix64(mix64(0xf1ee7, session), id));
-  const double period = 1.0 / rate_hz;
-  double shadow = 0.0;
-  const double level = -60.0 - rng.uniform(0.0, 25.0);
-  const double phase = rng.uniform(0.0, period);
-  for (double t = phase; t < duration_s; t += period) {
-    shadow = 0.9 * shadow + rng.normal(0.0, 1.5);
-    const double jitter = rng.uniform(0.0, 0.2 * period);
-    out.push_back(
-        {t + jitter, session, id, level + shadow + rng.normal(0.0, 0.5)});
-  }
-}
-
-std::vector<FleetRx> synthesize_fleet(std::size_t sessions,
-                                      std::size_t identities, double rate_hz,
-                                      double duration_s) {
-  std::vector<FleetRx> beacons;
-  beacons.reserve(static_cast<std::size_t>(static_cast<double>(sessions) *
-                                           static_cast<double>(identities) *
-                                           rate_hz * duration_s) +
-                  sessions * identities);
-  for (std::size_t s = 0; s < sessions; ++s) {
-    for (std::size_t i = 0; i < identities; ++i) {
-      synthesize_identity(static_cast<service::SessionId>(s + 1),
-                          static_cast<IdentityId>(i + 1), rate_hz, duration_s,
-                          beacons);
-    }
-  }
-  std::sort(beacons.begin(), beacons.end(),
-            [](const FleetRx& a, const FleetRx& b) {
-              if (a.time_s != b.time_s) return a.time_s < b.time_s;
-              if (a.session != b.session) return a.session < b.session;
-              return a.id < b.id;
-            });
-  return beacons;
-}
 
 service::ServiceBenchConfigResult run_config(
     const std::string& label, std::size_t sessions, std::size_t identities,
     double rate_hz, double duration_s, std::size_t shards,
     std::size_t threads, bool overload, const vp::RunFlags& run_flags,
     obs::TelemetryExporter& telemetry) {
-  const std::vector<FleetRx> beacons =
-      synthesize_fleet(sessions, identities, rate_hz, duration_s);
+  // Shared with bench/wire_throughput: both synthesise the same fleet
+  // (same seeds, same arrival order), so BENCH_service and BENCH_wire
+  // rows at matching parameters measure the same workload.
+  const std::vector<sim::FleetBeacon> beacons =
+      sim::synthesize_fleet(sessions, identities, rate_hz, duration_s);
 
   service::ServiceConfig config;
   config.shards = shards;
@@ -133,8 +87,8 @@ service::ServiceBenchConfigResult run_config(
   pump_ns.reset();
 
   const auto start = std::chrono::steady_clock::now();
-  for (const FleetRx& rx : beacons) {
-    fleet.ingest(rx.session, rx.id, rx.time_s, rx.rssi_dbm);
+  for (const sim::FleetBeacon& rx : beacons) {
+    fleet.ingest(rx.observer, rx.id, rx.time_s, rx.rssi_dbm);
     telemetry.sample(rx.time_s);
   }
   fleet.advance_all_to(duration_s);

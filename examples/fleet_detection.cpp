@@ -32,6 +32,7 @@
 #include "obs/report.h"
 #include "obs/telemetry.h"
 #include "service/service.h"
+#include "sim/replay_source.h"
 #include "sim/runner.h"
 #include "sim/world.h"
 #include "stream/engine.h"
@@ -39,13 +40,6 @@
 namespace {
 
 using namespace vp;
-
-struct FleetRx {
-  double time_s;
-  NodeId observer;
-  IdentityId id;
-  double rssi_dbm;
-};
 
 // Everything the fusion layer produces for one run: the closed epochs in
 // order plus the end-of-run trust scores and counters. Compared bitwise
@@ -142,21 +136,11 @@ int main(int argc, char** argv) {
 
   // The fleet's receptions in arrival order: every observer's log merged
   // into one stream keyed (time, observer, identity) — the interleaving a
-  // shared ingestion front-end would see.
-  std::vector<FleetRx> fleet;
-  for (NodeId observer : observers) {
-    const sim::RssiLog& log = world.node(observer).log();
-    for (IdentityId id : log.identities_heard(0.0, horizon, 1)) {
-      for (const sim::BeaconRecord& r : log.records(id, 0.0, horizon)) {
-        fleet.push_back({r.time_s, observer, id, r.rssi_dbm});
-      }
-    }
-  }
-  std::sort(fleet.begin(), fleet.end(), [](const FleetRx& a, const FleetRx& b) {
-    if (a.time_s != b.time_s) return a.time_s < b.time_s;
-    if (a.observer != b.observer) return a.observer < b.observer;
-    return a.id < b.id;
-  });
+  // shared ingestion front-end would see. sim::replay_from_world is the
+  // single source of this stream for the example, the benches and the
+  // wire client, so all paths replay identical sequences.
+  const std::vector<sim::FleetBeacon> fleet =
+      sim::replay_from_world(world, observers, horizon, 1);
 
   stream::StreamEngineConfig engine_config;
   engine_config.observation_time_s = config.observation_time_s;
@@ -178,7 +162,7 @@ int main(int argc, char** argv) {
     engine.set_round_callback([&, observer](const stream::StreamRound& round) {
       reference[observer].push_back(round);
     });
-    for (const FleetRx& rx : fleet) {
+    for (const sim::FleetBeacon& rx : fleet) {
       if (rx.observer != observer) continue;
       engine.ingest(rx.id, rx.time_s, rx.rssi_dbm);
     }
@@ -243,7 +227,7 @@ int main(int argc, char** argv) {
             });
       }
 
-      for (const FleetRx& rx : fleet) {
+      for (const sim::FleetBeacon& rx : fleet) {
         fleet_service.ingest(static_cast<service::SessionId>(rx.observer),
                              rx.id, rx.time_s, rx.rssi_dbm);
         if (fusion_engine) fusion_engine->advance(rx.time_s);

@@ -27,18 +27,24 @@ service_bench="$build_dir/bench/service_throughput"
 chaos_bench="$build_dir/bench/chaos_detection"
 complexity_bench="$build_dir/bench/sec6_complexity"
 fusion_bench="$build_dir/bench/fusion_quality"
+wire_bench="$build_dir/bench/wire_throughput"
+ingest_server="$build_dir/tools/vp_ingest_server"
+ingest_client="$build_dir/tools/vp_ingest_client"
 checker="$build_dir/tools/check_run_report"
 top="$build_dir/tools/vp_top"
 
 if [[ ! -x "$quickstart" || ! -x "$highway" || ! -x "$streaming" \
       || ! -x "$fleet" || ! -x "$stream_bench" || ! -x "$service_bench" \
       || ! -x "$chaos_bench" || ! -x "$complexity_bench" \
-      || ! -x "$fusion_bench" || ! -x "$checker" || ! -x "$top" ]]; then
+      || ! -x "$fusion_bench" || ! -x "$wire_bench" \
+      || ! -x "$ingest_server" || ! -x "$ingest_client" \
+      || ! -x "$checker" || ! -x "$top" ]]; then
   echo "smoke: binaries missing, building in $build_dir"
   cmake -B "$build_dir" -S "$repo_root"
   cmake --build "$build_dir" -j --target quickstart highway_sybil_sim \
     streaming_detection fleet_detection stream_throughput \
     service_throughput chaos_detection sec6_complexity fusion_quality \
+    wire_throughput vp_ingest_server vp_ingest_client \
     check_run_report vp_top
 fi
 
@@ -189,6 +195,45 @@ grep -q "streaming parity: OK" "$tmp/streaming_pruned.out" || {
   cat "$tmp/streaming_pruned.out"
   exit 1
 }
+
+echo "smoke: wire ingest server + client over loopback TCP"
+rm -f "$tmp/vp.port"
+"$ingest_server" --port 0 --port-file "$tmp/vp.port" \
+  --expect-connections 2 --max-seconds 60 \
+  --telemetry-out "$tmp/wire_telemetry.jsonl" > "$tmp/wire_server.out" &
+server_pid=$!
+if ! "$ingest_client" --port-file "$tmp/vp.port" --connections 2 \
+    --sessions 4 --identities 4 --rate 10 --duration 10 \
+    > "$tmp/wire_client.out"; then
+  echo "smoke: vp_ingest_client failed"
+  cat "$tmp/wire_client.out"
+  kill "$server_pid" 2>/dev/null || true
+  exit 1
+fi
+if ! wait "$server_pid"; then
+  echo "smoke: vp_ingest_server exited with failure (timeout or alerts)"
+  cat "$tmp/wire_server.out"
+  exit 1
+fi
+grep -q "0 invalid, 0 backpressure" "$tmp/wire_server.out" || {
+  echo "smoke: vp_ingest_server shed frames on a clean stream"
+  cat "$tmp/wire_server.out"
+  exit 1
+}
+grep -q "0 health alerts" "$tmp/wire_server.out" || {
+  echo "smoke: vp_ingest_server raised health alerts"
+  cat "$tmp/wire_server.out"
+  exit 1
+}
+
+echo "smoke: validating wire telemetry stream"
+"$checker" --telemetry "$tmp/wire_telemetry.jsonl"
+
+echo "smoke: wire_throughput --quick"
+"$wire_bench" --quick --out "$tmp/BENCH_wire.json" > "$tmp/wire_bench.out"
+
+echo "smoke: validating wire bench artefact"
+"$checker" --wire-bench "$tmp/BENCH_wire.json"
 
 echo "smoke: sec6_complexity --quick (pruned-vs-exact bench artefact)"
 "$complexity_bench" --quick --out "$tmp/BENCH_comparison.json" \

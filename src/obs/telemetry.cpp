@@ -99,6 +99,12 @@ const std::vector<ConservationLaw>& conservation_laws() {
        {"fusion.rounds_fused", "fusion.rounds_expired"},
        {"fusion.rounds_pending"},
        false},
+      {"conservation.wire.frames",
+       {"wire.frames_received"},
+       {"wire.frames_ingested", "wire.frames_shed_invalid",
+        "wire.frames_shed_backpressure"},
+       {"wire.frames_buffered"},
+       false},
       {"conservation.fault.beacons",
        {"fault.offered", "fault.duplicated", "fault.flood_injected"},
        {"fault.emitted", "fault.dropped", "fault.burst_dropped"},

@@ -71,13 +71,28 @@ const Sinks& sinks() {
   return s;
 }
 
-void set_session_gauges(std::size_t active, std::size_t queued) {
-  if (!obs::enabled()) return;
-  sinks().sessions_active->set(static_cast<double>(active));
-  sinks().queued_rounds->set(static_cast<double>(queued));
-}
-
 }  // namespace
+
+void DetectionService::publish_session_gauges() {
+  // Deltas, not absolutes: the registry gauge is shared by every live
+  // service in the process (wire ingestion routes across several
+  // backends), so each instance maintains only its own contribution.
+  // All gauge writes happen on the harness/pump thread, so the
+  // read-modify-write needs no atomicity beyond the gauge's own.
+  if (!obs::enabled()) return;
+  if (sessions_active_ != published_active_) {
+    obs::Gauge& g = *sinks().sessions_active;
+    g.set(g.value() + static_cast<double>(sessions_active_) -
+          static_cast<double>(published_active_));
+    published_active_ = sessions_active_;
+  }
+  if (queued_total_ != published_queued_) {
+    obs::Gauge& g = *sinks().queued_rounds;
+    g.set(g.value() + static_cast<double>(queued_total_) -
+          static_cast<double>(published_queued_));
+    published_queued_ = queued_total_;
+  }
+}
 
 DetectionService::DetectionService(ServiceConfig config)
     : config_(std::move(config)), shards_(std::max<std::size_t>(
@@ -115,7 +130,13 @@ DetectionService::DetectionService(ServiceConfig config,
     });
     ++sessions_active_;
   }
-  set_session_gauges(sessions_active_, queued_total_);
+  // The restored sessions were already published as active by the
+  // checkpointed predecessor (same-process failover) or by a previous
+  // incarnation whose final gauge contribution persists in the registry
+  // (kill/restore). Either way this instance inherits that contribution
+  // rather than re-publishing it, so sessions_opened = closed + evicted
+  // + active keeps holding across a restore.
+  published_active_ = sessions_active_;
 }
 
 ServiceCheckpoint DetectionService::checkpoint() const {
@@ -173,7 +194,7 @@ DetectionService::Session* DetectionService::open_session(SessionId session) {
   ++sessions_active_;
   ++stats_.sessions_opened;
   if (obs::enabled()) sinks().sessions_opened->add(1);
-  set_session_gauges(sessions_active_, queued_total_);
+  publish_session_gauges();
   return &s;
 }
 
@@ -255,7 +276,7 @@ void DetectionService::enqueue_round(Session& session,
   pending.input = std::move(input);
   shards_[session.shard].queue.push_back(std::move(pending));
   ++queued_total_;
-  set_session_gauges(sessions_active_, queued_total_);
+  publish_session_gauges();
 }
 
 void DetectionService::maybe_auto_pump() {
@@ -271,6 +292,19 @@ void DetectionService::advance_all_to(double time_s) {
     }
   }
   pump();
+}
+
+bool DetectionService::advance_session_to(SessionId session, double time_s) {
+  Session* s = find_session(session);
+  if (s == nullptr) return false;
+  service_time_ = std::max(service_time_, time_s);
+  // Counts as activity for idle eviction: a heartbeat is the session
+  // saying "alive, nothing heard" — evicting it would drop its state
+  // while the connection is still open.
+  s->last_offered_s = std::max(s->last_offered_s, time_s);
+  s->engine.advance_to(time_s);
+  maybe_auto_pump();
+  return true;
 }
 
 std::size_t DetectionService::pump() {
@@ -341,7 +375,7 @@ std::size_t DetectionService::pump() {
     }
   }
   evict_idle();
-  set_session_gauges(sessions_active_, queued_total_);
+  publish_session_gauges();
   pumping_ = false;
   return total;
 }
@@ -386,7 +420,7 @@ bool DetectionService::close(SessionId session) {
   --sessions_active_;
   ++stats_.sessions_closed;
   if (obs::enabled()) sinks().sessions_closed->add(1);
-  set_session_gauges(sessions_active_, queued_total_);
+  publish_session_gauges();
   return true;
 }
 

@@ -160,6 +160,16 @@ class DetectionService {
   // rounds), then pumps. Call with the trace end time to flush.
   void advance_all_to(double time_s);
 
+  // Advances one session's stream clock to time_s (preparing any due
+  // rounds), leaving every other session untouched. This is the wire
+  // heartbeat/close path: connections progress at different stream
+  // rates, and advancing the whole fleet to the fastest connection's
+  // clock would run slower sessions' rounds early over partial windows —
+  // breaking bit-parity with direct ingestion. Queued rounds run at the
+  // next pump (or inline via the auto-pump threshold). Returns false for
+  // an unknown session.
+  bool advance_session_to(SessionId session, double time_s);
+
   // Executes every queued round on the pool (one task per shard, FIFO
   // within the shard), delivers results in deterministic order, then
   // evicts idle sessions. Returns the number of rounds executed.
@@ -240,6 +250,7 @@ class DetectionService {
   void enqueue_round(Session& session, stream::RoundInput&& input);
   void evict_idle();
   void maybe_auto_pump();
+  void publish_session_gauges();
 
   ServiceConfig config_;
   std::vector<Shard> shards_;
@@ -252,6 +263,15 @@ class DetectionService {
   Stats stats_;
   std::size_t sessions_active_ = 0;
   std::size_t queued_total_ = 0;
+  // This instance's last-published contribution to the shared
+  // service.sessions_active / service.queued_rounds gauges. Gauge
+  // updates publish *deltas* of the instance's own counts so several
+  // live backends (the wire ingestion tier routes across one-or-more
+  // services, and failover keeps a drained predecessor alive) sum
+  // correctly in one registry. A restored service inherits its
+  // predecessor's published contribution instead of re-publishing it.
+  std::size_t published_active_ = 0;
+  std::size_t published_queued_ = 0;
   double service_time_ = 0.0;
   bool pumping_ = false;  // re-entrancy guard for callback-driven calls
 };

@@ -1,0 +1,72 @@
+#include "wire/client.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.h"
+
+namespace vp::wire {
+
+std::vector<std::uint8_t> encode_fleet_stream(
+    const std::vector<sim::FleetBeacon>& fleet,
+    const std::vector<std::uint64_t>& observers,
+    const FleetStreamOptions& options) {
+  std::vector<std::uint8_t> bytes;
+  FrameEncoder encoder;
+  // Sorted: OPEN/CLOSE order must not depend on the caller's slice
+  // order, or two runs of the same slice would differ byte-for-byte.
+  std::vector<std::uint64_t> sorted(observers.begin(), observers.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  for (std::uint64_t observer : sorted) {
+    encoder.append_open(observer, 0.0, bytes);
+  }
+
+  double next_heartbeat = options.heartbeat_period_s;
+  for (const sim::FleetBeacon& beacon : fleet) {
+    if (!std::binary_search(sorted.begin(), sorted.end(), beacon.observer)) {
+      continue;
+    }
+    if (options.heartbeat_period_s > 0.0) {
+      // Heartbeats ride the stream clock: before the first beacon past
+      // a period boundary, every observer on this connection reports
+      // "alive through the boundary". Stamped with the boundary, not
+      // the beacon time, so the stream stays time-ordered per observer.
+      while (beacon.time_s >= next_heartbeat) {
+        for (std::uint64_t observer : sorted) {
+          encoder.append_heartbeat(observer, next_heartbeat, bytes);
+        }
+        next_heartbeat += options.heartbeat_period_s;
+      }
+    }
+    encoder.append_beacon(beacon.observer, beacon.id, beacon.time_s,
+                          beacon.rssi_dbm, bytes);
+  }
+
+  for (std::uint64_t observer : sorted) {
+    encoder.append_close(observer, options.close_time_s, bytes);
+  }
+  return bytes;
+}
+
+StreamSender::StreamSender(Connection* connection,
+                           std::vector<std::uint8_t> bytes,
+                           std::size_t chunk_bytes)
+    : connection_(connection),
+      bytes_(std::move(bytes)),
+      chunk_bytes_(std::max<std::size_t>(chunk_bytes, 1)) {
+  VP_REQUIRE(connection_ != nullptr);
+}
+
+std::size_t StreamSender::send_some() {
+  if (done()) return 0;
+  const std::size_t want = std::min(chunk_bytes_, remaining());
+  const std::size_t sent = connection_->send(
+      std::span<const std::uint8_t>(bytes_.data() + cursor_, want));
+  cursor_ += sent;
+  return sent;
+}
+
+}  // namespace vp::wire

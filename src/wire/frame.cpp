@@ -1,0 +1,154 @@
+#include "wire/frame.h"
+
+#include <algorithm>
+
+#include "common/binio.h"
+#include "common/error.h"
+
+namespace vp::wire {
+
+void encode_frame(const Frame& frame, std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  ByteWriter writer(out);
+  for (std::uint8_t b : kWireMagic) writer.put_u8(b);
+  writer.put_u8(kWireVersion);
+  writer.put_u8(static_cast<std::uint8_t>(frame.type));
+  writer.put_u64(frame.seq);
+  writer.put_u64(frame.observer);
+  writer.put_u32(frame.identity);
+  writer.put_f64(frame.time_s);
+  writer.put_f64(frame.rssi_dbm);
+  VP_ASSERT(out.size() - start == kFramePayloadBytes);
+  writer.put_u64(fnv1a64(
+      std::span<const std::uint8_t>(out.data() + start, kFramePayloadBytes)));
+  VP_ASSERT(out.size() - start == kFrameBytes);
+}
+
+void FrameEncoder::append(FrameType type, std::uint64_t observer,
+                          IdentityId id, double time_s, double rssi_dbm,
+                          std::vector<std::uint8_t>& out) {
+  Frame frame;
+  frame.type = type;
+  frame.seq = next_seq_++;
+  frame.observer = observer;
+  frame.identity = id;
+  frame.time_s = time_s;
+  frame.rssi_dbm = rssi_dbm;
+  encode_frame(frame, out);
+}
+
+void FrameEncoder::append_open(std::uint64_t observer, double time_s,
+                               std::vector<std::uint8_t>& out) {
+  append(FrameType::kOpen, observer, 0, time_s, 0.0, out);
+}
+
+void FrameEncoder::append_beacon(std::uint64_t observer, IdentityId id,
+                                 double time_s, double rssi_dbm,
+                                 std::vector<std::uint8_t>& out) {
+  append(FrameType::kBeacon, observer, id, time_s, rssi_dbm, out);
+}
+
+void FrameEncoder::append_heartbeat(std::uint64_t observer, double time_s,
+                                    std::vector<std::uint8_t>& out) {
+  append(FrameType::kHeartbeat, observer, 0, time_s, 0.0, out);
+}
+
+void FrameEncoder::append_close(std::uint64_t observer, double time_s,
+                                std::vector<std::uint8_t>& out) {
+  append(FrameType::kClose, observer, 0, time_s, 0.0, out);
+}
+
+FrameDecoder::FrameDecoder(std::size_t max_buffered_bytes)
+    : max_bytes_(std::max(max_buffered_bytes, kFrameBytes)) {}
+
+std::size_t FrameDecoder::push(std::span<const std::uint8_t> bytes) {
+  // Compact lazily: only when the tail would not fit, so the common
+  // case (steady decode keeping the buffer near-empty) never memmoves.
+  if (buffer_.size() + bytes.size() > max_bytes_ && consumed_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  const std::size_t take =
+      std::min(bytes.size(), max_bytes_ - buffer_.size());
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.begin() + take);
+  return take;
+}
+
+std::size_t FrameDecoder::capacity_remaining() const {
+  return max_bytes_ - buffered_bytes();
+}
+
+DecodeStatus FrameDecoder::next(Frame& out, RejectReason* reason) {
+  const auto reject = [&](RejectReason r, std::size_t consume) {
+    consumed_ += consume;
+    if (reason != nullptr) *reason = r;
+    return DecodeStatus::kRejected;
+  };
+
+  const std::uint8_t* data = buffer_.data() + consumed_;
+  std::size_t have = buffered_bytes();
+
+  // Resynchronise: find the first position whose bytes are a (possibly
+  // partial) prefix of the magic. Everything before it is junk —
+  // consumed in one step and reported as a single kBadMagic reject, so
+  // a run of garbage cannot inflate the frame counters.
+  std::size_t sync = 0;
+  while (sync < have) {
+    const std::size_t probe = std::min(have - sync, sizeof(kWireMagic));
+    if (std::equal(data + sync, data + sync + probe, kWireMagic)) break;
+    ++sync;
+  }
+  if (sync > 0) return reject(RejectReason::kBadMagic, sync);
+  if (have < kFrameBytes) return DecodeStatus::kNeedMore;
+
+  // Full frame present and magic-aligned. Version gates everything —
+  // it owns the layout, so an unknown version cannot be checksummed —
+  // then the checksum gates every remaining field.
+  // The reads below cannot fail (a full frame is present); VP_ENSURE
+  // rather than VP_ASSERT because the getters are side-effecting and
+  // debug-only checks compile out.
+  ByteReader reader(std::span<const std::uint8_t>(data, kFrameBytes));
+  VP_ENSURE(reader.skip(sizeof(kWireMagic)));
+  std::uint8_t version = 0;
+  VP_ENSURE(reader.get_u8(version));
+  if (version != kWireVersion) {
+    return reject(RejectReason::kBadVersion, kFrameBytes);
+  }
+  const std::uint64_t expected =
+      fnv1a64(std::span<const std::uint8_t>(data, kFramePayloadBytes));
+  std::uint64_t trailer = 0;
+  {
+    ByteReader tail(std::span<const std::uint8_t>(data + kFramePayloadBytes,
+                                                  sizeof(std::uint64_t)));
+    VP_ENSURE(tail.get_u64(trailer));
+  }
+  if (trailer != expected) {
+    return reject(RejectReason::kBadChecksum, kFrameBytes);
+  }
+
+  std::uint8_t type = 0;
+  Frame frame;
+  VP_ENSURE(reader.get_u8(type) && reader.get_u64(frame.seq) &&
+            reader.get_u64(frame.observer) && reader.get_u32(frame.identity) &&
+            reader.get_f64(frame.time_s) && reader.get_f64(frame.rssi_dbm));
+  if (type < static_cast<std::uint8_t>(FrameType::kOpen) ||
+      type > static_cast<std::uint8_t>(FrameType::kClose)) {
+    return reject(RejectReason::kBadType, kFrameBytes);
+  }
+  frame.type = static_cast<FrameType>(type);
+  if (frame.seq <= last_seq_) {
+    return reject(RejectReason::kReplayedSeq, kFrameBytes);
+  }
+
+  last_seq_ = frame.seq;
+  consumed_ += kFrameBytes;
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+  out = frame;
+  return DecodeStatus::kFrame;
+}
+
+}  // namespace vp::wire

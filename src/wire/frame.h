@@ -1,0 +1,136 @@
+// VPWB beacon wire format and streaming decoder (DESIGN.md §14).
+//
+// The wire boundary is the first untrusted surface in the deployment: a
+// roadside collector receives beacon reports from radios it does not
+// control, over transports that fragment, truncate and corrupt. Every
+// frame therefore carries its own integrity evidence, and the decoder
+// rejects damage *structurally* — before any field can touch a session's
+// stream clock — mirroring the PR 5 validation front at the byte layer.
+//
+// Frame layout (fixed 50 bytes, little-endian, binio.h field encoding):
+//
+//   offset  size  field
+//        0     4  magic "VPWB"
+//        4     1  version (1)
+//        5     1  type (1=OPEN, 2=BEACON, 3=HEARTBEAT, 4=CLOSE)
+//        6     8  seq — per-connection, strictly increasing from 1
+//       14     8  observer id (the service session id)
+//       22     4  identity id (0 for control frames)
+//       26     8  stream time [s], IEEE-754 bits
+//       34     8  RSSI [dBm], IEEE-754 bits
+//       42     8  FNV-1a 64 over bytes [0, 42)
+//
+// Control frames reuse the beacon layout so the decoder is one code
+// path: OPEN announces an observer (time = first beacon's stream time or
+// 0), HEARTBEAT advances the observer's stream clock without a
+// reception (the watermark path for quiet radios), CLOSE is the last
+// frame an observer sends and carries its final stream time.
+//
+// The decoder is a push parser: feed it whatever bytes arrived, ask for
+// frames until it reports kNeedMore. Garbage between frames is skipped
+// by resynchronising on the next possible magic, one reject per junk
+// run; a frame that fails version/checksum/type/sequence checks is
+// consumed whole and reported with its reason. A replayed or reordered
+// sequence number is rejected here — the transport guarantees in-order
+// delivery, so a regressing seq can only be duplication or splicing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace vp::wire {
+
+inline constexpr std::size_t kFrameBytes = 50;
+inline constexpr std::size_t kFramePayloadBytes = 42;  // checksummed prefix
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireMagic[4] = {'V', 'P', 'W', 'B'};
+
+enum class FrameType : std::uint8_t {
+  kOpen = 1,
+  kBeacon = 2,
+  kHeartbeat = 3,
+  kClose = 4,
+};
+
+struct Frame {
+  FrameType type = FrameType::kBeacon;
+  std::uint64_t seq = 0;
+  std::uint64_t observer = 0;
+  IdentityId identity = 0;
+  double time_s = 0.0;
+  double rssi_dbm = 0.0;
+};
+
+// Appends the 50-byte encoding of `frame` to `out`. The caller owns seq
+// assignment; FrameEncoder below stamps the per-connection sequence.
+void encode_frame(const Frame& frame, std::vector<std::uint8_t>& out);
+
+// Per-connection encoder: stamps strictly increasing sequence numbers
+// starting at 1, the decoder's replay-rejection contract.
+class FrameEncoder {
+ public:
+  void append_open(std::uint64_t observer, double time_s,
+                   std::vector<std::uint8_t>& out);
+  void append_beacon(std::uint64_t observer, IdentityId id, double time_s,
+                     double rssi_dbm, std::vector<std::uint8_t>& out);
+  void append_heartbeat(std::uint64_t observer, double time_s,
+                        std::vector<std::uint8_t>& out);
+  void append_close(std::uint64_t observer, double time_s,
+                    std::vector<std::uint8_t>& out);
+
+  std::uint64_t frames_encoded() const { return next_seq_ - 1; }
+
+ private:
+  void append(FrameType type, std::uint64_t observer, IdentityId id,
+              double time_s, double rssi_dbm, std::vector<std::uint8_t>& out);
+
+  std::uint64_t next_seq_ = 1;
+};
+
+enum class DecodeStatus : std::uint8_t {
+  kFrame,     // a valid frame was produced
+  kNeedMore,  // buffer holds at most a frame prefix; feed more bytes
+  kRejected,  // damage consumed and counted; reason tells why
+};
+
+enum class RejectReason : std::uint8_t {
+  kBadMagic,     // junk between frames (one reject per resync run)
+  kBadVersion,   // unknown version byte under a valid checksum
+  kBadChecksum,  // FNV-1a trailer mismatch: corruption or truncation
+  kBadType,      // checksum-valid frame with an unknown type
+  kReplayedSeq,  // sequence regressed: duplicated or spliced frame
+};
+
+// Streaming frame parser over one connection's byte arrivals. Bounded:
+// push() accepts at most capacity_remaining() bytes, so a peer that
+// stops being decodable cannot grow the buffer past its cap — the
+// per-connection backpressure bound the IngestServer relies on.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_buffered_bytes = 64 * 1024);
+
+  // Appends bytes to the decode buffer; returns how many were taken
+  // (bytes past the cap are refused, the caller retries after next()).
+  std::size_t push(std::span<const std::uint8_t> bytes);
+
+  // Extracts the next frame. kFrame fills `out`; kRejected fills
+  // `reason` (when non-null) and has consumed the damaged bytes;
+  // kNeedMore means the buffer holds only a frame prefix.
+  DecodeStatus next(Frame& out, RejectReason* reason = nullptr);
+
+  std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+  std::size_t capacity_remaining() const;
+  // Highest accepted sequence number (0 before the first frame).
+  std::uint64_t last_seq() const { return last_seq_; }
+
+ private:
+  std::size_t max_bytes_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+  std::uint64_t last_seq_ = 0;
+};
+
+}  // namespace vp::wire

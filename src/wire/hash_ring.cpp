@@ -1,0 +1,39 @@
+#include "wire/hash_ring.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace vp::wire {
+
+HashRing::HashRing(std::size_t backends, std::size_t vnodes_per_backend)
+    : backends_(backends) {
+  VP_REQUIRE(backends >= 1);
+  VP_REQUIRE(vnodes_per_backend >= 1);
+  points_.reserve(backends * vnodes_per_backend);
+  for (std::size_t b = 0; b < backends; ++b) {
+    for (std::size_t v = 0; v < vnodes_per_backend; ++v) {
+      points_.push_back(Point{
+          .position = mix64(0x0b5e2ea1 + static_cast<std::uint64_t>(b),
+                            static_cast<std::uint64_t>(v)),
+          .backend = static_cast<std::uint32_t>(b)});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              if (a.position != b.position) return a.position < b.position;
+              return a.backend < b.backend;  // stable under collisions
+            });
+}
+
+std::size_t HashRing::route(std::uint64_t key) const {
+  const std::uint64_t position = mix64(0x0b5e2e0b, key);
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), position,
+      [](const Point& p, std::uint64_t pos) { return p.position < pos; });
+  const Point& owner = it == points_.end() ? points_.front() : *it;
+  return owner.backend;
+}
+
+}  // namespace vp::wire

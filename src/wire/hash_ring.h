@@ -1,0 +1,43 @@
+// Consistent-hash routing of observer ids to service backends
+// (DESIGN.md §14).
+//
+// The ingest tier routes every frame for one observer to the same
+// DetectionService backend — a session lives in exactly one service, so
+// routing must be a pure function of the observer id and the backend
+// topology. A consistent ring (each backend owns many pseudo-random
+// virtual points; a key routes to the first point at or after its hash)
+// gives that function two properties a modulus cannot: adding a backend
+// moves only the keys that land on its points, and failover is a pure
+// point-relabelling — the standby inherits the failed backend's ring
+// points, so every routed observer follows without rehashing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vp::wire {
+
+class HashRing {
+ public:
+  // `backends` is the number of routable slots; `vnodes_per_backend`
+  // virtual points each. Both must be >= 1. The ring layout depends
+  // only on these two numbers, never on insertion order.
+  HashRing(std::size_t backends, std::size_t vnodes_per_backend);
+
+  // The backend slot owning `key`'s ring position.
+  std::size_t route(std::uint64_t key) const;
+
+  std::size_t backends() const { return backends_; }
+
+ private:
+  struct Point {
+    std::uint64_t position;
+    std::uint32_t backend;
+  };
+
+  std::size_t backends_;
+  std::vector<Point> points_;  // sorted by position
+};
+
+}  // namespace vp::wire

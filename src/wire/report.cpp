@@ -1,0 +1,155 @@
+#include "wire/report.h"
+
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace vp::wire {
+
+namespace {
+
+using obs::json::Array;
+using obs::json::Object;
+using obs::json::Value;
+
+Value snapshot_json(const obs::HistogramSnapshot& s) {
+  Object o;
+  o.emplace("count", Value(s.count));
+  o.emplace("sum", Value(s.sum));
+  o.emplace("min", Value(s.min));
+  o.emplace("max", Value(s.max));
+  o.emplace("mean", Value(s.mean));
+  o.emplace("p50", Value(s.p50));
+  o.emplace("p95", Value(s.p95));
+  o.emplace("p99", Value(s.p99));
+  return Value(std::move(o));
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool require_number(const Value& object, const char* key,
+                    const std::string& where, std::string* error) {
+  const Value* v = object.find(key);
+  if (v == nullptr || !v->is_number()) {
+    return fail(error, where + ": missing or non-numeric \"" + key + "\"");
+  }
+  return true;
+}
+
+bool require_snapshot(const Value& row, const char* key,
+                      const std::string& where, std::string* error) {
+  const Value* snapshot = row.find(key);
+  if (snapshot == nullptr || !snapshot->is_object()) {
+    return fail(error,
+                where + ": missing or non-object \"" + std::string(key) +
+                    "\"");
+  }
+  for (const char* field :
+       {"count", "sum", "min", "max", "mean", "p50", "p95", "p99"}) {
+    if (!require_number(*snapshot, field, where + "." + key, error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Value build_wire_bench_report(
+    const std::string& binary,
+    const std::vector<WireBenchConfigResult>& configs) {
+  Object doc;
+  doc.emplace("schema", Value("voiceprint.wire_bench/v1"));
+  doc.emplace("binary", Value(binary));
+  doc.emplace("hardware_threads", Value(hardware_threads()));
+  Array rows;
+  for (const WireBenchConfigResult& c : configs) {
+    Object row;
+    row.emplace("label", Value(c.label));
+    row.emplace("connections", Value(c.connections));
+    row.emplace("observers", Value(c.observers));
+    row.emplace("identities_per_observer", Value(c.identities_per_observer));
+    row.emplace("beacon_rate_hz", Value(c.beacon_rate_hz));
+    row.emplace("duration_s", Value(c.duration_s));
+    row.emplace("backends", Value(c.backends));
+    row.emplace("shards", Value(c.shards));
+    row.emplace("threads", Value(c.threads));
+    row.emplace("bytes_received", Value(c.bytes_received));
+    row.emplace("frames_received", Value(c.frames_received));
+    row.emplace("frames_ingested", Value(c.frames_ingested));
+    row.emplace("frames_shed_invalid", Value(c.frames_shed_invalid));
+    row.emplace("frames_shed_backpressure",
+                Value(c.frames_shed_backpressure));
+    row.emplace("beacons_ingested", Value(c.beacons_ingested));
+    row.emplace("rounds_executed", Value(c.rounds_executed));
+    row.emplace("failovers", Value(c.failovers));
+    row.emplace("wall_s", Value(c.wall_s));
+    row.emplace("ingest_beacons_per_s", Value(c.ingest_beacons_per_s));
+    row.emplace("round_ns", snapshot_json(c.round_ns));
+    rows.push_back(Value(std::move(row)));
+  }
+  doc.emplace("configs", Value(std::move(rows)));
+  return Value(std::move(doc));
+}
+
+bool validate_wire_bench(const Value& report, std::string* error) {
+  if (!report.is_object()) return fail(error, "report is not an object");
+  const Value* schema = report.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != "voiceprint.wire_bench/v1") {
+    return fail(error, "schema is not \"voiceprint.wire_bench/v1\"");
+  }
+  const Value* binary = report.find("binary");
+  if (binary == nullptr || !binary->is_string()) {
+    return fail(error, "missing or non-string \"binary\"");
+  }
+  if (!require_number(report, "hardware_threads", "report", error)) {
+    return false;
+  }
+  const Value* configs = report.find("configs");
+  if (configs == nullptr || !configs->is_array()) {
+    return fail(error, "missing or non-array \"configs\"");
+  }
+  if (configs->as_array().empty()) return fail(error, "\"configs\" is empty");
+  std::size_t index = 0;
+  for (const Value& row : configs->as_array()) {
+    const std::string where = "configs[" + std::to_string(index++) + "]";
+    if (!row.is_object()) return fail(error, where + " is not an object");
+    const Value* label = row.find("label");
+    if (label == nullptr || !label->is_string()) {
+      return fail(error, where + ": missing or non-string \"label\"");
+    }
+    for (const char* key :
+         {"connections", "observers", "identities_per_observer",
+          "beacon_rate_hz", "duration_s", "backends", "shards", "threads",
+          "bytes_received", "frames_received", "frames_ingested",
+          "frames_shed_invalid", "frames_shed_backpressure",
+          "beacons_ingested", "rounds_executed", "failovers", "wall_s",
+          "ingest_beacons_per_s"}) {
+      if (!require_number(row, key, where, error)) return false;
+    }
+    // The wire frame conservation law at quiescence: every decoded
+    // frame was delivered or counted shed; the buffered gauge term is
+    // zero once all connections have closed and drained. A bench that
+    // silently loses frames is rejected here.
+    if (row.find("frames_received")->as_number() !=
+        row.find("frames_ingested")->as_number() +
+            row.find("frames_shed_invalid")->as_number() +
+            row.find("frames_shed_backpressure")->as_number()) {
+      return fail(error,
+                  where + ": frames_received != frames_ingested + "
+                          "frames_shed_invalid + frames_shed_backpressure");
+    }
+    if (row.find("beacons_ingested")->as_number() >
+        row.find("frames_ingested")->as_number()) {
+      return fail(error, where + ": beacons_ingested > frames_ingested");
+    }
+    if (!require_snapshot(row, "round_ns", where, error)) return false;
+  }
+  return true;
+}
+
+}  // namespace vp::wire

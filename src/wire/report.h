@@ -1,0 +1,57 @@
+// BENCH_wire.json schema ("voiceprint.wire_bench/v1"): the
+// bench/wire_throughput sweep writes one document summarising each
+// (connections × beacon rate) configuration — the wire frame
+// conservation counters, sustained ingest throughput over the loopback
+// socket, and the per-round detector latency percentiles.
+//
+// Like service/report.h, build and validate live together so the
+// emitted document and the check (tools/check_run_report --wire-bench,
+// the smoke test, and the unit tests) cannot drift apart.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace vp::wire {
+
+// One sweep configuration's results. Frame counters are quiescent-state
+// values (all connections closed, queues drained), so the conservation
+// law has no buffered term here.
+struct WireBenchConfigResult {
+  std::string label;  // e.g. "c4_rate10"
+  std::size_t connections = 0;
+  std::size_t observers = 0;
+  std::size_t identities_per_observer = 0;
+  double beacon_rate_hz = 0.0;
+  double duration_s = 0.0;  // stream time covered
+  std::size_t backends = 0;
+  std::size_t shards = 0;
+  std::size_t threads = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t frames_ingested = 0;
+  std::uint64_t frames_shed_invalid = 0;
+  std::uint64_t frames_shed_backpressure = 0;
+  std::uint64_t beacons_ingested = 0;
+  std::uint64_t rounds_executed = 0;
+  std::uint64_t failovers = 0;
+  double wall_s = 0.0;                 // client connect → last drain
+  double ingest_beacons_per_s = 0.0;   // beacons_ingested / wall_s
+  obs::HistogramSnapshot round_ns;     // per-round detector latency
+};
+
+// Builds the voiceprint.wire_bench/v1 document.
+obs::json::Value build_wire_bench_report(
+    const std::string& binary,
+    const std::vector<WireBenchConfigResult>& configs);
+
+// True when `report` conforms to voiceprint.wire_bench/v1, including
+// the frame conservation law at quiescence
+// (frames_received = frames_ingested + shed_invalid + shed_backpressure).
+// On failure, `error` (if non-null) receives a one-line description.
+bool validate_wire_bench(const obs::json::Value& report, std::string* error);
+
+}  // namespace vp::wire

@@ -1,0 +1,320 @@
+#include "wire/server.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/runtime.h"
+
+namespace vp::wire {
+
+namespace {
+
+// Registry instruments, resolved once. Updates are gated on
+// obs::enabled(); the plain Stats mirror is always maintained.
+struct Sinks {
+  obs::Counter* bytes_received;
+  obs::Counter* frames_received;
+  obs::Counter* frames_ingested;
+  obs::Counter* frames_shed_invalid;
+  obs::Counter* frames_shed_backpressure;
+  obs::Counter* reject_bad_magic;
+  obs::Counter* reject_bad_version;
+  obs::Counter* reject_bad_checksum;
+  obs::Counter* reject_bad_type;
+  obs::Counter* reject_replayed_seq;
+  obs::Counter* beacons_ingested;
+  obs::Counter* controls_ingested;
+  obs::Counter* connections_opened;
+  obs::Counter* connections_closed;
+  obs::Counter* truncated_tails;
+  obs::Counter* failovers;
+  obs::Counter* polls;
+  obs::Counter* drains;
+  obs::Gauge* frames_buffered;
+  obs::Gauge* connections_active;
+};
+
+const Sinks& sinks() {
+  static const Sinks s = [] {
+    obs::MetricsRegistry& r = obs::registry();
+    return Sinks{
+        .bytes_received = &r.counter("wire.bytes_received"),
+        .frames_received = &r.counter("wire.frames_received"),
+        .frames_ingested = &r.counter("wire.frames_ingested"),
+        .frames_shed_invalid = &r.counter("wire.frames_shed_invalid"),
+        .frames_shed_backpressure =
+            &r.counter("wire.frames_shed_backpressure"),
+        .reject_bad_magic = &r.counter("wire.reject.bad_magic"),
+        .reject_bad_version = &r.counter("wire.reject.bad_version"),
+        .reject_bad_checksum = &r.counter("wire.reject.bad_checksum"),
+        .reject_bad_type = &r.counter("wire.reject.bad_type"),
+        .reject_replayed_seq = &r.counter("wire.reject.replayed_seq"),
+        .beacons_ingested = &r.counter("wire.beacons_ingested"),
+        .controls_ingested = &r.counter("wire.controls_ingested"),
+        .connections_opened = &r.counter("wire.connections_opened"),
+        .connections_closed = &r.counter("wire.connections_closed"),
+        .truncated_tails = &r.counter("wire.truncated_tails"),
+        .failovers = &r.counter("wire.failovers"),
+        .polls = &r.counter("wire.polls"),
+        .drains = &r.counter("wire.drains"),
+        .frames_buffered = &r.gauge("wire.frames_buffered"),
+        .connections_active = &r.gauge("wire.connections_active"),
+    };
+  }();
+  return s;
+}
+
+void count(obs::Counter* sink, std::uint64_t& stat, std::uint64_t n = 1) {
+  stat += n;
+  if (obs::enabled()) sink->add(static_cast<double>(n));
+}
+
+}  // namespace
+
+IngestServer::IngestServer(IngestServerConfig config,
+                           std::vector<service::DetectionService*> backends)
+    : config_(std::move(config)),
+      backends_(std::move(backends)),
+      ring_(std::max<std::size_t>(backends_.size(), 1),
+            std::max<std::size_t>(config_.vnodes_per_backend, 1)) {
+  VP_REQUIRE(!backends_.empty());
+  for (service::DetectionService* backend : backends_) {
+    VP_REQUIRE(backend != nullptr);
+  }
+  VP_REQUIRE(config_.recv_buffer_bytes >= kFrameBytes);
+  VP_REQUIRE(config_.read_chunk_bytes >= 1);
+  VP_REQUIRE(config_.max_frames_buffered >= 1);
+  scratch_.resize(std::min(config_.read_chunk_bytes, std::size_t{64} * 1024));
+}
+
+std::uint64_t IngestServer::add_connection(
+    std::unique_ptr<Connection> connection) {
+  VP_REQUIRE(connection != nullptr);
+  auto conn = std::make_unique<Conn>();
+  conn->id = next_conn_id_++;
+  conn->transport = std::move(connection);
+  conn->decoder = FrameDecoder(config_.recv_buffer_bytes);
+  conns_.push_back(std::move(conn));
+  count(sinks().connections_opened, stats_.connections_opened);
+  publish_gauges();
+  return conns_.back()->id;
+}
+
+void IngestServer::decode_available(Conn& conn) {
+  Frame frame;
+  RejectReason reason = RejectReason::kBadMagic;
+  for (;;) {
+    const DecodeStatus status = conn.decoder.next(frame, &reason);
+    if (status == DecodeStatus::kNeedMore) break;
+    count(sinks().frames_received, stats_.frames_received);
+    if (status == DecodeStatus::kRejected) {
+      count(sinks().frames_shed_invalid, stats_.frames_shed_invalid);
+      switch (reason) {
+        case RejectReason::kBadMagic:
+          count(sinks().reject_bad_magic, stats_.reject_bad_magic);
+          break;
+        case RejectReason::kBadVersion:
+          count(sinks().reject_bad_version, stats_.reject_bad_version);
+          break;
+        case RejectReason::kBadChecksum:
+          count(sinks().reject_bad_checksum, stats_.reject_bad_checksum);
+          break;
+        case RejectReason::kBadType:
+          count(sinks().reject_bad_type, stats_.reject_bad_type);
+          break;
+        case RejectReason::kReplayedSeq:
+          count(sinks().reject_replayed_seq, stats_.reject_replayed_seq);
+          break;
+      }
+      continue;
+    }
+    if (conn.frames.size() >= config_.max_frames_buffered) {
+      // Deterministic backpressure: the queue drains only at drain()
+      // points, so which frames are shed depends on the byte stream and
+      // the poll cadence, never on wall-clock timing.
+      count(sinks().frames_shed_backpressure,
+            stats_.frames_shed_backpressure);
+      continue;
+    }
+    conn.frames.push_back(frame);
+    ++frames_buffered_;
+  }
+}
+
+std::size_t IngestServer::poll() {
+  std::size_t total = 0;
+  for (const std::unique_ptr<Conn>& entry : conns_) {
+    Conn& conn = *entry;
+    if (conn.reaped || conn.peer_closed) continue;
+    std::size_t budget = config_.read_chunk_bytes;
+    while (budget > 0) {
+      const std::size_t want = std::min(
+          {budget, conn.decoder.capacity_remaining(), scratch_.size()});
+      if (want == 0) break;
+      const std::ptrdiff_t n =
+          conn.transport->receive(std::span<std::uint8_t>(scratch_.data(),
+                                                          want));
+      if (n < 0) {
+        conn.peer_closed = true;
+        break;
+      }
+      if (n == 0) break;
+      const std::size_t got = static_cast<std::size_t>(n);
+      VP_ENSURE(conn.decoder.push(std::span<const std::uint8_t>(
+                    scratch_.data(), got)) == got);
+      count(sinks().bytes_received, stats_.bytes_received, got);
+      total += got;
+      budget -= got;
+      decode_available(conn);
+    }
+    decode_available(conn);
+  }
+  count(sinks().polls, stats_.polls);
+  publish_gauges();
+  return total;
+}
+
+void IngestServer::deliver(Conn& conn, const Frame& frame) {
+  service::DetectionService& backend = backend_for(frame.observer);
+  switch (frame.type) {
+    case FrameType::kOpen:
+      backend.open(frame.observer);
+      count(sinks().controls_ingested, stats_.controls_ingested);
+      break;
+    case FrameType::kBeacon:
+      // The service's own admission front (session cap, rate limit,
+      // identity cap, ordering, validation) accounts for the beacon
+      // from here; at the wire layer it is ingested either way.
+      backend.ingest(frame.observer, frame.identity, frame.time_s,
+                     frame.rssi_dbm);
+      count(sinks().beacons_ingested, stats_.beacons_ingested);
+      break;
+    case FrameType::kHeartbeat:
+      backend.advance_session_to(frame.observer, frame.time_s);
+      count(sinks().controls_ingested, stats_.controls_ingested);
+      break;
+    case FrameType::kClose:
+      // Advance to the final stream time now; the session itself closes
+      // after this drain's pump, so rounds the advance prepared run
+      // instead of being shed as rounds_shed_closed.
+      backend.advance_session_to(frame.observer, frame.time_s);
+      pending_closes_.push_back(frame.observer);
+      count(sinks().controls_ingested, stats_.controls_ingested);
+      break;
+  }
+  count(sinks().frames_ingested, stats_.frames_ingested);
+  conn.delivered_time_s = std::max(conn.delivered_time_s, frame.time_s);
+  conn.delivered_any = true;
+}
+
+std::size_t IngestServer::drain() {
+  // Connection-major FIFO delivery: deterministic given the decoded
+  // streams, independent of arrival interleaving.
+  std::size_t delivered = 0;
+  for (const std::unique_ptr<Conn>& entry : conns_) {
+    Conn& conn = *entry;
+    while (!conn.frames.empty()) {
+      const Frame frame = conn.frames.front();
+      conn.frames.pop_front();
+      --frames_buffered_;
+      deliver(conn, frame);
+      ++delivered;
+    }
+  }
+
+  // Pump each distinct backend once, slot order (slots may share one
+  // service).
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    bool seen = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (backends_[j] == backends_[i]) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) backends_[i]->pump();
+  }
+
+  for (std::uint64_t session : pending_closes_) {
+    backend_for(session).close(session);
+  }
+  pending_closes_.clear();
+
+  // Reap connections whose peer is gone and whose data is fully
+  // delivered; a non-empty decode buffer at that point is a frame the
+  // peer never finished.
+  for (const std::unique_ptr<Conn>& entry : conns_) {
+    Conn& conn = *entry;
+    if (conn.reaped || !conn.peer_closed || !conn.frames.empty()) continue;
+    if (conn.decoder.buffered_bytes() > 0) {
+      count(sinks().truncated_tails, stats_.truncated_tails);
+    }
+    conn.reaped = true;
+    conn.transport.reset();
+    closed_watermark_s_ = std::max(closed_watermark_s_, conn.delivered_time_s);
+    count(sinks().connections_closed, stats_.connections_closed);
+  }
+
+  count(sinks().drains, stats_.drains);
+  publish_gauges();
+  return delivered;
+}
+
+void IngestServer::replace_backend(std::size_t index,
+                                   service::DetectionService* standby) {
+  VP_REQUIRE(index < backends_.size());
+  VP_REQUIRE(standby != nullptr);
+  // Quiescence: a buffered frame routed to the old service would
+  // straddle the swap; drain() first.
+  VP_REQUIRE(frames_buffered_ == 0);
+  backends_[index] = standby;
+  count(sinks().failovers, stats_.failovers);
+}
+
+double IngestServer::watermark() const {
+  bool any_open = false;
+  double min_open = 0.0;
+  for (const std::unique_ptr<Conn>& entry : conns_) {
+    const Conn& conn = *entry;
+    if (conn.reaped) continue;
+    const double t = conn.delivered_any ? conn.delivered_time_s : 0.0;
+    min_open = any_open ? std::min(min_open, t) : t;
+    any_open = true;
+  }
+  return any_open ? min_open : closed_watermark_s_;
+}
+
+std::size_t IngestServer::connections_active() const {
+  std::size_t n = 0;
+  for (const std::unique_ptr<Conn>& entry : conns_) {
+    if (!entry->reaped) ++n;
+  }
+  return n;
+}
+
+service::DetectionService& IngestServer::backend_for(
+    std::uint64_t observer) const {
+  return *backends_[ring_.route(observer)];
+}
+
+void IngestServer::publish_gauges() {
+  // Delta-published like the service gauges: several servers may share
+  // one registry over a process lifetime (sequential bench configs).
+  if (!obs::enabled()) return;
+  const std::size_t active = connections_active();
+  if (frames_buffered_ != published_buffered_) {
+    obs::Gauge& g = *sinks().frames_buffered;
+    g.set(g.value() + static_cast<double>(frames_buffered_) -
+          static_cast<double>(published_buffered_));
+    published_buffered_ = frames_buffered_;
+  }
+  if (active != published_active_) {
+    obs::Gauge& g = *sinks().connections_active;
+    g.set(g.value() + static_cast<double>(active) -
+          static_cast<double>(published_active_));
+    published_active_ = active;
+  }
+}
+
+}  // namespace vp::wire

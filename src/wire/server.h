@@ -1,0 +1,161 @@
+// Socket-facing ingestion front-end (DESIGN.md §14).
+//
+// The IngestServer is the boundary between untrusted transports and the
+// DetectionService fleet: it owns the accepted connections, runs one
+// VPWB FrameDecoder per connection, and routes every valid frame to a
+// backend chosen by consistent-hashing the observer id (wire/hash_ring).
+// Everything a peer can do wrong is bounded and counted:
+//
+//   * Decode rejects (corruption, replays, junk) are shed before they
+//     can touch any session state — the decoder is the validation front.
+//   * Each connection's receive buffer and decoded-frame queue are
+//     bounded; frames decoded while the queue is full are shed as
+//     backpressure, deterministically (the queue drains only at drain()
+//     points, so shedding depends on data and poll cadence, not timing).
+//   * The frame conservation law
+//       wire.frames_received = frames_ingested + frames_shed_invalid
+//                            + frames_shed_backpressure + frames_buffered
+//     holds at every poll()/drain() boundary; the HealthMonitor checks
+//     it continuously (obs/telemetry.cpp).
+//
+// Threading: single-driver, like DetectionService — one thread calls
+// add_connection/poll/drain/replace_backend. Transports are internally
+// safe, so remote peers (bench sender threads, the vp_ingest_client
+// process) write concurrently; all decode and routing work happens on
+// the driver thread.
+//
+// Delivery order is deterministic: drain() walks connections in accept
+// order and each connection's frames FIFO, then pumps the backends in
+// index order. Combined with the service's own deterministic pump, a
+// byte-identical set of per-connection streams produces bit-identical
+// rounds regardless of how arrivals interleaved with poll() calls.
+//
+// Failover (DESIGN.md §14): drain to quiescence, checkpoint the failing
+// backend (VPSC), restore into a standby, then replace_backend(index,
+// standby) — the ring's points are keyed by slot index, so the standby
+// inherits the exact hash range and every in-flight observer follows.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "service/service.h"
+#include "wire/frame.h"
+#include "wire/hash_ring.h"
+#include "wire/transport.h"
+
+namespace vp::wire {
+
+struct IngestServerConfig {
+  // Per-connection decoder buffer: the most undecodable bytes a peer
+  // can park in memory.
+  std::size_t recv_buffer_bytes = 64 * 1024;
+  // Read granularity per connection per poll().
+  std::size_t read_chunk_bytes = 16 * 1024;
+  // Per-connection decoded-frame queue cap; frames decoded past it are
+  // shed as backpressure.
+  std::size_t max_frames_buffered = 4096;
+  // Ring points per backend slot.
+  std::size_t vnodes_per_backend = 64;
+};
+
+class IngestServer {
+ public:
+  // Plain counters mirroring the wire.* metrics, always maintained
+  // (registry copies are gated on obs::enabled()).
+  struct Stats {
+    std::uint64_t bytes_received = 0;
+    std::uint64_t frames_received = 0;   // decoded frames + rejects
+    std::uint64_t frames_ingested = 0;   // delivered to a backend
+    std::uint64_t frames_shed_invalid = 0;
+    std::uint64_t frames_shed_backpressure = 0;
+    // frames_shed_invalid by decoder reject reason:
+    std::uint64_t reject_bad_magic = 0;
+    std::uint64_t reject_bad_version = 0;
+    std::uint64_t reject_bad_checksum = 0;
+    std::uint64_t reject_bad_type = 0;
+    std::uint64_t reject_replayed_seq = 0;
+    std::uint64_t beacons_ingested = 0;   // of frames_ingested
+    std::uint64_t controls_ingested = 0;  // of frames_ingested
+    std::uint64_t connections_opened = 0;
+    std::uint64_t connections_closed = 0;
+    std::uint64_t truncated_tails = 0;  // connections that died mid-frame
+    std::uint64_t failovers = 0;
+    std::uint64_t polls = 0;
+    std::uint64_t drains = 0;
+  };
+
+  // `backends` are routable slots 0..n-1; all must be non-null and
+  // outlive the server (or be replaced first). The ring is fixed at
+  // construction — failover swaps a slot's service, never the topology.
+  IngestServer(IngestServerConfig config,
+               std::vector<service::DetectionService*> backends);
+
+  // Adopts an accepted transport; returns its connection id (accept
+  // order, from 1).
+  std::uint64_t add_connection(std::unique_ptr<Connection> connection);
+
+  // Reads every connection (bounded per connection), decodes, queues
+  // valid frames and sheds the rest. Returns bytes read this call.
+  std::size_t poll();
+
+  // Delivers every queued frame to its backend (connection-major FIFO),
+  // pumps the backends, then applies deferred session closes and reaps
+  // dead connections. Returns frames delivered this call.
+  std::size_t drain();
+
+  // Points slot `index` at `standby`. Call only at quiescence (after
+  // drain(); VP_REQUIRE enforces an empty frame queue) so no buffered
+  // frame straddles the swap.
+  void replace_backend(std::size_t index, service::DetectionService* standby);
+
+  // Stream-time watermark: the minimum, over open connections that have
+  // delivered at least one frame, of the newest delivered stream time —
+  // every open connection has delivered all its data before this time.
+  // Once every connection has closed, the watermark is the maximum over
+  // their final times. Feed it to fusion::FusionEngine::advance.
+  double watermark() const;
+
+  const Stats& stats() const { return stats_; }
+  std::size_t connections_active() const;
+  std::size_t frames_buffered() const { return frames_buffered_; }
+  const HashRing& ring() const { return ring_; }
+  service::DetectionService& backend_for(std::uint64_t observer) const;
+
+ private:
+  struct Conn {
+    std::uint64_t id = 0;
+    std::unique_ptr<Connection> transport;
+    FrameDecoder decoder;
+    std::deque<Frame> frames;
+    double delivered_time_s = 0.0;  // newest delivered stream time
+    bool delivered_any = false;
+    bool peer_closed = false;  // receive() returned -1
+    bool reaped = false;
+  };
+
+  void decode_available(Conn& conn);
+  void deliver(Conn& conn, const Frame& frame);
+  void publish_gauges();
+
+  IngestServerConfig config_;
+  std::vector<service::DetectionService*> backends_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::vector<std::uint8_t> scratch_;  // poll() read buffer
+  // Sessions whose CLOSE frame was delivered this drain; closed after
+  // the pump so their already-queued rounds run instead of being shed.
+  std::vector<std::uint64_t> pending_closes_;
+  std::size_t frames_buffered_ = 0;
+  // Last-published contributions to the shared wire.* gauges (deltas,
+  // same protocol as DetectionService::publish_session_gauges).
+  std::size_t published_buffered_ = 0;
+  std::size_t published_active_ = 0;
+  double closed_watermark_s_ = 0.0;  // max final time of closed conns
+  std::uint64_t next_conn_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace vp::wire

@@ -1,0 +1,188 @@
+#include "wire/transport.h"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace vp::wire {
+
+namespace {
+
+// ---------------------------------------------------------------- Pipe
+
+// One direction of the pipe: a bounded byte queue plus the writer's
+// closed flag. Shared by both endpoints, guarded by its own mutex.
+struct PipeChannel {
+  std::mutex mutex;
+  std::deque<std::uint8_t> bytes;
+  std::size_t capacity = 0;
+  bool writer_closed = false;
+};
+
+class PipeEndpoint final : public Connection {
+ public:
+  PipeEndpoint(std::shared_ptr<PipeChannel> out, std::shared_ptr<PipeChannel> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  ~PipeEndpoint() override { PipeEndpoint::close(); }
+
+  std::size_t send(std::span<const std::uint8_t> bytes) override {
+    std::lock_guard<std::mutex> lock(out_->mutex);
+    if (out_->writer_closed) return 0;
+    const std::size_t take =
+        std::min(bytes.size(), out_->capacity - out_->bytes.size());
+    out_->bytes.insert(out_->bytes.end(), bytes.begin(),
+                       bytes.begin() + static_cast<std::ptrdiff_t>(take));
+    return take;
+  }
+
+  std::ptrdiff_t receive(std::span<std::uint8_t> out) override {
+    std::lock_guard<std::mutex> lock(in_->mutex);
+    const std::size_t take = std::min(out.size(), in_->bytes.size());
+    std::copy_n(in_->bytes.begin(), take, out.begin());
+    in_->bytes.erase(in_->bytes.begin(),
+                     in_->bytes.begin() + static_cast<std::ptrdiff_t>(take));
+    if (take == 0 && in_->writer_closed) return -1;
+    return static_cast<std::ptrdiff_t>(take);
+  }
+
+  void close() override {
+    // Closing an endpoint ends its outbound direction; the peer drains
+    // what was already queued, then sees -1.
+    std::lock_guard<std::mutex> lock(out_->mutex);
+    out_->writer_closed = true;
+  }
+
+ private:
+  std::shared_ptr<PipeChannel> out_;
+  std::shared_ptr<PipeChannel> in_;
+};
+
+// ----------------------------------------------------------------- TCP
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  VP_ENSURE(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+class TcpConnection final : public Connection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) {
+    int one = 1;
+    // Latency over batching: frames are 50 bytes and the bench measures
+    // round-trip freshness, so Nagle stays off.
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  ~TcpConnection() override { TcpConnection::close(); }
+
+  std::size_t send(std::span<const std::uint8_t> bytes) override {
+    if (fd_ < 0 || bytes.empty()) return 0;
+    const ssize_t n =
+        ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n > 0) return static_cast<std::size_t>(n);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return 0;
+    // Reset or shutdown: the peer is gone, nothing more will be taken.
+    peer_lost_ = true;
+    return 0;
+  }
+
+  std::ptrdiff_t receive(std::span<std::uint8_t> out) override {
+    if (fd_ < 0) return -1;
+    if (out.empty()) return 0;
+    const ssize_t n = ::recv(fd_, out.data(), out.size(), 0);
+    if (n > 0) return static_cast<std::ptrdiff_t>(n);
+    if (n == 0) return -1;  // orderly shutdown, kernel buffer drained
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return peer_lost_ ? -1 : 0;
+    return -1;
+  }
+
+  void close() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool peer_lost_ = false;
+};
+
+}  // namespace
+
+PipePair make_pipe(std::size_t capacity_bytes) {
+  VP_REQUIRE(capacity_bytes >= 1);
+  auto to_server = std::make_shared<PipeChannel>();
+  auto to_client = std::make_shared<PipeChannel>();
+  to_server->capacity = capacity_bytes;
+  to_client->capacity = capacity_bytes;
+  PipePair pair;
+  pair.client = std::make_unique<PipeEndpoint>(to_server, to_client);
+  pair.server = std::make_unique<PipeEndpoint>(to_client, to_server);
+  return pair;
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  VP_ENSURE(fd_ >= 0);
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd_, 64) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("TcpListener: cannot bind 127.0.0.1:" + std::to_string(port) +
+                ": " + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  VP_ENSURE(::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0);
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(fd_);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<Connection> TcpListener::accept() {
+  if (fd_ < 0) return nullptr;
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  if (conn < 0) return nullptr;
+  set_nonblocking(conn);
+  return std::make_unique<TcpConnection>(conn);
+}
+
+std::unique_ptr<Connection> tcp_connect(const std::string& host,
+                                        std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  set_nonblocking(fd);
+  return std::make_unique<TcpConnection>(fd);
+}
+
+}  // namespace vp::wire

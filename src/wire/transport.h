@@ -1,0 +1,81 @@
+// Byte transports for the wire ingestion tier (DESIGN.md §14).
+//
+// The IngestServer speaks to an abstract non-blocking byte stream, so
+// the same server code runs over two transports:
+//   * Pipe — an in-memory bounded duplex channel. Deterministic and
+//     hermetic: tests drive both endpoints from one thread, choose the
+//     exact chunk sizes that cross frame boundaries, and never touch
+//     the network stack (the CI sanitizer jobs stay socket-free).
+//   * TCP — loopback sockets (IPv4 127.0.0.1), the deployment-shaped
+//     path the throughput bench and the vp_ingest_* tools exercise.
+//
+// All operations are non-blocking: send() reports how many bytes the
+// transport accepted (0 under backpressure — the caller keeps the rest
+// and retries), receive() reports 0 when nothing is pending and -1 once
+// the peer is gone *and* every byte it sent has been drained, so no
+// tail data is lost on close.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+namespace vp::wire {
+
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  // Queues up to bytes.size() bytes; returns how many were accepted
+  // (possibly 0 when the transport is full or the peer is gone). Never
+  // blocks, never throws on overload.
+  virtual std::size_t send(std::span<const std::uint8_t> bytes) = 0;
+
+  // Reads up to out.size() bytes. Returns the count read, 0 when none
+  // are pending, -1 when the peer closed and all its bytes are drained.
+  virtual std::ptrdiff_t receive(std::span<std::uint8_t> out) = 0;
+
+  // Closes this endpoint; the peer drains buffered bytes then sees -1.
+  virtual void close() = 0;
+};
+
+// An in-memory duplex pair: bytes sent on one endpoint are received on
+// the other, each direction bounded by capacity_bytes (send returns a
+// short count when full — the deterministic backpressure tests rely on
+// this). Endpoints are internally locked, so a bench may pump the two
+// ends from different threads; the shared state outlives both.
+struct PipePair {
+  std::unique_ptr<Connection> client;
+  std::unique_ptr<Connection> server;
+};
+PipePair make_pipe(std::size_t capacity_bytes = 16 * 1024);
+
+// Non-blocking loopback TCP listener. Port 0 binds an ephemeral port
+// (read it back with port()). Throws vp::Error when the socket cannot
+// be created or bound.
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port = 0);
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  // Accepts one pending connection; nullptr when none is waiting.
+  std::unique_ptr<Connection> accept();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+// Connects to host:port (blocking connect — loopback completes
+// immediately — then the socket is switched to non-blocking). Returns
+// nullptr on refusal/failure.
+std::unique_ptr<Connection> tcp_connect(const std::string& host,
+                                        std::uint16_t port);
+
+}  // namespace vp::wire

@@ -4,7 +4,7 @@
 //                    [--require <counter>]... [--stream-bench <bench.json>]
 //                    [--service-bench <bench.json>] [--chaos-bench <bench.json>]
 //                    [--comparison-bench <bench.json>]
-//                    [--fusion-bench <bench.json>]
+//                    [--fusion-bench <bench.json>] [--wire-bench <bench.json>]
 //                    [--telemetry <telemetry.jsonl>]
 //
 // The positional run report may be omitted when only validating bench or
@@ -32,7 +32,11 @@
 // (voiceprint.fusion_bench/v1, including the round conservation law
 // rounds_delivered = fused + expired + pending, trust bounds in [0, 1],
 // and fused DR >= single DR / fused FPR <= single FPR on every
-// multi-observer row). With --telemetry, every JSONL frame must pass
+// multi-observer row); with --wire-bench, wire::validate_wire_bench
+// (voiceprint.wire_bench/v1, including the wire frame conservation law
+// frames_received = frames_ingested + frames_shed_invalid +
+// frames_shed_backpressure at quiescence). With --telemetry, every JSONL
+// frame must pass
 // obs::TelemetryValidator (voiceprint.telemetry/v1 schema, gapless frame
 // sequence, non-decreasing stream clock, counter monotonicity, histogram
 // shape, and the conservation laws re-evaluated per frame). Exit status 0
@@ -53,6 +57,7 @@
 #include "obs/telemetry.h"
 #include "service/report.h"
 #include "stream/report.h"
+#include "wire/report.h"
 
 namespace {
 
@@ -223,6 +228,30 @@ int check_fusion_bench(const std::string& path) {
   return 0;
 }
 
+int check_wire_bench(const std::string& path) {
+  std::string text;
+  if (!read_file(path, text)) {
+    std::cerr << "check_run_report: cannot read " << path << "\n";
+    return 1;
+  }
+  vp::obs::json::Value bench;
+  try {
+    bench = vp::obs::json::parse(text);
+  } catch (const std::exception& e) {
+    std::cerr << "check_run_report: " << path << ": " << e.what() << "\n";
+    return 1;
+  }
+  std::string error;
+  if (!vp::wire::validate_wire_bench(bench, &error)) {
+    std::cerr << "check_run_report: " << path << ": " << error << "\n";
+    return 1;
+  }
+  std::cout << "ok: " << path << " ("
+            << bench.find("configs")->as_array().size()
+            << " wire bench configs)\n";
+  return 0;
+}
+
 int check_telemetry(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -305,7 +334,7 @@ int main(int argc, char** argv) {
       "[--require <counter>]... [--stream-bench <bench.json>] "
       "[--service-bench <bench.json>] [--chaos-bench <bench.json>] "
       "[--comparison-bench <bench.json>] [--fusion-bench <bench.json>] "
-      "[--telemetry <telemetry.jsonl>]\n"
+      "[--wire-bench <bench.json>] [--telemetry <telemetry.jsonl>]\n"
       "       (report.json may be omitted when only bench/telemetry "
       "artefacts are checked)\n";
   std::string report_path;
@@ -315,6 +344,7 @@ int main(int argc, char** argv) {
   std::string chaos_bench_path;
   std::string comparison_bench_path;
   std::string fusion_bench_path;
+  std::string wire_bench_path;
   std::string telemetry_path;
   std::vector<std::string> required_counters;
   for (int i = 1; i < argc; ++i) {
@@ -333,6 +363,8 @@ int main(int argc, char** argv) {
       comparison_bench_path = argv[++i];
     } else if (arg == "--fusion-bench" && i + 1 < argc) {
       fusion_bench_path = argv[++i];
+    } else if (arg == "--wire-bench" && i + 1 < argc) {
+      wire_bench_path = argv[++i];
     } else if (arg == "--telemetry" && i + 1 < argc) {
       telemetry_path = argv[++i];
     } else if (report_path.empty()) {
@@ -347,6 +379,7 @@ int main(int argc, char** argv) {
                          !chaos_bench_path.empty() ||
                          !comparison_bench_path.empty() ||
                          !fusion_bench_path.empty() ||
+                         !wire_bench_path.empty() ||
                          !telemetry_path.empty();
   if (report_path.empty() &&
       (!has_bench || !trace_path.empty() || !required_counters.empty())) {
@@ -367,6 +400,7 @@ int main(int argc, char** argv) {
     status |= check_comparison_bench(comparison_bench_path);
   }
   if (!fusion_bench_path.empty()) status |= check_fusion_bench(fusion_bench_path);
+  if (!wire_bench_path.empty()) status |= check_wire_bench(wire_bench_path);
   if (!telemetry_path.empty()) status |= check_telemetry(telemetry_path);
   return status;
 }
