@@ -7,7 +7,15 @@
 // a sharded service::DetectionService fleet through the same storm with
 // a service-level kill/restore.
 //
-// Writes BENCH_chaos.json (schema voiceprint.chaos_bench/v1,
+// The sweep also proves the §15 conditioning front earns its place: for
+// the RSSI corruption classes it can plausibly blunt (spike, quantise,
+// stuck-at) the same faulted stream runs twice — conditioning OFF
+// against the unconditioned clean baseline and conditioning ON against
+// the conditioned clean baseline — and the report's cond_gates require a
+// strict divergence improvement (with the OFF arm provably non-zero, so
+// the gate cannot pass on a fault that never bit).
+//
+// Writes BENCH_chaos.json (schema voiceprint.chaos_bench/v2,
 // self-validated before writing; checked again by
 // tools/check_run_report --chaos-bench and scripts/smoke.sh).
 //
@@ -108,6 +116,7 @@ void fill_injector_side(const fault::FaultStats& fs,
   row.rssi_spiked = fs.rssi_spiked;
   row.rssi_quantized = fs.rssi_quantized;
   row.rssi_non_finite = fs.rssi_non_finite;
+  row.rssi_stuck = fs.rssi_stuck;
   row.time_skewed = fs.time_skewed;
   row.time_regressed = fs.time_regressed;
   row.flood_injected = fs.flood_injected;
@@ -125,7 +134,7 @@ void print_row(const fault::ChaosRunResult& row) {
           row.shed_rate_limited + row.shed_identity_cap +
           row.shed_out_of_order + row.shed_invalid_rssi_non_finite +
           row.shed_invalid_rssi_out_of_range + row.shed_invalid_time_non_finite +
-          row.shed_invalid_time_negative),
+          row.shed_invalid_time_negative + row.shed_conditioned),
       static_cast<unsigned long long>(row.rounds), row.round_divergence);
 }
 
@@ -197,6 +206,11 @@ fault::ChaosRunResult run_engine_chaos(
   row.shed_invalid_rssi_out_of_range = stats.shed_invalid_rssi_out_of_range;
   row.shed_invalid_time_non_finite = stats.shed_invalid_time_non_finite;
   row.shed_invalid_time_negative = stats.shed_invalid_time_negative;
+  row.shed_conditioned = stats.beacons_shed_conditioned;
+  row.cond_offered = stats.cond_offered;
+  row.cond_passed = stats.cond_passed;
+  row.cond_clamped = stats.cond_clamped;
+  row.cond_rejected = stats.cond_rejected;
   row.rounds = stats.rounds;
   row.round_divergence = divergence_vs(baseline, rounds);
   row.max_divergence = max_divergence;
@@ -236,6 +250,7 @@ fault::ChaosRunResult run_service_chaos(
     injector_totals.rssi_spiked += fs.rssi_spiked;
     injector_totals.rssi_quantized += fs.rssi_quantized;
     injector_totals.rssi_non_finite += fs.rssi_non_finite;
+    injector_totals.rssi_stuck += fs.rssi_stuck;
     injector_totals.time_skewed += fs.time_skewed;
     injector_totals.time_regressed += fs.time_regressed;
     injector_totals.flood_injected += fs.flood_injected;
@@ -303,6 +318,10 @@ fault::ChaosRunResult run_service_chaos(
     row.shed_invalid_rssi_out_of_range += es.shed_invalid_rssi_out_of_range;
     row.shed_invalid_time_non_finite += es.shed_invalid_time_non_finite;
     row.shed_invalid_time_negative += es.shed_invalid_time_negative;
+    row.cond_offered += es.cond_offered;
+    row.cond_passed += es.cond_passed;
+    row.cond_clamped += es.cond_clamped;
+    row.cond_rejected += es.cond_rejected;
   });
   row.rounds = stats.rounds_executed;
   double worst = 0.0;
@@ -546,6 +565,10 @@ fault::ChaosRunResult run_collusion_chaos(
     row.shed_invalid_rssi_out_of_range += es.shed_invalid_rssi_out_of_range;
     row.shed_invalid_time_non_finite += es.shed_invalid_time_non_finite;
     row.shed_invalid_time_negative += es.shed_invalid_time_negative;
+    row.cond_offered += es.cond_offered;
+    row.cond_passed += es.cond_passed;
+    row.cond_clamped += es.cond_clamped;
+    row.cond_rejected += es.cond_rejected;
   });
   row.rounds = stats.rounds_executed;
   // The honest sessions saw the clean trace: their rounds must match the
@@ -599,33 +622,70 @@ int main(int argc, char** argv) {
   // Clean baseline, and — as run "none" — the same clean trace through
   // the injector at zero intensity with a kill/restore cycle: the
   // restored engine must reproduce the baseline exactly (divergence 0).
-  RoundMap baseline;
-  {
-    stream::StreamEngine engine(engine_config);
-    engine.set_round_callback([&baseline](const stream::StreamRound& round) {
-      baseline[round.time_s] = round.suspects;
+  auto clean_rounds = [&](const stream::StreamEngineConfig& config) {
+    RoundMap rounds;
+    stream::StreamEngine engine(config);
+    engine.set_round_callback([&rounds](const stream::StreamRound& round) {
+      rounds[round.time_s] = round.suspects;
     });
     for (const fault::Beacon& b : trace) {
       engine.ingest(b.id, b.time_s, b.rssi_dbm);
     }
     engine.advance_to(sim_time);
-  }
+    return rounds;
+  };
+  const RoundMap baseline = clean_rounds(engine_config);
+
+  // Conditioned twin of the baseline: same clean trace with the §15
+  // conditioning front on. The cond-ON restore-parity run measures
+  // against THIS map — conditioning changes what "correct" looks like,
+  // so it gets its own reference.
+  stream::StreamEngineConfig cond_config = engine_config;
+  cond_config.condition_ingest = true;
+  const RoundMap baseline_cond = clean_rounds(cond_config);
+
+  // The conditioning gates run at a finer round cadence: with the
+  // default 20 s rounds a whole sweep yields only a handful of verdict
+  // points, far too coarse to resolve PARTIAL recovery (off 4/16 vs on
+  // 1/16 rounds wrong both round to "half the rounds diverged" at two
+  // points). 5 s rounds over the same 20 s observation window give the
+  // divergence measure the resolution the strict gates need.
+  stream::StreamEngineConfig gate_config = engine_config;
+  gate_config.round_period_s = 5.0;
+  stream::StreamEngineConfig gate_cond_config = gate_config;
+  gate_cond_config.condition_ingest = true;
+  const RoundMap gate_baseline = clean_rounds(gate_config);
+  const RoundMap gate_baseline_cond = clean_rounds(gate_cond_config);
 
   fault::FaultConfig off;
   off.seed = seed;
 
   std::vector<fault::ChaosRunResult> runs;
+  auto engine_run_vs = [&](const std::string& label,
+                           const std::string& fault_class, double intensity,
+                           const fault::FaultConfig& fc,
+                           const stream::StreamEngineConfig& ec,
+                           const RoundMap& base, double max_divergence) {
+    runs.push_back(run_engine_chaos(label, fault_class, intensity, fc, ec,
+                                    trace, sim_time, kill_cycles, base,
+                                    max_divergence));
+    telemetry.emit_now(sim_time);  // run boundary: a quiescent point
+    return runs.back().round_divergence;
+  };
   auto engine_run = [&](const std::string& label,
                         const std::string& fault_class, double intensity,
                         const fault::FaultConfig& fc, double max_divergence) {
-    runs.push_back(run_engine_chaos(label, fault_class, intensity, fc,
-                                    engine_config, trace, sim_time,
-                                    kill_cycles, baseline, max_divergence));
-    telemetry.emit_now(sim_time);  // run boundary: a quiescent point
+    engine_run_vs(label, fault_class, intensity, fc, engine_config, baseline,
+                  max_divergence);
   };
 
   // Injection disabled + kill/restore: restore parity, divergence 0.
   engine_run("none_restore_parity", "none", 0.0, off, 0.0);
+  // Same parity bar with conditioning ON: the VPCK v3 checkpoint carries
+  // the full Hampel window + EMA state, so a killed/restored conditioned
+  // engine must reproduce the conditioned baseline bit-exactly too.
+  engine_run_vs("none_restore_parity_cond", "none", 0.0, off, cond_config,
+                baseline_cond, 0.0);
 
   {  // i.i.d. loss
     fault::FaultConfig fc = off;
@@ -680,6 +740,17 @@ int main(int argc, char** argv) {
     engine_run("rssi_non_finite_max", "rssi_non_finite",
                fc.rssi_non_finite_probability, fc, 1.0);
   }
+  {  // stuck-at / saturated RSSI readback
+    fault::FaultConfig fc = off;
+    fc.rssi_stuck_probability = 0.005;
+    fc.rssi_stuck_length = 8;
+    engine_run("rssi_stuck_low", "rssi_stuck", fc.rssi_stuck_probability, fc,
+               1.0);
+    fc.rssi_stuck_probability = 0.2;
+    fc.rssi_stuck_length = quick ? 20 : 40;
+    engine_run("rssi_stuck_max", "rssi_stuck", fc.rssi_stuck_probability, fc,
+               1.0);
+  }
   {  // clock trouble
     fault::FaultConfig fc = off;
     fc.time_skew_s = 0.5;
@@ -699,6 +770,50 @@ int main(int argc, char** argv) {
     engine_run("flood_max", "flood", fc.flood_probability, fc, 1.0);
   }
 
+  // §15 conditioning gates: the same faulted stream, conditioning OFF
+  // against the unconditioned baseline and ON against the conditioned
+  // one. The report validator requires the OFF arm to diverge (the fault
+  // must actually bite) and the ON arm to come in strictly below it —
+  // conditioning has to measurably blunt each gated corruption class.
+  std::vector<fault::CondGateResult> cond_gates;
+  auto gated_pair = [&](const std::string& cls, double intensity,
+                        const fault::FaultConfig& fc) {
+    fault::CondGateResult gate;
+    gate.fault_class = cls;
+    gate.intensity = intensity;
+    gate.divergence_off = engine_run_vs(cls + "_cond_off", cls, intensity, fc,
+                                        gate_config, gate_baseline, 1.0);
+    gate.divergence_on = engine_run_vs(cls + "_cond_on", cls, intensity, fc,
+                                       gate_cond_config, gate_baseline_cond,
+                                       1.0);
+    std::printf("chaos: cond gate %-13s divergence off %.3f -> on %.3f\n",
+                cls.c_str(), gate.divergence_off, gate.divergence_on);
+    cond_gates.push_back(gate);
+  };
+  {
+    fault::FaultConfig fc = off;
+    fc.rssi_spike_probability = 0.08;
+    fc.rssi_spike_db = 20.0;
+    gated_pair("rssi_spike", fc.rssi_spike_probability, fc);
+  }
+  {
+    fault::FaultConfig fc = off;
+    fc.rssi_quantize_step_db = 6.0;
+    gated_pair("rssi_quantize", fc.rssi_quantize_step_db, fc);
+  }
+  {
+    fault::FaultConfig fc = off;
+    fc.rssi_stuck_probability = 0.02;
+    fc.rssi_stuck_length = 12;
+    // Every gated episode saturates at the rail: the in-band freeze (a
+    // beacon repeating its own last reading) is deliberately close to
+    // legitimate traffic, while the rail is exactly the corruption the
+    // Hampel front exists to reject. The mixed-mode runs above keep the
+    // default 50/50 split.
+    fc.rssi_stuck_rail_probability = 1.0;
+    gated_pair("rssi_stuck", fc.rssi_stuck_probability, fc);
+  }
+
   // Everything at once, at maximum intensity — the survival bar: the
   // engine must stay up through every kill/restore with conservation
   // exact, whatever the output looks like.
@@ -713,6 +828,8 @@ int main(int argc, char** argv) {
   storm.rssi_spike_db = 90.0;
   storm.rssi_quantize_step_db = 4.0;
   storm.rssi_non_finite_probability = 0.3;
+  storm.rssi_stuck_probability = 0.05;
+  storm.rssi_stuck_length = quick ? 10 : 20;
   storm.time_skew_s = -5.0;
   storm.time_drift_per_s = 0.05;
   storm.time_regression_probability = 0.2;
@@ -765,13 +882,10 @@ int main(int argc, char** argv) {
   if (session.active()) session.merge_extra("health", monitor.summary());
 
   const obs::json::Value report =
-      fault::build_chaos_bench_report(args.program_name(), seed, runs);
-  std::string error;
-  if (!fault::validate_chaos_bench(report, &error)) {
-    std::fprintf(stderr, "chaos_detection: self-check failed: %s\n",
-                 error.c_str());
-    return 1;
-  }
+      fault::build_chaos_bench_report(args.program_name(), seed, runs,
+                                      cond_gates);
+  // Write before self-checking: a failing sweep still leaves the report
+  // on disk for inspection (the non-zero exit is the gate).
   std::ofstream out(out_path, std::ios::out | std::ios::trunc);
   if (!out) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
@@ -779,6 +893,12 @@ int main(int argc, char** argv) {
   }
   out << report.dump(2) << "\n";
   std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  std::string error;
+  if (!fault::validate_chaos_bench(report, &error)) {
+    std::fprintf(stderr, "chaos_detection: self-check failed: %s\n",
+                 error.c_str());
+    return 1;
+  }
   std::printf("chaos: OK (%zu runs, all conservation laws exact)\n",
               runs.size());
   return 0;

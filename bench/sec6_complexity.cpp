@@ -294,12 +294,13 @@ bool write_bench_json(const std::string& path, bool use_simd, bool quick) {
     std::fprintf(stderr,
                  "BENCH neighbors=%zu exact=%.3f ms pruned=%.3f ms "
                  "speedup=%.2fx (parallel %.2fx) tiers kim=%llu keogh=%llu "
-                 "abandon=%llu full=%llu verdicts=%s\n",
+                 "fixed=%llu abandon=%llu full=%llu verdicts=%s\n",
                  neighbors, r.exact_serial_ns * 1e-6,
                  r.pruned_serial_ns * 1e-6, r.speedup_serial,
                  r.speedup_parallel,
                  static_cast<unsigned long long>(r.cascade.lb_kim_pruned),
                  static_cast<unsigned long long>(r.cascade.lb_keogh_pruned),
+                 static_cast<unsigned long long>(r.cascade.fixed_pruned),
                  static_cast<unsigned long long>(r.cascade.early_abandoned),
                  static_cast<unsigned long long>(r.cascade.full_sweeps),
                  r.verdicts_match ? "match" : "MISMATCH");

@@ -54,6 +54,7 @@ service::ServiceBenchConfigResult run_config(
   service::ServiceConfig config;
   config.shards = shards;
   config.threads = threads;
+  config.engine.condition_ingest = run_flags.cond;
   config.engine.detector =
       core::with_run_flags(core::tuned_simulation_options(1), run_flags);
   if (overload) {
@@ -113,7 +114,8 @@ service::ServiceBenchConfigResult run_config(
                 stats.beacons_shed_rate_limited +
                 stats.beacons_shed_identity_cap +
                 stats.beacons_shed_out_of_order +
-                stats.beacons_shed_invalid;
+                stats.beacons_shed_invalid +
+                stats.beacons_shed_conditioned;
   result.rounds_prepared = stats.rounds_prepared;
   result.rounds_executed = stats.rounds_executed;
   result.rounds_shed =

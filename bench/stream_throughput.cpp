@@ -83,6 +83,7 @@ stream::BenchConfigResult run_config(const std::string& label,
       synthesize_stream(identities, rate_hz, duration_s);
 
   stream::StreamEngineConfig config;
+  config.condition_ingest = run_flags.cond;
   config.detector =
       core::with_run_flags(core::tuned_simulation_options(threads), run_flags);
   if (overload) {

@@ -17,6 +17,12 @@
 // (encode + decode), destroyed, and restored (DESIGN.md §10). Parity
 // against the batch detector must still hold — restore is bit-exact.
 //
+// --cond turns on the §15 fixed-point conditioning front. The batch
+// detector reads the raw log, so batch parity is replaced by conditioned
+// parity: the rounds must match an uninterrupted conditioned engine
+// bit for bit (combine with --kill-at to prove the VPCK v3 checkpoint
+// restores the filter state mid-stream).
+//
 // Pass --metrics-out / --trace-out for a run report with the stream.*
 // metrics (ingest and shed counters, ring evictions, round latency), and
 // --telemetry-out for the continuous frame stream (DESIGN.md §12) with
@@ -92,6 +98,7 @@ int main(int argc, char** argv) {
   engine_config.max_identities =
       static_cast<std::size_t>(args.get_int("max-identities", 512));
   engine_config.max_ingest_rate_hz = args.get_double("rate-cap", 0.0);
+  engine_config.condition_ingest = run_flags.cond;
   engine_config.detector = core::with_run_flags(
       core::tuned_simulation_options(run_flags.threads), run_flags);
 
@@ -104,16 +111,20 @@ int main(int argc, char** argv) {
 
   // Check every round against the batch detector on the same window as it
   // completes. Shedding (a rate cap, a small ring) breaks parity by
-  // design — the engine then sees less than the unbounded log did.
+  // design — the engine then sees less than the unbounded log did. The
+  // conditioning front breaks batch parity too (the batch detector reads
+  // the raw log); --cond runs its own restore-parity check below instead.
   const bool shedding_configured =
       engine_config.max_ingest_rate_hz > 0.0 || args.has("ring") ||
       args.has("max-identities");
+  const bool batch_parity = !shedding_configured && !run_flags.cond;
   std::size_t rounds_checked = 0;
   std::size_t rounds_matched = 0;
   std::vector<stream::StreamRound> rounds;
   const auto on_round = [&](const stream::StreamRound& round) {
     telemetry.on_round(round.time_s);
     rounds.push_back(round);
+    if (!batch_parity) return;
     const sim::ObservationWindow window =
         world.observe(observer, round.time_s, engine_config.min_samples);
     const std::vector<IdentityId> expected = batch.detect_window(window);
@@ -149,6 +160,39 @@ int main(int argc, char** argv) {
   }
   engine->advance_to(world.detection_times().back());
   telemetry.finish(world.detection_times().back());
+
+  // --cond parity: the batch detector reads the raw log, so it cannot be
+  // the reference for a conditioned stream. Instead an uninterrupted
+  // conditioned engine replays the same beacons — its rounds must be
+  // bit-identical to the served engine's, which with --kill-at proves
+  // the VPCK v3 checkpoint restores the Hampel/EMA state mid-filter.
+  std::size_t cond_checked = 0;
+  std::size_t cond_matched = 0;
+  if (run_flags.cond) {
+    stream::StreamEngine reference(engine_config);
+    std::vector<stream::StreamRound> reference_rounds;
+    reference.set_round_callback(
+        [&reference_rounds](const stream::StreamRound& round) {
+          reference_rounds.push_back(round);
+        });
+    for (const Rx& rx : beacons) {
+      reference.ingest(rx.id, rx.time_s, rx.rssi_dbm);
+    }
+    reference.advance_to(world.detection_times().back());
+    cond_checked = std::max(reference_rounds.size(), rounds.size());
+    for (std::size_t i = 0;
+         i < std::min(reference_rounds.size(), rounds.size()); ++i) {
+      const stream::StreamRound& a = reference_rounds[i];
+      const stream::StreamRound& b = rounds[i];
+      bool pairs_equal = a.pairs.size() == b.pairs.size();
+      for (std::size_t j = 0; pairs_equal && j < a.pairs.size(); ++j) {
+        pairs_equal = a.pairs[j].raw == b.pairs[j].raw;
+      }
+      if (a.time_s == b.time_s && a.suspects == b.suspects && pairs_equal) {
+        ++cond_matched;
+      }
+    }
+  }
 
   std::cout << "\nstreamed " << beacons.size() << " beacons through observer "
             << observer << "; " << engine->stats().rounds
@@ -195,7 +239,16 @@ int main(int argc, char** argv) {
             << stats.ring_evictions << " ring evictions), tracking "
             << engine->identities_tracked() << " identities\n";
 
-  if (shedding_configured) {
+  if (run_flags.cond) {
+    if (cond_checked > 0 && cond_matched == cond_checked) {
+      std::cout << "conditioned parity: OK — " << cond_matched << "/"
+                << cond_checked << " rounds bit-identical to an "
+                << "uninterrupted conditioned engine\n";
+    } else {
+      std::cout << "conditioned parity: MISMATCH — " << cond_matched << "/"
+                << cond_checked << " rounds matched\n";
+    }
+  } else if (shedding_configured) {
     std::cout << "streaming parity: skipped (load shedding configured)\n";
   } else if (rounds_checked > 0 && rounds_matched == rounds_checked) {
     std::cout << "streaming parity: OK — " << rounds_matched << "/"
@@ -216,6 +269,9 @@ int main(int argc, char** argv) {
     extra.emplace("parity_rounds_matched", obs::json::Value(rounds_matched));
     session.set_extra(obs::json::Value(std::move(extra)));
     if (telemetry.active()) session.merge_extra("health", monitor.summary());
+  }
+  if (run_flags.cond) {
+    return cond_checked > 0 && cond_matched == cond_checked ? 0 : 1;
   }
   return (shedding_configured || rounds_matched == rounds_checked) ? 0 : 1;
 }

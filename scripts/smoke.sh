@@ -165,6 +165,15 @@ grep -q "streaming parity: OK" "$tmp/killed.out" || {
   exit 1
 }
 
+echo "smoke: streaming_detection --cond --kill-at (conditioned restore parity)"
+"$streaming" --density 12 --sim-time 60 --cond --kill-at 30 \
+  > "$tmp/conditioned.out"
+grep -q "conditioned parity: OK" "$tmp/conditioned.out" || {
+  echo "smoke: conditioned parity lost across kill/restore"
+  cat "$tmp/conditioned.out"
+  exit 1
+}
+
 echo "smoke: chaos_detection --quick (fault sweep + kill/restore cycles)"
 "$chaos_bench" --quick --out "$tmp/BENCH_chaos.json" \
   --metrics-out "$tmp/chaos_report.json" > "$tmp/chaos.out"
@@ -185,6 +194,7 @@ echo "smoke: validating chaos report + bench artefact"
   --require fault.rssi_non_finite \
   --require stream.shed_invalid.rssi_non_finite \
   --require stream.shed_invalid.time_negative \
+  --require cond.offered --require cond.passed --require cond.rejected \
   --chaos-bench "$tmp/BENCH_chaos.json"
 
 echo "smoke: streaming_detection --prune --simd (cascade parity)"

@@ -53,6 +53,14 @@ class CliArgs {
 //                     wavefront kernel (default on; bit-identical either
 //                     way, only speed changes). Meaningless without
 //                     --prune.
+//   --fixedlb         add the int16 Q4.12 integer-DTW tier to the
+//                     cascade (certified lower bound between envelope
+//                     and float kernel; verdicts identical, no effect
+//                     without --prune).
+//   --cond            run the §15 fixed-point conditioning front
+//                     (Hampel/MAD + adaptive EMA) on every ingested
+//                     beacon; the cond.* counters and their conservation
+//                     law go live.
 //   --telemetry-out P append voiceprint.telemetry/v1 JSONL frames to P
 //                     on deterministic stream-clock boundaries.
 //   --telemetry-every N
@@ -71,6 +79,8 @@ struct RunFlags {
   std::string trace_out;
   bool prune = false;
   bool simd = true;
+  bool fixed_lb = false;
+  bool cond = false;
   std::string telemetry_out;
   std::uint64_t telemetry_every_rounds = 1;
   double telemetry_every_s = 0.0;

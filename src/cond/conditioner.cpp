@@ -1,0 +1,210 @@
+#include "cond/conditioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "common/error.h"
+
+namespace vp::cond {
+
+namespace {
+
+// Saturation rail for to_q12: ±65536 dB in Q19.12. Far outside any
+// physical RSSI (the engine's validation contract is [-150, 50] dBm),
+// but it bounds |a - b| to 2^29 so every difference taken inside the
+// filter fits an int32 with headroom.
+constexpr std::int32_t kMaxAbsQ12 = 1 << 28;
+
+// Round-half-away-from-zero shift by kAlphaFractionBits, exact for
+// alpha == 1.0 (a full step reproduces the input bit-for-bit).
+std::int64_t alpha_round(std::int64_t step) {
+  constexpr std::int64_t half = std::int64_t{1} << (kAlphaFractionBits - 1);
+  return step >= 0 ? (step + half) >> kAlphaFractionBits
+                   : -((-step + half) >> kAlphaFractionBits);
+}
+
+}  // namespace
+
+std::int32_t to_q12(double v) {
+  const double scaled = v * static_cast<double>(kOneQ12);
+  if (std::isnan(scaled)) return 0;
+  if (scaled >= static_cast<double>(kMaxAbsQ12)) return kMaxAbsQ12;
+  if (scaled <= -static_cast<double>(kMaxAbsQ12)) return -kMaxAbsQ12;
+  return static_cast<std::int32_t>(std::llround(scaled));
+}
+
+void validate(const CondConfig& config) {
+  VP_REQUIRE(config.window >= 3 && config.window <= kMaxWindow);
+  VP_REQUIRE(config.window % 2 == 1);
+  VP_REQUIRE(config.clamp_k_q8 > 0);
+  VP_REQUIRE(config.reject_k_q8 >= config.clamp_k_q8);
+  // 256x MAD is already "never fires"; the bound keeps every k·MAD
+  // product comfortably inside int64.
+  VP_REQUIRE(config.reject_k_q8 <= 256 * kOneQ8);
+  VP_REQUIRE(config.mad_floor_q12 > 0);
+  VP_REQUIRE(config.reject_limit >= 1);
+  VP_REQUIRE(config.mad_ref_q12 > 0);
+  VP_REQUIRE(config.ema_alpha_min_q15 > 0);
+  VP_REQUIRE(config.ema_alpha_max_q15 >= config.ema_alpha_min_q15);
+  VP_REQUIRE(config.ema_alpha_max_q15 <= kOneQ15);
+}
+
+std::int32_t median_q12(std::span<const std::int32_t> values) {
+  VP_REQUIRE(!values.empty() && values.size() <= kMaxWindow);
+  std::array<std::int32_t, kMaxWindow> sorted{};
+  // Insertion sort: the windows are tiny (<= 31) and nearly sorted runs
+  // are common, so this beats introsort setup and never allocates.
+  std::size_t n = 0;
+  for (const std::int32_t v : values) {
+    std::size_t i = n;
+    while (i > 0 && sorted[i - 1] > v) {
+      sorted[i] = sorted[i - 1];
+      --i;
+    }
+    sorted[i] = v;
+    ++n;
+  }
+  // Odd counts by contract; an even count takes the lower middle, which
+  // keeps the function total without a rounding choice in Q12.
+  return sorted[n / 2];
+}
+
+std::int32_t mad_q12(std::span<const std::int32_t> values,
+                     std::int32_t median) {
+  VP_REQUIRE(!values.empty() && values.size() <= kMaxWindow);
+  std::array<std::int32_t, kMaxWindow> devs{};
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    devs[i] = static_cast<std::int32_t>(
+        std::llabs(static_cast<std::int64_t>(values[i]) - median));
+  }
+  return median_q12(std::span<const std::int32_t>(devs.data(), values.size()));
+}
+
+void Conditioner::push(std::int32_t x_q12, std::size_t window) {
+  if (count_ >= window) {
+    // Drop the oldest, then append — the generic form works even when
+    // the logical window is smaller than the backing array.
+    head_ = (head_ + 1) % kMaxWindow;
+    --count_;
+  }
+  window_[(head_ + count_) % kMaxWindow] = x_q12;
+  ++count_;
+}
+
+void Conditioner::ema_update(std::int32_t x_q12, std::int32_t mad_q12,
+                             const CondConfig& config) {
+  if (!ema_init_) {
+    ema_q12_ = x_q12;
+    ema_init_ = true;
+    return;
+  }
+  // alpha falls linearly from alpha_max (MAD 0) to alpha_min (MAD >=
+  // mad_ref): the noisier the window says the channel is, the harder
+  // the smoother leans on history. Integer division truncates toward
+  // zero; both operands are non-negative here so the result is exact
+  // floor division — deterministic everywhere.
+  const std::int64_t mad_c = std::min<std::int64_t>(mad_q12, config.mad_ref_q12);
+  const std::int64_t alpha_span =
+      static_cast<std::int64_t>(config.ema_alpha_max_q15) -
+      config.ema_alpha_min_q15;
+  const std::int64_t alpha =
+      config.ema_alpha_max_q15 - (alpha_span * mad_c) / config.mad_ref_q12;
+  const std::int64_t step =
+      alpha * (static_cast<std::int64_t>(x_q12) - ema_q12_);
+  const std::int64_t next =
+      static_cast<std::int64_t>(ema_q12_) + alpha_round(step);
+  ema_q12_ = static_cast<std::int32_t>(std::clamp<std::int64_t>(
+      next, std::numeric_limits<std::int32_t>::min(),
+      std::numeric_limits<std::int32_t>::max()));
+}
+
+Sample Conditioner::process(std::int32_t x_q12, const CondConfig& config) {
+  Sample out;
+  if (count_ < config.window) {
+    // Warmup: the baseline is not yet trustworthy, so every sample is
+    // accepted and the EMA runs at alpha_max (quiet-channel setting).
+    push(x_q12, config.window);
+    ema_update(x_q12, 0, config);
+    out.verdict = Verdict::kPass;
+    out.conditioned_q12 = ema_q12_;
+    return out;
+  }
+
+  // Judge the sample against the previous window — it must not vote on
+  // its own baseline, or a slow-ramp attacker drags the median along.
+  std::array<std::int32_t, kMaxWindow> scratch{};
+  for (std::size_t i = 0; i < config.window; ++i) {
+    scratch[i] = window_[(head_ + i) % kMaxWindow];
+  }
+  const std::span<const std::int32_t> win(scratch.data(), config.window);
+  const std::int32_t med = median_q12(win);
+  const std::int32_t mad_eff =
+      std::max(mad_q12(win, med), config.mad_floor_q12);
+
+  const std::int64_t dev =
+      std::llabs(static_cast<std::int64_t>(x_q12) - med);
+  const std::int64_t reject_thr =
+      (static_cast<std::int64_t>(config.reject_k_q8) * mad_eff) >>
+      kFactorFractionBits;
+  if (dev > reject_thr) {
+    if (reject_streak_ < config.reject_limit) {
+      // Hard outlier: shed, and leave every register untouched so a
+      // burst of garbage cannot walk the baseline anywhere.
+      ++reject_streak_;
+      out.verdict = Verdict::kReject;
+      out.conditioned_q12 = ema_q12_;
+      return out;
+    }
+    // The streak is exhausted: this many consecutive "outliers" IS the
+    // channel now (a deep fade or shadowing step, not a glitch burst).
+    // Re-seed from this sample — window restarted, EMA snapped — so the
+    // filter tracks the new level instead of rejecting it forever.
+    head_ = 0;
+    count_ = 0;
+    reject_streak_ = 0;
+    push(x_q12, config.window);
+    ema_init_ = false;
+    ema_update(x_q12, 0, config);
+    out.verdict = Verdict::kPass;
+    out.conditioned_q12 = ema_q12_;
+    return out;
+  }
+  reject_streak_ = 0;  // any accepted sample breaks the streak
+
+  const std::int64_t clamp_thr =
+      (static_cast<std::int64_t>(config.clamp_k_q8) * mad_eff) >>
+      kFactorFractionBits;
+  std::int32_t accepted = x_q12;
+  if (dev > clamp_thr) {
+    // Winsorise: the sample carries information (the channel did move)
+    // but its magnitude is capped at the clamp rail.
+    const std::int64_t rail = x_q12 > med
+                                  ? static_cast<std::int64_t>(med) + clamp_thr
+                                  : static_cast<std::int64_t>(med) - clamp_thr;
+    accepted = static_cast<std::int32_t>(std::clamp<std::int64_t>(
+        rail, -kMaxAbsQ12, kMaxAbsQ12));
+    out.verdict = Verdict::kClamp;
+  } else {
+    out.verdict = Verdict::kPass;
+  }
+  push(accepted, config.window);
+  ema_update(accepted, mad_eff, config);
+  out.conditioned_q12 = ema_q12_;
+  return out;
+}
+
+void Conditioner::restore(std::span<const std::int32_t> samples,
+                          std::int32_t ema_q12, bool ema_initialized,
+                          std::uint32_t reject_streak) {
+  VP_REQUIRE(samples.size() <= kMaxWindow);
+  head_ = 0;
+  count_ = samples.size();
+  for (std::size_t i = 0; i < samples.size(); ++i) window_[i] = samples[i];
+  ema_q12_ = ema_q12;
+  ema_init_ = ema_initialized;
+  reject_streak_ = reject_streak;
+}
+
+}  // namespace vp::cond

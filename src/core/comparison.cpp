@@ -11,6 +11,7 @@
 #include "obs/runtime.h"
 #include "obs/timer.h"
 #include "timeseries/dtw.h"
+#include "timeseries/fixed.h"
 #include "timeseries/lower_bound.h"
 #include "timeseries/lp_distance.h"
 #include "timeseries/normalize.h"
@@ -24,6 +25,7 @@ namespace {
 struct PairScratch {
   ts::DtwWorkspace workspace;
   ts::DtwResult result;
+  ts::FixedDtwScratch fixed;
   std::vector<double> va, vb;
 };
 
@@ -358,7 +360,8 @@ double slack_up(double ub) { return ub * (1.0 + kBoundSlack); }
 
 // Deepest cascade tier a pair touched; doubles as its exit-tier label for
 // the CascadeStats conservation law.
-enum class Stage : unsigned char { kSketch, kEnvelope, kKernel, kFull };
+enum class Stage : unsigned char { kSketch, kEnvelope, kFixed, kKernel,
+                                   kFull };
 
 struct CascadeRecord {
   ts::SeriesSketch sa, sb;
@@ -617,6 +620,9 @@ struct KernelProbe {
   double lb = 0.0;       // refined per-step lower bound
   double raw = 0.0;      // exact per-step distance (kExactDtw, completed)
   bool resolved = false;
+  // The integer Q4.12 tier proved the discard and the float kernel never
+  // ran (the caller tallies the pair as fixed_pruned, not early_abandoned).
+  bool fixed = false;
 };
 
 KernelProbe kernel_probe(std::span<const double> a, std::span<const double> b,
@@ -638,6 +644,25 @@ KernelProbe kernel_probe(std::span<const double> a, std::span<const double> b,
     ts::z_score_enhanced(b, scratch.workspace.zy);
   }
   const double steps_max = static_cast<double>(2 * a.size() - 1);
+  KernelProbe probe;
+  if (options.fixed_lower_bound && std::isfinite(discard_above) &&
+      discard_above >= 0.0) {
+    // Integer pre-probe (DESIGN.md §15): the certified Q4.12 bound on the
+    // banded optimum lower-bounds the (Fast)DTW cost by the same subset
+    // argument as the float kernel below. The 1e-6 margin mirrors the
+    // abandon path's, so the caller's slack-padded re-check of the
+    // discard robustly fires.
+    const double flb_acc = ts::fixed_banded_lower_bound(
+        scratch.workspace.zx, scratch.workspace.zy, options.dtw_band,
+        options.cost, scratch.fixed);
+    const double flb =
+        options.length_normalize ? flb_acc / steps_max : flb_acc;
+    if (flb > 0.0 && flb > discard_above * (1.0 + 1e-6)) {
+      probe.lb = flb;
+      probe.fixed = true;
+      return probe;
+    }
+  }
   double abandon_acc = std::numeric_limits<double>::infinity();
   if (std::isfinite(discard_above) && discard_above >= 0.0) {
     // Margin on top of the caller's threshold so the post-abandon check
@@ -649,7 +674,6 @@ KernelProbe kernel_probe(std::span<const double> a, std::span<const double> b,
   const ts::BandedDistance kd = ts::banded_dtw_distance(
       scratch.workspace.zx, scratch.workspace.zy, options.dtw_band,
       options.cost, abandon_acc, options.use_simd, scratch.workspace);
-  KernelProbe probe;
   if (kd.abandoned) {
     // The banded optimum provably exceeds abandon_acc.
     probe.lb = options.length_normalize ? abandon_acc / steps_max
@@ -881,11 +905,12 @@ std::vector<PairDistance> compare_series_pruned(
       CascadeRecord& rec = recs[k];
       if (rec.resolved) continue;
       if (slack_down(rec.lb) >= best_min) continue;
-      if (rec.stage < Stage::kKernel) rec.stage = Stage::kKernel;
       const KernelProbe probe =
           kernel_probe(arena_a(scratch_view, rec), arena_b(scratch_view, rec),
                        zcache(rec.zcache_a), zcache(rec.zcache_b), options,
                        s0, best_min);
+      const Stage probed = probe.fixed ? Stage::kFixed : Stage::kKernel;
+      if (rec.stage < probed) rec.stage = probed;
       if (probe.resolved) {
         rec.raw = probe.raw;
         rec.resolved = true;
@@ -1015,11 +1040,12 @@ std::vector<PairDistance> compare_series_pruned(
       const double discard = minmax ? vmin + thr * range : thr;
       refine_keogh(rec, scratch_view, options, local, discard);
       if (decide()) return;
-      if (rec.stage < Stage::kKernel) rec.stage = Stage::kKernel;
       const KernelProbe probe =
           kernel_probe(arena_a(scratch_view, rec), arena_b(scratch_view, rec),
                        zcache(rec.zcache_a), zcache(rec.zcache_b), options,
                        local, discard);
+      const Stage probed = probe.fixed ? Stage::kFixed : Stage::kKernel;
+      if (rec.stage < probed) rec.stage = probed;
       if (probe.resolved) {
         rec.raw = probe.raw;
         rec.resolved = true;
@@ -1046,6 +1072,9 @@ std::vector<PairDistance> compare_series_pruned(
       case Stage::kEnvelope:
         ++stats.lb_keogh_pruned;
         break;
+      case Stage::kFixed:
+        ++stats.fixed_pruned;
+        break;
       case Stage::kKernel:
         ++stats.early_abandoned;
         break;
@@ -1066,6 +1095,7 @@ std::vector<PairDistance> compare_series_pruned(
         .add(jobs.size() - comparable.size());
     registry.counter("dtw.lb_kim_pruned").add(stats.lb_kim_pruned);
     registry.counter("dtw.lb_keogh_pruned").add(stats.lb_keogh_pruned);
+    registry.counter("dtw.fixed_pruned").add(stats.fixed_pruned);
     registry.counter("dtw.early_abandoned").add(stats.early_abandoned);
     registry.counter("dtw.full_sweeps").add(stats.full_sweeps);
     ts::DtwWorkspace::Stats dtw_stats;

@@ -121,20 +121,30 @@ struct ComparisonOptions {
   // bit-identical; this flag only trades speed, never results. Flipped by
   // the drivers' --simd.
   bool use_simd = true;
+  // Insert the int16 Q4.12 quantised banded-DTW tier (timeseries/fixed.h,
+  // DESIGN.md §15) between the envelope bounds and the float kernel in
+  // compare_series_pruned: when the certified integer bound already
+  // clears the discard threshold the float kernel never runs. Like the
+  // rest of the cascade this is verdict-identical by construction — the
+  // deflated bound is a true lower bound — so the flag only trades work.
+  // No effect in exact_mode. Flipped by the drivers' --fixedlb.
+  bool fixed_lower_bound = false;
 };
 
 // Per-sweep exit-tier tally of the lower-bound cascade. Every comparable
 // pair exits at exactly one tier, so
-//   comparable pairs = lb_kim_pruned + lb_keogh_pruned + early_abandoned
-//                      + full_sweeps
+//   comparable pairs = lb_kim_pruned + lb_keogh_pruned + fixed_pruned
+//                      + early_abandoned + full_sweeps
 // (the conservation law check_run_report enforces on BENCH_comparison.json).
 // The same tallies are also accumulated on the obs registry counters
-// dtw.lb_kim_pruned / dtw.lb_keogh_pruned / dtw.early_abandoned /
-// dtw.full_sweeps.
+// dtw.lb_kim_pruned / dtw.lb_keogh_pruned / dtw.fixed_pruned /
+// dtw.early_abandoned / dtw.full_sweeps.
 struct CascadeStats {
   std::uint64_t lb_kim_pruned = 0;   // decided from the Phase-A sketch
                                      // bounds alone (LB_Kim + diagonal UB)
   std::uint64_t lb_keogh_pruned = 0; // needed the Sakoe–Chiba envelopes
+  std::uint64_t fixed_pruned = 0;    // decided by the int16 Q4.12 integer
+                                     // DTW bound (fixed_lower_bound only)
   std::uint64_t early_abandoned = 0; // entered the DTW recurrence but the
                                      // banded bound pruned it before a
                                      // full solve (abandoned or completed)

@@ -22,6 +22,7 @@ VoiceprintOptions with_run_flags(VoiceprintOptions options,
                                  const RunFlags& flags) {
   options.comparison.exact_mode = !flags.prune;
   options.comparison.use_simd = flags.simd;
+  options.comparison.fixed_lower_bound = flags.fixed_lb;
   return options;
 }
 

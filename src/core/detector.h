@@ -42,10 +42,11 @@ struct VoiceprintOptions {
 // 1 = serial, 0 = all hardware threads) and never changes the results.
 VoiceprintOptions tuned_simulation_options(std::size_t threads = 1);
 
-// Applies the shared --prune/--simd run flags (common/cli.h) to an option
-// set: --prune routes detection through the lower-bound cascade
+// Applies the shared --prune/--simd/--fixedlb run flags (common/cli.h) to
+// an option set: --prune routes detection through the lower-bound cascade
 // (compare_series_pruned; verdicts identical to the exact sweep), --simd
-// selects the vectorised band-sweep kernel. Every driver that exposes the
+// selects the vectorised band-sweep kernel, --fixedlb arms the int16
+// integer-DTW tier inside that cascade. Every driver that exposes the
 // flags funnels them through here so the mapping stays in one place.
 VoiceprintOptions with_run_flags(VoiceprintOptions options,
                                  const RunFlags& flags);

@@ -52,6 +52,7 @@ Value build_comparison_bench_report(
     row.emplace("speedup_parallel", Value(c.speedup_parallel));
     row.emplace("lb_kim_pruned", Value(c.cascade.lb_kim_pruned));
     row.emplace("lb_keogh_pruned", Value(c.cascade.lb_keogh_pruned));
+    row.emplace("fixed_pruned", Value(c.cascade.fixed_pruned));
     row.emplace("early_abandoned", Value(c.cascade.early_abandoned));
     row.emplace("full_sweeps", Value(c.cascade.full_sweeps));
     row.emplace("verdicts_match", Value(c.verdicts_match));
@@ -103,7 +104,8 @@ bool validate_comparison_bench(const Value& report, std::string* error) {
          {"identities", "pairs", "pairs_comparable", "exact_serial_ns",
           "pruned_serial_ns", "exact_parallel_ns", "pruned_parallel_ns",
           "speedup_serial", "speedup_parallel", "lb_kim_pruned",
-          "lb_keogh_pruned", "early_abandoned", "full_sweeps"}) {
+          "lb_keogh_pruned", "fixed_pruned", "early_abandoned",
+          "full_sweeps"}) {
       if (!require_number(row, key, where, error)) return false;
     }
     // Conservation law of the cascade: every comparable pair exits at
@@ -112,12 +114,13 @@ bool validate_comparison_bench(const Value& report, std::string* error) {
     if (row.find("pairs_comparable")->as_number() !=
         row.find("lb_kim_pruned")->as_number() +
             row.find("lb_keogh_pruned")->as_number() +
+            row.find("fixed_pruned")->as_number() +
             row.find("early_abandoned")->as_number() +
             row.find("full_sweeps")->as_number()) {
       return fail(error,
                   where +
                       ": pairs_comparable != lb_kim_pruned + lb_keogh_pruned"
-                      " + early_abandoned + full_sweeps");
+                      " + fixed_pruned + early_abandoned + full_sweeps");
     }
     const Value* verdicts = row.find("verdicts_match");
     if (verdicts == nullptr || !verdicts->is_bool()) {

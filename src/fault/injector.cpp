@@ -23,6 +23,7 @@ struct Sinks {
   obs::Counter* rssi_spiked;
   obs::Counter* rssi_quantized;
   obs::Counter* rssi_non_finite;
+  obs::Counter* rssi_stuck;
   obs::Counter* time_skewed;
   obs::Counter* time_regressed;
   obs::Counter* flood_injected;
@@ -42,6 +43,7 @@ const Sinks& sinks() {
         .rssi_spiked = &r.counter("fault.rssi_spiked"),
         .rssi_quantized = &r.counter("fault.rssi_quantized"),
         .rssi_non_finite = &r.counter("fault.rssi_non_finite"),
+        .rssi_stuck = &r.counter("fault.rssi_stuck"),
         .time_skewed = &r.counter("fault.time_skewed"),
         .time_regressed = &r.counter("fault.time_regressed"),
         .flood_injected = &r.counter("fault.flood_injected"),
@@ -62,6 +64,7 @@ FaultInjector::FaultInjector(FaultConfig config)
       duplicate_rng_(Rng(config_.seed).fork("fault.duplicate")),
       reorder_rng_(Rng(config_.seed).fork("fault.reorder")),
       rssi_rng_(Rng(config_.seed).fork("fault.rssi")),
+      stuck_rng_(Rng(config_.seed).fork("fault.stuck")),
       time_rng_(Rng(config_.seed).fork("fault.time")),
       flood_rng_(Rng(config_.seed).fork("fault.flood")) {
   VP_REQUIRE(valid_probability(config_.drop_probability));
@@ -70,6 +73,10 @@ FaultInjector::FaultInjector(FaultConfig config)
   VP_REQUIRE(valid_probability(config_.reorder_probability));
   VP_REQUIRE(valid_probability(config_.rssi_spike_probability));
   VP_REQUIRE(valid_probability(config_.rssi_non_finite_probability));
+  VP_REQUIRE(valid_probability(config_.rssi_stuck_probability));
+  VP_REQUIRE(valid_probability(config_.rssi_stuck_rail_probability));
+  VP_REQUIRE(config_.rssi_stuck_length >= 1);
+  VP_REQUIRE(std::isfinite(config_.rssi_stuck_rail_dbm));
   VP_REQUIRE(valid_probability(config_.time_regression_probability));
   VP_REQUIRE(valid_probability(config_.flood_probability));
   VP_REQUIRE(config_.burst_length >= 1);
@@ -103,6 +110,7 @@ void FaultInjector::corrupt_and_emit(Beacon beacon, std::vector<Beacon>& out) {
 
   // RSSI faults: spike, then non-finite (which overrides), then
   // quantisation (a no-op on non-finite values).
+  const double clean_rssi_dbm = beacon.rssi_dbm;
   if (config_.rssi_spike_probability > 0.0 &&
       rssi_rng_.chance(config_.rssi_spike_probability)) {
     const double sign = rssi_rng_.chance(0.5) ? 1.0 : -1.0;
@@ -131,6 +139,27 @@ void FaultInjector::corrupt_and_emit(Beacon beacon, std::vector<Beacon>& out) {
                       config_.rssi_quantize_step_db;
     ++stats_.rssi_quantized;
     if (instrumented) sinks().rssi_quantized->add(1);
+  }
+
+  // Stuck-at/saturation last: the latched readback register replaces
+  // whatever the channel delivered, wholesale (a stuck beacon's spike or
+  // quantisation is masked but still counted — the fault happened, the
+  // latch just hid it). Drawing from a dedicated Rng fork AFTER the
+  // other classes keeps their fault sequences bit-identical whether or
+  // not stuck-at is enabled.
+  if (stuck_remaining_ == 0 && config_.rssi_stuck_probability > 0.0 &&
+      stuck_rng_.chance(config_.rssi_stuck_probability)) {
+    stuck_remaining_ = config_.rssi_stuck_length;
+    stuck_value_dbm_ =
+        stuck_rng_.chance(config_.rssi_stuck_rail_probability)
+            ? config_.rssi_stuck_rail_dbm
+            : clean_rssi_dbm;  // freeze at the arming beacon's reading
+  }
+  if (stuck_remaining_ > 0) {
+    --stuck_remaining_;
+    beacon.rssi_dbm = stuck_value_dbm_;
+    ++stats_.rssi_stuck;
+    if (instrumented) sinks().rssi_stuck->add(1);
   }
 
   // Delivery faults: hold for reorder, or emit now (possibly twice).

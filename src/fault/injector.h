@@ -15,8 +15,11 @@
 //   * reorder         — a beacon held back and released up to
 //                       `reorder_max_displacement` beacons late
 //   * RSSI corruption — additive spikes, quantisation to a coarse step,
-//                       and non-finite values (NaN/±Inf) a broken driver
-//                       might report
+//                       non-finite values (NaN/±Inf) a broken driver
+//                       might report, and stuck-at episodes (the RSSI
+//                       readback register latches: every beacon reports
+//                       the frozen value — or a saturation rail — for a
+//                       burst of deliveries)
 //   * timestamp skew  — constant offset + linear drift of a bad clock,
 //                       and outright regressions (time running backwards)
 //   * identity flood  — fabricated identities inserted alongside real
@@ -69,6 +72,17 @@ struct FaultConfig {
   double rssi_spike_db = 25.0;
   double rssi_quantize_step_db = 0.0;   // >0: round RSSI to this step
   double rssi_non_finite_probability = 0.0;  // NaN / +Inf / -Inf
+  // Stuck-at/saturation: with this per-beacon probability the receiver's
+  // RSSI readback latches for the next `rssi_stuck_length` deliveries
+  // (all identities — it is one physical radio). An episode freezes at
+  // the arming beacon's own RSSI, or — with rssi_stuck_rail_probability —
+  // rails at rssi_stuck_rail_dbm (a saturated front end). The rail
+  // default sits inside the validation front's plausible range on
+  // purpose: only §15 conditioning can catch it.
+  double rssi_stuck_probability = 0.0;
+  std::size_t rssi_stuck_length = 8;
+  double rssi_stuck_rail_probability = 0.5;
+  double rssi_stuck_rail_dbm = -30.0;
 
   // --- Timestamp corruption --------------------------------------------
   double time_skew_s = 0.0;        // constant clock offset
@@ -93,6 +107,7 @@ struct FaultStats {
   std::uint64_t rssi_spiked = 0;
   std::uint64_t rssi_quantized = 0;
   std::uint64_t rssi_non_finite = 0;
+  std::uint64_t rssi_stuck = 0;  // beacons reporting a latched/railed RSSI
   std::uint64_t time_skewed = 0;     // nonzero skew/drift applied
   std::uint64_t time_regressed = 0;
   std::uint64_t flood_injected = 0;
@@ -144,10 +159,13 @@ class FaultInjector {
   Rng duplicate_rng_;
   Rng reorder_rng_;
   Rng rssi_rng_;
+  Rng stuck_rng_;
   Rng time_rng_;
   Rng flood_rng_;
 
   std::size_t burst_remaining_ = 0;
+  std::size_t stuck_remaining_ = 0;
+  double stuck_value_dbm_ = 0.0;
   std::vector<Held> held_;
   std::uint32_t flood_sequence_ = 0;
 };

@@ -33,7 +33,8 @@ double num(const Value& object, const char* key) {
 constexpr const char* kInjectorKeys[] = {
     "source_beacons", "emitted",        "dropped",        "burst_dropped",
     "duplicated",     "reordered",      "rssi_spiked",    "rssi_quantized",
-    "rssi_non_finite", "time_skewed",   "time_regressed", "flood_injected",
+    "rssi_non_finite", "rssi_stuck",    "time_skewed",    "time_regressed",
+    "flood_injected",
 };
 
 constexpr const char* kServingKeys[] = {
@@ -47,15 +48,21 @@ constexpr const char* kServingKeys[] = {
     "shed_invalid_rssi_out_of_range",
     "shed_invalid_time_non_finite",
     "shed_invalid_time_negative",
+    "shed_conditioned",
+    "cond_offered",
+    "cond_passed",
+    "cond_clamped",
+    "cond_rejected",
     "rounds",
 };
 
 }  // namespace
 
 Value build_chaos_bench_report(const std::string& binary, std::uint64_t seed,
-                               const std::vector<ChaosRunResult>& runs) {
+                               const std::vector<ChaosRunResult>& runs,
+                               const std::vector<CondGateResult>& cond_gates) {
   Object doc;
-  doc.emplace("schema", Value("voiceprint.chaos_bench/v1"));
+  doc.emplace("schema", Value("voiceprint.chaos_bench/v2"));
   doc.emplace("binary", Value(binary));
   doc.emplace("hardware_threads", Value(hardware_threads()));
   doc.emplace("seed", Value(seed));
@@ -75,6 +82,7 @@ Value build_chaos_bench_report(const std::string& binary, std::uint64_t seed,
     row.emplace("rssi_spiked", Value(r.rssi_spiked));
     row.emplace("rssi_quantized", Value(r.rssi_quantized));
     row.emplace("rssi_non_finite", Value(r.rssi_non_finite));
+    row.emplace("rssi_stuck", Value(r.rssi_stuck));
     row.emplace("time_skewed", Value(r.time_skewed));
     row.emplace("time_regressed", Value(r.time_regressed));
     row.emplace("flood_injected", Value(r.flood_injected));
@@ -92,12 +100,27 @@ Value build_chaos_bench_report(const std::string& binary, std::uint64_t seed,
                 Value(r.shed_invalid_time_non_finite));
     row.emplace("shed_invalid_time_negative",
                 Value(r.shed_invalid_time_negative));
+    row.emplace("shed_conditioned", Value(r.shed_conditioned));
+    row.emplace("cond_offered", Value(r.cond_offered));
+    row.emplace("cond_passed", Value(r.cond_passed));
+    row.emplace("cond_clamped", Value(r.cond_clamped));
+    row.emplace("cond_rejected", Value(r.cond_rejected));
     row.emplace("rounds", Value(r.rounds));
     row.emplace("round_divergence", Value(r.round_divergence));
     row.emplace("max_divergence", Value(r.max_divergence));
     rows.push_back(Value(std::move(row)));
   }
   doc.emplace("runs", Value(std::move(rows)));
+  Array gates;
+  for (const CondGateResult& g : cond_gates) {
+    Object gate;
+    gate.emplace("fault_class", Value(g.fault_class));
+    gate.emplace("intensity", Value(g.intensity));
+    gate.emplace("divergence_off", Value(g.divergence_off));
+    gate.emplace("divergence_on", Value(g.divergence_on));
+    gates.push_back(Value(std::move(gate)));
+  }
+  doc.emplace("cond_gates", Value(std::move(gates)));
   return Value(std::move(doc));
 }
 
@@ -105,8 +128,8 @@ bool validate_chaos_bench(const Value& report, std::string* error) {
   if (!report.is_object()) return fail(error, "report is not an object");
   const Value* schema = report.find("schema");
   if (schema == nullptr || !schema->is_string() ||
-      schema->as_string() != "voiceprint.chaos_bench/v1") {
-    return fail(error, "schema is not \"voiceprint.chaos_bench/v1\"");
+      schema->as_string() != "voiceprint.chaos_bench/v2") {
+    return fail(error, "schema is not \"voiceprint.chaos_bench/v2\"");
   }
   const Value* binary = report.find("binary");
   if (binary == nullptr || !binary->is_string()) {
@@ -160,9 +183,18 @@ bool validate_chaos_bench(const Value& report, std::string* error) {
         num(row, "shed_invalid_rssi_non_finite") +
         num(row, "shed_invalid_rssi_out_of_range") +
         num(row, "shed_invalid_time_non_finite") +
-        num(row, "shed_invalid_time_negative");
+        num(row, "shed_invalid_time_negative") +
+        num(row, "shed_conditioned");
     if (num(row, "offered") != num(row, "ingested") + shed_sum) {
       return fail(error, where + ": offered != ingested + Σ shed");
+    }
+    // Conditioning conservation: every sample the §15 front saw left it
+    // through exactly one verdict (trivially 0 == 0 on OFF runs).
+    if (num(row, "cond_offered") != num(row, "cond_passed") +
+                                        num(row, "cond_clamped") +
+                                        num(row, "cond_rejected")) {
+      return fail(error, where + ": cond_offered != passed + clamped + "
+                                 "rejected");
     }
     const double divergence = num(row, "round_divergence");
     const double ceiling = num(row, "max_divergence");
@@ -174,6 +206,40 @@ bool validate_chaos_bench(const Value& report, std::string* error) {
     }
     if (divergence > ceiling) {
       return fail(error, where + ": round_divergence exceeds max_divergence");
+    }
+  }
+  // Conditioning gates (§15): every gated fault class must show a strict
+  // divergence improvement with conditioning ON, and the OFF arm must
+  // actually diverge — a gate over a harmless fault proves nothing.
+  const Value* gates = report.find("cond_gates");
+  if (gates == nullptr || !gates->is_array()) {
+    return fail(error, "missing or non-array \"cond_gates\"");
+  }
+  index = 0;
+  for (const Value& gate : gates->as_array()) {
+    const std::string where = "cond_gates[" + std::to_string(index++) + "]";
+    if (!gate.is_object()) return fail(error, where + " is not an object");
+    const Value* cls = gate.find("fault_class");
+    if (cls == nullptr || !cls->is_string()) {
+      return fail(error, where + ": missing or non-string \"fault_class\"");
+    }
+    for (const char* key : {"intensity", "divergence_off", "divergence_on"}) {
+      if (!require_number(gate, key, where, error)) return false;
+    }
+    const double off = num(gate, "divergence_off");
+    const double on = num(gate, "divergence_on");
+    if (off < 0.0 || off > 1.0 || on < 0.0 || on > 1.0) {
+      return fail(error, where + ": divergence outside [0, 1]");
+    }
+    if (!(off > 0.0)) {
+      return fail(error, where + " (" + cls->as_string() +
+                             "): divergence_off is zero — the fault did not "
+                             "bite, the gate is vacuous");
+    }
+    if (!(on < off)) {
+      return fail(error, where + " (" + cls->as_string() +
+                             "): conditioning did not strictly reduce "
+                             "divergence");
     }
   }
   return true;

@@ -1,17 +1,29 @@
-// BENCH_chaos.json schema ("voiceprint.chaos_bench/v1"): the
+// BENCH_chaos.json schema ("voiceprint.chaos_bench/v2"): the
 // bench/chaos_detection harness writes one document summarising each
 // fault-class × intensity run over a highway trace — what the injector
 // did (per-class fault counts), what the serving stack did with it
-// (ingested/shed by reason, rounds), how many kill/restore cycles the
-// run survived, and how far its rounds diverged from the clean baseline.
+// (ingested/shed by reason, conditioned, rounds), how many kill/restore
+// cycles the run survived, and how far its rounds diverged from the
+// clean baseline.
+//
+// v2 (§15) adds the stuck-at fault class (rssi_stuck), the conditioning
+// counters (shed_conditioned, cond_offered/passed/clamped/rejected), and
+// the `cond_gates` array: per fault class, the divergence of a
+// conditioning-OFF run (vs the unconditioned clean baseline) against the
+// divergence of the SAME faulted stream with conditioning ON (vs the
+// conditioned clean baseline). The validator requires every gate to show
+// a strict improvement — conditioning must measurably blunt the fault,
+// not just not hurt.
 //
 // Like the other bench schemas, build and validate live together so the
 // emitted document and the check (tools/check_run_report --chaos-bench,
 // the smoke script, and the unit tests) cannot drift apart. The
-// validator enforces the two conservation laws end to end:
+// validator enforces the three conservation laws end to end:
 //   source + duplicated + flood == emitted + dropped + burst_dropped
 //   offered == ingested + Σ shed_* (all three overload classes, the four
-//                                   validation reasons, and session cap)
+//                                   validation reasons, session cap, and
+//                                   conditioning rejects)
+//   cond_offered == cond_passed + cond_clamped + cond_rejected
 #pragma once
 
 #include <cstdint>
@@ -39,6 +51,7 @@ struct ChaosRunResult {
   std::uint64_t rssi_spiked = 0;
   std::uint64_t rssi_quantized = 0;
   std::uint64_t rssi_non_finite = 0;
+  std::uint64_t rssi_stuck = 0;
   std::uint64_t time_skewed = 0;
   std::uint64_t time_regressed = 0;
   std::uint64_t flood_injected = 0;
@@ -54,6 +67,12 @@ struct ChaosRunResult {
   std::uint64_t shed_invalid_rssi_out_of_range = 0;
   std::uint64_t shed_invalid_time_non_finite = 0;
   std::uint64_t shed_invalid_time_negative = 0;
+  // §15 conditioning front (all zero when the run had it off).
+  std::uint64_t shed_conditioned = 0;
+  std::uint64_t cond_offered = 0;
+  std::uint64_t cond_passed = 0;
+  std::uint64_t cond_clamped = 0;
+  std::uint64_t cond_rejected = 0;
   std::uint64_t rounds = 0;
 
   // Fraction of rounds whose suspect set differs from the clean
@@ -64,13 +83,27 @@ struct ChaosRunResult {
   double max_divergence = 1.0;
 };
 
-// Builds the voiceprint.chaos_bench/v1 document.
+// One conditioning divergence gate (§15): the same faulted stream run
+// twice, conditioning OFF and ON, each measured against its own clean
+// baseline. The validator requires divergence_on < divergence_off
+// strictly — with divergence_off > 0, so the gate can never pass
+// vacuously on a fault class the run failed to make damaging.
+struct CondGateResult {
+  std::string fault_class;  // "rssi_spike", "rssi_quantize", "rssi_stuck"
+  double intensity = 0.0;
+  double divergence_off = 0.0;  // conditioning OFF vs unconditioned base
+  double divergence_on = 0.0;   // conditioning ON vs conditioned base
+};
+
+// Builds the voiceprint.chaos_bench/v2 document.
 obs::json::Value build_chaos_bench_report(
     const std::string& binary, std::uint64_t seed,
-    const std::vector<ChaosRunResult>& runs);
+    const std::vector<ChaosRunResult>& runs,
+    const std::vector<CondGateResult>& cond_gates);
 
-// True when `report` conforms to voiceprint.chaos_bench/v1 (including
-// both conservation laws per run). On failure, `error` (if non-null)
+// True when `report` conforms to voiceprint.chaos_bench/v2 (including
+// all three conservation laws per run and the strict conditioning
+// improvement on every gate). On failure, `error` (if non-null)
 // receives a one-line description.
 bool validate_chaos_bench(const obs::json::Value& report, std::string* error);
 

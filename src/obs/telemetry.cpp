@@ -69,10 +69,19 @@ const std::vector<ConservationLaw>& conservation_laws() {
        {"stream.beacons_ingested", "stream.beacons_shed_rate_limited",
         "stream.beacons_shed_identity_cap",
         "stream.beacons_shed_out_of_order",
+        "stream.beacons_shed_conditioned",
         "stream.shed_invalid.rssi_non_finite",
         "stream.shed_invalid.rssi_out_of_range",
         "stream.shed_invalid.time_non_finite",
         "stream.shed_invalid.time_negative"},
+       {},
+       false},
+      // §15 conditioning: every sample offered to the Hampel stage lands
+      // in exactly one verdict bucket. Vacuous (all zero) with
+      // conditioning off, so the law binds only when the stage runs.
+      {"conservation.cond.samples",
+       {"cond.offered"},
+       {"cond.passed", "cond.clamped", "cond.rejected"},
        {},
        false},
       {"conservation.service.beacons",
@@ -80,7 +89,8 @@ const std::vector<ConservationLaw>& conservation_laws() {
        {"service.beacons_ingested", "service.beacons_shed_session_cap",
         "service.beacons_shed_rate_limited",
         "service.beacons_shed_identity_cap",
-        "service.beacons_shed_out_of_order", "service.beacons_shed_invalid"},
+        "service.beacons_shed_out_of_order", "service.beacons_shed_invalid",
+        "service.beacons_shed_conditioned"},
        {},
        false},
       {"conservation.service.rounds",
@@ -112,8 +122,8 @@ const std::vector<ConservationLaw>& conservation_laws() {
        false},
       {"conservation.dtw.tiers",
        {"comparison.pairs_comparable"},
-       {"dtw.lb_kim_pruned", "dtw.lb_keogh_pruned", "dtw.early_abandoned",
-        "dtw.full_sweeps"},
+       {"dtw.lb_kim_pruned", "dtw.lb_keogh_pruned", "dtw.fixed_pruned",
+        "dtw.early_abandoned", "dtw.full_sweeps"},
        {},
        true},
   };

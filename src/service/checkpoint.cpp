@@ -12,7 +12,11 @@ namespace vp::service {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x43535056u;  // "VPSC" little-endian
-constexpr std::uint32_t kVersion = 1;
+// Version 2 adds beacons_shed_conditioned (§15) after the shed_invalid
+// counter; version-1 blobs still decode with it defaulted to zero (only
+// unconditioned services could have written them).
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kMinVersion = 1;
 
 bool fail(std::string* error, std::string reason) {
   if (error != nullptr) *error = std::move(reason);
@@ -27,6 +31,7 @@ void encode_stats(ByteWriter& w, const DetectionService::Stats& s) {
   w.put_u64(s.beacons_shed_identity_cap);
   w.put_u64(s.beacons_shed_out_of_order);
   w.put_u64(s.beacons_shed_invalid);
+  w.put_u64(s.beacons_shed_conditioned);
   w.put_u64(s.sessions_opened);
   w.put_u64(s.sessions_rejected);
   w.put_u64(s.sessions_closed);
@@ -38,13 +43,16 @@ void encode_stats(ByteWriter& w, const DetectionService::Stats& s) {
   w.put_u64(s.pumps);
 }
 
-bool decode_stats(ByteReader& r, DetectionService::Stats& s) {
+bool decode_stats(ByteReader& r, std::uint32_t version,
+                  DetectionService::Stats& s) {
   return r.get_u64(s.beacons_offered) && r.get_u64(s.beacons_ingested) &&
          r.get_u64(s.beacons_shed_session_cap) &&
          r.get_u64(s.beacons_shed_rate_limited) &&
          r.get_u64(s.beacons_shed_identity_cap) &&
          r.get_u64(s.beacons_shed_out_of_order) &&
-         r.get_u64(s.beacons_shed_invalid) && r.get_u64(s.sessions_opened) &&
+         r.get_u64(s.beacons_shed_invalid) &&
+         (version < 2 || r.get_u64(s.beacons_shed_conditioned)) &&
+         r.get_u64(s.sessions_opened) &&
          r.get_u64(s.sessions_rejected) && r.get_u64(s.sessions_closed) &&
          r.get_u64(s.sessions_evicted_idle) && r.get_u64(s.rounds_prepared) &&
          r.get_u64(s.rounds_executed) && r.get_u64(s.rounds_shed_queue_full) &&
@@ -107,14 +115,14 @@ bool decode_checkpoint(std::span<const std::uint8_t> bytes,
   if (!r.get_u32(magic) || magic != kMagic) {
     return fail(error, "service checkpoint: bad magic (not VPSC)");
   }
-  if (!r.get_u32(version) || version != kVersion) {
+  if (!r.get_u32(version) || version < kMinVersion || version > kVersion) {
     return fail(error, "service checkpoint: unsupported version");
   }
 
   ServiceCheckpoint cp;
   std::uint64_t session_count = 0;
   if (!r.get_u64(cp.config_hash) || !r.get_f64(cp.service_time) ||
-      !decode_stats(r, cp.stats) || !r.get_u64(session_count)) {
+      !decode_stats(r, version, cp.stats) || !r.get_u64(session_count)) {
     return fail(error, "service checkpoint: truncated service fields");
   }
   if (session_count > r.remaining() / (3 * 8)) {

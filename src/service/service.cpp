@@ -26,6 +26,7 @@ struct Sinks {
   obs::Counter* shed_identity_cap;
   obs::Counter* shed_out_of_order;
   obs::Counter* shed_invalid;
+  obs::Counter* shed_conditioned;
   obs::Counter* sessions_opened;
   obs::Counter* sessions_rejected;
   obs::Counter* sessions_closed;
@@ -52,6 +53,7 @@ const Sinks& sinks() {
         .shed_identity_cap = &r.counter("service.beacons_shed_identity_cap"),
         .shed_out_of_order = &r.counter("service.beacons_shed_out_of_order"),
         .shed_invalid = &r.counter("service.beacons_shed_invalid"),
+        .shed_conditioned = &r.counter("service.beacons_shed_conditioned"),
         .sessions_opened = &r.counter("service.sessions_opened"),
         .sessions_rejected = &r.counter("service.sessions_rejected"),
         .sessions_closed = &r.counter("service.sessions_closed"),
@@ -253,6 +255,11 @@ DetectionService::Admission DetectionService::ingest(SessionId session,
       ++stats_.beacons_shed_invalid;
       if (instrumented) sinks().shed_invalid->add(1);
       mapped = Admission::kShedInvalid;
+      break;
+    case stream::StreamEngine::Admission::kShedConditioned:
+      ++stats_.beacons_shed_conditioned;
+      if (instrumented) sinks().shed_conditioned->add(1);
+      mapped = Admission::kShedConditioned;
       break;
   }
   maybe_auto_pump();

@@ -105,6 +105,7 @@ class DetectionService {
     kShedIdentityCap,   // session engine: new identity at its cap
     kShedOutOfOrder,    // session engine: time regressed
     kShedInvalid,       // session engine: failed the validation front
+    kShedConditioned,   // session engine: Hampel hard-reject (§15)
   };
 
   // Plain counters mirroring the service.* metrics, always maintained
@@ -120,6 +121,9 @@ class DetectionService {
     // lives in each session engine's Stats and the stream.shed_invalid.*
     // metrics).
     std::uint64_t beacons_shed_invalid = 0;
+    // §15 conditioning hard-rejects, summed across sessions (per-reason
+    // cond.* detail lives in each session engine's Stats).
+    std::uint64_t beacons_shed_conditioned = 0;
     std::uint64_t sessions_opened = 0;
     std::uint64_t sessions_rejected = 0;  // open() refused at the cap
     std::uint64_t sessions_closed = 0;

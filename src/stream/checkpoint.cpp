@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <limits>
 #include <utility>
+
+#include "cond/conditioner.h"
 
 #include "common/binio.h"
 #include "common/rng.h"
@@ -13,9 +16,12 @@ namespace vp::stream {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x4b435056u;  // "VPCK" little-endian
-// Version 2 adds next_round_id after the admission bucket; version 1 is
-// still decoded (next_round_id defaults to stats.rounds).
-constexpr std::uint32_t kVersion = 2;
+// Version 2 adds next_round_id after the admission bucket; version 3
+// adds the §15 conditioning state (cond_* stats counters and the
+// per-identity Hampel window + EMA register). Versions 1 and 2 still
+// decode, with the newer fields defaulted (next_round_id from
+// stats.rounds on v1; empty conditioning state on v1/v2).
+constexpr std::uint32_t kVersion = 3;
 constexpr std::uint32_t kMinVersion = 1;
 
 std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
@@ -39,19 +45,33 @@ void encode_stats(ByteWriter& w, const StreamEngine::Stats& s) {
   w.put_u64(s.samples_expired);
   w.put_u64(s.identities_expired);
   w.put_u64(s.rounds);
+  // v3: the conditioning counters, after the v2 fields so old decoders
+  // of old blobs never see them.
+  w.put_u64(s.beacons_shed_conditioned);
+  w.put_u64(s.cond_offered);
+  w.put_u64(s.cond_passed);
+  w.put_u64(s.cond_clamped);
+  w.put_u64(s.cond_rejected);
 }
 
-bool decode_stats(ByteReader& r, StreamEngine::Stats& s) {
-  return r.get_u64(s.beacons_offered) && r.get_u64(s.beacons_ingested) &&
-         r.get_u64(s.beacons_shed_rate_limited) &&
-         r.get_u64(s.beacons_shed_identity_cap) &&
-         r.get_u64(s.beacons_shed_out_of_order) &&
-         r.get_u64(s.shed_invalid_rssi_non_finite) &&
-         r.get_u64(s.shed_invalid_rssi_out_of_range) &&
-         r.get_u64(s.shed_invalid_time_non_finite) &&
-         r.get_u64(s.shed_invalid_time_negative) &&
-         r.get_u64(s.ring_evictions) && r.get_u64(s.samples_expired) &&
-         r.get_u64(s.identities_expired) && r.get_u64(s.rounds);
+bool decode_stats(ByteReader& r, std::uint32_t version,
+                  StreamEngine::Stats& s) {
+  if (!(r.get_u64(s.beacons_offered) && r.get_u64(s.beacons_ingested) &&
+        r.get_u64(s.beacons_shed_rate_limited) &&
+        r.get_u64(s.beacons_shed_identity_cap) &&
+        r.get_u64(s.beacons_shed_out_of_order) &&
+        r.get_u64(s.shed_invalid_rssi_non_finite) &&
+        r.get_u64(s.shed_invalid_rssi_out_of_range) &&
+        r.get_u64(s.shed_invalid_time_non_finite) &&
+        r.get_u64(s.shed_invalid_time_negative) &&
+        r.get_u64(s.ring_evictions) && r.get_u64(s.samples_expired) &&
+        r.get_u64(s.identities_expired) && r.get_u64(s.rounds))) {
+    return false;
+  }
+  if (version < 3) return true;  // cond counters default to zero
+  return r.get_u64(s.beacons_shed_conditioned) && r.get_u64(s.cond_offered) &&
+         r.get_u64(s.cond_passed) && r.get_u64(s.cond_clamped) &&
+         r.get_u64(s.cond_rejected);
 }
 
 }  // namespace
@@ -81,6 +101,21 @@ std::uint64_t engine_config_hash(const StreamEngineConfig& config) {
                    ? mix64(1u, bits(*config.detector.fixed_density_per_km))
                    : 0u);
   h = mix64(h, static_cast<std::uint64_t>(config.detector.min_pair_votes));
+  // Conditioning only enters the hash when enabled, so every hash
+  // computed before §15 existed (and every unconditioned engine today)
+  // keeps its value — old checkpoints restore unchanged.
+  if (config.condition_ingest) {
+    const cond::CondConfig& c = config.conditioning;
+    h = mix64(h, hash64("vp.cond.config/v1"));
+    h = mix64(h, static_cast<std::uint64_t>(c.window));
+    h = mix64(h, static_cast<std::uint64_t>(c.clamp_k_q8));
+    h = mix64(h, static_cast<std::uint64_t>(c.reject_k_q8));
+    h = mix64(h, static_cast<std::uint64_t>(c.mad_floor_q12));
+    h = mix64(h, static_cast<std::uint64_t>(c.reject_limit));
+    h = mix64(h, static_cast<std::uint64_t>(c.ema_alpha_max_q15));
+    h = mix64(h, static_cast<std::uint64_t>(c.ema_alpha_min_q15));
+    h = mix64(h, static_cast<std::uint64_t>(c.mad_ref_q12));
+  }
   return h;
 }
 
@@ -107,6 +142,15 @@ std::vector<std::uint8_t> encode_checkpoint(
     for (double v : ic.ring.values) w.put_f64(v);
     w.put_f64(ic.ring.mean);
     w.put_f64(ic.ring.m2);
+    // v3: conditioning channel — Hampel window oldest-first, then the
+    // EMA register, its init flag, and the consecutive-reject streak.
+    w.put_u64(static_cast<std::uint64_t>(ic.cond_window.size()));
+    for (std::int32_t q : ic.cond_window) {
+      w.put_i64(static_cast<std::int64_t>(q));
+    }
+    w.put_i64(static_cast<std::int64_t>(ic.cond_ema_q12));
+    w.put_u8(ic.cond_ema_init ? 1 : 0);
+    w.put_u32(ic.cond_reject_streak);
   }
   // Trailer: FNV-1a over everything before it.
   w.put_u64(fnv1a64(bytes));
@@ -150,7 +194,7 @@ bool decode_checkpoint(std::span<const std::uint8_t> bytes,
   if (version >= 2 && !r.get_u64(cp.next_round_id)) {
     return fail(error, "checkpoint: truncated engine fields");
   }
-  if (!decode_stats(r, cp.stats) || !r.get_u64(identity_count)) {
+  if (!decode_stats(r, version, cp.stats) || !r.get_u64(identity_count)) {
     return fail(error, "checkpoint: truncated engine fields");
   }
   // v1 predates round ids; every executed round was also prepared, so the
@@ -200,6 +244,44 @@ bool decode_checkpoint(std::span<const std::uint8_t> bytes,
     }
     if (!r.get_f64(ic.ring.mean) || !r.get_f64(ic.ring.m2)) {
       return fail(error, "checkpoint: truncated ring summary");
+    }
+    if (version >= 3) {
+      std::uint64_t cond_count = 0;
+      if (!r.get_u64(cond_count)) {
+        return fail(error, "checkpoint: truncated conditioner header");
+      }
+      if (cond_count > cond::kMaxWindow) {
+        return fail(error, "checkpoint: conditioner window over maximum");
+      }
+      ic.cond_window.resize(static_cast<std::size_t>(cond_count));
+      for (std::int32_t& q : ic.cond_window) {
+        std::int64_t raw = 0;
+        if (!r.get_i64(raw)) {
+          return fail(error, "checkpoint: truncated conditioner window");
+        }
+        if (raw < std::numeric_limits<std::int32_t>::min() ||
+            raw > std::numeric_limits<std::int32_t>::max()) {
+          return fail(error, "checkpoint: conditioner sample out of range");
+        }
+        q = static_cast<std::int32_t>(raw);
+      }
+      std::int64_t ema_raw = 0;
+      std::uint8_t init_raw = 0;
+      if (!r.get_i64(ema_raw) || !r.get_u8(init_raw)) {
+        return fail(error, "checkpoint: truncated conditioner register");
+      }
+      if (ema_raw < std::numeric_limits<std::int32_t>::min() ||
+          ema_raw > std::numeric_limits<std::int32_t>::max()) {
+        return fail(error, "checkpoint: conditioner register out of range");
+      }
+      if (init_raw > 1) {
+        return fail(error, "checkpoint: conditioner init flag not boolean");
+      }
+      ic.cond_ema_q12 = static_cast<std::int32_t>(ema_raw);
+      ic.cond_ema_init = init_raw == 1;
+      if (!r.get_u32(ic.cond_reject_streak)) {
+        return fail(error, "checkpoint: truncated conditioner streak");
+      }
     }
     cp.identities.push_back(std::move(ic));
   }

@@ -13,14 +13,20 @@
 // every thread count. Enforced by tests/test_checkpoint.cpp over highway
 // and field-test traces.
 //
-// Wire format ("voiceprint checkpoint", version 2): magic "VPCK",
+// Wire format ("voiceprint checkpoint", version 3): magic "VPCK",
 // u32 version, the fields below in fixed order, doubles as IEEE-754 bit
 // patterns (common/binio.h), and a trailing FNV-1a checksum over
 // everything before it. Version 2 adds next_round_id (the causal round
-// counter) after the admission bucket; version-1 blobs still decode,
-// with next_round_id defaulted to stats.rounds — exact when every
-// prepared round also executed, best-effort under deferred-round
-// shedding. decode_checkpoint rejects bad magic, unknown versions,
+// counter) after the admission bucket; version 3 adds the §15
+// conditioning state — the cond_* Stats counters after `rounds` and,
+// per identity, the Hampel window ring (oldest first) plus the EMA
+// register — so a conditioned engine killed mid-filter restores
+// bit-identically. Version-1/2 blobs still decode: next_round_id
+// defaults to stats.rounds on v1 (exact when every prepared round also
+// executed, best-effort under deferred-round shedding) and the
+// conditioning state defaults to empty on v1/v2 — correct, because
+// those versions could only have been written by unconditioned
+// engines. decode_checkpoint rejects bad magic, unknown versions,
 // truncation, trailing garbage, checksum mismatches and structurally
 // invalid contents (unsorted ring times, rings over capacity) with a
 // one-line reason — a corrupted checkpoint is a diagnosable error,
@@ -45,6 +51,13 @@ struct IdentityCheckpoint {
   IdentityId id = 0;
   double last_heard_s = 0.0;  // survives the ring ageing empty
   BeaconBuffer::Snapshot ring;
+  // §15 conditioning channel (VPCK v3): the Hampel window oldest-first
+  // and the EMA register. Empty/false for unconditioned engines and for
+  // v1/v2 blobs.
+  std::vector<std::int32_t> cond_window;
+  std::int32_t cond_ema_q12 = 0;
+  bool cond_ema_init = false;
+  std::uint32_t cond_reject_streak = 0;
 };
 
 struct EngineCheckpoint {
@@ -71,7 +84,7 @@ struct EngineCheckpoint {
 // which never change results.
 std::uint64_t engine_config_hash(const StreamEngineConfig& config);
 
-// Serialises to the version-2 wire format described above.
+// Serialises to the version-3 wire format described above.
 std::vector<std::uint8_t> encode_checkpoint(const EngineCheckpoint& checkpoint);
 
 // Parses and validates; returns false with a one-line reason in `error`

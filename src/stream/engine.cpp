@@ -26,6 +26,11 @@ struct Sinks {
   obs::Counter* shed_invalid_rssi_out_of_range;
   obs::Counter* shed_invalid_time_non_finite;
   obs::Counter* shed_invalid_time_negative;
+  obs::Counter* shed_conditioned;
+  obs::Counter* cond_offered;
+  obs::Counter* cond_passed;
+  obs::Counter* cond_clamped;
+  obs::Counter* cond_rejected;
   obs::Counter* ring_evictions;
   obs::Counter* samples_expired;
   obs::Counter* identities_expired;
@@ -53,6 +58,11 @@ const Sinks& sinks() {
             &r.counter("stream.shed_invalid.time_non_finite"),
         .shed_invalid_time_negative =
             &r.counter("stream.shed_invalid.time_negative"),
+        .shed_conditioned = &r.counter("stream.beacons_shed_conditioned"),
+        .cond_offered = &r.counter("cond.offered"),
+        .cond_passed = &r.counter("cond.passed"),
+        .cond_clamped = &r.counter("cond.clamped"),
+        .cond_rejected = &r.counter("cond.rejected"),
         .ring_evictions = &r.counter("stream.ring_evictions"),
         .samples_expired = &r.counter("stream.samples_expired"),
         .identities_expired = &r.counter("stream.identities_expired"),
@@ -84,6 +94,7 @@ StreamEngine::StreamEngine(StreamEngineConfig config)
   VP_REQUIRE(config_.staleness_horizon_s > 0.0);
   next_round_ = config_.observation_time_s;
   VP_REQUIRE(config_.min_valid_rssi_dbm < config_.max_valid_rssi_dbm);
+  if (config_.condition_ingest) cond::validate(config_.conditioning);
 }
 
 StreamEngine::StreamEngine(StreamEngineConfig config,
@@ -102,6 +113,8 @@ StreamEngine::StreamEngine(StreamEngineConfig config,
     IdentityState state(1);
     state.ring = BeaconBuffer::from_snapshot(ic.ring);
     state.last_heard_s = ic.last_heard_s;
+    state.conditioner.restore(ic.cond_window, ic.cond_ema_q12,
+                              ic.cond_ema_init, ic.cond_reject_streak);
     states_.emplace(ic.id, std::move(state));
   }
 }
@@ -117,9 +130,19 @@ EngineCheckpoint StreamEngine::checkpoint() const {
   cp.stats = stats_;
   cp.identities.reserve(states_.size());
   for (const auto& [id, state] : states_) {
-    cp.identities.push_back(IdentityCheckpoint{
-        .id = id, .last_heard_s = state.last_heard_s,
-        .ring = state.ring.snapshot()});
+    IdentityCheckpoint ic;
+    ic.id = id;
+    ic.last_heard_s = state.last_heard_s;
+    ic.ring = state.ring.snapshot();
+    const cond::Conditioner& c = state.conditioner;
+    ic.cond_window.reserve(c.window_count());
+    for (std::size_t i = 0; i < c.window_count(); ++i) {
+      ic.cond_window.push_back(c.window_sample(i));
+    }
+    ic.cond_ema_q12 = c.ema_q12();
+    ic.cond_ema_init = c.ema_initialized();
+    ic.cond_reject_streak = c.reject_streak();
+    cp.identities.push_back(std::move(ic));
   }
   return cp;
 }
@@ -201,6 +224,37 @@ StreamEngine::Admission StreamEngine::ingest(IdentityId id, double time_s,
   }
 
   IdentityState& state = it->second;
+
+  // Conditioning stage (DESIGN.md §15): after every admission decision —
+  // a shed beacon must not perturb the filter — and before the ring, so
+  // the detector only ever sees conditioned values. Pure integer
+  // arithmetic; the double round-trip through Q19.12 is exact dyadic.
+  if (config_.condition_ingest) {
+    ++stats_.cond_offered;
+    if (instrumented) sinks().cond_offered->add(1);
+    const cond::Sample sample =
+        state.conditioner.process(cond::to_q12(rssi_dbm), config_.conditioning);
+    switch (sample.verdict) {
+      case cond::Verdict::kReject:
+        ++stats_.cond_rejected;
+        ++stats_.beacons_shed_conditioned;
+        if (instrumented) {
+          sinks().cond_rejected->add(1);
+          sinks().shed_conditioned->add(1);
+        }
+        return Admission::kShedConditioned;
+      case cond::Verdict::kClamp:
+        ++stats_.cond_clamped;
+        if (instrumented) sinks().cond_clamped->add(1);
+        break;
+      case cond::Verdict::kPass:
+        ++stats_.cond_passed;
+        if (instrumented) sinks().cond_passed->add(1);
+        break;
+    }
+    rssi_dbm = cond::from_q12(sample.conditioned_q12);
+  }
+
   if (state.ring.push(time_s, rssi_dbm)) {
     ++stats_.ring_evictions;
     if (instrumented) sinks().ring_evictions->add(1);

@@ -30,6 +30,7 @@
 #include <optional>
 #include <vector>
 
+#include "cond/conditioner.h"
 #include "core/detector.h"
 #include "stream/beacon_buffer.h"
 
@@ -76,6 +77,17 @@ struct StreamEngineConfig {
   double min_valid_rssi_dbm = -150.0;  // below thermal-noise plausibility
   double max_valid_rssi_dbm = 50.0;    // far above any legal DSRC EIRP
 
+  // --- Signal conditioning (DESIGN.md §15) -------------------------------
+  // Optional fixed-point Hampel/MAD + adaptive-EMA pre-filter between the
+  // admission front and the ring buffer: per-identity, deterministic,
+  // allocation-free integer arithmetic (cond/conditioner.h). A sample the
+  // Hampel stage hard-rejects is shed (kShedConditioned); accepted
+  // samples enter the ring with the EMA output in place of the raw RSSI.
+  // Off by default — with conditioning off the engine is bit-identical
+  // to the unconditioned pipeline, and the cond.* counters stay zero.
+  bool condition_ingest = false;
+  cond::CondConfig conditioning{};
+
   // Detector options for the rounds (threads, boundary, fixed density …).
   // The engine feeds the same series the batch window cut would.
   core::VoiceprintOptions detector{};
@@ -119,6 +131,7 @@ class StreamEngine {
     kShedIdentityCap,   // new identity at the max_identities cap
     kShedOutOfOrder,    // time regressed (per identity, or into a closed round)
     kShedInvalid,       // failed the validation front (see Stats for why)
+    kShedConditioned,   // Hampel hard-reject in the conditioning stage
   };
 
   // Plain counters mirroring the stream.* metrics, always maintained (the
@@ -136,6 +149,15 @@ class StreamEngine {
     std::uint64_t shed_invalid_rssi_out_of_range = 0;
     std::uint64_t shed_invalid_time_non_finite = 0;
     std::uint64_t shed_invalid_time_negative = 0;
+    // Conditioning stage (DESIGN.md §15): every beacon offered to the
+    // conditioner lands in exactly one of passed/clamped/rejected (the
+    // cond.* metrics and the conservation.cond.samples law); a rejected
+    // beacon is also counted here as beacons_shed_conditioned.
+    std::uint64_t beacons_shed_conditioned = 0;
+    std::uint64_t cond_offered = 0;
+    std::uint64_t cond_passed = 0;
+    std::uint64_t cond_clamped = 0;
+    std::uint64_t cond_rejected = 0;
     std::uint64_t ring_evictions = 0;    // capacity-pressure drops
     std::uint64_t samples_expired = 0;   // aged past the observation window
     std::uint64_t identities_expired = 0;
@@ -147,7 +169,8 @@ class StreamEngine {
     }
     std::uint64_t shed_total() const {
       return beacons_shed_rate_limited + beacons_shed_identity_cap +
-             beacons_shed_out_of_order + shed_invalid_total();
+             beacons_shed_out_of_order + beacons_shed_conditioned +
+             shed_invalid_total();
     }
   };
 
@@ -216,6 +239,9 @@ class StreamEngine {
   struct IdentityState {
     BeaconBuffer ring;
     double last_heard_s = 0.0;  // survives the ring ageing empty
+    // Per-channel conditioning state; untouched (and unserialised) when
+    // condition_ingest is off.
+    cond::Conditioner conditioner;
     explicit IdentityState(std::size_t capacity) : ring(capacity) {}
   };
 

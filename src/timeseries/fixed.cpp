@@ -1,0 +1,137 @@
+#include "timeseries/fixed.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vp::ts {
+
+namespace {
+
+// Unreachable-cell sentinel. INT64_MAX/4 keeps `sentinel + local cost`
+// (≤ 2³² in Q24) far from overflow while still dominating any reachable
+// accumulated cost.
+constexpr std::int64_t kUnreachable =
+    std::numeric_limits<std::int64_t>::max() / 4;
+
+std::int64_t local_cost_q(std::int16_t a, std::int16_t b, LocalCost cost) {
+  // |a − b| ≤ 65534 fits int32; the square fits int64 comfortably.
+  const std::int32_t d =
+      static_cast<std::int32_t>(a) - static_cast<std::int32_t>(b);
+  if (cost == LocalCost::kSquared) {
+    return static_cast<std::int64_t>(d) * static_cast<std::int64_t>(d);
+  }
+  return static_cast<std::int64_t>(d < 0 ? -d : d);
+}
+
+}  // namespace
+
+FixedQuantize quantize_q412(std::span<const double> values,
+                            std::vector<std::int16_t>& out) {
+  out.resize(values.size());
+  FixedQuantize result;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double v = values[i];
+    if (!std::isfinite(v)) {
+      out[i] = 0;
+      result.saturated = true;
+      continue;
+    }
+    const double a = std::abs(v);
+    if (a > result.max_abs) result.max_abs = a;
+    // Round half away from zero, like llround; the quantisation error is
+    // at most half a step (kFixedEps) unless the value clamps.
+    const long long q = std::llround(v * kFixedScale);
+    if (q > 32767 || q < -32767) {
+      out[i] = q > 0 ? std::int16_t{32767} : std::int16_t{-32767};
+      result.saturated = true;
+    } else {
+      out[i] = static_cast<std::int16_t>(q);
+    }
+  }
+  return result;
+}
+
+FixedBandedResult fixed_banded_dtw(std::span<const std::int16_t> a,
+                                   std::span<const std::int16_t> b,
+                                   std::size_t band, LocalCost cost,
+                                   std::int64_t abandon_above,
+                                   std::vector<std::int64_t>& row_scratch) {
+  const std::size_t n = a.size();
+  FixedBandedResult result;
+  if (n == 0 || b.size() != n) {
+    result.abandoned = true;
+    return result;
+  }
+  const std::size_t eff_band = (band == 0 || band >= n) ? n : band;
+
+  // Two DP rows, full matrix width, with kUnreachable outside the band.
+  if (row_scratch.size() < 2 * n) row_scratch.resize(2 * n);
+  std::int64_t* prev = row_scratch.data();
+  std::int64_t* cur = row_scratch.data() + n;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lo = i > eff_band ? i - eff_band : 0;
+    const std::size_t hi = std::min(n - 1, i + eff_band);
+    // Cells left of the band on this row (and the cell just left of lo,
+    // read by the j−1 transitions) must look unreachable.
+    if (lo > 0) cur[lo - 1] = kUnreachable;
+    std::int64_t row_min = kUnreachable;
+    for (std::size_t j = lo; j <= hi; ++j) {
+      const std::int64_t c = local_cost_q(a[i], b[j], cost);
+      std::int64_t base;
+      if (i == 0) {
+        base = j == 0 ? 0 : cur[j - 1];
+      } else {
+        base = prev[j];  // rows were fully initialised: see below
+        if (j > 0) {
+          base = std::min(base, prev[j - 1]);
+          base = std::min(base, cur[j - 1]);
+        }
+      }
+      cur[j] = base >= kUnreachable ? kUnreachable : base + c;
+      row_min = std::min(row_min, cur[j]);
+    }
+    // Cells right of the band, read as prev[j]/prev[j-1] by the next row.
+    for (std::size_t j = hi + 1; j < n && j <= hi + 2; ++j) {
+      cur[j] = kUnreachable;
+    }
+    if (row_min > abandon_above) {
+      result.abandoned = true;
+      return result;
+    }
+    std::swap(prev, cur);
+  }
+  result.distance = prev[n - 1];
+  result.abandoned = result.distance >= kUnreachable;
+  return result;
+}
+
+double fixed_scale(LocalCost cost) {
+  return cost == LocalCost::kSquared ? kFixedScale * kFixedScale : kFixedScale;
+}
+
+double fixed_cell_pad(LocalCost cost, double max_abs_a, double max_abs_b) {
+  if (cost == LocalCost::kAbsolute) return 2.0 * kFixedEps;
+  // |(u+e)² − u²| ≤ 2|u||e| + e² with |u| ≤ Mₐ+M_b and |e| ≤ 2ε.
+  return 4.0 * kFixedEps * (max_abs_a + max_abs_b + kFixedEps);
+}
+
+double fixed_banded_lower_bound(std::span<const double> a,
+                                std::span<const double> b, std::size_t band,
+                                LocalCost cost, FixedDtwScratch& scratch) {
+  constexpr double kNoBound = -std::numeric_limits<double>::infinity();
+  if (a.empty() || a.size() != b.size()) return kNoBound;
+  const FixedQuantize qa = quantize_q412(a, scratch.qa);
+  if (qa.saturated) return kNoBound;
+  const FixedQuantize qb = quantize_q412(b, scratch.qb);
+  if (qb.saturated) return kNoBound;
+  const FixedBandedResult r = fixed_banded_dtw(
+      scratch.qa, scratch.qb, band, cost, kFixedNoAbandon, scratch.rows);
+  if (r.abandoned) return kNoBound;
+  const double steps_max = static_cast<double>(2 * a.size() - 1);
+  const double pad = fixed_cell_pad(cost, qa.max_abs, qb.max_abs);
+  return static_cast<double>(r.distance) / fixed_scale(cost) -
+         steps_max * pad;
+}
+
+}  // namespace vp::ts

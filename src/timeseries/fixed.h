@@ -1,0 +1,102 @@
+// Fixed-point (int16 Q4.12) quantised banded DTW with certified error
+// pads — the edge-profile companion of the lower-bound cascade
+// (DESIGN.md §15).
+//
+// Enhanced Z-scored series (Eq. 7) live in a narrow numeric range: the
+// mean is 0, the population stddev is 1, and |z_i| ≤ (n−1)/√n for any
+// sample, with real shadowing traces staying well inside ±8. That makes
+// them quantisable to int16 Q4.12 (12 fractional bits, ±8 range) at a
+// certified per-sample error of ε = 2⁻¹³, and the banded DTW recurrence
+// over the quantised images runs entirely in integer arithmetic — int32
+// local costs accumulated in an int64 DP — which is bit-identical across
+// platforms, compilers, and SIMD widths by construction.
+//
+// The integer result is not the true distance, but it bounds it: for the
+// true optimal path P* (≤ 2L−1 cells), the integer DP's optimum D_q
+// satisfies D_q/scale ≤ cost(P*) + |P*|·cell_pad, so
+//
+//   D_true ≥ D_q/scale − (2L−1)·cell_pad
+//
+// with cell_pad = 4ε(Mₐ+M_b+ε) for squared cost (scale 2²⁴) and 2ε for
+// absolute cost (scale 2¹²), where Mₐ/M_b are the true max |values| of
+// the two series. compare_series_pruned uses this as an extra cascade
+// tier: when the deflated integer bound already clears the discard
+// threshold the float kernel never runs. Samples outside the Q4.12 range
+// saturate; a saturated series voids the certificate and the tier is
+// skipped (the cascade falls through to the float kernel unchanged).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "timeseries/dtw.h"
+
+namespace vp::ts {
+
+// Q4.12: 12 fractional bits, representable range ±(2³−2⁻¹²) ≈ ±8.
+inline constexpr int kFixedFractionBits = 12;
+inline constexpr double kFixedScale = 4096.0;  // 2^kFixedFractionBits
+// Round-to-nearest quantisation error: half of one Q4.12 step.
+inline constexpr double kFixedEps = 1.0 / (2.0 * kFixedScale);
+
+// Sentinel for fixed_banded_dtw's abandon threshold: never abandon.
+inline constexpr std::int64_t kFixedNoAbandon =
+    std::numeric_limits<std::int64_t>::max();
+
+struct FixedQuantize {
+  double max_abs = 0.0;   // max |value| of the DOUBLE input (for the pad)
+  bool saturated = false; // some |value| exceeded the Q4.12 range
+};
+
+// Quantises `values` to Q4.12 (round half away from zero) into `out`.
+// Out-of-range samples clamp to ±32767 and set `saturated` — the bound
+// certificate is void for a saturated series. NaN quantises to 0 and
+// saturates (no finite pad covers it).
+FixedQuantize quantize_q412(std::span<const double> values,
+                            std::vector<std::int16_t>& out);
+
+struct FixedBandedResult {
+  // Accumulated integer cost of the optimal banded path: Q24 (= Q12
+  // differences squared) for kSquared, Q12 for kAbsolute. Meaningless
+  // when abandoned.
+  std::int64_t distance = 0;
+  bool abandoned = false;
+};
+
+// Banded DTW over quantised equal-length series: Sakoe–Chiba window
+// |i−j| ≤ band (band == 0 or band ≥ n−1 means the full matrix), the
+// Eq. 4 recurrence in int64. If every reachable cell of some row exceeds
+// `abandon_above` the result is `abandoned` (the true optimum provably
+// exceeds it too). `row_scratch` is caller-owned DP storage (grown as
+// needed, never shrunk — allocation-free in steady state).
+FixedBandedResult fixed_banded_dtw(std::span<const std::int16_t> a,
+                                   std::span<const std::int16_t> b,
+                                   std::size_t band, LocalCost cost,
+                                   std::int64_t abandon_above,
+                                   std::vector<std::int64_t>& row_scratch);
+
+// The accumulated-cost scale of fixed_banded_dtw's integer result.
+double fixed_scale(LocalCost cost);
+
+// Certified per-cell quantisation pad (see file comment). max_abs_a/b
+// are the true (double) max |values| as reported by quantize_q412.
+double fixed_cell_pad(LocalCost cost, double max_abs_a, double max_abs_b);
+
+// Reusable buffers for fixed_banded_lower_bound.
+struct FixedDtwScratch {
+  std::vector<std::int16_t> qa, qb;
+  std::vector<std::int64_t> rows;
+};
+
+// Certified lower bound on the true (double-precision) banded-DTW
+// accumulated cost of (a, b): quantise both sides, run the integer DP,
+// deflate by the path-length × cell pad. Returns −infinity when the
+// certificate is unavailable (unequal lengths, empty input, saturation)
+// — callers treat that as "no bound" and fall through.
+double fixed_banded_lower_bound(std::span<const double> a,
+                                std::span<const double> b, std::size_t band,
+                                LocalCost cost, FixedDtwScratch& scratch);
+
+}  // namespace vp::ts

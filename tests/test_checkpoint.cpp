@@ -13,11 +13,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 #include <limits>
 #include <vector>
 
 #include "common/binio.h"
+#include "cond/conditioner.h"
 #include "common/error.h"
 #include "common/rng.h"
 #include "core/detector.h"
@@ -369,6 +371,150 @@ TEST(CheckpointCodec, RestoreRefusesMismatchedConfig) {
   other = config;
   other.detector.boundary.k += 0.5;  // different threshold rule
   EXPECT_THROW(StreamEngine(other, cp), PreconditionError);
+}
+
+// --- Conditioning state (VPCK v3) ---------------------------------------
+
+// A conditioned engine's checkpoint carries the full §15 filter state —
+// Hampel window, EMA register, init flag, reject streak — and the cond_*
+// counters, all bit-exact through the wire format. The trace ends inside
+// a spike burst so at least one identity is checkpointed mid-streak.
+TEST(CheckpointCodec, V3RoundTripCarriesConditioningState) {
+  StreamEngineConfig config;
+  config.condition_ingest = true;
+  StreamEngine engine(config);
+  Rng rng(13);
+  double t = 0.5;
+  for (int i = 0; i < 400; ++i, t += 0.1) {
+    const IdentityId id = static_cast<IdentityId>(1 + rng.uniform_int(0, 3));
+    double x = std::round(-70.0 + rng.normal(0.0, 2.0));
+    if (i % 37 == 0) x += 30.0;  // sporadic spikes: rejects + streaks
+    engine.ingest(id, t, x);
+  }
+  for (int i = 0; i < 3; ++i, t += 0.1) engine.ingest(1, t, -35.0);  // streak
+
+  const EngineCheckpoint original = engine.checkpoint();
+  EXPECT_GT(original.stats.cond_offered, 0u);
+  EXPECT_EQ(original.stats.cond_offered,
+            original.stats.cond_passed + original.stats.cond_clamped +
+                original.stats.cond_rejected);
+  bool saw_window = false;
+  bool saw_streak = false;
+  for (const IdentityCheckpoint& ic : original.identities) {
+    saw_window = saw_window || !ic.cond_window.empty();
+    saw_streak = saw_streak || ic.cond_reject_streak > 0;
+  }
+  EXPECT_TRUE(saw_window);
+  EXPECT_TRUE(saw_streak);
+
+  const std::vector<std::uint8_t> bytes = encode_checkpoint(original);
+  EngineCheckpoint decoded;
+  std::string error;
+  ASSERT_TRUE(decode_checkpoint(bytes, &decoded, &error)) << error;
+  EXPECT_EQ(decoded.stats.beacons_shed_conditioned,
+            original.stats.beacons_shed_conditioned);
+  EXPECT_EQ(decoded.stats.cond_offered, original.stats.cond_offered);
+  EXPECT_EQ(decoded.stats.cond_passed, original.stats.cond_passed);
+  EXPECT_EQ(decoded.stats.cond_clamped, original.stats.cond_clamped);
+  EXPECT_EQ(decoded.stats.cond_rejected, original.stats.cond_rejected);
+  ASSERT_EQ(decoded.identities.size(), original.identities.size());
+  for (std::size_t i = 0; i < original.identities.size(); ++i) {
+    const IdentityCheckpoint& a = decoded.identities[i];
+    const IdentityCheckpoint& b = original.identities[i];
+    EXPECT_EQ(a.cond_window, b.cond_window);
+    EXPECT_EQ(a.cond_ema_q12, b.cond_ema_q12);
+    EXPECT_EQ(a.cond_ema_init, b.cond_ema_init);
+    EXPECT_EQ(a.cond_reject_streak, b.cond_reject_streak);
+  }
+}
+
+TEST(CheckpointCodec, RejectsOversizedConditionerWindow) {
+  StreamEngineConfig config;
+  config.condition_ingest = true;
+  StreamEngine engine(config);
+  engine.ingest(1, 1.0, -70.0);
+  EngineCheckpoint cp = engine.checkpoint();
+  ASSERT_FALSE(cp.identities.empty());
+  cp.identities[0].cond_window.assign(cond::kMaxWindow + 1, 0);
+  EngineCheckpoint out;
+  std::string error;
+  EXPECT_FALSE(decode_checkpoint(encode_checkpoint(cp), &out, &error));
+  EXPECT_NE(error.find("window"), std::string::npos) << error;
+}
+
+// Writes `cp` in the exact v2 layout (no conditioning fields anywhere):
+// the forward-compat pin for checkpoints taken before §15 existed.
+std::vector<std::uint8_t> encode_v2(const EngineCheckpoint& cp) {
+  std::vector<std::uint8_t> bytes;
+  ByteWriter w(bytes);
+  w.put_u32(0x4b435056u);  // "VPCK"
+  w.put_u32(2);
+  w.put_u64(cp.config_hash);
+  w.put_f64(cp.next_round_s);
+  w.put_f64(cp.last_round_time_s);
+  w.put_i64(cp.bucket_second);
+  w.put_u64(cp.bucket_accepted);
+  w.put_u64(cp.next_round_id);
+  const StreamEngine::Stats& s = cp.stats;
+  w.put_u64(s.beacons_offered);
+  w.put_u64(s.beacons_ingested);
+  w.put_u64(s.beacons_shed_rate_limited);
+  w.put_u64(s.beacons_shed_identity_cap);
+  w.put_u64(s.beacons_shed_out_of_order);
+  w.put_u64(s.shed_invalid_rssi_non_finite);
+  w.put_u64(s.shed_invalid_rssi_out_of_range);
+  w.put_u64(s.shed_invalid_time_non_finite);
+  w.put_u64(s.shed_invalid_time_negative);
+  w.put_u64(s.ring_evictions);
+  w.put_u64(s.samples_expired);
+  w.put_u64(s.identities_expired);
+  w.put_u64(s.rounds);
+  w.put_u64(cp.identities.size());
+  for (const IdentityCheckpoint& ic : cp.identities) {
+    w.put_u64(static_cast<std::uint64_t>(ic.id));
+    w.put_f64(ic.last_heard_s);
+    w.put_u64(static_cast<std::uint64_t>(ic.ring.capacity));
+    w.put_u64(static_cast<std::uint64_t>(ic.ring.times.size()));
+    for (double time : ic.ring.times) w.put_f64(time);
+    for (double v : ic.ring.values) w.put_f64(v);
+    w.put_f64(ic.ring.mean);
+    w.put_f64(ic.ring.m2);
+  }
+  w.put_u64(fnv1a64(bytes));
+  return bytes;
+}
+
+// A pre-§15 (v2) checkpoint still decodes: every v2 field lands intact,
+// the conditioning state defaults to empty, and the engine restores and
+// keeps serving from it.
+TEST(CheckpointCodec, V2PayloadStillDecodes) {
+  const EngineCheckpoint original = sample_checkpoint();
+  const std::vector<std::uint8_t> bytes = encode_v2(original);
+
+  EngineCheckpoint decoded;
+  std::string error;
+  ASSERT_TRUE(decode_checkpoint(bytes, &decoded, &error)) << error;
+  EXPECT_EQ(decoded.config_hash, original.config_hash);
+  EXPECT_EQ(decoded.next_round_s, original.next_round_s);
+  EXPECT_EQ(decoded.next_round_id, original.next_round_id);
+  expect_stats_equal(decoded.stats, original.stats);
+  EXPECT_EQ(decoded.stats.beacons_shed_conditioned, 0u);
+  EXPECT_EQ(decoded.stats.cond_offered, 0u);
+  ASSERT_EQ(decoded.identities.size(), original.identities.size());
+  for (std::size_t i = 0; i < original.identities.size(); ++i) {
+    EXPECT_EQ(decoded.identities[i].ring.times,
+              original.identities[i].ring.times);
+    EXPECT_TRUE(decoded.identities[i].cond_window.empty());
+    EXPECT_EQ(decoded.identities[i].cond_reject_streak, 0u);
+    EXPECT_FALSE(decoded.identities[i].cond_ema_init);
+  }
+
+  StreamEngineConfig config;
+  config.max_ingest_rate_hz = 100.0;  // sample_checkpoint's config
+  StreamEngine restored(config, decoded);
+  restored.ingest(1, 30.0, -70.0);  // still serving
+  EXPECT_GT(restored.stats().beacons_ingested,
+            original.stats.beacons_ingested);
 }
 
 TEST(CheckpointCodec, SaveLoadFileRoundTrip) {

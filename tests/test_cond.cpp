@@ -1,0 +1,602 @@
+// Conditioning invariants (DESIGN.md §15):
+//   * Boundary conversions — to_q12 rounds half away from zero, saturates
+//     at the ±2^28 rail, maps NaN to 0; from_q12∘to_q12 is exact on
+//     dyadics.
+//   * Golden vectors — a hand-computed Q19.12 trace pins the filter's
+//     bit-exact outputs (warmup, adaptive EMA, reject); a double-precision
+//     reference filter over dequantised inputs must agree on every verdict
+//     and stay within 1e-2 dB of the fixed-point EMA over long traces.
+//   * Hampel semantics — zero-MAD windows use the floor, rejects leave all
+//     registers untouched, the reject_limit streak re-seeds the channel,
+//     any accepted sample breaks the streak.
+//   * Saturation — rail-valued inputs flow through process() without
+//     overflow (the CI integer-sanitizer job runs this file).
+//   * Restore parity — a Conditioner restored from the checkpoint
+//     accessors (including mid-reject-streak) emits bit-identical samples;
+//     a conditioned StreamEngine killed/restored through VPCK emits
+//     bit-identical rounds; conditioned fleet verdicts are bit-identical
+//     across shard × thread configurations.
+//   * Conservation — cond.offered = passed + clamped + rejected, and the
+//     engine's shed_conditioned equals its cond_rejected.
+#include "cond/conditioner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/detector.h"
+#include "service/service.h"
+#include "stream/checkpoint.h"
+#include "stream/engine.h"
+
+namespace vp::cond {
+namespace {
+
+// --- Boundary conversions ------------------------------------------------
+
+TEST(CondQ12, RoundsHalfAwayFromZeroAndSaturates) {
+  EXPECT_EQ(to_q12(0.0), 0);
+  EXPECT_EQ(to_q12(1.0), kOneQ12);
+  EXPECT_EQ(to_q12(-70.25), -70 * kOneQ12 - kOneQ12 / 4);
+  // Exactly half a step rounds away from zero, both signs.
+  EXPECT_EQ(to_q12(0.5 / kOneQ12), 1);
+  EXPECT_EQ(to_q12(-0.5 / kOneQ12), -1);
+  // NaN maps to 0; infinities and huge values hit the ±2^28 rail.
+  EXPECT_EQ(to_q12(std::numeric_limits<double>::quiet_NaN()), 0);
+  EXPECT_EQ(to_q12(std::numeric_limits<double>::infinity()), 1 << 28);
+  EXPECT_EQ(to_q12(-std::numeric_limits<double>::infinity()), -(1 << 28));
+  EXPECT_EQ(to_q12(1e12), 1 << 28);
+  EXPECT_EQ(to_q12(-1e12), -(1 << 28));
+}
+
+TEST(CondQ12, RoundTripIsExactOnDyadics) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int32_t q =
+        static_cast<std::int32_t>(rng.uniform_int(-150 * kOneQ12, 50 * kOneQ12));
+    EXPECT_EQ(to_q12(from_q12(q)), q);
+  }
+}
+
+TEST(CondQ12, MedianAndMadMatchDoubleReference) {
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + 2 * static_cast<std::size_t>(
+                                  rng.uniform_int(1, 15));  // odd, 3..31
+    std::vector<std::int32_t> q(n);
+    std::vector<double> d(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      q[i] = static_cast<std::int32_t>(
+          rng.uniform_int(-150 * kOneQ12, 50 * kOneQ12));
+      d[i] = from_q12(q[i]);
+    }
+    std::vector<double> sorted = d;
+    std::nth_element(sorted.begin(), sorted.begin() + n / 2, sorted.end());
+    const double ref_med = sorted[n / 2];
+    const std::int32_t med = median_q12(q);
+    EXPECT_EQ(from_q12(med), ref_med);
+
+    std::vector<double> devs(n);
+    for (std::size_t i = 0; i < n; ++i) devs[i] = std::abs(d[i] - ref_med);
+    std::nth_element(devs.begin(), devs.begin() + n / 2, devs.end());
+    EXPECT_EQ(from_q12(mad_q12(q, med)), devs[n / 2]);
+  }
+}
+
+// --- Golden vector -------------------------------------------------------
+
+// Hand-computed trace, window 3, default thresholds (3·MAD clamp, 8·MAD
+// reject, 1 dB MAD floor, alpha 1.0 → 0.25 over MAD 0..6 dB):
+//   warmup passes at alpha 1.0 (EMA = input), then the window
+//   {-70,-71,-69} has median -70 and MAD 1 dB, so alpha = 0.875 and the
+//   EMA tracks 7/8 of each accepted step; -60 deviates 10 dB > 8·MAD and
+//   is rejected with every register untouched.
+TEST(Conditioner, GoldenVectorIsBitExact) {
+  CondConfig config;
+  config.window = 3;
+  validate(config);
+  Conditioner c;
+
+  const struct {
+    double x_dbm;
+    Verdict verdict;
+    std::int32_t conditioned_q12;
+  } golden[] = {
+      {-70.0, Verdict::kPass, -70 * kOneQ12},
+      {-71.0, Verdict::kPass, -71 * kOneQ12},
+      {-69.0, Verdict::kPass, -69 * kOneQ12},
+      {-70.0, Verdict::kPass, -286208},  // -69 + 0.875·(-1) = -69.875 dB
+      {-60.0, Verdict::kReject, -286208},
+      {-72.0, Verdict::kPass, -293824},  // -69.875 + 0.875·(-2.125)
+  };
+  for (const auto& step : golden) {
+    const Sample s = c.process(to_q12(step.x_dbm), config);
+    EXPECT_EQ(s.verdict, step.verdict) << "at " << step.x_dbm;
+    EXPECT_EQ(s.conditioned_q12, step.conditioned_q12) << "at " << step.x_dbm;
+  }
+}
+
+// --- Double-precision reference ------------------------------------------
+
+// The filter re-expressed in real arithmetic. Inputs are dequantised Q12
+// values (exact dyadics), the median/MAD/threshold comparisons are then
+// exact in double too, so the verdict sequence must match bit-for-bit;
+// only the EMA register may drift by the fixed-point rounding per step.
+class ReferenceConditioner {
+ public:
+  struct Out {
+    Verdict verdict;
+    double conditioned;
+  };
+
+  Out process(double x, const CondConfig& config) {
+    const double clamp_k = static_cast<double>(config.clamp_k_q8) / kOneQ8;
+    const double reject_k = static_cast<double>(config.reject_k_q8) / kOneQ8;
+    const double floor = from_q12(config.mad_floor_q12);
+    if (win_.size() < config.window) {
+      win_.push_back(x);
+      ema_update(x, 0.0, config);
+      return {Verdict::kPass, ema_};
+    }
+    std::vector<double> sorted(win_.begin(), win_.end());
+    std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                     sorted.end());
+    const double med = sorted[sorted.size() / 2];
+    for (double& v : sorted) v = std::abs(v - med);
+    std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                     sorted.end());
+    const double mad = std::max(sorted[sorted.size() / 2], floor);
+    const double dev = std::abs(x - med);
+    if (dev > reject_k * mad) {
+      if (streak_ < config.reject_limit) {
+        ++streak_;
+        return {Verdict::kReject, ema_};
+      }
+      streak_ = 0;
+      win_.clear();
+      win_.push_back(x);
+      init_ = false;
+      ema_update(x, 0.0, config);
+      return {Verdict::kPass, ema_};
+    }
+    streak_ = 0;
+    double accepted = x;
+    Verdict verdict = Verdict::kPass;
+    if (dev > clamp_k * mad) {
+      accepted = x > med ? med + clamp_k * mad : med - clamp_k * mad;
+      verdict = Verdict::kClamp;
+    }
+    win_.push_back(accepted);
+    if (win_.size() > config.window) win_.pop_front();
+    ema_update(accepted, mad, config);
+    return {verdict, ema_};
+  }
+
+ private:
+  void ema_update(double x, double mad, const CondConfig& config) {
+    if (!init_) {
+      ema_ = x;
+      init_ = true;
+      return;
+    }
+    const double alpha_max = static_cast<double>(config.ema_alpha_max_q15) / kOneQ15;
+    const double alpha_min = static_cast<double>(config.ema_alpha_min_q15) / kOneQ15;
+    const double ref = from_q12(config.mad_ref_q12);
+    const double alpha =
+        alpha_max - (alpha_max - alpha_min) * std::min(mad, ref) / ref;
+    ema_ += alpha * (x - ema_);
+  }
+
+  std::deque<double> win_;
+  double ema_ = 0.0;
+  bool init_ = false;
+  std::uint32_t streak_ = 0;
+};
+
+// A 1 dB-quantised AR(1) trace (the simulator's receivers round to
+// integer dBm) with spike bursts and a level shift: every conditioning
+// code path fires, and the fixed-point filter must agree with the double
+// reference on every verdict while the EMA stays within 1e-2 dB.
+TEST(Conditioner, TracksDoubleReferenceWithinTolerance) {
+  CondConfig config;
+  validate(config);
+  Conditioner fixed;
+  ReferenceConditioner ref;
+  Rng rng(41);
+
+  double shadow = 0.0;
+  int verdict_counts[3] = {0, 0, 0};
+  for (int i = 0; i < 4000; ++i) {
+    shadow = 0.9 * shadow + rng.normal(0.0, 1.5);
+    double level = i < 2000 ? -72.0 : -58.0;  // mid-trace level shift
+    double x = std::round(level + shadow + rng.normal(0.0, 0.8));
+    if (rng.chance(0.02)) x += rng.chance(0.5) ? 25.0 : -25.0;  // spikes
+    const std::int32_t q = to_q12(x);
+    const Sample got = fixed.process(q, config);
+    const ReferenceConditioner::Out want = ref.process(from_q12(q), config);
+    ASSERT_EQ(got.verdict, want.verdict) << "sample " << i << " x=" << x;
+    ASSERT_NEAR(from_q12(got.conditioned_q12), want.conditioned, 1e-2)
+        << "sample " << i;
+    ++verdict_counts[static_cast<int>(got.verdict)];
+  }
+  // The trace was built to exercise all three verdicts.
+  EXPECT_GT(verdict_counts[0], 0);
+  EXPECT_GT(verdict_counts[1], 0);
+  EXPECT_GT(verdict_counts[2], 0);
+}
+
+// --- Hampel semantics ----------------------------------------------------
+
+// Warms a conditioner up to a constant level so the window MAD is 0 and
+// the floor (1 dB by default) sets the thresholds.
+Conditioner warmed_at(double level_dbm, const CondConfig& config) {
+  Conditioner c;
+  for (std::size_t i = 0; i < config.window; ++i) {
+    c.process(to_q12(level_dbm), config);
+  }
+  return c;
+}
+
+TEST(Conditioner, ZeroMadWindowUsesFloor) {
+  CondConfig config;
+  config.window = 7;
+  validate(config);
+  // MAD 0 → floor 1 dB → clamp at 3 dB, reject at 8 dB.
+  Conditioner pass = warmed_at(-70.0, config);
+  EXPECT_EQ(pass.process(to_q12(-67.0), config).verdict, Verdict::kPass);
+  Conditioner clamp = warmed_at(-70.0, config);
+  EXPECT_EQ(clamp.process(to_q12(-66.0), config).verdict, Verdict::kClamp);
+  Conditioner reject = warmed_at(-70.0, config);
+  EXPECT_EQ(reject.process(to_q12(-61.0), config).verdict, Verdict::kReject);
+}
+
+TEST(Conditioner, RejectLeavesEveryRegisterUntouched) {
+  CondConfig config;
+  config.window = 5;
+  validate(config);
+  Conditioner c = warmed_at(-70.0, config);
+  const std::int32_t ema_before = c.ema_q12();
+  const std::size_t count_before = c.window_count();
+  std::vector<std::int32_t> window_before;
+  for (std::size_t i = 0; i < count_before; ++i) {
+    window_before.push_back(c.window_sample(i));
+  }
+
+  const Sample s = c.process(to_q12(-30.0), config);
+  EXPECT_EQ(s.verdict, Verdict::kReject);
+  EXPECT_EQ(s.conditioned_q12, ema_before);
+  EXPECT_EQ(c.ema_q12(), ema_before);
+  ASSERT_EQ(c.window_count(), count_before);
+  for (std::size_t i = 0; i < count_before; ++i) {
+    EXPECT_EQ(c.window_sample(i), window_before[i]);
+  }
+  EXPECT_EQ(c.reject_streak(), 1u);
+}
+
+TEST(Conditioner, RejectLimitReseedsTheChannel) {
+  CondConfig config;
+  config.window = 5;
+  config.reject_limit = 4;
+  validate(config);
+  Conditioner c = warmed_at(-70.0, config);
+
+  // A genuine level shift: the stale baseline rejects it reject_limit
+  // times, then the escape re-seeds the channel from the new level.
+  const std::int32_t shifted = to_q12(-40.0);
+  for (std::uint32_t i = 1; i <= config.reject_limit; ++i) {
+    const Sample s = c.process(shifted, config);
+    EXPECT_EQ(s.verdict, Verdict::kReject) << "reject " << i;
+    EXPECT_EQ(c.reject_streak(), i);
+  }
+  const Sample reseed = c.process(shifted, config);
+  EXPECT_EQ(reseed.verdict, Verdict::kPass);
+  EXPECT_EQ(reseed.conditioned_q12, shifted);  // EMA snapped to the shift
+  EXPECT_EQ(c.reject_streak(), 0u);
+  EXPECT_EQ(c.window_count(), 1u);  // window restarted from the sample
+  EXPECT_EQ(c.window_sample(0), shifted);
+}
+
+TEST(Conditioner, AcceptedSampleBreaksTheStreak) {
+  CondConfig config;
+  config.window = 5;
+  validate(config);
+  Conditioner c = warmed_at(-70.0, config);
+  c.process(to_q12(-30.0), config);
+  c.process(to_q12(-30.0), config);
+  EXPECT_EQ(c.reject_streak(), 2u);
+  EXPECT_EQ(c.process(to_q12(-70.0), config).verdict, Verdict::kPass);
+  EXPECT_EQ(c.reject_streak(), 0u);
+}
+
+// Rail-valued inputs (±2^28, the to_q12 saturation rail): every
+// difference taken inside the filter must stay inside its integer type.
+// The CI integer-sanitizer job runs this test; a silent wrap would trip
+// -fsanitize=integer even where the optimiser hides it.
+TEST(Conditioner, RailValuedInputsDoNotOverflow) {
+  CondConfig config;
+  config.window = 5;
+  config.reject_limit = 2;
+  validate(config);
+  constexpr std::int32_t kRail = 1 << 28;
+  Conditioner c;
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const std::int32_t x = rng.chance(0.5) ? kRail : -kRail;
+    const Sample s = c.process(x, config);
+    EXPECT_GE(s.conditioned_q12, -kRail);
+    EXPECT_LE(s.conditioned_q12, kRail);
+  }
+}
+
+// --- Restore parity ------------------------------------------------------
+
+std::vector<std::int32_t> quantized_trace(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::int32_t> out(n);
+  double shadow = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    shadow = 0.9 * shadow + rng.normal(0.0, 1.5);
+    double x = std::round(-68.0 + shadow + rng.normal(0.0, 0.8));
+    if (i >= n / 2 && i < n / 2 + 6) x -= 35.0;  // burst → reject streak
+    out[i] = to_q12(x);
+  }
+  return out;
+}
+
+// Kill/restore at every position of a trace that crosses a reject burst:
+// the restored conditioner (window + EMA + streak through the accessors)
+// must emit bit-identical samples, including cuts mid-streak.
+TEST(Conditioner, RestoreIsBitIdenticalIncludingMidStreak) {
+  CondConfig config;
+  config.window = 7;
+  config.reject_limit = 8;
+  validate(config);
+  const std::vector<std::int32_t> trace = quantized_trace(60, 77);
+
+  std::vector<Sample> baseline;
+  {
+    Conditioner c;
+    for (const std::int32_t x : trace) baseline.push_back(c.process(x, config));
+  }
+
+  bool saw_mid_streak_cut = false;
+  for (std::size_t cut = 0; cut <= trace.size(); ++cut) {
+    Conditioner first;
+    for (std::size_t i = 0; i < cut; ++i) first.process(trace[i], config);
+    saw_mid_streak_cut = saw_mid_streak_cut || first.reject_streak() > 0;
+
+    std::vector<std::int32_t> window;
+    for (std::size_t i = 0; i < first.window_count(); ++i) {
+      window.push_back(first.window_sample(i));
+    }
+    Conditioner second;
+    second.restore(window, first.ema_q12(), first.ema_initialized(),
+                   first.reject_streak());
+
+    for (std::size_t i = cut; i < trace.size(); ++i) {
+      const Sample s = second.process(trace[i], config);
+      ASSERT_EQ(s.verdict, baseline[i].verdict)
+          << "cut " << cut << " sample " << i;
+      ASSERT_EQ(s.conditioned_q12, baseline[i].conditioned_q12)
+          << "cut " << cut << " sample " << i;
+    }
+  }
+  EXPECT_TRUE(saw_mid_streak_cut);  // the burst must actually cover a cut
+}
+
+// --- Engine integration --------------------------------------------------
+
+struct Rx {
+  double time_s;
+  IdentityId id;
+  double rssi_dbm;
+};
+
+// Synthetic fleet-style arrival stream with spikes, so the conditioner
+// rejects some beacons and the cond.* counters all move.
+std::vector<Rx> spiky_stream(std::size_t identities, double rate_hz,
+                             double duration_s, std::uint64_t seed) {
+  std::vector<Rx> beacons;
+  for (std::size_t i = 1; i <= identities; ++i) {
+    Rng rng(mix64(seed, i));
+    double shadow = 0.0;
+    const double level = -62.0 - rng.uniform(0.0, 20.0);
+    for (double t = rng.uniform(0.0, 0.1); t < duration_s; t += 1.0 / rate_hz) {
+      shadow = 0.9 * shadow + rng.normal(0.0, 1.5);
+      double x = std::round(level + shadow + rng.normal(0.0, 0.8));
+      if (rng.chance(0.03)) x += rng.chance(0.5) ? 25.0 : -25.0;
+      beacons.push_back({t, static_cast<IdentityId>(i), x});
+    }
+  }
+  std::sort(beacons.begin(), beacons.end(), [](const Rx& a, const Rx& b) {
+    return a.time_s != b.time_s ? a.time_s < b.time_s : a.id < b.id;
+  });
+  return beacons;
+}
+
+stream::StreamEngineConfig conditioned_config() {
+  stream::StreamEngineConfig config;
+  config.min_samples = 4;
+  config.condition_ingest = true;
+  config.detector = core::tuned_simulation_options(1);
+  return config;
+}
+
+TEST(CondEngine, ConservationLawHoldsUnderSpikes) {
+  const std::vector<Rx> trace = spiky_stream(6, 10.0, 45.0, 0xc0de);
+  stream::StreamEngine engine(conditioned_config());
+  for (const Rx& rx : trace) engine.ingest(rx.id, rx.time_s, rx.rssi_dbm);
+  engine.advance_to(45.0);
+
+  const stream::StreamEngine::Stats& s = engine.stats();
+  EXPECT_EQ(s.cond_offered, s.cond_passed + s.cond_clamped + s.cond_rejected);
+  EXPECT_EQ(s.beacons_shed_conditioned, s.cond_rejected);
+  EXPECT_GT(s.cond_rejected, 0u);  // the spikes must actually shed
+  EXPECT_GT(s.cond_clamped, 0u);
+  EXPECT_EQ(s.beacons_offered, s.beacons_ingested + s.shed_total());
+}
+
+void expect_rounds_identical(const std::vector<stream::StreamRound>& actual,
+                             const std::vector<stream::StreamRound>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i].time_s, expected[i].time_s);
+    EXPECT_EQ(actual[i].suspects, expected[i].suspects);
+    ASSERT_EQ(actual[i].pairs.size(), expected[i].pairs.size());
+    for (std::size_t j = 0; j < expected[i].pairs.size(); ++j) {
+      EXPECT_EQ(actual[i].pairs[j].a, expected[i].pairs[j].a);
+      EXPECT_EQ(actual[i].pairs[j].b, expected[i].pairs[j].b);
+      EXPECT_EQ(actual[i].pairs[j].raw, expected[i].pairs[j].raw);  // bitwise
+    }
+  }
+}
+
+// A conditioned engine killed through the VPCK wire format and restored
+// must emit bit-identical rounds — the v3 conditioning records (window,
+// EMA, reject streak) carry the filter across the kill.
+TEST(CondEngine, KillRestoreThroughCheckpointIsBitIdentical) {
+  const std::vector<Rx> trace = spiky_stream(6, 10.0, 60.0, 0xfade);
+  const stream::StreamEngineConfig config = conditioned_config();
+
+  std::vector<stream::StreamRound> baseline;
+  {
+    stream::StreamEngine engine(config);
+    engine.set_round_callback(
+        [&](const stream::StreamRound& r) { baseline.push_back(r); });
+    for (const Rx& rx : trace) engine.ingest(rx.id, rx.time_s, rx.rssi_dbm);
+    engine.advance_to(60.0);
+  }
+  ASSERT_GE(baseline.size(), 2u);
+
+  for (std::size_t cut : {trace.size() / 4, trace.size() / 2,
+                          (3 * trace.size()) / 4, trace.size() - 1}) {
+    SCOPED_TRACE("cut=" + std::to_string(cut));
+    std::vector<stream::StreamRound> rounds;
+    const auto record = [&](const stream::StreamRound& r) {
+      rounds.push_back(r);
+    };
+    stream::StreamEngine first(config);
+    first.set_round_callback(record);
+    for (std::size_t i = 0; i < cut; ++i) {
+      first.ingest(trace[i].id, trace[i].time_s, trace[i].rssi_dbm);
+    }
+    const std::vector<std::uint8_t> bytes =
+        stream::encode_checkpoint(first.checkpoint());
+    stream::EngineCheckpoint cp;
+    std::string error;
+    ASSERT_TRUE(stream::decode_checkpoint(bytes, &cp, &error)) << error;
+    stream::StreamEngine second(config, cp);
+    second.set_round_callback(record);
+    for (std::size_t i = cut; i < trace.size(); ++i) {
+      second.ingest(trace[i].id, trace[i].time_s, trace[i].rssi_dbm);
+    }
+    second.advance_to(60.0);
+    expect_rounds_identical(rounds, baseline);
+  }
+}
+
+// Conditioned verdicts must not depend on the deployment shape: the same
+// fleet trace through every shards × threads configuration produces
+// bit-identical rounds per session.
+TEST(CondEngine, FleetVerdictsIdenticalAcrossShardsAndThreads) {
+  struct FleetRx {
+    double time_s;
+    service::SessionId session;
+    IdentityId id;
+    double rssi_dbm;
+  };
+  std::vector<FleetRx> beacons;
+  for (std::size_t s = 1; s <= 3; ++s) {
+    const std::vector<Rx> trace = spiky_stream(5, 10.0, 30.0, mix64(0xf1ee, s));
+    for (const Rx& rx : trace) {
+      beacons.push_back({rx.time_s, static_cast<service::SessionId>(s), rx.id,
+                         rx.rssi_dbm});
+    }
+  }
+  std::sort(beacons.begin(), beacons.end(),
+            [](const FleetRx& a, const FleetRx& b) {
+              if (a.time_s != b.time_s) return a.time_s < b.time_s;
+              if (a.session != b.session) return a.session < b.session;
+              return a.id < b.id;
+            });
+
+  using SessionRounds =
+      std::map<service::SessionId, std::vector<stream::StreamRound>>;
+  const auto run = [&](std::size_t shards, std::size_t threads) {
+    service::ServiceConfig config;
+    config.shards = shards;
+    config.threads = threads;
+    config.engine = conditioned_config();
+    service::DetectionService fleet(config);
+    SessionRounds rounds;
+    fleet.set_round_callback([&](const service::SessionRound& r) {
+      rounds[r.session].push_back(r.round);
+    });
+    for (const FleetRx& rx : beacons) {
+      fleet.ingest(rx.session, rx.id, rx.time_s, rx.rssi_dbm);
+    }
+    fleet.advance_all_to(30.0);
+    return rounds;
+  };
+
+  const SessionRounds baseline = run(1, 0);
+  ASSERT_FALSE(baseline.empty());
+  for (std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    for (std::size_t threads : {std::size_t{0}, std::size_t{1}, std::size_t{4}}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " threads=" + std::to_string(threads));
+      const SessionRounds rounds = run(shards, threads);
+      ASSERT_EQ(rounds.size(), baseline.size());
+      for (const auto& [session, expected] : baseline) {
+        const auto it = rounds.find(session);
+        ASSERT_NE(it, rounds.end());
+        expect_rounds_identical(it->second, expected);
+      }
+    }
+  }
+}
+
+// --- Config contract -----------------------------------------------------
+
+TEST(CondConfigContract, RejectsEveryInvalidField) {
+  const CondConfig good;
+  validate(good);
+  CondConfig bad = good;
+  bad.window = 4;  // even
+  EXPECT_THROW(validate(bad), PreconditionError);
+  bad = good;
+  bad.window = 1;  // below minimum
+  EXPECT_THROW(validate(bad), PreconditionError);
+  bad = good;
+  bad.window = kMaxWindow + 2;
+  EXPECT_THROW(validate(bad), PreconditionError);
+  bad = good;
+  bad.clamp_k_q8 = 0;
+  EXPECT_THROW(validate(bad), PreconditionError);
+  bad = good;
+  bad.reject_k_q8 = good.clamp_k_q8 - 1;
+  EXPECT_THROW(validate(bad), PreconditionError);
+  bad = good;
+  bad.mad_floor_q12 = 0;
+  EXPECT_THROW(validate(bad), PreconditionError);
+  bad = good;
+  bad.reject_limit = 0;
+  EXPECT_THROW(validate(bad), PreconditionError);
+  bad = good;
+  bad.ema_alpha_min_q15 = 0;
+  EXPECT_THROW(validate(bad), PreconditionError);
+  bad = good;
+  bad.ema_alpha_max_q15 = kOneQ15 + 1;
+  EXPECT_THROW(validate(bad), PreconditionError);
+}
+
+}  // namespace
+}  // namespace vp::cond

@@ -339,9 +339,18 @@ ChaosRunResult valid_run() {
   return r;
 }
 
+CondGateResult valid_gate() {
+  CondGateResult g;
+  g.fault_class = "rssi_spike";
+  g.intensity = 0.08;
+  g.divergence_off = 0.75;
+  g.divergence_on = 0.25;
+  return g;
+}
+
 TEST(ChaosBenchReport, BuildsAndValidates) {
-  const obs::json::Value report =
-      build_chaos_bench_report("chaos_detection", 11, {valid_run()});
+  const obs::json::Value report = build_chaos_bench_report(
+      "chaos_detection", 11, {valid_run()}, {valid_gate()});
   std::string error;
   EXPECT_TRUE(validate_chaos_bench(report, &error)) << error;
 }
@@ -351,7 +360,7 @@ TEST(ChaosBenchReport, RejectsInjectorConservationViolation) {
   bad.dropped += 1;  // a beacon vanished without being counted
   std::string error;
   EXPECT_FALSE(validate_chaos_bench(
-      build_chaos_bench_report("x", 1, {bad}), &error));
+      build_chaos_bench_report("x", 1, {bad}, {}), &error));
   EXPECT_NE(error.find("injector conservation"), std::string::npos);
 }
 
@@ -360,8 +369,33 @@ TEST(ChaosBenchReport, RejectsServingConservationViolation) {
   bad.ingested -= 1;
   std::string error;
   EXPECT_FALSE(validate_chaos_bench(
-      build_chaos_bench_report("x", 1, {bad}), &error));
+      build_chaos_bench_report("x", 1, {bad}, {}), &error));
   EXPECT_NE(error.find("offered != ingested"), std::string::npos);
+}
+
+TEST(ChaosBenchReport, CountsConditionedShedInServingLaw) {
+  ChaosRunResult r = valid_run();
+  // Five beacons hard-rejected by the conditioning front instead of
+  // arriving out of order: the serving law must still balance.
+  r.shed_out_of_order = 0;
+  r.shed_conditioned = 5;
+  r.cond_offered = 85;
+  r.cond_passed = 70;
+  r.cond_clamped = 10;
+  r.cond_rejected = 5;
+  std::string error;
+  EXPECT_TRUE(validate_chaos_bench(
+      build_chaos_bench_report("x", 1, {r}, {}), &error))
+      << error;
+}
+
+TEST(ChaosBenchReport, RejectsCondConservationViolation) {
+  ChaosRunResult bad = valid_run();
+  bad.cond_offered = 10;  // verdicts all zero: 10 != 0 + 0 + 0
+  std::string error;
+  EXPECT_FALSE(validate_chaos_bench(
+      build_chaos_bench_report("x", 1, {bad}, {}), &error));
+  EXPECT_NE(error.find("cond_offered"), std::string::npos);
 }
 
 TEST(ChaosBenchReport, RejectsDivergenceOverCeiling) {
@@ -369,19 +403,150 @@ TEST(ChaosBenchReport, RejectsDivergenceOverCeiling) {
   bad.round_divergence = 0.9;  // ceiling is 0.5
   std::string error;
   EXPECT_FALSE(validate_chaos_bench(
-      build_chaos_bench_report("x", 1, {bad}), &error));
+      build_chaos_bench_report("x", 1, {bad}, {}), &error));
   EXPECT_NE(error.find("exceeds max_divergence"), std::string::npos);
 }
 
+TEST(ChaosBenchReport, RejectsVacuousCondGate) {
+  CondGateResult gate = valid_gate();
+  gate.divergence_off = 0.0;  // the fault never bit; 0.0 < 0.0 is false too
+  gate.divergence_on = 0.0;
+  std::string error;
+  EXPECT_FALSE(validate_chaos_bench(
+      build_chaos_bench_report("x", 1, {valid_run()}, {gate}), &error));
+  EXPECT_NE(error.find("vacuous"), std::string::npos);
+}
+
+TEST(ChaosBenchReport, RejectsNonImprovingCondGate) {
+  CondGateResult gate = valid_gate();
+  gate.divergence_on = gate.divergence_off;  // equal is not improvement
+  std::string error;
+  EXPECT_FALSE(validate_chaos_bench(
+      build_chaos_bench_report("x", 1, {valid_run()}, {gate}), &error));
+  EXPECT_NE(error.find("strictly"), std::string::npos);
+}
+
 TEST(ChaosBenchReport, RejectsWrongSchemaAndMissingFields) {
-  obs::json::Value report =
-      build_chaos_bench_report("chaos_detection", 11, {valid_run()});
+  obs::json::Value report = build_chaos_bench_report(
+      "chaos_detection", 11, {valid_run()}, {valid_gate()});
   std::string error;
   obs::json::Object broken = report.as_object();
   broken["schema"] = obs::json::Value("voiceprint.stream_bench/v1");
   EXPECT_FALSE(
       validate_chaos_bench(obs::json::Value(std::move(broken)), &error));
+  obs::json::Object no_gates = report.as_object();
+  no_gates.erase("cond_gates");
+  EXPECT_FALSE(
+      validate_chaos_bench(obs::json::Value(std::move(no_gates)), &error));
   EXPECT_FALSE(validate_chaos_bench(obs::json::Value(1.0), &error));
+}
+
+// --- Stuck-at / saturation episodes -------------------------------------
+
+TEST(FaultInjector, StuckAtFreezesRssiForEpisodeLength) {
+  const std::vector<Beacon> trace = clean_trace(1, 10.0, 60.0);
+  FaultConfig config;
+  config.seed = 5;
+  config.rssi_stuck_probability = 0.05;
+  config.rssi_stuck_length = 8;
+  config.rssi_stuck_rail_probability = 0.0;  // freeze-only: value from trace
+  FaultInjector injector(config);
+  const std::vector<Beacon> out = injector.apply(trace);
+
+  ASSERT_EQ(out.size(), trace.size());  // stuck-at never drops or adds
+  const std::uint64_t stuck = injector.stats().rssi_stuck;
+  EXPECT_GT(stuck, 0u);
+  // Every changed beacon repeats a value the clean trace produced
+  // earlier (the arming beacon's reading). The arming beacon itself is
+  // counted stuck but freezes at its own reading — so changed runs are
+  // at most length−1, and stuck − changed counts the episodes, each of
+  // which covered at most `rssi_stuck_length` beacons.
+  std::uint64_t changed = 0;
+  std::size_t run_length = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i].rssi_dbm == trace[i].rssi_dbm) {
+      run_length = 0;
+      continue;
+    }
+    ++changed;
+    ++run_length;
+    EXPECT_LE(run_length, config.rssi_stuck_length - 1);
+    // Frozen at some earlier clean reading.
+    bool seen_before = false;
+    for (std::size_t j = 0; j <= i; ++j) {
+      if (trace[j].rssi_dbm == out[i].rssi_dbm) {
+        seen_before = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(seen_before) << "beacon " << i << " frozen at unknown value";
+  }
+  EXPECT_LE(changed, stuck);
+  const std::uint64_t episodes = stuck - changed;
+  EXPECT_GT(episodes, 0u);
+  EXPECT_GE(episodes * config.rssi_stuck_length, stuck);
+  expect_conservation(injector);
+}
+
+TEST(FaultInjector, StuckAtRailsAtConfiguredLevel) {
+  const std::vector<Beacon> trace = clean_trace(1, 10.0, 30.0);
+  FaultConfig config;
+  config.seed = 6;
+  config.rssi_stuck_probability = 0.1;
+  config.rssi_stuck_length = 4;
+  config.rssi_stuck_rail_probability = 1.0;  // every episode saturates
+  config.rssi_stuck_rail_dbm = -30.0;
+  FaultInjector injector(config);
+  const std::vector<Beacon> out = injector.apply(trace);
+
+  std::uint64_t railed = 0;
+  for (const Beacon& b : out) {
+    if (b.rssi_dbm == -30.0) ++railed;
+  }
+  EXPECT_EQ(railed, injector.stats().rssi_stuck);
+  EXPECT_GT(railed, 0u);
+  expect_conservation(injector);
+}
+
+TEST(FaultInjector, StuckAtIsDeterministicAndIsolatedFromOtherClasses) {
+  const std::vector<Beacon> trace = clean_trace(4, 10.0, 30.0);
+  // Reference: spike-only faults.
+  FaultConfig spikes;
+  spikes.seed = 9;
+  spikes.rssi_spike_probability = 0.2;
+  const std::vector<Beacon> ref = FaultInjector(spikes).apply(trace);
+
+  // Adding stuck-at draws from its own Rng fork, so beacons outside
+  // stuck episodes see the identical spike sequence. Rail every episode
+  // at a level the spiked trace can never produce, so divergence from
+  // the reference counts stuck beacons exactly (a freeze episode would
+  // leave its arming beacon at its own clean reading).
+  FaultConfig both = spikes;
+  both.rssi_stuck_probability = 0.02;
+  both.rssi_stuck_length = 6;
+  both.rssi_stuck_rail_probability = 1.0;
+  both.rssi_stuck_rail_dbm = 0.0;
+  FaultInjector a(both);
+  FaultInjector b(both);
+  const std::vector<Beacon> out_a = a.apply(trace);
+  const std::vector<Beacon> out_b = b.apply(trace);
+
+  ASSERT_EQ(out_a.size(), out_b.size());
+  for (std::size_t i = 0; i < out_a.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(out_a[i].rssi_dbm),
+              std::bit_cast<std::uint64_t>(out_b[i].rssi_dbm));
+  }
+  ASSERT_EQ(out_a.size(), ref.size());
+  std::uint64_t divergent = 0;
+  for (std::size_t i = 0; i < out_a.size(); ++i) {
+    if (out_a[i].rssi_dbm != ref[i].rssi_dbm) ++divergent;
+  }
+  // Exactly the stuck beacons differ from the spike-only run; a stuck
+  // beacon that would have been spiked masks the spike entirely (the
+  // latched register replaces the measurement wholesale). The spike
+  // stream itself is unperturbed, so nothing else moved.
+  EXPECT_EQ(divergent, a.stats().rssi_stuck);
+  expect_conservation(a);
 }
 
 }  // namespace

@@ -1,0 +1,408 @@
+// Fixed-point DTW invariants (DESIGN.md §15):
+//   * Quantisation — quantize_q412 rounds half away from zero within
+//     kFixedEps of the input, reports the true max |value|, and flags
+//     saturation for out-of-range and non-finite samples.
+//   * Exactness on dyadics — series whose values are exact Q4.12 dyadics
+//     quantise losslessly, and the integer DP divided by its scale equals
+//     the double banded-DTW distance bit-for-bit (same recurrence, exact
+//     arithmetic on both sides).
+//   * Certified bound — fixed_banded_lower_bound never exceeds the true
+//     double-precision banded distance, over AR / constant / ramp series,
+//     every band and both local costs; and it stays within the advertised
+//     2·(2L−1)·pad of the true distance (the certificate is not vacuous).
+//   * Abandon soundness — a threshold at the true integer optimum never
+//     abandons; an abandoned run proves the optimum exceeds the threshold.
+//   * int16 extremes — the DP is wrap-free at the ±32767 rails and at
+//     INT16_MIN (the negation edge); the CI integer-sanitizer job runs
+//     this file.
+//   * Cascade parity — compare_series_pruned with fixed_lower_bound on
+//     flags exactly what the exact sweep flags, and the exit-tier
+//     partition law (comparable = kim + keogh + fixed + abandoned + full)
+//     holds with the new tier counted.
+#include "timeseries/fixed.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/comparison.h"
+#include "core/detector.h"
+#include "timeseries/dtw.h"
+#include "timeseries/normalize.h"
+
+namespace vp::ts {
+namespace {
+
+std::vector<double> ar_series(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  double shadow = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    shadow = 0.9 * shadow + rng.normal(0.0, 1.5);
+    out[i] = -75.0 + shadow + rng.normal(0.0, 1.0);
+  }
+  return out;
+}
+
+// Exact Q4.12 dyadics in ±4: quantisation is lossless on these.
+std::vector<double> dyadic_series(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<double>(rng.uniform_int(-4 * 4096, 4 * 4096)) /
+             kFixedScale;
+  }
+  return out;
+}
+
+// --- Quantisation --------------------------------------------------------
+
+TEST(FixedQuantizeTest, RoundsWithinHalfStepAndReportsMaxAbs) {
+  Rng rng(5);
+  std::vector<double> values(500);
+  double max_abs = 0.0;
+  for (double& v : values) {
+    v = rng.uniform(-7.9, 7.9);
+    max_abs = std::max(max_abs, std::abs(v));
+  }
+  std::vector<std::int16_t> q;
+  const FixedQuantize result = quantize_q412(values, q);
+  EXPECT_FALSE(result.saturated);
+  EXPECT_EQ(result.max_abs, max_abs);
+  ASSERT_EQ(q.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_LE(std::abs(static_cast<double>(q[i]) / kFixedScale - values[i]),
+              kFixedEps)
+        << "sample " << i;
+  }
+}
+
+TEST(FixedQuantizeTest, RoundsHalfAwayFromZero) {
+  const std::vector<double> values = {0.5 / kFixedScale, -0.5 / kFixedScale,
+                                      1.0, -1.0};
+  std::vector<std::int16_t> q;
+  EXPECT_FALSE(quantize_q412(values, q).saturated);
+  EXPECT_EQ(q[0], 1);
+  EXPECT_EQ(q[1], -1);
+  EXPECT_EQ(q[2], 4096);
+  EXPECT_EQ(q[3], -4096);
+}
+
+TEST(FixedQuantizeTest, FlagsSaturationAndNonFinite) {
+  std::vector<std::int16_t> q;
+  EXPECT_TRUE(quantize_q412(std::vector<double>{9.0}, q).saturated);
+  EXPECT_EQ(q[0], 32767);
+  EXPECT_TRUE(quantize_q412(std::vector<double>{-9.0}, q).saturated);
+  EXPECT_EQ(q[0], -32767);
+  EXPECT_TRUE(
+      quantize_q412(std::vector<double>{std::nan("")}, q).saturated);
+  EXPECT_EQ(q[0], 0);
+  EXPECT_TRUE(quantize_q412(
+                  std::vector<double>{std::numeric_limits<double>::infinity()},
+                  q)
+                  .saturated);
+}
+
+// --- Exactness on dyadics ------------------------------------------------
+
+// On lossless inputs the integer DP and the double recurrence compute the
+// same numbers: differences are dyadics, squares and sums stay far below
+// 2^53, so distance_q / scale == double distance exactly.
+TEST(FixedDtwTest, MatchesFloatDtwExactlyOnDyadics) {
+  std::vector<std::int64_t> rows;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const std::vector<double> a = dyadic_series(48, seed);
+    const std::vector<double> b = dyadic_series(48, seed + 100);
+    std::vector<std::int16_t> qa, qb;
+    ASSERT_FALSE(quantize_q412(a, qa).saturated);
+    ASSERT_FALSE(quantize_q412(b, qb).saturated);
+    for (const std::size_t band : {std::size_t{0}, std::size_t{4},
+                                   std::size_t{16}}) {
+      for (const LocalCost cost : {LocalCost::kSquared, LocalCost::kAbsolute}) {
+        const FixedBandedResult r =
+            fixed_banded_dtw(qa, qb, band, cost, kFixedNoAbandon, rows);
+        ASSERT_FALSE(r.abandoned);
+        const double expected =
+            dtw_banded(a, b, band == 0 ? a.size() : band, cost).distance;
+        EXPECT_EQ(static_cast<double>(r.distance) / fixed_scale(cost),
+                  expected)
+            << "seed " << seed << " band " << band;
+      }
+    }
+  }
+}
+
+// --- Certified bound -----------------------------------------------------
+
+TEST(FixedDtwTest, LowerBoundNeverExceedsTrueDistance) {
+  FixedDtwScratch scratch;
+  std::vector<std::vector<double>> families;
+  for (std::uint64_t seed = 11; seed <= 16; ++seed) {
+    families.push_back(z_score_enhanced(ar_series(64, seed)));
+  }
+  families.push_back(std::vector<double>(64, 0.25));  // constant
+  {
+    std::vector<double> ramp(64);
+    for (std::size_t i = 0; i < ramp.size(); ++i) {
+      ramp[i] = -2.0 + 0.06 * static_cast<double>(i);
+    }
+    families.push_back(ramp);
+  }
+
+  int bounds_checked = 0;
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    for (std::size_t j = i + 1; j < families.size(); ++j) {
+      for (const std::size_t band : {std::size_t{0}, std::size_t{4},
+                                     std::size_t{16}}) {
+        for (const LocalCost cost :
+             {LocalCost::kSquared, LocalCost::kAbsolute}) {
+          const double bound = fixed_banded_lower_bound(
+              families[i], families[j], band, cost, scratch);
+          if (std::isinf(bound)) continue;  // certificate void: no claim
+          const std::size_t n = families[i].size();
+          const double truth =
+              dtw_banded(families[i], families[j], band == 0 ? n : band, cost)
+                  .distance;
+          EXPECT_LE(bound, truth + 1e-9)
+              << "pair (" << i << "," << j << ") band " << band;
+          // Tightness: the deflation is (2L−1)·pad below the integer DP,
+          // and the DP itself is within (2L−1)·pad of the truth, so the
+          // bound trails the true distance by at most twice that.
+          std::vector<std::int16_t> qa, qb;
+          const FixedQuantize fa = quantize_q412(families[i], qa);
+          const FixedQuantize fb = quantize_q412(families[j], qb);
+          const double pad = fixed_cell_pad(cost, fa.max_abs, fb.max_abs);
+          EXPECT_GE(bound,
+                    truth - 2.0 * static_cast<double>(2 * n - 1) * pad - 1e-9)
+              << "pair (" << i << "," << j << ") band " << band;
+          ++bounds_checked;
+        }
+      }
+    }
+  }
+  EXPECT_GT(bounds_checked, 100);  // the families must mostly certify
+}
+
+TEST(FixedDtwTest, SaturatedSeriesVoidsTheCertificate) {
+  FixedDtwScratch scratch;
+  const std::vector<double> ok(32, 0.5);
+  std::vector<double> hot(32, 0.5);
+  hot[7] = 9.5;  // outside Q4.12
+  EXPECT_TRUE(std::isinf(fixed_banded_lower_bound(
+      hot, ok, 0, LocalCost::kSquared, scratch)));
+  EXPECT_TRUE(std::isinf(fixed_banded_lower_bound(
+      ok, hot, 0, LocalCost::kSquared, scratch)));
+  // Unequal lengths and empties also decline to certify.
+  const std::vector<double> shorter(31, 0.5);
+  EXPECT_TRUE(std::isinf(fixed_banded_lower_bound(
+      ok, shorter, 0, LocalCost::kSquared, scratch)));
+  EXPECT_TRUE(std::isinf(fixed_banded_lower_bound(
+      std::vector<double>{}, std::vector<double>{}, 0, LocalCost::kSquared,
+      scratch)));
+}
+
+// --- Abandon soundness ---------------------------------------------------
+
+TEST(FixedDtwTest, AbandonIsSound) {
+  std::vector<std::int64_t> rows;
+  Rng rng(23);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<std::int16_t> a(32), b(32);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a[i] = static_cast<std::int16_t>(rng.uniform_int(-8000, 8000));
+      b[i] = static_cast<std::int16_t>(rng.uniform_int(-8000, 8000));
+    }
+    const std::size_t band = static_cast<std::size_t>(rng.uniform_int(0, 12));
+    const LocalCost cost =
+        rng.chance(0.5) ? LocalCost::kSquared : LocalCost::kAbsolute;
+    const FixedBandedResult full =
+        fixed_banded_dtw(a, b, band, cost, kFixedNoAbandon, rows);
+    ASSERT_FALSE(full.abandoned);
+
+    // A threshold at the optimum can never abandon (every row's min is a
+    // prefix of some path, and prefixes of non-negative costs only grow).
+    const FixedBandedResult at =
+        fixed_banded_dtw(a, b, band, cost, full.distance, rows);
+    EXPECT_FALSE(at.abandoned);
+    EXPECT_EQ(at.distance, full.distance);
+
+    // Any abandoned run must be proving a true statement.
+    const std::int64_t below = full.distance / 2;
+    const FixedBandedResult maybe =
+        fixed_banded_dtw(a, b, band, cost, below, rows);
+    if (maybe.abandoned) {
+      EXPECT_GT(full.distance, below);
+    } else {
+      EXPECT_EQ(maybe.distance, full.distance);
+    }
+
+    // A threshold below everything abandons on the first row.
+    const FixedBandedResult floor =
+        fixed_banded_dtw(a, b, band, cost, std::int64_t{-1}, rows);
+    EXPECT_TRUE(floor.abandoned);
+  }
+}
+
+// --- int16 extremes ------------------------------------------------------
+
+// The rails and INT16_MIN: |a − b| reaches 65535, whose square needs
+// int64, and negating INT16_MIN must happen in a wider type. A wrap
+// anywhere here trips -fsanitize=integer in the CI sanitizer matrix.
+TEST(FixedDtwTest, Int16ExtremesAreWrapFree) {
+  std::vector<std::int64_t> rows;
+  constexpr std::int16_t kMin = std::numeric_limits<std::int16_t>::min();
+  const std::vector<std::int16_t> lo = {kMin, kMin, kMin, kMin};
+  const std::vector<std::int16_t> hi = {32767, 32767, 32767, 32767};
+
+  const std::int64_t diff = 32767 - static_cast<std::int64_t>(kMin);  // 65535
+  const FixedBandedResult sq =
+      fixed_banded_dtw(lo, hi, 0, LocalCost::kSquared, kFixedNoAbandon, rows);
+  ASSERT_FALSE(sq.abandoned);
+  // The diagonal path (7 cells on a 4×4 full matrix has 4-cell diagonal)
+  // is optimal: every cell costs the same, so 4 diagonal steps win.
+  EXPECT_EQ(sq.distance, 4 * diff * diff);
+
+  const FixedBandedResult ab =
+      fixed_banded_dtw(lo, hi, 0, LocalCost::kAbsolute, kFixedNoAbandon, rows);
+  ASSERT_FALSE(ab.abandoned);
+  EXPECT_EQ(ab.distance, 4 * diff);
+
+  // Single-element: the result IS the local cost, both orders (the
+  // negation edge |kMin − 0| = 32768 exceeds int16).
+  const std::vector<std::int16_t> one_min = {kMin};
+  const std::vector<std::int16_t> one_zero = {0};
+  EXPECT_EQ(fixed_banded_dtw(one_min, one_zero, 0, LocalCost::kAbsolute,
+                             kFixedNoAbandon, rows)
+                .distance,
+            32768);
+  EXPECT_EQ(fixed_banded_dtw(one_zero, one_min, 0, LocalCost::kAbsolute,
+                             kFixedNoAbandon, rows)
+                .distance,
+            32768);
+  EXPECT_EQ(fixed_banded_dtw(one_min, one_zero, 0, LocalCost::kSquared,
+                             kFixedNoAbandon, rows)
+                .distance,
+            std::int64_t{32768} * 32768);
+}
+
+}  // namespace
+}  // namespace vp::ts
+
+// --- Cascade parity ------------------------------------------------------
+
+namespace vp::core {
+namespace {
+
+// Half smooth AR(1) walks, half telegraph noise (random switching between
+// two levels). Telegraph pairs are the fixed tier's reason to exist: the
+// Sakoe–Chiba envelopes of independent switchers cover both rails, so
+// LB_Keogh degenerates, while the true distance is large — only a
+// near-exact bound (the integer DP) can prune them without a full solve.
+std::vector<NamedSeries> random_bundle(std::size_t count, std::size_t len,
+                                       std::uint64_t seed) {
+  std::vector<NamedSeries> bundle;
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng rng(mix64(seed, i));
+    ts::Series series;
+    if (i % 2 == 0) {
+      double shadow = 0.0;
+      const double level = -60.0 - rng.uniform(0.0, 25.0);
+      for (std::size_t t = 0; t < len; ++t) {
+        shadow = 0.9 * shadow + rng.normal(0.0, 1.5);
+        series.add(0.5 * static_cast<double>(t),
+                   level + shadow + rng.normal(0.0, 0.5));
+      }
+    } else {
+      double level = rng.chance(0.5) ? -60.0 : -80.0;
+      for (std::size_t t = 0; t < len; ++t) {
+        if (rng.chance(0.4)) level = level == -60.0 ? -80.0 : -60.0;
+        series.add(0.5 * static_cast<double>(t),
+                   level + rng.normal(0.0, 0.5));
+      }
+    }
+    bundle.emplace_back(static_cast<IdentityId>(i + 1), std::move(series));
+  }
+  return bundle;
+}
+
+void expect_verdicts_identical(const std::vector<PairDistance>& pruned,
+                               const std::vector<PairDistance>& exact) {
+  ASSERT_EQ(pruned.size(), exact.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ(pruned[i].a, exact[i].a);
+    EXPECT_EQ(pruned[i].b, exact[i].b);
+    EXPECT_EQ(pruned[i].comparable, exact[i].comparable) << "pair " << i;
+    EXPECT_EQ(pruned[i].flagged, exact[i].flagged) << "pair " << i;
+  }
+}
+
+// With the fixed tier enabled the cascade must stay verdict-identical to
+// the exact sweep and the exit-tier partition law must count the new
+// tier: comparable = kim + keogh + fixed + abandoned + full.
+TEST(FixedCascade, VerdictParityAndPartitionLawWithFixedTier) {
+  ComparisonOptions options = tuned_simulation_options(0).comparison;
+  options.exact_mode = false;
+  options.fixed_lower_bound = true;
+
+  ComparisonOptions exact_options = options;
+  exact_options.exact_mode = true;
+
+  std::uint64_t fixed_pruned_total = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const std::vector<NamedSeries> bundle = random_bundle(10, 40, seed);
+    const std::vector<PairDistance> exact =
+        compare_series(bundle, exact_options);
+
+    for (const double threshold : {0.05, 0.2, 0.5}) {
+      SCOPED_TRACE("threshold=" + std::to_string(threshold));
+      std::vector<PairDistance> exact_verdicts = exact;
+      for (PairDistance& p : exact_verdicts) {
+        p.flagged = p.comparable && p.normalized <= threshold;
+      }
+      CascadeStats stats;
+      const std::vector<PairDistance> pruned =
+          compare_series_pruned(bundle, options, threshold, &stats);
+      expect_verdicts_identical(pruned, exact_verdicts);
+
+      std::uint64_t comparable = 0;
+      for (const PairDistance& p : pruned) comparable += p.comparable ? 1 : 0;
+      EXPECT_EQ(comparable, stats.lb_kim_pruned + stats.lb_keogh_pruned +
+                                stats.fixed_pruned + stats.early_abandoned +
+                                stats.full_sweeps);
+      fixed_pruned_total += stats.fixed_pruned;
+    }
+  }
+  // The tier must actually fire somewhere across the sweep — a silent
+  // no-op tier would pass parity trivially.
+  EXPECT_GT(fixed_pruned_total, 0u);
+}
+
+// Flipping fixed_lower_bound must not change any verdict, only the exit
+// tiers (fixed_pruned is zero when the tier is off).
+TEST(FixedCascade, FlagIsVerdictNeutral) {
+  ComparisonOptions with = tuned_simulation_options(0).comparison;
+  with.exact_mode = false;
+  with.fixed_lower_bound = true;
+  ComparisonOptions without = with;
+  without.fixed_lower_bound = false;
+
+  const std::vector<NamedSeries> bundle = random_bundle(12, 40, 99);
+  for (const double threshold : {0.1, 0.4}) {
+    CascadeStats stats_with, stats_without;
+    const std::vector<PairDistance> a =
+        compare_series_pruned(bundle, with, threshold, &stats_with);
+    const std::vector<PairDistance> b =
+        compare_series_pruned(bundle, without, threshold, &stats_without);
+    expect_verdicts_identical(a, b);
+    EXPECT_EQ(stats_without.fixed_pruned, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace vp::core

@@ -27,7 +27,8 @@
 // --comparison-bench, core::validate_comparison_bench
 // (voiceprint.comparison_bench/v1, including the cascade exit-tier
 // conservation law pairs_comparable = lb_kim_pruned + lb_keogh_pruned +
-// early_abandoned + full_sweeps, and that the exact-vs-pruned verdict
+// fixed_pruned + early_abandoned + full_sweeps, and that the
+// exact-vs-pruned verdict
 // cross-check passed); with --fusion-bench, fusion::validate_fusion_bench
 // (voiceprint.fusion_bench/v1, including the round conservation law
 // rounds_delivered = fused + expired + pending, trust bounds in [0, 1],

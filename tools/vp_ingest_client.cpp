@@ -10,7 +10,14 @@
 // Observers are dealt round-robin across connections, so multi-connection
 // runs exercise interleaved arrival at the server while each observer's
 // own stream stays in order (the VPWB seq contract is per connection).
+//
+// Connection establishment retries deterministically: --retries N extra
+// attempts per connection (default 5), sleeping --backoff-ms × 2^k before
+// retry k — the same schedule every run, so failure traces reproduce.
+// Retries consumed are reported in the final summary line.
+#include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -58,6 +65,13 @@ int main(int argc, char** argv) {
   const std::size_t connections =
       static_cast<std::size_t>(args.get_int("connections", 1));
   const double timeout_s = args.get_double("timeout", 30.0);
+  const std::size_t max_retries =
+      static_cast<std::size_t>(args.get_int("retries", 5));
+  const std::int64_t backoff_ms = args.get_int("backoff-ms", 50);
+  if (backoff_ms < 0) {
+    std::fprintf(stderr, "vp_ingest_client: --backoff-ms must be >= 0\n");
+    return 1;
+  }
 
   if (port == 0 && !port_file.empty()) {
     port = wait_for_port_file(port_file, timeout_s);
@@ -83,20 +97,31 @@ int main(int argc, char** argv) {
   std::vector<std::unique_ptr<wire::Connection>> conns;
   std::vector<wire::StreamSender> senders;
   std::size_t total_bytes = 0;
+  std::size_t retries_used = 0;
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(timeout_s);
   for (const std::vector<std::uint64_t>& observers : groups) {
     std::vector<std::uint8_t> bytes =
         wire::encode_fleet_stream(fleet, observers, options);
     total_bytes += bytes.size();
+    // Bounded deterministic backoff: attempt 0 immediately, then retry k
+    // (k in [1, max_retries]) after backoff_ms·2^(k-1) — the schedule
+    // depends only on the flags, never on wall-clock jitter.
     std::unique_ptr<wire::Connection> conn;
-    while (!(conn = wire::tcp_connect(host, port))) {
-      if (std::chrono::steady_clock::now() > deadline) {
-        std::fprintf(stderr, "vp_ingest_client: cannot connect to %s:%u\n",
-                     host.c_str(), static_cast<unsigned>(port));
+    for (std::size_t attempt = 0; !(conn = wire::tcp_connect(host, port));
+         ++attempt) {
+      if (attempt >= max_retries ||
+          std::chrono::steady_clock::now() > deadline) {
+        std::fprintf(stderr,
+                     "vp_ingest_client: cannot connect to %s:%u "
+                     "(%zu attempts)\n",
+                     host.c_str(), static_cast<unsigned>(port), attempt + 1);
         return 1;
       }
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      ++retries_used;
+      const std::int64_t sleep_ms = backoff_ms << std::min<std::size_t>(
+                                        attempt, 10);  // cap growth at 1024x
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
     }
     conns.push_back(std::move(conn));
     senders.emplace_back(conns.back().get(), std::move(bytes));
@@ -123,8 +148,8 @@ int main(int argc, char** argv) {
 
   std::printf(
       "vp_ingest_client: sent %zu bytes (%zu beacons, %zu observers) over "
-      "%zu connections to %s:%u\n",
+      "%zu connections to %s:%u (%zu connect retries)\n",
       total_bytes, fleet.size(), sessions, conns.size(), host.c_str(),
-      static_cast<unsigned>(port));
+      static_cast<unsigned>(port), retries_used);
   return 0;
 }

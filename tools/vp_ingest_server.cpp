@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   config.threads = run_flags.threads;
   config.max_sessions = 4096;
   config.pump_batch_rounds = shards * 2;
+  config.engine.condition_ingest = run_flags.cond;
   config.engine.detector =
       core::with_run_flags(core::tuned_simulation_options(1), run_flags);
   config.engine.ring_capacity = 4096;
